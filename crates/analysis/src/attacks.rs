@@ -1,0 +1,135 @@
+//! The attack timeline of §2.2, plus the auxiliary event dates the
+//! figures annotate (Snowden, RFC 7465, browser RC4 drops).
+
+use tlscope_chron::Date;
+
+/// One disclosed attack or ecosystem event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackEvent {
+    /// Short identifier used in annotations.
+    pub name: &'static str,
+    /// Disclosure date (as the paper lists it).
+    pub date: Date,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// The §2.2 disclosure timeline, ordered by date.
+pub static ATTACKS: &[AttackEvent] = &[
+    AttackEvent {
+        name: "BEAST",
+        date: Date::ymd(2011, 9, 6),
+        description: "CBC predictable-IV attack on TLS <= 1.0",
+    },
+    AttackEvent {
+        name: "Lucky13",
+        date: Date::ymd(2012, 12, 6),
+        description: "CBC padding timing attack",
+    },
+    AttackEvent {
+        name: "RC4",
+        date: Date::ymd(2013, 3, 12),
+        description: "RC4 single-byte bias attacks",
+    },
+    AttackEvent {
+        name: "Snowden",
+        date: Date::ymd(2013, 6, 5),
+        description: "surveillance disclosures (forward-secrecy driver)",
+    },
+    AttackEvent {
+        name: "Heartbleed",
+        date: Date::ymd(2014, 4, 7),
+        description: "OpenSSL heartbeat buffer over-read",
+    },
+    AttackEvent {
+        name: "POODLE",
+        date: Date::ymd(2014, 10, 14),
+        description: "SSL 3 CBC padding-oracle via fallback",
+    },
+    AttackEvent {
+        name: "FREAK",
+        date: Date::ymd(2015, 3, 3),
+        description: "RSA_EXPORT downgrade",
+    },
+    AttackEvent {
+        name: "RC4 passwords",
+        date: Date::ymd(2015, 3, 26),
+        description: "password-recovery attacks against RC4",
+    },
+    AttackEvent {
+        name: "Logjam",
+        date: Date::ymd(2015, 5, 20),
+        description: "DHE_EXPORT downgrade",
+    },
+    AttackEvent {
+        name: "RC4 no more",
+        date: Date::ymd(2015, 7, 15),
+        description: "RC4 NOMORE biases / RFC 7465 era",
+    },
+    AttackEvent {
+        name: "Sweet32",
+        date: Date::ymd(2016, 8, 31),
+        description: "64-bit block birthday attack (3DES)",
+    },
+];
+
+/// Browser RC4-removal dates (the black dots of Figure 6, Table 4).
+pub static RC4_DROPS: &[AttackEvent] = &[
+    AttackEvent {
+        name: "Chrome drops RC4",
+        date: Date::ymd(2015, 5, 19),
+        description: "Chrome 43",
+    },
+    AttackEvent {
+        name: "IE/Edge drops RC4",
+        date: Date::ymd(2015, 5, 20),
+        description: "IE/Edge 13",
+    },
+    AttackEvent {
+        name: "Opera drops RC4",
+        date: Date::ymd(2015, 6, 9),
+        description: "Opera 30",
+    },
+    AttackEvent {
+        name: "Firefox drops RC4",
+        date: Date::ymd(2016, 1, 26),
+        description: "Firefox 44",
+    },
+    AttackEvent {
+        name: "Safari drops RC4",
+        date: Date::ymd(2016, 9, 20),
+        description: "Safari 10.1",
+    },
+];
+
+/// Look up an attack by name.
+pub fn attack(name: &str) -> Option<&'static AttackEvent> {
+    ATTACKS.iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_is_ordered() {
+        for w in ATTACKS.windows(2) {
+            assert!(w[0].date <= w[1].date, "{} after {}", w[0].name, w[1].name);
+        }
+        for w in RC4_DROPS.windows(2) {
+            assert!(w[0].date <= w[1].date);
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert_eq!(attack("Heartbleed").unwrap().date, Date::ymd(2014, 4, 7));
+        assert_eq!(attack("POODLE").unwrap().date, Date::ymd(2014, 10, 14));
+        assert!(attack("QUANTUM").is_none());
+    }
+
+    #[test]
+    fn beast_predates_study_window() {
+        assert!(attack("BEAST").unwrap().date < Date::ymd(2012, 2, 1));
+    }
+}

@@ -1,0 +1,418 @@
+//! Figure generators: one function per figure of the paper, each
+//! consuming the passive aggregate and emitting a [`Figure`].
+
+use tlscope_chron::Month;
+use tlscope_notary::NotaryAggregate;
+
+use crate::attacks::{ATTACKS, RC4_DROPS};
+use crate::series::{Annotation, Figure, Series};
+
+fn axis(agg: &NotaryAggregate) -> Vec<Month> {
+    agg.iter_months().map(|(m, _)| *m).collect()
+}
+
+fn collect(agg: &NotaryAggregate, f: impl Fn(&tlscope_notary::MonthlyStats) -> f64) -> Vec<f64> {
+    agg.iter_months().map(|(_, s)| f(s)).collect()
+}
+
+fn attack_annotations(names: &[&str]) -> Vec<Annotation> {
+    ATTACKS
+        .iter()
+        .filter(|a| names.contains(&a.name))
+        .map(|a| Annotation {
+            date: a.date,
+            label: a.name.to_string(),
+        })
+        .collect()
+}
+
+const FIGURE_EVENTS: &[&str] = &[
+    "Lucky13",
+    "POODLE",
+    "RC4",
+    "Snowden",
+    "RC4 passwords",
+    "RC4 no more",
+    "Sweet32",
+];
+
+/// Figure 1: negotiated SSL/TLS versions, percent of monthly
+/// connections.
+pub fn fig1(agg: &NotaryAggregate) -> Figure {
+    let mut fig = Figure::new(
+        "fig1",
+        "Negotiated SSL/TLS versions (% monthly connections)",
+        axis(agg),
+    );
+    fig.push_series(Series::new(
+        "SSLv3",
+        collect(agg, |s| s.pct(s.neg_version.ssl3)),
+    ));
+    fig.push_series(Series::new(
+        "TLSv10",
+        collect(agg, |s| s.pct(s.neg_version.tls10)),
+    ));
+    fig.push_series(Series::new(
+        "TLSv11",
+        collect(agg, |s| s.pct(s.neg_version.tls11)),
+    ));
+    fig.push_series(Series::new(
+        "TLSv12",
+        collect(agg, |s| s.pct(s.neg_version.tls12)),
+    ));
+    fig.push_series(Series::new(
+        "TLSv13",
+        collect(agg, |s| s.pct(s.neg_version.tls13)),
+    ));
+    fig.annotations = attack_annotations(FIGURE_EVENTS);
+    fig
+}
+
+/// Figure 2: negotiated RC4 / CBC / AEAD, percent of monthly
+/// connections.
+pub fn fig2(agg: &NotaryAggregate) -> Figure {
+    let mut fig = Figure::new(
+        "fig2",
+        "Negotiated RC4 / CBC / AEAD (% monthly connections)",
+        axis(agg),
+    );
+    fig.push_series(Series::new("AEAD", collect(agg, |s| s.pct(s.neg_aead))));
+    fig.push_series(Series::new("CBC", collect(agg, |s| s.pct(s.neg_cbc))));
+    fig.push_series(Series::new("RC4", collect(agg, |s| s.pct(s.neg_rc4))));
+    fig.annotations = attack_annotations(FIGURE_EVENTS);
+    fig
+}
+
+/// Figure 3: connections whose client advertises RC4 / DES / 3DES /
+/// AEAD.
+pub fn fig3(agg: &NotaryAggregate) -> Figure {
+    let mut fig = Figure::new(
+        "fig3",
+        "Client-advertised RC4 / DES / 3DES / AEAD (% monthly connections)",
+        axis(agg),
+    );
+    fig.push_series(Series::new("AEAD", collect(agg, |s| s.pct(s.adv_aead))));
+    fig.push_series(Series::new("RC4", collect(agg, |s| s.pct(s.adv_rc4))));
+    fig.push_series(Series::new("DES", collect(agg, |s| s.pct(s.adv_des))));
+    fig.push_series(Series::new("3DES", collect(agg, |s| s.pct(s.adv_3des))));
+    fig.push_series(Series::new("CBC", collect(agg, |s| s.pct(s.adv_cbc))));
+    fig.annotations = attack_annotations(FIGURE_EVENTS);
+    fig
+}
+
+/// Figure 4: distinct monthly fingerprints supporting RC4 / DES / 3DES /
+/// AEAD. The paper restricts this to the fingerprintable era
+/// (2014-02 onwards); earlier months are emitted as NaN.
+pub fn fig4(agg: &NotaryAggregate) -> Figure {
+    let cutoff = Month::ym(2014, 2);
+    let months = axis(agg);
+    let mut fig = Figure::new(
+        "fig4",
+        "Fingerprints supporting RC4 / DES / 3DES / AEAD (% monthly fingerprints)",
+        months.clone(),
+    );
+    let gated = |f: fn(&tlscope_notary::FpClassFlags) -> bool| -> Vec<f64> {
+        agg.iter_months()
+            .map(|(m, s)| {
+                if *m < cutoff {
+                    f64::NAN
+                } else {
+                    s.pct_fingerprints(f)
+                }
+            })
+            .collect()
+    };
+    fig.push_series(Series::new("AEAD", gated(|f| f.aead)));
+    fig.push_series(Series::new("RC4", gated(|f| f.rc4)));
+    fig.push_series(Series::new("DES", gated(|f| f.des)));
+    fig.push_series(Series::new("3DES", gated(|f| f.tdes)));
+    fig.push_series(Series::new("CBC", gated(|f| f.cbc)));
+    fig.annotations = attack_annotations(&["POODLE", "RC4 passwords", "RC4 no more", "Sweet32"]);
+    fig
+}
+
+/// Figure 5: average relative position of the first AEAD / CBC / RC4 /
+/// DES / 3DES suite in client offers (fingerprintable era).
+pub fn fig5(agg: &NotaryAggregate) -> Figure {
+    let cutoff = Month::ym(2014, 2);
+    let mut fig = Figure::new(
+        "fig5",
+        "Average relative position of first offered suite per class (%)",
+        axis(agg),
+    );
+    let gated = |pick: fn(&tlscope_notary::MonthlyStats) -> Option<f64>| -> Vec<f64> {
+        agg.iter_months()
+            .map(|(m, s)| {
+                if *m < cutoff {
+                    f64::NAN
+                } else {
+                    pick(s).unwrap_or(f64::NAN)
+                }
+            })
+            .collect()
+    };
+    fig.push_series(Series::new("AEAD", gated(|s| s.pos_aead.mean_pct())));
+    fig.push_series(Series::new("CBC", gated(|s| s.pos_cbc.mean_pct())));
+    fig.push_series(Series::new("RC4", gated(|s| s.pos_rc4.mean_pct())));
+    fig.push_series(Series::new("DES", gated(|s| s.pos_des.mean_pct())));
+    fig.push_series(Series::new("3DES", gated(|s| s.pos_3des.mean_pct())));
+    fig
+}
+
+/// Figure 6: percent of connections advertising RC4, annotated with
+/// attack dates and browser drop dates.
+pub fn fig6(agg: &NotaryAggregate) -> Figure {
+    let mut fig = Figure::new(
+        "fig6",
+        "Connections advertising RC4 (%), with browser drop dates",
+        axis(agg),
+    );
+    fig.push_series(Series::new("RC4", collect(agg, |s| s.pct(s.adv_rc4))));
+    fig.annotations = attack_annotations(&["RC4", "RC4 passwords", "RC4 no more"]);
+    fig.annotations.extend(RC4_DROPS.iter().map(|e| Annotation {
+        date: e.date,
+        label: e.name.to_string(),
+    }));
+    fig
+}
+
+/// Figure 7: percent of connections advertising Export / Anonymous /
+/// NULL suites.
+pub fn fig7(agg: &NotaryAggregate) -> Figure {
+    let mut fig = Figure::new(
+        "fig7",
+        "Connections advertising Export / Anonymous / NULL suites (%)",
+        axis(agg),
+    );
+    fig.push_series(Series::new("Export", collect(agg, |s| s.pct(s.adv_export))));
+    fig.push_series(Series::new(
+        "Anonymous",
+        collect(agg, |s| s.pct(s.adv_anon)),
+    ));
+    fig.push_series(Series::new("Null", collect(agg, |s| s.pct(s.adv_null))));
+    fig
+}
+
+/// Figure 8: negotiated key exchange: RSA / DHE / ECDHE.
+pub fn fig8(agg: &NotaryAggregate) -> Figure {
+    let mut fig = Figure::new(
+        "fig8",
+        "Negotiated RSA vs forward-secret key exchange (% monthly connections)",
+        axis(agg),
+    );
+    fig.push_series(Series::new("RSA", collect(agg, |s| s.pct(s.neg_kx.rsa))));
+    fig.push_series(Series::new("DHE", collect(agg, |s| s.pct(s.neg_kx.dhe))));
+    fig.push_series(Series::new(
+        "ECDHE",
+        collect(agg, |s| s.pct(s.neg_kx.ecdhe + s.neg_kx.tls13)),
+    ));
+    fig.annotations = attack_annotations(&["Snowden"]);
+    fig
+}
+
+/// Figure 9: negotiated AEAD breakdown.
+pub fn fig9(agg: &NotaryAggregate) -> Figure {
+    let mut fig = Figure::new(
+        "fig9",
+        "Negotiated AEAD ciphers (% monthly connections)",
+        axis(agg),
+    );
+    fig.push_series(Series::new(
+        "AEAD Total",
+        collect(agg, |s| s.pct(s.neg_aead_alg.total())),
+    ));
+    fig.push_series(Series::new(
+        "AES128-GCM",
+        collect(agg, |s| s.pct(s.neg_aead_alg.aes128gcm)),
+    ));
+    fig.push_series(Series::new(
+        "AES256-GCM",
+        collect(agg, |s| s.pct(s.neg_aead_alg.aes256gcm)),
+    ));
+    fig.push_series(Series::new(
+        "ChaCha20-Poly1305",
+        collect(agg, |s| s.pct(s.neg_aead_alg.chacha)),
+    ));
+    fig
+}
+
+/// Figure 10: advertised AEAD breakdown (plus AES-CCM).
+pub fn fig10(agg: &NotaryAggregate) -> Figure {
+    let mut fig = Figure::new(
+        "fig10",
+        "Connections advertising AEAD ciphers (%)",
+        axis(agg),
+    );
+    fig.push_series(Series::new(
+        "AES128-GCM",
+        collect(agg, |s| s.pct(s.adv_aead_alg.aes128gcm)),
+    ));
+    fig.push_series(Series::new(
+        "AES256-GCM",
+        collect(agg, |s| s.pct(s.adv_aead_alg.aes256gcm)),
+    ));
+    fig.push_series(Series::new(
+        "ChaCha20-Poly1305",
+        collect(agg, |s| s.pct(s.adv_aead_alg.chacha)),
+    ));
+    fig.push_series(Series::new(
+        "AES-CCM",
+        collect(agg, |s| s.pct(s.adv_aead_alg.ccm)),
+    ));
+    fig
+}
+
+/// Every figure in order.
+pub fn all_figures(agg: &NotaryAggregate) -> Vec<Figure> {
+    vec![
+        fig1(agg),
+        fig2(agg),
+        fig3(agg),
+        fig4(agg),
+        fig5(agg),
+        fig6(agg),
+        fig7(agg),
+        fig8(agg),
+        fig9(agg),
+        fig10(agg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::aggregate;
+
+    const RC4: u16 = 0x0005;
+    const AEAD: u16 = 0xc02f;
+    const CBC: u16 = 0xc013;
+    const TDES: u16 = 0x000a;
+
+    fn months() -> Vec<Month> {
+        Month::ym(2015, 1).iter_through(Month::ym(2015, 3)).collect()
+    }
+
+    #[test]
+    fn fig1_counts_versions() {
+        let agg = aggregate(&months(), &[(&[AEAD], Some(AEAD))], 10);
+        let fig = fig1(&agg);
+        assert_eq!(fig.months.len(), 3);
+        // Everything negotiated TLS 1.2.
+        assert_eq!(fig.value_at("TLSv12", Month::ym(2015, 2)), Some(100.0));
+        assert_eq!(fig.value_at("TLSv10", Month::ym(2015, 2)), Some(0.0));
+        assert!(!fig.annotations.is_empty());
+    }
+
+    #[test]
+    fn fig2_partitions_classes() {
+        let agg = aggregate(
+            &months(),
+            &[(&[RC4], Some(RC4)), (&[AEAD], Some(AEAD)), (&[CBC], Some(CBC)), (&[CBC], None)],
+            5,
+        );
+        let fig = fig2(&agg);
+        let m = Month::ym(2015, 1);
+        // 20 connections/month: 5 each; 5 rejected.
+        assert_eq!(fig.value_at("RC4", m), Some(25.0));
+        assert_eq!(fig.value_at("AEAD", m), Some(25.0));
+        assert_eq!(fig.value_at("CBC", m), Some(25.0));
+    }
+
+    #[test]
+    fn fig3_counts_advertisers_not_negotiations() {
+        let agg = aggregate(
+            &months(),
+            &[(&[RC4, AEAD, TDES], Some(AEAD)), (&[AEAD], Some(AEAD))],
+            5,
+        );
+        let fig = fig3(&agg);
+        let m = Month::ym(2015, 2);
+        assert_eq!(fig.value_at("RC4", m), Some(50.0));
+        assert_eq!(fig.value_at("AEAD", m), Some(100.0));
+        assert_eq!(fig.value_at("3DES", m), Some(50.0));
+    }
+
+    #[test]
+    fn fig4_is_fingerprint_level_and_gated() {
+        // One RC4-offering fingerprint with heavy traffic, one clean
+        // fingerprint with light traffic: per-connection RC4 is 90%,
+        // per-fingerprint RC4 is 50%.
+        let mut agg = aggregate(&[Month::ym(2015, 1)], &[(&[RC4, CBC], Some(CBC))], 9);
+        {
+            let rec = crate::tests_support::record(
+            tlscope_chron::Date::ymd(2015, 1, 5),
+            &[AEAD],
+            Some(AEAD),
+        );
+            agg.ingest(&rec);
+        }
+        let fig = fig4(&agg);
+        assert_eq!(fig.value_at("RC4", Month::ym(2015, 1)), Some(50.0));
+
+        // Months before 2014-02 are NaN (Notary had no FP fields).
+        let early = aggregate(&[Month::ym(2013, 1)], &[(&[RC4], Some(RC4))], 3);
+        let fig = fig4(&early);
+        assert_eq!(fig.value_at("RC4", Month::ym(2013, 1)), None);
+    }
+
+    #[test]
+    fn fig5_positions() {
+        // Offer [AEAD, CBC, RC4, 3DES]: positions 0, 25, 50, 75 %.
+        let agg = aggregate(&months(), &[(&[AEAD, CBC, RC4, TDES], Some(AEAD))], 4);
+        let fig = fig5(&agg);
+        let m = Month::ym(2015, 3);
+        assert_eq!(fig.value_at("AEAD", m), Some(0.0));
+        assert_eq!(fig.value_at("CBC", m), Some(25.0));
+        assert_eq!(fig.value_at("RC4", m), Some(50.0));
+        assert_eq!(fig.value_at("3DES", m), Some(75.0));
+    }
+
+    #[test]
+    fn fig6_has_browser_drop_annotations() {
+        let agg = aggregate(&months(), &[(&[RC4], Some(RC4))], 2);
+        let fig = fig6(&agg);
+        assert!(fig.annotations.iter().any(|a| a.label.contains("Chrome")));
+        assert!(fig.annotations.iter().any(|a| a.label.contains("Safari")));
+    }
+
+    #[test]
+    fn fig8_kx_buckets() {
+        // 0x002f = RSA kx, 0xc02f = ECDHE, 0x0033 = DHE.
+        let agg = aggregate(
+            &months(),
+            &[(&[0x002f], Some(0x002f)), (&[0xc02f], Some(0xc02f)), (&[0x0033], Some(0x0033)), (&[0x0033], Some(0x0033))],
+            1,
+        );
+        let fig = fig8(&agg);
+        let m = Month::ym(2015, 1);
+        assert_eq!(fig.value_at("RSA", m), Some(25.0));
+        assert_eq!(fig.value_at("ECDHE", m), Some(25.0));
+        assert_eq!(fig.value_at("DHE", m), Some(50.0));
+    }
+
+    #[test]
+    fn fig9_fig10_aead_algorithms() {
+        // 0xc02f AES128-GCM, 0xc030 AES256-GCM, 0xcca8 ChaCha.
+        let agg = aggregate(
+            &months(),
+            &[(&[0xc02f, 0xc030, 0xcca8], Some(0xc030))],
+            4,
+        );
+        let m = Month::ym(2015, 2);
+        let f9 = fig9(&agg);
+        assert_eq!(f9.value_at("AES256-GCM", m), Some(100.0));
+        assert_eq!(f9.value_at("AES128-GCM", m), Some(0.0));
+        let f10 = fig10(&agg);
+        assert_eq!(f10.value_at("AES128-GCM", m), Some(100.0));
+        assert_eq!(f10.value_at("ChaCha20-Poly1305", m), Some(100.0));
+        assert_eq!(f10.value_at("AES-CCM", m), Some(0.0));
+    }
+
+    #[test]
+    fn all_figures_share_axis() {
+        let agg = aggregate(&months(), &[(&[AEAD], Some(AEAD))], 2);
+        for fig in all_figures(&agg) {
+            assert_eq!(fig.months.len(), 3, "{}", fig.id);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Attack-impact quantification (§7.4).
+//!
+//! The paper reasons qualitatively about which disclosures moved the
+//! ecosystem ("sometimes spectacular, sometimes quite slow"). We make
+//! that judgement mechanical: for each attack and each relevant series,
+//! compare the series' mean slope in the year before the disclosure to
+//! the year after. A strongly more-negative post-slope on, say, the
+//! RC4-negotiation series quantifies "the ecosystem reacted".
+//!
+//! A simple CUSUM-style change-point locator is included to find *when*
+//! a series actually shifted, so the lag between disclosure and
+//! reaction (the paper's 18-month server-vs-client RC4 gap) can be
+//! measured rather than eyeballed.
+
+use tlscope_chron::{Date, Month};
+
+use crate::attacks::AttackEvent;
+use crate::series::{Figure, Series};
+
+/// Slope comparison around an event for one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImpactEstimate {
+    /// Attack name.
+    pub attack: &'static str,
+    /// Series label.
+    pub series: String,
+    /// Mean monthly slope (pp/month) over the window before the event.
+    pub slope_before: f64,
+    /// Mean monthly slope over the window after.
+    pub slope_after: f64,
+}
+
+impl ImpactEstimate {
+    /// Post-minus-pre slope: negative = decline accelerated after the
+    /// event.
+    pub fn slope_change(&self) -> f64 {
+        self.slope_after - self.slope_before
+    }
+}
+
+fn mean_slope(series: &Series, months: &[Month], from: Month, to: Month) -> Option<f64> {
+    let vals: Vec<(i32, f64)> = months
+        .iter()
+        .zip(&series.values)
+        .filter(|(m, v)| **m >= from && **m <= to && v.is_finite())
+        .map(|(m, v)| (m.index(), *v))
+        .collect();
+    if vals.len() < 3 {
+        return None;
+    }
+    // Least-squares slope.
+    let n = vals.len() as f64;
+    let mean_x = vals.iter().map(|(x, _)| *x as f64).sum::<f64>() / n;
+    let mean_y = vals.iter().map(|(_, y)| *y).sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in &vals {
+        let dx = *x as f64 - mean_x;
+        num += dx * (*y - mean_y);
+        den += dx * dx;
+    }
+    (den > 0.0).then(|| num / den)
+}
+
+/// Estimate an attack's impact on one series of a figure, using
+/// `window_months` on each side of the disclosure.
+pub fn estimate_impact(
+    fig: &Figure,
+    series_label: &str,
+    attack: &AttackEvent,
+    window_months: i32,
+) -> Option<ImpactEstimate> {
+    let series = fig.series(series_label)?;
+    let event_month = attack.date.month();
+    let before = mean_slope(
+        series,
+        &fig.months,
+        event_month.add_months(-window_months),
+        event_month,
+    )?;
+    let after = mean_slope(
+        series,
+        &fig.months,
+        event_month,
+        event_month.add_months(window_months),
+    )?;
+    Some(ImpactEstimate {
+        attack: attack.name,
+        series: series_label.to_string(),
+        slope_before: before,
+        slope_after: after,
+    })
+}
+
+/// Locate the month where a series' level shifts the most: the split
+/// point maximising |mean(left) - mean(right)| (a two-sample CUSUM).
+pub fn change_point(fig: &Figure, series_label: &str) -> Option<(Month, f64)> {
+    let series = fig.series(series_label)?;
+    let vals: Vec<(Month, f64)> = fig
+        .months
+        .iter()
+        .zip(&series.values)
+        .filter(|(_, v)| v.is_finite())
+        .map(|(m, v)| (*m, *v))
+        .collect();
+    if vals.len() < 6 {
+        return None;
+    }
+    let mut best: Option<(Month, f64)> = None;
+    for split in 3..vals.len() - 3 {
+        let left: f64 =
+            vals[..split].iter().map(|(_, v)| v).sum::<f64>() / split as f64;
+        let right: f64 = vals[split..].iter().map(|(_, v)| v).sum::<f64>()
+            / (vals.len() - split) as f64;
+        let shift = (right - left).abs();
+        if best.map(|(_, s)| shift > s).unwrap_or(true) {
+            best = Some((vals[split].0, shift));
+        }
+    }
+    best
+}
+
+/// Months between an event and the located change point (positive =
+/// the shift came after the disclosure).
+pub fn reaction_lag_months(fig: &Figure, series_label: &str, event: Date) -> Option<i32> {
+    let (cp, _) = change_point(fig, series_label)?;
+    Some(cp.months_since(event.month()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::attack;
+
+    fn step_figure(step_at: usize, n: usize) -> Figure {
+        let months: Vec<Month> = Month::ym(2013, 1)
+            .iter_through(Month::ym(2013, 1).add_months(n as i32 - 1))
+            .collect();
+        let values: Vec<f64> = (0..n)
+            .map(|i| if i < step_at { 60.0 } else { 10.0 })
+            .collect();
+        let mut fig = Figure::new("t", "t", months);
+        fig.push_series(Series::new("x", values));
+        fig
+    }
+
+    #[test]
+    fn change_point_finds_step() {
+        let fig = step_figure(24, 48);
+        let (cp, shift) = change_point(&fig, "x").unwrap();
+        // Within a few months of the step.
+        let expected = Month::ym(2013, 1).add_months(24);
+        assert!(cp.months_since(expected).abs() <= 3, "{cp} vs {expected}");
+        assert!(shift > 30.0);
+    }
+
+    #[test]
+    fn impact_detects_slope_break() {
+        // Flat before 2014-04, declining after.
+        let months: Vec<Month> = Month::ym(2013, 4)
+            .iter_through(Month::ym(2015, 4))
+            .collect();
+        let values: Vec<f64> = months
+            .iter()
+            .map(|m| {
+                let pivot = Month::ym(2014, 4);
+                if *m <= pivot {
+                    50.0
+                } else {
+                    50.0 - 2.0 * m.months_since(pivot) as f64
+                }
+            })
+            .collect();
+        let mut fig = Figure::new("t", "t", months);
+        fig.push_series(Series::new("x", values));
+        let hb = attack("Heartbleed").unwrap();
+        let est = estimate_impact(&fig, "x", hb, 12).unwrap();
+        assert!(est.slope_before.abs() < 0.3, "{est:?}");
+        assert!(est.slope_after < -1.0, "{est:?}");
+        assert!(est.slope_change() < -1.0);
+    }
+
+    #[test]
+    fn reaction_lag() {
+        let fig = step_figure(30, 48); // step at 2015-07
+        let lag = reaction_lag_months(&fig, "x", Date::ymd(2015, 3, 1)).unwrap();
+        assert!((0..=8).contains(&lag), "lag {lag}");
+    }
+
+    #[test]
+    fn missing_series_is_none() {
+        let fig = step_figure(10, 20);
+        assert!(change_point(&fig, "nope").is_none());
+        assert!(
+            estimate_impact(&fig, "nope", attack("POODLE").unwrap(), 12).is_none()
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # tlscope-analysis
+//!
+//! The longitudinal analysis layer of the tlscope reproduction of
+//! *Coming of Age* (IMC 2018): study orchestration over the passive and
+//! active pipelines, generators for every figure (1–10) and table (1–6)
+//! of the paper, the in-text section statistics (§4.1, §5.1–§5.6,
+//! §6.1–§6.4, §7.3), and mechanical attack-impact estimation (§7.4):
+//! slope breaks and change points around disclosure dates.
+//!
+//! ```no_run
+//! use tlscope_analysis::{Study, StudyConfig, figures};
+//!
+//! let study = Study::new(StudyConfig::quick());
+//! let agg = study.run_passive();
+//! let fig1 = figures::fig1(&agg);
+//! println!("{}", fig1.to_ascii(72));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod figures;
+pub mod impact;
+pub mod sections;
+pub mod series;
+pub mod study;
+pub mod tables;
+#[cfg(test)]
+mod tests_support;
+
+pub use attacks::{attack, AttackEvent, ATTACKS, RC4_DROPS};
+pub use impact::{change_point, estimate_impact, reaction_lag_months, ImpactEstimate};
+pub use series::{Annotation, Figure, Series, Table};
+pub use study::{Study, StudyConfig};

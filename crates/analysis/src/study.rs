@@ -1,0 +1,155 @@
+//! Study orchestration: run the passive and active measurements over
+//! the paper's observation windows.
+
+use tlscope_chron::Month;
+use tlscope_notary::{ingest_parallel, ingest_serial, NotaryAggregate, TappedFlow};
+use tlscope_scanner::{ScanCampaign, ScanSnapshot};
+use tlscope_servers::ServerPopulation;
+use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
+
+/// Configuration of a full study run.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Master seed for all randomness.
+    pub seed: u64,
+    /// Passive connections simulated per month.
+    pub connections_per_month: u32,
+    /// First month of the passive window (paper: 2012-02).
+    pub start: Month,
+    /// Last month of the passive window (paper: 2018-04).
+    pub end: Month,
+    /// Ingestion worker threads (1 = serial).
+    pub workers: usize,
+    /// Tap fault injection.
+    pub faults: FaultInjector,
+    /// Hosts per active sweep.
+    pub scan_hosts: u32,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            seed: 0x1C51_2012,
+            connections_per_month: 12_000,
+            start: Month::ym(2012, 1),
+            end: Month::ym(2018, 4),
+            workers: 4,
+            faults: FaultInjector::tap_defaults(),
+            scan_hosts: 4_000,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A small configuration for tests and quick demos.
+    pub fn quick() -> Self {
+        StudyConfig {
+            connections_per_month: 1_500,
+            scan_hosts: 800,
+            ..StudyConfig::default()
+        }
+    }
+}
+
+/// A study: the passive tap plus the active scanner.
+pub struct Study {
+    cfg: StudyConfig,
+    generator: Generator,
+    population: ServerPopulation,
+}
+
+impl Study {
+    /// Build a study from a configuration.
+    pub fn new(cfg: StudyConfig) -> Self {
+        let generator = Generator::new(TrafficConfig {
+            seed: cfg.seed,
+            connections_per_month: cfg.connections_per_month,
+            faults: cfg.faults,
+        });
+        Study {
+            cfg,
+            generator,
+            population: ServerPopulation::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StudyConfig {
+        &self.cfg
+    }
+
+    /// The traffic generator (exposed for market-share inspection).
+    pub fn generator(&self) -> &Generator {
+        &self.generator
+    }
+
+    /// Run the passive measurement over the configured window.
+    pub fn run_passive(&self) -> NotaryAggregate {
+        let flows = self
+            .generator
+            .months(self.cfg.start, self.cfg.end)
+            .flat_map(|(_, events)| events.into_iter())
+            .map(|ev| TappedFlow {
+                date: ev.date,
+                port: ev.port,
+                client: ev.client_flow,
+                server: ev.server_flow,
+            });
+        if self.cfg.workers <= 1 {
+            ingest_serial(flows)
+        } else {
+            ingest_parallel(flows, self.cfg.workers)
+        }
+    }
+
+    /// Run the active campaign (monthly cadence over the Censys window).
+    pub fn run_active(&self) -> Vec<ScanSnapshot> {
+        ScanCampaign::censys_monthly(self.cfg.scan_hosts, self.cfg.seed).run(&self.population)
+    }
+
+    /// Run the active campaign at the paper's weekly cadence.
+    pub fn run_active_weekly(&self) -> Vec<ScanSnapshot> {
+        ScanCampaign::censys_weekly(self.cfg.scan_hosts, self.cfg.seed).run(&self.population)
+    }
+
+    /// All months of the passive window.
+    pub fn months(&self) -> Vec<Month> {
+        self.cfg.start.iter_through(self.cfg.end).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_runs_end_to_end() {
+        let mut cfg = StudyConfig::quick();
+        cfg.start = Month::ym(2015, 1);
+        cfg.end = Month::ym(2015, 4);
+        cfg.connections_per_month = 400;
+        let study = Study::new(cfg);
+        let agg = study.run_passive();
+        assert_eq!(agg.iter_months().count(), 4);
+        let m = agg.month(Month::ym(2015, 2)).unwrap();
+        assert!(m.total > 350);
+        assert!(m.answered > 300);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mut cfg = StudyConfig::quick();
+        cfg.start = Month::ym(2016, 1);
+        cfg.end = Month::ym(2016, 2);
+        cfg.connections_per_month = 300;
+        cfg.workers = 1;
+        let serial = Study::new(cfg.clone()).run_passive();
+        cfg.workers = 4;
+        let parallel = Study::new(cfg).run_passive();
+        assert_eq!(serial.total(), parallel.total());
+        let sm = serial.month(Month::ym(2016, 1)).unwrap();
+        let pm = parallel.month(Month::ym(2016, 1)).unwrap();
+        assert_eq!(sm.neg_aead, pm.neg_aead);
+        assert_eq!(sm.adv_rc4, pm.adv_rc4);
+    }
+}

@@ -1,0 +1,210 @@
+//! Table generators: Tables 1–6 of the paper.
+//!
+//! Tables 3–6 are derived from the client-configuration catalog — the
+//! same data whose unit tests assert the paper's exact counts — so the
+//! rendered tables are the catalog speaking, not hand-copied strings.
+
+use tlscope_clients::catalog;
+use tlscope_clients::Family;
+use tlscope_fingerprint::CoverageStats;
+use tlscope_notary::NotaryAggregate;
+use tlscope_wire::ProtocolVersion;
+
+use crate::series::Table;
+
+/// Table 1: release dates of all SSL/TLS versions.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "table1",
+        "Release dates of all SSL/TLS versions",
+        vec!["Version", "Release Date"],
+    );
+    for v in ProtocolVersion::released() {
+        let date = v.release_date().unwrap();
+        t.push_row(vec![v.to_string(), date.to_string()]);
+    }
+    t
+}
+
+/// Table 2: fingerprint database summary with traffic coverage.
+///
+/// Needs a passive run: coverage is traffic-weighted.
+pub fn table2(agg: &NotaryAggregate) -> Table {
+    let (db, _) = catalog::build_database();
+    let mut cov = CoverageStats::new();
+    for (fp, count) in &agg.fp_counts {
+        cov.observe(&db, fp, *count);
+    }
+    let mut t = Table::new(
+        "table2",
+        "Fingerprint summary: unique fingerprints and matched-connection coverage",
+        vec!["Type", "# FPs", "Coverage"],
+    );
+    for (label, count, pct) in cov.table2(&db) {
+        t.push_row(vec![label, count.to_string(), format!("{pct:.2}%")]);
+    }
+    t
+}
+
+fn browser_families() -> Vec<Family> {
+    vec![
+        tlscope_clients::browsers::firefox(),
+        tlscope_clients::browsers::chrome(),
+        tlscope_clients::browsers::opera(),
+        tlscope_clients::browsers::ie_edge(),
+        tlscope_clients::browsers::safari(),
+    ]
+}
+
+/// Change-log table over browser eras for a per-config counter.
+fn cipher_change_table(
+    id: &str,
+    title: &str,
+    counter: impl Fn(&tlscope_clients::TlsConfig) -> usize,
+) -> Table {
+    let mut t = Table::new(id, title, vec!["Browser", "Ver.", "Date", "Count"]);
+    for fam in browser_families() {
+        let mut prev: Option<usize> = None;
+        for era in &fam.eras {
+            let n = counter(&era.tls);
+            if prev != Some(n) {
+                t.push_row(vec![
+                    fam.name.to_string(),
+                    era.versions.to_string(),
+                    era.from.to_string(),
+                    match prev {
+                        Some(p) => format!("{p} -> {n}"),
+                        None => n.to_string(),
+                    },
+                ]);
+                prev = Some(n);
+            }
+        }
+    }
+    t
+}
+
+/// Table 3: changes in the number of CBC cipher suites offered by major
+/// browsers.
+pub fn table3() -> Table {
+    cipher_change_table(
+        "table3",
+        "Changes in the number of CBC ciphersuites offered by major browsers",
+        |tls| tls.cbc_count(),
+    )
+}
+
+/// Table 4: changes in RC4 cipher-suite support by major browsers.
+pub fn table4() -> Table {
+    cipher_change_table(
+        "table4",
+        "Changes in the support of RC4 ciphersuites by major browsers",
+        |tls| tls.rc4_count(),
+    )
+}
+
+/// Table 5: changes in 3DES cipher-suite support by major browsers.
+pub fn table5() -> Table {
+    cipher_change_table(
+        "table5",
+        "Changes in the number of 3DES ciphersuites offered by major browsers",
+        |tls| tls.tdes_count(),
+    )
+}
+
+/// Table 6: browser TLS version support timeline.
+pub fn table6() -> Table {
+    let mut t = Table::new(
+        "table6",
+        "Browser TLS version support",
+        vec!["Browser", "Ver.", "Date", "Protocol Support"],
+    );
+    for fam in browser_families() {
+        let mut prev: Option<String> = None;
+        for era in &fam.eras {
+            let mut supported: Vec<&str> = Vec::new();
+            for (v, label) in [
+                (ProtocolVersion::Ssl3, "SSL3"),
+                (ProtocolVersion::Tls10, "TLS1.0"),
+                (ProtocolVersion::Tls11, "TLS1.1"),
+                (ProtocolVersion::Tls12, "TLS1.2"),
+                (ProtocolVersion::Tls13, "TLS1.3"),
+            ] {
+                if era.tls.supports_version(v) {
+                    supported.push(label);
+                }
+            }
+            let desc = supported.join("/");
+            if prev.as_deref() != Some(&desc) {
+                t.push_row(vec![
+                    fam.name.to_string(),
+                    era.versions.to_string(),
+                    era.from.to_string(),
+                    desc.clone(),
+                ]);
+                prev = Some(desc);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_table_1() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.rows[0][0], "SSLv2");
+        assert_eq!(t.rows[0][1], "1995-02-01");
+        assert_eq!(t.rows[5][0], "TLSv1.3");
+        assert_eq!(t.rows[5][1], "2018-08-01");
+    }
+
+    #[test]
+    fn table3_contains_paper_rows() {
+        let ascii = table3().to_ascii();
+        // Firefox 27: 29 → 17; Chrome 29: 29 → 16; Opera 30: 9 → 7;
+        // Chrome 56: 7 → 5.
+        assert!(ascii.contains("29 -> 17"), "{ascii}");
+        assert!(ascii.contains("29 -> 16"), "{ascii}");
+        assert!(ascii.contains("9 -> 7"), "{ascii}");
+        assert!(ascii.contains("7 -> 5"), "{ascii}");
+    }
+
+    #[test]
+    fn table4_shows_rc4_removals() {
+        let t = table4();
+        // Every browser family ends at zero RC4.
+        for name in ["Firefox", "Chrome", "Opera", "IE/Edge", "Safari"] {
+            let last = t
+                .rows
+                .iter().rfind(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("no rows for {name}"));
+            assert!(last[3].ends_with("-> 0"), "{name}: {:?}", last);
+        }
+    }
+
+    #[test]
+    fn table5_shows_3des_reductions() {
+        let ascii = table5().to_ascii();
+        assert!(ascii.contains("8 -> 3"), "{ascii}"); // Firefox 27
+        assert!(ascii.contains("8 -> 1"), "{ascii}"); // Chrome 29 / Opera 16
+        assert!(ascii.contains("7 -> 6"), "{ascii}"); // Safari 6.2
+    }
+
+    #[test]
+    fn table6_version_milestones() {
+        let ascii = table6().to_ascii();
+        assert!(ascii.contains("TLS1.3"), "{ascii}");
+        // Chrome 22 adds TLS1.1 before TLS1.2 exists for it.
+        let t = table6();
+        let chrome_rows: Vec<_> = t.rows.iter().filter(|r| r[0] == "Chrome").collect();
+        assert!(chrome_rows.len() >= 3);
+        assert!(chrome_rows[0][3] == "SSL3/TLS1.0");
+        assert!(chrome_rows[1][3].contains("TLS1.1"));
+        assert!(!chrome_rows[1][3].contains("TLS1.2"));
+    }
+}

@@ -1,0 +1,118 @@
+//! One benchmark per paper artefact: regenerate every table and figure
+//! from a shared study run, timing the analysis stage, and printing the
+//! headline series values alongside the paper's (the full comparison
+//! lives in EXPERIMENTS.md; the `repro` binary prints complete
+//! renderings).
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlscope::analysis::{figures, sections, tables, Study, StudyConfig};
+use tlscope::chron::Month;
+use tlscope::notary::NotaryAggregate;
+use tlscope::scanner::ScanSnapshot;
+
+fn passive() -> &'static NotaryAggregate {
+    static AGG: OnceLock<NotaryAggregate> = OnceLock::new();
+    AGG.get_or_init(|| {
+        let mut cfg = StudyConfig::quick();
+        cfg.connections_per_month = 2_500;
+        let study = Study::new(cfg);
+        let agg = study.run_passive();
+        print_headline(&agg);
+        agg
+    })
+}
+
+fn scans() -> &'static Vec<ScanSnapshot> {
+    static SCANS: OnceLock<Vec<ScanSnapshot>> = OnceLock::new();
+    SCANS.get_or_init(|| {
+        let mut cfg = StudyConfig::quick();
+        cfg.scan_hosts = 2_000;
+        Study::new(cfg).run_active()
+    })
+}
+
+fn print_headline(agg: &NotaryAggregate) {
+    let fig1 = figures::fig1(agg);
+    let fig2 = figures::fig2(agg);
+    let fig8 = figures::fig8(agg);
+    let feb18 = Month::ym(2018, 2);
+    let aug13 = Month::ym(2013, 8);
+    eprintln!("── paper-vs-measured headline (see EXPERIMENTS.md) ──");
+    eprintln!(
+        "fig1 TLS1.2 2018-02: paper ~90%  measured {:.1}%",
+        fig1.value_at("TLSv12", feb18).unwrap_or(f64::NAN)
+    );
+    eprintln!(
+        "fig2 RC4 2013-08:    paper ~60%  measured {:.1}%",
+        fig2.value_at("RC4", aug13).unwrap_or(f64::NAN)
+    );
+    eprintln!(
+        "fig8 ECDHE 2018-02:  paper ~90%  measured {:.1}%",
+        fig8.value_at("ECDHE", feb18).unwrap_or(f64::NAN)
+    );
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let agg = passive();
+    let mut g = c.benchmark_group("experiments/figures");
+    g.bench_function("fig1", |b| b.iter(|| figures::fig1(agg)));
+    g.bench_function("fig2", |b| b.iter(|| figures::fig2(agg)));
+    g.bench_function("fig3", |b| b.iter(|| figures::fig3(agg)));
+    g.bench_function("fig4", |b| b.iter(|| figures::fig4(agg)));
+    g.bench_function("fig5", |b| b.iter(|| figures::fig5(agg)));
+    g.bench_function("fig6", |b| b.iter(|| figures::fig6(agg)));
+    g.bench_function("fig7", |b| b.iter(|| figures::fig7(agg)));
+    g.bench_function("fig8", |b| b.iter(|| figures::fig8(agg)));
+    g.bench_function("fig9", |b| b.iter(|| figures::fig9(agg)));
+    g.bench_function("fig10", |b| b.iter(|| figures::fig10(agg)));
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let agg = passive();
+    let mut g = c.benchmark_group("experiments/tables");
+    g.bench_function("table1", |b| b.iter(tables::table1));
+    g.bench_function("table2", |b| b.iter(|| tables::table2(agg)));
+    g.bench_function("table3", |b| b.iter(tables::table3));
+    g.bench_function("table4", |b| b.iter(tables::table4));
+    g.bench_function("table5", |b| b.iter(tables::table5));
+    g.bench_function("table6", |b| b.iter(tables::table6));
+    g.finish();
+}
+
+fn bench_sections(c: &mut Criterion) {
+    let agg = passive();
+    let sc = scans();
+    let mut g = c.benchmark_group("experiments/sections");
+    g.bench_function("s4.1", |b| b.iter(|| sections::s4_1(agg)));
+    g.bench_function("s5.1", |b| b.iter(|| sections::s5_1(agg, sc)));
+    g.bench_function("s5.4", |b| b.iter(|| sections::s5_4(agg, sc)));
+    g.bench_function("s5.5", |b| b.iter(|| sections::s5_5(agg)));
+    g.bench_function("s5.6", |b| b.iter(|| sections::s5_6(agg, sc)));
+    g.bench_function("s6.1", |b| b.iter(|| sections::s6_1(agg)));
+    g.bench_function("s6.2", |b| b.iter(|| sections::s6_2(agg)));
+    g.bench_function("s6.3", |b| b.iter(|| sections::s6_3(agg)));
+    g.bench_function("s6.4", |b| b.iter(|| sections::s6_4(agg)));
+    g.bench_function("censys", |b| b.iter(|| sections::censys_series(sc)));
+    g.finish();
+}
+
+fn bench_impact(c: &mut Criterion) {
+    let agg = passive();
+    let fig2 = figures::fig2(agg);
+    let rc4 = tlscope::analysis::attack("RC4").unwrap();
+    c.bench_function("experiments/impact_estimate", |b| {
+        b.iter(|| tlscope::analysis::estimate_impact(&fig2, "RC4", rc4, 12))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_figures,
+    bench_tables,
+    bench_sections,
+    bench_impact
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Fingerprinting benchmarks, including the GREASE-stripping ablation
+//! from DESIGN.md: what happens to the fingerprint space if you skip
+//! stripping (answer: Chrome alone explodes it 16×+ per draw site).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlscope::clients::{browsers, HelloEntropy};
+use tlscope::fingerprint::{ja3_hash, md5, Fingerprint};
+
+fn bench_extraction(c: &mut Criterion) {
+    let chrome = browsers::chrome();
+    let era = chrome.eras.last().unwrap();
+    let hello = era.tls.build_hello(Some("example.org"), &HelloEntropy::from_seed(1));
+    c.bench_function("fingerprint/extract_4feature", |b| {
+        b.iter(|| Fingerprint::from_client_hello(&hello))
+    });
+    c.bench_function("fingerprint/ja3_hash", |b| b.iter(|| ja3_hash(&hello)));
+}
+
+fn bench_md5(c: &mut Criterion) {
+    let data = vec![0xa5u8; 4096];
+    let mut g = c.benchmark_group("fingerprint/md5");
+    g.throughput(criterion::Throughput::Bytes(data.len() as u64));
+    g.bench_function("4KiB", |b| b.iter(|| md5::md5(&data)));
+    g.finish();
+}
+
+fn bench_db_lookup(c: &mut Criterion) {
+    let (db, _) = tlscope::clients::catalog::build_database();
+    let fps: Vec<Fingerprint> = tlscope::clients::catalog::all_families()
+        .iter()
+        .flat_map(|f| f.eras.iter().map(|e| e.tls.fingerprint()))
+        .collect();
+    c.bench_function("fingerprint/db_lookup_all", |b| {
+        b.iter(|| {
+            fps.iter()
+                .filter(|fp| db.lookup(fp).is_some())
+                .count()
+        })
+    });
+}
+
+/// Ablation: fingerprint-space size over 256 GREASEd Chrome hellos,
+/// with and without GREASE stripping.
+fn bench_grease_ablation(c: &mut Criterion) {
+    let chrome = browsers::chrome();
+    let era = chrome
+        .eras
+        .iter()
+        .find(|e| e.tls.grease)
+        .expect("chrome greases");
+    let hellos: Vec<_> = (0..256u64)
+        .map(|i| era.tls.build_hello(None, &HelloEntropy::from_seed(i)))
+        .collect();
+    let mut g = c.benchmark_group("fingerprint/grease_ablation");
+    g.bench_function("with_stripping", |b| {
+        b.iter(|| {
+            let set: std::collections::HashSet<u64> = hellos
+                .iter()
+                .map(|h| Fingerprint::from_client_hello(h).id64())
+                .collect();
+            assert_eq!(set.len(), 1, "stripping must collapse GREASE draws");
+            set.len()
+        })
+    });
+    g.bench_function("without_stripping", |b| {
+        b.iter(|| {
+            // A naive fingerprint that keeps GREASE values.
+            let set: std::collections::HashSet<Vec<u16>> = hellos
+                .iter()
+                .map(|h| h.cipher_suites.iter().map(|c| c.0).collect())
+                .collect();
+            assert!(set.len() > 4, "GREASE must explode the naive space");
+            set.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extraction,
+    bench_md5,
+    bench_db_lookup,
+    bench_grease_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Pipeline benchmarks: generation, negotiation, ingestion — plus the
+//! DESIGN.md ablation of single-thread vs crossbeam-worker ingestion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tlscope::chron::{Date, Month};
+use tlscope::notary::{ingest_parallel, ingest_serial};
+use tlscope::scanner;
+use tlscope::servers::{negotiate, ServerPopulation};
+use tlscope_bench::bench_flows;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline/generate");
+    g.throughput(Throughput::Elements(2000));
+    g.bench_function("month_2000conns", |b| {
+        b.iter(|| bench_flows(Month::ym(2016, 3), 2000, 7).len())
+    });
+    g.finish();
+}
+
+fn bench_negotiation(c: &mut Criterion) {
+    let profile = tlscope::servers::ServerProfile::baseline("bench");
+    let hello = scanner::probe::chrome_2015();
+    c.bench_function("pipeline/negotiate", |b| {
+        b.iter(|| negotiate::respond(&profile, &hello, [1; 32]).unwrap())
+    });
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let flows = bench_flows(Month::ym(2016, 3), 4000, 11);
+    let mut g = c.benchmark_group("pipeline/ingest");
+    g.throughput(Throughput::Elements(flows.len() as u64));
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter_batched(
+            || flows.clone(),
+            |f| ingest_serial(f).total(),
+            BatchSize::LargeInput,
+        )
+    });
+    for workers in [2usize, 4, 8] {
+        g.bench_function(format!("parallel_{workers}"), |b| {
+            b.iter_batched(
+                || flows.clone(),
+                |f| ingest_parallel(f, workers).total(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan_sweep(c: &mut Criterion) {
+    let pop = ServerPopulation::new();
+    let mut g = c.benchmark_group("pipeline/scan");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("sweep_1000hosts", |b| {
+        b.iter(|| scanner::sweep(&pop, Date::ymd(2016, 6, 1), 1000, 3))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_negotiation,
+    bench_ingestion,
+    bench_scan_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Wire-layer benchmarks: the raw parsing throughput a passive monitor
+//! lives or dies by.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tlscope::wire::record::Record;
+use tlscope::wire::{CipherSuite, ClientHello, Extension, NamedGroup, ProtocolVersion, ServerHello};
+
+fn sample_hello() -> ClientHello {
+    ClientHello {
+        legacy_version: ProtocolVersion::Tls12,
+        random: [7; 32],
+        session_id: vec![0; 32],
+        cipher_suites: (0..24u16)
+            .map(|i| CipherSuite([0xc02b, 0xc02f, 0xc013, 0xc014, 0x009c, 0x002f, 0x0035, 0x000a][i as usize % 8]))
+            .collect(),
+        compression_methods: vec![0],
+        extensions: Some(vec![
+            Extension::server_name("benchmark.example.org"),
+            Extension::renegotiation_info(),
+            Extension::supported_groups(&[
+                NamedGroup::X25519,
+                NamedGroup::SECP256R1,
+                NamedGroup::SECP384R1,
+            ]),
+            Extension::ec_point_formats(&[0]),
+            Extension::signature_algorithms(&[0x0403, 0x0401, 0x0501, 0x0201]),
+            Extension::alpn(&["h2", "http/1.1"]),
+        ]),
+    }
+}
+
+fn bench_client_hello(c: &mut Criterion) {
+    let hello = sample_hello();
+    let bytes = hello.to_handshake_bytes();
+    let mut g = c.benchmark_group("wire/client_hello");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("serialize", |b| b.iter(|| hello.to_handshake_bytes()));
+    g.bench_function("parse", |b| {
+        b.iter(|| ClientHello::parse_handshake(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_server_hello(c: &mut Criterion) {
+    let sh = ServerHello {
+        legacy_version: ProtocolVersion::Tls12,
+        random: [9; 32],
+        session_id: vec![0; 32],
+        cipher_suite: CipherSuite(0xc02f),
+        compression_method: 0,
+        extensions: Some(vec![Extension::renegotiation_info()]),
+    };
+    let bytes = sh.to_handshake_bytes();
+    c.bench_function("wire/server_hello/parse", |b| {
+        b.iter(|| ServerHello::parse_handshake(&bytes).unwrap())
+    });
+}
+
+fn bench_record_layer(c: &mut Criterion) {
+    let hello = sample_hello();
+    let handshake = hello.to_handshake_bytes();
+    let flow: Vec<u8> = Record::wrap_handshake(ProtocolVersion::Tls10, &handshake)
+        .iter()
+        .flat_map(|r| r.to_bytes())
+        .collect();
+    let mut g = c.benchmark_group("wire/record");
+    g.throughput(Throughput::Bytes(flow.len() as u64));
+    g.bench_function("read_coalesce_parse", |b| {
+        b.iter(|| {
+            let records = Record::read_all(&flow).unwrap();
+            let hs = Record::coalesce_handshake(&records).unwrap();
+            ClientHello::parse_handshake(&hs).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let suites: Vec<CipherSuite> = tlscope::wire::suites_table::SUITES
+        .iter()
+        .map(|i| CipherSuite(i.id))
+        .collect();
+    c.bench_function("wire/classify_full_registry", |b| {
+        b.iter_batched(
+            || suites.clone(),
+            |suites| {
+                let mut acc = 0usize;
+                for s in suites {
+                    acc += usize::from(s.is_rc4())
+                        + usize::from(s.is_cbc())
+                        + usize::from(s.is_aead())
+                        + usize::from(s.is_export())
+                        + usize::from(s.is_anon())
+                        + usize::from(s.is_forward_secret());
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_client_hello,
+    bench_server_hello,
+    bench_record_layer,
+    bench_classification
+);
+criterion_main!(benches);

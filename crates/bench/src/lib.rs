@@ -1,0 +1,29 @@
+//! # tlscope-bench
+//!
+//! Criterion benchmarks for the tlscope workspace. The benchmarks live
+//! in `benches/`; this library only hosts the shared workload helpers.
+
+#![forbid(unsafe_code)]
+
+use tlscope::chron::Month;
+use tlscope::notary::TappedFlow;
+use tlscope::traffic::{FaultInjector, Generator, TrafficConfig};
+
+/// Generate one month of flows at a given volume for bench workloads.
+pub fn bench_flows(month: Month, n: u32, seed: u64) -> Vec<TappedFlow> {
+    let generator = Generator::new(TrafficConfig {
+        seed,
+        connections_per_month: n,
+        faults: FaultInjector::none(),
+    });
+    generator
+        .month(month)
+        .into_iter()
+        .map(|ev| TappedFlow {
+            date: ev.date,
+            port: ev.port,
+            client: ev.client_flow,
+            server: ev.server_flow,
+        })
+        .collect()
+}

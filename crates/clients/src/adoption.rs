@@ -1,0 +1,201 @@
+//! Version-adoption model: how a family's installed base migrates
+//! between eras.
+//!
+//! The paper repeatedly observes that configuration changes take effect
+//! on the wire *gradually*: "a residual number of clients continued to
+//! advertise RC4 for some time after browsers officially dropped it,
+//! indicating a user population that does not quickly update" (§5.3),
+//! and §4.1 finds fingerprints persisting for 1,200+ days. The model
+//! here produces that shape:
+//!
+//! * After a new era ships, users migrate along a linear ramp lasting
+//!   `ramp_days` (fast for auto-updating browsers, slow for OS stacks
+//!   and embedded devices).
+//! * A `laggard` fraction never rides the ramp; it decays exponentially
+//!   with half-life `laggard_halflife_days` (abandoned software, frozen
+//!   images, devices without updates — the long tail of §7.2).
+
+use tlscope_chron::Date;
+
+use crate::family::Family;
+
+/// Migration-speed parameters for one family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdoptionModel {
+    /// Days for the bulk of users to move to a new era.
+    pub ramp_days: f64,
+    /// Fraction of an era's users that do not migrate on the ramp.
+    pub laggard: f64,
+    /// Half-life (days) of the laggard population.
+    pub laggard_halflife_days: f64,
+}
+
+impl AdoptionModel {
+    /// Auto-updating browser: ~10 weeks to move, 4 % laggards with a
+    /// 1.5-year half-life.
+    pub fn browser() -> Self {
+        AdoptionModel {
+            ramp_days: 70.0,
+            laggard: 0.04,
+            laggard_halflife_days: 550.0,
+        }
+    }
+
+    /// OS-coupled library: ~1.5 years to move, 15 % laggards with a
+    /// 2.5-year half-life (Android/old OpenSSL territory).
+    pub fn os_library() -> Self {
+        AdoptionModel {
+            ramp_days: 540.0,
+            laggard: 0.15,
+            laggard_halflife_days: 900.0,
+        }
+    }
+
+    /// Manually-updated application: ~7 months, 10 % laggards.
+    pub fn application() -> Self {
+        AdoptionModel {
+            ramp_days: 210.0,
+            laggard: 0.10,
+            laggard_halflife_days: 700.0,
+        }
+    }
+
+    /// Raw (unnormalised) weight of an era at `date`, given when the
+    /// *next* era shipped (`superseded`, `None` if still current).
+    fn weight(&self, superseded: Option<i64>) -> f64 {
+        match superseded {
+            None => 1.0,
+            Some(age) if age <= 0 => 1.0,
+            Some(age) => {
+                let age = age as f64;
+                let ramp = (1.0 - age / self.ramp_days).max(0.0) * (1.0 - self.laggard);
+                let tail = self.laggard * 0.5f64.powf(age / self.laggard_halflife_days);
+                ramp + tail
+            }
+        }
+    }
+
+    /// Distribution over a family's eras at `date`.
+    ///
+    /// Returns one weight per era, summing to 1 (empty if the family has
+    /// not shipped anything yet). Chained supersession compounds: an era
+    /// two releases behind carries its laggard tail squared-ish, which
+    /// is what produces multi-year-old fingerprints in the traffic.
+    pub fn era_shares(&self, family: &Family, date: Date) -> Vec<f64> {
+        let Some(current) = family.era_index_at(date) else {
+            return vec![0.0; family.eras.len()];
+        };
+        let mut weights = vec![0.0; family.eras.len()];
+        for (i, w) in weights.iter_mut().enumerate().take(current + 1) {
+            let superseded = if i == current {
+                None
+            } else {
+                Some(date - family.eras[i + 1].from)
+            };
+            *w = self.weight(superseded);
+        }
+        let total: f64 = weights.iter().sum();
+        if total > 0.0 {
+            for w in &mut weights {
+                *w /= total;
+            }
+        }
+        weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::browsers::chrome;
+
+    #[test]
+    fn before_first_release_all_zero() {
+        let m = AdoptionModel::browser();
+        let shares = m.era_shares(&chrome(), Date::ymd(2010, 1, 1));
+        assert!(shares.iter().all(|s| *s == 0.0));
+    }
+
+    #[test]
+    fn shares_sum_to_one_once_shipped() {
+        let m = AdoptionModel::browser();
+        for date in [
+            Date::ymd(2012, 2, 1),
+            Date::ymd(2014, 6, 1),
+            Date::ymd(2016, 1, 1),
+            Date::ymd(2018, 4, 1),
+        ] {
+            let shares = m.era_shares(&chrome(), date);
+            let sum: f64 = shares.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum} at {date}");
+        }
+    }
+
+    #[test]
+    fn newest_era_dominates_after_ramp() {
+        let m = AdoptionModel::browser();
+        let fam = chrome();
+        // Mid-2016: Chrome 49-55 (2016-03-02) is current and past ramp.
+        let date = Date::ymd(2016, 8, 1);
+        let shares = m.era_shares(&fam, date);
+        let current = fam.era_index_at(date).unwrap();
+        assert!(shares[current] > 0.85, "current share {}", shares[current]);
+    }
+
+    #[test]
+    fn laggards_linger_for_years() {
+        let m = AdoptionModel::browser();
+        let fam = chrome();
+        // In early 2018, the RC4-offering Chrome ≤ 42 eras should still
+        // carry a small but nonzero share (the paper's residual RC4
+        // advertisers).
+        let shares = m.era_shares(&fam, Date::ymd(2018, 1, 1));
+        let rc4_share: f64 = fam
+            .eras
+            .iter()
+            .zip(&shares)
+            .filter(|(e, _)| e.tls.rc4_count() > 0)
+            .map(|(_, s)| *s)
+            .sum();
+        assert!(rc4_share > 0.001, "rc4 share {rc4_share}");
+        assert!(rc4_share < 0.10, "rc4 share {rc4_share}");
+    }
+
+    #[test]
+    fn ramp_is_monotone_migration() {
+        let m = AdoptionModel::browser();
+        let fam = chrome();
+        // Chrome 43 ships 2015-05-19; era "41-42" share should fall
+        // monotonically across the ramp.
+        let mut prev = f64::MAX;
+        let idx = fam
+            .eras
+            .iter()
+            .position(|e| e.versions == "41-42")
+            .unwrap();
+        for days in [1i64, 20, 40, 60, 90, 200] {
+            let date = Date::ymd(2015, 5, 19).add_days(days);
+            let s = m.era_shares(&fam, date)[idx];
+            assert!(s <= prev + 1e-12, "share grew at +{days}d");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn os_library_migrates_slower_than_browser() {
+        use crate::libraries::android;
+        let fam = android();
+        // One year after Android 6.0 (2015-10-05), the 5.x era keeps a
+        // larger share under the OS model than a browser model would.
+        let date = Date::ymd(2016, 10, 5);
+        let idx = fam
+            .eras
+            .iter()
+            .position(|e| e.versions == "5.0-5.1")
+            .unwrap();
+        let slow = AdoptionModel::os_library().era_shares(&fam, date)[idx];
+        let fast = AdoptionModel::browser().era_shares(&fam, date)[idx];
+        assert!(slow > fast, "slow {slow} fast {fast}");
+        assert!(slow > 0.05);
+    }
+}

@@ -1,0 +1,672 @@
+//! Application, tool, middlebox, and misbehaving-client configurations.
+//!
+//! These populate the smaller Table 2 categories and, crucially, supply
+//! the paper's anomalous traffic:
+//!
+//! * **GRID data movers** (§6.1): negotiate NULL ciphers on purpose —
+//!   TLS for mutual authentication only. 99.99 % of NULL-negotiated
+//!   connections in the Notary are GRID.
+//! * **Nagios monitoring** (§6.2, §5.5, §6.1): anonymous DH with its own
+//!   post-handshake authentication; also the sink of the residual SSL 2
+//!   and `NULL_WITH_NULL_NULL` connections.
+//! * **NULL/anon-offering apps** (§6.1–6.2): Craftar, Lookout Personal,
+//!   Kaspersky — products that (probably unwittingly) offer NULL or
+//!   anonymous suites alongside real ones.
+//! * **Security scanners** (Shodan): offer everything by design.
+//! * **Malware** using stock-looking but subtly-off stacks.
+
+use tlscope_chron::Date;
+use tlscope_fingerprint::Category;
+use tlscope_wire::exts::ext_type as xt;
+use tlscope_wire::{NamedGroup, ProtocolVersion};
+
+use crate::family::{Era, Family};
+use crate::pools::{aead, mix, mix_no_ec, with_extras, Rc4Placement, ANON_POOL, EXPORT_POOL, NULL_POOL};
+use crate::spec::TlsConfig;
+
+fn cfg(
+    version: ProtocolVersion,
+    ciphers: Vec<tlscope_wire::CipherSuite>,
+    extensions: Vec<u16>,
+    curves: Vec<NamedGroup>,
+) -> TlsConfig {
+    let point_formats = if curves.is_empty() { vec![] } else { vec![0] };
+    TlsConfig {
+        legacy_version: version,
+        supported_versions: vec![],
+        min_version: ProtocolVersion::Ssl3,
+        ciphers,
+        extensions,
+        curves,
+        point_formats,
+        compression: vec![0],
+        grease: false,
+        heartbeat_mode: 1,
+    }
+}
+
+const BASIC_EC: [NamedGroup; 2] = [NamedGroup::SECP256R1, NamedGroup::SECP384R1];
+
+fn one_era(
+    name: &'static str,
+    category: Category,
+    versions: &'static str,
+    from: Date,
+    tls: TlsConfig,
+) -> Family {
+    Family::new(name, category, vec![Era { versions, from, tls }])
+}
+
+/// Globus GridFTP data movers: NULL ciphers first, by design.
+pub fn grid_ftp() -> Family {
+    one_era(
+        "Globus GridFTP",
+        Category::OsTool,
+        "5.x",
+        Date::ymd(2011, 1, 1),
+        cfg(
+            ProtocolVersion::Tls10,
+            with_extras(
+                NULL_POOL[..3].iter().map(|&i| tlscope_wire::CipherSuite(i)).collect(),
+                &[0x002f, 0x0035, 0x000a],
+            ),
+            vec![xt::RENEGOTIATION_INFO],
+            vec![],
+        ),
+    )
+}
+
+/// Nagios NRPE-style checks: anonymous DH only, plus the fully-null
+/// suite some deployments emit.
+pub fn nagios() -> Family {
+    one_era(
+        "Nagios NRPE",
+        Category::OsTool,
+        "2.x-3.x",
+        Date::ymd(2010, 1, 1),
+        cfg(
+            ProtocolVersion::Tls10,
+            with_extras(
+                ANON_POOL.iter().map(|&i| tlscope_wire::CipherSuite(i)).collect(),
+                &[0x0000],
+            ),
+            vec![],
+            vec![],
+        ),
+    )
+}
+
+/// An SSLv2-era monitoring probe that still speaks the 1995 protocol at
+/// one university's servers (§5.1).
+pub fn legacy_sslv2_probe() -> Family {
+    one_era(
+        "Legacy Nagios probe (SSLv2)",
+        Category::OsTool,
+        "1.x",
+        Date::ymd(2005, 1, 1),
+        cfg(
+            ProtocolVersion::Ssl2,
+            vec![
+                tlscope_wire::CipherSuite(0x0004),
+                tlscope_wire::CipherSuite(0x000a),
+            ],
+            vec![],
+            vec![],
+        ),
+    )
+}
+
+/// Lookout Personal: a security app that offers NULL and anonymous
+/// suites after its real list (§6.1, §6.2).
+pub fn lookout() -> Family {
+    one_era(
+        "Lookout Personal",
+        Category::MobileApp,
+        "9-10",
+        Date::ymd(2013, 5, 1),
+        cfg(
+            ProtocolVersion::Tls10,
+            with_extras(
+                mix(&[], 10, 2, 2, 1, Rc4Placement::Mid),
+                &[NULL_POOL[0], NULL_POOL[1], ANON_POOL[0], ANON_POOL[2]],
+            ),
+            vec![xt::SERVER_NAME, xt::SESSION_TICKET, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+            BASIC_EC.to_vec(),
+        ),
+    )
+}
+
+/// Craftar image recognition SDK: offers NULL suites (§6.1).
+pub fn craftar() -> Family {
+    one_era(
+        "Craftar Image Recognition",
+        Category::MobileApp,
+        "1.x",
+        Date::ymd(2014, 3, 1),
+        cfg(
+            ProtocolVersion::Tls10,
+            with_extras(
+                mix(&[], 8, 2, 1, 0, Rc4Placement::Mid),
+                &NULL_POOL[..2],
+            ),
+            vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+            BASIC_EC.to_vec(),
+        ),
+    )
+}
+
+/// Kaspersky's network stack: anonymous suites in the offer (§6.2).
+pub fn kaspersky() -> Family {
+    one_era(
+        "Kaspersky",
+        Category::Antivirus,
+        "2015-2017",
+        Date::ymd(2014, 8, 1),
+        cfg(
+            ProtocolVersion::Tls12,
+            with_extras(
+                mix(aead::GEN2, 10, 2, 1, 0, Rc4Placement::Mid),
+                &ANON_POOL[..3],
+            ),
+            vec![
+                xt::SERVER_NAME,
+                xt::RENEGOTIATION_INFO,
+                xt::SUPPORTED_GROUPS,
+                xt::EC_POINT_FORMATS,
+                xt::SIGNATURE_ALGORITHMS,
+            ],
+            BASIC_EC.to_vec(),
+        ),
+    )
+}
+
+/// Avast's TLS-inspecting middlebox client.
+pub fn avast() -> Family {
+    one_era(
+        "Avast",
+        Category::Antivirus,
+        "10-17",
+        Date::ymd(2014, 10, 1),
+        cfg(
+            ProtocolVersion::Tls12,
+            mix(aead::GEN2, 14, 4, 2, 0, Rc4Placement::Mid),
+            vec![
+                xt::SERVER_NAME,
+                xt::SUPPORTED_GROUPS,
+                xt::EC_POINT_FORMATS,
+                xt::SESSION_TICKET,
+                xt::SIGNATURE_ALGORITHMS,
+            ],
+            BASIC_EC.to_vec(),
+        ),
+    )
+}
+
+/// Blue Coat proxy ("ProxySG"): the middlebox the paper quotes breaking
+/// TLS 1.3 connections.
+pub fn bluecoat() -> Family {
+    one_era(
+        "Bluecoat Proxy",
+        Category::Antivirus,
+        "6.x",
+        Date::ymd(2013, 1, 1),
+        cfg(
+            ProtocolVersion::Tls11,
+            mix(&[], 12, 3, 2, 1, Rc4Placement::Mid),
+            vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+            BASIC_EC.to_vec(),
+        ),
+    )
+}
+
+/// Shodan's Internet-wide scanner: offers essentially everything.
+pub fn shodan() -> Family {
+    one_era(
+        "Shodan scanner",
+        Category::OsTool,
+        "-",
+        Date::ymd(2013, 6, 1),
+        cfg(
+            ProtocolVersion::Tls12,
+            with_extras(
+                mix(aead::GEN2, 20, 6, 4, 3, Rc4Placement::Mid),
+                &[
+                    EXPORT_POOL[0],
+                    EXPORT_POOL[1],
+                    EXPORT_POOL[2],
+                    NULL_POOL[0],
+                    NULL_POOL[1],
+                    ANON_POOL[0],
+                    ANON_POOL[1],
+                    ANON_POOL[2],
+                    ANON_POOL[3],
+                ],
+            ),
+            vec![
+                xt::SERVER_NAME,
+                xt::HEARTBEAT,
+                xt::SUPPORTED_GROUPS,
+                xt::EC_POINT_FORMATS,
+                xt::SIGNATURE_ALGORITHMS,
+                xt::SESSION_TICKET,
+            ],
+            BASIC_EC.to_vec(),
+        ),
+    )
+}
+
+/// Dropbox desktop client (OpenSSL-linked, custom extension order).
+pub fn dropbox() -> Family {
+    Family::new(
+        "Dropbox",
+        Category::CloudStorage,
+        vec![
+            Era {
+                versions: "2.x",
+                from: Date::ymd(2013, 1, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(
+                        &[0xc02f, 0xc02b, 0x009e, 0x009c],
+                        14,
+                        2,
+                        2,
+                        0,
+                        Rc4Placement::Mid,
+                    ),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SESSION_TICKET,
+                        xt::HEARTBEAT,
+                        xt::SIGNATURE_ALGORITHMS,
+                    ],
+                    BASIC_EC.to_vec(),
+                ),
+            },
+            Era {
+                versions: "3.x+",
+                from: Date::ymd(2015, 6, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 10, 0, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SESSION_TICKET,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::EXTENDED_MASTER_SECRET,
+                    ],
+                    BASIC_EC.to_vec(),
+                ),
+            },
+        ],
+    )
+}
+
+/// Thunderbird (NSS, trailing Firefox by a release or two).
+pub fn thunderbird() -> Family {
+    Family::new(
+        "Thunderbird",
+        Category::Email,
+        vec![
+            Era {
+                versions: "17-31",
+                from: Date::ymd(2012, 11, 20),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 18, 6, 7, 2, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::RENEGOTIATION_INFO,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SESSION_TICKET,
+                    ],
+                    BASIC_EC.to_vec(),
+                ),
+            },
+            Era {
+                versions: "38-52",
+                from: Date::ymd(2015, 6, 2),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 8, 0, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::RENEGOTIATION_INFO,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SESSION_TICKET,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::ALPN,
+                    ],
+                    BASIC_EC.to_vec(),
+                ),
+            },
+        ],
+    )
+}
+
+/// Apple Mail (SecureTransport with its own extension subset).
+pub fn apple_mail() -> Family {
+    one_era(
+        "Apple Mail",
+        Category::Email,
+        "7-11",
+        Date::ymd(2013, 10, 22),
+        cfg(
+            ProtocolVersion::Tls12,
+            mix(&[], 18, 4, 3, 0, Rc4Placement::Mid),
+            vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+            vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+        ),
+    )
+}
+
+/// Apple Spotlight suggestions service.
+pub fn spotlight() -> Family {
+    one_era(
+        "Apple Spotlight",
+        Category::OsTool,
+        "10.10+",
+        Date::ymd(2014, 10, 16),
+        cfg(
+            ProtocolVersion::Tls12,
+            mix(aead::GEN2, 10, 4, 3, 0, Rc4Placement::Mid),
+            vec![
+                xt::SERVER_NAME,
+                xt::SUPPORTED_GROUPS,
+                xt::EC_POINT_FORMATS,
+                xt::SIGNATURE_ALGORITHMS,
+                xt::ALPN,
+            ],
+            vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+        ),
+    )
+}
+
+/// git's HTTPS transport (libcurl + OpenSSL, lagging the OpenSSL era).
+pub fn git() -> Family {
+    one_era(
+        "git",
+        Category::DevTool,
+        "1.9-2.x",
+        Date::ymd(2014, 2, 14),
+        cfg(
+            ProtocolVersion::Tls12,
+            mix(
+                &[0xc02f, 0xc02b, 0x009e, 0x009c, 0x009d, 0x009f],
+                18,
+                4,
+                3,
+                2,
+                Rc4Placement::Mid,
+            ),
+            vec![
+                xt::SERVER_NAME,
+                xt::RENEGOTIATION_INFO,
+                xt::SUPPORTED_GROUPS,
+                xt::EC_POINT_FORMATS,
+                xt::SESSION_TICKET,
+                xt::HEARTBEAT,
+                xt::SIGNATURE_ALGORITHMS,
+                xt::ALPN,
+            ],
+            vec![NamedGroup::SECP256R1, NamedGroup::SECP521R1, NamedGroup::SECP384R1],
+        ),
+    )
+}
+
+/// f.lux update checker.
+pub fn flux() -> Family {
+    one_era(
+        "Flux",
+        Category::DevTool,
+        "3-4",
+        Date::ymd(2013, 7, 1),
+        cfg(
+            ProtocolVersion::Tls10,
+            mix(&[], 8, 2, 1, 1, Rc4Placement::Mid),
+            vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+            BASIC_EC.to_vec(),
+        ),
+    )
+}
+
+/// Facebook's in-app stack (proxygen/fizz lineage): early ChaCha20.
+pub fn facebook_app() -> Family {
+    one_era(
+        "Facebook app",
+        Category::MobileApp,
+        "2015-2018",
+        Date::ymd(2015, 3, 1),
+        cfg(
+            ProtocolVersion::Tls12,
+            mix(
+                &[0xcc14, 0xcc13, 0xc02b, 0xc02f, 0x009e, 0x009c],
+                6,
+                0,
+                0,
+                0,
+                Rc4Placement::Mid,
+            ),
+            vec![
+                xt::SERVER_NAME,
+                xt::SUPPORTED_GROUPS,
+                xt::EC_POINT_FORMATS,
+                xt::ALPN,
+                xt::SIGNATURE_ALGORITHMS,
+            ],
+            vec![NamedGroup::X25519, NamedGroup::SECP256R1],
+        ),
+    )
+}
+
+/// Hola VPN's bundled stack.
+pub fn hola_vpn() -> Family {
+    one_era(
+        "Hola VPN",
+        Category::MobileApp,
+        "1.x",
+        Date::ymd(2014, 1, 1),
+        cfg(
+            ProtocolVersion::Tls10,
+            mix(&[], 14, 4, 2, 1, Rc4Placement::Head),
+            vec![xt::SERVER_NAME, xt::SESSION_TICKET, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+            BASIC_EC.to_vec(),
+        ),
+    )
+}
+
+/// Zbot/Zeus malware family: a Schannel look-alike with a telltale
+/// reordered list and no renegotiation_info.
+pub fn zbot() -> Family {
+    one_era(
+        "Zbot",
+        Category::Malware,
+        "-",
+        Date::ymd(2012, 6, 1),
+        cfg(
+            ProtocolVersion::Tls10,
+            mix_no_ec(&[], 8, 2, 1, 1, Rc4Placement::Head),
+            vec![xt::SERVER_NAME],
+            vec![],
+        ),
+    )
+}
+
+/// InstallMonster/InstallMoney PUP downloader.
+pub fn install_money() -> Family {
+    one_era(
+        "InstallMoney",
+        Category::Malware,
+        "-",
+        Date::ymd(2014, 9, 1),
+        cfg(
+            ProtocolVersion::Tls10,
+            with_extras(
+                mix_no_ec(&[], 10, 3, 2, 1, Rc4Placement::Mid),
+                &[EXPORT_POOL[0]],
+            ),
+            vec![xt::SERVER_NAME, xt::SESSION_TICKET],
+            vec![],
+        ),
+    )
+}
+
+/// Splunk universal forwarder: ships logs to indexers on tcp/9997 and
+/// offers static-ECDH suites, producing the paper's "ECDH nearly
+/// exclusively at Splunk servers on port 9997" (§6.3.1).
+pub fn splunk_forwarder() -> Family {
+    one_era(
+        "Splunk forwarder",
+        Category::OsTool,
+        "6.x",
+        Date::ymd(2013, 10, 1),
+        cfg(
+            ProtocolVersion::Tls12,
+            {
+                let mut list = vec![
+                    tlscope_wire::CipherSuite(0xc031), // static ECDH GCM
+                    tlscope_wire::CipherSuite(0xc02e),
+                ];
+                list.append(&mut mix(aead::GEN2, 6, 0, 1, 0, Rc4Placement::Mid));
+                list
+            },
+            vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS, xt::SIGNATURE_ALGORITHMS],
+            BASIC_EC.to_vec(),
+        ),
+    )
+}
+
+/// Interwise conferencing client (§5.5): offers RC4_128 (no export) and
+/// gets export-RC4 answers from its own servers.
+pub fn interwise_client() -> Family {
+    one_era(
+        "Interwise",
+        Category::OsTool,
+        "8.x",
+        Date::ymd(2008, 1, 1),
+        cfg(
+            ProtocolVersion::Tls10,
+            vec![
+                tlscope_wire::CipherSuite(0x0005), // RSA_WITH_RC4_128_SHA
+                tlscope_wire::CipherSuite(0x0004),
+                tlscope_wire::CipherSuite(0x000a),
+            ],
+            vec![],
+            vec![],
+        ),
+    )
+}
+
+/// All application/tool/malware families.
+pub fn all_apps() -> Vec<Family> {
+    vec![
+        grid_ftp(),
+        nagios(),
+        legacy_sslv2_probe(),
+        lookout(),
+        craftar(),
+        kaspersky(),
+        avast(),
+        bluecoat(),
+        shodan(),
+        dropbox(),
+        thunderbird(),
+        apple_mail(),
+        spotlight(),
+        git(),
+        flux(),
+        facebook_app(),
+        hola_vpn(),
+        zbot(),
+        install_money(),
+        splunk_forwarder(),
+        interwise_client(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_offers_null_first() {
+        let g = grid_ftp();
+        let tls = &g.eras[0].tls;
+        assert!(tls.ciphers[0].is_null_encryption());
+        assert!(tls.count_ciphers(|c| c.is_null_encryption()) >= 3);
+        // But it also offers real ciphers for peers that insist.
+        assert!(tls.count_ciphers(|c| c.is_cbc()) > 0);
+    }
+
+    #[test]
+    fn nagios_is_anon_only_plus_null_null() {
+        let n = nagios();
+        let tls = &n.eras[0].tls;
+        assert!(tls.ciphers.iter().all(|c| c.is_anon() || c.is_null_null()));
+        assert!(tls.ciphers.iter().any(|c| c.is_null_null()));
+        // Includes the export-anon suites seen at the university (§5.5).
+        assert!(tls.count_ciphers(|c| c.is_export() && c.is_anon()) > 0);
+    }
+
+    #[test]
+    fn security_apps_offer_anon_or_null() {
+        assert!(lookout().eras[0]
+            .tls
+            .count_ciphers(|c| c.is_null_encryption())
+            > 0);
+        assert!(lookout().eras[0].tls.count_ciphers(|c| c.is_anon()) > 0);
+        assert!(craftar().eras[0]
+            .tls
+            .count_ciphers(|c| c.is_null_encryption())
+            > 0);
+        assert!(kaspersky().eras[0].tls.count_ciphers(|c| c.is_anon()) > 0);
+    }
+
+    #[test]
+    fn shodan_offers_everything() {
+        let tls = &shodan().eras[0].tls;
+        assert!(tls.count_ciphers(|c| c.is_export()) > 0);
+        assert!(tls.count_ciphers(|c| c.is_null_encryption()) > 0);
+        assert!(tls.count_ciphers(|c| c.is_anon()) > 0);
+        assert!(tls.count_ciphers(|c| c.is_rc4()) > 0);
+        assert!(tls.offers_aead());
+    }
+
+    #[test]
+    fn sslv2_probe_requests_ssl2() {
+        assert_eq!(
+            legacy_sslv2_probe().eras[0].tls.legacy_version,
+            ProtocolVersion::Ssl2
+        );
+    }
+
+    #[test]
+    fn app_fingerprints_distinct() {
+        let mut seen = std::collections::HashMap::new();
+        for f in all_apps() {
+            for e in &f.eras {
+                let fp = e.tls.fingerprint();
+                if let Some(prev) = seen.insert(fp, (f.name, e.versions)) {
+                    panic!(
+                        "fingerprint collision: {} {} vs {} {}",
+                        prev.0, prev.1, f.name, e.versions
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malware_has_no_reneg_protection() {
+        assert!(!zbot().eras[0]
+            .tls
+            .extensions
+            .contains(&xt::RENEGOTIATION_INFO));
+    }
+}

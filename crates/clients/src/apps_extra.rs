@@ -1,0 +1,510 @@
+//! Second batch of client families: command-line tools, email clients,
+//! VPNs, and the embedded/IoT devices §7.2 singles out ("printers and
+//! even smart light bulbs support TLS ... many do not then provide
+//! security updates").
+//!
+//! These thicken the fingerprint universe (Table 2, Figure 4) and add
+//! labelled sources for the long-tail behaviours: never-updated
+//! embedded stacks keep RC4/3DES/DES/export offers alive years after
+//! the browsers dropped them.
+
+use tlscope_chron::Date;
+use tlscope_fingerprint::Category;
+use tlscope_wire::exts::ext_type as xt;
+use tlscope_wire::{NamedGroup, ProtocolVersion};
+
+use crate::family::{Era, Family};
+use crate::pools::{aead, mix, mix_no_ec, with_extras, Rc4Placement, EXPORT_POOL};
+use crate::spec::TlsConfig;
+
+fn cfg(
+    version: ProtocolVersion,
+    ciphers: Vec<tlscope_wire::CipherSuite>,
+    extensions: Vec<u16>,
+    curves: Vec<NamedGroup>,
+) -> TlsConfig {
+    let point_formats = if curves.is_empty() { vec![] } else { vec![0, 1, 2] };
+    TlsConfig {
+        legacy_version: version,
+        supported_versions: vec![],
+        min_version: ProtocolVersion::Ssl3,
+        ciphers,
+        extensions,
+        curves,
+        point_formats,
+        compression: vec![0],
+        grease: false,
+        heartbeat_mode: 1,
+    }
+}
+
+const OPENSSL_CURVES: [NamedGroup; 4] = [
+    NamedGroup::SECT571R1,
+    NamedGroup::SECP521R1,
+    NamedGroup::SECP384R1,
+    NamedGroup::SECP256R1,
+];
+
+/// curl (libcurl + OpenSSL): tracks OpenSSL eras with its own extension
+/// order (no session tickets by default in the old days).
+pub fn curl() -> Family {
+    Family::new(
+        "curl",
+        Category::DevTool,
+        vec![
+            Era {
+                versions: "7.2x",
+                from: Date::ymd(2011, 6, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 14, 2, 2, 1, Rc4Placement::Mid),
+                    vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            Era {
+                versions: "7.3x-7.4x",
+                from: Date::ymd(2013, 9, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(
+                        &[0xc02f, 0xc02b, 0x009e, 0x009c],
+                        16,
+                        2,
+                        2,
+                        0,
+                        Rc4Placement::Mid,
+                    ),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::HEARTBEAT,
+                    ],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            Era {
+                versions: "7.5x+",
+                from: Date::ymd(2016, 11, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN3, 10, 0, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::ALPN,
+                        xt::EXTENDED_MASTER_SECRET,
+                    ],
+                    vec![
+                        NamedGroup::X25519,
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP521R1,
+                        NamedGroup::SECP384R1,
+                    ],
+                ),
+            },
+        ],
+    )
+}
+
+/// wget (GnuTLS build): a different library lineage — distinct
+/// extension order and curve list from the OpenSSL crowd.
+pub fn wget() -> Family {
+    Family::new(
+        "wget",
+        Category::DevTool,
+        vec![
+            Era {
+                versions: "1.13-1.16",
+                from: Date::ymd(2011, 8, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(&[], 12, 2, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::MAX_FRAGMENT_LENGTH,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::SESSION_TICKET,
+                    ],
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                ),
+            },
+            Era {
+                versions: "1.17+",
+                from: Date::ymd(2015, 11, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 10, 0, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::MAX_FRAGMENT_LENGTH,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::SESSION_TICKET,
+                        xt::ENCRYPT_THEN_MAC,
+                        xt::EXTENDED_MASTER_SECRET,
+                    ],
+                    vec![NamedGroup::SECP256R1, NamedGroup::X25519, NamedGroup::SECP384R1],
+                ),
+            },
+        ],
+    )
+}
+
+/// Python requests/urllib3 over pyOpenSSL.
+pub fn python_requests() -> Family {
+    Family::new(
+        "Python requests",
+        Category::DevTool,
+        vec![
+            Era {
+                versions: "2.x/py2",
+                from: Date::ymd(2013, 1, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(
+                        &[0xc02b, 0xc02f, 0x009e, 0x009c],
+                        14,
+                        2,
+                        1,
+                        0,
+                        Rc4Placement::Mid,
+                    ),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::RENEGOTIATION_INFO,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SESSION_TICKET,
+                        xt::HEARTBEAT,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::NPN,
+                    ],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            Era {
+                versions: "2.x/py3",
+                from: Date::ymd(2016, 6, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN3, 8, 0, 0, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::RENEGOTIATION_INFO,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SESSION_TICKET,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::EXTENDED_MASTER_SECRET,
+                    ],
+                    vec![
+                        NamedGroup::X25519,
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP521R1,
+                        NamedGroup::SECP384R1,
+                    ],
+                ),
+            },
+        ],
+    )
+}
+
+/// Outlook desktop (Schannel lineage, its own extension subset).
+pub fn outlook() -> Family {
+    Family::new(
+        "Outlook",
+        Category::Email,
+        vec![
+            Era {
+                versions: "2010-2013",
+                from: Date::ymd(2010, 6, 15),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 8, 2, 1, 1, Rc4Placement::Mid),
+                    vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS, xt::RENEGOTIATION_INFO],
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+            Era {
+                versions: "2016+",
+                from: Date::ymd(2015, 9, 22),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(
+                        &[0xc02b, 0xc02c, 0xc02f, 0xc030],
+                        8,
+                        0,
+                        1,
+                        0,
+                        Rc4Placement::Mid,
+                    ),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::STATUS_REQUEST,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::SESSION_TICKET,
+                        xt::EXTENDED_MASTER_SECRET,
+                        xt::RENEGOTIATION_INFO,
+                    ],
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+        ],
+    )
+}
+
+/// OpenVPN's TLS control channel (OpenSSL, tls-auth era).
+pub fn openvpn() -> Family {
+    Family::new(
+        "OpenVPN",
+        Category::OsTool,
+        vec![Era {
+            versions: "2.3-2.4",
+            from: Date::ymd(2013, 1, 8),
+            tls: cfg(
+                ProtocolVersion::Tls12,
+                mix(
+                    &[0x009e, 0x009f, 0xc02f, 0xc030],
+                    10,
+                    0,
+                    1,
+                    0,
+                    Rc4Placement::Mid,
+                ),
+                vec![
+                    xt::RENEGOTIATION_INFO,
+                    xt::SUPPORTED_GROUPS,
+                    xt::EC_POINT_FORMATS,
+                    xt::SESSION_TICKET,
+                    xt::SIGNATURE_ALGORITHMS,
+                ],
+                OPENSSL_CURVES.to_vec(),
+            ),
+        }],
+    )
+}
+
+/// Tor's TLS camouflage layer (NSS-shaped, Firefox-adjacent on purpose).
+pub fn tor() -> Family {
+    Family::new(
+        "Tor",
+        Category::OsTool,
+        vec![Era {
+            versions: "0.2.x",
+            from: Date::ymd(2012, 6, 1),
+            tls: cfg(
+                ProtocolVersion::Tls12,
+                mix(aead::GEN2, 11, 2, 1, 0, Rc4Placement::Mid),
+                vec![
+                    xt::SERVER_NAME,
+                    xt::RENEGOTIATION_INFO,
+                    xt::SUPPORTED_GROUPS,
+                    xt::EC_POINT_FORMATS,
+                    xt::SESSION_TICKET,
+                ],
+                vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+            ),
+        }],
+    )
+}
+
+/// Network printer firmware: TLS 1.0 forever, DES and export still on
+/// (§7.2's abandoned-device long tail).
+pub fn printer() -> Family {
+    Family::new(
+        "HP LaserJet firmware",
+        Category::Library,
+        vec![Era {
+            versions: "2009 firmware",
+            from: Date::ymd(2009, 1, 1),
+            tls: cfg(
+                ProtocolVersion::Tls10,
+                with_extras(
+                    mix_no_ec(&[], 6, 2, 2, 2, Rc4Placement::Mid),
+                    &EXPORT_POOL[..2],
+                ),
+                vec![],
+                vec![],
+            ),
+        }],
+    )
+}
+
+/// Smart light bulb hub: shipped 2014, never updated.
+pub fn smart_bulb() -> Family {
+    Family::new(
+        "SmartHome hub",
+        Category::Library,
+        vec![Era {
+            versions: "1.0 (abandoned)",
+            from: Date::ymd(2014, 3, 1),
+            tls: cfg(
+                ProtocolVersion::Tls10,
+                mix_no_ec(&[], 4, 1, 1, 1, Rc4Placement::Mid),
+                vec![xt::SERVER_NAME],
+                vec![],
+            ),
+        }],
+    )
+}
+
+/// Smart TV platform: TLS 1.2 but frozen 2014-era OpenSSL cipher list.
+pub fn smart_tv() -> Family {
+    Family::new(
+        "SmartTV platform",
+        Category::Library,
+        vec![Era {
+            versions: "2014 SDK",
+            from: Date::ymd(2014, 5, 1),
+            tls: cfg(
+                ProtocolVersion::Tls12,
+                mix(
+                    &[0xc02f, 0xc02b, 0x009c],
+                    14,
+                    4,
+                    2,
+                    1,
+                    Rc4Placement::Mid,
+                ),
+                vec![
+                    xt::SERVER_NAME,
+                    xt::RENEGOTIATION_INFO,
+                    xt::SUPPORTED_GROUPS,
+                    xt::EC_POINT_FORMATS,
+                    xt::SESSION_TICKET,
+                    xt::HEARTBEAT,
+                    xt::SIGNATURE_ALGORITHMS,
+                ],
+                OPENSSL_CURVES.to_vec(),
+            ),
+        }],
+    )
+}
+
+/// A second malware family with a GOST-flavoured custom stack (§7.3's
+/// "custom TLS implementations with questionable security").
+pub fn gost_malware() -> Family {
+    Family::new(
+        "GostRAT",
+        Category::Malware,
+        vec![Era {
+            versions: "-",
+            from: Date::ymd(2015, 2, 1),
+            tls: cfg(
+                ProtocolVersion::Tls12,
+                with_extras(
+                    mix_no_ec(&[], 6, 1, 1, 0, Rc4Placement::Mid),
+                    &[0x0081, 0x0080], // offers GOST suites
+                ),
+                vec![xt::SERVER_NAME, xt::SESSION_TICKET],
+                vec![],
+            ),
+        }],
+    )
+}
+
+/// Steam client (custom stack, chacha-forward).
+pub fn steam() -> Family {
+    Family::new(
+        "Steam",
+        Category::MobileApp,
+        vec![Era {
+            versions: "2016+",
+            from: Date::ymd(2016, 2, 1),
+            tls: cfg(
+                ProtocolVersion::Tls12,
+                mix(
+                    &[0xcca8, 0xc02f, 0xc02b, 0x009c],
+                    8,
+                    0,
+                    1,
+                    0,
+                    Rc4Placement::Mid,
+                ),
+                vec![
+                    xt::SERVER_NAME,
+                    xt::SUPPORTED_GROUPS,
+                    xt::EC_POINT_FORMATS,
+                    xt::SIGNATURE_ALGORITHMS,
+                    xt::ALPN,
+                    xt::STATUS_REQUEST,
+                ],
+                vec![NamedGroup::X25519, NamedGroup::SECP256R1],
+            ),
+        }],
+    )
+}
+
+/// All second-batch families.
+pub fn all_apps_extra() -> Vec<Family> {
+    vec![
+        curl(),
+        wget(),
+        python_requests(),
+        outlook(),
+        openvpn(),
+        tor(),
+        printer(),
+        smart_bulb(),
+        smart_tv(),
+        gost_malware(),
+        steam(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iot_devices_are_frozen_laggards() {
+        for f in [printer(), smart_bulb()] {
+            let tls = &f.eras[0].tls;
+            assert!(!tls.supports_version(ProtocolVersion::Tls11), "{}", f.name);
+            assert!(!tls.offers_aead(), "{}", f.name);
+            assert_eq!(f.eras.len(), 1, "{} should never update", f.name);
+        }
+        assert!(printer().eras[0].tls.count_ciphers(|c| c.is_export()) > 0);
+    }
+
+    #[test]
+    fn gost_malware_offers_gost() {
+        let tls = &gost_malware().eras[0].tls;
+        assert!(tls
+            .ciphers
+            .iter()
+            .any(|c| c.name().map(|n| n.contains("GOST")).unwrap_or(false)));
+    }
+
+    #[test]
+    fn extra_fingerprints_distinct() {
+        let mut seen = std::collections::HashMap::new();
+        for f in all_apps_extra() {
+            for e in &f.eras {
+                let fp = e.tls.fingerprint();
+                if let Some(prev) = seen.insert(fp, (f.name, e.versions)) {
+                    panic!("collision {:?} vs {} {}", prev, f.name, e.versions);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tools_track_their_libraries() {
+        // curl's middle era carries the heartbeat extension (OpenSSL
+        // 1.0.1 lineage); the late era does not.
+        let c = curl();
+        assert!(c.eras[1].tls.extensions.contains(&xt::HEARTBEAT));
+        assert!(!c.eras[2].tls.extensions.contains(&xt::HEARTBEAT));
+    }
+}

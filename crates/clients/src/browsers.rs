@@ -1,0 +1,952 @@
+//! Historical browser TLS configurations.
+//!
+//! Each browser's era list transcribes the paper's Tables 3 (CBC suite
+//! counts), 4 (RC4 counts), 5 (3DES counts), and 6 (protocol version
+//! support) into concrete configurations. The unit tests at the bottom
+//! assert every table row against the constructed data — the tables are
+//! executable here.
+
+use tlscope_chron::Date;
+use tlscope_fingerprint::Category;
+use tlscope_wire::exts::ext_type as xt;
+use tlscope_wire::{NamedGroup, ProtocolVersion};
+
+use crate::family::{Era, Family};
+use crate::pools::{aead, mix, Rc4Placement};
+use crate::spec::TlsConfig;
+
+const NIST_CURVES: [NamedGroup; 3] = [
+    NamedGroup::SECP256R1,
+    NamedGroup::SECP384R1,
+    NamedGroup::SECP521R1,
+];
+const MODERN_CURVES: [NamedGroup; 3] = [
+    NamedGroup::X25519,
+    NamedGroup::SECP256R1,
+    NamedGroup::SECP384R1,
+];
+
+fn base_config(
+    version: ProtocolVersion,
+    ciphers: Vec<tlscope_wire::CipherSuite>,
+    extensions: Vec<u16>,
+    curves: Vec<NamedGroup>,
+) -> TlsConfig {
+    TlsConfig {
+        legacy_version: version,
+        supported_versions: vec![],
+        min_version: ProtocolVersion::Ssl3,
+        ciphers,
+        extensions,
+        curves,
+        point_formats: vec![0],
+        compression: vec![0],
+        grease: false,
+        heartbeat_mode: 1,
+    }
+}
+
+/// Chrome's era list.
+pub fn chrome() -> Family {
+    let old_exts = vec![
+        xt::RENEGOTIATION_INFO,
+        xt::SERVER_NAME,
+        xt::SESSION_TICKET,
+        xt::NPN,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+    ];
+    let mid_exts = vec![
+        xt::RENEGOTIATION_INFO,
+        xt::SERVER_NAME,
+        xt::SESSION_TICKET,
+        xt::NPN,
+        xt::STATUS_REQUEST,
+        xt::SIGNATURE_ALGORITHMS,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::CHANNEL_ID,
+    ];
+    let late_exts = vec![
+        xt::RENEGOTIATION_INFO,
+        xt::SERVER_NAME,
+        xt::EXTENDED_MASTER_SECRET,
+        xt::SESSION_TICKET,
+        xt::SIGNATURE_ALGORITHMS,
+        xt::STATUS_REQUEST,
+        xt::SCT,
+        xt::ALPN,
+        xt::CHANNEL_ID,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+    ];
+    let mut tls13_exts = late_exts.clone();
+    tls13_exts.push(xt::SUPPORTED_VERSIONS);
+    tls13_exts.push(xt::KEY_SHARE);
+
+    let mut eras = vec![
+        Era {
+            versions: "14-21",
+            from: Date::ymd(2011, 6, 1),
+            tls: base_config(
+                ProtocolVersion::Tls10,
+                mix(&[], 19, 6, 8, 2, Rc4Placement::Mid),
+                old_exts.clone(),
+                NIST_CURVES.to_vec(),
+            ),
+        },
+        // Table 6: Chrome 22 (25/09/2012) adds TLS 1.1.
+        Era {
+            versions: "22-28",
+            from: Date::ymd(2012, 9, 25),
+            tls: base_config(
+                ProtocolVersion::Tls11,
+                mix(&[], 19, 6, 8, 2, Rc4Placement::Mid),
+                mid_exts.clone(),
+                NIST_CURVES.to_vec(),
+            ),
+        },
+        // Tables 3/4/5/6: Chrome 29 (20/08/2013): TLS 1.2; CBC 29→16,
+        // RC4 6→4, 3DES 8→1.
+        Era {
+            versions: "29-30",
+            from: Date::ymd(2013, 8, 20),
+            tls: base_config(
+                ProtocolVersion::Tls12,
+                mix(aead::GEN1, 15, 4, 1, 0, Rc4Placement::Mid),
+                mid_exts.clone(),
+                NIST_CURVES.to_vec(),
+            ),
+        },
+        // Table 3: Chrome 31 (12/11/2013): CBC → 10.
+        Era {
+            versions: "31-32",
+            from: Date::ymd(2013, 11, 12),
+            tls: base_config(
+                ProtocolVersion::Tls12,
+                mix(aead::GEN2, 9, 4, 1, 0, Rc4Placement::Mid),
+                mid_exts.clone(),
+                NIST_CURVES.to_vec(),
+            ),
+        },
+        // Chrome 33 (2014): pre-standard ChaCha20 code points.
+        Era {
+            versions: "33-40",
+            from: Date::ymd(2014, 2, 20),
+            tls: base_config(
+                ProtocolVersion::Tls12,
+                mix(aead::GEN2_CHACHA_OLD, 9, 4, 1, 0, Rc4Placement::Mid),
+                late_exts.clone(),
+                vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+            ),
+        },
+        // Table 3: Chrome 41 (03/03/2015): CBC → 9.
+        Era {
+            versions: "41-42",
+            from: Date::ymd(2015, 3, 3),
+            tls: base_config(
+                ProtocolVersion::Tls12,
+                mix(aead::GEN2_CHACHA_OLD, 8, 4, 1, 0, Rc4Placement::Mid),
+                late_exts.clone(),
+                vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+            ),
+        },
+        // Table 4: Chrome 43 (19/05/2015): RC4 removed completely.
+        Era {
+            versions: "43-48",
+            from: Date::ymd(2015, 5, 19),
+            tls: base_config(
+                ProtocolVersion::Tls12,
+                mix(aead::GEN2_CHACHA_OLD, 8, 0, 1, 0, Rc4Placement::Mid),
+                late_exts.clone(),
+                vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+            ),
+        },
+        // Table 3: Chrome 49 (02/03/2016): CBC → 7; RFC 7905 ChaCha20;
+        // X25519 first (Chrome 50 era).
+        Era {
+            versions: "49-55",
+            from: Date::ymd(2016, 3, 2),
+            tls: base_config(
+                ProtocolVersion::Tls12,
+                mix(aead::GEN3, 6, 0, 1, 0, Rc4Placement::Mid),
+                late_exts.clone(),
+                MODERN_CURVES.to_vec(),
+            ),
+        },
+    ];
+    // Table 3: Chrome 56 (25/01/2017): CBC → 5; GREASE ships.
+    let mut c56 = base_config(
+        ProtocolVersion::Tls12,
+        mix(aead::GEN3, 4, 0, 1, 0, Rc4Placement::Mid),
+        late_exts.clone(),
+        MODERN_CURVES.to_vec(),
+    );
+    c56.grease = true;
+    eras.push(Era {
+        versions: "56-64",
+        from: Date::ymd(2017, 1, 25),
+        tls: c56,
+    });
+    // §6.4: spring 2018 rollout advertising the experimental Google
+    // TLS 1.3 variant 0x7e02 (82.3 % of supported_versions sightings).
+    let mut c65 = base_config(
+        ProtocolVersion::Tls12,
+        {
+            let mut all: Vec<tlscope_wire::CipherSuite> = aead::TLS13
+                .iter()
+                .copied()
+                .map(tlscope_wire::CipherSuite)
+                .collect();
+            all.append(&mut mix(aead::GEN3, 4, 0, 1, 0, Rc4Placement::Mid));
+            all
+        },
+        tls13_exts,
+        MODERN_CURVES.to_vec(),
+    );
+    c65.grease = true;
+    c65.supported_versions = vec![
+        ProtocolVersion::Tls13Experiment(2),
+        ProtocolVersion::Tls12,
+        ProtocolVersion::Tls11,
+        ProtocolVersion::Tls10,
+    ];
+    eras.push(Era {
+        versions: "65-66",
+        from: Date::ymd(2018, 3, 6),
+        tls: c65,
+    });
+    Family::new("Chrome", Category::Browser, eras)
+}
+
+/// Firefox's era list.
+pub fn firefox() -> Family {
+    let old_exts = vec![
+        xt::SERVER_NAME,
+        xt::RENEGOTIATION_INFO,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SESSION_TICKET,
+        xt::NPN,
+    ];
+    let mid_exts = vec![
+        xt::SERVER_NAME,
+        xt::RENEGOTIATION_INFO,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SESSION_TICKET,
+        xt::NPN,
+        xt::STATUS_REQUEST,
+        xt::SIGNATURE_ALGORITHMS,
+    ];
+    let late_exts = vec![
+        xt::SERVER_NAME,
+        xt::EXTENDED_MASTER_SECRET,
+        xt::RENEGOTIATION_INFO,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SESSION_TICKET,
+        xt::ALPN,
+        xt::STATUS_REQUEST,
+        xt::SIGNATURE_ALGORITHMS,
+    ];
+    let ff_curves = vec![
+        NamedGroup::X25519,
+        NamedGroup::SECP256R1,
+        NamedGroup::SECP384R1,
+        NamedGroup::SECP521R1,
+        NamedGroup(256), // ffdhe2048
+        NamedGroup(257), // ffdhe3072
+    ];
+    let mut ff60_exts = late_exts.clone();
+    ff60_exts.push(xt::SUPPORTED_VERSIONS);
+    ff60_exts.push(xt::KEY_SHARE);
+
+    let mut ff60 = base_config(
+        ProtocolVersion::Tls12,
+        {
+            let mut all: Vec<tlscope_wire::CipherSuite> = aead::TLS13
+                .iter()
+                .copied()
+                .map(tlscope_wire::CipherSuite)
+                .collect();
+            all.append(&mut mix(aead::GEN3, 4, 0, 1, 0, Rc4Placement::Mid));
+            all
+        },
+        ff60_exts,
+        ff_curves.clone(),
+    );
+    // Table 6: Firefox 60 (16/05/2018) supports TLS 1.3 (draft 28).
+    ff60.supported_versions = vec![
+        ProtocolVersion::Tls13Draft(28),
+        ProtocolVersion::Tls12,
+        ProtocolVersion::Tls11,
+        ProtocolVersion::Tls10,
+    ];
+
+    Family::new(
+        "Firefox",
+        Category::Browser,
+        vec![
+            Era {
+                versions: "4-26",
+                from: Date::ymd(2011, 3, 22),
+                tls: base_config(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 19, 6, 8, 2, Rc4Placement::Mid),
+                    old_exts,
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Tables 3/5/6: Firefox 27 (04/02/2014): TLS 1.1/1.2;
+            // CBC 29→17; 3DES 8→3. Table 4: RC4 6→4.
+            Era {
+                versions: "27-32",
+                from: Date::ymd(2014, 2, 4),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 12, 4, 3, 2, Rc4Placement::Mid),
+                    mid_exts.clone(),
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Tables 3/5: Firefox 33 (14/10/2014): CBC → 10; 3DES → 1.
+            Era {
+                versions: "33-35",
+                from: Date::ymd(2014, 10, 14),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 9, 4, 1, 0, Rc4Placement::Mid),
+                    mid_exts.clone(),
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Table 4: Firefox 36 (24/02/2015): RC4 fallback-only — the
+            // primary hello no longer offers it. Table 3: CBC → 9.
+            Era {
+                versions: "36-43",
+                from: Date::ymd(2015, 2, 24),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 8, 0, 1, 0, Rc4Placement::Mid),
+                    mid_exts,
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Table 4: Firefox 44 (26/01/2016): RC4 removed completely;
+            // ChaCha20 (RFC 7905) and x25519 in the NSS of this era.
+            Era {
+                versions: "44-59",
+                from: Date::ymd(2016, 1, 26),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN3, 8, 0, 1, 0, Rc4Placement::Mid),
+                    late_exts,
+                    ff_curves,
+                ),
+            },
+            // Table 3: Firefox 60 (beta config 14/03/2018, default
+            // rollout from May 2018 — §6.4). Dated at the moment the
+            // population actually starts carrying it.
+            Era {
+                versions: "60+",
+                from: Date::ymd(2018, 4, 14),
+                tls: ff60,
+            },
+        ],
+    )
+}
+
+/// The 2017 Chrome field experiment: a subset of Chrome 56-62 installs
+/// advertising the Google experimental TLS 1.3 variant 0x7e02 — the
+/// value §6.4 sees in 82.3 % of supported_versions sightings.
+pub fn chrome_tls13_experiment() -> Family {
+    let mut cfg = base_config(
+        ProtocolVersion::Tls12,
+        {
+            let mut all: Vec<tlscope_wire::CipherSuite> = aead::TLS13
+                .iter()
+                .copied()
+                .map(tlscope_wire::CipherSuite)
+                .collect();
+            all.append(&mut mix(aead::GEN3, 4, 0, 1, 0, Rc4Placement::Mid));
+            all
+        },
+        vec![
+            xt::RENEGOTIATION_INFO,
+            xt::SERVER_NAME,
+            xt::EXTENDED_MASTER_SECRET,
+            xt::SESSION_TICKET,
+            xt::SIGNATURE_ALGORITHMS,
+            xt::STATUS_REQUEST,
+            xt::SCT,
+            xt::ALPN,
+            xt::CHANNEL_ID,
+            xt::SUPPORTED_GROUPS,
+            xt::EC_POINT_FORMATS,
+            xt::SUPPORTED_VERSIONS,
+            xt::KEY_SHARE_DRAFT,
+        ],
+        MODERN_CURVES.to_vec(),
+    );
+    cfg.grease = true;
+    cfg.supported_versions = vec![
+        ProtocolVersion::Tls13Experiment(2),
+        ProtocolVersion::Tls12,
+        ProtocolVersion::Tls11,
+        ProtocolVersion::Tls10,
+    ];
+    Family::new(
+        "Chrome (TLS 1.3 experiment)",
+        Category::Browser,
+        vec![Era {
+            versions: "56-62/exp",
+            from: Date::ymd(2017, 2, 1),
+            tls: cfg,
+        }],
+    )
+}
+
+/// A small cohort of Firefox 52–59 users who flipped the TLS 1.3 pref
+/// (§6.4: draft 18 was the most common *official* draft at 13.4 % of
+/// supported_versions sightings).
+pub fn firefox_tls13_flag() -> Family {
+    let mut cfg = base_config(
+        ProtocolVersion::Tls12,
+        {
+            let mut all: Vec<tlscope_wire::CipherSuite> = aead::TLS13
+                .iter()
+                .copied()
+                .map(tlscope_wire::CipherSuite)
+                .collect();
+            all.append(&mut mix(aead::GEN3, 8, 0, 1, 0, Rc4Placement::Mid));
+            all
+        },
+        vec![
+            xt::SERVER_NAME,
+            xt::EXTENDED_MASTER_SECRET,
+            xt::RENEGOTIATION_INFO,
+            xt::SUPPORTED_GROUPS,
+            xt::EC_POINT_FORMATS,
+            xt::SESSION_TICKET,
+            xt::ALPN,
+            xt::STATUS_REQUEST,
+            xt::SIGNATURE_ALGORITHMS,
+            xt::SUPPORTED_VERSIONS,
+            xt::KEY_SHARE_DRAFT,
+        ],
+        vec![NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+    );
+    cfg.supported_versions = vec![
+        ProtocolVersion::Tls13Draft(18),
+        ProtocolVersion::Tls12,
+        ProtocolVersion::Tls11,
+        ProtocolVersion::Tls10,
+    ];
+    Family::new(
+        "Firefox (TLS 1.3 flag)",
+        Category::Browser,
+        vec![Era {
+            versions: "52-59/tls13-flag",
+            from: Date::ymd(2017, 3, 7),
+            tls: cfg,
+        }],
+    )
+}
+
+/// Opera's era list (Presto, then the Chromium fork).
+pub fn opera() -> Family {
+    let presto_exts = vec![
+        xt::SERVER_NAME,
+        xt::RENEGOTIATION_INFO,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+    ];
+    let blink_exts = vec![
+        xt::RENEGOTIATION_INFO,
+        xt::SERVER_NAME,
+        xt::SESSION_TICKET,
+        xt::NPN,
+        xt::STATUS_REQUEST,
+        xt::SIGNATURE_ALGORITHMS,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+    ];
+    let late_exts = vec![
+        xt::RENEGOTIATION_INFO,
+        xt::SERVER_NAME,
+        xt::EXTENDED_MASTER_SECRET,
+        xt::SESSION_TICKET,
+        xt::SIGNATURE_ALGORITHMS,
+        xt::STATUS_REQUEST,
+        xt::SCT,
+        xt::ALPN,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+    ];
+    let mut o43 = base_config(
+        ProtocolVersion::Tls12,
+        mix(aead::GEN3, 4, 0, 1, 0, Rc4Placement::Mid),
+        late_exts.clone(),
+        MODERN_CURVES.to_vec(),
+    );
+    o43.grease = true;
+    Family::new(
+        "Opera",
+        Category::Browser,
+        vec![
+            Era {
+                versions: "11-12 (Presto)",
+                from: Date::ymd(2011, 6, 28),
+                tls: base_config(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 17, 2, 6, 2, Rc4Placement::Mid),
+                    presto_exts,
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Tables 3/4: Opera 15 (02/07/2013), first Chromium build:
+            // CBC 25→29, RC4 2→6.
+            Era {
+                versions: "15",
+                from: Date::ymd(2013, 7, 2),
+                tls: base_config(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 19, 6, 8, 2, Rc4Placement::Mid),
+                    blink_exts.clone(),
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Tables 3/4/5/6: Opera 16 (27/08/2013): TLS 1.1; CBC → 16;
+            // RC4 → 4; 3DES 8 → 1.
+            Era {
+                versions: "16-17",
+                from: Date::ymd(2013, 8, 27),
+                tls: base_config(
+                    ProtocolVersion::Tls11,
+                    mix(aead::GEN1, 15, 4, 1, 0, Rc4Placement::Mid),
+                    blink_exts.clone(),
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Table 3: Opera 18 (19/11/2013): CBC → 10 (and TLS 1.2 with
+            // its Chromium 31 base).
+            Era {
+                versions: "18-27",
+                from: Date::ymd(2013, 11, 19),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 9, 4, 1, 0, Rc4Placement::Mid),
+                    blink_exts,
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Table 3: Opera 28 (10/03/2015): CBC → 9.
+            Era {
+                versions: "28-29",
+                from: Date::ymd(2015, 3, 10),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2_CHACHA_OLD, 8, 4, 1, 0, Rc4Placement::Mid),
+                    late_exts.clone(),
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+            // Tables 3/4: Opera 30 (09/06/2015): CBC → 7; RC4 removed.
+            Era {
+                versions: "30-42",
+                from: Date::ymd(2015, 6, 9),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2_CHACHA_OLD, 6, 0, 1, 0, Rc4Placement::Mid),
+                    late_exts,
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+            // Table 3: Opera 43 (07/02/2017): CBC → 5.
+            Era {
+                versions: "43+",
+                from: Date::ymd(2017, 2, 7),
+                tls: o43,
+            },
+        ],
+    )
+}
+
+/// Safari's era list (desktop SecureTransport).
+pub fn safari() -> Family {
+    let old_exts = vec![
+        xt::SERVER_NAME,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+    ];
+    let mid_exts = vec![
+        xt::SERVER_NAME,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SIGNATURE_ALGORITHMS,
+    ];
+    let late_exts = vec![
+        xt::SERVER_NAME,
+        xt::EXTENDED_MASTER_SECRET,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SIGNATURE_ALGORITHMS,
+        xt::ALPN,
+        xt::STATUS_REQUEST,
+        xt::SCT,
+    ];
+    Family::new(
+        "Safari",
+        Category::Browser,
+        vec![
+            Era {
+                versions: "5-5.1",
+                from: Date::ymd(2010, 6, 7),
+                tls: base_config(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 19, 7, 7, 2, Rc4Placement::Head),
+                    old_exts.clone(),
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Table 4: Safari 6 (25/02/2012): RC4 7 → 6.
+            Era {
+                versions: "6-6.2",
+                from: Date::ymd(2012, 2, 25),
+                tls: base_config(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 19, 6, 7, 2, Rc4Placement::Head),
+                    old_exts,
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Table 6: Safari 7 (22/10/2013): TLS 1.1/1.2.
+            Era {
+                versions: "7.0",
+                from: Date::ymd(2013, 10, 22),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(&[], 19, 6, 7, 2, Rc4Placement::Head),
+                    mid_exts.clone(),
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Tables 3/5: Safari 7.1/6.2 (18/09/2014): CBC 28 → 30,
+            // 3DES 7 → 6.
+            Era {
+                versions: "7.1-8",
+                from: Date::ymd(2014, 9, 18),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(&[], 22, 6, 6, 2, Rc4Placement::Head),
+                    mid_exts,
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Tables 3/4/5/6: Safari 9 (30/09/2015): AES-GCM arrives;
+            // RC4 → 4; CBC → 15; 3DES → 3; SSL 3 support removed.
+            Era {
+                versions: "9-10.0",
+                from: Date::ymd(2015, 9, 30),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 10, 4, 3, 2, Rc4Placement::Mid),
+                    late_exts.clone(),
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Tables 3/4: Safari 10.1 (2016/17): RC4 removed; CBC → 12.
+            Era {
+                versions: "10.1+",
+                from: Date::ymd(2017, 7, 19),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 9, 0, 3, 0, Rc4Placement::Mid),
+                    late_exts,
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+        ],
+    )
+}
+
+/// Internet Explorer / Edge era list (Schannel).
+pub fn ie_edge() -> Family {
+    let old_exts = vec![
+        xt::SERVER_NAME,
+        xt::STATUS_REQUEST,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+    ];
+    let mid_exts = vec![
+        xt::SERVER_NAME,
+        xt::STATUS_REQUEST,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SIGNATURE_ALGORITHMS,
+        xt::SESSION_TICKET,
+        xt::RENEGOTIATION_INFO,
+    ];
+    let late_exts = vec![
+        xt::SERVER_NAME,
+        xt::STATUS_REQUEST,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SIGNATURE_ALGORITHMS,
+        xt::SESSION_TICKET,
+        xt::ALPN,
+        xt::EXTENDED_MASTER_SECRET,
+        xt::RENEGOTIATION_INFO,
+    ];
+    Family::new(
+        "IE/Edge",
+        Category::Browser,
+        vec![
+            Era {
+                versions: "8-10",
+                from: Date::ymd(2009, 3, 19),
+                tls: base_config(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 9, 2, 1, 1, Rc4Placement::Mid),
+                    old_exts,
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Table 6: IE 11 (01/11/2013): TLS 1.1/1.2.
+            Era {
+                versions: "11-12",
+                from: Date::ymd(2013, 11, 1),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(&[0xc02b, 0xc02c], 10, 2, 1, 0, Rc4Placement::Mid),
+                    mid_exts,
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+            // Table 4: IE/Edge 13 (20/05/2015): all RC4 removed.
+            Era {
+                versions: "13+ (Edge)",
+                from: Date::ymd(2015, 5, 20),
+                tls: base_config(
+                    ProtocolVersion::Tls12,
+                    mix(
+                        &[0xc02b, 0xc02c, 0xc02f, 0xc030, 0x009e, 0x009f, 0x009c, 0x009d],
+                        8,
+                        0,
+                        1,
+                        0,
+                        Rc4Placement::Mid,
+                    ),
+                    late_exts,
+                    NIST_CURVES.to_vec(),
+                ),
+            },
+        ],
+    )
+}
+
+/// All five browser families (plus the Firefox TLS 1.3 flag cohort).
+pub fn all_browsers() -> Vec<Family> {
+    vec![
+        chrome(),
+        chrome_tls13_experiment(),
+        firefox(),
+        firefox_tls13_flag(),
+        opera(),
+        safari(),
+        ie_edge(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn era<'a>(f: &'a Family, v: &str) -> &'a Era {
+        f.eras
+            .iter()
+            .find(|e| e.versions == v)
+            .unwrap_or_else(|| panic!("{} era {v} missing", f.name))
+    }
+
+    #[test]
+    fn table3_cbc_counts() {
+        let ff = firefox();
+        assert_eq!(era(&ff, "4-26").tls.cbc_count(), 29);
+        assert_eq!(era(&ff, "27-32").tls.cbc_count(), 17);
+        assert_eq!(era(&ff, "33-35").tls.cbc_count(), 10);
+        assert_eq!(era(&ff, "36-43").tls.cbc_count(), 9);
+        assert_eq!(era(&ff, "60+").tls.cbc_count(), 5);
+
+        let ch = chrome();
+        assert_eq!(era(&ch, "22-28").tls.cbc_count(), 29);
+        assert_eq!(era(&ch, "29-30").tls.cbc_count(), 16);
+        assert_eq!(era(&ch, "31-32").tls.cbc_count(), 10);
+        assert_eq!(era(&ch, "41-42").tls.cbc_count(), 9);
+        assert_eq!(era(&ch, "49-55").tls.cbc_count(), 7);
+        assert_eq!(era(&ch, "56-64").tls.cbc_count(), 5);
+
+        let op = opera();
+        assert_eq!(era(&op, "11-12 (Presto)").tls.cbc_count(), 25);
+        assert_eq!(era(&op, "15").tls.cbc_count(), 29);
+        assert_eq!(era(&op, "16-17").tls.cbc_count(), 16);
+        assert_eq!(era(&op, "18-27").tls.cbc_count(), 10);
+        assert_eq!(era(&op, "28-29").tls.cbc_count(), 9);
+        assert_eq!(era(&op, "30-42").tls.cbc_count(), 7);
+        assert_eq!(era(&op, "43+").tls.cbc_count(), 5);
+
+        let sa = safari();
+        assert_eq!(era(&sa, "6-6.2").tls.cbc_count(), 28);
+        assert_eq!(era(&sa, "7.1-8").tls.cbc_count(), 30);
+        assert_eq!(era(&sa, "9-10.0").tls.cbc_count(), 15);
+        assert_eq!(era(&sa, "10.1+").tls.cbc_count(), 12);
+    }
+
+    #[test]
+    fn table4_rc4_counts() {
+        let ff = firefox();
+        assert_eq!(era(&ff, "4-26").tls.rc4_count(), 6);
+        assert_eq!(era(&ff, "27-32").tls.rc4_count(), 4);
+        assert_eq!(era(&ff, "36-43").tls.rc4_count(), 0); // fallback-only
+        assert_eq!(era(&ff, "44-59").tls.rc4_count(), 0); // removed
+
+        let ch = chrome();
+        assert_eq!(era(&ch, "22-28").tls.rc4_count(), 6);
+        assert_eq!(era(&ch, "29-30").tls.rc4_count(), 4);
+        assert_eq!(era(&ch, "43-48").tls.rc4_count(), 0);
+
+        let op = opera();
+        assert_eq!(era(&op, "11-12 (Presto)").tls.rc4_count(), 2);
+        assert_eq!(era(&op, "15").tls.rc4_count(), 6);
+        assert_eq!(era(&op, "16-17").tls.rc4_count(), 4);
+        assert_eq!(era(&op, "30-42").tls.rc4_count(), 0);
+
+        let sa = safari();
+        assert_eq!(era(&sa, "5-5.1").tls.rc4_count(), 7);
+        assert_eq!(era(&sa, "6-6.2").tls.rc4_count(), 6);
+        assert_eq!(era(&sa, "9-10.0").tls.rc4_count(), 4);
+        assert_eq!(era(&sa, "10.1+").tls.rc4_count(), 0);
+
+        let ie = ie_edge();
+        assert_eq!(era(&ie, "11-12").tls.rc4_count(), 2);
+        assert_eq!(era(&ie, "13+ (Edge)").tls.rc4_count(), 0);
+    }
+
+    #[test]
+    fn table5_3des_counts() {
+        let ff = firefox();
+        assert_eq!(era(&ff, "4-26").tls.tdes_count(), 8);
+        assert_eq!(era(&ff, "27-32").tls.tdes_count(), 3);
+        assert_eq!(era(&ff, "33-35").tls.tdes_count(), 1);
+
+        let ch = chrome();
+        assert_eq!(era(&ch, "22-28").tls.tdes_count(), 8);
+        assert_eq!(era(&ch, "29-30").tls.tdes_count(), 1);
+
+        let op = opera();
+        assert_eq!(era(&op, "15").tls.tdes_count(), 8);
+        assert_eq!(era(&op, "16-17").tls.tdes_count(), 1);
+
+        let sa = safari();
+        assert_eq!(era(&sa, "7.0").tls.tdes_count(), 7);
+        assert_eq!(era(&sa, "7.1-8").tls.tdes_count(), 6);
+        assert_eq!(era(&sa, "9-10.0").tls.tdes_count(), 3);
+    }
+
+    #[test]
+    fn table6_version_support() {
+        use ProtocolVersion as V;
+        let ch = chrome();
+        assert!(!era(&ch, "14-21").tls.supports_version(V::Tls11));
+        assert!(era(&ch, "22-28").tls.supports_version(V::Tls11));
+        assert!(!era(&ch, "22-28").tls.supports_version(V::Tls12));
+        assert!(era(&ch, "29-30").tls.supports_version(V::Tls12));
+        assert!(era(&ch, "65-66").tls.supports_version(V::Tls13));
+
+        let ff = firefox();
+        assert!(!era(&ff, "4-26").tls.supports_version(V::Tls11));
+        assert!(era(&ff, "27-32").tls.supports_version(V::Tls12));
+        assert!(era(&ff, "60+").tls.supports_version(V::Tls13));
+
+        let ie = ie_edge();
+        assert!(!era(&ie, "8-10").tls.supports_version(V::Tls11));
+        assert!(era(&ie, "11-12").tls.supports_version(V::Tls12));
+
+        let op = opera();
+        assert!(era(&op, "16-17").tls.supports_version(V::Tls11));
+        assert!(!era(&op, "16-17").tls.supports_version(V::Tls12));
+        assert!(era(&op, "18-27").tls.supports_version(V::Tls12));
+
+        let sa = safari();
+        assert!(!era(&sa, "6-6.2").tls.supports_version(V::Tls11));
+        assert!(era(&sa, "7.0").tls.supports_version(V::Tls12));
+    }
+
+    #[test]
+    fn browsers_never_offer_weak_families() {
+        for f in all_browsers() {
+            for e in &f.eras {
+                assert_eq!(
+                    e.tls.count_ciphers(|c| c.is_export()),
+                    0,
+                    "{} {} offers export",
+                    f.name,
+                    e.versions
+                );
+                assert_eq!(
+                    e.tls.count_ciphers(|c| c.is_anon()),
+                    0,
+                    "{} {} offers anon",
+                    f.name,
+                    e.versions
+                );
+                assert_eq!(
+                    e.tls.count_ciphers(|c| c.is_null_encryption()),
+                    0,
+                    "{} {} offers NULL",
+                    f.name,
+                    e.versions
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_browser_eras_have_distinct_fingerprints() {
+        let mut seen = std::collections::HashMap::new();
+        for f in all_browsers() {
+            for e in &f.eras {
+                let fp = e.tls.fingerprint();
+                if let Some(prev) = seen.insert(fp, (f.name, e.versions)) {
+                    panic!(
+                        "fingerprint collision: {} {} vs {} {}",
+                        prev.0, prev.1, f.name, e.versions
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modern_eras_offer_aead_old_ones_dont() {
+        let ch = chrome();
+        assert!(!era(&ch, "22-28").tls.offers_aead());
+        assert!(era(&ch, "29-30").tls.offers_aead());
+        let sa = safari();
+        assert!(!era(&sa, "7.1-8").tls.offers_aead());
+        assert!(era(&sa, "9-10.0").tls.offers_aead());
+    }
+
+    #[test]
+    fn tls13_eras_advertise_via_supported_versions() {
+        let ch = chrome();
+        let e = era(&ch, "65-66");
+        let hello = e
+            .tls
+            .build_hello(None, &crate::spec::HelloEntropy::from_seed(1));
+        assert!(hello.offers_tls13());
+        // Legacy version field stays at 1.2 (§6.4).
+        assert_eq!(hello.legacy_version, ProtocolVersion::Tls12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Client families: a named piece of software with a timeline of
+//! configuration eras.
+//!
+//! An *era* is a maximal version range over which the TLS configuration
+//! (and therefore the fingerprint) was stable. The browser tables of the
+//! paper (Tables 3–6) are exactly era boundaries: each row is the date a
+//! browser's cipher list or version support changed.
+
+use tlscope_chron::Date;
+use tlscope_fingerprint::Category;
+
+use crate::spec::{ClientSpec, TlsConfig};
+
+/// One configuration era of a client family.
+#[derive(Debug, Clone)]
+pub struct Era {
+    /// Version range label ("27-32").
+    pub versions: &'static str,
+    /// First shipping date of this configuration.
+    pub from: Date,
+    /// The configuration.
+    pub tls: TlsConfig,
+}
+
+/// A named client with a chronological list of eras.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Software name as it appears in the fingerprint database.
+    pub name: &'static str,
+    /// Fingerprint-database category.
+    pub category: Category,
+    /// Eras in ascending `from` order.
+    pub eras: Vec<Era>,
+    /// True when the catalog knows what this is. Unlabelled families are
+    /// emitted in traffic but never inserted in the fingerprint database
+    /// — they model the ~30 % of connections the paper could not
+    /// attribute (§4, Table 2).
+    pub labelled: bool,
+}
+
+impl Family {
+    /// Construct a labelled family, asserting chronological era order.
+    pub fn new(name: &'static str, category: Category, eras: Vec<Era>) -> Self {
+        Self::build(name, category, eras, true)
+    }
+
+    /// Construct an *unlabelled* family: present on the wire, absent
+    /// from the fingerprint database.
+    pub fn unlabelled(name: &'static str, category: Category, eras: Vec<Era>) -> Self {
+        Self::build(name, category, eras, false)
+    }
+
+    fn build(name: &'static str, category: Category, eras: Vec<Era>, labelled: bool) -> Self {
+        assert!(!eras.is_empty(), "{name}: family needs at least one era");
+        for w in eras.windows(2) {
+            assert!(
+                w[0].from < w[1].from,
+                "{name}: eras out of order at {}",
+                w[1].versions
+            );
+        }
+        Family {
+            name,
+            category,
+            eras,
+            labelled,
+        }
+    }
+
+    /// Index of the era current at `date` (the newest era released on or
+    /// before it); `None` before the first release.
+    pub fn era_index_at(&self, date: Date) -> Option<usize> {
+        let mut current = None;
+        for (i, era) in self.eras.iter().enumerate() {
+            if era.from <= date {
+                current = Some(i);
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// The era current at `date`.
+    pub fn era_at(&self, date: Date) -> Option<&Era> {
+        self.era_index_at(date).map(|i| &self.eras[i])
+    }
+
+    /// All eras as labelled client specs (for fingerprint-database
+    /// construction).
+    pub fn specs(&self) -> Vec<ClientSpec> {
+        self.eras
+            .iter()
+            .map(|e| ClientSpec {
+                name: self.name,
+                category: self.category,
+                versions: e.versions,
+                released: e.from,
+                tls: e.tls.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pools::{mix, Rc4Placement};
+    use tlscope_wire::ProtocolVersion;
+
+    fn cfg() -> TlsConfig {
+        TlsConfig {
+            legacy_version: ProtocolVersion::Tls10,
+            supported_versions: vec![],
+            min_version: ProtocolVersion::Ssl3,
+            ciphers: mix(&[], 5, 2, 1, 0, Rc4Placement::Mid),
+            extensions: vec![],
+            curves: vec![],
+            point_formats: vec![],
+            compression: vec![0],
+            grease: false,
+            heartbeat_mode: 1,
+        }
+    }
+
+    fn family() -> Family {
+        Family::new(
+            "TestWare",
+            Category::DevTool,
+            vec![
+                Era {
+                    versions: "1",
+                    from: Date::ymd(2012, 1, 1),
+                    tls: cfg(),
+                },
+                Era {
+                    versions: "2",
+                    from: Date::ymd(2014, 6, 1),
+                    tls: cfg(),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn era_selection() {
+        let f = family();
+        assert!(f.era_at(Date::ymd(2011, 12, 31)).is_none());
+        assert_eq!(f.era_at(Date::ymd(2012, 1, 1)).unwrap().versions, "1");
+        assert_eq!(f.era_at(Date::ymd(2014, 5, 31)).unwrap().versions, "1");
+        assert_eq!(f.era_at(Date::ymd(2014, 6, 1)).unwrap().versions, "2");
+        assert_eq!(f.era_at(Date::ymd(2020, 1, 1)).unwrap().versions, "2");
+    }
+
+    #[test]
+    fn specs_carry_labels() {
+        let specs = family().specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].label().name, "TestWare");
+        assert_eq!(specs[1].versions, "2");
+    }
+
+    #[test]
+    #[should_panic(expected = "eras out of order")]
+    fn rejects_unordered_eras() {
+        let mut eras = family().eras;
+        eras.swap(0, 1);
+        Family::new("Bad", Category::DevTool, eras);
+    }
+}

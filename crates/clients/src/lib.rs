@@ -1,0 +1,48 @@
+//! # tlscope-clients
+//!
+//! The historical TLS client-configuration database behind the tlscope
+//! reproduction of *Coming of Age* (IMC 2018).
+//!
+//! Every client the paper names — the five major browsers with their
+//! full cipher-reduction history (Tables 3–6), the TLS libraries that
+//! dominate fingerprint coverage (Table 2), and the anomalous clients of
+//! §5–§6 (GRID NULL-cipher movers, Nagios anonymous-DH probes, apps that
+//! unwittingly offer NULL/anon suites, scanners, malware) — is modelled
+//! as a [`family::Family`] of configuration eras that emit
+//! genuine ClientHello bytes.
+//!
+//! The [`adoption`] module models how installed bases migrate between
+//! eras (fast browser ramps, slow OS tails), which is what makes
+//! "browsers dropped RC4 in 2015 but clients kept advertising it"
+//! reproducible.
+//!
+//! ```
+//! use tlscope_clients::catalog;
+//! use tlscope_chron::Date;
+//!
+//! let (db, collisions) = catalog::build_database();
+//! assert_eq!(collisions, 0);
+//!
+//! // What was Chrome shipping the day Heartbleed dropped?
+//! let chrome = tlscope_clients::browsers::chrome();
+//! let era = chrome.era_at(Date::ymd(2014, 4, 7)).unwrap();
+//! assert!(era.tls.offers_aead());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adoption;
+pub mod apps;
+pub mod apps_extra;
+pub mod browsers;
+pub mod catalog;
+pub mod family;
+pub mod libraries;
+pub mod pools;
+pub mod spec;
+pub mod unlabeled;
+
+pub use adoption::AdoptionModel;
+pub use family::{Era, Family};
+pub use spec::{ClientSpec, HelloEntropy, TlsConfig};

@@ -1,0 +1,643 @@
+//! TLS library and OS-stack client configurations.
+//!
+//! Libraries dominate the fingerprint database (Table 2: 700 of 1,684
+//! fingerprints and 46.49 % of matched traffic). They also drive several
+//! of the paper's long-tail findings: legacy OpenSSL/Java/Android stacks
+//! are where export-grade and DES offers persist into the mid-2010s
+//! (Figure 7), OpenSSL-linked clients are the ones still advertising the
+//! Heartbeat extension (§5.4), and Android 2.3 is the canonical
+//! "TLS 1.0 only, no ECDHE, no AEAD" laggard (§7.2).
+
+use tlscope_chron::Date;
+use tlscope_fingerprint::Category;
+use tlscope_wire::exts::ext_type as xt;
+use tlscope_wire::{NamedGroup, ProtocolVersion};
+
+use crate::family::{Era, Family};
+use crate::pools::{aead, mix, mix_no_ec, with_extras, Rc4Placement, EXPORT_POOL};
+use crate::spec::TlsConfig;
+
+fn cfg(
+    version: ProtocolVersion,
+    ciphers: Vec<tlscope_wire::CipherSuite>,
+    extensions: Vec<u16>,
+    curves: Vec<NamedGroup>,
+) -> TlsConfig {
+    // OpenSSL-style stacks advertise all three point formats; an empty
+    // curve list means an EC-free (or extension-free) stack.
+    let point_formats = if curves.is_empty() { vec![] } else { vec![0, 1, 2] };
+    TlsConfig {
+        legacy_version: version,
+        supported_versions: vec![],
+        min_version: ProtocolVersion::Ssl3,
+        ciphers,
+        extensions,
+        curves,
+        point_formats,
+        compression: vec![0],
+        grease: false,
+        heartbeat_mode: 1,
+    }
+}
+
+/// Old OpenSSL orders its curves by strength — sect571r1 first. This is
+/// why §6.3.3 sees sect571r1 negotiated at all (0.2 %): OpenSSL clients
+/// meeting servers with the same strength-ordered default.
+const OPENSSL_CURVES: [NamedGroup; 4] = [
+    NamedGroup::SECT571R1,
+    NamedGroup::SECP521R1,
+    NamedGroup::SECP384R1,
+    NamedGroup::SECP256R1,
+];
+
+/// OpenSSL era list. Heartbeat is advertised from 1.0.1 (where the
+/// Heartbleed bug lived) through 1.0.2; 1.1.0 drops it along with RC4.
+pub fn openssl() -> Family {
+    let ossl_101_exts = vec![
+        xt::SERVER_NAME,
+        xt::RENEGOTIATION_INFO,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SESSION_TICKET,
+        xt::HEARTBEAT,
+        xt::SIGNATURE_ALGORITHMS,
+    ];
+    let ossl_110_exts = vec![
+        xt::SERVER_NAME,
+        xt::RENEGOTIATION_INFO,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SESSION_TICKET,
+        xt::ENCRYPT_THEN_MAC,
+        xt::EXTENDED_MASTER_SECRET,
+        xt::SIGNATURE_ALGORITHMS,
+    ];
+    let mut ossl111 = cfg(
+        ProtocolVersion::Tls12,
+        {
+            let mut all: Vec<tlscope_wire::CipherSuite> = aead::TLS13
+                .iter()
+                .copied()
+                .map(tlscope_wire::CipherSuite)
+                .collect();
+            all.append(&mut mix(aead::GEN3, 10, 0, 1, 0, Rc4Placement::Mid));
+            all
+        },
+        {
+            let mut e = ossl_110_exts.clone();
+            e.push(xt::SUPPORTED_VERSIONS);
+            e.push(xt::KEY_SHARE);
+            e.push(xt::PSK_KEY_EXCHANGE_MODES);
+            e
+        },
+        vec![NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP521R1, NamedGroup::SECP384R1],
+    );
+    ossl111.supported_versions = vec![
+        ProtocolVersion::Tls13Draft(26),
+        ProtocolVersion::Tls12,
+        ProtocolVersion::Tls11,
+        ProtocolVersion::Tls10,
+    ];
+    Family::new(
+        "OpenSSL",
+        Category::Library,
+        vec![
+            // 0.9.8: extension-free hello, export and DES suites in the
+            // default list.
+            Era {
+                versions: "0.9.8",
+                from: Date::ymd(2005, 7, 5),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    with_extras(
+                        mix_no_ec(&[], 12, 2, 2, 2, Rc4Placement::Mid),
+                        &EXPORT_POOL[..4],
+                    ),
+                    vec![],
+                    vec![],
+                ),
+            },
+            Era {
+                versions: "1.0.0",
+                from: Date::ymd(2010, 3, 29),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    with_extras(
+                        mix(&[], 16, 2, 2, 2, Rc4Placement::Mid),
+                        &EXPORT_POOL[..2],
+                    ),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::RENEGOTIATION_INFO,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SESSION_TICKET,
+                    ],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            // 1.0.1 (14/03/2012): TLS 1.2, AES-GCM, and the Heartbeat
+            // extension that Heartbleed lived in.
+            Era {
+                versions: "1.0.1",
+                from: Date::ymd(2012, 3, 14),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(
+                        &[0xc02f, 0xc02b, 0x009e, 0x009c, 0x009d, 0x009f],
+                        18,
+                        4,
+                        3,
+                        2,
+                        Rc4Placement::Mid,
+                    ),
+                    ossl_101_exts.clone(),
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            // 1.0.2 (22/01/2015): extended cipher list, still heartbeat.
+            Era {
+                versions: "1.0.2",
+                from: Date::ymd(2015, 1, 22),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 18, 2, 2, 0, Rc4Placement::Mid),
+                    ossl_101_exts,
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            // 1.1.0 (25/08/2016): ChaCha20, x25519; RC4 and heartbeat gone.
+            Era {
+                versions: "1.1.0",
+                from: Date::ymd(2016, 8, 25),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    with_extras(
+                        mix(aead::GEN3, 12, 0, 1, 0, Rc4Placement::Mid),
+                        &[0xc0ac, 0xc09e], // AES-CCM in the 1.1.0 default list
+                    ),
+                    ossl_110_exts,
+                    vec![
+                        NamedGroup::X25519,
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP521R1,
+                        NamedGroup::SECP384R1,
+                    ],
+                ),
+            },
+            // 1.1.1 pre-releases (2018): TLS 1.3 draft 26 — only the
+            // bleeding edge compiles it before the study window closes.
+            Era {
+                versions: "1.1.1-pre",
+                from: Date::ymd(2018, 4, 10),
+                tls: ossl111,
+            },
+        ],
+    )
+}
+
+/// Android SDK platform stack (what the paper labels "Android SDK" —
+/// apps and Chrome-on-Android alike resolve to it).
+pub fn android() -> Family {
+    Family::new(
+        "Android SDK",
+        Category::Library,
+        vec![
+            // 2.3 Gingerbread: TLS 1.0 only, RC4-first, export suites
+            // still enabled (§7.2's canonical laggard).
+            Era {
+                versions: "2.3",
+                from: Date::ymd(2010, 12, 6),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    with_extras(
+                        mix_no_ec(&[], 6, 2, 2, 2, Rc4Placement::Head),
+                        &EXPORT_POOL[..3],
+                    ),
+                    vec![xt::SESSION_TICKET],
+                    vec![],
+                ),
+            },
+            Era {
+                versions: "4.0-4.3",
+                from: Date::ymd(2011, 10, 18),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 12, 2, 2, 1, Rc4Placement::Head),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SESSION_TICKET,
+                        xt::NPN,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                    ],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            Era {
+                versions: "4.4",
+                from: Date::ymd(2013, 10, 31),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 12, 2, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SESSION_TICKET,
+                        xt::NPN,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                    ],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            // 5.x Lollipop (12/11/2014): TLS 1.2 by default, GCM, the
+            // pre-standard ChaCha20 points.
+            Era {
+                versions: "5.0-5.1",
+                from: Date::ymd(2014, 11, 12),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2_CHACHA_OLD, 8, 2, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SESSION_TICKET,
+                        xt::NPN,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                    ],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            // 6.0 Marshmallow (05/10/2015): RC4 dropped.
+            Era {
+                versions: "6.0",
+                from: Date::ymd(2015, 10, 5),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2_CHACHA_OLD, 8, 0, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SESSION_TICKET,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                    ],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            // 7.x Nougat (22/08/2016): BoringSSL — RFC 7905 ChaCha20,
+            // x25519.
+            Era {
+                versions: "7-8",
+                from: Date::ymd(2016, 8, 22),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN3, 6, 0, 0, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::EXTENDED_MASTER_SECRET,
+                        xt::SESSION_TICKET,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::ALPN,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                    ],
+                    vec![NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+        ],
+    )
+}
+
+/// Apple SecureTransport as used by iOS system services and apps (the
+/// paper's top long-lived fingerprint is the "iPad Air (library)").
+pub fn apple_securetransport() -> Family {
+    let st_exts = vec![
+        xt::SERVER_NAME,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SIGNATURE_ALGORITHMS,
+    ];
+    let st_late = vec![
+        xt::SERVER_NAME,
+        xt::EXTENDED_MASTER_SECRET,
+        xt::SUPPORTED_GROUPS,
+        xt::EC_POINT_FORMATS,
+        xt::SIGNATURE_ALGORITHMS,
+        xt::ALPN,
+        xt::STATUS_REQUEST,
+        xt::SCT,
+    ];
+    Family::new(
+        "Apple SecureTransport",
+        Category::Library,
+        vec![
+            // iOS 5/6 shipped TLS 1.2 remarkably early (2011).
+            Era {
+                versions: "iOS 5-6",
+                from: Date::ymd(2011, 10, 12),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(&[], 16, 5, 4, 1, Rc4Placement::Head),
+                    st_exts.clone(),
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                ),
+            },
+            Era {
+                versions: "iOS 7-8",
+                from: Date::ymd(2013, 9, 18),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(&[], 18, 4, 3, 0, Rc4Placement::Mid),
+                    st_exts,
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                ),
+            },
+            // iOS 9 (16/09/2015): AES-GCM; RC4 off by default.
+            Era {
+                versions: "iOS 9-10",
+                from: Date::ymd(2015, 9, 16),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 10, 0, 3, 0, Rc4Placement::Mid),
+                    st_late.clone(),
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                ),
+            },
+            // iOS 11 (19/09/2017): ChaCha20-Poly1305; 3DES dropped.
+            Era {
+                versions: "iOS 11",
+                from: Date::ymd(2017, 9, 19),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN3, 8, 0, 0, 0, Rc4Placement::Mid),
+                    st_late,
+                    vec![NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+        ],
+    )
+}
+
+/// Microsoft Schannel / CryptoAPI as used by Windows services and
+/// non-browser clients.
+pub fn schannel() -> Family {
+    Family::new(
+        "MS CryptoAPI",
+        Category::Library,
+        vec![
+            Era {
+                versions: "WinXP/7",
+                from: Date::ymd(2009, 10, 22),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 8, 2, 1, 1, Rc4Placement::Mid),
+                    vec![xt::SERVER_NAME, xt::STATUS_REQUEST, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+            Era {
+                versions: "Win8.1",
+                from: Date::ymd(2013, 10, 17),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(&[0xc02b, 0xc02c], 10, 2, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::STATUS_REQUEST,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SIGNATURE_ALGORITHMS,
+                    ],
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+            Era {
+                versions: "Win10",
+                from: Date::ymd(2015, 7, 29),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(
+                        &[0xc02b, 0xc02c, 0xc02f, 0xc030, 0x009e, 0x009f],
+                        8,
+                        0,
+                        1,
+                        0,
+                        Rc4Placement::Mid,
+                    ),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::STATUS_REQUEST,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::ALPN,
+                        xt::EXTENDED_MASTER_SECRET,
+                    ],
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::X25519],
+                ),
+            },
+        ],
+    )
+}
+
+/// Oracle Java JSSE. Java 6/7 clients capped at TLS 1.0 by default and
+/// carried export suites deep into the 2010s — a major Figure 7 source.
+pub fn java() -> Family {
+    Family::new(
+        "Java JSSE",
+        Category::Library,
+        vec![
+            Era {
+                versions: "6",
+                from: Date::ymd(2006, 12, 11),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    with_extras(
+                        mix_no_ec(&[], 8, 2, 2, 1, Rc4Placement::Mid),
+                        &EXPORT_POOL[..4],
+                    ),
+                    vec![],
+                    vec![],
+                ),
+            },
+            Era {
+                versions: "7",
+                from: Date::ymd(2011, 7, 28),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    with_extras(
+                        mix(&[], 12, 2, 2, 1, Rc4Placement::Mid),
+                        &EXPORT_POOL[..2],
+                    ),
+                    vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            Era {
+                versions: "8",
+                from: Date::ymd(2014, 3, 18),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 12, 2, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SIGNATURE_ALGORITHMS,
+                    ],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+            Era {
+                versions: "8u161+",
+                from: Date::ymd(2018, 1, 16),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 10, 0, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::EXTENDED_MASTER_SECRET,
+                    ],
+                    OPENSSL_CURVES.to_vec(),
+                ),
+            },
+        ],
+    )
+}
+
+/// All library families.
+pub fn all_libraries() -> Vec<Family> {
+    vec![openssl(), android(), apple_securetransport(), schannel(), java()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlscope_wire::CipherSuite;
+
+    fn era<'a>(f: &'a Family, v: &str) -> &'a Era {
+        f.eras
+            .iter()
+            .find(|e| e.versions == v)
+            .unwrap_or_else(|| panic!("{} era {v} missing", f.name))
+    }
+
+    #[test]
+    fn legacy_stacks_advertise_export() {
+        for (fam, v) in [
+            (openssl(), "0.9.8"),
+            (android(), "2.3"),
+            (java(), "6"),
+            (java(), "7"),
+        ] {
+            assert!(
+                era(&fam, v).tls.count_ciphers(|c| c.is_export()) > 0,
+                "{} {v} should offer export suites",
+                fam.name
+            );
+        }
+        // Modern stacks never do.
+        for (fam, v) in [(openssl(), "1.1.0"), (android(), "7-8"), (java(), "8")] {
+            assert_eq!(era(&fam, v).tls.count_ciphers(|c| c.is_export()), 0);
+        }
+    }
+
+    #[test]
+    fn heartbeat_lives_in_openssl_101_and_102_only() {
+        let o = openssl();
+        use tlscope_wire::exts::ext_type;
+        let has_hb = |v: &str| {
+            era(&o, v)
+                .tls
+                .extensions
+                .contains(&ext_type::HEARTBEAT)
+        };
+        assert!(!has_hb("0.9.8"));
+        assert!(!has_hb("1.0.0"));
+        assert!(has_hb("1.0.1"));
+        assert!(has_hb("1.0.2"));
+        assert!(!has_hb("1.1.0"));
+        assert!(!has_hb("1.1.1-pre"));
+    }
+
+    #[test]
+    fn android_23_is_the_canonical_laggard() {
+        let a = android();
+        let e = era(&a, "2.3");
+        assert!(!e.tls.supports_version(ProtocolVersion::Tls11));
+        assert!(!e.tls.offers_aead());
+        // RC4 first in its preference order.
+        assert!(e.tls.ciphers[0].is_rc4());
+        // No ECDHE at all.
+        assert_eq!(
+            e.tls
+                .count_ciphers(|c| matches!(c.kx(), Some(tlscope_wire::Kx::Ecdhe))),
+            0
+        );
+    }
+
+    #[test]
+    fn ios_supported_tls12_early() {
+        let st = apple_securetransport();
+        assert!(era(&st, "iOS 5-6").tls.supports_version(ProtocolVersion::Tls12));
+    }
+
+    #[test]
+    fn openssl_111_advertises_tls13_draft() {
+        let o = openssl();
+        let hello = era(&o, "1.1.1-pre")
+            .tls
+            .build_hello(None, &crate::spec::HelloEntropy::from_seed(5));
+        assert!(hello.offers_tls13());
+    }
+
+    #[test]
+    fn library_fingerprints_distinct() {
+        let mut seen = std::collections::HashMap::new();
+        for f in all_libraries() {
+            for e in &f.eras {
+                let fp = e.tls.fingerprint();
+                if let Some(prev) = seen.insert(fp, (f.name, e.versions)) {
+                    panic!(
+                        "fingerprint collision: {} {} vs {} {}",
+                        prev.0, prev.1, f.name, e.versions
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extension_free_hellos_stay_extension_free() {
+        let o = openssl();
+        let hello = era(&o, "0.9.8")
+            .tls
+            .build_hello(None, &crate::spec::HelloEntropy::from_seed(1));
+        assert!(hello.extensions.is_none());
+        // And they roundtrip through the wire.
+        let parsed =
+            tlscope_wire::ClientHello::parse_handshake(&hello.to_handshake_bytes()).unwrap();
+        assert_eq!(parsed, hello);
+    }
+
+    #[test]
+    fn chacha_old_vs_new_code_points() {
+        // Android 5 uses the pre-standard points, Android 7 the RFC ones.
+        let a = android();
+        let has = |v: &str, id: u16| {
+            era(&a, v)
+                .tls
+                .ciphers
+                .contains(&CipherSuite(id))
+        };
+        assert!(has("5.0-5.1", 0xcc13));
+        assert!(!has("5.0-5.1", 0xcca8));
+        assert!(has("7-8", 0xcca8));
+        assert!(!has("7-8", 0xcc13));
+    }
+}

@@ -1,0 +1,372 @@
+//! Client specifications: a versioned TLS configuration plus the
+//! machinery to emit genuine ClientHello wire bytes from it.
+//!
+//! A [`ClientSpec`] is one (software, version-range) row of the client
+//! database — the unit the paper's fingerprint database labels. Its
+//! [`TlsConfig`] captures everything a fingerprint can see: cipher order,
+//! extension order, curves, point formats, GREASE behaviour, and the
+//! version-negotiation style.
+
+use tlscope_chron::Date;
+use tlscope_fingerprint::{Category, Fingerprint};
+use tlscope_wire::exts::ext_type;
+use tlscope_wire::grease::grease_value;
+use tlscope_wire::{CipherSuite, ClientHello, Extension, NamedGroup, ProtocolVersion};
+
+/// Full TLS configuration of one client version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlsConfig {
+    /// The version field placed in the hello (maximum supported for
+    /// pre-1.3 clients; pinned to 1.2 for 1.3-capable clients).
+    pub legacy_version: ProtocolVersion,
+    /// Versions advertised via `supported_versions`; empty for clients
+    /// that use classic version negotiation.
+    pub supported_versions: Vec<ProtocolVersion>,
+    /// Minimum version the client will fall back to.
+    pub min_version: ProtocolVersion,
+    /// Cipher suites in preference order (SCSVs included if sent).
+    pub ciphers: Vec<CipherSuite>,
+    /// Extension types in hello order.
+    pub extensions: Vec<u16>,
+    /// `supported_groups` body.
+    pub curves: Vec<NamedGroup>,
+    /// `ec_point_formats` body.
+    pub point_formats: Vec<u8>,
+    /// Compression methods offered.
+    pub compression: Vec<u8>,
+    /// Whether the client GREASEs its hello (Chrome ≥ 55).
+    pub grease: bool,
+    /// Heartbeat mode advertised, if the heartbeat extension is listed
+    /// (1 = peer_allowed_to_send). OpenSSL-linked clients set this.
+    pub heartbeat_mode: u8,
+}
+
+impl TlsConfig {
+    /// Build the ClientHello this configuration emits.
+    ///
+    /// `entropy` supplies all nondeterminism (random bytes, session id,
+    /// GREASE draws) so that hello construction itself is deterministic
+    /// and testable.
+    pub fn build_hello(&self, sni: Option<&str>, entropy: &HelloEntropy) -> ClientHello {
+        let mut ciphers: Vec<CipherSuite> = Vec::with_capacity(self.ciphers.len() + 1);
+        if self.grease {
+            ciphers.push(CipherSuite(grease_value(entropy.grease_draws[0])));
+        }
+        ciphers.extend(self.ciphers.iter().copied());
+
+        let mut exts: Vec<Extension> = Vec::with_capacity(self.extensions.len() + 2);
+        if self.grease {
+            exts.push(Extension::empty(grease_value(entropy.grease_draws[1])));
+        }
+        for &t in &self.extensions {
+            exts.push(self.materialise_extension(t, sni, entropy));
+        }
+        if self.grease {
+            // Chrome places a second GREASE extension at the end,
+            // followed by padding; we keep just the extension.
+            exts.push(Extension::empty(grease_value(
+                entropy.grease_draws[2].wrapping_add(1),
+            )));
+        }
+
+        ClientHello {
+            legacy_version: self.legacy_version,
+            random: entropy.random,
+            session_id: entropy.session_id.clone(),
+            cipher_suites: ciphers,
+            compression_methods: self.compression.clone(),
+            extensions: if self.extensions.is_empty() && !self.grease {
+                // Truly extension-free hello (pre-TLS or minimal stacks).
+                None
+            } else {
+                Some(exts)
+            },
+        }
+    }
+
+    fn materialise_extension(
+        &self,
+        typ: u16,
+        sni: Option<&str>,
+        entropy: &HelloEntropy,
+    ) -> Extension {
+        match typ {
+            ext_type::SERVER_NAME => Extension::server_name(sni.unwrap_or("example.com")),
+            ext_type::SUPPORTED_GROUPS => {
+                let mut curves = self.curves.clone();
+                if self.grease {
+                    curves.insert(0, NamedGroup(grease_value(entropy.grease_draws[3])));
+                }
+                Extension::supported_groups(&curves)
+            }
+            ext_type::EC_POINT_FORMATS => Extension::ec_point_formats(&self.point_formats),
+            ext_type::SUPPORTED_VERSIONS => {
+                let mut vs = self.supported_versions.clone();
+                if self.grease {
+                    vs.insert(
+                        0,
+                        ProtocolVersion::Unknown(grease_value(entropy.grease_draws[0])),
+                    );
+                }
+                Extension::supported_versions(&vs)
+            }
+            ext_type::HEARTBEAT => Extension::heartbeat(self.heartbeat_mode),
+            ext_type::RENEGOTIATION_INFO => Extension::renegotiation_info(),
+            ext_type::SIGNATURE_ALGORITHMS => {
+                // A representative (hash, sig) list; content does not
+                // feed the 4-feature fingerprint.
+                Extension::signature_algorithms(&[0x0403, 0x0503, 0x0603, 0x0401, 0x0501, 0x0601, 0x0201])
+            }
+            ext_type::ALPN => Extension::alpn(&["h2", "http/1.1"]),
+            other => Extension::empty(other),
+        }
+    }
+
+    /// The fingerprint this configuration produces (GREASE draws do not
+    /// affect it, by construction of the fingerprint extractor).
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::from_client_hello(&self.build_hello(None, &HelloEntropy::zero()))
+    }
+
+    // ---- classification helpers used by the client-config tables ----
+
+    /// Count of offered suites satisfying `pred` (SCSVs never counted).
+    pub fn count_ciphers(&self, pred: impl Fn(CipherSuite) -> bool) -> usize {
+        self.ciphers
+            .iter()
+            .filter(|c| !c.is_signaling() && pred(**c))
+            .count()
+    }
+
+    /// Number of CBC suites offered (Table 3).
+    pub fn cbc_count(&self) -> usize {
+        self.count_ciphers(|c| c.is_cbc())
+    }
+
+    /// Number of RC4 suites offered (Table 4).
+    pub fn rc4_count(&self) -> usize {
+        self.count_ciphers(|c| c.is_rc4())
+    }
+
+    /// Number of 3DES suites offered (Table 5).
+    pub fn tdes_count(&self) -> usize {
+        self.count_ciphers(|c| c.is_3des())
+    }
+
+    /// True if any offered suite is AEAD.
+    pub fn offers_aead(&self) -> bool {
+        self.ciphers.iter().any(|c| c.is_aead())
+    }
+
+    /// True if the client supports version `v` (or, for the TLS 1.3
+    /// family, any 1.3 draft/experiment — drafts count as 1.3 support).
+    pub fn supports_version(&self, v: ProtocolVersion) -> bool {
+        if v.is_tls13_family() {
+            return self
+                .supported_versions
+                .iter()
+                .any(|sv| sv.is_tls13_family());
+        }
+        if self
+            .supported_versions
+            .iter()
+            .any(|sv| sv.rank() >= v.rank())
+        {
+            return true;
+        }
+        self.legacy_version.rank() >= v.rank() && v.rank() >= self.min_version.rank()
+    }
+}
+
+/// All nondeterministic inputs to hello construction.
+#[derive(Debug, Clone)]
+pub struct HelloEntropy {
+    /// The 32-byte client random.
+    pub random: [u8; 32],
+    /// Session id to resume (usually empty or 32 bytes).
+    pub session_id: Vec<u8>,
+    /// GREASE draw indices (used only when the config GREASEs).
+    pub grease_draws: [u8; 4],
+}
+
+impl HelloEntropy {
+    /// Deterministic all-zero entropy; used for fingerprint extraction.
+    pub fn zero() -> Self {
+        HelloEntropy {
+            random: [0; 32],
+            session_id: Vec::new(),
+            grease_draws: [0; 4],
+        }
+    }
+
+    /// Derive entropy from a seed using SplitMix64 — cheap, stateless,
+    /// and reproducible across the whole simulation.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let mut random = [0u8; 32];
+        for chunk in random.chunks_mut(8) {
+            chunk.copy_from_slice(&next().to_le_bytes());
+        }
+        let draws = next().to_le_bytes();
+        HelloEntropy {
+            random,
+            session_id: Vec::new(),
+            grease_draws: [draws[0], draws[1], draws[2], draws[3]],
+        }
+    }
+}
+
+/// One labelled client: software identity plus the configuration it
+/// shipped in a version range.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Software name ("Firefox", "OpenSSL", "Android SDK", ...).
+    pub name: &'static str,
+    /// Fingerprint-database category.
+    pub category: Category,
+    /// Version label for this configuration era ("27-32").
+    pub versions: &'static str,
+    /// Date this configuration started shipping.
+    pub released: Date,
+    /// The TLS configuration.
+    pub tls: TlsConfig,
+}
+
+impl ClientSpec {
+    /// The fingerprint-database label for this spec.
+    pub fn label(&self) -> tlscope_fingerprint::Label {
+        tlscope_fingerprint::Label::new(self.name, self.category, self.versions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(grease: bool) -> TlsConfig {
+        TlsConfig {
+            legacy_version: ProtocolVersion::Tls12,
+            supported_versions: vec![],
+            min_version: ProtocolVersion::Tls10,
+            ciphers: vec![
+                CipherSuite(0xc02b),
+                CipherSuite(0xc02f),
+                CipherSuite(0xc013),
+                CipherSuite(0x000a),
+            ],
+            extensions: vec![
+                ext_type::SERVER_NAME,
+                ext_type::RENEGOTIATION_INFO,
+                ext_type::SUPPORTED_GROUPS,
+                ext_type::EC_POINT_FORMATS,
+                ext_type::SESSION_TICKET,
+                ext_type::SIGNATURE_ALGORITHMS,
+            ],
+            curves: vec![NamedGroup::X25519, NamedGroup::SECP256R1],
+            point_formats: vec![0],
+            compression: vec![0],
+            grease,
+            heartbeat_mode: 1,
+        }
+    }
+
+    #[test]
+    fn hello_roundtrips_through_wire() {
+        let cfg = config(false);
+        let hello = cfg.build_hello(Some("mozilla.org"), &HelloEntropy::from_seed(7));
+        let parsed = ClientHello::parse_handshake(&hello.to_handshake_bytes()).unwrap();
+        assert_eq!(parsed, hello);
+        assert_eq!(
+            parsed
+                .find_extension(ext_type::SERVER_NAME)
+                .unwrap()
+                .parse_server_name()
+                .unwrap(),
+            "mozilla.org"
+        );
+    }
+
+    #[test]
+    fn grease_draws_do_not_change_fingerprint() {
+        let cfg = config(true);
+        let fp1 = Fingerprint::from_client_hello(&cfg.build_hello(None, &HelloEntropy::from_seed(1)));
+        let fp2 = Fingerprint::from_client_hello(&cfg.build_hello(None, &HelloEntropy::from_seed(999)));
+        assert_eq!(fp1, fp2);
+        assert_eq!(fp1, cfg.fingerprint());
+    }
+
+    #[test]
+    fn grease_and_plain_configs_share_visible_fingerprint() {
+        // Stripping GREASE makes the greased config's fingerprint equal
+        // to the plain one's — that is the point of stripping.
+        assert_eq!(config(true).fingerprint(), config(false).fingerprint());
+    }
+
+    #[test]
+    fn grease_values_present_on_wire() {
+        let cfg = config(true);
+        let hello = cfg.build_hello(None, &HelloEntropy::from_seed(3));
+        assert!(tlscope_wire::is_grease(hello.cipher_suites[0].0));
+        let ext_types: Vec<u16> = hello.extensions().iter().map(|e| e.typ).collect();
+        assert!(ext_types.iter().any(|t| tlscope_wire::is_grease(*t)));
+    }
+
+    #[test]
+    fn cipher_census_helpers() {
+        let cfg = config(false);
+        // cbc_count follows the Table 3 convention: all CBC-mode suites
+        // including 3DES.
+        assert_eq!(cfg.cbc_count(), 2);
+        assert_eq!(cfg.rc4_count(), 0);
+        assert_eq!(cfg.tdes_count(), 1);
+        assert!(cfg.offers_aead());
+    }
+
+    #[test]
+    fn scsv_not_counted_as_cipher() {
+        let mut cfg = config(false);
+        cfg.ciphers.push(CipherSuite(0x00ff));
+        assert_eq!(cfg.count_ciphers(|c| c.is_null_encryption()), 0);
+    }
+
+    #[test]
+    fn version_support_classic() {
+        let cfg = config(false);
+        assert!(cfg.supports_version(ProtocolVersion::Tls12));
+        assert!(cfg.supports_version(ProtocolVersion::Tls10));
+        assert!(!cfg.supports_version(ProtocolVersion::Tls13));
+        assert!(!cfg.supports_version(ProtocolVersion::Ssl3)); // below min
+    }
+
+    #[test]
+    fn version_support_tls13_style() {
+        let mut cfg = config(false);
+        cfg.supported_versions = vec![
+            ProtocolVersion::Tls13Draft(18),
+            ProtocolVersion::Tls12,
+        ];
+        cfg.extensions.push(ext_type::SUPPORTED_VERSIONS);
+        assert!(cfg.supports_version(ProtocolVersion::Tls13));
+        let hello = cfg.build_hello(None, &HelloEntropy::zero());
+        assert!(hello.offers_tls13());
+    }
+
+    #[test]
+    fn entropy_is_deterministic() {
+        assert_eq!(
+            HelloEntropy::from_seed(42).random,
+            HelloEntropy::from_seed(42).random
+        );
+        assert_ne!(
+            HelloEntropy::from_seed(42).random,
+            HelloEntropy::from_seed(43).random
+        );
+    }
+}

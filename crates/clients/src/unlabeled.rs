@@ -1,0 +1,330 @@
+//! Unlabelled client populations.
+//!
+//! The paper attributes 69.23 % of fingerprinted connections; the rest
+//! is software the authors never identified. These families model that
+//! residue — they emit traffic but are never inserted into the
+//! fingerprint database:
+//!
+//! * two export-advertising legacy embedded stacks (one SSL3-max, one
+//!   TLS1.0-max) that carry the bulk of the early export advertising of
+//!   Figure 7 and the early SSL 3 negotiations of Figure 1;
+//! * the anonymous/NULL-offering SDK behind the unexplained mid-2015
+//!   spike of §6.2 ("we could not determine the vast majority of
+//!   applications responsible for this");
+//! * three miscellaneous OpenSSL-shaped stacks standing in for the
+//!   thousands of minor unidentified clients;
+//! * a cipher-order-shuffling client (§4.1 hypothesises "software that
+//!   does not send its ciphersuites in a fixed order (due to a bug,
+//!   perhaps), causing an explosion of fingerprints").
+
+use tlscope_chron::Date;
+use tlscope_fingerprint::Category;
+use tlscope_wire::exts::ext_type as xt;
+use tlscope_wire::{NamedGroup, ProtocolVersion};
+
+use crate::family::{Era, Family};
+use crate::pools::{aead, mix, mix_no_ec, with_extras, Rc4Placement, ANON_POOL, EXPORT_POOL, NULL_POOL};
+use crate::spec::TlsConfig;
+
+fn cfg(
+    version: ProtocolVersion,
+    ciphers: Vec<tlscope_wire::CipherSuite>,
+    extensions: Vec<u16>,
+    curves: Vec<NamedGroup>,
+) -> TlsConfig {
+    let point_formats = if curves.is_empty() { vec![] } else { vec![0] };
+    TlsConfig {
+        legacy_version: version,
+        supported_versions: vec![],
+        min_version: ProtocolVersion::Ssl3,
+        ciphers,
+        extensions,
+        curves,
+        point_formats,
+        compression: vec![0],
+        grease: false,
+        heartbeat_mode: 1,
+    }
+}
+
+/// SSL3-only embedded stack with export suites (dies out by ~2014).
+pub fn embedded_ssl3() -> Family {
+    let mut tls = cfg(
+        ProtocolVersion::Ssl3,
+        with_extras(
+            mix_no_ec(&[], 4, 2, 1, 1, Rc4Placement::Head),
+            &EXPORT_POOL[..4],
+        ),
+        vec![],
+        vec![],
+    );
+    tls.min_version = ProtocolVersion::Ssl3;
+    Family::unlabelled(
+        "(embedded stack, SSL3)",
+        Category::Library,
+        vec![Era {
+            versions: "-",
+            from: Date::ymd(2000, 1, 1),
+            tls,
+        }],
+    )
+}
+
+/// TLS1.0-max embedded stack with export suites — the main Figure 7
+/// export-advertising mass.
+pub fn embedded_tls10() -> Family {
+    Family::unlabelled(
+        "(embedded stack, TLS1.0)",
+        Category::Library,
+        vec![Era {
+            versions: "-",
+            from: Date::ymd(2003, 1, 1),
+            tls: cfg(
+                ProtocolVersion::Tls10,
+                with_extras(
+                    mix_no_ec(&[], 8, 2, 2, 2, Rc4Placement::Mid),
+                    &EXPORT_POOL[..5],
+                ),
+                vec![],
+                vec![],
+            ),
+        }],
+    )
+}
+
+/// The anonymous/NULL-offering SDK behind the mid-2015 spike (§6.2).
+pub fn anon_sdk() -> Family {
+    Family::unlabelled(
+        "(anon/NULL SDK)",
+        Category::MobileApp,
+        vec![
+            Era {
+                versions: "v1",
+                from: Date::ymd(2012, 1, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    with_extras(
+                        mix(&[], 8, 2, 1, 0, Rc4Placement::Mid),
+                        &[ANON_POOL[0], ANON_POOL[1], NULL_POOL[0]],
+                    ),
+                    vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+                    vec![NamedGroup::SECP256R1],
+                ),
+            },
+            // The v2 rollout (mid-2015): more anon and NULL values —
+            // this era's market spike is the Figure 7 spike.
+            Era {
+                versions: "v2",
+                from: Date::ymd(2015, 5, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    with_extras(
+                        mix(aead::GEN2, 8, 2, 1, 0, Rc4Placement::Mid),
+                        &[
+                            ANON_POOL[0],
+                            ANON_POOL[1],
+                            ANON_POOL[3],
+                            ANON_POOL[4],
+                            NULL_POOL[0],
+                            NULL_POOL[1],
+                        ],
+                    ),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SIGNATURE_ALGORITHMS,
+                    ],
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+        ],
+    )
+}
+
+/// Miscellaneous unidentified stack A (curl-ish OpenSSL build).
+pub fn misc_a() -> Family {
+    Family::unlabelled(
+        "(misc A)",
+        Category::Library,
+        vec![
+            Era {
+                versions: "-",
+                from: Date::ymd(2010, 1, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 14, 3, 2, 1, Rc4Placement::Mid),
+                    vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS, xt::SESSION_TICKET],
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                ),
+            },
+            Era {
+                versions: "-",
+                from: Date::ymd(2014, 6, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN2, 12, 2, 1, 0, Rc4Placement::Mid),
+                    vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS, xt::SESSION_TICKET, xt::SIGNATURE_ALGORITHMS],
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                ),
+            },
+        ],
+    )
+}
+
+/// Miscellaneous unidentified stack B (embedded HTTP client).
+pub fn misc_b() -> Family {
+    Family::unlabelled(
+        "(misc B)",
+        Category::Library,
+        vec![
+            Era {
+                versions: "-",
+                from: Date::ymd(2011, 1, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 10, 2, 2, 0, Rc4Placement::Head),
+                    vec![xt::SERVER_NAME],
+                    vec![],
+                ),
+            },
+            Era {
+                versions: "-",
+                from: Date::ymd(2015, 9, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(&[0xc02f, 0x009c], 8, 0, 1, 0, Rc4Placement::Mid),
+                    vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+                    vec![NamedGroup::SECP256R1],
+                ),
+            },
+        ],
+    )
+}
+
+/// Miscellaneous unidentified stack C (enterprise agent).
+pub fn misc_c() -> Family {
+    Family::unlabelled(
+        "(misc C)",
+        Category::Library,
+        vec![
+            Era {
+                versions: "-",
+                from: Date::ymd(2012, 1, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls10,
+                    mix(&[], 16, 4, 3, 1, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::RENEGOTIATION_INFO,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::HEARTBEAT,
+                        xt::SESSION_TICKET,
+                    ],
+                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+            Era {
+                versions: "-",
+                from: Date::ymd(2016, 3, 1),
+                tls: cfg(
+                    ProtocolVersion::Tls12,
+                    mix(aead::GEN3, 8, 0, 1, 0, Rc4Placement::Mid),
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::RENEGOTIATION_INFO,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::HEARTBEAT,
+                        xt::SESSION_TICKET,
+                        xt::SIGNATURE_ALGORITHMS,
+                        xt::EXTENDED_MASTER_SECRET,
+                    ],
+                    vec![NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                ),
+            },
+        ],
+    )
+}
+
+/// Base configuration of the cipher-order-shuffling client (§4.1). The
+/// traffic generator permutes `ciphers` per connection, exploding the
+/// fingerprint space exactly the way the paper's 42,188 single-day
+/// fingerprints suggest.
+pub fn shuffler() -> Family {
+    Family::unlabelled(
+        "(cipher-shuffling client)",
+        Category::Library,
+        vec![Era {
+            versions: "-",
+            from: Date::ymd(2014, 6, 1),
+            tls: cfg(
+                ProtocolVersion::Tls12,
+                mix(aead::GEN2, 10, 2, 1, 0, Rc4Placement::Mid),
+                vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+                vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+            ),
+        }],
+    )
+}
+
+/// All unlabelled families.
+pub fn all_unlabeled() -> Vec<Family> {
+    vec![
+        embedded_ssl3(),
+        embedded_tls10(),
+        anon_sdk(),
+        misc_a(),
+        misc_b(),
+        misc_c(),
+        shuffler(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_are_unlabelled() {
+        for f in all_unlabeled() {
+            assert!(!f.labelled, "{} should be unlabelled", f.name);
+        }
+    }
+
+    #[test]
+    fn embedded_stacks_advertise_export() {
+        assert!(embedded_ssl3().eras[0].tls.count_ciphers(|c| c.is_export()) >= 4);
+        assert!(embedded_tls10().eras[0].tls.count_ciphers(|c| c.is_export()) >= 5);
+    }
+
+    #[test]
+    fn ssl3_stack_maxes_at_ssl3() {
+        let tls = &embedded_ssl3().eras[0].tls;
+        assert_eq!(tls.legacy_version, ProtocolVersion::Ssl3);
+        assert!(!tls.supports_version(ProtocolVersion::Tls10));
+    }
+
+    #[test]
+    fn anon_sdk_v2_offers_more_anon_than_v1() {
+        let f = anon_sdk();
+        let v1 = f.eras[0].tls.count_ciphers(|c| c.is_anon());
+        let v2 = f.eras[1].tls.count_ciphers(|c| c.is_anon());
+        assert!(v2 > v1);
+        assert!(f.eras[1].tls.count_ciphers(|c| c.is_null_encryption()) >= 2);
+    }
+
+    #[test]
+    fn unlabeled_fingerprints_distinct_from_each_other() {
+        let mut seen = std::collections::HashMap::new();
+        for f in all_unlabeled() {
+            for e in &f.eras {
+                let fp = e.tls.fingerprint();
+                if let Some(prev) = seen.insert(fp, f.name) {
+                    panic!("collision {} vs {}", prev, f.name);
+                }
+            }
+        }
+    }
+}

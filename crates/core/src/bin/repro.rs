@@ -1,0 +1,181 @@
+//! The reproduction harness: regenerate any figure or table of
+//! *Coming of Age* (IMC 2018).
+//!
+//! ```text
+//! repro [OPTIONS] <experiment-id>... | all
+//!
+//! Options:
+//!   --quick        reduced scale (fast; default)
+//!   --full         paper-scale window with more samples per month
+//!   --csv          emit CSV instead of ASCII rendering
+//!   --width <n>    ASCII chart width (default 84)
+//!   --seed <n>     override the study seed
+//!   --list         list experiment ids and exit
+//! ```
+
+use std::process::ExitCode;
+
+use tlscope::analysis::StudyConfig;
+use tlscope::report::{ReportContext, EXPERIMENT_IDS};
+
+struct Options {
+    full: bool,
+    csv: bool,
+    width: usize,
+    seed: Option<u64>,
+    save: Option<String>,
+    load: Option<String>,
+    ids: Vec<String>,
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro [--quick|--full] [--csv] [--width N] [--seed N] [--list] <id>...|all\n\
+         ids: {}",
+        EXPERIMENT_IDS.join(" ")
+    );
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        full: false,
+        csv: false,
+        width: 84,
+        seed: None,
+        save: None,
+        load: None,
+        ids: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.full = false,
+            "--full" => opts.full = true,
+            "--csv" => opts.csv = true,
+            "--width" => {
+                opts.width = args
+                    .next()
+                    .ok_or("--width needs a value")?
+                    .parse()
+                    .map_err(|_| "--width needs a number")?;
+            }
+            "--seed" => {
+                opts.seed = Some(
+                    args.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|_| "--seed needs a number")?,
+                );
+            }
+            "--save" => {
+                opts.save = Some(args.next().ok_or("--save needs a path")?);
+            }
+            "--load" => {
+                opts.load = Some(args.next().ok_or("--load needs a path")?);
+            }
+            "--list" => {
+                for id in EXPERIMENT_IDS {
+                    println!("{id}");
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
+            "all" => opts.ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect(),
+            id if !id.starts_with('-') => opts.ids.push(id.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if opts.ids.is_empty() {
+        return Err("no experiments requested".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = if opts.full {
+        StudyConfig::default()
+    } else {
+        StudyConfig::quick()
+    };
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    eprintln!(
+        "# tlscope repro: {} months x {} connections/month, {} scan hosts/sweep, seed {:#x}",
+        cfg.start.iter_through(cfg.end).count(),
+        cfg.connections_per_month,
+        cfg.scan_hosts,
+        cfg.seed
+    );
+
+    let mut ctx = match &opts.load {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match tlscope::notary::store::from_text(&text) {
+                Ok(agg) => {
+                    eprintln!("# loaded passive aggregate from {path}");
+                    ReportContext::with_passive(cfg, agg)
+                }
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => ReportContext::new(cfg),
+    };
+    let mut failed = false;
+    for id in &opts.ids {
+        match ctx.run(id) {
+            Some(artifact) => {
+                if opts.csv {
+                    println!("# {id}");
+                    print!("{}", artifact.to_csv());
+                } else {
+                    println!("{}", artifact.to_ascii(opts.width));
+                }
+            }
+            None => {
+                eprintln!("error: unknown experiment '{id}'");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &opts.save {
+        match ctx.passive_ref() {
+            Some(agg) => {
+                let text = tlscope::notary::store::to_text(agg);
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    failed = true;
+                } else {
+                    eprintln!("# saved passive aggregate to {path}");
+                }
+            }
+            None => eprintln!("# --save: no passive run was needed; nothing saved"),
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

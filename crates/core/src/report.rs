@@ -1,0 +1,283 @@
+//! The experiment registry: every reproducible artefact of the paper,
+//! addressable by id, with a shared study context so one passive run
+//! serves many experiments.
+
+use tlscope_analysis::{figures, sections, tables, Figure, Study, StudyConfig, Table};
+use tlscope_notary::NotaryAggregate;
+use tlscope_scanner::ScanSnapshot;
+
+/// A rendered experiment result.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// A monthly-series figure.
+    Figure(Figure),
+    /// A table.
+    Table(Table),
+}
+
+impl Artifact {
+    /// Render for terminal output.
+    pub fn to_ascii(&self, width: usize) -> String {
+        match self {
+            Artifact::Figure(f) => f.to_ascii(width),
+            Artifact::Table(t) => t.to_ascii(),
+        }
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        match self {
+            Artifact::Figure(f) => f.to_csv(),
+            Artifact::Table(t) => t.to_csv(),
+        }
+    }
+
+    /// The artefact id.
+    pub fn id(&self) -> &str {
+        match self {
+            Artifact::Figure(f) => &f.id,
+            Artifact::Table(t) => &t.id,
+        }
+    }
+}
+
+/// All experiment ids, in paper order.
+pub const EXPERIMENT_IDS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3", "fig4",
+    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "s4.1", "s5.1", "s5.4", "s5.5", "s5.6",
+    "s6.1", "s6.2", "s6.3", "s6.4", "s7.3", "s9-ext", "ssl-pulse", "censys", "impact",
+];
+
+/// Whether an experiment needs the passive run / the active campaign.
+pub fn needs(id: &str) -> (bool, bool) {
+    match id {
+        "table1" | "table3" | "table4" | "table5" | "table6" => (false, false),
+        "s5.1" | "s5.4" | "s5.6" => (true, true),
+        "censys" | "ssl-pulse" => (false, true),
+        _ => (true, false),
+    }
+}
+
+/// A study context with lazily-computed passive/active results.
+pub struct ReportContext {
+    study: Study,
+    passive: Option<NotaryAggregate>,
+    scans: Option<Vec<ScanSnapshot>>,
+}
+
+impl ReportContext {
+    /// Create a context over a configuration.
+    pub fn new(cfg: StudyConfig) -> Self {
+        ReportContext {
+            study: Study::new(cfg),
+            passive: None,
+            scans: None,
+        }
+    }
+
+    /// Create a context with a pre-computed passive aggregate (e.g.
+    /// reloaded via [`tlscope_notary::store`]) instead of re-simulating.
+    pub fn with_passive(cfg: StudyConfig, passive: NotaryAggregate) -> Self {
+        ReportContext {
+            study: Study::new(cfg),
+            passive: Some(passive),
+            scans: None,
+        }
+    }
+
+    /// The passive aggregate if it has been computed or injected.
+    pub fn passive_ref(&self) -> Option<&NotaryAggregate> {
+        self.passive.as_ref()
+    }
+
+    /// The underlying study.
+    pub fn study(&self) -> &Study {
+        &self.study
+    }
+
+    /// The passive aggregate, running it on first use.
+    pub fn passive(&mut self) -> &NotaryAggregate {
+        if self.passive.is_none() {
+            self.passive = Some(self.study.run_passive());
+        }
+        self.passive.as_ref().unwrap()
+    }
+
+    /// The active campaign results, running them on first use.
+    pub fn scans(&mut self) -> &[ScanSnapshot] {
+        if self.scans.is_none() {
+            self.scans = Some(self.study.run_active());
+        }
+        self.scans.as_ref().unwrap()
+    }
+
+    /// Run one experiment by id.
+    pub fn run(&mut self, id: &str) -> Option<Artifact> {
+        Some(match id {
+            "table1" => Artifact::Table(tables::table1()),
+            "table2" => Artifact::Table(tables::table2(self.passive())),
+            "table3" => Artifact::Table(tables::table3()),
+            "table4" => Artifact::Table(tables::table4()),
+            "table5" => Artifact::Table(tables::table5()),
+            "table6" => Artifact::Table(tables::table6()),
+            "fig1" => Artifact::Figure(figures::fig1(self.passive())),
+            "fig2" => Artifact::Figure(figures::fig2(self.passive())),
+            "fig3" => Artifact::Figure(figures::fig3(self.passive())),
+            "fig4" => Artifact::Figure(figures::fig4(self.passive())),
+            "fig5" => Artifact::Figure(figures::fig5(self.passive())),
+            "fig6" => Artifact::Figure(figures::fig6(self.passive())),
+            "fig7" => Artifact::Figure(figures::fig7(self.passive())),
+            "fig8" => Artifact::Figure(figures::fig8(self.passive())),
+            "fig9" => Artifact::Figure(figures::fig9(self.passive())),
+            "fig10" => Artifact::Figure(figures::fig10(self.passive())),
+            "s4.1" => Artifact::Table(sections::s4_1(self.passive())),
+            "s5.1" => {
+                self.scans();
+                self.passive();
+                Artifact::Table(sections::s5_1(
+                    self.passive.as_ref().unwrap(),
+                    self.scans.as_ref().unwrap(),
+                ))
+            }
+            "s5.4" => {
+                self.scans();
+                self.passive();
+                Artifact::Table(sections::s5_4(
+                    self.passive.as_ref().unwrap(),
+                    self.scans.as_ref().unwrap(),
+                ))
+            }
+            "s5.5" => Artifact::Table(sections::s5_5(self.passive())),
+            "s5.6" => {
+                self.scans();
+                self.passive();
+                Artifact::Table(sections::s5_6(
+                    self.passive.as_ref().unwrap(),
+                    self.scans.as_ref().unwrap(),
+                ))
+            }
+            "s6.1" => Artifact::Table(sections::s6_1(self.passive())),
+            "s6.2" => Artifact::Table(sections::s6_2(self.passive())),
+            "s6.3" => Artifact::Table(sections::s6_3(self.passive())),
+            "s6.4" => Artifact::Table(sections::s6_4(self.passive())),
+            "s7.3" => Artifact::Table(sections::s7_3(self.passive())),
+            "s9-ext" => Artifact::Figure(sections::s9_extensions(self.passive())),
+            "ssl-pulse" => {
+                // Yearly surveys over the SSL Pulse window (Oct 2013 on).
+                let pop = tlscope_servers::ServerPopulation::new();
+                let sites = self.study.config().scan_hosts;
+                let seed = self.study.config().seed;
+                let pulses: Vec<_> = (2013..=2018)
+                    .map(|year| {
+                        let date = if year == 2013 {
+                            tlscope_chron::Date::ymd(2013, 10, 1)
+                        } else {
+                            tlscope_chron::Date::ymd(year, 4, 1)
+                        };
+                        tlscope_scanner::pulse_survey(&pop, date, sites, seed)
+                    })
+                    .collect();
+                Artifact::Table(sections::ssl_pulse(&pulses))
+            }
+            "censys" => Artifact::Figure(sections::censys_series(self.scans())),
+            "impact" => Artifact::Table(impact_table(self.passive())),
+            _ => return None,
+        })
+    }
+}
+
+/// The §7.4 impact summary as a table: slope change and reaction lag
+/// per (attack, series) pair.
+pub fn impact_table(agg: &NotaryAggregate) -> Table {
+    use tlscope_analysis::{attack, estimate_impact, reaction_lag_months};
+    let mut t = Table::new(
+        "impact",
+        "Attack impact: pre/post disclosure slopes (pp/month) and change-point lag",
+        vec!["Attack", "Series", "Slope before", "Slope after", "Lag (months)"],
+    );
+    let fig2 = figures::fig2(agg);
+    let fig7 = figures::fig7(agg);
+    let fig8 = figures::fig8(agg);
+    let fig1 = figures::fig1(agg);
+    let cases: [(&str, &Figure, &str); 6] = [
+        ("RC4", &fig2, "RC4"),
+        ("RC4 passwords", &fig2, "RC4"),
+        ("Snowden", &fig8, "ECDHE"),
+        ("POODLE", &fig1, "SSLv3"),
+        ("FREAK", &fig7, "Export"),
+        ("Sweet32", &fig2, "CBC"),
+    ];
+    for (name, fig, series) in cases {
+        let Some(ev) = attack(name) else { continue };
+        let Some(est) = estimate_impact(fig, series, ev, 12) else {
+            continue;
+        };
+        let lag = reaction_lag_months(fig, series, ev.date)
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "-".into());
+        t.push_row(vec![
+            name.to_string(),
+            series.to_string(),
+            format!("{:+.2}", est.slope_before),
+            format!("{:+.2}", est.slope_after),
+            lag,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlscope_chron::Month;
+
+    fn tiny_ctx() -> ReportContext {
+        let mut cfg = StudyConfig::quick();
+        cfg.start = Month::ym(2015, 1);
+        cfg.end = Month::ym(2015, 6);
+        cfg.connections_per_month = 300;
+        cfg.scan_hosts = 200;
+        ReportContext::new(cfg)
+    }
+
+    #[test]
+    fn static_tables_need_no_runs() {
+        let mut ctx = tiny_ctx();
+        for id in ["table1", "table3", "table4", "table5", "table6"] {
+            let a = ctx.run(id).unwrap();
+            assert_eq!(a.id(), id);
+            assert!(!a.to_ascii(60).is_empty());
+        }
+        assert!(ctx.passive.is_none(), "static tables ran the study");
+    }
+
+    #[test]
+    fn passive_experiments_share_one_run() {
+        let mut ctx = tiny_ctx();
+        let f2 = ctx.run("fig2").unwrap();
+        let f8 = ctx.run("fig8").unwrap();
+        assert_eq!(f2.id(), "fig2");
+        assert_eq!(f8.id(), "fig8");
+        // Both CSV renders have the same month axis length.
+        assert_eq!(
+            f2.to_csv().lines().count(),
+            f8.to_csv().lines().count()
+        );
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        let mut ctx = tiny_ctx();
+        assert!(ctx.run("fig99").is_none());
+    }
+
+    #[test]
+    fn experiment_ids_all_resolve() {
+        // Don't execute the heavy ones; just validate the needs() map
+        // covers every id.
+        for id in EXPERIMENT_IDS {
+            let _ = needs(id);
+        }
+        assert_eq!(EXPERIMENT_IDS.len(), 30);
+    }
+}

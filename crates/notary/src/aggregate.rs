@@ -1,0 +1,757 @@
+//! Monthly aggregation: the counters behind every figure in the paper.
+//!
+//! [`NotaryAggregate`] ingests [`ConnectionRecord`]s and maintains, per
+//! calendar month, exactly the statistics the paper plots:
+//!
+//! * negotiated protocol versions (Figure 1)
+//! * negotiated cipher classes RC4/CBC/AEAD (Figure 2) and the
+//!   DES/3DES/NULL/anon/export/GOST oddities (§5.5–§6.2)
+//! * advertised cipher classes per connection (Figures 3, 6, 7, 10)
+//! * per-fingerprint class support (Figure 4) and lifetimes (§4.1)
+//! * first-offer relative positions (Figure 5)
+//! * key-exchange classes and negotiated curves (Figure 8, §6.3.3)
+//! * AEAD algorithm breakdowns (Figures 9, 10)
+//! * heartbeat negotiation (§5.4) and TLS 1.3 advertisement /
+//!   negotiation with the draft-version mix (§6.4)
+
+use std::collections::{BTreeMap, HashMap};
+
+use tlscope_chron::Month;
+use tlscope_fingerprint::{Fingerprint, SightingTracker};
+use tlscope_wire::{AeadAlg, Kx, ProtocolVersion};
+
+use crate::conn::{ClientOffer, ConnectionRecord, ServerOutcome};
+
+/// The Notary gained the ClientHello fields needed for fingerprinting
+/// in February 2014 (§4.0.1); fingerprint-level tracking ignores flows
+/// before this date, exactly as the paper's does.
+pub const FINGERPRINT_FIELDS_SINCE: tlscope_chron::Date = tlscope_chron::Date::ymd(2014, 2, 1);
+
+/// Coarse negotiated-version buckets (Figure 1 series).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VersionCounts {
+    /// SSL 2 connections (client-side framing).
+    pub ssl2: u64,
+    /// SSL 3.
+    pub ssl3: u64,
+    /// TLS 1.0.
+    pub tls10: u64,
+    /// TLS 1.1.
+    pub tls11: u64,
+    /// TLS 1.2.
+    pub tls12: u64,
+    /// Any TLS 1.3 family member (final, draft, experiment).
+    pub tls13: u64,
+    /// Anything else.
+    pub other: u64,
+}
+
+impl VersionCounts {
+    fn bump(&mut self, v: ProtocolVersion) {
+        match v {
+            ProtocolVersion::Ssl2 => self.ssl2 += 1,
+            ProtocolVersion::Ssl3 => self.ssl3 += 1,
+            ProtocolVersion::Tls10 => self.tls10 += 1,
+            ProtocolVersion::Tls11 => self.tls11 += 1,
+            ProtocolVersion::Tls12 => self.tls12 += 1,
+            v if v.is_tls13_family() => self.tls13 += 1,
+            _ => self.other += 1,
+        }
+    }
+}
+
+/// Key-exchange buckets (Figure 8 series).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KxCounts {
+    /// RSA key transport.
+    pub rsa: u64,
+    /// Finite-field ephemeral DH.
+    pub dhe: u64,
+    /// Elliptic-curve ephemeral DH.
+    pub ecdhe: u64,
+    /// Static DH.
+    pub dh: u64,
+    /// Static ECDH.
+    pub ecdh: u64,
+    /// TLS 1.3 (always ephemeral).
+    pub tls13: u64,
+    /// Everything else (PSK, SRP, Kerberos, GOST, ...).
+    pub other: u64,
+}
+
+impl KxCounts {
+    fn bump(&mut self, kx: Option<Kx>) {
+        match kx {
+            Some(Kx::Rsa) => self.rsa += 1,
+            Some(Kx::Dhe) | Some(Kx::DhAnon) => self.dhe += 1,
+            Some(Kx::Ecdhe) | Some(Kx::EcdhAnon) => self.ecdhe += 1,
+            Some(Kx::Dh) => self.dh += 1,
+            Some(Kx::Ecdh) => self.ecdh += 1,
+            Some(Kx::Tls13) => self.tls13 += 1,
+            _ => self.other += 1,
+        }
+    }
+}
+
+/// AEAD algorithm buckets (Figures 9 and 10).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AeadCounts {
+    /// AES-128-GCM.
+    pub aes128gcm: u64,
+    /// AES-256-GCM.
+    pub aes256gcm: u64,
+    /// ChaCha20-Poly1305 (standard or pre-standard code points).
+    pub chacha: u64,
+    /// AES-CCM (all variants).
+    pub ccm: u64,
+    /// Camellia/ARIA GCM.
+    pub other: u64,
+}
+
+impl AeadCounts {
+    fn bump(&mut self, alg: AeadAlg) {
+        match alg {
+            AeadAlg::Aes128Gcm => self.aes128gcm += 1,
+            AeadAlg::Aes256Gcm => self.aes256gcm += 1,
+            AeadAlg::ChaCha20Poly1305 => self.chacha += 1,
+            AeadAlg::AesCcm => self.ccm += 1,
+            AeadAlg::Other => self.other += 1,
+        }
+    }
+
+    /// Total AEAD count.
+    pub fn total(&self) -> u64 {
+        self.aes128gcm + self.aes256gcm + self.chacha + self.ccm + self.other
+    }
+}
+
+/// Running mean of first-offer relative positions (Figure 5).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct PositionMean {
+    sum: f64,
+    n: u64,
+}
+
+impl PositionMean {
+    fn add(&mut self, pos: Option<f64>) {
+        if let Some(p) = pos {
+            self.sum += p;
+            self.n += 1;
+        }
+    }
+
+    /// Mean relative position in percent (0 = head of list).
+    pub fn mean_pct(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(100.0 * self.sum / self.n as f64)
+        }
+    }
+}
+
+/// Class-support flags of one fingerprint (Figure 4 rows).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FpClassFlags {
+    /// Offers at least one RC4 suite.
+    pub rc4: bool,
+    /// Offers at least one CBC suite.
+    pub cbc: bool,
+    /// Offers at least one AEAD suite.
+    pub aead: bool,
+    /// Offers single DES.
+    pub des: bool,
+    /// Offers 3DES.
+    pub tdes: bool,
+    /// Offers NULL encryption.
+    pub null: bool,
+    /// Offers anonymous suites.
+    pub anon: bool,
+}
+
+impl FpClassFlags {
+    fn from_offer(offer: &ClientOffer) -> Self {
+        FpClassFlags {
+            rc4: offer.offers(|c| c.is_rc4()),
+            cbc: offer.offers(|c| c.is_cbc()),
+            aead: offer.offers(|c| c.is_aead()),
+            des: offer.offers(|c| c.is_des()),
+            tdes: offer.offers(|c| c.is_3des()),
+            null: offer.offers(|c| c.is_null_encryption()),
+            anon: offer.offers(|c| c.is_anon()),
+        }
+    }
+}
+
+/// All per-month counters.
+#[derive(Debug, Default, Clone)]
+pub struct MonthlyStats {
+    /// Connections ingested this month.
+    pub total: u64,
+    /// SSLv2-framed connections.
+    pub sslv2: u64,
+    /// Server rejected with an alert.
+    pub rejected: u64,
+    /// Server flow missing from the tap.
+    pub missing_server: u64,
+    /// Server flow present but unparseable.
+    pub garbled_server: u64,
+    /// Successfully negotiated connections.
+    pub answered: u64,
+
+    /// Negotiated protocol versions.
+    pub neg_version: VersionCounts,
+    /// Negotiated cipher class counters.
+    pub neg_rc4: u64,
+    /// Negotiated CBC-mode.
+    pub neg_cbc: u64,
+    /// Negotiated AEAD.
+    pub neg_aead: u64,
+    /// Negotiated NULL encryption.
+    pub neg_null: u64,
+    /// Negotiated the fully-null suite.
+    pub neg_null_null: u64,
+    /// Negotiated 3DES.
+    pub neg_3des: u64,
+    /// Negotiated single DES.
+    pub neg_des: u64,
+    /// Negotiated an export-grade suite.
+    pub neg_export: u64,
+    /// Negotiated an anonymous suite.
+    pub neg_anon: u64,
+    /// Negotiated a suite the client did not offer (out-of-spec, §7.3).
+    pub neg_unoffered: u64,
+    /// Negotiated forward secrecy.
+    pub neg_fs: u64,
+    /// Negotiated key-exchange classes.
+    pub neg_kx: KxCounts,
+    /// Negotiated AEAD algorithms.
+    pub neg_aead_alg: AeadCounts,
+    /// Negotiated curve counts by wire id.
+    pub curves: HashMap<u16, u64>,
+    /// Heartbeat negotiated (offered + echoed, §5.4).
+    pub heartbeat_negotiated: u64,
+
+    /// Connections whose client offered RC4.
+    pub adv_rc4: u64,
+    /// ... CBC.
+    pub adv_cbc: u64,
+    /// ... AEAD.
+    pub adv_aead: u64,
+    /// ... single DES.
+    pub adv_des: u64,
+    /// ... 3DES.
+    pub adv_3des: u64,
+    /// ... export-grade suites.
+    pub adv_export: u64,
+    /// ... anonymous suites.
+    pub adv_anon: u64,
+    /// ... NULL encryption.
+    pub adv_null: u64,
+    /// ... forward-secret suites.
+    pub adv_fs: u64,
+    /// ... the heartbeat extension.
+    pub adv_heartbeat: u64,
+    /// ... any TLS 1.3 family version.
+    pub adv_tls13: u64,
+    /// Advertised AEAD algorithms (connection-weighted).
+    pub adv_aead_alg: AeadCounts,
+    /// supported_versions values seen (wire value → connections).
+    pub supported_versions_values: HashMap<u16, u64>,
+    /// Connections advertising each extension type (§9's RIE and
+    /// Encrypt-then-MAC tracking, SNI/EMS adoption, ...).
+    pub adv_extensions: HashMap<u16, u64>,
+
+    /// Mean first-offer positions per class.
+    pub pos_aead: PositionMean,
+    /// CBC position mean.
+    pub pos_cbc: PositionMean,
+    /// RC4 position mean.
+    pub pos_rc4: PositionMean,
+    /// DES position mean.
+    pub pos_des: PositionMean,
+    /// 3DES position mean.
+    pub pos_3des: PositionMean,
+
+    /// Distinct fingerprints seen this month with their class flags.
+    pub fp_flags: HashMap<u64, FpClassFlags>,
+}
+
+impl MonthlyStats {
+    /// Percentage of monthly connections, given a counter.
+    pub fn pct(&self, count: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.total as f64
+        }
+    }
+
+    /// Percentage of *answered* connections.
+    pub fn pct_answered(&self, count: u64) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.answered as f64
+        }
+    }
+
+    /// Percentage of this month's distinct fingerprints matching `f`.
+    pub fn pct_fingerprints(&self, f: impl Fn(&FpClassFlags) -> bool) -> f64 {
+        if self.fp_flags.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.fp_flags.values().filter(|v| f(v)).count() as f64
+            / self.fp_flags.len() as f64
+    }
+
+    /// Percentage of negotiated curves that are `group`.
+    pub fn pct_curve(&self, group: u16) -> f64 {
+        let total: u64 = self.curves.values().sum();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * *self.curves.get(&group).unwrap_or(&0) as f64 / total as f64
+        }
+    }
+}
+
+/// The full longitudinal aggregate.
+#[derive(Debug, Default)]
+pub struct NotaryAggregate {
+    months: BTreeMap<Month, MonthlyStats>,
+    /// First/last-seen tracking per fingerprint id (§4.1).
+    pub sightings: SightingTracker,
+    /// Total connections per fingerprint (Table 2 coverage input).
+    pub fp_counts: HashMap<Fingerprint, u64>,
+    /// Flows that were not SSL/TLS at all.
+    pub not_tls: u64,
+    /// Client flows too damaged to parse.
+    pub garbled_client: u64,
+}
+
+impl NotaryAggregate {
+    /// Empty aggregate.
+    pub fn new() -> Self {
+        NotaryAggregate::default()
+    }
+
+    /// Ingest one extracted connection record.
+    pub fn ingest(&mut self, rec: &ConnectionRecord) {
+        let stats = self.months.entry(rec.month).or_default();
+        stats.total += 1;
+        if rec.sslv2 {
+            stats.sslv2 += 1;
+            stats.neg_version.ssl2 += 1;
+        }
+
+        if let Some(offer) = &rec.client {
+            Self::ingest_offer(stats, offer);
+            if rec.date >= FINGERPRINT_FIELDS_SINCE {
+                let fp_id = offer.fingerprint.id64();
+                self.sightings.observe(fp_id, rec.date, 1);
+                *self
+                    .fp_counts
+                    .entry(offer.fingerprint.clone())
+                    .or_insert(0) += 1;
+                stats
+                    .fp_flags
+                    .entry(fp_id)
+                    .or_insert_with(|| FpClassFlags::from_offer(offer));
+            }
+        }
+
+        match &rec.server {
+            ServerOutcome::Missing => stats.missing_server += 1,
+            ServerOutcome::Rejected => stats.rejected += 1,
+            ServerOutcome::Garbled => stats.garbled_server += 1,
+            ServerOutcome::Answered(ans) => {
+                stats.answered += 1;
+                stats.neg_version.bump(ans.version);
+                let c = ans.cipher;
+                if c.is_rc4() {
+                    stats.neg_rc4 += 1;
+                }
+                if c.is_cbc() {
+                    stats.neg_cbc += 1;
+                }
+                if c.is_aead() {
+                    stats.neg_aead += 1;
+                }
+                if c.is_null_encryption() {
+                    stats.neg_null += 1;
+                }
+                if c.is_null_null() {
+                    stats.neg_null_null += 1;
+                }
+                if c.is_3des() {
+                    stats.neg_3des += 1;
+                }
+                if c.is_des() {
+                    stats.neg_des += 1;
+                }
+                if c.is_export() {
+                    stats.neg_export += 1;
+                }
+                if c.is_anon() {
+                    stats.neg_anon += 1;
+                }
+                if c.is_forward_secret() {
+                    stats.neg_fs += 1;
+                }
+                stats.neg_kx.bump(c.kx());
+                if let Some(alg) = c.aead_alg() {
+                    stats.neg_aead_alg.bump(alg);
+                }
+                if let Some(curve) = ans.curve {
+                    *stats.curves.entry(curve.0).or_insert(0) += 1;
+                }
+                if ans.heartbeat {
+                    stats.heartbeat_negotiated += 1;
+                }
+                if let Some(offer) = &rec.client {
+                    let offered = offer.suites.contains(&ans.cipher);
+                    if !offered {
+                        stats.neg_unoffered += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn ingest_offer(stats: &mut MonthlyStats, offer: &ClientOffer) {
+        if offer.offers(|c| c.is_rc4()) {
+            stats.adv_rc4 += 1;
+        }
+        if offer.offers(|c| c.is_cbc()) {
+            stats.adv_cbc += 1;
+        }
+        if offer.offers(|c| c.is_aead()) {
+            stats.adv_aead += 1;
+        }
+        if offer.offers(|c| c.is_des()) {
+            stats.adv_des += 1;
+        }
+        if offer.offers(|c| c.is_3des()) {
+            stats.adv_3des += 1;
+        }
+        if offer.offers(|c| c.is_export()) {
+            stats.adv_export += 1;
+        }
+        if offer.offers(|c| c.is_anon()) {
+            stats.adv_anon += 1;
+        }
+        if offer.offers(|c| c.is_null_encryption()) {
+            stats.adv_null += 1;
+        }
+        if offer.offers(|c| c.is_forward_secret()) {
+            stats.adv_fs += 1;
+        }
+        if offer.heartbeat {
+            stats.adv_heartbeat += 1;
+        }
+        if offer.versions.iter().any(|v| v.is_tls13_family()) {
+            stats.adv_tls13 += 1;
+        }
+        // Connection-weighted advertised AEAD algorithms (one count per
+        // algorithm present in the offer).
+        let mut seen = [false; 5];
+        for suite in &offer.suites {
+            if let Some(alg) = suite.aead_alg() {
+                let idx = match alg {
+                    AeadAlg::Aes128Gcm => 0,
+                    AeadAlg::Aes256Gcm => 1,
+                    AeadAlg::ChaCha20Poly1305 => 2,
+                    AeadAlg::AesCcm => 3,
+                    AeadAlg::Other => 4,
+                };
+                if !seen[idx] {
+                    seen[idx] = true;
+                    stats.adv_aead_alg.bump(alg);
+                }
+            }
+        }
+        for v in &offer.supported_versions_raw {
+            *stats.supported_versions_values.entry(*v).or_insert(0) += 1;
+        }
+        for t in &offer.extension_types {
+            *stats.adv_extensions.entry(*t).or_insert(0) += 1;
+        }
+        stats.pos_aead.add(offer.first_position(|c| c.is_aead()));
+        stats.pos_cbc.add(offer.first_position(|c| c.is_cbc()));
+        stats.pos_rc4.add(offer.first_position(|c| c.is_rc4()));
+        stats.pos_des.add(offer.first_position(|c| c.is_des()));
+        stats.pos_3des.add(offer.first_position(|c| c.is_3des()));
+    }
+
+    /// Record a flow that failed extraction.
+    pub fn ingest_failure(&mut self, err: crate::conn::ExtractError) {
+        match err {
+            crate::conn::ExtractError::NotTls => self.not_tls += 1,
+            crate::conn::ExtractError::GarbledClient => self.garbled_client += 1,
+        }
+    }
+
+    /// Stats for one month.
+    pub fn month(&self, m: Month) -> Option<&MonthlyStats> {
+        self.months.get(&m)
+    }
+
+    /// Insert a fully-built month record (used by the store loader).
+    pub fn insert_month(&mut self, m: Month, stats: MonthlyStats) {
+        self.months.insert(m, stats);
+    }
+
+    /// Iterate months in order.
+    pub fn iter_months(&self) -> impl Iterator<Item = (&Month, &MonthlyStats)> {
+        self.months.iter()
+    }
+
+    /// Total connections across all months.
+    pub fn total(&self) -> u64 {
+        self.months.values().map(|m| m.total).sum()
+    }
+
+    /// Merge another aggregate into this one (parallel ingestion).
+    pub fn merge(&mut self, other: NotaryAggregate) {
+        for (month, stats) in other.months {
+            let mine = self.months.entry(month).or_default();
+            mine.total += stats.total;
+            mine.sslv2 += stats.sslv2;
+            mine.rejected += stats.rejected;
+            mine.missing_server += stats.missing_server;
+            mine.garbled_server += stats.garbled_server;
+            mine.answered += stats.answered;
+            let v = &mut mine.neg_version;
+            let o = stats.neg_version;
+            v.ssl2 += o.ssl2;
+            v.ssl3 += o.ssl3;
+            v.tls10 += o.tls10;
+            v.tls11 += o.tls11;
+            v.tls12 += o.tls12;
+            v.tls13 += o.tls13;
+            v.other += o.other;
+            mine.neg_rc4 += stats.neg_rc4;
+            mine.neg_cbc += stats.neg_cbc;
+            mine.neg_aead += stats.neg_aead;
+            mine.neg_null += stats.neg_null;
+            mine.neg_null_null += stats.neg_null_null;
+            mine.neg_3des += stats.neg_3des;
+            mine.neg_des += stats.neg_des;
+            mine.neg_export += stats.neg_export;
+            mine.neg_anon += stats.neg_anon;
+            mine.neg_unoffered += stats.neg_unoffered;
+            mine.neg_fs += stats.neg_fs;
+            let k = &mut mine.neg_kx;
+            let ok = stats.neg_kx;
+            k.rsa += ok.rsa;
+            k.dhe += ok.dhe;
+            k.ecdhe += ok.ecdhe;
+            k.dh += ok.dh;
+            k.ecdh += ok.ecdh;
+            k.tls13 += ok.tls13;
+            k.other += ok.other;
+            let a = &mut mine.neg_aead_alg;
+            let oa = stats.neg_aead_alg;
+            a.aes128gcm += oa.aes128gcm;
+            a.aes256gcm += oa.aes256gcm;
+            a.chacha += oa.chacha;
+            a.ccm += oa.ccm;
+            a.other += oa.other;
+            for (curve, n) in stats.curves {
+                *mine.curves.entry(curve).or_insert(0) += n;
+            }
+            mine.heartbeat_negotiated += stats.heartbeat_negotiated;
+            mine.adv_rc4 += stats.adv_rc4;
+            mine.adv_cbc += stats.adv_cbc;
+            mine.adv_aead += stats.adv_aead;
+            mine.adv_des += stats.adv_des;
+            mine.adv_3des += stats.adv_3des;
+            mine.adv_export += stats.adv_export;
+            mine.adv_anon += stats.adv_anon;
+            mine.adv_null += stats.adv_null;
+            mine.adv_fs += stats.adv_fs;
+            mine.adv_heartbeat += stats.adv_heartbeat;
+            mine.adv_tls13 += stats.adv_tls13;
+            let a = &mut mine.adv_aead_alg;
+            let oa = stats.adv_aead_alg;
+            a.aes128gcm += oa.aes128gcm;
+            a.aes256gcm += oa.aes256gcm;
+            a.chacha += oa.chacha;
+            a.ccm += oa.ccm;
+            a.other += oa.other;
+            for (v, n) in stats.supported_versions_values {
+                *mine.supported_versions_values.entry(v).or_insert(0) += n;
+            }
+            for (t, n) in stats.adv_extensions {
+                *mine.adv_extensions.entry(t).or_insert(0) += n;
+            }
+            mine.pos_aead.sum += stats.pos_aead.sum;
+            mine.pos_aead.n += stats.pos_aead.n;
+            mine.pos_cbc.sum += stats.pos_cbc.sum;
+            mine.pos_cbc.n += stats.pos_cbc.n;
+            mine.pos_rc4.sum += stats.pos_rc4.sum;
+            mine.pos_rc4.n += stats.pos_rc4.n;
+            mine.pos_des.sum += stats.pos_des.sum;
+            mine.pos_des.n += stats.pos_des.n;
+            mine.pos_3des.sum += stats.pos_3des.sum;
+            mine.pos_3des.n += stats.pos_3des.n;
+            for (fp, flags) in stats.fp_flags {
+                mine.fp_flags.entry(fp).or_insert(flags);
+            }
+        }
+        for (fp, count) in other.fp_counts {
+            let id = fp.id64();
+            // Sightings were already tracked per record in `other`;
+            // merge the counters.
+            *self.fp_counts.entry(fp).or_insert(0) += count;
+            let _ = id;
+        }
+        // Merge sighting windows.
+        let other_sightings = other.sightings;
+        for (id, s) in other_sightings.iter_raw() {
+            self.sightings.observe(*id, s.first, 0);
+            self.sightings.observe(*id, s.last, s.connections);
+        }
+        self.not_tls += other.not_tls;
+        self.garbled_client += other.garbled_client;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::{ClientOffer, ServerAnswer};
+    use tlscope_chron::Date;
+    use tlscope_wire::CipherSuite;
+
+    fn offer(suites: &[u16]) -> ClientOffer {
+        let cs: Vec<CipherSuite> = suites.iter().map(|&s| CipherSuite(s)).collect();
+        ClientOffer {
+            legacy_version: ProtocolVersion::Tls12,
+            versions: vec![ProtocolVersion::Tls12],
+            supported_versions_raw: vec![],
+            heartbeat: false,
+            extension_types: vec![],
+            fingerprint: Fingerprint {
+                ciphers: suites.to_vec(),
+                extensions: vec![],
+                curves: vec![],
+                point_formats: vec![],
+            },
+            suites: cs,
+        }
+    }
+
+    fn record(month_day: (i32, u8, u8), suites: &[u16], answer: Option<(u16, u16)>) -> ConnectionRecord {
+        let date = Date::ymd(month_day.0, month_day.1, month_day.2);
+        ConnectionRecord {
+            date,
+            month: date.month(),
+            port: 443,
+            sslv2: false,
+            client: Some(offer(suites)),
+            server: match answer {
+                Some((cipher, version)) => ServerOutcome::Answered(ServerAnswer {
+                    version: ProtocolVersion::from_wire(version),
+                    cipher: CipherSuite(cipher),
+                    curve: None,
+                    heartbeat: false,
+                }),
+                None => ServerOutcome::Rejected,
+            },
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut agg = NotaryAggregate::new();
+        agg.ingest(&record((2015, 6, 1), &[0xc02f, 0x0005], Some((0xc02f, 0x0303))));
+        agg.ingest(&record((2015, 6, 2), &[0x0005, 0x000a], Some((0x0005, 0x0301))));
+        agg.ingest(&record((2015, 6, 3), &[0xc02f], None));
+        let m = agg.month(Month::ym(2015, 6)).unwrap();
+        assert_eq!(m.total, 3);
+        assert_eq!(m.answered, 2);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.neg_aead, 1);
+        assert_eq!(m.neg_rc4, 1);
+        assert_eq!(m.adv_rc4, 2);
+        assert_eq!(m.adv_aead, 2);
+        assert_eq!(m.neg_version.tls12, 1);
+        assert_eq!(m.neg_version.tls10, 1);
+        assert!((m.pct(m.adv_rc4) - 66.666).abs() < 0.01);
+        assert!((m.pct_answered(m.neg_rc4) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unoffered_cipher_detected() {
+        let mut agg = NotaryAggregate::new();
+        // Server picks GOST which the client never offered (§7.3).
+        agg.ingest(&record((2016, 1, 5), &[0xc02f], Some((0x0081, 0x0303))));
+        let m = agg.month(Month::ym(2016, 1)).unwrap();
+        assert_eq!(m.neg_unoffered, 1);
+    }
+
+    #[test]
+    fn fingerprint_tracking() {
+        let mut agg = NotaryAggregate::new();
+        agg.ingest(&record((2015, 6, 1), &[0xc02f, 0x0005], Some((0xc02f, 0x0303))));
+        agg.ingest(&record((2015, 6, 20), &[0xc02f, 0x0005], Some((0xc02f, 0x0303))));
+        agg.ingest(&record((2015, 6, 2), &[0xc02f], Some((0xc02f, 0x0303))));
+        let m = agg.month(Month::ym(2015, 6)).unwrap();
+        assert_eq!(m.fp_flags.len(), 2);
+        assert!((m.pct_fingerprints(|f| f.rc4) - 50.0).abs() < 1e-9);
+        assert_eq!(agg.fp_counts.len(), 2);
+        assert_eq!(agg.sightings.len(), 2);
+        let fp = offer(&[0xc02f, 0x0005]).fingerprint;
+        let s = agg.sightings.get(fp.id64()).unwrap();
+        assert_eq!(s.duration_days(), 20);
+        assert_eq!(s.connections, 2);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let recs: Vec<ConnectionRecord> = (0..50)
+            .map(|i| {
+                record(
+                    (2016, 1 + (i % 3) as u8, 1 + (i % 27) as u8),
+                    if i % 2 == 0 { &[0xc02f, 0x0005] } else { &[0x002f] },
+                    if i % 5 == 0 { None } else { Some((0xc02f, 0x0303)) },
+                )
+            })
+            .collect();
+        let mut seq = NotaryAggregate::new();
+        for r in &recs {
+            seq.ingest(r);
+        }
+        let mut a = NotaryAggregate::new();
+        let mut b = NotaryAggregate::new();
+        for (i, r) in recs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.ingest(r);
+            } else {
+                b.ingest(r);
+            }
+        }
+        a.merge(b);
+        assert_eq!(a.total(), seq.total());
+        for (m, s) in seq.iter_months() {
+            let am = a.month(*m).unwrap();
+            assert_eq!(am.total, s.total);
+            assert_eq!(am.answered, s.answered);
+            assert_eq!(am.adv_rc4, s.adv_rc4);
+            assert_eq!(am.fp_flags.len(), s.fp_flags.len());
+        }
+        assert_eq!(a.fp_counts, seq.fp_counts);
+    }
+
+    #[test]
+    fn pct_curve() {
+        let mut m = MonthlyStats::default();
+        m.curves.insert(23, 80);
+        m.curves.insert(29, 20);
+        assert!((m.pct_curve(23) - 80.0).abs() < 1e-9);
+        assert!((m.pct_curve(29) - 20.0).abs() < 1e-9);
+        assert_eq!(m.pct_curve(24), 0.0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Per-connection record extraction: wire bytes → [`ConnectionRecord`].
+//!
+//! This is the Bro/Zeek-analogue layer of the reproduction: everything
+//! it knows comes from parsing the tapped bytes. It never receives
+//! generator ground truth.
+
+use tlscope_chron::{Date, Month};
+use tlscope_fingerprint::Fingerprint;
+use tlscope_wire::codec::Reader;
+use tlscope_wire::exts::ext_type;
+use tlscope_wire::handshake::{handshake_type, read_handshake};
+use tlscope_wire::record::{sslv2_kind_as_suite, ContentType, Record};
+use tlscope_wire::{
+    sniff, CipherSuite, ClientHello, NamedGroup, ProtocolVersion, ServerHello, Sslv2ClientHello,
+    WireFlavor,
+};
+
+/// What the client side of a connection offered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOffer {
+    /// Legacy version field.
+    pub legacy_version: ProtocolVersion,
+    /// Offered suites (exact wire order, GREASE included).
+    pub suites: Vec<CipherSuite>,
+    /// Versions actually offered (supported_versions-aware).
+    pub versions: Vec<ProtocolVersion>,
+    /// Raw supported_versions values (for the draft-mix analysis,
+    /// §6.4); empty when the extension is absent.
+    pub supported_versions_raw: Vec<u16>,
+    /// Whether the heartbeat extension was offered.
+    pub heartbeat: bool,
+    /// All advertised extension type codes (GREASE stripped).
+    pub extension_types: Vec<u16>,
+    /// The 4-feature fingerprint (GREASE-stripped).
+    pub fingerprint: Fingerprint,
+}
+
+impl ClientOffer {
+    /// True if any offered suite satisfies `pred` (signalling values
+    /// excluded by the classifiers themselves).
+    pub fn offers(&self, pred: impl Fn(CipherSuite) -> bool) -> bool {
+        self.suites.iter().any(|c| pred(*c))
+    }
+
+    /// Relative position (0.0 = head) of the first offered suite
+    /// satisfying `pred`, ignoring GREASE/SCSV entries (Figure 5).
+    pub fn first_position(&self, pred: impl Fn(CipherSuite) -> bool) -> Option<f64> {
+        let real: Vec<CipherSuite> = self
+            .suites
+            .iter()
+            .copied()
+            .filter(|c| !tlscope_wire::is_grease(c.0) && !c.is_signaling())
+            .collect();
+        if real.is_empty() {
+            return None;
+        }
+        real.iter()
+            .position(|c| pred(*c))
+            .map(|i| i as f64 / real.len() as f64)
+    }
+}
+
+/// What the server answered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerAnswer {
+    /// Negotiated protocol version (supported_versions-aware).
+    pub version: ProtocolVersion,
+    /// Selected cipher suite.
+    pub cipher: CipherSuite,
+    /// Negotiated curve, from ServerKeyExchange or TLS 1.3 key_share.
+    pub curve: Option<NamedGroup>,
+    /// True when the server echoed the heartbeat extension.
+    pub heartbeat: bool,
+}
+
+/// The outcome of the server side of the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerOutcome {
+    /// Handshake proceeded: ServerHello seen.
+    Answered(ServerAnswer),
+    /// Server rejected with an alert (description code when parseable).
+    Rejected,
+    /// Tap did not capture the server flow.
+    Missing,
+    /// Server bytes present but unparseable (tap damage).
+    Garbled,
+}
+
+/// A fully-extracted connection record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionRecord {
+    /// Capture date.
+    pub date: Date,
+    /// Capture month bucket.
+    pub month: Month,
+    /// Destination port.
+    pub port: u16,
+    /// True for SSLv2-framed connections (client side).
+    pub sslv2: bool,
+    /// Client offer, if the client flow parsed.
+    pub client: Option<ClientOffer>,
+    /// Server outcome.
+    pub server: ServerOutcome,
+}
+
+/// Errors recording why a flow could not be processed at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractError {
+    /// Client flow empty or not SSL/TLS at all.
+    NotTls,
+    /// Client flow recognisably TLS but damaged beyond parsing.
+    GarbledClient,
+}
+
+/// Extract a connection record from tapped flows.
+pub fn extract(
+    date: Date,
+    port: u16,
+    client_flow: &[u8],
+    server_flow: Option<&[u8]>,
+) -> Result<ConnectionRecord, ExtractError> {
+    match sniff(client_flow) {
+        WireFlavor::Sslv2 => {
+            let hello = Sslv2ClientHello::parse(client_flow)
+                .map_err(|_| ExtractError::GarbledClient)?;
+            let suites: Vec<CipherSuite> = hello
+                .cipher_specs
+                .iter()
+                .filter_map(|k| sslv2_kind_as_suite(*k))
+                .collect();
+            let offer = ClientOffer {
+                legacy_version: ProtocolVersion::Ssl2,
+                versions: vec![ProtocolVersion::Ssl2],
+                supported_versions_raw: vec![],
+                heartbeat: false,
+                extension_types: vec![],
+                fingerprint: Fingerprint {
+                    ciphers: suites.iter().map(|c| c.0).collect(),
+                    extensions: vec![],
+                    curves: vec![],
+                    point_formats: vec![],
+                },
+                suites,
+            };
+            Ok(ConnectionRecord {
+                date,
+                month: date.month(),
+                port,
+                sslv2: true,
+                client: Some(offer),
+                server: ServerOutcome::Missing,
+            })
+        }
+        WireFlavor::Tls => {
+            let hello = parse_client_hello(client_flow).ok_or(ExtractError::GarbledClient)?;
+            let offer = client_offer(&hello);
+            let server = match server_flow {
+                None => ServerOutcome::Missing,
+                Some(bytes) => parse_server_flow(bytes, &hello),
+            };
+            Ok(ConnectionRecord {
+                date,
+                month: date.month(),
+                port,
+                sslv2: false,
+                client: Some(offer),
+                server,
+            })
+        }
+        WireFlavor::Other => Err(ExtractError::NotTls),
+    }
+}
+
+fn parse_client_hello(flow: &[u8]) -> Option<ClientHello> {
+    let records = Record::read_all(flow).ok()?;
+    let handshake = Record::coalesce_handshake(&records).ok()?;
+    ClientHello::parse_handshake(&handshake).ok()
+}
+
+fn client_offer(hello: &ClientHello) -> ClientOffer {
+    let supported_versions_raw = hello
+        .find_extension(ext_type::SUPPORTED_VERSIONS)
+        .and_then(|e| e.parse_supported_versions().ok())
+        .map(|vs| {
+            vs.iter()
+                .map(|v| v.to_wire())
+                .filter(|w| !tlscope_wire::is_grease(*w))
+                .collect()
+        })
+        .unwrap_or_default();
+    ClientOffer {
+        legacy_version: hello.legacy_version,
+        suites: hello.cipher_suites.clone(),
+        versions: hello.offered_versions(),
+        supported_versions_raw,
+        heartbeat: hello.find_extension(ext_type::HEARTBEAT).is_some(),
+        extension_types: hello
+            .extensions()
+            .iter()
+            .map(|e| e.typ)
+            .filter(|t| !tlscope_wire::is_grease(*t))
+            .collect(),
+        fingerprint: Fingerprint::from_client_hello(hello),
+    }
+}
+
+fn parse_server_flow(bytes: &[u8], client: &ClientHello) -> ServerOutcome {
+    let Ok(records) = Record::read_all(bytes) else {
+        return ServerOutcome::Garbled;
+    };
+    if records.is_empty() {
+        return ServerOutcome::Garbled;
+    }
+    if records[0].content_type == ContentType::Alert {
+        // Classify the alert when possible; damaged alerts still count
+        // as rejections.
+        let _ = tlscope_wire::Alert::parse(&records[0].payload);
+        return ServerOutcome::Rejected;
+    }
+    let Ok(handshake) = Record::coalesce_handshake(&records) else {
+        return ServerOutcome::Garbled;
+    };
+    let mut r = Reader::new(&handshake);
+    let mut server_hello: Option<ServerHello> = None;
+    let mut ske_curve: Option<NamedGroup> = None;
+    while !r.is_empty() {
+        let Ok((typ, body)) = read_handshake(&mut r) else {
+            break;
+        };
+        match typ {
+            handshake_type::SERVER_HELLO => {
+                server_hello = ServerHello::parse_body(body).ok();
+            }
+            handshake_type::SERVER_KEY_EXCHANGE => {
+                ske_curve = tlscope_wire::ske::parse_ske_curve(body).ok();
+            }
+            _ => {}
+        }
+    }
+    let Some(sh) = server_hello else {
+        return ServerOutcome::Garbled;
+    };
+    let version = sh.negotiated_version();
+    let key_share_curve = sh
+        .find_extension(ext_type::KEY_SHARE)
+        .or_else(|| sh.find_extension(ext_type::KEY_SHARE_DRAFT))
+        .and_then(|e| e.parse_key_share_server().ok());
+    let heartbeat = client.find_extension(ext_type::HEARTBEAT).is_some()
+        && sh.find_extension(ext_type::HEARTBEAT).is_some();
+    ServerOutcome::Answered(ServerAnswer {
+        version,
+        cipher: sh.cipher_suite,
+        curve: ske_curve.or(key_share_curve),
+        heartbeat,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlscope_wire::Extension;
+
+    fn client_bytes(hello: &ClientHello) -> Vec<u8> {
+        Record::wrap_handshake(ProtocolVersion::Tls10, &hello.to_handshake_bytes())
+            .iter()
+            .flat_map(|r| r.to_bytes())
+            .collect()
+    }
+
+    fn sample_hello() -> ClientHello {
+        ClientHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [3; 32],
+            session_id: vec![],
+            cipher_suites: vec![
+                CipherSuite(0xc02f),
+                CipherSuite(0xc013),
+                CipherSuite(0x0005),
+                CipherSuite(0x000a),
+                CipherSuite(0x00ff),
+            ],
+            compression_methods: vec![0],
+            extensions: Some(vec![
+                Extension::server_name("x.test"),
+                Extension::heartbeat(1),
+                Extension::supported_groups(&[NamedGroup::X25519, NamedGroup::SECP256R1]),
+                Extension::ec_point_formats(&[0]),
+            ]),
+        }
+    }
+
+    fn server_bytes(sh: &ServerHello, curve: Option<NamedGroup>) -> Vec<u8> {
+        let mut hs = sh.to_handshake_bytes();
+        if let Some(c) = curve {
+            hs.extend_from_slice(&tlscope_wire::ske::ecdhe_ske(c, 65));
+        }
+        Record::wrap_handshake(ProtocolVersion::Tls12, &hs)
+            .iter()
+            .flat_map(|r| r.to_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn extract_full_connection() {
+        let hello = sample_hello();
+        let sh = ServerHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [5; 32],
+            session_id: vec![],
+            cipher_suite: CipherSuite(0xc02f),
+            compression_method: 0,
+            extensions: Some(vec![Extension::heartbeat(1)]),
+        };
+        let rec = extract(
+            Date::ymd(2015, 6, 3),
+            443,
+            &client_bytes(&hello),
+            Some(&server_bytes(&sh, Some(NamedGroup::X25519))),
+        )
+        .unwrap();
+        assert!(!rec.sslv2);
+        let client = rec.client.as_ref().unwrap();
+        assert!(client.offers(|c| c.is_rc4()));
+        assert!(client.offers(|c| c.is_aead()));
+        assert!(client.heartbeat);
+        match &rec.server {
+            ServerOutcome::Answered(ans) => {
+                assert_eq!(ans.version, ProtocolVersion::Tls12);
+                assert!(ans.cipher.is_aead());
+                assert_eq!(ans.curve, Some(NamedGroup::X25519));
+                assert!(ans.heartbeat);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn positions_ignore_scsv() {
+        let hello = sample_hello();
+        let offer = client_offer(&hello);
+        // 4 real suites: aead at 0, cbc at 1/4, rc4 at 2/4, 3des 3/4.
+        assert_eq!(offer.first_position(|c| c.is_aead()), Some(0.0));
+        assert_eq!(offer.first_position(|c| c.is_cbc()), Some(0.25));
+        assert_eq!(offer.first_position(|c| c.is_rc4()), Some(0.5));
+        assert_eq!(offer.first_position(|c| c.is_3des()), Some(0.75));
+        assert_eq!(offer.first_position(|c| c.is_export()), None);
+    }
+
+    #[test]
+    fn alert_is_rejected() {
+        let hello = sample_hello();
+        let alert = Record {
+            content_type: ContentType::Alert,
+            version: ProtocolVersion::Tls12,
+            payload: vec![2, 40],
+        }
+        .to_bytes();
+        let rec = extract(Date::ymd(2015, 6, 3), 443, &client_bytes(&hello), Some(&alert)).unwrap();
+        assert_eq!(rec.server, ServerOutcome::Rejected);
+    }
+
+    #[test]
+    fn missing_server_flow() {
+        let hello = sample_hello();
+        let rec = extract(Date::ymd(2015, 6, 3), 443, &client_bytes(&hello), None).unwrap();
+        assert_eq!(rec.server, ServerOutcome::Missing);
+    }
+
+    #[test]
+    fn garbled_flows() {
+        let hello = sample_hello();
+        let bytes = client_bytes(&hello);
+        // Truncated client flow.
+        assert_eq!(
+            extract(Date::ymd(2015, 6, 3), 443, &bytes[..bytes.len() / 2], None),
+            Err(ExtractError::GarbledClient)
+        );
+        // Non-TLS flow.
+        assert_eq!(
+            extract(Date::ymd(2015, 6, 3), 443, b"GET / HTTP/1.1", None),
+            Err(ExtractError::NotTls)
+        );
+        // Garbled server flow.
+        let rec = extract(Date::ymd(2015, 6, 3), 443, &bytes, Some(&[0xff, 0x00])).unwrap();
+        assert_eq!(rec.server, ServerOutcome::Garbled);
+    }
+
+    #[test]
+    fn sslv2_extraction() {
+        let v2 = Sslv2ClientHello {
+            version: ProtocolVersion::Ssl2,
+            cipher_specs: vec![tlscope_wire::record::sslv2_cipher::RC4_128_WITH_MD5],
+            session_id: vec![],
+            challenge: vec![1; 16],
+        };
+        let rec = extract(Date::ymd(2018, 2, 10), 5666, &v2.to_bytes(), None).unwrap();
+        assert!(rec.sslv2);
+        let offer = rec.client.unwrap();
+        assert_eq!(offer.legacy_version, ProtocolVersion::Ssl2);
+        assert!(offer.offers(|c| c.is_rc4()));
+    }
+
+    #[test]
+    fn tls13_answer_extraction() {
+        let hello = sample_hello();
+        let sh = ServerHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [5; 32],
+            session_id: vec![],
+            cipher_suite: CipherSuite(0x1301),
+            compression_method: 0,
+            extensions: Some(vec![
+                Extension::selected_version(ProtocolVersion::Tls13Experiment(2)),
+                Extension::key_share_server(NamedGroup::X25519),
+            ]),
+        };
+        let rec = extract(
+            Date::ymd(2018, 4, 2),
+            443,
+            &client_bytes(&hello),
+            Some(&server_bytes(&sh, None)),
+        )
+        .unwrap();
+        match rec.server {
+            ServerOutcome::Answered(ans) => {
+                assert_eq!(ans.version, ProtocolVersion::Tls13Experiment(2));
+                assert!(ans.cipher.is_tls13());
+                assert_eq!(ans.curve, Some(NamedGroup::X25519));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

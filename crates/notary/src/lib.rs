@@ -1,0 +1,49 @@
+//! # tlscope-notary
+//!
+//! The passive TLS monitoring pipeline — the reproduction's analogue of
+//! the ICSI SSL Notary (§3.1 of *Coming of Age*, IMC 2018). It consumes
+//! raw tapped flows (bytes only), extracts per-connection records with
+//! the tolerant wire parsers, and aggregates them into the monthly
+//! counters behind every figure of the paper. A crossbeam worker
+//! pipeline mirrors the real system's Bro worker fan-out.
+//!
+//! ```
+//! use tlscope_notary::{ingest_serial, TappedFlow};
+//! use tlscope_chron::Date;
+//! use tlscope_wire::record::Record;
+//! use tlscope_wire::{ClientHello, CipherSuite, ProtocolVersion};
+//!
+//! let hello = ClientHello {
+//!     legacy_version: ProtocolVersion::Tls12,
+//!     random: [0; 32],
+//!     session_id: vec![],
+//!     cipher_suites: vec![CipherSuite(0xc02f)],
+//!     compression_methods: vec![0],
+//!     extensions: None,
+//! };
+//! let flow = TappedFlow {
+//!     date: Date::ymd(2016, 5, 1),
+//!     port: 443,
+//!     client: Record::wrap_handshake(ProtocolVersion::Tls10, &hello.to_handshake_bytes())
+//!         .iter().flat_map(|r| r.to_bytes()).collect(),
+//!     server: None,
+//! };
+//! let agg = ingest_serial([flow]);
+//! assert_eq!(agg.total(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod conn;
+pub mod pipeline;
+pub mod store;
+
+pub use aggregate::{
+    AeadCounts, FpClassFlags, KxCounts, MonthlyStats, NotaryAggregate, PositionMean,
+    VersionCounts,
+};
+pub use conn::{ClientOffer, ConnectionRecord, ExtractError, ServerAnswer, ServerOutcome};
+pub use pipeline::{ingest_parallel, ingest_serial, TappedFlow};
+pub use store::{from_text, to_text, StoreError};

@@ -1,0 +1,158 @@
+//! Parallel ingestion pipeline.
+//!
+//! The real Notary fans captured flows out to Bro workers; we mirror
+//! that with a crossbeam scoped pipeline: one producer feeding flows
+//! over a bounded channel to N workers, each extracting and aggregating
+//! locally, with the partial aggregates merged at the end. This is also
+//! one of DESIGN.md's ablation benchmarks (single-thread vs. workers).
+
+use crossbeam::channel;
+use tlscope_chron::Date;
+
+use crate::aggregate::NotaryAggregate;
+use crate::conn::extract;
+
+/// A flow handed to the monitor: everything a tap knows.
+#[derive(Debug, Clone)]
+pub struct TappedFlow {
+    /// Capture date.
+    pub date: Date,
+    /// Destination port.
+    pub port: u16,
+    /// Client-to-server bytes.
+    pub client: Vec<u8>,
+    /// Server-to-client bytes, when captured.
+    pub server: Option<Vec<u8>>,
+}
+
+/// Ingest a stream of flows on the current thread.
+pub fn ingest_serial(flows: impl IntoIterator<Item = TappedFlow>) -> NotaryAggregate {
+    let mut agg = NotaryAggregate::new();
+    for flow in flows {
+        match extract(flow.date, flow.port, &flow.client, flow.server.as_deref()) {
+            Ok(rec) => agg.ingest(&rec),
+            Err(e) => agg.ingest_failure(e),
+        }
+    }
+    agg
+}
+
+/// Ingest a stream of flows on `workers` threads; the result is
+/// identical to [`ingest_serial`] (aggregation is commutative).
+pub fn ingest_parallel(
+    flows: impl IntoIterator<Item = TappedFlow>,
+    workers: usize,
+) -> NotaryAggregate {
+    assert!(workers > 0, "need at least one worker");
+    let (tx, rx) = channel::bounded::<TappedFlow>(4096);
+    let mut result = NotaryAggregate::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                scope.spawn(move |_| {
+                    let mut agg = NotaryAggregate::new();
+                    for flow in rx.iter() {
+                        match extract(flow.date, flow.port, &flow.client, flow.server.as_deref())
+                        {
+                            Ok(rec) => agg.ingest(&rec),
+                            Err(e) => agg.ingest_failure(e),
+                        }
+                    }
+                    agg
+                })
+            })
+            .collect();
+        drop(rx);
+        for flow in flows {
+            if tx.send(flow).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+        for h in handles {
+            result.merge(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("pipeline scope failed");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlscope_chron::Month;
+    use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
+
+    fn flows(month: Month, n: u32) -> Vec<TappedFlow> {
+        let g = Generator::new(TrafficConfig {
+            seed: 7,
+            connections_per_month: n,
+            faults: FaultInjector::none(),
+        });
+        g.month(month)
+            .into_iter()
+            .map(|ev| TappedFlow {
+                date: ev.date,
+                port: ev.port,
+                client: ev.client_flow,
+                server: ev.server_flow,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_ingestion_counts_everything() {
+        let agg = ingest_serial(flows(Month::ym(2016, 3), 400));
+        let m = agg.month(Month::ym(2016, 3)).unwrap();
+        assert_eq!(m.total, 400);
+        assert!(m.answered > 350);
+        assert!(m.neg_aead > 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let fs = flows(Month::ym(2015, 9), 600);
+        let serial = ingest_serial(fs.clone());
+        let parallel = ingest_parallel(fs, 4);
+        assert_eq!(serial.total(), parallel.total());
+        let sm = serial.month(Month::ym(2015, 9)).unwrap();
+        let pm = parallel.month(Month::ym(2015, 9)).unwrap();
+        assert_eq!(sm.answered, pm.answered);
+        assert_eq!(sm.adv_rc4, pm.adv_rc4);
+        assert_eq!(sm.neg_rc4, pm.neg_rc4);
+        assert_eq!(sm.neg_kx.ecdhe, pm.neg_kx.ecdhe);
+        assert_eq!(sm.fp_flags.len(), pm.fp_flags.len());
+        assert_eq!(serial.fp_counts, parallel.fp_counts);
+        assert_eq!(serial.sightings.len(), parallel.sightings.len());
+    }
+
+    #[test]
+    fn faulty_flows_are_tolerated() {
+        let g = Generator::new(TrafficConfig {
+            seed: 9,
+            connections_per_month: 500,
+            faults: FaultInjector {
+                drop_prob: 0.0,
+                truncate_prob: 0.3,
+                corrupt_prob: 0.3,
+            },
+        });
+        let fs: Vec<TappedFlow> = g
+            .month(Month::ym(2016, 6))
+            .into_iter()
+            .map(|ev| TappedFlow {
+                date: ev.date,
+                port: ev.port,
+                client: ev.client_flow,
+                server: ev.server_flow,
+            })
+            .collect();
+        let n = fs.len();
+        let agg = ingest_serial(fs);
+        // Nothing panics; damaged flows are counted, not lost.
+        let m = agg.month(Month::ym(2016, 6)).unwrap();
+        assert!(m.total as usize + agg.garbled_client as usize + agg.not_tls as usize == n);
+        assert!(agg.garbled_client > 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # tlscope-scanner
+//!
+//! Active scanning harness — the reproduction's analogue of the Censys /
+//! ZMap / ZGrab pipeline (§3.2 of *Coming of Age*, IMC 2018): byte-level
+//! scan probes (a 2015-Chrome-equivalent hello, an SSL3-only hello, an
+//! export-suite hello, a Heartbeat check), host sweeps over the
+//! simulated IPv4 population, and the weekly scan schedule covering
+//! 2015-08-22 … 2018-05-13.
+//!
+//! ```
+//! use tlscope_scanner::{sweep, probe};
+//! use tlscope_servers::ServerPopulation;
+//! use tlscope_chron::Date;
+//!
+//! let pop = ServerPopulation::new();
+//! let snap = sweep(&pop, Date::ymd(2016, 6, 1), 500, 42);
+//! assert_eq!(snap.hosts, 500);
+//! assert!(snap.pct(snap.answered) > 80.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod probe;
+pub mod schedule;
+pub mod sweep;
+
+pub use schedule::{schedule, ScanCampaign, CENSYS_END, CENSYS_START};
+pub use sweep::{probe_host, pulse_survey, sweep, PulseSnapshot, ScanSnapshot};

@@ -1,0 +1,155 @@
+//! Scan probes: the ClientHellos the active scanner offers.
+//!
+//! Censys's TLS scans "offer the same set of cipher suites as a 2015
+//! version of Chrome including a number of strong ciphers ... as well as
+//! weaker CBC, RC4, and 3DES cipher suites" (§3.2); separate weekly
+//! scans offer SSL 3 as the sole version, and others look for
+//! export-grade support. Each probe here is a genuine ClientHello.
+
+use tlscope_wire::{CipherSuite, ClientHello, Extension, NamedGroup, ProtocolVersion};
+
+fn hello(
+    version: ProtocolVersion,
+    suites: &[u16],
+    extensions: Vec<Extension>,
+) -> ClientHello {
+    ClientHello {
+        legacy_version: version,
+        random: [0x5c; 32],
+        session_id: vec![],
+        cipher_suites: suites.iter().copied().map(CipherSuite).collect(),
+        compression_methods: vec![0],
+        extensions: if extensions.is_empty() {
+            None
+        } else {
+            Some(extensions)
+        },
+    }
+}
+
+fn standard_extensions() -> Vec<Extension> {
+    vec![
+        Extension::server_name("scan.example.org"),
+        Extension::renegotiation_info(),
+        Extension::supported_groups(&[
+            NamedGroup::SECP256R1,
+            NamedGroup::SECP384R1,
+            NamedGroup::SECP521R1,
+        ]),
+        Extension::ec_point_formats(&[0]),
+        Extension::signature_algorithms(&[0x0403, 0x0401, 0x0501, 0x0201]),
+        Extension::heartbeat(1),
+    ]
+}
+
+/// The 2015-Chrome-equivalent probe: strong AEAD + FS first, CBC, RC4,
+/// and 3DES at the bottom.
+pub fn chrome_2015() -> ClientHello {
+    hello(
+        ProtocolVersion::Tls12,
+        &[
+            0xc02b, 0xc02f, 0xcc14, 0xcc13, 0x009e, 0x009c, // AEAD
+            0xc023, 0xc027, 0xc009, 0xc013, 0xc00a, 0xc014, // ECDHE CBC
+            0x003c, 0x002f, 0x0035, 0x0033, 0x0039, // RSA/DHE CBC
+            0xc011, 0xc007, 0x0005, 0x0004, // RC4
+            0xc012, 0x000a, // 3DES (bottom of the list)
+        ],
+        standard_extensions(),
+    )
+}
+
+/// SSL3-only probe: legacy version pinned to SSL 3, pre-TLS suites, no
+/// extensions (SSL 3 servers commonly reject them).
+pub fn ssl3_only() -> ClientHello {
+    hello(
+        ProtocolVersion::Ssl3,
+        &[0x002f, 0x0035, 0x0005, 0x0004, 0x000a, 0x0009],
+        vec![],
+    )
+}
+
+/// Export-suite probe (the FREAK/Logjam surface scan).
+pub fn export_only() -> ClientHello {
+    hello(
+        ProtocolVersion::Tls10,
+        &[0x0003, 0x0006, 0x0008, 0x0014, 0x0011],
+        vec![],
+    )
+}
+
+/// Heartbeat probe: minimal strong offer plus the heartbeat extension.
+pub fn heartbeat_probe() -> ClientHello {
+    hello(
+        ProtocolVersion::Tls12,
+        &[0xc02f, 0xc013, 0x002f, 0x0035, 0x000a],
+        standard_extensions(),
+    )
+}
+
+/// RC4-only probe: the SSL Pulse-style support check (§5.3 — "19.1% of
+/// servers still support RC4 cipher suites").
+pub fn rc4_only() -> ClientHello {
+    hello(
+        ProtocolVersion::Tls12,
+        &[0xc011, 0xc007, 0x0005, 0x0004],
+        standard_extensions(),
+    )
+}
+
+/// The same 2015-Chrome probe with RC4 removed — the §5.3 experiment
+/// that flipped bankmellat.ir from RC4 to AEAD.
+pub fn chrome_2015_no_rc4() -> ClientHello {
+    let mut h = chrome_2015();
+    h.cipher_suites.retain(|c| !c.is_rc4());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlscope_wire::exts::ext_type as xt;
+
+    #[test]
+    fn chrome_probe_shape() {
+        let h = chrome_2015();
+        assert!(h.cipher_suites[0].is_aead());
+        assert!(h.cipher_suites.last().unwrap().is_3des());
+        assert!(h.cipher_suites.iter().any(|c| c.is_rc4()));
+        assert!(h.cipher_suites.iter().any(|c| c.is_cbc()));
+        assert!(!h.cipher_suites.iter().any(|c| c.is_export()));
+        // Parses through the wire like any hello.
+        let parsed = ClientHello::parse_handshake(&h.to_handshake_bytes()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn ssl3_probe_is_ssl3_only() {
+        let h = ssl3_only();
+        assert_eq!(h.legacy_version, ProtocolVersion::Ssl3);
+        assert!(h.extensions.is_none());
+        assert!(!h.offers_tls13());
+        assert_eq!(
+            h.offered_versions(),
+            vec![ProtocolVersion::Ssl3]
+        );
+    }
+
+    #[test]
+    fn export_probe_offers_only_export() {
+        let h = export_only();
+        assert!(h.cipher_suites.iter().all(|c| c.is_export()));
+    }
+
+    #[test]
+    fn heartbeat_probe_carries_extension() {
+        let h = heartbeat_probe();
+        assert!(h.find_extension(xt::HEARTBEAT).is_some());
+    }
+
+    #[test]
+    fn no_rc4_variant() {
+        let h = chrome_2015_no_rc4();
+        assert!(!h.cipher_suites.iter().any(|c| c.is_rc4()));
+        assert!(h.cipher_suites.len() < chrome_2015().cipher_suites.len());
+    }
+}

@@ -1,0 +1,102 @@
+//! Scan scheduling: the Censys observation window.
+//!
+//! "Censys scans are available starting from August 22nd 2015; in our
+//! paper we use the data till May 13 2018" (§3.2), with weekly IPv4
+//! sweeps. [`ScanCampaign`] runs the sweeps over that window.
+
+use tlscope_chron::Date;
+use tlscope_servers::ServerPopulation;
+
+use crate::sweep::{sweep, ScanSnapshot};
+
+/// First Censys scan used by the paper.
+pub const CENSYS_START: Date = Date::ymd(2015, 8, 22);
+/// Last Censys scan used by the paper.
+pub const CENSYS_END: Date = Date::ymd(2018, 5, 13);
+
+/// Dates spaced `interval_days` apart across `[start, end]`.
+pub fn schedule(start: Date, end: Date, interval_days: i64) -> Vec<Date> {
+    assert!(interval_days > 0);
+    let mut out = Vec::new();
+    let mut d = start;
+    while d <= end {
+        out.push(d);
+        d = d.add_days(interval_days);
+    }
+    out
+}
+
+/// A scan campaign: periodic sweeps over a window.
+#[derive(Debug, Clone)]
+pub struct ScanCampaign {
+    /// Sweep dates.
+    pub dates: Vec<Date>,
+    /// Hosts sampled per sweep.
+    pub hosts_per_sweep: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ScanCampaign {
+    /// The paper's Censys window at weekly cadence.
+    pub fn censys_weekly(hosts_per_sweep: u32, seed: u64) -> Self {
+        ScanCampaign {
+            dates: schedule(CENSYS_START, CENSYS_END, 7),
+            hosts_per_sweep,
+            seed,
+        }
+    }
+
+    /// A sparser monthly variant for quick runs.
+    pub fn censys_monthly(hosts_per_sweep: u32, seed: u64) -> Self {
+        ScanCampaign {
+            dates: schedule(CENSYS_START, CENSYS_END, 30),
+            hosts_per_sweep,
+            seed,
+        }
+    }
+
+    /// Run every sweep.
+    pub fn run(&self, population: &ServerPopulation) -> Vec<ScanSnapshot> {
+        self.dates
+            .iter()
+            .map(|d| sweep(population, *d, self.hosts_per_sweep, self.seed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weekly_schedule_covers_window() {
+        let dates = schedule(CENSYS_START, CENSYS_END, 7);
+        // 32 months of weekly scans ≈ 142 sweeps.
+        assert!(dates.len() >= 140 && dates.len() <= 145, "{}", dates.len());
+        assert_eq!(dates[0], CENSYS_START);
+        assert!(*dates.last().unwrap() <= CENSYS_END);
+        for w in dates.windows(2) {
+            assert_eq!(w[1] - w[0], 7);
+        }
+    }
+
+    #[test]
+    fn campaign_runs_in_order() {
+        let campaign = ScanCampaign {
+            dates: schedule(Date::ymd(2016, 1, 1), Date::ymd(2016, 3, 1), 30),
+            hosts_per_sweep: 200,
+            seed: 5,
+        };
+        let snaps = campaign.run(&ServerPopulation::new());
+        assert_eq!(snaps.len(), 3);
+        assert!(snaps.windows(2).all(|w| w[0].date < w[1].date));
+        assert!(snaps.iter().all(|s| s.hosts == 200));
+    }
+
+    #[test]
+    fn single_day_schedule() {
+        let d = Date::ymd(2017, 1, 1);
+        assert_eq!(schedule(d, d, 7), vec![d]);
+    }
+}

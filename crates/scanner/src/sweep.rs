@@ -1,0 +1,296 @@
+//! Sweeps: probing a host sample and aggregating a scan snapshot.
+//!
+//! Each sweep draws `hosts` responsive servers from the population's
+//! host-space view (the Censys IPv4 perspective) and runs every probe
+//! against each. The snapshot carries exactly the per-scan statistics
+//! the paper quotes: SSL 3 support, what servers choose from a
+//! 2015-Chrome offer (CBC / RC4 / 3DES / AEAD), export support,
+//! Heartbeat support, and residual Heartbleed vulnerability.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlscope_chron::Date;
+use tlscope_servers::{negotiate, ServerPopulation, ServerProfile};
+
+use crate::probe;
+
+/// Results of one full sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanSnapshot {
+    /// Sweep date.
+    pub date: Date,
+    /// Hosts probed.
+    pub hosts: u64,
+    /// Hosts accepting the SSL3-only probe.
+    pub ssl3_supported: u64,
+    /// Hosts answering the 2015-Chrome probe at all.
+    pub answered: u64,
+    /// ... choosing an AEAD suite from it.
+    pub chose_aead: u64,
+    /// ... choosing a CBC suite (§5.2: 54 % → 35 %).
+    pub chose_cbc: u64,
+    /// ... choosing RC4 despite stronger offers (§5.3: 11.2 % → 3.4 %).
+    pub chose_rc4: u64,
+    /// ... choosing 3DES from the bottom of the list (§5.6: 0.54 % →
+    /// 0.25 %).
+    pub chose_3des: u64,
+    /// ... negotiating TLS 1.2 with the probe.
+    pub chose_tls12: u64,
+    /// Hosts accepting the export-only probe.
+    pub export_supported: u64,
+    /// Hosts echoing the Heartbeat extension (§5.4: 34 %).
+    pub heartbeat_supported: u64,
+    /// Hosts still Heartbleed-vulnerable (§5.4: 0.32 % in 2018-05).
+    pub heartbleed_vulnerable: u64,
+}
+
+impl ScanSnapshot {
+    /// Percentage helper over probed hosts.
+    pub fn pct(&self, count: u64) -> f64 {
+        if self.hosts == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.hosts as f64
+        }
+    }
+}
+
+/// Probe one server with every scan and fold into `snap`.
+pub fn probe_host(profile: &ServerProfile, snap: &mut ScanSnapshot) {
+    snap.hosts += 1;
+
+    // 2015-Chrome probe.
+    if let Ok(n) = negotiate::respond(profile, &probe::chrome_2015(), [0xA5; 32]) {
+        snap.answered += 1;
+        if n.cipher.is_aead() {
+            snap.chose_aead += 1;
+        }
+        if n.cipher.is_cbc() {
+            snap.chose_cbc += 1;
+        }
+        if n.cipher.is_rc4() {
+            snap.chose_rc4 += 1;
+        }
+        if n.cipher.is_3des() {
+            snap.chose_3des += 1;
+        }
+        if n.version == tlscope_wire::ProtocolVersion::Tls12 {
+            snap.chose_tls12 += 1;
+        }
+        if n.heartbeat {
+            snap.heartbeat_supported += 1;
+            // The Heartbleed check: a malformed heartbeat against a
+            // heartbeat-answering host. The profile's vulnerability flag
+            // *is* the server behaviour being measured.
+            if profile.heartbleed_vulnerable {
+                snap.heartbleed_vulnerable += 1;
+            }
+        }
+    }
+
+    // SSL3-only probe.
+    if negotiate::respond(profile, &probe::ssl3_only(), [0xA5; 32]).is_ok() {
+        snap.ssl3_supported += 1;
+    }
+
+    // Export probe: supported if the server completes with an export
+    // suite (the Interwise-style downgrade also counts — that is the
+    // point of the scan).
+    if let Ok(n) = negotiate::respond(profile, &probe::export_only(), [0xA5; 32]) {
+        if n.cipher.is_export() {
+            snap.export_supported += 1;
+        }
+    }
+}
+
+/// Sweep `hosts` random responsive servers at `date`.
+pub fn sweep(
+    population: &ServerPopulation,
+    date: Date,
+    hosts: u32,
+    seed: u64,
+) -> ScanSnapshot {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (date.to_epoch_days() as u64));
+    let mut snap = ScanSnapshot {
+        date,
+        hosts: 0,
+        ssl3_supported: 0,
+        answered: 0,
+        chose_aead: 0,
+        chose_cbc: 0,
+        chose_rc4: 0,
+        chose_3des: 0,
+        chose_tls12: 0,
+        export_supported: 0,
+        heartbeat_supported: 0,
+        heartbleed_vulnerable: 0,
+    };
+    for _ in 0..hosts {
+        let profile = population.sample_host(date, &mut rng);
+        probe_host(&profile, &mut snap);
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlscope_servers::Quirk;
+
+    #[test]
+    fn snapshot_percentages() {
+        let pop = ServerPopulation::new();
+        let snap = sweep(&pop, Date::ymd(2016, 6, 1), 3000, 1);
+        assert_eq!(snap.hosts, 3000);
+        assert!(snap.answered > 2500);
+        // Classes partition the answered set (plus rare odd choices).
+        assert!(
+            snap.chose_aead + snap.chose_cbc + snap.chose_rc4 <= snap.answered,
+            "{snap:?}"
+        );
+        assert!(snap.pct(snap.answered) > 85.0);
+    }
+
+    #[test]
+    fn censys_anchor_2015_chrome_choices() {
+        // §5.2 / §5.3: September 2015 — ~54 % of hosts choose CBC, ~11 %
+        // choose RC4. Generous bands; the bench records exact values.
+        let pop = ServerPopulation::new();
+        let snap = sweep(&pop, Date::ymd(2015, 9, 15), 6000, 2);
+        let cbc = snap.pct(snap.chose_cbc);
+        let rc4 = snap.pct(snap.chose_rc4);
+        assert!(cbc > 35.0 && cbc < 70.0, "cbc {cbc}");
+        assert!(rc4 > 5.0 && rc4 < 20.0, "rc4 {rc4}");
+    }
+
+    #[test]
+    fn censys_trends_2015_to_2018() {
+        let pop = ServerPopulation::new();
+        let early = sweep(&pop, Date::ymd(2015, 9, 15), 6000, 3);
+        let late = sweep(&pop, Date::ymd(2018, 5, 1), 6000, 3);
+        assert!(late.pct(late.ssl3_supported) < early.pct(early.ssl3_supported));
+        assert!(late.pct(late.chose_rc4) < early.pct(early.chose_rc4));
+        assert!(late.pct(late.chose_cbc) < early.pct(early.chose_cbc));
+        assert!(late.pct(late.chose_aead) > early.pct(early.chose_aead));
+        assert!(late.pct(late.heartbleed_vulnerable) < 1.0);
+    }
+
+    #[test]
+    fn interwise_counts_as_export_supporter() {
+        let mut snap = ScanSnapshot {
+            date: Date::ymd(2016, 1, 1),
+            hosts: 0,
+            ssl3_supported: 0,
+            answered: 0,
+            chose_aead: 0,
+            chose_cbc: 0,
+            chose_rc4: 0,
+            chose_3des: 0,
+            chose_tls12: 0,
+            export_supported: 0,
+            heartbeat_supported: 0,
+            heartbleed_vulnerable: 0,
+        };
+        probe_host(&ServerPopulation::interwise_server(), &mut snap);
+        assert_eq!(snap.export_supported, 1);
+        // And it chose RC4 from the Chrome probe (it's RC4-era).
+        assert_eq!(snap.chose_rc4, 1);
+        let _ = Quirk::None;
+    }
+
+    #[test]
+    fn heartbleed_vulnerability_requires_heartbeat() {
+        let mut profile = ServerPopulation::grid_server();
+        profile.heartbleed_vulnerable = true;
+        profile.heartbeat = false;
+        let mut snap = sweep(&ServerPopulation::new(), Date::ymd(2016, 1, 1), 0, 0);
+        probe_host(&profile, &mut snap);
+        assert_eq!(snap.heartbleed_vulnerable, 0);
+        profile.heartbeat = true;
+        probe_host(&profile, &mut snap);
+        assert_eq!(snap.heartbleed_vulnerable, 1);
+    }
+}
+
+/// SSL Pulse-style popular-site survey (§5.3): probe `sites` servers
+/// drawn from the *traffic-weighted* population (the Alexa-top view,
+/// not the IPv4 host view) for RC4 support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PulseSnapshot {
+    /// Survey date.
+    pub date: Date,
+    /// Sites probed.
+    pub sites: u64,
+    /// Sites that complete a handshake with an RC4-only offer
+    /// (paper: 92.8 % in 2013-10 → 19.1 % in 2018).
+    pub rc4_supported: u64,
+    /// Sites that support *only* RC4: they answer the RC4-only probe
+    /// but fail the full offer with RC4 removed (paper: 4,248 sites in
+    /// 2013 → 1 site in 2018).
+    pub rc4_only: u64,
+}
+
+impl PulseSnapshot {
+    /// Percentage helper over probed sites.
+    pub fn pct(&self, count: u64) -> f64 {
+        if self.sites == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.sites as f64
+        }
+    }
+}
+
+/// Run one SSL Pulse-style survey at `date`.
+pub fn pulse_survey(
+    population: &ServerPopulation,
+    date: Date,
+    sites: u32,
+    seed: u64,
+) -> PulseSnapshot {
+    use tlscope_servers::Destination;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9D15E ^ (date.to_epoch_days() as u64));
+    let mut snap = PulseSnapshot {
+        date,
+        sites: 0,
+        rc4_supported: 0,
+        rc4_only: 0,
+    };
+    for _ in 0..sites {
+        let profile = population.sample_for_traffic(Destination::Web, date, &mut rng);
+        snap.sites += 1;
+        let rc4 = negotiate::respond(&profile, &crate::probe::rc4_only(), [0x11; 32])
+            .map(|n| n.cipher.is_rc4())
+            .unwrap_or(false);
+        if rc4 {
+            snap.rc4_supported += 1;
+            let strong =
+                negotiate::respond(&profile, &crate::probe::chrome_2015_no_rc4(), [0x11; 32])
+                    .is_ok();
+            if !strong {
+                snap.rc4_only += 1;
+            }
+        }
+    }
+    snap
+}
+
+#[cfg(test)]
+mod pulse_tests {
+    use super::*;
+
+    #[test]
+    fn rc4_support_declines_like_ssl_pulse() {
+        let pop = ServerPopulation::new();
+        // Paper: 92.8 % (2013-10) → 19.1 % (2018).
+        let early = pulse_survey(&pop, Date::ymd(2013, 10, 1), 3000, 4);
+        let late = pulse_survey(&pop, Date::ymd(2018, 4, 1), 3000, 4);
+        let e = early.pct(early.rc4_supported);
+        let l = late.pct(late.rc4_supported);
+        assert!(e > 70.0, "early {e}");
+        assert!(l < 40.0, "late {l}");
+        assert!(l < e);
+        // RC4-only sites effectively vanish.
+        assert!(late.pct(late.rc4_only) < 2.0);
+    }
+}

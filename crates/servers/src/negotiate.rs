@@ -1,0 +1,442 @@
+//! The server-side negotiation engine.
+//!
+//! Given a parsed ClientHello and a [`ServerProfile`], produce the
+//! ServerHello (and the ECDHE curve selection that would ride in the
+//! ServerKeyExchange) exactly the way the deployed stacks the paper
+//! measures do — including the out-of-spec behaviours it documents.
+
+use tlscope_wire::exts::ext_type;
+use tlscope_wire::{
+    grease::is_grease, CipherSuite, ClientHello, Extension, Kx, NamedGroup, ProtocolVersion,
+    ServerHello,
+};
+
+use crate::profile::{Quirk, ServerProfile};
+
+/// Why a handshake failed to complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeFailure {
+    /// No protocol version acceptable to both sides.
+    VersionMismatch,
+    /// No cipher suite in common (after version gating).
+    NoCommonCipher,
+}
+
+/// The result of a successful negotiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Negotiated {
+    /// The ServerHello to put on the wire.
+    pub server_hello: ServerHello,
+    /// The negotiated protocol version (resolving supported_versions).
+    pub version: ProtocolVersion,
+    /// The selected cipher suite.
+    pub cipher: CipherSuite,
+    /// The ECDHE group selected (would appear in ServerKeyExchange /
+    /// key_share); `None` for non-(EC)DHE suites.
+    pub curve: Option<NamedGroup>,
+    /// True when both sides negotiated the Heartbeat extension (§5.4).
+    pub heartbeat: bool,
+}
+
+/// Negotiate a response to `hello` under `profile`.
+///
+/// `server_random` keeps the function deterministic for tests and
+/// reproducible simulation.
+pub fn respond(
+    profile: &ServerProfile,
+    hello: &ClientHello,
+    server_random: [u8; 32],
+) -> Result<Negotiated, HandshakeFailure> {
+    let version = negotiate_version(profile, hello)?;
+    let cipher = select_cipher(profile, hello, version)?;
+    let curve = select_curve(profile, hello, cipher, version);
+
+    let mut extensions: Vec<Extension> = Vec::new();
+    if version.is_tls13_family() {
+        extensions.push(Extension::selected_version(version));
+        if let Some(group) = curve {
+            // TLS 1.3 carries the selected group in key_share.
+            extensions.push(Extension::key_share_server(group));
+        }
+    }
+    if hello.find_extension(ext_type::RENEGOTIATION_INFO).is_some()
+        && !version.is_tls13_family()
+    {
+        extensions.push(Extension::renegotiation_info());
+    }
+    let heartbeat = profile.heartbeat
+        && hello.find_extension(ext_type::HEARTBEAT).is_some()
+        && !version.is_tls13_family();
+    if heartbeat {
+        extensions.push(Extension::heartbeat(1));
+    }
+
+    let server_hello = ServerHello {
+        legacy_version: if version.is_tls13_family() {
+            ProtocolVersion::Tls12
+        } else {
+            version
+        },
+        random: server_random,
+        session_id: hello.session_id.clone(),
+        cipher_suite: cipher,
+        compression_method: 0,
+        extensions: if extensions.is_empty() && hello.extensions.is_none() {
+            None
+        } else {
+            Some(extensions)
+        },
+    };
+
+    Ok(Negotiated {
+        server_hello,
+        version,
+        cipher,
+        curve,
+        heartbeat,
+    })
+}
+
+fn negotiate_version(
+    profile: &ServerProfile,
+    hello: &ClientHello,
+) -> Result<ProtocolVersion, HandshakeFailure> {
+    // TLS 1.3 path: exact-member match within the 1.3 family, mirroring
+    // how draft deployments only interoperated on equal draft numbers.
+    if let Some(server13) = profile.tls13 {
+        if hello
+            .offered_versions().contains(&server13)
+        {
+            return Ok(server13);
+        }
+    }
+    // Classic path: min(client max, server max), bounded below by both.
+    let client_max = hello
+        .offered_versions()
+        .into_iter()
+        .filter(|v| !v.is_tls13_family())
+        .max_by_key(|v| v.rank())
+        .unwrap_or(hello.legacy_version);
+    let chosen = if client_max.rank() <= profile.max_version.rank() {
+        client_max
+    } else {
+        profile.max_version
+    };
+    if chosen.rank() < profile.min_version.rank() {
+        return Err(HandshakeFailure::VersionMismatch);
+    }
+    Ok(chosen)
+}
+
+/// A suite is usable at `version` if it is not TLS 1.3-only below 1.3,
+/// and AEAD suites require TLS 1.2+.
+fn usable_at(cipher: CipherSuite, version: ProtocolVersion) -> bool {
+    if version.is_tls13_family() {
+        return cipher.is_tls13();
+    }
+    if cipher.is_tls13() {
+        return false;
+    }
+    if cipher.is_aead() && version.rank() < ProtocolVersion::Tls12.rank() {
+        return false;
+    }
+    true
+}
+
+fn select_cipher(
+    profile: &ServerProfile,
+    hello: &ClientHello,
+    version: ProtocolVersion,
+) -> Result<CipherSuite, HandshakeFailure> {
+    let offered: Vec<CipherSuite> = hello
+        .cipher_suites
+        .iter()
+        .copied()
+        .filter(|c| !is_grease(c.0) && !c.is_signaling() && usable_at(*c, version))
+        .collect();
+
+    // Out-of-spec behaviours first.
+    match profile.quirk {
+        Quirk::ChooseUnoffered(s) => return Ok(s),
+        Quirk::DowngradeRc4ToExport => {
+            if offered.iter().any(|c| c.0 == 0x0005 || c.0 == 0x0004) {
+                // Interwise: answer RC4_128 with EXP_RC4_40_MD5 (§5.5).
+                return Ok(CipherSuite(0x0003));
+            }
+        }
+        Quirk::PreferRc4 => {
+            if let Some(c) = offered.iter().find(|c| c.is_rc4()) {
+                return Ok(*c);
+            }
+        }
+        Quirk::Prefer3Des => {
+            if let Some(c) = offered.iter().find(|c| c.is_3des()) {
+                return Ok(*c);
+            }
+        }
+        Quirk::PreferNull => {
+            if let Some(c) = offered.iter().find(|c| c.is_null_encryption()) {
+                return Ok(*c);
+            }
+        }
+        Quirk::PreferAnon => {
+            if let Some(c) = offered
+                .iter()
+                .find(|c| c.is_anon() || c.is_null_null())
+            {
+                return Ok(*c);
+            }
+        }
+        Quirk::None => {}
+    }
+
+    let supportable = |c: &CipherSuite| {
+        profile.preference.contains(c) && ecdhe_feasible(profile, hello, *c)
+    };
+    let choice = if profile.prefer_server_order {
+        profile
+            .preference
+            .iter()
+            .find(|c| offered.contains(c) && ecdhe_feasible(profile, hello, **c) && usable_at(**c, version))
+            .copied()
+    } else {
+        offered.iter().find(|c| supportable(c)).copied()
+    };
+    choice.ok_or(HandshakeFailure::NoCommonCipher)
+}
+
+/// ECDHE suites need a curve both sides support; clients without a
+/// supported_groups extension are assumed (per RFC 4492) to support the
+/// NIST trio.
+fn common_curve(profile: &ServerProfile, hello: &ClientHello) -> Option<NamedGroup> {
+    let client_curves: Vec<NamedGroup> = hello
+        .find_extension(ext_type::SUPPORTED_GROUPS)
+        .and_then(|e| e.parse_supported_groups().ok())
+        .unwrap_or_else(|| {
+            vec![
+                NamedGroup::SECP256R1,
+                NamedGroup::SECP384R1,
+                NamedGroup::SECP521R1,
+            ]
+        });
+    // Server preference order wins (the common OpenSSL deployment).
+    profile
+        .curves
+        .iter()
+        .find(|g| client_curves.contains(g) && !is_grease(g.0))
+        .copied()
+}
+
+fn ecdhe_feasible(profile: &ServerProfile, hello: &ClientHello, cipher: CipherSuite) -> bool {
+    match cipher.kx() {
+        Some(Kx::Ecdhe) | Some(Kx::Ecdh) | Some(Kx::EcdhAnon) => {
+            common_curve(profile, hello).is_some()
+        }
+        _ => true,
+    }
+}
+
+fn select_curve(
+    profile: &ServerProfile,
+    hello: &ClientHello,
+    cipher: CipherSuite,
+    version: ProtocolVersion,
+) -> Option<NamedGroup> {
+    let needs_curve = version.is_tls13_family()
+        || matches!(
+            cipher.kx(),
+            Some(Kx::Ecdhe) | Some(Kx::Ecdh) | Some(Kx::EcdhAnon) | Some(Kx::EcdhePsk)
+        );
+    if needs_curve {
+        common_curve(profile, hello)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::preference;
+
+    fn hello(suites: &[u16], curves: Option<&[u16]>) -> ClientHello {
+        let mut extensions = vec![Extension::renegotiation_info()];
+        if let Some(cs) = curves {
+            let groups: Vec<NamedGroup> = cs.iter().map(|&c| NamedGroup(c)).collect();
+            extensions.push(Extension::supported_groups(&groups));
+            extensions.push(Extension::ec_point_formats(&[0]));
+        }
+        ClientHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [1; 32],
+            session_id: vec![],
+            cipher_suites: suites.iter().map(|&s| CipherSuite(s)).collect(),
+            compression_methods: vec![0],
+            extensions: Some(extensions),
+        }
+    }
+
+    #[test]
+    fn happy_path_modern() {
+        let p = ServerProfile::baseline("t");
+        let h = hello(&[0xc02b, 0xc02f, 0xc013, 0x000a], Some(&[29, 23]));
+        let n = respond(&p, &h, [2; 32]).unwrap();
+        assert_eq!(n.version, ProtocolVersion::Tls12);
+        assert!(n.cipher.is_aead());
+        assert_eq!(n.curve, Some(NamedGroup::SECP256R1));
+        // ServerHello parses back.
+        let bytes = n.server_hello.to_handshake_bytes();
+        let parsed = ServerHello::parse_handshake(&bytes).unwrap();
+        assert_eq!(parsed.cipher_suite, n.cipher);
+    }
+
+    #[test]
+    fn server_order_vs_client_order() {
+        let mut p = ServerProfile::baseline("t");
+        // Client prefers 3DES first (weird client).
+        let h = hello(&[0x000a, 0xc02f], Some(&[23]));
+        p.prefer_server_order = true;
+        assert!(respond(&p, &h, [0; 32]).unwrap().cipher.is_aead());
+        p.prefer_server_order = false;
+        assert!(respond(&p, &h, [0; 32]).unwrap().cipher.is_3des());
+    }
+
+    #[test]
+    fn version_intersection() {
+        let mut p = ServerProfile::baseline("t");
+        p.max_version = ProtocolVersion::Tls10;
+        p.preference = preference::cbc_era();
+        let h = hello(&[0xc013, 0x002f], Some(&[23]));
+        let n = respond(&p, &h, [0; 32]).unwrap();
+        assert_eq!(n.version, ProtocolVersion::Tls10);
+
+        // Old client, modern-but-strict server.
+        let mut h10 = hello(&[0x002f], Some(&[23]));
+        h10.legacy_version = ProtocolVersion::Ssl3;
+        p.max_version = ProtocolVersion::Tls12;
+        p.min_version = ProtocolVersion::Tls10;
+        assert_eq!(
+            respond(&p, &h10, [0; 32]),
+            Err(HandshakeFailure::VersionMismatch)
+        );
+    }
+
+    #[test]
+    fn aead_gated_below_tls12() {
+        let mut p = ServerProfile::baseline("t");
+        p.max_version = ProtocolVersion::Tls11;
+        // Client only offers AEAD → nothing usable at TLS 1.1.
+        let h = hello(&[0xc02b, 0xc02f], Some(&[23]));
+        assert_eq!(
+            respond(&p, &h, [0; 32]),
+            Err(HandshakeFailure::NoCommonCipher)
+        );
+        // With a CBC fallback it works.
+        let h = hello(&[0xc02b, 0xc013], Some(&[23]));
+        let n = respond(&p, &h, [0; 32]).unwrap();
+        assert!(n.cipher.is_cbc());
+    }
+
+    #[test]
+    fn tls13_exact_draft_match() {
+        let mut p = ServerProfile::baseline("t");
+        p.tls13 = Some(ProtocolVersion::Tls13Experiment(2));
+        p.preference = {
+            let mut pref = vec![CipherSuite(0x1301), CipherSuite(0x1303)];
+            pref.extend(preference::modern());
+            pref
+        };
+        let mut h = hello(&[0x1301, 0x1303, 0xc02b, 0xc02f], Some(&[29, 23]));
+        h.extensions.as_mut().unwrap().push(Extension::supported_versions(&[
+            ProtocolVersion::Tls13Experiment(2),
+            ProtocolVersion::Tls12,
+        ]));
+        let n = respond(&p, &h, [0; 32]).unwrap();
+        assert_eq!(n.version, ProtocolVersion::Tls13Experiment(2));
+        assert!(n.cipher.is_tls13());
+        // The wire ServerHello keeps legacy 1.2 + supported_versions.
+        assert_eq!(n.server_hello.legacy_version, ProtocolVersion::Tls12);
+        assert_eq!(
+            n.server_hello.negotiated_version(),
+            ProtocolVersion::Tls13Experiment(2)
+        );
+
+        // Draft mismatch falls back to 1.2.
+        p.tls13 = Some(ProtocolVersion::Tls13Draft(23));
+        let n = respond(&p, &h, [0; 32]).unwrap();
+        assert_eq!(n.version, ProtocolVersion::Tls12);
+        assert!(!n.cipher.is_tls13());
+    }
+
+    #[test]
+    fn ecdhe_requires_common_curve() {
+        let mut p = ServerProfile::baseline("t");
+        p.curves = vec![NamedGroup::X25519];
+        // Client only does NIST curves → ECDHE infeasible, falls to RSA.
+        let h = hello(&[0xc02f, 0x009c, 0x002f], Some(&[23, 24]));
+        let n = respond(&p, &h, [0; 32]).unwrap();
+        assert!(!matches!(n.cipher.kx(), Some(Kx::Ecdhe)));
+        assert_eq!(n.curve, None);
+    }
+
+    #[test]
+    fn curve_selection_server_preference() {
+        let mut p = ServerProfile::baseline("t");
+        p.curves = vec![NamedGroup::X25519, NamedGroup::SECP256R1];
+        let h = hello(&[0xc02f], Some(&[23, 29]));
+        let n = respond(&p, &h, [0; 32]).unwrap();
+        assert_eq!(n.curve, Some(NamedGroup::X25519));
+    }
+
+    #[test]
+    fn grease_and_scsv_never_selected() {
+        let p = ServerProfile::baseline("t");
+        let h = hello(&[0x2a2a, 0x00ff, 0x5600, 0xc02f], Some(&[23]));
+        let n = respond(&p, &h, [0; 32]).unwrap();
+        assert_eq!(n.cipher, CipherSuite(0xc02f));
+    }
+
+    #[test]
+    fn quirk_choose_unoffered_gost() {
+        let mut p = ServerProfile::baseline("t");
+        p.quirk = Quirk::ChooseUnoffered(CipherSuite(0x0081));
+        let h = hello(&[0xc02f], Some(&[23]));
+        let n = respond(&p, &h, [0; 32]).unwrap();
+        assert_eq!(n.cipher, CipherSuite(0x0081));
+        assert!(!h.cipher_suites.contains(&n.cipher));
+    }
+
+    #[test]
+    fn quirk_interwise_export_downgrade() {
+        let mut p = ServerProfile::baseline("t");
+        p.quirk = Quirk::DowngradeRc4ToExport;
+        let h = hello(&[0x0005], Some(&[23]));
+        let n = respond(&p, &h, [0; 32]).unwrap();
+        assert_eq!(n.cipher, CipherSuite(0x0003));
+        assert!(n.cipher.is_export());
+    }
+
+    #[test]
+    fn quirk_prefer_rc4_despite_better() {
+        let mut p = ServerProfile::baseline("t");
+        p.quirk = Quirk::PreferRc4;
+        let h = hello(&[0xc02f, 0xc011], Some(&[23]));
+        assert!(respond(&p, &h, [0; 32]).unwrap().cipher.is_rc4());
+        // Removing RC4 from the offer flips it to a modern AEAD cipher —
+        // exactly the bankmellat.ir experiment from §5.3.
+        let h = hello(&[0xc02f], Some(&[23]));
+        assert!(respond(&p, &h, [0; 32]).unwrap().cipher.is_aead());
+    }
+
+    #[test]
+    fn heartbeat_negotiated_only_when_both_sides() {
+        let mut p = ServerProfile::baseline("t");
+        p.heartbeat = true;
+        let mut h = hello(&[0xc02f], Some(&[23]));
+        assert!(!respond(&p, &h, [0; 32]).unwrap().heartbeat);
+        h.extensions.as_mut().unwrap().push(Extension::heartbeat(1));
+        assert!(respond(&p, &h, [0; 32]).unwrap().heartbeat);
+        p.heartbeat = false;
+        assert!(!respond(&p, &h, [0; 32]).unwrap().heartbeat);
+    }
+}

@@ -1,0 +1,243 @@
+//! Server profiles: everything a simulated TLS endpoint needs to answer
+//! a ClientHello.
+//!
+//! Profiles carry the configuration axes the paper's active scans
+//! measure — version range (SSL 3 support, §5.1), cipher preference
+//! order and server-vs-client preference (the "servers choosing CBC/RC4/
+//! 3DES" Censys numbers), Heartbeat support and Heartbleed
+//! vulnerability (§5.4) — plus the out-of-spec quirks the paper catches
+//! in the wild (§5.5, §7.3).
+
+use tlscope_wire::{CipherSuite, NamedGroup, ProtocolVersion};
+
+/// Out-of-spec server behaviours observed in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quirk {
+    /// Standards-compliant server.
+    None,
+    /// Chooses a suite the client never offered (the GOST and anonymous
+    /// NULL servers of §7.3).
+    ChooseUnoffered(CipherSuite),
+    /// Interwise behaviour (§5.5): client offers `RSA_WITH_RC4_128_SHA`,
+    /// server answers with `RSA_EXPORT_WITH_RC4_40_MD5`.
+    DowngradeRc4ToExport,
+    /// Chooses RC4 whenever offered, despite stronger common options
+    /// (the bankmellat.ir case, §5.3).
+    PreferRc4,
+    /// Chooses a 3DES suite whenever offered despite stronger options
+    /// (the long-tail servers behind the Censys 3DES numbers, §5.6).
+    Prefer3Des,
+    /// Chooses NULL encryption whenever offered (GRID endpoints, §6.1).
+    PreferNull,
+    /// Chooses anonymous suites whenever offered (Nagios, §6.2).
+    PreferAnon,
+}
+
+/// A simulated server endpoint configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerProfile {
+    /// Cohort label (for diagnostics and aggregation).
+    pub cohort: &'static str,
+    /// Highest classic protocol version supported.
+    pub max_version: ProtocolVersion,
+    /// Lowest protocol version accepted (SSL 3 support means
+    /// `min_version <= Ssl3`).
+    pub min_version: ProtocolVersion,
+    /// TLS 1.3 (draft/experiment) version supported, if any. Negotiated
+    /// only when the client advertises the same family member.
+    pub tls13: Option<ProtocolVersion>,
+    /// Server cipher preference, best first.
+    pub preference: Vec<CipherSuite>,
+    /// True: honour server order; false: honour client order.
+    pub prefer_server_order: bool,
+    /// Elliptic-curve groups the server can do ECDHE on.
+    pub curves: Vec<NamedGroup>,
+    /// Whether the server supports (and echoes) the Heartbeat extension.
+    pub heartbeat: bool,
+    /// Whether the server runs an unpatched OpenSSL 1.0.1 (Heartbleed).
+    pub heartbleed_vulnerable: bool,
+    /// Out-of-spec behaviour.
+    pub quirk: Quirk,
+}
+
+impl ServerProfile {
+    /// True when SSL 3 handshakes are accepted.
+    pub fn supports_ssl3(&self) -> bool {
+        self.min_version.rank() <= ProtocolVersion::Ssl3.rank()
+    }
+
+    /// A compliant, conservative default used as a base in tests.
+    pub fn baseline(cohort: &'static str) -> Self {
+        ServerProfile {
+            cohort,
+            max_version: ProtocolVersion::Tls12,
+            min_version: ProtocolVersion::Tls10,
+            tls13: None,
+            preference: preference::modern(),
+            prefer_server_order: true,
+            curves: vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+            heartbeat: false,
+            heartbleed_vulnerable: false,
+            quirk: Quirk::None,
+        }
+    }
+}
+
+/// Canned server preference lists, mirroring real deployment styles.
+pub mod preference {
+    use tlscope_wire::CipherSuite;
+
+    fn v(ids: &[u16]) -> Vec<CipherSuite> {
+        ids.iter().copied().map(CipherSuite).collect()
+    }
+
+    /// Modern 2015+ stack: ECDHE-AEAD first, CBC fallback, 3DES last.
+    pub fn modern() -> Vec<CipherSuite> {
+        v(&[
+            0xc02f, 0xc02b, 0xc030, 0xc02c, 0xcca8, 0xcca9, 0x009e, 0x009c, 0xc027, 0xc013,
+            0xc014, 0x003c, 0x002f, 0x0035, 0x000a,
+        ])
+    }
+
+    /// Modern stack preferring 256-bit AES-GCM (security-posture
+    /// configurations; the paper's Figure 9 shows AES-256-GCM carrying a
+    /// steady minority share of negotiations).
+    pub fn modern_aes256_first() -> Vec<CipherSuite> {
+        v(&[
+            0xc030, 0xc02c, 0xc02f, 0xc02b, 0x009f, 0x009d, 0x009e, 0x009c, 0xc028, 0xc014,
+            0xc027, 0xc013, 0x0035, 0x002f, 0x000a,
+        ])
+    }
+
+    /// Modern stack with x25519-era ChaCha20 preference (mobile-heavy
+    /// properties, 2016+).
+    pub fn modern_chacha_first() -> Vec<CipherSuite> {
+        v(&[
+            0xcca8, 0xcca9, 0xc02f, 0xc02b, 0xc030, 0xc02c, 0x009e, 0x009c, 0xc027, 0xc013,
+            0xc014, 0x002f, 0x0035,
+        ])
+    }
+
+    /// Pre-AEAD stack preferring CBC with RSA key transport first (the
+    /// 2012 default — Figure 8's "more than 60 % of connections used
+    /// non-forward-secret ciphers").
+    pub fn cbc_era() -> Vec<CipherSuite> {
+        v(&[
+            0x002f, 0x0035, 0x0033, 0x0039, 0xc013, 0xc014, 0xc011, 0x0005, 0x0004, 0x000a,
+            0x0016,
+        ])
+    }
+
+    /// Post-Snowden variant of [`cbc_era`]: ECDHE moved to the front for
+    /// forward secrecy (§6.3.1).
+    pub fn cbc_era_fs() -> Vec<CipherSuite> {
+        v(&[
+            0xc013, 0xc014, 0x0033, 0x0039, 0x002f, 0x0035, 0xc011, 0x0005, 0x0004, 0x000a,
+            0x0016,
+        ])
+    }
+
+    /// DHE-first Apache-style configuration (the small DHE wedge of
+    /// Figure 8).
+    pub fn dhe_first() -> Vec<CipherSuite> {
+        v(&[
+            0x0033, 0x0039, 0x009e, 0x009f, 0xc013, 0xc014, 0x002f, 0x0035, 0x000a,
+        ])
+    }
+
+    /// BEAST-mitigation configuration: RC4 pinned first (§2.2 — "server
+    /// operators were encouraged to enforce the use of RC4 suites").
+    pub fn rc4_first() -> Vec<CipherSuite> {
+        v(&[
+            0x0005, 0x0004, 0xc011, 0x002f, 0x0035, 0xc013, 0xc014, 0x0033, 0x0039, 0x000a,
+        ])
+    }
+
+    /// RC4-first with ECDHE variants preferred (BEAST mitigation after a
+    /// forward-secrecy pass).
+    pub fn rc4_first_fs() -> Vec<CipherSuite> {
+        v(&[
+            0xc011, 0x0005, 0x0004, 0xc013, 0xc014, 0x002f, 0x0035, 0x0033, 0x0039, 0x000a,
+        ])
+    }
+
+    /// Stale appliance: RC4 and 3DES only.
+    pub fn legacy_appliance() -> Vec<CipherSuite> {
+        v(&[0x0005, 0x0004, 0x000a, 0x0016])
+    }
+
+    /// Old CBC-only embedded stack.
+    pub fn embedded() -> Vec<CipherSuite> {
+        v(&[0x002f, 0x0035, 0x000a, 0x0005])
+    }
+
+    /// GRID endpoint: NULL first by design (§6.1).
+    pub fn grid() -> Vec<CipherSuite> {
+        v(&[0x0002, 0x0001, 0x002f, 0x0035])
+    }
+
+    /// Nagios endpoint: anonymous DH, with the export-anon and
+    /// NULL_WITH_NULL_NULL oddities of §5.5/§6.1.
+    pub fn nagios() -> Vec<CipherSuite> {
+        v(&[0x0034, 0x003a, 0x0018, 0x001b, 0x0017, 0x0019, 0x0000])
+    }
+
+    /// Mail server (STARTTLS-era OpenSSL defaults).
+    pub fn mail() -> Vec<CipherSuite> {
+        v(&[
+            0xc02f, 0xc02b, 0x009e, 0x009c, 0xc013, 0xc014, 0x002f, 0x0035, 0x000a, 0x0005,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_compliant() {
+        let p = ServerProfile::baseline("test");
+        assert_eq!(p.quirk, Quirk::None);
+        assert!(!p.supports_ssl3());
+        assert!(p.preference.iter().all(|c| c.info().is_some()));
+    }
+
+    #[test]
+    fn ssl3_support_follows_min_version() {
+        let mut p = ServerProfile::baseline("test");
+        p.min_version = ProtocolVersion::Ssl3;
+        assert!(p.supports_ssl3());
+        p.min_version = ProtocolVersion::Tls10;
+        assert!(!p.supports_ssl3());
+    }
+
+    #[test]
+    fn preference_lists_are_registered_and_shaped() {
+        for (name, list) in [
+            ("modern", preference::modern()),
+            ("chacha", preference::modern_chacha_first()),
+            ("cbc_era", preference::cbc_era()),
+            ("cbc_era_fs", preference::cbc_era_fs()),
+            ("dhe_first", preference::dhe_first()),
+            ("rc4_first", preference::rc4_first()),
+            ("rc4_first_fs", preference::rc4_first_fs()),
+            ("legacy", preference::legacy_appliance()),
+            ("embedded", preference::embedded()),
+            ("grid", preference::grid()),
+            ("nagios", preference::nagios()),
+            ("mail", preference::mail()),
+        ] {
+            assert!(!list.is_empty(), "{name} empty");
+            for c in &list {
+                assert!(c.info().is_some(), "{name} has unregistered {c}");
+            }
+        }
+        assert!(preference::modern()[0].is_aead());
+        assert!(preference::rc4_first()[0].is_rc4());
+        assert!(preference::grid()[0].is_null_encryption());
+        assert!(preference::nagios()[0].is_anon());
+        // 3DES sits last in the modern list (the Censys scan observation
+        // that servers pick it "despite its placement at the bottom").
+        assert!(preference::modern().last().unwrap().is_3des());
+    }
+}

@@ -1,0 +1,89 @@
+//! Small calendar-curve helpers used to model deployment evolution:
+//! linear ramps between dates and exponential post-event decays.
+
+use tlscope_chron::Date;
+
+/// Linear ramp from 0 at `start` to 1 at `end`, clamped outside.
+pub fn ramp(date: Date, start: Date, end: Date) -> f64 {
+    debug_assert!(start < end);
+    let span = (end - start) as f64;
+    let pos = (date - start) as f64;
+    (pos / span).clamp(0.0, 1.0)
+}
+
+/// 1 before `event`; exponential decay with the given half-life after,
+/// down to `floor`.
+pub fn decay_after(date: Date, event: Date, halflife_days: f64, floor: f64) -> f64 {
+    if date <= event {
+        return 1.0;
+    }
+    let age = (date - event) as f64;
+    (0.5f64.powf(age / halflife_days)).max(floor)
+}
+
+/// Plateau curve: ramps up over `[up_start, up_end]`, holds, then ramps
+/// down over `[down_start, down_end]`, leaving `tail` behind.
+#[allow(clippy::too_many_arguments)]
+pub fn plateau(
+    date: Date,
+    up_start: Date,
+    up_end: Date,
+    down_start: Date,
+    down_end: Date,
+    peak: f64,
+    tail: f64,
+) -> f64 {
+    let up = ramp(date, up_start, up_end);
+    let down = ramp(date, down_start, down_end);
+    peak * up * (1.0 - down) + tail * down * up
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_endpoints() {
+        let s = Date::ymd(2014, 1, 1);
+        let e = Date::ymd(2014, 12, 31);
+        assert_eq!(ramp(Date::ymd(2013, 6, 1), s, e), 0.0);
+        assert_eq!(ramp(s, s, e), 0.0);
+        assert_eq!(ramp(e, s, e), 1.0);
+        assert_eq!(ramp(Date::ymd(2016, 1, 1), s, e), 1.0);
+        let mid = ramp(Date::ymd(2014, 7, 1), s, e);
+        assert!(mid > 0.45 && mid < 0.55);
+    }
+
+    #[test]
+    fn decay_halves_per_halflife() {
+        let ev = Date::ymd(2014, 4, 7);
+        assert_eq!(decay_after(Date::ymd(2014, 1, 1), ev, 30.0, 0.0), 1.0);
+        let one = decay_after(ev.add_days(30), ev, 30.0, 0.0);
+        assert!((one - 0.5).abs() < 1e-9);
+        let two = decay_after(ev.add_days(60), ev, 30.0, 0.0);
+        assert!((two - 0.25).abs() < 1e-9);
+        // Floor (the long tail): never below it.
+        assert_eq!(decay_after(ev.add_days(10_000), ev, 30.0, 0.0032), 0.0032);
+    }
+
+    #[test]
+    fn plateau_shape() {
+        let d = |m: u8| Date::ymd(2013, m, 1);
+        let f = |date| {
+            plateau(
+                date,
+                Date::ymd(2012, 1, 1),
+                Date::ymd(2012, 6, 1),
+                Date::ymd(2013, 6, 1),
+                Date::ymd(2015, 6, 1),
+                0.6,
+                0.02,
+            )
+        };
+        assert_eq!(f(Date::ymd(2011, 1, 1)), 0.0);
+        assert!((f(d(1)) - 0.6).abs() < 1e-9); // on the plateau
+        assert!(f(Date::ymd(2014, 6, 1)) < 0.4); // declining
+        let late = f(Date::ymd(2016, 1, 1));
+        assert!((late - 0.02).abs() < 1e-9); // at the tail
+    }
+}

@@ -1,0 +1,127 @@
+//! Fault injection for the synthetic tap.
+//!
+//! The paper stresses that the Notary is a best-effort collector
+//! running on operational networks: "we must accept occasional outages,
+//! packet drops (e.g., due to CPU overload) and misconfigurations"
+//! (§3.1). The injector reproduces those artefacts so the measurement
+//! pipeline is forced to tolerate them, smoltcp-style: drops, truncated
+//! flows, and corrupted octets.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Probabilities of each fault, applied per flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    /// Drop the flow entirely (monitor never sees it).
+    pub drop_prob: f64,
+    /// Truncate the flow at a random byte (mid-record loss).
+    pub truncate_prob: f64,
+    /// Flip one random octet (damaged capture).
+    pub corrupt_prob: f64,
+}
+
+impl FaultInjector {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultInjector {
+            drop_prob: 0.0,
+            truncate_prob: 0.0,
+            corrupt_prob: 0.0,
+        }
+    }
+
+    /// The default best-effort-tap fault mix.
+    pub fn tap_defaults() -> Self {
+        FaultInjector {
+            drop_prob: 0.002,
+            truncate_prob: 0.001,
+            corrupt_prob: 0.0005,
+        }
+    }
+
+    /// Apply faults to a flow. `None` means the flow was dropped.
+    pub fn apply(&self, mut flow: Vec<u8>, rng: &mut SmallRng) -> Option<Vec<u8>> {
+        if self.drop_prob > 0.0 && rng.random::<f64>() < self.drop_prob {
+            return None;
+        }
+        if self.truncate_prob > 0.0 && rng.random::<f64>() < self.truncate_prob && !flow.is_empty()
+        {
+            let cut = rng.random_range(0..flow.len());
+            flow.truncate(cut);
+        }
+        if self.corrupt_prob > 0.0 && rng.random::<f64>() < self.corrupt_prob && !flow.is_empty() {
+            let idx = rng.random_range(0..flow.len());
+            flow[idx] ^= 1 << rng.random_range(0..8u8);
+        }
+        Some(flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data = vec![1u8, 2, 3, 4];
+        assert_eq!(
+            FaultInjector::none().apply(data.clone(), &mut rng),
+            Some(data)
+        );
+    }
+
+    #[test]
+    fn always_drop() {
+        let inj = FaultInjector {
+            drop_prob: 1.0,
+            truncate_prob: 0.0,
+            corrupt_prob: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(inj.apply(vec![1, 2, 3], &mut rng), None);
+    }
+
+    #[test]
+    fn truncation_shortens() {
+        let inj = FaultInjector {
+            drop_prob: 0.0,
+            truncate_prob: 1.0,
+            corrupt_prob: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let out = inj.apply(vec![9u8; 100], &mut rng).unwrap();
+        assert!(out.len() < 100);
+    }
+
+    #[test]
+    fn corruption_flips_one_bit() {
+        let inj = FaultInjector {
+            drop_prob: 0.0,
+            truncate_prob: 0.0,
+            corrupt_prob: 1.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data = vec![0u8; 64];
+        let out = inj.apply(data.clone(), &mut rng).unwrap();
+        assert_eq!(out.len(), data.len());
+        let diff: u32 = out
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn default_rates_are_rare() {
+        let inj = FaultInjector::tap_defaults();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let survived = (0..10_000)
+            .filter(|_| inj.apply(vec![1, 2, 3], &mut rng).is_some())
+            .count();
+        assert!(survived > 9_900);
+    }
+}

@@ -1,0 +1,385 @@
+//! The connection-event generator: the synthetic Internet's tap point.
+//!
+//! For each simulated connection the generator (1) draws a client
+//! family from the market model and a configuration era from the
+//! adoption model, (2) draws the destination and a server profile from
+//! the population model, (3) emits the actual wire bytes both sides
+//! would put on the network (ClientHello records; ServerHello records
+//! plus ServerKeyExchange for classic ECDHE, or an alert on failure),
+//! and (4) runs the best-effort-tap fault injector over both flows.
+//!
+//! Everything downstream (the notary) sees only bytes — the ground
+//! truth used for generation never crosses this boundary.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use tlscope_chron::{Date, Month};
+use tlscope_clients::{catalog, Family, HelloEntropy};
+use tlscope_servers::{negotiate, Destination, ServerPopulation};
+use tlscope_wire::record::{ContentType, Record};
+use tlscope_wire::{ProtocolVersion, Sslv2ClientHello};
+
+use crate::faults::FaultInjector;
+use crate::market::Market;
+
+/// One tapped connection: wire bytes only.
+#[derive(Debug, Clone)]
+pub struct ConnectionEvent {
+    /// Day the connection was seen.
+    pub date: Date,
+    /// Destination TCP port (the Notary watches all ports).
+    pub port: u16,
+    /// Client → server bytes (TLS records or an SSLv2 record).
+    pub client_flow: Vec<u8>,
+    /// Server → client bytes; `None` when the tap missed them.
+    pub server_flow: Option<Vec<u8>>,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Master seed; every month derives its own stream from it.
+    pub seed: u64,
+    /// Connections generated per month.
+    pub connections_per_month: u32,
+    /// Fault injection for the tap.
+    pub faults: FaultInjector,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 0x715C0,
+            connections_per_month: 20_000,
+            faults: FaultInjector::tap_defaults(),
+        }
+    }
+}
+
+/// The generator: market + adoption + server population.
+pub struct Generator {
+    market: Market,
+    population: ServerPopulation,
+    cfg: TrafficConfig,
+}
+
+impl Generator {
+    /// Build a generator over the full client catalog.
+    pub fn new(cfg: TrafficConfig) -> Self {
+        Generator {
+            market: Market::new(),
+            population: ServerPopulation::new(),
+            cfg,
+        }
+    }
+
+    /// Access the market model (for analyses that need shares).
+    pub fn market(&self) -> &Market {
+        &self.market
+    }
+
+    /// Generate one month of traffic. Deterministic in (seed, month).
+    pub fn month(&self, month: Month) -> Vec<ConnectionEvent> {
+        let mut rng = SmallRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(month.index() as u64),
+        );
+        let mut out = Vec::with_capacity(self.cfg.connections_per_month as usize);
+        // Shares drift within a month; sampling at mid-month per
+        // connection-day keeps the curves smooth without recomputing
+        // per event.
+        for _ in 0..self.cfg.connections_per_month {
+            let day = rng.random_range(1..=month.len_days());
+            let date = Date::new(month.year(), month.month_of_year(), day).unwrap();
+            if let Some(ev) = self.connection(date, &mut rng) {
+                out.push(ev);
+            }
+        }
+        out
+    }
+
+    /// Generate every month in an inclusive range.
+    pub fn months(&self, start: Month, end: Month) -> impl Iterator<Item = (Month, Vec<ConnectionEvent>)> + '_ {
+        start.iter_through(end).map(move |m| (m, self.month(m)))
+    }
+
+    fn connection(&self, date: Date, rng: &mut SmallRng) -> Option<ConnectionEvent> {
+        // 1. Client family + era.
+        let shares = self.market.shares(date);
+        let fam_idx = pick_index(rng, &shares)?;
+        let family = &self.market.families()[fam_idx];
+        let era_idx = pick_index(rng, &catalog::adoption_for(family).era_shares(family, date))?;
+        let era = &family.eras[era_idx];
+
+        // 2. Destination.
+        let (dest, port) = destination_for(family, rng);
+
+        // 3. Client bytes.
+        let entropy = HelloEntropy::from_seed(rng.random::<u64>());
+        if era.tls.legacy_version == ProtocolVersion::Ssl2 {
+            let hello = Sslv2ClientHello {
+                version: ProtocolVersion::Ssl2,
+                cipher_specs: vec![
+                    tlscope_wire::record::sslv2_cipher::RC4_128_WITH_MD5,
+                    tlscope_wire::record::sslv2_cipher::DES_192_EDE3_CBC_WITH_MD5,
+                ],
+                session_id: vec![],
+                challenge: entropy.random[..16].to_vec(),
+            };
+            let client_flow = self.cfg.faults.apply(hello.to_bytes(), rng)?;
+            return Some(ConnectionEvent {
+                date,
+                port,
+                client_flow,
+                server_flow: None,
+            });
+        }
+
+        let sni = sni_for(dest, rng);
+        let mut hello = era.tls.build_hello(Some(sni), &entropy);
+        if family.name == "(cipher-shuffling client)" {
+            // §4.1: the fingerprint-exploding bug — unstable cipher
+            // order per connection.
+            shuffle(&mut hello.cipher_suites, rng);
+        }
+        let record_version = if hello.legacy_version.rank() <= ProtocolVersion::Ssl3.rank() {
+            ProtocolVersion::Ssl3
+        } else {
+            ProtocolVersion::Tls10
+        };
+        let client_records = Record::wrap_handshake(record_version, &hello.to_handshake_bytes());
+        let client_bytes: Vec<u8> = client_records.iter().flat_map(|r| r.to_bytes()).collect();
+
+        // 4. Server side.
+        let profile = self
+            .population
+            .sample_for_traffic(dest, date, rng);
+        let mut server_random = [0u8; 32];
+        for chunk in server_random.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.random::<u64>().to_le_bytes());
+        }
+        let server_bytes = match negotiate::respond(&profile, &hello, server_random) {
+            Ok(n) => {
+                let mut handshake = n.server_hello.to_handshake_bytes();
+                if !n.version.is_tls13_family() {
+                    if let Some(curve) = n.curve {
+                        handshake.extend_from_slice(&tlscope_wire::ske::ecdhe_ske(curve, 65));
+                    }
+                }
+                let version = if n.version.is_tls13_family() {
+                    ProtocolVersion::Tls12
+                } else {
+                    n.version
+                };
+                Record::wrap_handshake(version, &handshake)
+                    .iter()
+                    .flat_map(|r| r.to_bytes())
+                    .collect::<Vec<u8>>()
+            }
+            Err(failure) => {
+                let alert = match failure {
+                    tlscope_servers::HandshakeFailure::VersionMismatch => {
+                        tlscope_wire::Alert::protocol_version()
+                    }
+                    tlscope_servers::HandshakeFailure::NoCommonCipher => {
+                        tlscope_wire::Alert::handshake_failure()
+                    }
+                };
+                Record {
+                    content_type: ContentType::Alert,
+                    version: record_version,
+                    payload: alert.to_bytes(),
+                }
+                .to_bytes()
+            }
+        };
+
+        let client_flow = self.cfg.faults.apply(client_bytes, rng)?;
+        let server_flow = self.cfg.faults.apply(server_bytes, rng);
+        Some(ConnectionEvent {
+            date,
+            port,
+            client_flow,
+            server_flow,
+        })
+    }
+}
+
+fn pick_index(rng: &mut SmallRng, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut draw = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return Some(i);
+        }
+        draw -= w;
+    }
+    weights.iter().rposition(|w| *w > 0.0)
+}
+
+fn destination_for(family: &Family, rng: &mut SmallRng) -> (Destination, u16) {
+    match family.name {
+        "Globus GridFTP" => (Destination::Grid, 2811),
+        "Nagios NRPE" => (Destination::Nagios, 5666),
+        "Legacy Nagios probe (SSLv2)" => (Destination::Sslv2Relic, 5666),
+        "Thunderbird" | "Apple Mail" => (Destination::Mail, 993),
+        "Splunk forwarder" => (Destination::Splunk, 9997),
+        "Interwise" => (Destination::Interwise, 443),
+        _ => {
+            let draw = rng.random::<f64>();
+            if draw < 0.9830 {
+                (Destination::Web, 443)
+            } else if draw < 0.9930 {
+                (Destination::Enterprise, 443)
+            } else if draw < 0.9970 {
+                (Destination::Iot, 8443)
+            } else if draw < 0.9986 {
+                (Destination::BankLegacy, 443)
+            } else if draw < 0.9990 {
+                (Destination::Gost, 443)
+            } else {
+                (Destination::Nagios, 5666)
+            }
+        }
+    }
+}
+
+fn sni_for(dest: Destination, rng: &mut SmallRng) -> &'static str {
+    const WEB: &[&str] = &[
+        "www.example.com",
+        "search.example.org",
+        "social.example.net",
+        "video.example.com",
+        "news.example.org",
+        "shop.example.net",
+    ];
+    match dest {
+        Destination::Web => WEB[rng.random_range(0..WEB.len())],
+        Destination::Mail => "imap.example.org",
+        Destination::Grid => "gridftp.example.edu",
+        Destination::Nagios => "nagios.example.edu",
+        Destination::Interwise => "meet.interwise.example",
+        Destination::Gost => "gost.example.ru",
+        Destination::BankLegacy => "bankmellat.example.ir",
+        Destination::Splunk => "splunk.example.corp",
+        _ => "internal.example.corp",
+    }
+}
+
+fn shuffle<T>(v: &mut [T], rng: &mut SmallRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlscope_wire::{sniff, WireFlavor};
+
+    fn small_gen() -> Generator {
+        Generator::new(TrafficConfig {
+            seed: 42,
+            connections_per_month: 500,
+            faults: FaultInjector::none(),
+        })
+    }
+
+    #[test]
+    fn month_is_deterministic() {
+        let g = small_gen();
+        let a = g.month(Month::ym(2015, 6));
+        let b = g.month(Month::ym(2015, 6));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].client_flow, b[0].client_flow);
+        assert_eq!(a[10].server_flow, b[10].server_flow);
+    }
+
+    #[test]
+    fn different_months_differ() {
+        let g = small_gen();
+        let a = g.month(Month::ym(2015, 6));
+        let b = g.month(Month::ym(2015, 7));
+        assert_ne!(a[0].client_flow, b[0].client_flow);
+    }
+
+    #[test]
+    fn flows_are_parseable_tls() {
+        let g = small_gen();
+        let events = g.month(Month::ym(2016, 3));
+        assert_eq!(events.len(), 500);
+        let mut tls = 0;
+        let mut answered = 0;
+        for ev in &events {
+            match sniff(&ev.client_flow) {
+                WireFlavor::Tls => {
+                    tls += 1;
+                    let records = Record::read_all(&ev.client_flow).unwrap();
+                    let hs = Record::coalesce_handshake(&records).unwrap();
+                    tlscope_wire::ClientHello::parse_handshake(&hs).unwrap();
+                }
+                WireFlavor::Sslv2 => {
+                    Sslv2ClientHello::parse(&ev.client_flow).unwrap();
+                }
+                WireFlavor::Other => panic!("unsniffable flow"),
+            }
+            if ev.server_flow.is_some() {
+                answered += 1;
+            }
+        }
+        assert!(tls > 490);
+        assert!(answered > 450);
+    }
+
+    #[test]
+    fn dates_fall_in_month() {
+        let g = small_gen();
+        for ev in g.month(Month::ym(2014, 2)) {
+            assert_eq!(ev.date.month(), Month::ym(2014, 2));
+        }
+    }
+
+    #[test]
+    fn early_traffic_has_no_aead_negotiation() {
+        let g = small_gen();
+        for ev in g.month(Month::ym(2012, 3)) {
+            let Some(sf) = &ev.server_flow else { continue };
+            let records = Record::read_all(sf).unwrap();
+            if records[0].content_type != ContentType::Handshake {
+                continue;
+            }
+            let hs = Record::coalesce_handshake(&records).unwrap();
+            let mut r = tlscope_wire::codec::Reader::new(&hs);
+            let (typ, body) = tlscope_wire::handshake::read_handshake(&mut r).unwrap();
+            assert_eq!(typ, 2);
+            let sh = tlscope_wire::ServerHello::parse_body(body).unwrap();
+            assert!(
+                !sh.cipher_suite.is_aead(),
+                "AEAD negotiated in 2012: {}",
+                sh.cipher_suite
+            );
+        }
+    }
+
+    #[test]
+    fn fault_injection_reduces_flows() {
+        let lossy = Generator::new(TrafficConfig {
+            seed: 42,
+            connections_per_month: 2000,
+            faults: FaultInjector {
+                drop_prob: 0.5,
+                truncate_prob: 0.0,
+                corrupt_prob: 0.0,
+            },
+        });
+        let events = lossy.month(Month::ym(2016, 3));
+        // Client-side drops remove the whole event.
+        assert!(events.len() < 1300, "{}", events.len());
+    }
+}

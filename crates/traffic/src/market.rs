@@ -1,0 +1,245 @@
+//! Market-share model: how much of the Notary's monthly traffic each
+//! client family originates, 2012–2018.
+//!
+//! Shares are piecewise-linear between calendar anchors and normalised
+//! at sampling time. The anchors are the calibration knobs of the whole
+//! reproduction: they are set so that the client-side figures of the
+//! paper (advertised cipher classes, export/NULL/anon offers, TLS 1.3
+//! advertising, GRID/Nagios volumes) come out with the right shape.
+//! Server-side shapes are calibrated separately in `tlscope-servers`.
+
+use tlscope_chron::Date;
+use tlscope_clients::Family;
+
+/// One family's share anchors: `(date, weight)` pairs, ascending.
+#[derive(Debug, Clone)]
+pub struct ShareCurve {
+    anchors: Vec<(Date, f64)>,
+}
+
+impl ShareCurve {
+    /// Interpolated raw weight at `date` (0 before the first anchor's
+    /// date only if the first weight is 0; otherwise clamped).
+    pub fn weight(&self, date: Date) -> f64 {
+        let a = &self.anchors;
+        if date <= a[0].0 {
+            return a[0].1;
+        }
+        for w in a.windows(2) {
+            let (d0, v0) = w[0];
+            let (d1, v1) = w[1];
+            if date <= d1 {
+                let t = (date - d0) as f64 / (d1 - d0) as f64;
+                return v0 + (v1 - v0) * t;
+            }
+        }
+        a[a.len() - 1].1
+    }
+}
+
+const fn d(y: i32, m: u8) -> Date {
+    Date::ymd(y, m, 1)
+}
+
+/// Raw share anchors for a family name; families absent here get a tiny
+/// default weight so nothing silently vanishes.
+pub fn share_anchors(name: &str) -> ShareCurve {
+    let anchors: &[(Date, f64)] = match name {
+        "Chrome" => &[(d(2012, 1), 0.160), (d(2014, 1), 0.220), (d(2016, 1), 0.270), (d(2018, 4), 0.320)],
+        "Firefox" => &[(d(2012, 1), 0.140), (d(2014, 1), 0.120), (d(2016, 1), 0.100), (d(2018, 4), 0.080)],
+        "Firefox (TLS 1.3 flag)" => &[(d(2017, 2), 0.0), (d(2017, 4), 0.006), (d(2018, 4), 0.007)],
+        "Chrome (TLS 1.3 experiment)" => &[(d(2017, 2), 0.0), (d(2017, 4), 0.010), (d(2018, 2), 0.010), (d(2018, 4), 0.004)],
+        "IE/Edge" => &[(d(2012, 1), 0.180), (d(2014, 1), 0.130), (d(2016, 1), 0.070), (d(2018, 4), 0.050)],
+        "Safari" => &[(d(2012, 1), 0.050), (d(2018, 4), 0.055)],
+        "Opera" => &[(d(2012, 1), 0.022), (d(2018, 4), 0.018)],
+        "Android SDK" => &[(d(2012, 1), 0.060), (d(2014, 1), 0.120), (d(2016, 1), 0.170), (d(2018, 4), 0.200)],
+        "Apple SecureTransport" => &[(d(2012, 1), 0.080), (d(2015, 1), 0.130), (d(2018, 4), 0.160)],
+        "MS CryptoAPI" => &[(d(2012, 1), 0.050), (d(2018, 4), 0.040)],
+        "OpenSSL" => &[(d(2012, 1), 0.070), (d(2018, 4), 0.070)],
+        "Java JSSE" => &[(d(2012, 1), 0.042), (d(2018, 4), 0.015)],
+        // GRID: 2.84 % of lifetime connections negotiate NULL (§6.1),
+        // falling to 0.42 % of 2018 traffic.
+        "Globus GridFTP" => &[(d(2012, 1), 0.068), (d(2014, 1), 0.052), (d(2016, 1), 0.024), (d(2018, 1), 0.0065), (d(2018, 4), 0.0065)],
+        // Nagios anon: 0.17 % lifetime, 0.60 % of 2018 (§6.2 — rising).
+        "Nagios NRPE" => &[(d(2012, 1), 0.0008), (d(2016, 1), 0.0018), (d(2018, 1), 0.0060), (d(2018, 4), 0.0060)],
+        "Legacy Nagios probe (SSLv2)" => &[(d(2012, 1), 0.00002), (d(2018, 4), 0.00001)],
+        "Thunderbird" => &[(d(2012, 1), 0.012), (d(2018, 4), 0.008)],
+        "Apple Mail" => &[(d(2012, 1), 0.015), (d(2018, 4), 0.015)],
+        "Apple Spotlight" => &[(d(2014, 10), 0.0), (d(2015, 6), 0.010), (d(2018, 4), 0.012)],
+        "git" => &[(d(2012, 1), 0.003), (d(2018, 4), 0.006)],
+        "Flux" => &[(d(2013, 7), 0.0), (d(2014, 1), 0.002), (d(2018, 4), 0.002)],
+        "Facebook app" => &[(d(2015, 3), 0.0), (d(2016, 1), 0.020), (d(2018, 4), 0.025)],
+        "Hola VPN" => &[(d(2014, 1), 0.0), (d(2015, 1), 0.003), (d(2018, 4), 0.002)],
+        "Dropbox" => &[(d(2013, 1), 0.0), (d(2014, 1), 0.010), (d(2018, 4), 0.008)],
+        "Avast" => &[(d(2014, 10), 0.0), (d(2015, 6), 0.007), (d(2018, 4), 0.007)],
+        // Kaspersky and Lookout spike alongside the anon SDK in
+        // mid-2015 (§6.2).
+        "Kaspersky" => &[(d(2014, 8), 0.0), (d(2015, 4), 0.005), (d(2015, 6), 0.009), (d(2015, 10), 0.007), (d(2018, 4), 0.005)],
+        "Lookout Personal" => &[(d(2013, 5), 0.0), (d(2014, 1), 0.003), (d(2018, 4), 0.003)],
+        "Bluecoat Proxy" => &[(d(2013, 1), 0.0), (d(2014, 1), 0.004), (d(2018, 4), 0.003)],
+        "Craftar Image Recognition" => &[(d(2014, 3), 0.0), (d(2014, 9), 0.001), (d(2018, 4), 0.001)],
+        "Shodan scanner" => &[(d(2013, 6), 0.0), (d(2014, 1), 0.0005), (d(2018, 4), 0.0005)],
+        "Zbot" => &[(d(2012, 6), 0.0), (d(2013, 1), 0.002), (d(2016, 1), 0.001), (d(2018, 4), 0.0005)],
+        "InstallMoney" => &[(d(2014, 9), 0.0), (d(2015, 3), 0.001), (d(2018, 4), 0.0008)],
+        "Splunk forwarder" => &[(d(2013, 10), 0.0), (d(2014, 6), 0.003), (d(2018, 4), 0.003)],
+        "Interwise" => &[(d(2012, 1), 0.0006), (d(2018, 4), 0.0002)],
+        "curl" => &[(d(2012, 1), 0.008), (d(2018, 4), 0.012)],
+        "wget" => &[(d(2012, 1), 0.003), (d(2018, 4), 0.004)],
+        "Python requests" => &[(d(2013, 1), 0.0), (d(2014, 1), 0.004), (d(2018, 4), 0.010)],
+        "Outlook" => &[(d(2012, 1), 0.010), (d(2018, 4), 0.008)],
+        "OpenVPN" => &[(d(2013, 1), 0.0), (d(2014, 1), 0.002), (d(2018, 4), 0.003)],
+        "Tor" => &[(d(2012, 6), 0.0), (d(2013, 1), 0.001), (d(2018, 4), 0.001)],
+        "HP LaserJet firmware" => &[(d(2012, 1), 0.004), (d(2018, 4), 0.002)],
+        "SmartHome hub" => &[(d(2014, 3), 0.0), (d(2015, 6), 0.002), (d(2018, 4), 0.003)],
+        "SmartTV platform" => &[(d(2014, 5), 0.0), (d(2015, 6), 0.004), (d(2018, 4), 0.006)],
+        "GostRAT" => &[(d(2015, 2), 0.0), (d(2015, 8), 0.0004), (d(2018, 4), 0.0002)],
+        "Steam" => &[(d(2016, 2), 0.0), (d(2016, 10), 0.004), (d(2018, 4), 0.005)],
+        // Unlabelled mass (~30 % of fingerprinted-era traffic, §4).
+        "(embedded stack, SSL3)" => &[(d(2012, 1), 0.060), (d(2013, 6), 0.024), (d(2014, 7), 0.002), (d(2015, 6), 0.0002), (d(2018, 4), 0.00005)],
+        "(embedded stack, TLS1.0)" => &[(d(2012, 1), 0.240), (d(2014, 1), 0.090), (d(2016, 1), 0.022), (d(2018, 4), 0.007)],
+        // The §6.2 spike: 5.8 % → 12.9 % of connections advertising
+        // anon within two months of mid-2015.
+        "(anon/NULL SDK)" => &[(d(2012, 1), 0.050), (d(2015, 4), 0.052), (d(2015, 6), 0.210), (d(2015, 8), 0.170), (d(2015, 11), 0.110), (d(2016, 6), 0.060), (d(2018, 4), 0.045)],
+        "(misc A)" => &[(d(2012, 1), 0.105), (d(2018, 4), 0.130)],
+        "(misc B)" => &[(d(2012, 1), 0.090), (d(2018, 4), 0.110)],
+        "(misc C)" => &[(d(2012, 1), 0.080), (d(2018, 4), 0.100)],
+        "(cipher-shuffling client)" => &[(d(2014, 6), 0.0), (d(2014, 10), 0.0015), (d(2018, 4), 0.0015)],
+        _ => &[(d(2012, 1), 0.0005), (d(2018, 4), 0.0005)],
+    };
+    ShareCurve {
+        anchors: anchors.to_vec(),
+    }
+}
+
+/// The normalised market: families paired with weights at a date.
+pub struct Market {
+    families: Vec<Family>,
+    curves: Vec<ShareCurve>,
+}
+
+impl Default for Market {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Market {
+    /// Build from the full client catalog.
+    pub fn new() -> Self {
+        let families = tlscope_clients::catalog::all_families();
+        let curves = families
+            .iter()
+            .map(|f| share_anchors(f.name))
+            .collect();
+        Market { families, curves }
+    }
+
+    /// The families, in stable order.
+    pub fn families(&self) -> &[Family] {
+        &self.families
+    }
+
+    /// Normalised shares at a date (aligned with [`Market::families`]).
+    /// Families that have not shipped anything yet get zero.
+    pub fn shares(&self, date: Date) -> Vec<f64> {
+        let mut weights: Vec<f64> = self
+            .families
+            .iter()
+            .zip(&self.curves)
+            .map(|(f, c)| {
+                if f.era_index_at(date).is_some() {
+                    c.weight(date)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total > 0.0 {
+            for w in &mut weights {
+                *w /= total;
+            }
+        }
+        weights
+    }
+
+    /// Share of a single family by name (sums over duplicates).
+    pub fn share_of(&self, name: &str, date: Date) -> f64 {
+        let shares = self.shares(date);
+        self.families
+            .iter()
+            .zip(&shares)
+            .filter(|(f, _)| f.name == name)
+            .map(|(_, s)| *s)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_normalise() {
+        let m = Market::new();
+        for date in [Date::ymd(2012, 2, 1), Date::ymd(2015, 6, 1), Date::ymd(2018, 4, 1)] {
+            let sum: f64 = m.shares(date).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{date}: {sum}");
+        }
+    }
+
+    #[test]
+    fn browsers_dominate_with_libraries() {
+        let m = Market::new();
+        let date = Date::ymd(2016, 1, 1);
+        let browsers: f64 = ["Chrome", "Firefox", "IE/Edge", "Safari", "Opera"]
+            .iter()
+            .map(|n| m.share_of(n, date))
+            .sum();
+        assert!(browsers > 0.30 && browsers < 0.60, "browsers {browsers}");
+    }
+
+    #[test]
+    fn grid_share_declines() {
+        let m = Market::new();
+        let early = m.share_of("Globus GridFTP", Date::ymd(2012, 6, 1));
+        let late = m.share_of("Globus GridFTP", Date::ymd(2018, 2, 1));
+        assert!(early > 0.02, "early {early}");
+        assert!(late < 0.006, "late {late}");
+    }
+
+    #[test]
+    fn anon_sdk_spikes_mid_2015() {
+        let m = Market::new();
+        let before = m.share_of("(anon/NULL SDK)", Date::ymd(2015, 4, 1));
+        let spike = m.share_of("(anon/NULL SDK)", Date::ymd(2015, 6, 15));
+        assert!(spike > before * 2.0, "before {before} spike {spike}");
+    }
+
+    #[test]
+    fn unlabelled_mass_is_about_thirty_percent() {
+        let m = Market::new();
+        let date = Date::ymd(2016, 6, 1);
+        let shares = m.shares(date);
+        let unl: f64 = m
+            .families()
+            .iter()
+            .zip(&shares)
+            .filter(|(f, _)| !f.labelled)
+            .map(|(_, s)| *s)
+            .sum();
+        assert!(unl > 0.22 && unl < 0.40, "unlabelled {unl}");
+    }
+
+    #[test]
+    fn weight_interpolation_is_linear() {
+        let c = share_anchors("Chrome");
+        let w0 = c.weight(Date::ymd(2012, 1, 1));
+        let w1 = c.weight(Date::ymd(2014, 1, 1));
+        let mid = c.weight(Date::ymd(2013, 1, 1));
+        assert!(mid > w0 && mid < w1);
+        // Clamped outside.
+        assert_eq!(c.weight(Date::ymd(2010, 1, 1)), w0);
+        assert_eq!(c.weight(Date::ymd(2020, 1, 1)), c.weight(Date::ymd(2018, 4, 1)));
+    }
+}

@@ -1,0 +1,353 @@
+//! Byte-level reader/writer helpers for TLS vector encodings.
+//!
+//! TLS structures are built from fixed-width big-endian integers and
+//! length-prefixed opaque vectors (`opaque foo<0..2^16-1>`). [`Reader`]
+//! is a cursor over a borrowed byte slice; [`Writer`] appends to an owned
+//! buffer and offers the standard 8/16/24-bit length-prefix idioms.
+
+use crate::error::{WireError, WireResult};
+
+/// A non-allocating cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current offset from the start of the underlying slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consume and return `n` bytes.
+    pub fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n - self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consume a single byte.
+    pub fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume a big-endian u16.
+    pub fn u16(&mut self) -> WireResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Consume a big-endian 24-bit integer.
+    pub fn u24(&mut self) -> WireResult<u32> {
+        let b = self.take(3)?;
+        Ok(u32::from_be_bytes([0, b[0], b[1], b[2]]))
+    }
+
+    /// Consume a big-endian u32.
+    pub fn u32(&mut self) -> WireResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consume a vector with an 8-bit length prefix and return a
+    /// sub-reader over its body.
+    pub fn vec8(&mut self) -> WireResult<Reader<'a>> {
+        let len = self.u8()? as usize;
+        Ok(Reader::new(self.take(len)?))
+    }
+
+    /// Consume a vector with a 16-bit length prefix and return a
+    /// sub-reader over its body.
+    pub fn vec16(&mut self) -> WireResult<Reader<'a>> {
+        let len = self.u16()? as usize;
+        if self.remaining() < len {
+            return Err(WireError::LengthOverflow {
+                declared: len,
+                available: self.remaining(),
+            });
+        }
+        Ok(Reader::new(self.take(len)?))
+    }
+
+    /// Consume a vector with a 24-bit length prefix and return a
+    /// sub-reader over its body.
+    pub fn vec24(&mut self) -> WireResult<Reader<'a>> {
+        let len = self.u24()? as usize;
+        if self.remaining() < len {
+            return Err(WireError::LengthOverflow {
+                declared: len,
+                available: self.remaining(),
+            });
+        }
+        Ok(Reader::new(self.take(len)?))
+    }
+
+    /// Read the rest of the buffer.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// Drain this reader into a list of big-endian u16s.
+    ///
+    /// Fails with [`WireError::RaggedVector`] on odd lengths.
+    pub fn u16_list(&mut self) -> WireResult<Vec<u16>> {
+        if !self.remaining().is_multiple_of(2) {
+            return Err(WireError::RaggedVector {
+                len: self.remaining(),
+                element: 2,
+            });
+        }
+        let mut out = Vec::with_capacity(self.remaining() / 2);
+        while !self.is_empty() {
+            out.push(self.u16()?);
+        }
+        Ok(out)
+    }
+
+    /// Drain this reader into a list of bytes.
+    pub fn u8_list(&mut self) -> Vec<u8> {
+        self.rest().to_vec()
+    }
+
+    /// Require that the reader has been fully consumed.
+    pub fn expect_empty(&self) -> WireResult<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+/// An appending writer with TLS length-prefix helpers.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// New writer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Finish and return the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Append a byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a big-endian u16.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a big-endian 24-bit integer (high byte of `v` must be 0).
+    pub fn u24(&mut self, v: u32) -> &mut Self {
+        debug_assert!(v < 1 << 24, "u24 overflow");
+        self.buf.extend_from_slice(&v.to_be_bytes()[1..]);
+        self
+    }
+
+    /// Append a big-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a list of big-endian u16s (no length prefix).
+    pub fn u16_list(&mut self, vs: &[u16]) -> &mut Self {
+        for v in vs {
+            self.u16(*v);
+        }
+        self
+    }
+
+    /// Write a body via `f`, then prefix it with its 8-bit length.
+    ///
+    /// # Panics
+    /// Panics if the body exceeds 255 bytes (a caller bug, not input
+    /// dependent).
+    pub fn vec8(&mut self, f: impl FnOnce(&mut Writer)) -> &mut Self {
+        let mark = self.buf.len();
+        self.buf.push(0);
+        f(self);
+        let len = self.buf.len() - mark - 1;
+        assert!(len <= u8::MAX as usize, "vec8 body too long: {len}");
+        self.buf[mark] = len as u8;
+        self
+    }
+
+    /// Write a body via `f`, then prefix it with its 16-bit length.
+    ///
+    /// # Panics
+    /// Panics if the body exceeds 65535 bytes.
+    pub fn vec16(&mut self, f: impl FnOnce(&mut Writer)) -> &mut Self {
+        let mark = self.buf.len();
+        self.buf.extend_from_slice(&[0, 0]);
+        f(self);
+        let len = self.buf.len() - mark - 2;
+        assert!(len <= u16::MAX as usize, "vec16 body too long: {len}");
+        self.buf[mark..mark + 2].copy_from_slice(&(len as u16).to_be_bytes());
+        self
+    }
+
+    /// Write a body via `f`, then prefix it with its 24-bit length.
+    ///
+    /// # Panics
+    /// Panics if the body exceeds 2^24 - 1 bytes.
+    pub fn vec24(&mut self, f: impl FnOnce(&mut Writer)) -> &mut Self {
+        let mark = self.buf.len();
+        self.buf.extend_from_slice(&[0, 0, 0]);
+        f(self);
+        let len = self.buf.len() - mark - 3;
+        assert!(len < 1 << 24, "vec24 body too long: {len}");
+        self.buf[mark..mark + 3].copy_from_slice(&(len as u32).to_be_bytes()[1..]);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_integers() {
+        let mut r = Reader::new(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a]);
+        assert_eq!(r.u8().unwrap(), 0x01);
+        assert_eq!(r.u16().unwrap(), 0x0203);
+        assert_eq!(r.u24().unwrap(), 0x040506);
+        assert_eq!(r.u32().unwrap(), 0x0708090a);
+        assert!(r.is_empty());
+        assert_eq!(r.u8(), Err(WireError::Truncated { needed: 1 }));
+    }
+
+    #[test]
+    fn reader_vectors() {
+        // vec8 of [0xaa, 0xbb], then vec16 of [0x01].
+        let mut r = Reader::new(&[0x02, 0xaa, 0xbb, 0x00, 0x01, 0x01]);
+        let mut inner = r.vec8().unwrap();
+        assert_eq!(inner.rest(), &[0xaa, 0xbb]);
+        let mut inner = r.vec16().unwrap();
+        assert_eq!(inner.u8().unwrap(), 0x01);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reader_vector_overflow() {
+        let mut r = Reader::new(&[0x00, 0x05, 0x01]);
+        assert!(matches!(
+            r.vec16(),
+            Err(WireError::LengthOverflow {
+                declared: 5,
+                available: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn reader_ragged_u16_list() {
+        let mut r = Reader::new(&[0x00, 0x01, 0x02]);
+        assert_eq!(
+            r.u16_list(),
+            Err(WireError::RaggedVector { len: 3, element: 2 })
+        );
+    }
+
+    #[test]
+    fn reader_u16_list() {
+        let mut r = Reader::new(&[0xc0, 0x2b, 0x00, 0x9c]);
+        assert_eq!(r.u16_list().unwrap(), vec![0xc02b, 0x009c]);
+    }
+
+    #[test]
+    fn expect_empty() {
+        let mut r = Reader::new(&[0x00]);
+        assert_eq!(r.expect_empty(), Err(WireError::TrailingBytes(1)));
+        r.u8().unwrap();
+        assert_eq!(r.expect_empty(), Ok(()));
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(0x16).u16(0x0303).u24(0x123456).u32(0xdeadbeef);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0x16);
+        assert_eq!(r.u16().unwrap(), 0x0303);
+        assert_eq!(r.u24().unwrap(), 0x123456);
+        assert_eq!(r.u32().unwrap(), 0xdeadbeef);
+    }
+
+    #[test]
+    fn writer_nested_length_prefixes() {
+        let mut w = Writer::new();
+        w.vec16(|w| {
+            w.vec8(|w| {
+                w.bytes(&[1, 2, 3]);
+            });
+            w.u16(0xc02f);
+        });
+        assert_eq!(w.into_bytes(), vec![0x00, 0x06, 0x03, 1, 2, 3, 0xc0, 0x2f]);
+    }
+
+    #[test]
+    fn writer_empty_vectors() {
+        let mut w = Writer::new();
+        w.vec8(|_| {}).vec16(|_| {}).vec24(|_| {});
+        assert_eq!(w.into_bytes(), vec![0, 0, 0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for wire-format parsing and serialisation.
+
+use core::fmt;
+
+/// Errors produced while decoding TLS/SSL wire data.
+///
+/// Variants are deliberately fine-grained: a passive monitor wants to
+/// count *why* handshakes fail to parse, not just that they did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a complete structure could be read.
+    ///
+    /// Carries the number of additional bytes that were needed at the
+    /// point of failure (a lower bound).
+    Truncated {
+        /// Additional bytes required (lower bound).
+        needed: usize,
+    },
+    /// A length prefix points past the end of its enclosing structure.
+    LengthOverflow {
+        /// The declared length.
+        declared: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A vector length was not a multiple of its element size.
+    RaggedVector {
+        /// The declared byte length of the vector.
+        len: usize,
+        /// The element size it must be divisible by.
+        element: usize,
+    },
+    /// A record or message carried an unknown/unsupported content type.
+    UnknownContentType(u8),
+    /// A handshake message carried an unexpected type for this parser.
+    UnexpectedHandshakeType {
+        /// The handshake type found on the wire.
+        got: u8,
+        /// The handshake type the caller asked for.
+        want: u8,
+    },
+    /// A structurally invalid field value (e.g. zero-length cipher list
+    /// in a ClientHello, or a session id longer than 32 bytes).
+    InvalidField(&'static str),
+    /// Trailing bytes remained after a complete parse where none are
+    /// permitted.
+    TrailingBytes(usize),
+    /// The record looks like SSLv2 but is malformed.
+    MalformedSslv2,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed } => {
+                write!(f, "input truncated: at least {needed} more byte(s) needed")
+            }
+            WireError::LengthOverflow {
+                declared,
+                available,
+            } => write!(
+                f,
+                "declared length {declared} exceeds available {available} byte(s)"
+            ),
+            WireError::RaggedVector { len, element } => write!(
+                f,
+                "vector length {len} is not a multiple of element size {element}"
+            ),
+            WireError::UnknownContentType(t) => write!(f, "unknown record content type {t:#04x}"),
+            WireError::UnexpectedHandshakeType { got, want } => write!(
+                f,
+                "unexpected handshake type {got:#04x} (wanted {want:#04x})"
+            ),
+            WireError::InvalidField(which) => write!(f, "invalid field: {which}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after structure"),
+            WireError::MalformedSslv2 => write!(f, "malformed SSLv2 record"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias used throughout the wire crate.
+pub type WireResult<T> = Result<T, WireError>;

@@ -1,0 +1,77 @@
+//! GREASE (RFC 8701) value handling.
+//!
+//! Google clients inject reserved values into the cipher-suite list,
+//! extension list, named-group list, and version list so that intolerant
+//! servers get flushed out early. The paper strips these before
+//! fingerprinting (§4): two Chrome handshakes that differ only in their
+//! random GREASE draws must map to the same fingerprint.
+//!
+//! GREASE 16-bit values follow the pattern `0xRaRa` where `R` is any
+//! nibble: `0x0a0a, 0x1a1a, …, 0xfafa`.
+
+/// The sixteen 16-bit GREASE values.
+pub const GREASE_VALUES: [u16; 16] = [
+    0x0a0a, 0x1a1a, 0x2a2a, 0x3a3a, 0x4a4a, 0x5a5a, 0x6a6a, 0x7a7a, 0x8a8a, 0x9a9a, 0xaaaa,
+    0xbaba, 0xcaca, 0xdada, 0xeaea, 0xfafa,
+];
+
+/// True if `v` is a GREASE value.
+pub fn is_grease(v: u16) -> bool {
+    v & 0x0f0f == 0x0a0a && (v >> 12) == ((v >> 4) & 0x0f)
+}
+
+/// The `n`-th GREASE value (`n` taken modulo 16); used by hello builders
+/// that randomise their draw like Chrome does.
+pub fn grease_value(n: u8) -> u16 {
+    GREASE_VALUES[(n & 0x0f) as usize]
+}
+
+/// Remove all GREASE values from a list, preserving order.
+pub fn strip_grease(values: &[u16]) -> Vec<u16> {
+    values.iter().copied().filter(|v| !is_grease(*v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognises_all_sixteen() {
+        for v in GREASE_VALUES {
+            assert!(is_grease(v), "{v:#06x}");
+        }
+    }
+
+    #[test]
+    fn rejects_near_misses() {
+        for v in [0x0a0bu16, 0x0b0a, 0x1a2a, 0xa0a0, 0x0303, 0xc02f, 0x00ff] {
+            assert!(!is_grease(v), "{v:#06x}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_against_pattern() {
+        let mut count = 0u32;
+        for v in 0..=u16::MAX {
+            if is_grease(v) {
+                assert!(GREASE_VALUES.contains(&v));
+                count += 1;
+            }
+        }
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn strip_preserves_order() {
+        let list = [0x1301u16, 0x2a2a, 0xc02f, 0xfafa, 0x000a];
+        assert_eq!(strip_grease(&list), vec![0x1301, 0xc02f, 0x000a]);
+    }
+
+    #[test]
+    fn grease_value_wraps() {
+        assert_eq!(grease_value(0), 0x0a0a);
+        assert_eq!(grease_value(15), 0xfafa);
+        assert_eq!(grease_value(16), 0x0a0a);
+        assert_eq!(grease_value(0x1f), 0xfafa);
+    }
+}

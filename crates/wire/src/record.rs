@@ -1,0 +1,370 @@
+//! The TLS record layer, plus the incompatible SSLv2 record format.
+//!
+//! Passive monitors see records first: the distinction between an SSLv2
+//! ClientHello (2-byte MSB-set length header, 3-byte cipher specs) and a
+//! TLS record (content type + version + length) is how the paper can
+//! count the residual SSL 2 connections of §5.1 at all.
+
+use crate::codec::{Reader, Writer};
+use crate::error::{WireError, WireResult};
+use crate::suites::CipherSuite;
+use crate::version::ProtocolVersion;
+
+/// Maximum TLSPlaintext fragment length (2^14).
+pub const MAX_FRAGMENT: usize = 1 << 14;
+
+/// TLS record content types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentType {
+    /// change_cipher_spec (20).
+    ChangeCipherSpec,
+    /// alert (21).
+    Alert,
+    /// handshake (22).
+    Handshake,
+    /// application_data (23).
+    ApplicationData,
+    /// heartbeat (24, RFC 6520).
+    Heartbeat,
+}
+
+impl ContentType {
+    /// Wire value.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ContentType::ChangeCipherSpec => 20,
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+            ContentType::ApplicationData => 23,
+            ContentType::Heartbeat => 24,
+        }
+    }
+
+    /// Decode a wire value.
+    pub fn from_wire(v: u8) -> WireResult<Self> {
+        Ok(match v {
+            20 => ContentType::ChangeCipherSpec,
+            21 => ContentType::Alert,
+            22 => ContentType::Handshake,
+            23 => ContentType::ApplicationData,
+            24 => ContentType::Heartbeat,
+            other => return Err(WireError::UnknownContentType(other)),
+        })
+    }
+}
+
+/// One TLSPlaintext record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Content type.
+    pub content_type: ContentType,
+    /// Record-layer version (not authoritative for the connection).
+    pub version: ProtocolVersion,
+    /// Fragment payload.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Serialise this record.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(self.payload.len() + 5);
+        w.u8(self.content_type.to_wire());
+        w.u16(self.version.to_wire());
+        w.vec16(|w| {
+            w.bytes(&self.payload);
+        });
+        w.into_bytes()
+    }
+
+    /// Parse one record off the front of `r`.
+    pub fn read(r: &mut Reader<'_>) -> WireResult<Record> {
+        let content_type = ContentType::from_wire(r.u8()?)?;
+        let version = ProtocolVersion::from_wire(r.u16()?);
+        let mut body = r.vec16()?;
+        Ok(Record {
+            content_type,
+            version,
+            payload: body.rest().to_vec(),
+        })
+    }
+
+    /// Parse every record in `bytes`.
+    pub fn read_all(bytes: &[u8]) -> WireResult<Vec<Record>> {
+        let mut r = Reader::new(bytes);
+        let mut out = Vec::new();
+        while !r.is_empty() {
+            out.push(Record::read(&mut r)?);
+        }
+        Ok(out)
+    }
+
+    /// Wrap a handshake-message stream into records, fragmenting at
+    /// [`MAX_FRAGMENT`].
+    pub fn wrap_handshake(version: ProtocolVersion, handshake: &[u8]) -> Vec<Record> {
+        handshake
+            .chunks(MAX_FRAGMENT)
+            .map(|chunk| Record {
+                content_type: ContentType::Handshake,
+                version,
+                payload: chunk.to_vec(),
+            })
+            .collect()
+    }
+
+    /// Concatenate the payloads of consecutive handshake records (record
+    /// fragmentation is transparent to the handshake layer).
+    pub fn coalesce_handshake(records: &[Record]) -> WireResult<Vec<u8>> {
+        let mut out = Vec::new();
+        for rec in records {
+            if rec.content_type != ContentType::Handshake {
+                return Err(WireError::UnknownContentType(rec.content_type.to_wire()));
+            }
+            out.extend_from_slice(&rec.payload);
+        }
+        Ok(out)
+    }
+}
+
+/// What the first bytes of a connection look like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFlavor {
+    /// A TLS/SSL3 record stream.
+    Tls,
+    /// An SSLv2 record (MSB-set short header).
+    Sslv2,
+    /// Neither — not SSL/TLS at all.
+    Other,
+}
+
+/// Sniff the framing flavour from the first bytes of a client's flow.
+pub fn sniff(bytes: &[u8]) -> WireFlavor {
+    if bytes.len() >= 3 && bytes[0] & 0x80 != 0 && bytes[2] == 0x01 {
+        // MSB-set 2-byte length followed by SSLv2 CLIENT-HELLO (1).
+        return WireFlavor::Sslv2;
+    }
+    if bytes.len() >= 3 && ContentType::from_wire(bytes[0]).is_ok() && bytes[1] == 0x03 {
+        return WireFlavor::Tls;
+    }
+    WireFlavor::Other
+}
+
+/// An SSLv2 CLIENT-HELLO (the only SSLv2 message we model).
+///
+/// SSLv2 cipher "kinds" are 24-bit values; the well-known ones are
+/// exposed as constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sslv2ClientHello {
+    /// The version the client requests (SSLv2 clients can ask for SSL3+).
+    pub version: ProtocolVersion,
+    /// 24-bit cipher kinds in preference order.
+    pub cipher_specs: Vec<u32>,
+    /// Session id (0 or 16 bytes in practice).
+    pub session_id: Vec<u8>,
+    /// Challenge bytes (16–32).
+    pub challenge: Vec<u8>,
+}
+
+/// Well-known SSLv2 cipher kinds.
+pub mod sslv2_cipher {
+    /// SSL_CK_RC4_128_WITH_MD5.
+    pub const RC4_128_WITH_MD5: u32 = 0x01_00_80;
+    /// SSL_CK_RC4_128_EXPORT40_WITH_MD5.
+    pub const RC4_128_EXPORT40_WITH_MD5: u32 = 0x02_00_80;
+    /// SSL_CK_RC2_128_CBC_WITH_MD5.
+    pub const RC2_128_CBC_WITH_MD5: u32 = 0x03_00_80;
+    /// SSL_CK_RC2_128_CBC_EXPORT40_WITH_MD5.
+    pub const RC2_128_CBC_EXPORT40_WITH_MD5: u32 = 0x04_00_80;
+    /// SSL_CK_IDEA_128_CBC_WITH_MD5.
+    pub const IDEA_128_CBC_WITH_MD5: u32 = 0x05_00_80;
+    /// SSL_CK_DES_64_CBC_WITH_MD5.
+    pub const DES_64_CBC_WITH_MD5: u32 = 0x06_00_40;
+    /// SSL_CK_DES_192_EDE3_CBC_WITH_MD5.
+    pub const DES_192_EDE3_CBC_WITH_MD5: u32 = 0x07_00_c0;
+}
+
+impl Sslv2ClientHello {
+    /// Serialise with the 2-byte MSB-set record header.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Writer::new();
+        body.u8(0x01); // CLIENT-HELLO
+        body.u16(self.version.to_wire());
+        body.u16((self.cipher_specs.len() * 3) as u16);
+        body.u16(self.session_id.len() as u16);
+        body.u16(self.challenge.len() as u16);
+        for spec in &self.cipher_specs {
+            body.u24(*spec);
+        }
+        body.bytes(&self.session_id);
+        body.bytes(&self.challenge);
+        let body = body.into_bytes();
+        let mut w = Writer::with_capacity(body.len() + 2);
+        w.u16(0x8000 | body.len() as u16);
+        w.bytes(&body);
+        w.into_bytes()
+    }
+
+    /// Parse an SSLv2 CLIENT-HELLO (header included).
+    pub fn parse(bytes: &[u8]) -> WireResult<Self> {
+        let mut r = Reader::new(bytes);
+        let header = r.u16()?;
+        if header & 0x8000 == 0 {
+            return Err(WireError::MalformedSslv2);
+        }
+        let len = (header & 0x7fff) as usize;
+        if r.remaining() < len {
+            return Err(WireError::Truncated {
+                needed: len - r.remaining(),
+            });
+        }
+        let mut b = Reader::new(r.take(len)?);
+        if b.u8()? != 0x01 {
+            return Err(WireError::MalformedSslv2);
+        }
+        let version = ProtocolVersion::from_wire(b.u16()?);
+        let cipher_len = b.u16()? as usize;
+        let sid_len = b.u16()? as usize;
+        let challenge_len = b.u16()? as usize;
+        if !cipher_len.is_multiple_of(3) {
+            return Err(WireError::RaggedVector {
+                len: cipher_len,
+                element: 3,
+            });
+        }
+        let mut specs = Vec::with_capacity(cipher_len / 3);
+        let mut spec_bytes = Reader::new(b.take(cipher_len)?);
+        while !spec_bytes.is_empty() {
+            specs.push(spec_bytes.u24()?);
+        }
+        let session_id = b.take(sid_len)?.to_vec();
+        let challenge = b.take(challenge_len)?.to_vec();
+        b.expect_empty()?;
+        Ok(Sslv2ClientHello {
+            version,
+            cipher_specs: specs,
+            session_id,
+            challenge,
+        })
+    }
+}
+
+/// Map an SSLv2 cipher kind to the closest TLS-era classification, for
+/// aggregation purposes.
+pub fn sslv2_kind_as_suite(kind: u32) -> Option<CipherSuite> {
+    match kind {
+        sslv2_cipher::RC4_128_WITH_MD5 => Some(CipherSuite(0x0004)),
+        sslv2_cipher::RC4_128_EXPORT40_WITH_MD5 => Some(CipherSuite(0x0003)),
+        sslv2_cipher::RC2_128_CBC_EXPORT40_WITH_MD5 => Some(CipherSuite(0x0006)),
+        sslv2_cipher::IDEA_128_CBC_WITH_MD5 => Some(CipherSuite(0x0007)),
+        sslv2_cipher::DES_64_CBC_WITH_MD5 => Some(CipherSuite(0x0009)),
+        sslv2_cipher::DES_192_EDE3_CBC_WITH_MD5 => Some(CipherSuite(0x000a)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = Record {
+            content_type: ContentType::Handshake,
+            version: ProtocolVersion::Tls10,
+            payload: vec![1, 2, 3],
+        };
+        let bytes = rec.to_bytes();
+        let parsed = Record::read_all(&bytes).unwrap();
+        assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn record_fragmentation_and_coalescing() {
+        let handshake: Vec<u8> = (0..40_000u32).map(|i| i as u8).collect();
+        let records = Record::wrap_handshake(ProtocolVersion::Tls12, &handshake);
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|r| r.payload.len() <= MAX_FRAGMENT));
+        let bytes: Vec<u8> = records.iter().flat_map(|r| r.to_bytes()).collect();
+        let parsed = Record::read_all(&bytes).unwrap();
+        assert_eq!(Record::coalesce_handshake(&parsed).unwrap(), handshake);
+    }
+
+    #[test]
+    fn unknown_content_type_rejected() {
+        let bytes = [99u8, 0x03, 0x03, 0x00, 0x01, 0x00];
+        assert_eq!(
+            Record::read_all(&bytes),
+            Err(WireError::UnknownContentType(99))
+        );
+    }
+
+    #[test]
+    fn coalesce_rejects_non_handshake() {
+        let rec = Record {
+            content_type: ContentType::Alert,
+            version: ProtocolVersion::Tls10,
+            payload: vec![2, 40],
+        };
+        assert!(Record::coalesce_handshake(&[rec]).is_err());
+    }
+
+    #[test]
+    fn sslv2_roundtrip() {
+        let hello = Sslv2ClientHello {
+            version: ProtocolVersion::Ssl2,
+            cipher_specs: vec![
+                sslv2_cipher::RC4_128_WITH_MD5,
+                sslv2_cipher::DES_192_EDE3_CBC_WITH_MD5,
+            ],
+            session_id: vec![],
+            challenge: vec![0xaa; 16],
+        };
+        let bytes = hello.to_bytes();
+        assert_eq!(Sslv2ClientHello::parse(&bytes).unwrap(), hello);
+    }
+
+    #[test]
+    fn sniffing() {
+        let v2 = Sslv2ClientHello {
+            version: ProtocolVersion::Ssl2,
+            cipher_specs: vec![sslv2_cipher::RC4_128_WITH_MD5],
+            session_id: vec![],
+            challenge: vec![0; 16],
+        }
+        .to_bytes();
+        assert_eq!(sniff(&v2), WireFlavor::Sslv2);
+
+        let tls = Record {
+            content_type: ContentType::Handshake,
+            version: ProtocolVersion::Tls10,
+            payload: vec![0],
+        }
+        .to_bytes();
+        assert_eq!(sniff(&tls), WireFlavor::Tls);
+
+        assert_eq!(sniff(b"GET / HTTP/1.1\r\n"), WireFlavor::Other);
+        assert_eq!(sniff(&[]), WireFlavor::Other);
+    }
+
+    #[test]
+    fn sslv2_truncation_rejected() {
+        let bytes = Sslv2ClientHello {
+            version: ProtocolVersion::Ssl2,
+            cipher_specs: vec![sslv2_cipher::RC4_128_WITH_MD5],
+            session_id: vec![],
+            challenge: vec![0; 16],
+        }
+        .to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Sslv2ClientHello::parse(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn sslv2_kind_mapping() {
+        let s = sslv2_kind_as_suite(sslv2_cipher::RC4_128_WITH_MD5).unwrap();
+        assert!(s.is_rc4());
+        let s = sslv2_kind_as_suite(sslv2_cipher::RC4_128_EXPORT40_WITH_MD5).unwrap();
+        assert!(s.is_export());
+        assert_eq!(sslv2_kind_as_suite(0xdead), None);
+    }
+}

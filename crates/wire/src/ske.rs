@@ -1,0 +1,77 @@
+//! Minimal ServerKeyExchange support.
+//!
+//! The Notary learns the negotiated curve (§6.3.3) from the
+//! ServerKeyExchange message of (EC)DHE handshakes — the ServerHello
+//! does not carry it. We model exactly the fields a passive monitor
+//! reads: the ECParameters header (curve_type + named curve) of an
+//! ECDHE SKE. Key material and signatures are opaque filler, as they
+//! would be to a monitor that only logs parameters.
+
+use crate::codec::{Reader, Writer};
+use crate::error::{WireError, WireResult};
+use crate::groups::NamedGroup;
+use crate::handshake::{frame_handshake, handshake_type};
+
+/// ECCurveType value for named curves.
+pub const CURVE_TYPE_NAMED: u8 = 3;
+
+/// Build a framed ECDHE ServerKeyExchange advertising `group`.
+///
+/// `pubkey_len` controls the size of the (opaque) ephemeral public key;
+/// 65 bytes matches an uncompressed P-256 point.
+pub fn ecdhe_ske(group: NamedGroup, pubkey_len: u8) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CURVE_TYPE_NAMED);
+    w.u16(group.0);
+    w.vec8(|w| {
+        // Opaque ephemeral point; a monitor does not interpret it.
+        w.bytes(&vec![0x04; pubkey_len as usize]);
+    });
+    // signature_algorithm + opaque signature (TLS 1.2 form).
+    w.u16(0x0401);
+    w.vec16(|w| {
+        w.bytes(&[0u8; 64]);
+    });
+    frame_handshake(handshake_type::SERVER_KEY_EXCHANGE, &w.into_bytes())
+}
+
+/// Parse the named curve out of an ECDHE ServerKeyExchange *body*.
+pub fn parse_ske_curve(body: &[u8]) -> WireResult<NamedGroup> {
+    let mut r = Reader::new(body);
+    let curve_type = r.u8()?;
+    if curve_type != CURVE_TYPE_NAMED {
+        return Err(WireError::InvalidField("explicit curve parameters"));
+    }
+    Ok(NamedGroup(r.u16()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::read_handshake;
+
+    #[test]
+    fn ske_roundtrip() {
+        let bytes = ecdhe_ske(NamedGroup::X25519, 32);
+        let mut r = Reader::new(&bytes);
+        let (typ, body) = read_handshake(&mut r).unwrap();
+        assert_eq!(typ, handshake_type::SERVER_KEY_EXCHANGE);
+        assert_eq!(parse_ske_curve(body).unwrap(), NamedGroup::X25519);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn explicit_curves_rejected() {
+        let mut w = Writer::new();
+        w.u8(1).u16(23);
+        assert!(parse_ske_curve(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncated_ske_rejected() {
+        let bytes = ecdhe_ske(NamedGroup::SECP256R1, 65);
+        let mut r = Reader::new(&bytes);
+        let (_, body) = read_handshake(&mut r).unwrap();
+        assert!(parse_ske_curve(&body[..1]).is_err());
+    }
+}

@@ -1,0 +1,454 @@
+//! The static IANA cipher-suite table.
+//!
+//! Sorted by code point; [`lookup`] does a binary search. Coverage: the
+//! RFC 5246 / RFC 4492 / RFC 5288 / RFC 5289 / RFC 7905 / RFC 8446
+//! registries plus the historical values the paper encounters in the
+//! wild: GOST suites (§7.3), the pre-standard ChaCha20 code points used
+//! by Chrome/Opera before RFC 7905, Camellia/ARIA/SEED national suites,
+//! Kerberos, SRP, PSK families, and the two SCSVs.
+//!
+//! Names omit the `TLS_` prefix to keep rows short; `CipherSuite`'s
+//! `Display` impl restores it.
+
+use crate::suites::{Auth as A, Enc as E, Kx as K, Mac as M, SuiteInfo};
+
+const fn s(id: u16, name: &'static str, kx: K, auth: A, enc: E, mac: M) -> SuiteInfo {
+    SuiteInfo {
+        id,
+        name,
+        kx,
+        auth,
+        enc,
+        mac,
+        export: false,
+    }
+}
+
+const fn x(id: u16, name: &'static str, kx: K, auth: A, enc: E, mac: M) -> SuiteInfo {
+    SuiteInfo {
+        id,
+        name,
+        kx,
+        auth,
+        enc,
+        mac,
+        export: true,
+    }
+}
+
+/// Every registered suite we know about, sorted by id.
+pub static SUITES: &[SuiteInfo] = &[
+    s(0x0000, "NULL_WITH_NULL_NULL", K::Null, A::Null, E::Null, M::Null),
+    s(0x0001, "RSA_WITH_NULL_MD5", K::Rsa, A::Rsa, E::Null, M::Md5),
+    s(0x0002, "RSA_WITH_NULL_SHA", K::Rsa, A::Rsa, E::Null, M::Sha1),
+    x(0x0003, "RSA_EXPORT_WITH_RC4_40_MD5", K::Rsa, A::Rsa, E::Rc4_40, M::Md5),
+    s(0x0004, "RSA_WITH_RC4_128_MD5", K::Rsa, A::Rsa, E::Rc4_128, M::Md5),
+    s(0x0005, "RSA_WITH_RC4_128_SHA", K::Rsa, A::Rsa, E::Rc4_128, M::Sha1),
+    x(0x0006, "RSA_EXPORT_WITH_RC2_CBC_40_MD5", K::Rsa, A::Rsa, E::Rc2Cbc40, M::Md5),
+    s(0x0007, "RSA_WITH_IDEA_CBC_SHA", K::Rsa, A::Rsa, E::IdeaCbc, M::Sha1),
+    x(0x0008, "RSA_EXPORT_WITH_DES40_CBC_SHA", K::Rsa, A::Rsa, E::Des40Cbc, M::Sha1),
+    s(0x0009, "RSA_WITH_DES_CBC_SHA", K::Rsa, A::Rsa, E::DesCbc, M::Sha1),
+    s(0x000a, "RSA_WITH_3DES_EDE_CBC_SHA", K::Rsa, A::Rsa, E::TripleDesCbc, M::Sha1),
+    x(0x000b, "DH_DSS_EXPORT_WITH_DES40_CBC_SHA", K::Dh, A::Dss, E::Des40Cbc, M::Sha1),
+    s(0x000c, "DH_DSS_WITH_DES_CBC_SHA", K::Dh, A::Dss, E::DesCbc, M::Sha1),
+    s(0x000d, "DH_DSS_WITH_3DES_EDE_CBC_SHA", K::Dh, A::Dss, E::TripleDesCbc, M::Sha1),
+    x(0x000e, "DH_RSA_EXPORT_WITH_DES40_CBC_SHA", K::Dh, A::Rsa, E::Des40Cbc, M::Sha1),
+    s(0x000f, "DH_RSA_WITH_DES_CBC_SHA", K::Dh, A::Rsa, E::DesCbc, M::Sha1),
+    s(0x0010, "DH_RSA_WITH_3DES_EDE_CBC_SHA", K::Dh, A::Rsa, E::TripleDesCbc, M::Sha1),
+    x(0x0011, "DHE_DSS_EXPORT_WITH_DES40_CBC_SHA", K::Dhe, A::Dss, E::Des40Cbc, M::Sha1),
+    s(0x0012, "DHE_DSS_WITH_DES_CBC_SHA", K::Dhe, A::Dss, E::DesCbc, M::Sha1),
+    s(0x0013, "DHE_DSS_WITH_3DES_EDE_CBC_SHA", K::Dhe, A::Dss, E::TripleDesCbc, M::Sha1),
+    x(0x0014, "DHE_RSA_EXPORT_WITH_DES40_CBC_SHA", K::Dhe, A::Rsa, E::Des40Cbc, M::Sha1),
+    s(0x0015, "DHE_RSA_WITH_DES_CBC_SHA", K::Dhe, A::Rsa, E::DesCbc, M::Sha1),
+    s(0x0016, "DHE_RSA_WITH_3DES_EDE_CBC_SHA", K::Dhe, A::Rsa, E::TripleDesCbc, M::Sha1),
+    x(0x0017, "DH_anon_EXPORT_WITH_RC4_40_MD5", K::DhAnon, A::Anon, E::Rc4_40, M::Md5),
+    s(0x0018, "DH_anon_WITH_RC4_128_MD5", K::DhAnon, A::Anon, E::Rc4_128, M::Md5),
+    x(0x0019, "DH_anon_EXPORT_WITH_DES40_CBC_SHA", K::DhAnon, A::Anon, E::Des40Cbc, M::Sha1),
+    s(0x001a, "DH_anon_WITH_DES_CBC_SHA", K::DhAnon, A::Anon, E::DesCbc, M::Sha1),
+    s(0x001b, "DH_anon_WITH_3DES_EDE_CBC_SHA", K::DhAnon, A::Anon, E::TripleDesCbc, M::Sha1),
+    s(0x001e, "KRB5_WITH_DES_CBC_SHA", K::Krb5, A::Krb5, E::DesCbc, M::Sha1),
+    s(0x001f, "KRB5_WITH_3DES_EDE_CBC_SHA", K::Krb5, A::Krb5, E::TripleDesCbc, M::Sha1),
+    s(0x0020, "KRB5_WITH_RC4_128_SHA", K::Krb5, A::Krb5, E::Rc4_128, M::Sha1),
+    s(0x0021, "KRB5_WITH_IDEA_CBC_SHA", K::Krb5, A::Krb5, E::IdeaCbc, M::Sha1),
+    s(0x0022, "KRB5_WITH_DES_CBC_MD5", K::Krb5, A::Krb5, E::DesCbc, M::Md5),
+    s(0x0023, "KRB5_WITH_3DES_EDE_CBC_MD5", K::Krb5, A::Krb5, E::TripleDesCbc, M::Md5),
+    s(0x0024, "KRB5_WITH_RC4_128_MD5", K::Krb5, A::Krb5, E::Rc4_128, M::Md5),
+    s(0x0025, "KRB5_WITH_IDEA_CBC_MD5", K::Krb5, A::Krb5, E::IdeaCbc, M::Md5),
+    x(0x0026, "KRB5_EXPORT_WITH_DES_CBC_40_SHA", K::Krb5, A::Krb5, E::Des40Cbc, M::Sha1),
+    x(0x0027, "KRB5_EXPORT_WITH_RC2_CBC_40_SHA", K::Krb5, A::Krb5, E::Rc2Cbc40, M::Sha1),
+    x(0x0028, "KRB5_EXPORT_WITH_RC4_40_SHA", K::Krb5, A::Krb5, E::Rc4_40, M::Sha1),
+    x(0x0029, "KRB5_EXPORT_WITH_DES_CBC_40_MD5", K::Krb5, A::Krb5, E::Des40Cbc, M::Md5),
+    x(0x002a, "KRB5_EXPORT_WITH_RC2_CBC_40_MD5", K::Krb5, A::Krb5, E::Rc2Cbc40, M::Md5),
+    x(0x002b, "KRB5_EXPORT_WITH_RC4_40_MD5", K::Krb5, A::Krb5, E::Rc4_40, M::Md5),
+    s(0x002c, "PSK_WITH_NULL_SHA", K::Psk, A::Psk, E::Null, M::Sha1),
+    s(0x002d, "DHE_PSK_WITH_NULL_SHA", K::DhePsk, A::Psk, E::Null, M::Sha1),
+    s(0x002e, "RSA_PSK_WITH_NULL_SHA", K::RsaPsk, A::Psk, E::Null, M::Sha1),
+    s(0x002f, "RSA_WITH_AES_128_CBC_SHA", K::Rsa, A::Rsa, E::Aes128Cbc, M::Sha1),
+    s(0x0030, "DH_DSS_WITH_AES_128_CBC_SHA", K::Dh, A::Dss, E::Aes128Cbc, M::Sha1),
+    s(0x0031, "DH_RSA_WITH_AES_128_CBC_SHA", K::Dh, A::Rsa, E::Aes128Cbc, M::Sha1),
+    s(0x0032, "DHE_DSS_WITH_AES_128_CBC_SHA", K::Dhe, A::Dss, E::Aes128Cbc, M::Sha1),
+    s(0x0033, "DHE_RSA_WITH_AES_128_CBC_SHA", K::Dhe, A::Rsa, E::Aes128Cbc, M::Sha1),
+    s(0x0034, "DH_anon_WITH_AES_128_CBC_SHA", K::DhAnon, A::Anon, E::Aes128Cbc, M::Sha1),
+    s(0x0035, "RSA_WITH_AES_256_CBC_SHA", K::Rsa, A::Rsa, E::Aes256Cbc, M::Sha1),
+    s(0x0036, "DH_DSS_WITH_AES_256_CBC_SHA", K::Dh, A::Dss, E::Aes256Cbc, M::Sha1),
+    s(0x0037, "DH_RSA_WITH_AES_256_CBC_SHA", K::Dh, A::Rsa, E::Aes256Cbc, M::Sha1),
+    s(0x0038, "DHE_DSS_WITH_AES_256_CBC_SHA", K::Dhe, A::Dss, E::Aes256Cbc, M::Sha1),
+    s(0x0039, "DHE_RSA_WITH_AES_256_CBC_SHA", K::Dhe, A::Rsa, E::Aes256Cbc, M::Sha1),
+    s(0x003a, "DH_anon_WITH_AES_256_CBC_SHA", K::DhAnon, A::Anon, E::Aes256Cbc, M::Sha1),
+    s(0x003b, "RSA_WITH_NULL_SHA256", K::Rsa, A::Rsa, E::Null, M::Sha256),
+    s(0x003c, "RSA_WITH_AES_128_CBC_SHA256", K::Rsa, A::Rsa, E::Aes128Cbc, M::Sha256),
+    s(0x003d, "RSA_WITH_AES_256_CBC_SHA256", K::Rsa, A::Rsa, E::Aes256Cbc, M::Sha256),
+    s(0x003e, "DH_DSS_WITH_AES_128_CBC_SHA256", K::Dh, A::Dss, E::Aes128Cbc, M::Sha256),
+    s(0x003f, "DH_RSA_WITH_AES_128_CBC_SHA256", K::Dh, A::Rsa, E::Aes128Cbc, M::Sha256),
+    s(0x0040, "DHE_DSS_WITH_AES_128_CBC_SHA256", K::Dhe, A::Dss, E::Aes128Cbc, M::Sha256),
+    s(0x0041, "RSA_WITH_CAMELLIA_128_CBC_SHA", K::Rsa, A::Rsa, E::Camellia128Cbc, M::Sha1),
+    s(0x0042, "DH_DSS_WITH_CAMELLIA_128_CBC_SHA", K::Dh, A::Dss, E::Camellia128Cbc, M::Sha1),
+    s(0x0043, "DH_RSA_WITH_CAMELLIA_128_CBC_SHA", K::Dh, A::Rsa, E::Camellia128Cbc, M::Sha1),
+    s(0x0044, "DHE_DSS_WITH_CAMELLIA_128_CBC_SHA", K::Dhe, A::Dss, E::Camellia128Cbc, M::Sha1),
+    s(0x0045, "DHE_RSA_WITH_CAMELLIA_128_CBC_SHA", K::Dhe, A::Rsa, E::Camellia128Cbc, M::Sha1),
+    s(0x0046, "DH_anon_WITH_CAMELLIA_128_CBC_SHA", K::DhAnon, A::Anon, E::Camellia128Cbc, M::Sha1),
+    s(0x0066, "DHE_DSS_WITH_RC4_128_SHA", K::Dhe, A::Dss, E::Rc4_128, M::Sha1),
+    s(0x0067, "DHE_RSA_WITH_AES_128_CBC_SHA256", K::Dhe, A::Rsa, E::Aes128Cbc, M::Sha256),
+    s(0x0068, "DH_DSS_WITH_AES_256_CBC_SHA256", K::Dh, A::Dss, E::Aes256Cbc, M::Sha256),
+    s(0x0069, "DH_RSA_WITH_AES_256_CBC_SHA256", K::Dh, A::Rsa, E::Aes256Cbc, M::Sha256),
+    s(0x006a, "DHE_DSS_WITH_AES_256_CBC_SHA256", K::Dhe, A::Dss, E::Aes256Cbc, M::Sha256),
+    s(0x006b, "DHE_RSA_WITH_AES_256_CBC_SHA256", K::Dhe, A::Rsa, E::Aes256Cbc, M::Sha256),
+    s(0x006c, "DH_anon_WITH_AES_128_CBC_SHA256", K::DhAnon, A::Anon, E::Aes128Cbc, M::Sha256),
+    s(0x006d, "DH_anon_WITH_AES_256_CBC_SHA256", K::DhAnon, A::Anon, E::Aes256Cbc, M::Sha256),
+    s(0x0080, "GOSTR341094_WITH_28147_CNT_IMIT", K::Gost, A::Gost, E::Gost28147, M::GostImit),
+    s(0x0081, "GOSTR341001_WITH_28147_CNT_IMIT", K::Gost, A::Gost, E::Gost28147, M::GostImit),
+    s(0x0084, "RSA_WITH_CAMELLIA_256_CBC_SHA", K::Rsa, A::Rsa, E::Camellia256Cbc, M::Sha1),
+    s(0x0085, "DH_DSS_WITH_CAMELLIA_256_CBC_SHA", K::Dh, A::Dss, E::Camellia256Cbc, M::Sha1),
+    s(0x0086, "DH_RSA_WITH_CAMELLIA_256_CBC_SHA", K::Dh, A::Rsa, E::Camellia256Cbc, M::Sha1),
+    s(0x0087, "DHE_DSS_WITH_CAMELLIA_256_CBC_SHA", K::Dhe, A::Dss, E::Camellia256Cbc, M::Sha1),
+    s(0x0088, "DHE_RSA_WITH_CAMELLIA_256_CBC_SHA", K::Dhe, A::Rsa, E::Camellia256Cbc, M::Sha1),
+    s(0x0089, "DH_anon_WITH_CAMELLIA_256_CBC_SHA", K::DhAnon, A::Anon, E::Camellia256Cbc, M::Sha1),
+    s(0x008a, "PSK_WITH_RC4_128_SHA", K::Psk, A::Psk, E::Rc4_128, M::Sha1),
+    s(0x008b, "PSK_WITH_3DES_EDE_CBC_SHA", K::Psk, A::Psk, E::TripleDesCbc, M::Sha1),
+    s(0x008c, "PSK_WITH_AES_128_CBC_SHA", K::Psk, A::Psk, E::Aes128Cbc, M::Sha1),
+    s(0x008d, "PSK_WITH_AES_256_CBC_SHA", K::Psk, A::Psk, E::Aes256Cbc, M::Sha1),
+    s(0x008e, "DHE_PSK_WITH_RC4_128_SHA", K::DhePsk, A::Psk, E::Rc4_128, M::Sha1),
+    s(0x008f, "DHE_PSK_WITH_3DES_EDE_CBC_SHA", K::DhePsk, A::Psk, E::TripleDesCbc, M::Sha1),
+    s(0x0090, "DHE_PSK_WITH_AES_128_CBC_SHA", K::DhePsk, A::Psk, E::Aes128Cbc, M::Sha1),
+    s(0x0091, "DHE_PSK_WITH_AES_256_CBC_SHA", K::DhePsk, A::Psk, E::Aes256Cbc, M::Sha1),
+    s(0x0092, "RSA_PSK_WITH_RC4_128_SHA", K::RsaPsk, A::Psk, E::Rc4_128, M::Sha1),
+    s(0x0093, "RSA_PSK_WITH_3DES_EDE_CBC_SHA", K::RsaPsk, A::Psk, E::TripleDesCbc, M::Sha1),
+    s(0x0094, "RSA_PSK_WITH_AES_128_CBC_SHA", K::RsaPsk, A::Psk, E::Aes128Cbc, M::Sha1),
+    s(0x0095, "RSA_PSK_WITH_AES_256_CBC_SHA", K::RsaPsk, A::Psk, E::Aes256Cbc, M::Sha1),
+    s(0x0096, "RSA_WITH_SEED_CBC_SHA", K::Rsa, A::Rsa, E::SeedCbc, M::Sha1),
+    s(0x0097, "DH_DSS_WITH_SEED_CBC_SHA", K::Dh, A::Dss, E::SeedCbc, M::Sha1),
+    s(0x0098, "DH_RSA_WITH_SEED_CBC_SHA", K::Dh, A::Rsa, E::SeedCbc, M::Sha1),
+    s(0x0099, "DHE_DSS_WITH_SEED_CBC_SHA", K::Dhe, A::Dss, E::SeedCbc, M::Sha1),
+    s(0x009a, "DHE_RSA_WITH_SEED_CBC_SHA", K::Dhe, A::Rsa, E::SeedCbc, M::Sha1),
+    s(0x009b, "DH_anon_WITH_SEED_CBC_SHA", K::DhAnon, A::Anon, E::SeedCbc, M::Sha1),
+    s(0x009c, "RSA_WITH_AES_128_GCM_SHA256", K::Rsa, A::Rsa, E::Aes128Gcm, M::Aead),
+    s(0x009d, "RSA_WITH_AES_256_GCM_SHA384", K::Rsa, A::Rsa, E::Aes256Gcm, M::Aead),
+    s(0x009e, "DHE_RSA_WITH_AES_128_GCM_SHA256", K::Dhe, A::Rsa, E::Aes128Gcm, M::Aead),
+    s(0x009f, "DHE_RSA_WITH_AES_256_GCM_SHA384", K::Dhe, A::Rsa, E::Aes256Gcm, M::Aead),
+    s(0x00a0, "DH_RSA_WITH_AES_128_GCM_SHA256", K::Dh, A::Rsa, E::Aes128Gcm, M::Aead),
+    s(0x00a1, "DH_RSA_WITH_AES_256_GCM_SHA384", K::Dh, A::Rsa, E::Aes256Gcm, M::Aead),
+    s(0x00a2, "DHE_DSS_WITH_AES_128_GCM_SHA256", K::Dhe, A::Dss, E::Aes128Gcm, M::Aead),
+    s(0x00a3, "DHE_DSS_WITH_AES_256_GCM_SHA384", K::Dhe, A::Dss, E::Aes256Gcm, M::Aead),
+    s(0x00a4, "DH_DSS_WITH_AES_128_GCM_SHA256", K::Dh, A::Dss, E::Aes128Gcm, M::Aead),
+    s(0x00a5, "DH_DSS_WITH_AES_256_GCM_SHA384", K::Dh, A::Dss, E::Aes256Gcm, M::Aead),
+    s(0x00a6, "DH_anon_WITH_AES_128_GCM_SHA256", K::DhAnon, A::Anon, E::Aes128Gcm, M::Aead),
+    s(0x00a7, "DH_anon_WITH_AES_256_GCM_SHA384", K::DhAnon, A::Anon, E::Aes256Gcm, M::Aead),
+    s(0x00a8, "PSK_WITH_AES_128_GCM_SHA256", K::Psk, A::Psk, E::Aes128Gcm, M::Aead),
+    s(0x00a9, "PSK_WITH_AES_256_GCM_SHA384", K::Psk, A::Psk, E::Aes256Gcm, M::Aead),
+    s(0x00aa, "DHE_PSK_WITH_AES_128_GCM_SHA256", K::DhePsk, A::Psk, E::Aes128Gcm, M::Aead),
+    s(0x00ab, "DHE_PSK_WITH_AES_256_GCM_SHA384", K::DhePsk, A::Psk, E::Aes256Gcm, M::Aead),
+    s(0x00ac, "RSA_PSK_WITH_AES_128_GCM_SHA256", K::RsaPsk, A::Psk, E::Aes128Gcm, M::Aead),
+    s(0x00ad, "RSA_PSK_WITH_AES_256_GCM_SHA384", K::RsaPsk, A::Psk, E::Aes256Gcm, M::Aead),
+    s(0x00ae, "PSK_WITH_AES_128_CBC_SHA256", K::Psk, A::Psk, E::Aes128Cbc, M::Sha256),
+    s(0x00af, "PSK_WITH_AES_256_CBC_SHA384", K::Psk, A::Psk, E::Aes256Cbc, M::Sha384),
+    s(0x00b0, "PSK_WITH_NULL_SHA256", K::Psk, A::Psk, E::Null, M::Sha256),
+    s(0x00b1, "PSK_WITH_NULL_SHA384", K::Psk, A::Psk, E::Null, M::Sha384),
+    s(0x00b2, "DHE_PSK_WITH_AES_128_CBC_SHA256", K::DhePsk, A::Psk, E::Aes128Cbc, M::Sha256),
+    s(0x00b3, "DHE_PSK_WITH_AES_256_CBC_SHA384", K::DhePsk, A::Psk, E::Aes256Cbc, M::Sha384),
+    s(0x00b4, "DHE_PSK_WITH_NULL_SHA256", K::DhePsk, A::Psk, E::Null, M::Sha256),
+    s(0x00b5, "DHE_PSK_WITH_NULL_SHA384", K::DhePsk, A::Psk, E::Null, M::Sha384),
+    s(0x00b6, "RSA_PSK_WITH_AES_128_CBC_SHA256", K::RsaPsk, A::Psk, E::Aes128Cbc, M::Sha256),
+    s(0x00b7, "RSA_PSK_WITH_AES_256_CBC_SHA384", K::RsaPsk, A::Psk, E::Aes256Cbc, M::Sha384),
+    s(0x00b8, "RSA_PSK_WITH_NULL_SHA256", K::RsaPsk, A::Psk, E::Null, M::Sha256),
+    s(0x00b9, "RSA_PSK_WITH_NULL_SHA384", K::RsaPsk, A::Psk, E::Null, M::Sha384),
+    s(0x00ba, "RSA_WITH_CAMELLIA_128_CBC_SHA256", K::Rsa, A::Rsa, E::Camellia128Cbc, M::Sha256),
+    s(0x00bb, "DH_DSS_WITH_CAMELLIA_128_CBC_SHA256", K::Dh, A::Dss, E::Camellia128Cbc, M::Sha256),
+    s(0x00bc, "DH_RSA_WITH_CAMELLIA_128_CBC_SHA256", K::Dh, A::Rsa, E::Camellia128Cbc, M::Sha256),
+    s(0x00bd, "DHE_DSS_WITH_CAMELLIA_128_CBC_SHA256", K::Dhe, A::Dss, E::Camellia128Cbc, M::Sha256),
+    s(0x00be, "DHE_RSA_WITH_CAMELLIA_128_CBC_SHA256", K::Dhe, A::Rsa, E::Camellia128Cbc, M::Sha256),
+    s(0x00bf, "DH_anon_WITH_CAMELLIA_128_CBC_SHA256", K::DhAnon, A::Anon, E::Camellia128Cbc, M::Sha256),
+    s(0x00c0, "RSA_WITH_CAMELLIA_256_CBC_SHA256", K::Rsa, A::Rsa, E::Camellia256Cbc, M::Sha256),
+    s(0x00c1, "DH_DSS_WITH_CAMELLIA_256_CBC_SHA256", K::Dh, A::Dss, E::Camellia256Cbc, M::Sha256),
+    s(0x00c2, "DH_RSA_WITH_CAMELLIA_256_CBC_SHA256", K::Dh, A::Rsa, E::Camellia256Cbc, M::Sha256),
+    s(0x00c3, "DHE_DSS_WITH_CAMELLIA_256_CBC_SHA256", K::Dhe, A::Dss, E::Camellia256Cbc, M::Sha256),
+    s(0x00c4, "DHE_RSA_WITH_CAMELLIA_256_CBC_SHA256", K::Dhe, A::Rsa, E::Camellia256Cbc, M::Sha256),
+    s(0x00c5, "DH_anon_WITH_CAMELLIA_256_CBC_SHA256", K::DhAnon, A::Anon, E::Camellia256Cbc, M::Sha256),
+    s(0x00ff, "EMPTY_RENEGOTIATION_INFO_SCSV", K::Scsv, A::Null, E::Null, M::Null),
+    s(0x1301, "AES_128_GCM_SHA256", K::Tls13, A::Tls13, E::Aes128Gcm, M::Aead),
+    s(0x1302, "AES_256_GCM_SHA384", K::Tls13, A::Tls13, E::Aes256Gcm, M::Aead),
+    s(0x1303, "CHACHA20_POLY1305_SHA256", K::Tls13, A::Tls13, E::ChaCha20Poly1305, M::Aead),
+    s(0x1304, "AES_128_CCM_SHA256", K::Tls13, A::Tls13, E::Aes128Ccm, M::Aead),
+    s(0x1305, "AES_128_CCM_8_SHA256", K::Tls13, A::Tls13, E::Aes128Ccm8, M::Aead),
+    s(0x5600, "FALLBACK_SCSV", K::Scsv, A::Null, E::Null, M::Null),
+    s(0xc001, "ECDH_ECDSA_WITH_NULL_SHA", K::Ecdh, A::Ecdsa, E::Null, M::Sha1),
+    s(0xc002, "ECDH_ECDSA_WITH_RC4_128_SHA", K::Ecdh, A::Ecdsa, E::Rc4_128, M::Sha1),
+    s(0xc003, "ECDH_ECDSA_WITH_3DES_EDE_CBC_SHA", K::Ecdh, A::Ecdsa, E::TripleDesCbc, M::Sha1),
+    s(0xc004, "ECDH_ECDSA_WITH_AES_128_CBC_SHA", K::Ecdh, A::Ecdsa, E::Aes128Cbc, M::Sha1),
+    s(0xc005, "ECDH_ECDSA_WITH_AES_256_CBC_SHA", K::Ecdh, A::Ecdsa, E::Aes256Cbc, M::Sha1),
+    s(0xc006, "ECDHE_ECDSA_WITH_NULL_SHA", K::Ecdhe, A::Ecdsa, E::Null, M::Sha1),
+    s(0xc007, "ECDHE_ECDSA_WITH_RC4_128_SHA", K::Ecdhe, A::Ecdsa, E::Rc4_128, M::Sha1),
+    s(0xc008, "ECDHE_ECDSA_WITH_3DES_EDE_CBC_SHA", K::Ecdhe, A::Ecdsa, E::TripleDesCbc, M::Sha1),
+    s(0xc009, "ECDHE_ECDSA_WITH_AES_128_CBC_SHA", K::Ecdhe, A::Ecdsa, E::Aes128Cbc, M::Sha1),
+    s(0xc00a, "ECDHE_ECDSA_WITH_AES_256_CBC_SHA", K::Ecdhe, A::Ecdsa, E::Aes256Cbc, M::Sha1),
+    s(0xc00b, "ECDH_RSA_WITH_NULL_SHA", K::Ecdh, A::Rsa, E::Null, M::Sha1),
+    s(0xc00c, "ECDH_RSA_WITH_RC4_128_SHA", K::Ecdh, A::Rsa, E::Rc4_128, M::Sha1),
+    s(0xc00d, "ECDH_RSA_WITH_3DES_EDE_CBC_SHA", K::Ecdh, A::Rsa, E::TripleDesCbc, M::Sha1),
+    s(0xc00e, "ECDH_RSA_WITH_AES_128_CBC_SHA", K::Ecdh, A::Rsa, E::Aes128Cbc, M::Sha1),
+    s(0xc00f, "ECDH_RSA_WITH_AES_256_CBC_SHA", K::Ecdh, A::Rsa, E::Aes256Cbc, M::Sha1),
+    s(0xc010, "ECDHE_RSA_WITH_NULL_SHA", K::Ecdhe, A::Rsa, E::Null, M::Sha1),
+    s(0xc011, "ECDHE_RSA_WITH_RC4_128_SHA", K::Ecdhe, A::Rsa, E::Rc4_128, M::Sha1),
+    s(0xc012, "ECDHE_RSA_WITH_3DES_EDE_CBC_SHA", K::Ecdhe, A::Rsa, E::TripleDesCbc, M::Sha1),
+    s(0xc013, "ECDHE_RSA_WITH_AES_128_CBC_SHA", K::Ecdhe, A::Rsa, E::Aes128Cbc, M::Sha1),
+    s(0xc014, "ECDHE_RSA_WITH_AES_256_CBC_SHA", K::Ecdhe, A::Rsa, E::Aes256Cbc, M::Sha1),
+    s(0xc015, "ECDH_anon_WITH_NULL_SHA", K::EcdhAnon, A::Anon, E::Null, M::Sha1),
+    s(0xc016, "ECDH_anon_WITH_RC4_128_SHA", K::EcdhAnon, A::Anon, E::Rc4_128, M::Sha1),
+    s(0xc017, "ECDH_anon_WITH_3DES_EDE_CBC_SHA", K::EcdhAnon, A::Anon, E::TripleDesCbc, M::Sha1),
+    s(0xc018, "ECDH_anon_WITH_AES_128_CBC_SHA", K::EcdhAnon, A::Anon, E::Aes128Cbc, M::Sha1),
+    s(0xc019, "ECDH_anon_WITH_AES_256_CBC_SHA", K::EcdhAnon, A::Anon, E::Aes256Cbc, M::Sha1),
+    s(0xc01a, "SRP_SHA_WITH_3DES_EDE_CBC_SHA", K::Srp, A::Srp, E::TripleDesCbc, M::Sha1),
+    s(0xc01b, "SRP_SHA_RSA_WITH_3DES_EDE_CBC_SHA", K::Srp, A::Rsa, E::TripleDesCbc, M::Sha1),
+    s(0xc01c, "SRP_SHA_DSS_WITH_3DES_EDE_CBC_SHA", K::Srp, A::Dss, E::TripleDesCbc, M::Sha1),
+    s(0xc01d, "SRP_SHA_WITH_AES_128_CBC_SHA", K::Srp, A::Srp, E::Aes128Cbc, M::Sha1),
+    s(0xc01e, "SRP_SHA_RSA_WITH_AES_128_CBC_SHA", K::Srp, A::Rsa, E::Aes128Cbc, M::Sha1),
+    s(0xc01f, "SRP_SHA_DSS_WITH_AES_128_CBC_SHA", K::Srp, A::Dss, E::Aes128Cbc, M::Sha1),
+    s(0xc020, "SRP_SHA_WITH_AES_256_CBC_SHA", K::Srp, A::Srp, E::Aes256Cbc, M::Sha1),
+    s(0xc021, "SRP_SHA_RSA_WITH_AES_256_CBC_SHA", K::Srp, A::Rsa, E::Aes256Cbc, M::Sha1),
+    s(0xc022, "SRP_SHA_DSS_WITH_AES_256_CBC_SHA", K::Srp, A::Dss, E::Aes256Cbc, M::Sha1),
+    s(0xc023, "ECDHE_ECDSA_WITH_AES_128_CBC_SHA256", K::Ecdhe, A::Ecdsa, E::Aes128Cbc, M::Sha256),
+    s(0xc024, "ECDHE_ECDSA_WITH_AES_256_CBC_SHA384", K::Ecdhe, A::Ecdsa, E::Aes256Cbc, M::Sha384),
+    s(0xc025, "ECDH_ECDSA_WITH_AES_128_CBC_SHA256", K::Ecdh, A::Ecdsa, E::Aes128Cbc, M::Sha256),
+    s(0xc026, "ECDH_ECDSA_WITH_AES_256_CBC_SHA384", K::Ecdh, A::Ecdsa, E::Aes256Cbc, M::Sha384),
+    s(0xc027, "ECDHE_RSA_WITH_AES_128_CBC_SHA256", K::Ecdhe, A::Rsa, E::Aes128Cbc, M::Sha256),
+    s(0xc028, "ECDHE_RSA_WITH_AES_256_CBC_SHA384", K::Ecdhe, A::Rsa, E::Aes256Cbc, M::Sha384),
+    s(0xc029, "ECDH_RSA_WITH_AES_128_CBC_SHA256", K::Ecdh, A::Rsa, E::Aes128Cbc, M::Sha256),
+    s(0xc02a, "ECDH_RSA_WITH_AES_256_CBC_SHA384", K::Ecdh, A::Rsa, E::Aes256Cbc, M::Sha384),
+    s(0xc02b, "ECDHE_ECDSA_WITH_AES_128_GCM_SHA256", K::Ecdhe, A::Ecdsa, E::Aes128Gcm, M::Aead),
+    s(0xc02c, "ECDHE_ECDSA_WITH_AES_256_GCM_SHA384", K::Ecdhe, A::Ecdsa, E::Aes256Gcm, M::Aead),
+    s(0xc02d, "ECDH_ECDSA_WITH_AES_128_GCM_SHA256", K::Ecdh, A::Ecdsa, E::Aes128Gcm, M::Aead),
+    s(0xc02e, "ECDH_ECDSA_WITH_AES_256_GCM_SHA384", K::Ecdh, A::Ecdsa, E::Aes256Gcm, M::Aead),
+    s(0xc02f, "ECDHE_RSA_WITH_AES_128_GCM_SHA256", K::Ecdhe, A::Rsa, E::Aes128Gcm, M::Aead),
+    s(0xc030, "ECDHE_RSA_WITH_AES_256_GCM_SHA384", K::Ecdhe, A::Rsa, E::Aes256Gcm, M::Aead),
+    s(0xc031, "ECDH_RSA_WITH_AES_128_GCM_SHA256", K::Ecdh, A::Rsa, E::Aes128Gcm, M::Aead),
+    s(0xc032, "ECDH_RSA_WITH_AES_256_GCM_SHA384", K::Ecdh, A::Rsa, E::Aes256Gcm, M::Aead),
+    s(0xc033, "ECDHE_PSK_WITH_RC4_128_SHA", K::EcdhePsk, A::Psk, E::Rc4_128, M::Sha1),
+    s(0xc034, "ECDHE_PSK_WITH_3DES_EDE_CBC_SHA", K::EcdhePsk, A::Psk, E::TripleDesCbc, M::Sha1),
+    s(0xc035, "ECDHE_PSK_WITH_AES_128_CBC_SHA", K::EcdhePsk, A::Psk, E::Aes128Cbc, M::Sha1),
+    s(0xc036, "ECDHE_PSK_WITH_AES_256_CBC_SHA", K::EcdhePsk, A::Psk, E::Aes256Cbc, M::Sha1),
+    s(0xc037, "ECDHE_PSK_WITH_AES_128_CBC_SHA256", K::EcdhePsk, A::Psk, E::Aes128Cbc, M::Sha256),
+    s(0xc038, "ECDHE_PSK_WITH_AES_256_CBC_SHA384", K::EcdhePsk, A::Psk, E::Aes256Cbc, M::Sha384),
+    s(0xc039, "ECDHE_PSK_WITH_NULL_SHA", K::EcdhePsk, A::Psk, E::Null, M::Sha1),
+    s(0xc03a, "ECDHE_PSK_WITH_NULL_SHA256", K::EcdhePsk, A::Psk, E::Null, M::Sha256),
+    s(0xc03b, "ECDHE_PSK_WITH_NULL_SHA384", K::EcdhePsk, A::Psk, E::Null, M::Sha384),
+    s(0xc050, "RSA_WITH_ARIA_128_GCM_SHA256", K::Rsa, A::Rsa, E::Aria128Gcm, M::Aead),
+    s(0xc051, "RSA_WITH_ARIA_256_GCM_SHA384", K::Rsa, A::Rsa, E::Aria256Gcm, M::Aead),
+    s(0xc052, "DHE_RSA_WITH_ARIA_128_GCM_SHA256", K::Dhe, A::Rsa, E::Aria128Gcm, M::Aead),
+    s(0xc053, "DHE_RSA_WITH_ARIA_256_GCM_SHA384", K::Dhe, A::Rsa, E::Aria256Gcm, M::Aead),
+    s(0xc05c, "ECDHE_ECDSA_WITH_ARIA_128_GCM_SHA256", K::Ecdhe, A::Ecdsa, E::Aria128Gcm, M::Aead),
+    s(0xc05d, "ECDHE_ECDSA_WITH_ARIA_256_GCM_SHA384", K::Ecdhe, A::Ecdsa, E::Aria256Gcm, M::Aead),
+    s(0xc060, "ECDHE_RSA_WITH_ARIA_128_GCM_SHA256", K::Ecdhe, A::Rsa, E::Aria128Gcm, M::Aead),
+    s(0xc061, "ECDHE_RSA_WITH_ARIA_256_GCM_SHA384", K::Ecdhe, A::Rsa, E::Aria256Gcm, M::Aead),
+    s(0xc072, "ECDHE_ECDSA_WITH_CAMELLIA_128_CBC_SHA256", K::Ecdhe, A::Ecdsa, E::Camellia128Cbc, M::Sha256),
+    s(0xc073, "ECDHE_ECDSA_WITH_CAMELLIA_256_CBC_SHA384", K::Ecdhe, A::Ecdsa, E::Camellia256Cbc, M::Sha384),
+    s(0xc076, "ECDHE_RSA_WITH_CAMELLIA_128_CBC_SHA256", K::Ecdhe, A::Rsa, E::Camellia128Cbc, M::Sha256),
+    s(0xc077, "ECDHE_RSA_WITH_CAMELLIA_256_CBC_SHA384", K::Ecdhe, A::Rsa, E::Camellia256Cbc, M::Sha384),
+    s(0xc07a, "RSA_WITH_CAMELLIA_128_GCM_SHA256", K::Rsa, A::Rsa, E::Camellia128Gcm, M::Aead),
+    s(0xc07b, "RSA_WITH_CAMELLIA_256_GCM_SHA384", K::Rsa, A::Rsa, E::Camellia256Gcm, M::Aead),
+    s(0xc07c, "DHE_RSA_WITH_CAMELLIA_128_GCM_SHA256", K::Dhe, A::Rsa, E::Camellia128Gcm, M::Aead),
+    s(0xc07d, "DHE_RSA_WITH_CAMELLIA_256_GCM_SHA384", K::Dhe, A::Rsa, E::Camellia256Gcm, M::Aead),
+    s(0xc086, "ECDHE_ECDSA_WITH_CAMELLIA_128_GCM_SHA256", K::Ecdhe, A::Ecdsa, E::Camellia128Gcm, M::Aead),
+    s(0xc087, "ECDHE_ECDSA_WITH_CAMELLIA_256_GCM_SHA384", K::Ecdhe, A::Ecdsa, E::Camellia256Gcm, M::Aead),
+    s(0xc08a, "ECDHE_RSA_WITH_CAMELLIA_128_GCM_SHA256", K::Ecdhe, A::Rsa, E::Camellia128Gcm, M::Aead),
+    s(0xc08b, "ECDHE_RSA_WITH_CAMELLIA_256_GCM_SHA384", K::Ecdhe, A::Rsa, E::Camellia256Gcm, M::Aead),
+    s(0xc09c, "RSA_WITH_AES_128_CCM", K::Rsa, A::Rsa, E::Aes128Ccm, M::Aead),
+    s(0xc09d, "RSA_WITH_AES_256_CCM", K::Rsa, A::Rsa, E::Aes256Ccm, M::Aead),
+    s(0xc09e, "DHE_RSA_WITH_AES_128_CCM", K::Dhe, A::Rsa, E::Aes128Ccm, M::Aead),
+    s(0xc09f, "DHE_RSA_WITH_AES_256_CCM", K::Dhe, A::Rsa, E::Aes256Ccm, M::Aead),
+    s(0xc0a0, "RSA_WITH_AES_128_CCM_8", K::Rsa, A::Rsa, E::Aes128Ccm8, M::Aead),
+    s(0xc0a1, "RSA_WITH_AES_256_CCM_8", K::Rsa, A::Rsa, E::Aes256Ccm8, M::Aead),
+    s(0xc0a2, "DHE_RSA_WITH_AES_128_CCM_8", K::Dhe, A::Rsa, E::Aes128Ccm8, M::Aead),
+    s(0xc0a3, "DHE_RSA_WITH_AES_256_CCM_8", K::Dhe, A::Rsa, E::Aes256Ccm8, M::Aead),
+    s(0xc0a4, "PSK_WITH_AES_128_CCM", K::Psk, A::Psk, E::Aes128Ccm, M::Aead),
+    s(0xc0a5, "PSK_WITH_AES_256_CCM", K::Psk, A::Psk, E::Aes256Ccm, M::Aead),
+    s(0xc0a8, "PSK_WITH_AES_128_CCM_8", K::Psk, A::Psk, E::Aes128Ccm8, M::Aead),
+    s(0xc0ac, "ECDHE_ECDSA_WITH_AES_128_CCM", K::Ecdhe, A::Ecdsa, E::Aes128Ccm, M::Aead),
+    s(0xc0ad, "ECDHE_ECDSA_WITH_AES_256_CCM", K::Ecdhe, A::Ecdsa, E::Aes256Ccm, M::Aead),
+    s(0xc0ae, "ECDHE_ECDSA_WITH_AES_128_CCM_8", K::Ecdhe, A::Ecdsa, E::Aes128Ccm8, M::Aead),
+    s(0xc0af, "ECDHE_ECDSA_WITH_AES_256_CCM_8", K::Ecdhe, A::Ecdsa, E::Aes256Ccm8, M::Aead),
+    s(0xcc13, "ECDHE_RSA_WITH_CHACHA20_POLY1305_OLD", K::Ecdhe, A::Rsa, E::ChaCha20Poly1305, M::Aead),
+    s(0xcc14, "ECDHE_ECDSA_WITH_CHACHA20_POLY1305_OLD", K::Ecdhe, A::Ecdsa, E::ChaCha20Poly1305, M::Aead),
+    s(0xcc15, "DHE_RSA_WITH_CHACHA20_POLY1305_OLD", K::Dhe, A::Rsa, E::ChaCha20Poly1305, M::Aead),
+    s(0xcca8, "ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256", K::Ecdhe, A::Rsa, E::ChaCha20Poly1305, M::Aead),
+    s(0xcca9, "ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256", K::Ecdhe, A::Ecdsa, E::ChaCha20Poly1305, M::Aead),
+    s(0xccaa, "DHE_RSA_WITH_CHACHA20_POLY1305_SHA256", K::Dhe, A::Rsa, E::ChaCha20Poly1305, M::Aead),
+    s(0xccab, "PSK_WITH_CHACHA20_POLY1305_SHA256", K::Psk, A::Psk, E::ChaCha20Poly1305, M::Aead),
+    s(0xccac, "ECDHE_PSK_WITH_CHACHA20_POLY1305_SHA256", K::EcdhePsk, A::Psk, E::ChaCha20Poly1305, M::Aead),
+    s(0xccad, "DHE_PSK_WITH_CHACHA20_POLY1305_SHA256", K::DhePsk, A::Psk, E::ChaCha20Poly1305, M::Aead),
+    s(0xccae, "RSA_PSK_WITH_CHACHA20_POLY1305_SHA256", K::RsaPsk, A::Psk, E::ChaCha20Poly1305, M::Aead),
+];
+
+/// Binary-search lookup by code point.
+pub fn lookup(id: u16) -> Option<&'static SuiteInfo> {
+    SUITES
+        .binary_search_by_key(&id, |i| i.id)
+        .ok()
+        .map(|idx| &SUITES[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::{AeadAlg, CipherSuite};
+
+    #[test]
+    fn table_is_sorted_and_unique() {
+        for w in SUITES.windows(2) {
+            assert!(
+                w[0].id < w[1].id,
+                "table out of order near {:#06x} ({})",
+                w[1].id,
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn table_size_matches_iana_scale() {
+        // IANA had registered "almost 200 cipher suites" as of May 2018
+        // (§4); we carry those plus historical/vendor values.
+        assert!(SUITES.len() >= 200, "only {} suites", SUITES.len());
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        assert_eq!(lookup(0xc02f).unwrap().name, "ECDHE_RSA_WITH_AES_128_GCM_SHA256");
+        assert_eq!(lookup(0x0000).unwrap().name, "NULL_WITH_NULL_NULL");
+        assert!(lookup(0x0a0a).is_none()); // GREASE
+        assert!(lookup(0xffff).is_none());
+    }
+
+    #[test]
+    fn classification_spot_checks() {
+        // The export RC4 suite from the paper's Interwise anecdote (§5.5).
+        let exp = CipherSuite(0x0003);
+        assert!(exp.is_export() && exp.is_rc4());
+        assert!(!exp.is_forward_secret());
+
+        // RSA_WITH_RC4_128_SHA: the suite Interwise clients offered.
+        let rc4 = CipherSuite(0x0005);
+        assert!(rc4.is_rc4() && !rc4.is_export() && !rc4.is_cbc());
+
+        // Modern default: ECDHE-RSA-AES128-GCM.
+        let gcm = CipherSuite(0xc02f);
+        assert!(gcm.is_aead() && gcm.is_forward_secret() && !gcm.is_cbc());
+        assert_eq!(gcm.aead_alg(), Some(AeadAlg::Aes128Gcm));
+
+        // 3DES "cipher of last resort" (§5.6).
+        let tdes = CipherSuite(0x000a);
+        assert!(tdes.is_3des() && tdes.is_cbc() && tdes.is_small_block());
+        assert!(!tdes.is_des());
+
+        // Single DES is DES but not 3DES.
+        let des = CipherSuite(0x0009);
+        assert!(des.is_des() && !des.is_3des());
+
+        // Anonymous DH (§6.2).
+        let anon = CipherSuite(0x0018);
+        assert!(anon.is_anon());
+        // Anonymous and forward-secret are orthogonal: DH_anon is ephemeral.
+        assert!(anon.is_forward_secret());
+
+        // NULL cipher (§6.1) provides integrity only.
+        let null = CipherSuite(0x0001);
+        assert!(null.is_null_encryption() && !null.is_null_null());
+        assert!(CipherSuite(0x0000).is_null_null());
+
+        // GOST suites chosen by out-of-spec servers (§7.3).
+        let gost = CipherSuite(0x0081);
+        assert_eq!(gost.name(), Some("GOSTR341001_WITH_28147_CNT_IMIT"));
+
+        // TLS 1.3 suites are AEAD + forward secret.
+        let t13 = CipherSuite(0x1301);
+        assert!(t13.is_tls13() && t13.is_aead() && t13.is_forward_secret());
+    }
+
+    #[test]
+    fn scsvs_are_signaling_not_ciphers() {
+        for id in [0x00ffu16, 0x5600] {
+            let s = CipherSuite(id);
+            assert!(s.is_signaling());
+            assert!(!s.is_null_encryption());
+            assert!(!s.is_rc4() && !s.is_cbc() && !s.is_aead());
+            assert!(!s.is_forward_secret());
+        }
+    }
+
+    #[test]
+    fn anon_suite_census() {
+        // §6.2: "There are 19 such cipher suites, all identifiable by the
+        // keyword Anon in their name."  Our registry carries the full
+        // DH_anon/ECDH_anon families including the two export-grade and
+        // the SHA-256 Camellia variants the paper's count excluded,
+        // hence 21 rather than 19.
+        let anon: Vec<_> = SUITES
+            .iter()
+            .filter(|i| CipherSuite(i.id).is_anon())
+            .collect();
+        assert_eq!(anon.len(), 21, "{anon:#?}");
+        for i in &anon {
+            assert!(i.name.contains("anon"), "{}", i.name);
+        }
+    }
+
+    #[test]
+    fn export_suites_are_weak() {
+        for i in SUITES.iter().filter(|i| i.export) {
+            assert!(i.enc.key_bits() <= 56, "{} has {} bits", i.name, i.enc.key_bits());
+            assert!(i.name.contains("EXPORT"), "{}", i.name);
+        }
+        // And the EXPORT keyword implies the flag.
+        for i in SUITES.iter().filter(|i| i.name.contains("EXPORT")) {
+            assert!(i.export, "{} not flagged export", i.name);
+        }
+    }
+
+    #[test]
+    fn aead_iff_mac_aead() {
+        use crate::suites::{EncMode, Kx, Mac};
+        for i in SUITES.iter().filter(|i| i.kx != Kx::Scsv) {
+            assert_eq!(
+                i.enc.mode() == EncMode::Aead,
+                i.mac == Mac::Aead,
+                "{} mac/enc mismatch",
+                i.name
+            );
+        }
+    }
+
+    #[test]
+    fn name_der_grammar_spot_checks() {
+        // GCM always implies AEAD mode, CBC names imply CBC mode, RC4
+        // names imply stream mode.
+        use crate::suites::EncMode;
+        for i in SUITES.iter() {
+            if i.name.contains("_GCM_") {
+                assert_eq!(i.enc.mode(), EncMode::Aead, "{}", i.name);
+            }
+            if i.name.contains("RC4") {
+                assert_eq!(i.enc.mode(), EncMode::Stream, "{}", i.name);
+            }
+            if i.name.contains("_CBC_") {
+                assert_eq!(i.enc.mode(), EncMode::Cbc, "{}", i.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! The headline reproduction: run the 2012-01 … 2018-04 passive study
+//! and print the three headline figures of the paper — negotiated
+//! versions (Figure 1), negotiated cipher classes (Figure 2), and key
+//! exchange (Figure 8) — as ASCII charts plus the milestone numbers the
+//! abstract quotes.
+//!
+//! ```sh
+//! cargo run --release --example longitudinal_study [-- full]
+//! ```
+
+use tlscope::analysis::{figures, Study, StudyConfig};
+use tlscope::chron::Month;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let cfg = if full {
+        StudyConfig::default()
+    } else {
+        StudyConfig::quick()
+    };
+    eprintln!(
+        "running passive study: {} months x {} connections/month ...",
+        cfg.start.iter_through(cfg.end).count(),
+        cfg.connections_per_month
+    );
+    let study = Study::new(cfg);
+    let agg = study.run_passive();
+    println!("total connections observed: {}\n", agg.total());
+
+    let fig1 = figures::fig1(&agg);
+    let fig2 = figures::fig2(&agg);
+    let fig8 = figures::fig8(&agg);
+    println!("{}", fig1.to_ascii(76));
+    println!("{}", fig2.to_ascii(76));
+    println!("{}", fig8.to_ascii(76));
+
+    // The abstract's milestones.
+    let m2012 = Month::ym(2012, 3);
+    let m2018 = Month::ym(2018, 2);
+    println!("paper: \"In 2012, 90% of TLS connections used TLS 1.0\"");
+    println!(
+        "  measured 2012-03: TLS1.0 {:.1}%",
+        fig1.value_at("TLSv10", m2012).unwrap_or(f64::NAN)
+    );
+    println!("paper: \"today 90% use TLS 1.2\"");
+    println!(
+        "  measured 2018-02: TLS1.2 {:.1}%",
+        fig1.value_at("TLSv12", m2018).unwrap_or(f64::NAN)
+    );
+    println!("paper: \"RC4 has almost completely disappeared\"");
+    println!(
+        "  measured 2018-02: RC4 negotiated {:.2}%",
+        fig2.value_at("RC4", m2018).unwrap_or(f64::NAN)
+    );
+    println!("paper: \"CBC-mode accounts for about 10% of traffic\"");
+    println!(
+        "  measured 2018-02: CBC negotiated {:.1}%",
+        fig2.value_at("CBC", m2018).unwrap_or(f64::NAN)
+    );
+    println!("paper: \"forward-secret cipher suites, now more than 90% of connections\"");
+    let fs = fig8.value_at("ECDHE", m2018).unwrap_or(0.0)
+        + fig8.value_at("DHE", m2018).unwrap_or(0.0);
+    println!("  measured 2018-02: DHE+ECDHE negotiated {fs:.1}%");
+}

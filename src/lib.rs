@@ -1,0 +1,5 @@
+//! Umbrella package for the tlscope workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`). The actual
+//! library lives in the `tlscope` facade crate and its sub-crates.

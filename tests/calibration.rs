@@ -1,0 +1,205 @@
+//! Calibration tests: the paper's quantitative anchors, asserted with
+//! generous bands against one shared reduced-scale study run.
+//!
+//! These are the executable version of EXPERIMENTS.md. Bands are wide
+//! because the run is reduced-scale (seeded, 1,800 connections/month);
+//! the *shape* claims — orderings, crossings, direction of travel — are
+//! asserted tightly.
+
+use std::sync::OnceLock;
+
+use tlscope::analysis::{figures, Study, StudyConfig};
+use tlscope::chron::Month;
+use tlscope::notary::NotaryAggregate;
+use tlscope::scanner::ScanSnapshot;
+
+fn study() -> &'static (NotaryAggregate, Vec<ScanSnapshot>) {
+    static RUN: OnceLock<(NotaryAggregate, Vec<ScanSnapshot>)> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let mut cfg = StudyConfig::quick();
+        cfg.connections_per_month = 1_800;
+        cfg.scan_hosts = 1_500;
+        let study = Study::new(cfg);
+        (study.run_passive(), study.run_active())
+    })
+}
+
+fn at(fig: &tlscope::analysis::Figure, label: &str, y: i32, m: u8) -> f64 {
+    fig.value_at(label, Month::ym(y, m)).unwrap_or(f64::NAN)
+}
+
+#[test]
+fn fig1_version_milestones() {
+    let fig = figures::fig1(&study().0);
+    // "In 2012, 90% of TLS connections used TLS 1.0."
+    assert!(at(&fig, "TLSv10", 2012, 3) > 80.0);
+    // "today 90% use TLS 1.2" (2018).
+    assert!(at(&fig, "TLSv12", 2018, 2) > 85.0);
+    // The TLS 1.1 interlude: visible in 2013, gone by 2015.
+    assert!(at(&fig, "TLSv11", 2013, 6) > 4.0);
+    assert!(at(&fig, "TLSv11", 2016, 6) < 3.0);
+    // TLS 1.2 overtakes 1.0 between late 2013 and early 2015.
+    assert!(at(&fig, "TLSv10", 2013, 6) > at(&fig, "TLSv12", 2013, 6));
+    assert!(at(&fig, "TLSv12", 2015, 3) > at(&fig, "TLSv10", 2015, 3));
+    // SSL 3 fades to nothing by mid-2014 (§5.1).
+    assert!(at(&fig, "SSLv3", 2012, 6) > 1.0);
+    assert!(at(&fig, "SSLv3", 2015, 1) < 0.2);
+    // TLS 1.3 appears only at the very end (§6.4).
+    assert_eq!(at(&fig, "TLSv13", 2017, 1), 0.0);
+    assert!(at(&fig, "TLSv13", 2018, 4) > 0.5);
+}
+
+#[test]
+fn fig2_cipher_class_evolution() {
+    let fig = figures::fig2(&study().0);
+    // RC4 peaks near the paper's 60% around August 2013, then collapses.
+    let rc4_peak = at(&fig, "RC4", 2013, 8);
+    assert!(rc4_peak > 35.0, "peak {rc4_peak}");
+    assert!(at(&fig, "RC4", 2018, 2) < 2.0);
+    // CBC dominates until AEAD passes it (crossover 2014-2016).
+    assert!(at(&fig, "CBC", 2012, 6) > 42.0);
+    assert!(at(&fig, "AEAD", 2013, 1) < 2.0);
+    let crossed = fig
+        .months
+        .iter()
+        .find(|m| {
+            fig.value_at("AEAD", **m).unwrap_or(0.0) > fig.value_at("CBC", **m).unwrap_or(100.0)
+        })
+        .copied()
+        .expect("AEAD must overtake CBC");
+    assert!(
+        crossed >= Month::ym(2014, 6) && crossed <= Month::ym(2016, 6),
+        "crossover at {crossed}"
+    );
+    // End state: AEAD ~90%, CBC ~10% (abstract).
+    assert!(at(&fig, "AEAD", 2018, 2) > 75.0);
+    let cbc18 = at(&fig, "CBC", 2018, 2);
+    assert!(cbc18 > 5.0 && cbc18 < 20.0, "CBC 2018 {cbc18}");
+}
+
+#[test]
+fn fig6_fig2_rc4_server_leads_client() {
+    // §5.3: the negotiation drop precedes the advertising drop by
+    // roughly 18 months.
+    let (agg, _) = study();
+    let neg = tlscope::analysis::change_point(&figures::fig2(agg), "RC4")
+        .map(|(m, _)| m)
+        .unwrap();
+    let adv = tlscope::analysis::change_point(&figures::fig6(agg), "RC4")
+        .map(|(m, _)| m)
+        .unwrap();
+    let lag = adv.months_since(neg);
+    assert!((10..=30).contains(&lag), "lag {lag} months (paper ~18)");
+}
+
+#[test]
+fn fig7_weak_suite_advertising() {
+    let fig = figures::fig7(&study().0);
+    // Export: 28.19% (2012) → 1.03% (2018).
+    let e2012 = at(&fig, "Export", 2012, 3);
+    assert!(e2012 > 15.0 && e2012 < 40.0, "export 2012 {e2012}");
+    assert!(at(&fig, "Export", 2018, 2) < 3.0);
+    // Anonymous spike in mid-2015 (5.8% → 12.9%).
+    let before = at(&fig, "Anonymous", 2015, 4);
+    let spike = at(&fig, "Anonymous", 2015, 7);
+    assert!(spike > before * 1.4, "spike {before} -> {spike}");
+}
+
+#[test]
+fn fig8_forward_secrecy_and_snowden() {
+    let (agg, _) = study();
+    let fig = figures::fig8(agg);
+    // 2012: RSA dominates ECDHE.
+    assert!(at(&fig, "RSA", 2012, 6) > at(&fig, "ECDHE", 2012, 6));
+    // 2018: ECDHE > 90%.
+    assert!(at(&fig, "ECDHE", 2018, 2) > 85.0);
+    // The big shift is located within a year of Snowden (2013-06).
+    let (cp, _) = tlscope::analysis::change_point(&fig, "ECDHE").unwrap();
+    let lag = cp.months_since(Month::ym(2013, 6));
+    assert!((-6..=18).contains(&lag), "ECDHE change point at {cp}");
+    // DHE never found much use: below 25% always, and fading.
+    let dhe_max = fig.series("DHE").unwrap().max();
+    assert!(dhe_max < 30.0, "DHE max {dhe_max}");
+    assert!(at(&fig, "DHE", 2018, 2) < 5.0);
+}
+
+#[test]
+fn fig9_aead_breakdown() {
+    let fig = figures::fig9(&study().0);
+    // AES-128-GCM dominates 256 throughout (§6.3.2).
+    for (y, m) in [(2015, 6), (2016, 6), (2017, 6), (2018, 2)] {
+        assert!(
+            at(&fig, "AES128-GCM", y, m) >= at(&fig, "AES256-GCM", y, m),
+            "{y}-{m}"
+        );
+    }
+    // ChaCha20 is a small share: ~1.7% in 2018-03.
+    let chacha = at(&fig, "ChaCha20-Poly1305", 2018, 3);
+    assert!(chacha > 0.2 && chacha < 8.0, "chacha {chacha}");
+}
+
+#[test]
+fn censys_trends() {
+    let (_, scans) = study();
+    let first = scans.first().unwrap();
+    let last = scans.last().unwrap();
+    // SSL 3 support: ~45% → <30%.
+    let ssl3_first = first.pct(first.ssl3_supported);
+    let ssl3_last = last.pct(last.ssl3_supported);
+    assert!(ssl3_first > 35.0 && ssl3_first < 65.0, "{ssl3_first}");
+    assert!(ssl3_last < 35.0 && ssl3_last < ssl3_first);
+    // RC4 chosen: ~11.2% → ~3.4%.
+    let rc4_first = first.pct(first.chose_rc4);
+    let rc4_last = last.pct(last.chose_rc4);
+    assert!(rc4_first > 6.0 && rc4_first < 22.0, "{rc4_first}");
+    assert!(rc4_last < rc4_first);
+    // CBC chosen declines; AEAD chosen rises.
+    assert!(last.pct(last.chose_cbc) < first.pct(first.chose_cbc));
+    assert!(last.pct(last.chose_aead) > first.pct(first.chose_aead));
+    // 3DES chosen stays under 1.5% and declines.
+    assert!(first.pct(first.chose_3des) < 1.5);
+    // Heartbeat support stays high (~34%), vulnerability is a long tail.
+    let hb = last.pct(last.heartbeat_supported);
+    assert!(hb > 20.0 && hb < 55.0, "heartbeat {hb}");
+    assert!(last.pct(last.heartbleed_vulnerable) < 1.5);
+}
+
+#[test]
+fn fingerprint_coverage_near_paper() {
+    let (agg, _) = study();
+    let (db, _) = tlscope::clients::catalog::build_database();
+    let mut cov = tlscope::fingerprint::CoverageStats::new();
+    for (fp, n) in &agg.fp_counts {
+        cov.observe(&db, fp, *n);
+    }
+    // Paper: 69.23%.
+    let pct = cov.coverage_pct();
+    assert!(pct > 55.0 && pct < 85.0, "coverage {pct}");
+}
+
+#[test]
+fn null_and_anon_negotiation_rare_but_present() {
+    let (agg, _) = study();
+    let total: u64 = agg.iter_months().map(|(_, s)| s.total).sum();
+    let null: u64 = agg.iter_months().map(|(_, s)| s.neg_null).sum();
+    let anon: u64 = agg.iter_months().map(|(_, s)| s.neg_anon).sum();
+    let null_pct = 100.0 * null as f64 / total as f64;
+    let anon_pct = 100.0 * anon as f64 / total as f64;
+    // Paper: NULL 2.84% lifetime (GRID), anon 0.17%.
+    assert!(null_pct > 0.8 && null_pct < 6.0, "null {null_pct}");
+    assert!(anon_pct > 0.02 && anon_pct < 1.0, "anon {anon_pct}");
+}
+
+#[test]
+fn tls13_rollout_shape() {
+    let (agg, _) = study();
+    let fig1 = figures::fig1(agg);
+    let feb = agg.month(Month::ym(2018, 2)).unwrap();
+    let apr = agg.month(Month::ym(2018, 4)).unwrap();
+    // Advertised 1.3 explodes Feb→Apr 2018 (0.5% → 23.6% in the paper).
+    assert!(apr.pct(apr.adv_tls13) > feb.pct(feb.adv_tls13) + 5.0);
+    // Negotiated stays a small fraction of advertised (1.3% vs 23.6%).
+    let neg = fig1.value_at("TLSv13", Month::ym(2018, 4)).unwrap();
+    assert!(neg < apr.pct(apr.adv_tls13) / 3.0, "neg {neg}");
+    assert!(neg > 0.2, "neg {neg}");
+}

@@ -1,0 +1,168 @@
+//! Property-based tests over the wire substrate: parser totality,
+//! roundtrips, and the fingerprinting invariants the study relies on.
+
+use proptest::prelude::*;
+use tlscope::fingerprint::Fingerprint;
+use tlscope::wire::record::Record;
+use tlscope::wire::{
+    grease, CipherSuite, ClientHello, Extension, NamedGroup, ProtocolVersion, ServerHello,
+};
+
+fn arb_version() -> impl Strategy<Value = ProtocolVersion> {
+    any::<u16>().prop_map(ProtocolVersion::from_wire)
+}
+
+fn arb_extension() -> impl Strategy<Value = Extension> {
+    (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64))
+        .prop_map(|(t, body)| Extension::new(t, body))
+}
+
+prop_compose! {
+    fn arb_client_hello()(
+        version in arb_version(),
+        random in any::<[u8; 32]>(),
+        session_id in proptest::collection::vec(any::<u8>(), 0..=32),
+        suites in proptest::collection::vec(any::<u16>(), 1..64),
+        compression in proptest::collection::vec(any::<u8>(), 1..4),
+        extensions in proptest::option::of(proptest::collection::vec(arb_extension(), 0..12)),
+    ) -> ClientHello {
+        ClientHello {
+            legacy_version: version,
+            random,
+            session_id,
+            cipher_suites: suites.into_iter().map(CipherSuite).collect(),
+            compression_methods: compression,
+            extensions,
+        }
+    }
+}
+
+proptest! {
+    /// Any structurally valid ClientHello survives a wire roundtrip.
+    #[test]
+    fn client_hello_roundtrip(hello in arb_client_hello()) {
+        let bytes = hello.to_handshake_bytes();
+        let parsed = ClientHello::parse_handshake(&bytes).unwrap();
+        prop_assert_eq!(parsed, hello);
+    }
+
+    /// The parser is total: arbitrary bytes never panic, they either
+    /// parse or produce an error.
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ClientHello::parse_handshake(&bytes);
+        let _ = ServerHello::parse_handshake(&bytes);
+        let _ = Record::read_all(&bytes);
+        let _ = tlscope::wire::Sslv2ClientHello::parse(&bytes);
+        let _ = tlscope::wire::sniff(&bytes);
+    }
+
+    /// Truncating a valid hello at any point yields an error, never a
+    /// wrong-but-successful parse.
+    #[test]
+    fn truncation_always_errors(hello in arb_client_hello(), frac in 0.0f64..1.0) {
+        let bytes = hello.to_handshake_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(ClientHello::parse_handshake(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Record fragmentation is transparent at any fragment size.
+    #[test]
+    fn record_fragmentation_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 1..100_000),
+    ) {
+        let records = Record::wrap_handshake(ProtocolVersion::Tls12, &payload);
+        let bytes: Vec<u8> = records.iter().flat_map(|r| r.to_bytes()).collect();
+        let parsed = Record::read_all(&bytes).unwrap();
+        prop_assert_eq!(Record::coalesce_handshake(&parsed).unwrap(), payload);
+    }
+
+    /// GREASE predicate matches exactly the RFC 8701 value pattern.
+    #[test]
+    fn grease_pattern(v in any::<u16>()) {
+        let expected = (v & 0x0f0f) == 0x0a0a && (v >> 12) == ((v >> 4) & 0xf);
+        prop_assert_eq!(grease::is_grease(v), expected);
+    }
+
+    /// Fingerprints are invariant under GREASE injection anywhere in
+    /// the cipher list or extension list.
+    #[test]
+    fn fingerprint_grease_invariance(
+        hello in arb_client_hello(),
+        draw in 0u8..16,
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let base = Fingerprint::from_client_hello(&hello);
+        let mut injected = hello.clone();
+        let pos = ((injected.cipher_suites.len() as f64) * pos_frac) as usize;
+        injected
+            .cipher_suites
+            .insert(pos.min(injected.cipher_suites.len()), CipherSuite(grease::grease_value(draw)));
+        if let Some(exts) = &mut injected.extensions {
+            exts.push(Extension::empty(grease::grease_value(draw.wrapping_add(3))));
+        }
+        prop_assert_eq!(Fingerprint::from_client_hello(&injected), base);
+    }
+
+    /// Canonical fingerprint text roundtrips.
+    #[test]
+    fn fingerprint_canonical_roundtrip(hello in arb_client_hello()) {
+        let fp = Fingerprint::from_client_hello(&hello);
+        let parsed = Fingerprint::from_canonical(&fp.canonical()).unwrap();
+        prop_assert_eq!(parsed, fp);
+    }
+
+    /// Negotiation output always parses back and selects either an
+    /// offered suite or a documented quirk value.
+    #[test]
+    fn negotiation_wire_sanity(
+        suites in proptest::collection::vec(any::<u16>(), 1..40),
+        curves in proptest::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let hello = ClientHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [1; 32],
+            session_id: vec![],
+            cipher_suites: suites.into_iter().map(CipherSuite).collect(),
+            compression_methods: vec![0],
+            extensions: Some(vec![
+                Extension::supported_groups(
+                    &curves.iter().map(|c| NamedGroup(*c)).collect::<Vec<_>>(),
+                ),
+                Extension::ec_point_formats(&[0]),
+            ]),
+        };
+        let profile = tlscope::servers::ServerProfile::baseline("prop");
+        if let Ok(n) = tlscope::servers::respond(&profile, &hello, [2; 32]) {
+            // The selection must be one the client offered.
+            prop_assert!(hello.cipher_suites.contains(&n.cipher));
+            prop_assert!(!n.cipher.is_signaling());
+            prop_assert!(!grease::is_grease(n.cipher.0));
+            // And the ServerHello must roundtrip.
+            let bytes = n.server_hello.to_handshake_bytes();
+            let parsed = ServerHello::parse_handshake(&bytes).unwrap();
+            prop_assert_eq!(parsed.cipher_suite, n.cipher);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Date arithmetic roundtrips over the plausible range.
+    #[test]
+    fn date_epoch_roundtrip(days in -40_000i64..40_000) {
+        let d = tlscope::chron::Date::from_epoch_days(days);
+        prop_assert_eq!(d.to_epoch_days(), days);
+    }
+
+    /// Month add/subtract are inverses.
+    #[test]
+    fn month_arithmetic_inverse(y in 1990i32..2100, m in 1u8..=12, n in -500i32..500) {
+        let month = tlscope::chron::Month::new(y, m).unwrap();
+        prop_assert_eq!(month.add_months(n).add_months(-n), month);
+        prop_assert_eq!(month.add_months(n).months_since(month), n);
+    }
+}

@@ -1,0 +1,39 @@
+//! Every experiment id in the registry must run end-to-end on a small
+//! window and produce a non-empty rendering in both output formats.
+
+use tlscope::analysis::StudyConfig;
+use tlscope::chron::Month;
+use tlscope::report::{needs, ReportContext, EXPERIMENT_IDS};
+
+#[test]
+fn every_experiment_renders() {
+    let mut cfg = StudyConfig::quick();
+    cfg.start = Month::ym(2017, 10);
+    cfg.end = Month::ym(2018, 4);
+    cfg.connections_per_month = 400;
+    cfg.scan_hosts = 150;
+    let mut ctx = ReportContext::new(cfg);
+    for id in EXPERIMENT_IDS {
+        let artifact = ctx
+            .run(id)
+            .unwrap_or_else(|| panic!("experiment {id} unknown"));
+        assert_eq!(artifact.id(), *id);
+        let ascii = artifact.to_ascii(60);
+        assert!(ascii.len() > 20, "{id}: empty ascii");
+        let csv = artifact.to_csv();
+        assert!(csv.lines().count() >= 1, "{id}: empty csv");
+        let _ = needs(id);
+    }
+}
+
+#[test]
+fn needs_classification_is_consistent() {
+    // Static tables must not claim to need runs; censys must not need
+    // the passive run.
+    for id in ["table1", "table3", "table4", "table5", "table6"] {
+        assert_eq!(needs(id), (false, false), "{id}");
+    }
+    assert_eq!(needs("censys"), (false, true));
+    assert_eq!(needs("fig1"), (true, false));
+    assert_eq!(needs("s5.1"), (true, true));
+}
