@@ -289,7 +289,9 @@ mod tests {
     const TDES: u16 = 0x000a;
 
     fn months() -> Vec<Month> {
-        Month::ym(2015, 1).iter_through(Month::ym(2015, 3)).collect()
+        Month::ym(2015, 1)
+            .iter_through(Month::ym(2015, 3))
+            .collect()
     }
 
     #[test]
@@ -307,7 +309,12 @@ mod tests {
     fn fig2_partitions_classes() {
         let agg = aggregate(
             &months(),
-            &[(&[RC4], Some(RC4)), (&[AEAD], Some(AEAD)), (&[CBC], Some(CBC)), (&[CBC], None)],
+            &[
+                (&[RC4], Some(RC4)),
+                (&[AEAD], Some(AEAD)),
+                (&[CBC], Some(CBC)),
+                (&[CBC], None),
+            ],
             5,
         );
         let fig = fig2(&agg);
@@ -340,10 +347,10 @@ mod tests {
         let mut agg = aggregate(&[Month::ym(2015, 1)], &[(&[RC4, CBC], Some(CBC))], 9);
         {
             let rec = crate::tests_support::record(
-            tlscope_chron::Date::ymd(2015, 1, 5),
-            &[AEAD],
-            Some(AEAD),
-        );
+                tlscope_chron::Date::ymd(2015, 1, 5),
+                &[AEAD],
+                Some(AEAD),
+            );
             agg.ingest(&rec);
         }
         let fig = fig4(&agg);
@@ -380,7 +387,12 @@ mod tests {
         // 0x002f = RSA kx, 0xc02f = ECDHE, 0x0033 = DHE.
         let agg = aggregate(
             &months(),
-            &[(&[0x002f], Some(0x002f)), (&[0xc02f], Some(0xc02f)), (&[0x0033], Some(0x0033)), (&[0x0033], Some(0x0033))],
+            &[
+                (&[0x002f], Some(0x002f)),
+                (&[0xc02f], Some(0xc02f)),
+                (&[0x0033], Some(0x0033)),
+                (&[0x0033], Some(0x0033)),
+            ],
             1,
         );
         let fig = fig8(&agg);
@@ -393,11 +405,7 @@ mod tests {
     #[test]
     fn fig9_fig10_aead_algorithms() {
         // 0xc02f AES128-GCM, 0xc030 AES256-GCM, 0xcca8 ChaCha.
-        let agg = aggregate(
-            &months(),
-            &[(&[0xc02f, 0xc030, 0xcca8], Some(0xc030))],
-            4,
-        );
+        let agg = aggregate(&months(), &[(&[0xc02f, 0xc030, 0xcca8], Some(0xc030))], 4);
         let m = Month::ym(2015, 2);
         let f9 = fig9(&agg);
         assert_eq!(f9.value_at("AES256-GCM", m), Some(100.0));

@@ -108,10 +108,9 @@ pub fn change_point(fig: &Figure, series_label: &str) -> Option<(Month, f64)> {
     }
     let mut best: Option<(Month, f64)> = None;
     for split in 3..vals.len() - 3 {
-        let left: f64 =
-            vals[..split].iter().map(|(_, v)| v).sum::<f64>() / split as f64;
-        let right: f64 = vals[split..].iter().map(|(_, v)| v).sum::<f64>()
-            / (vals.len() - split) as f64;
+        let left: f64 = vals[..split].iter().map(|(_, v)| v).sum::<f64>() / split as f64;
+        let right: f64 =
+            vals[split..].iter().map(|(_, v)| v).sum::<f64>() / (vals.len() - split) as f64;
         let shift = (right - left).abs();
         if best.map(|(_, s)| shift > s).unwrap_or(true) {
             best = Some((vals[split].0, shift));
@@ -191,8 +190,6 @@ mod tests {
     fn missing_series_is_none() {
         let fig = step_figure(10, 20);
         assert!(change_point(&fig, "nope").is_none());
-        assert!(
-            estimate_impact(&fig, "nope", attack("POODLE").unwrap(), 12).is_none()
-        );
+        assert!(estimate_impact(&fig, "nope", attack("POODLE").unwrap(), 12).is_none());
     }
 }

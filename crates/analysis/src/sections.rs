@@ -20,7 +20,10 @@ pub fn s4_1(agg: &NotaryAggregate) -> Table {
         vec!["Metric", "Value"],
     );
     t.push_row(vec!["fingerprints".into(), stats.fingerprints.to_string()]);
-    t.push_row(vec!["max duration (days)".into(), stats.max_days.to_string()]);
+    t.push_row(vec![
+        "max duration (days)".into(),
+        stats.max_days.to_string(),
+    ]);
     t.push_row(vec![
         "median duration (days)".into(),
         format!("{:.1}", stats.median_days),
@@ -76,7 +79,10 @@ pub fn s5_1(agg: &NotaryAggregate, scans: &[ScanSnapshot]) -> Table {
         ]);
     }
     let lifetime_ssl3: u64 = agg.iter_months().map(|(_, s)| s.neg_version.ssl3).sum();
-    t.push_row(vec!["SSL3 connections lifetime".into(), lifetime_ssl3.to_string()]);
+    t.push_row(vec![
+        "SSL3 connections lifetime".into(),
+        lifetime_ssl3.to_string(),
+    ]);
     if let (Some(first), Some(last)) = (scans.first(), scans.last()) {
         t.push_row(vec![
             format!("Censys SSL3 support {}", first.date),
@@ -131,16 +137,10 @@ pub fn s5_5(agg: &NotaryAggregate) -> Table {
         vec!["Metric", "Value"],
     );
     if let Some(m) = agg.month(Month::ym(2012, 6)) {
-        t.push_row(vec![
-            "advertised 2012-06".into(),
-            pct(m.pct(m.adv_export)),
-        ]);
+        t.push_row(vec!["advertised 2012-06".into(), pct(m.pct(m.adv_export))]);
     }
     if let Some(m) = agg.month(Month::ym(2018, 2)) {
-        t.push_row(vec![
-            "advertised 2018-02".into(),
-            pct(m.pct(m.adv_export)),
-        ]);
+        t.push_row(vec!["advertised 2018-02".into(), pct(m.pct(m.adv_export))]);
     }
     let neg_2018: u64 = agg
         .iter_months()
@@ -175,7 +175,10 @@ pub fn s5_6(agg: &NotaryAggregate, scans: &[ScanSnapshot]) -> Table {
         "Sweet32 / 3DES (paper: negotiated 1.4% in 2012 -> 0.3% in 2018; ~70% of clients still offer it; Censys chosen 0.54% -> 0.25%)",
         vec!["Metric", "Value"],
     );
-    for (label, month) in [("2012-07", Month::ym(2012, 7)), ("2018-02", Month::ym(2018, 2))] {
+    for (label, month) in [
+        ("2012-07", Month::ym(2012, 7)),
+        ("2018-02", Month::ym(2018, 2)),
+    ] {
         if let Some(m) = agg.month(month) {
             t.push_row(vec![
                 format!("negotiated 3DES {label}"),
@@ -228,7 +231,10 @@ pub fn s6_1(agg: &NotaryAggregate) -> Table {
         .sum();
     t.push_row(vec![
         "negotiated NULL 2018".into(),
-        format!("{:.2}%", 100.0 * null_2018 as f64 / total_2018.max(1) as f64),
+        format!(
+            "{:.2}%",
+            100.0 * null_2018 as f64 / total_2018.max(1) as f64
+        ),
     ]);
     if let Some(m) = agg.month(Month::ym(2018, 2)) {
         t.push_row(vec![
@@ -282,7 +288,10 @@ pub fn s6_2(agg: &NotaryAggregate) -> Table {
         .sum();
     t.push_row(vec![
         "negotiated anon 2018".into(),
-        format!("{:.2}%", 100.0 * anon_2018 as f64 / total_2018.max(1) as f64),
+        format!(
+            "{:.2}%",
+            100.0 * anon_2018 as f64 / total_2018.max(1) as f64
+        ),
     ]);
     t
 }
@@ -314,10 +323,7 @@ pub fn s6_3(agg: &NotaryAggregate) -> Table {
         ]);
     }
     if let Some(m) = agg.month(Month::ym(2018, 2)) {
-        t.push_row(vec![
-            "x25519 share 2018-02".into(),
-            pct(m.pct_curve(29)),
-        ]);
+        t.push_row(vec!["x25519 share 2018-02".into(), pct(m.pct_curve(29))]);
     }
     t
 }
@@ -383,7 +389,11 @@ pub fn s7_3(agg: &NotaryAggregate) -> Table {
     let total: u64 = agg.iter_months().map(|(_, s)| s.total).sum();
     t.push_row(vec![
         "connections with unoffered suite chosen".into(),
-        format!("{} ({:.4}%)", unoffered, 100.0 * unoffered as f64 / total.max(1) as f64),
+        format!(
+            "{} ({:.4}%)",
+            unoffered,
+            100.0 * unoffered as f64 / total.max(1) as f64
+        ),
     ]);
     t
 }
@@ -405,14 +415,23 @@ pub fn s9_extensions(agg: &NotaryAggregate) -> Figure {
             .map(|(_, s)| s.pct(*s.adv_extensions.get(&typ).unwrap_or(&0)))
             .collect()
     };
-    fig.push_series(Series::new("renegotiation_info", grab(ext_type::RENEGOTIATION_INFO)));
-    fig.push_series(Series::new("encrypt_then_mac", grab(ext_type::ENCRYPT_THEN_MAC)));
+    fig.push_series(Series::new(
+        "renegotiation_info",
+        grab(ext_type::RENEGOTIATION_INFO),
+    ));
+    fig.push_series(Series::new(
+        "encrypt_then_mac",
+        grab(ext_type::ENCRYPT_THEN_MAC),
+    ));
     fig.push_series(Series::new("server_name", grab(ext_type::SERVER_NAME)));
     fig.push_series(Series::new(
         "extended_master_secret",
         grab(ext_type::EXTENDED_MASTER_SECRET),
     ));
-    fig.push_series(Series::new("session_ticket", grab(ext_type::SESSION_TICKET)));
+    fig.push_series(Series::new(
+        "session_ticket",
+        grab(ext_type::SESSION_TICKET),
+    ));
     fig.push_series(Series::new("heartbeat", grab(ext_type::HEARTBEAT)));
     fig
 }
@@ -443,9 +462,8 @@ pub fn censys_series(scans: &[ScanSnapshot]) -> Figure {
         "Censys host-level trends (% of probed hosts)",
         months,
     );
-    let grab = |f: fn(&ScanSnapshot) -> u64| -> Vec<f64> {
-        scans.iter().map(|s| s.pct(f(s))).collect()
-    };
+    let grab =
+        |f: fn(&ScanSnapshot) -> u64| -> Vec<f64> { scans.iter().map(|s| s.pct(f(s))).collect() };
     fig.push_series(Series::new("SSL3 supported", grab(|s| s.ssl3_supported)));
     fig.push_series(Series::new("chose CBC", grab(|s| s.chose_cbc)));
     fig.push_series(Series::new("chose RC4", grab(|s| s.chose_rc4)));
@@ -459,6 +477,9 @@ pub fn censys_series(scans: &[ScanSnapshot]) -> Figure {
         "heartbleed vulnerable",
         grab(|s| s.heartbleed_vulnerable),
     ));
-    fig.push_series(Series::new("export supported", grab(|s| s.export_supported)));
+    fig.push_series(Series::new(
+        "export supported",
+        grab(|s| s.export_supported),
+    ));
     fig
 }

@@ -131,17 +131,8 @@ impl Figure {
         if self.months.is_empty() {
             return out;
         }
-        let max = self
-            .series
-            .iter()
-            .map(|s| s.max())
-            .fold(1.0f64, f64::max);
-        let label_w = self
-            .series
-            .iter()
-            .map(|s| s.label.len())
-            .max()
-            .unwrap_or(0);
+        let max = self.series.iter().map(|s| s.max()).fold(1.0f64, f64::max);
+        let label_w = self.series.iter().map(|s| s.label.len()).max().unwrap_or(0);
         for s in &self.series {
             out.push_str(&format!("{:label_w$} |", s.label));
             for col in 0..width {
@@ -186,11 +177,7 @@ pub struct Table {
 
 impl Table {
     /// Build an empty table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        headers: Vec<&str>,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: Vec<&str>) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -251,7 +238,9 @@ mod tests {
     use super::*;
 
     fn fig() -> Figure {
-        let months: Vec<Month> = Month::ym(2015, 1).iter_through(Month::ym(2015, 4)).collect();
+        let months: Vec<Month> = Month::ym(2015, 1)
+            .iter_through(Month::ym(2015, 4))
+            .collect();
         let mut f = Figure::new("figX", "test", months);
         f.push_series(Series::new("a", vec![10.0, 20.0, 30.0, 40.0]));
         f.push_series(Series::new("b", vec![5.0, f64::NAN, 15.0, 20.0]));

@@ -181,7 +181,8 @@ mod tests {
         for name in ["Firefox", "Chrome", "Opera", "IE/Edge", "Safari"] {
             let last = t
                 .rows
-                .iter().rfind(|r| r[0] == name)
+                .iter()
+                .rfind(|r| r[0] == name)
                 .unwrap_or_else(|| panic!("no rows for {name}"));
             assert!(last[3].ends_with("-> 0"), "{name}: {:?}", last);
         }

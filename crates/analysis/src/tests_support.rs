@@ -59,8 +59,8 @@ pub fn aggregate(
     for month in months {
         for (suites, negotiated) in cases {
             for day in 0..per_month {
-                let date = Date::new(month.year(), month.month_of_year(), 1 + (day % 27) as u8)
-                    .unwrap();
+                let date =
+                    Date::new(month.year(), month.month_of_year(), 1 + (day % 27) as u8).unwrap();
                 agg.ingest(&record(date, suites, *negotiated));
             }
         }

@@ -9,7 +9,9 @@ use tlscope::fingerprint::{ja3_hash, md5, Fingerprint};
 fn bench_extraction(c: &mut Criterion) {
     let chrome = browsers::chrome();
     let era = chrome.eras.last().unwrap();
-    let hello = era.tls.build_hello(Some("example.org"), &HelloEntropy::from_seed(1));
+    let hello = era
+        .tls
+        .build_hello(Some("example.org"), &HelloEntropy::from_seed(1));
     c.bench_function("fingerprint/extract_4feature", |b| {
         b.iter(|| Fingerprint::from_client_hello(&hello))
     });
@@ -31,11 +33,7 @@ fn bench_db_lookup(c: &mut Criterion) {
         .flat_map(|f| f.eras.iter().map(|e| e.tls.fingerprint()))
         .collect();
     c.bench_function("fingerprint/db_lookup_all", |b| {
-        b.iter(|| {
-            fps.iter()
-                .filter(|fp| db.lookup(fp).is_some())
-                .count()
-        })
+        b.iter(|| fps.iter().filter(|fp| db.lookup(fp).is_some()).count())
     });
 }
 

@@ -1,11 +1,14 @@
 //! Pipeline benchmarks: generation, negotiation, ingestion — plus the
-//! DESIGN.md ablation of single-thread vs crossbeam-worker ingestion.
+//! DESIGN.md ablations of single-thread vs worker-pool ingestion and
+//! of the serial vs month-sharded streaming study runner.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tlscope::analysis::{Study, StudyConfig};
 use tlscope::chron::{Date, Month};
 use tlscope::notary::{ingest_parallel, ingest_serial};
 use tlscope::scanner;
 use tlscope::servers::{negotiate, ServerPopulation};
+use tlscope::traffic::FaultInjector;
 use tlscope_bench::bench_flows;
 
 fn bench_generation(c: &mut Criterion) {
@@ -49,6 +52,38 @@ fn bench_ingestion(c: &mut Criterion) {
     g.finish();
 }
 
+/// The serial-vs-sharded ablation for the streaming study runner: the
+/// same 12-month window run with 1 worker (serial baseline) and with
+/// 2/4/8 month-shard workers through the fused generate→ingest loop.
+/// Results are bit-identical across all worker counts; only wall-clock
+/// differs (scaling requires physical cores — see DESIGN.md).
+fn bench_study_runner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline/study");
+    let months = 12u64;
+    let conns = 500u32;
+    g.throughput(Throughput::Elements(months * conns as u64));
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let name = if workers == 1 {
+            "serial".to_string()
+        } else {
+            format!("sharded_{workers}")
+        };
+        g.bench_function(name, |b| {
+            let study = Study::new(StudyConfig {
+                connections_per_month: conns,
+                start: Month::ym(2015, 1),
+                end: Month::ym(2015, 12),
+                workers,
+                faults: FaultInjector::none(),
+                ..StudyConfig::default()
+            });
+            b.iter(|| study.run_passive().total())
+        });
+    }
+    g.finish();
+}
+
 fn bench_scan_sweep(c: &mut Criterion) {
     let pop = ServerPopulation::new();
     let mut g = c.benchmark_group("pipeline/scan");
@@ -64,6 +99,7 @@ criterion_group!(
     bench_generation,
     bench_negotiation,
     bench_ingestion,
+    bench_study_runner,
     bench_scan_sweep
 );
 criterion_main!(benches);

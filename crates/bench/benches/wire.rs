@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use tlscope::wire::record::Record;
-use tlscope::wire::{CipherSuite, ClientHello, Extension, NamedGroup, ProtocolVersion, ServerHello};
+use tlscope::wire::{
+    CipherSuite, ClientHello, Extension, NamedGroup, ProtocolVersion, ServerHello,
+};
 
 fn sample_hello() -> ClientHello {
     ClientHello {
@@ -11,7 +13,13 @@ fn sample_hello() -> ClientHello {
         random: [7; 32],
         session_id: vec![0; 32],
         cipher_suites: (0..24u16)
-            .map(|i| CipherSuite([0xc02b, 0xc02f, 0xc013, 0xc014, 0x009c, 0x002f, 0x0035, 0x000a][i as usize % 8]))
+            .map(|i| {
+                CipherSuite(
+                    [
+                        0xc02b, 0xc02f, 0xc013, 0xc014, 0x009c, 0x002f, 0x0035, 0x000a,
+                    ][i as usize % 8],
+                )
+            })
             .collect(),
         compression_methods: vec![0],
         extensions: Some(vec![

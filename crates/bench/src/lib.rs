@@ -19,11 +19,6 @@ pub fn bench_flows(month: Month, n: u32, seed: u64) -> Vec<TappedFlow> {
     generator
         .month(month)
         .into_iter()
-        .map(|ev| TappedFlow {
-            date: ev.date,
-            port: ev.port,
-            client: ev.client_flow,
-            server: ev.server_flow,
-        })
+        .map(TappedFlow::from)
         .collect()
 }

@@ -504,7 +504,9 @@ mod tests {
 
     #[test]
     fn month_range_single() {
-        let v: Vec<_> = Month::ym(2015, 7).iter_through(Month::ym(2015, 7)).collect();
+        let v: Vec<_> = Month::ym(2015, 7)
+            .iter_through(Month::ym(2015, 7))
+            .collect();
         assert_eq!(v, vec![Month::ym(2015, 7)]);
     }
 

@@ -168,11 +168,7 @@ mod tests {
         // Chrome 43 ships 2015-05-19; era "41-42" share should fall
         // monotonically across the ramp.
         let mut prev = f64::MAX;
-        let idx = fam
-            .eras
-            .iter()
-            .position(|e| e.versions == "41-42")
-            .unwrap();
+        let idx = fam.eras.iter().position(|e| e.versions == "41-42").unwrap();
         for days in [1i64, 20, 40, 60, 90, 200] {
             let date = Date::ymd(2015, 5, 19).add_days(days);
             let s = m.era_shares(&fam, date)[idx];

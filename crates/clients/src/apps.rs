@@ -21,7 +21,9 @@ use tlscope_wire::exts::ext_type as xt;
 use tlscope_wire::{NamedGroup, ProtocolVersion};
 
 use crate::family::{Era, Family};
-use crate::pools::{aead, mix, mix_no_ec, with_extras, Rc4Placement, ANON_POOL, EXPORT_POOL, NULL_POOL};
+use crate::pools::{
+    aead, mix, mix_no_ec, with_extras, Rc4Placement, ANON_POOL, EXPORT_POOL, NULL_POOL,
+};
 use crate::spec::TlsConfig;
 
 fn cfg(
@@ -54,7 +56,15 @@ fn one_era(
     from: Date,
     tls: TlsConfig,
 ) -> Family {
-    Family::new(name, category, vec![Era { versions, from, tls }])
+    Family::new(
+        name,
+        category,
+        vec![Era {
+            versions,
+            from,
+            tls,
+        }],
+    )
 }
 
 /// Globus GridFTP data movers: NULL ciphers first, by design.
@@ -67,7 +77,10 @@ pub fn grid_ftp() -> Family {
         cfg(
             ProtocolVersion::Tls10,
             with_extras(
-                NULL_POOL[..3].iter().map(|&i| tlscope_wire::CipherSuite(i)).collect(),
+                NULL_POOL[..3]
+                    .iter()
+                    .map(|&i| tlscope_wire::CipherSuite(i))
+                    .collect(),
                 &[0x002f, 0x0035, 0x000a],
             ),
             vec![xt::RENEGOTIATION_INFO],
@@ -87,7 +100,10 @@ pub fn nagios() -> Family {
         cfg(
             ProtocolVersion::Tls10,
             with_extras(
-                ANON_POOL.iter().map(|&i| tlscope_wire::CipherSuite(i)).collect(),
+                ANON_POOL
+                    .iter()
+                    .map(|&i| tlscope_wire::CipherSuite(i))
+                    .collect(),
                 &[0x0000],
             ),
             vec![],
@@ -130,7 +146,12 @@ pub fn lookout() -> Family {
                 mix(&[], 10, 2, 2, 1, Rc4Placement::Mid),
                 &[NULL_POOL[0], NULL_POOL[1], ANON_POOL[0], ANON_POOL[2]],
             ),
-            vec![xt::SERVER_NAME, xt::SESSION_TICKET, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+            vec![
+                xt::SERVER_NAME,
+                xt::SESSION_TICKET,
+                xt::SUPPORTED_GROUPS,
+                xt::EC_POINT_FORMATS,
+            ],
             BASIC_EC.to_vec(),
         ),
     )
@@ -145,10 +166,7 @@ pub fn craftar() -> Family {
         Date::ymd(2014, 3, 1),
         cfg(
             ProtocolVersion::Tls10,
-            with_extras(
-                mix(&[], 8, 2, 1, 0, Rc4Placement::Mid),
-                &NULL_POOL[..2],
-            ),
+            with_extras(mix(&[], 8, 2, 1, 0, Rc4Placement::Mid), &NULL_POOL[..2]),
             vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
             BASIC_EC.to_vec(),
         ),
@@ -361,7 +379,11 @@ pub fn apple_mail() -> Family {
             ProtocolVersion::Tls12,
             mix(&[], 18, 4, 3, 0, Rc4Placement::Mid),
             vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
-            vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+            vec![
+                NamedGroup::SECP256R1,
+                NamedGroup::SECP384R1,
+                NamedGroup::SECP521R1,
+            ],
         ),
     )
 }
@@ -383,7 +405,11 @@ pub fn spotlight() -> Family {
                 xt::SIGNATURE_ALGORITHMS,
                 xt::ALPN,
             ],
-            vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+            vec![
+                NamedGroup::SECP256R1,
+                NamedGroup::SECP384R1,
+                NamedGroup::SECP521R1,
+            ],
         ),
     )
 }
@@ -415,7 +441,11 @@ pub fn git() -> Family {
                 xt::SIGNATURE_ALGORITHMS,
                 xt::ALPN,
             ],
-            vec![NamedGroup::SECP256R1, NamedGroup::SECP521R1, NamedGroup::SECP384R1],
+            vec![
+                NamedGroup::SECP256R1,
+                NamedGroup::SECP521R1,
+                NamedGroup::SECP384R1,
+            ],
         ),
     )
 }
@@ -475,7 +505,12 @@ pub fn hola_vpn() -> Family {
         cfg(
             ProtocolVersion::Tls10,
             mix(&[], 14, 4, 2, 1, Rc4Placement::Head),
-            vec![xt::SERVER_NAME, xt::SESSION_TICKET, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+            vec![
+                xt::SERVER_NAME,
+                xt::SESSION_TICKET,
+                xt::SUPPORTED_GROUPS,
+                xt::EC_POINT_FORMATS,
+            ],
             BASIC_EC.to_vec(),
         ),
     )
@@ -536,7 +571,12 @@ pub fn splunk_forwarder() -> Family {
                 list.append(&mut mix(aead::GEN2, 6, 0, 1, 0, Rc4Placement::Mid));
                 list
             },
-            vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS, xt::SIGNATURE_ALGORITHMS],
+            vec![
+                xt::SERVER_NAME,
+                xt::SUPPORTED_GROUPS,
+                xt::EC_POINT_FORMATS,
+                xt::SIGNATURE_ALGORITHMS,
+            ],
             BASIC_EC.to_vec(),
         ),
     )
@@ -616,15 +656,19 @@ mod tests {
 
     #[test]
     fn security_apps_offer_anon_or_null() {
-        assert!(lookout().eras[0]
-            .tls
-            .count_ciphers(|c| c.is_null_encryption())
-            > 0);
+        assert!(
+            lookout().eras[0]
+                .tls
+                .count_ciphers(|c| c.is_null_encryption())
+                > 0
+        );
         assert!(lookout().eras[0].tls.count_ciphers(|c| c.is_anon()) > 0);
-        assert!(craftar().eras[0]
-            .tls
-            .count_ciphers(|c| c.is_null_encryption())
-            > 0);
+        assert!(
+            craftar().eras[0]
+                .tls
+                .count_ciphers(|c| c.is_null_encryption())
+                > 0
+        );
         assert!(kaspersky().eras[0].tls.count_ciphers(|c| c.is_anon()) > 0);
     }
 

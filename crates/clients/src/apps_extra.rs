@@ -23,7 +23,11 @@ fn cfg(
     extensions: Vec<u16>,
     curves: Vec<NamedGroup>,
 ) -> TlsConfig {
-    let point_formats = if curves.is_empty() { vec![] } else { vec![0, 1, 2] };
+    let point_formats = if curves.is_empty() {
+        vec![]
+    } else {
+        vec![0, 1, 2]
+    };
     TlsConfig {
         legacy_version: version,
         supported_versions: vec![],
@@ -132,7 +136,11 @@ pub fn wget() -> Family {
                         xt::SIGNATURE_ALGORITHMS,
                         xt::SESSION_TICKET,
                     ],
-                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                    vec![
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP384R1,
+                        NamedGroup::SECP521R1,
+                    ],
                 ),
             },
             Era {
@@ -151,7 +159,11 @@ pub fn wget() -> Family {
                         xt::ENCRYPT_THEN_MAC,
                         xt::EXTENDED_MASTER_SECRET,
                     ],
-                    vec![NamedGroup::SECP256R1, NamedGroup::X25519, NamedGroup::SECP384R1],
+                    vec![
+                        NamedGroup::SECP256R1,
+                        NamedGroup::X25519,
+                        NamedGroup::SECP384R1,
+                    ],
                 ),
             },
         ],
@@ -229,7 +241,12 @@ pub fn outlook() -> Family {
                 tls: cfg(
                     ProtocolVersion::Tls10,
                     mix(&[], 8, 2, 1, 1, Rc4Placement::Mid),
-                    vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS, xt::RENEGOTIATION_INFO],
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::RENEGOTIATION_INFO,
+                    ],
                     vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
                 ),
             },
@@ -312,7 +329,11 @@ pub fn tor() -> Family {
                     xt::EC_POINT_FORMATS,
                     xt::SESSION_TICKET,
                 ],
-                vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                vec![
+                    NamedGroup::SECP256R1,
+                    NamedGroup::SECP384R1,
+                    NamedGroup::SECP521R1,
+                ],
             ),
         }],
     )
@@ -368,14 +389,7 @@ pub fn smart_tv() -> Family {
             from: Date::ymd(2014, 5, 1),
             tls: cfg(
                 ProtocolVersion::Tls12,
-                mix(
-                    &[0xc02f, 0xc02b, 0x009c],
-                    14,
-                    4,
-                    2,
-                    1,
-                    Rc4Placement::Mid,
-                ),
+                mix(&[0xc02f, 0xc02b, 0x009c], 14, 4, 2, 1, Rc4Placement::Mid),
                 vec![
                     xt::SERVER_NAME,
                     xt::RENEGOTIATION_INFO,

@@ -435,7 +435,11 @@ pub fn firefox_tls13_flag() -> Family {
             xt::SUPPORTED_VERSIONS,
             xt::KEY_SHARE_DRAFT,
         ],
-        vec![NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+        vec![
+            NamedGroup::X25519,
+            NamedGroup::SECP256R1,
+            NamedGroup::SECP384R1,
+        ],
     );
     cfg.supported_versions = vec![
         ProtocolVersion::Tls13Draft(18),
@@ -575,11 +579,7 @@ pub fn opera() -> Family {
 
 /// Safari's era list (desktop SecureTransport).
 pub fn safari() -> Family {
-    let old_exts = vec![
-        xt::SERVER_NAME,
-        xt::SUPPORTED_GROUPS,
-        xt::EC_POINT_FORMATS,
-    ];
+    let old_exts = vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS];
     let mid_exts = vec![
         xt::SERVER_NAME,
         xt::SUPPORTED_GROUPS,
@@ -731,7 +731,9 @@ pub fn ie_edge() -> Family {
                 tls: base_config(
                     ProtocolVersion::Tls12,
                     mix(
-                        &[0xc02b, 0xc02c, 0xc02f, 0xc030, 0x009e, 0x009f, 0x009c, 0x009d],
+                        &[
+                            0xc02b, 0xc02c, 0xc02f, 0xc030, 0x009e, 0x009f, 0x009c, 0x009d,
+                        ],
                         8,
                         0,
                         1,

@@ -117,11 +117,7 @@ mod tests {
                 let fp = spec.tls.fingerprint();
                 if !f.labelled {
                     // Unlabelled traffic must stay unlabelled.
-                    assert!(
-                        db.lookup(&fp).is_none(),
-                        "{} unexpectedly labelled",
-                        f.name
-                    );
+                    assert!(db.lookup(&fp).is_none(), "{} unexpectedly labelled", f.name);
                     continue;
                 }
                 let label = db.lookup(&fp).unwrap_or_else(|| {

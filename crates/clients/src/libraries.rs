@@ -25,7 +25,11 @@ fn cfg(
 ) -> TlsConfig {
     // OpenSSL-style stacks advertise all three point formats; an empty
     // curve list means an EC-free (or extension-free) stack.
-    let point_formats = if curves.is_empty() { vec![] } else { vec![0, 1, 2] };
+    let point_formats = if curves.is_empty() {
+        vec![]
+    } else {
+        vec![0, 1, 2]
+    };
     TlsConfig {
         legacy_version: version,
         supported_versions: vec![],
@@ -90,7 +94,12 @@ pub fn openssl() -> Family {
             e.push(xt::PSK_KEY_EXCHANGE_MODES);
             e
         },
-        vec![NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP521R1, NamedGroup::SECP384R1],
+        vec![
+            NamedGroup::X25519,
+            NamedGroup::SECP256R1,
+            NamedGroup::SECP521R1,
+            NamedGroup::SECP384R1,
+        ],
     );
     ossl111.supported_versions = vec![
         ProtocolVersion::Tls13Draft(26),
@@ -122,10 +131,7 @@ pub fn openssl() -> Family {
                 from: Date::ymd(2010, 3, 29),
                 tls: cfg(
                     ProtocolVersion::Tls10,
-                    with_extras(
-                        mix(&[], 16, 2, 2, 2, Rc4Placement::Mid),
-                        &EXPORT_POOL[..2],
-                    ),
+                    with_extras(mix(&[], 16, 2, 2, 2, Rc4Placement::Mid), &EXPORT_POOL[..2]),
                     vec![
                         xt::SERVER_NAME,
                         xt::RENEGOTIATION_INFO,
@@ -303,7 +309,11 @@ pub fn android() -> Family {
                         xt::SUPPORTED_GROUPS,
                         xt::EC_POINT_FORMATS,
                     ],
-                    vec![NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                    vec![
+                        NamedGroup::X25519,
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP384R1,
+                    ],
                 ),
             },
         ],
@@ -341,7 +351,11 @@ pub fn apple_securetransport() -> Family {
                     ProtocolVersion::Tls12,
                     mix(&[], 16, 5, 4, 1, Rc4Placement::Head),
                     st_exts.clone(),
-                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                    vec![
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP384R1,
+                        NamedGroup::SECP521R1,
+                    ],
                 ),
             },
             Era {
@@ -351,7 +365,11 @@ pub fn apple_securetransport() -> Family {
                     ProtocolVersion::Tls12,
                     mix(&[], 18, 4, 3, 0, Rc4Placement::Mid),
                     st_exts,
-                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                    vec![
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP384R1,
+                        NamedGroup::SECP521R1,
+                    ],
                 ),
             },
             // iOS 9 (16/09/2015): AES-GCM; RC4 off by default.
@@ -362,7 +380,11 @@ pub fn apple_securetransport() -> Family {
                     ProtocolVersion::Tls12,
                     mix(aead::GEN2, 10, 0, 3, 0, Rc4Placement::Mid),
                     st_late.clone(),
-                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                    vec![
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP384R1,
+                        NamedGroup::SECP521R1,
+                    ],
                 ),
             },
             // iOS 11 (19/09/2017): ChaCha20-Poly1305; 3DES dropped.
@@ -373,7 +395,11 @@ pub fn apple_securetransport() -> Family {
                     ProtocolVersion::Tls12,
                     mix(aead::GEN3, 8, 0, 0, 0, Rc4Placement::Mid),
                     st_late,
-                    vec![NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                    vec![
+                        NamedGroup::X25519,
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP384R1,
+                    ],
                 ),
             },
         ],
@@ -393,7 +419,12 @@ pub fn schannel() -> Family {
                 tls: cfg(
                     ProtocolVersion::Tls10,
                     mix(&[], 8, 2, 1, 1, Rc4Placement::Mid),
-                    vec![xt::SERVER_NAME, xt::STATUS_REQUEST, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::STATUS_REQUEST,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                    ],
                     vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1],
                 ),
             },
@@ -435,7 +466,11 @@ pub fn schannel() -> Family {
                         xt::ALPN,
                         xt::EXTENDED_MASTER_SECRET,
                     ],
-                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::X25519],
+                    vec![
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP384R1,
+                        NamedGroup::X25519,
+                    ],
                 ),
             },
         ],
@@ -467,10 +502,7 @@ pub fn java() -> Family {
                 from: Date::ymd(2011, 7, 28),
                 tls: cfg(
                     ProtocolVersion::Tls10,
-                    with_extras(
-                        mix(&[], 12, 2, 2, 1, Rc4Placement::Mid),
-                        &EXPORT_POOL[..2],
-                    ),
+                    with_extras(mix(&[], 12, 2, 2, 1, Rc4Placement::Mid), &EXPORT_POOL[..2]),
                     vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS],
                     OPENSSL_CURVES.to_vec(),
                 ),
@@ -512,7 +544,13 @@ pub fn java() -> Family {
 
 /// All library families.
 pub fn all_libraries() -> Vec<Family> {
-    vec![openssl(), android(), apple_securetransport(), schannel(), java()]
+    vec![
+        openssl(),
+        android(),
+        apple_securetransport(),
+        schannel(),
+        java(),
+    ]
 }
 
 #[cfg(test)]
@@ -551,12 +589,7 @@ mod tests {
     fn heartbeat_lives_in_openssl_101_and_102_only() {
         let o = openssl();
         use tlscope_wire::exts::ext_type;
-        let has_hb = |v: &str| {
-            era(&o, v)
-                .tls
-                .extensions
-                .contains(&ext_type::HEARTBEAT)
-        };
+        let has_hb = |v: &str| era(&o, v).tls.extensions.contains(&ext_type::HEARTBEAT);
         assert!(!has_hb("0.9.8"));
         assert!(!has_hb("1.0.0"));
         assert!(has_hb("1.0.1"));
@@ -584,7 +617,9 @@ mod tests {
     #[test]
     fn ios_supported_tls12_early() {
         let st = apple_securetransport();
-        assert!(era(&st, "iOS 5-6").tls.supports_version(ProtocolVersion::Tls12));
+        assert!(era(&st, "iOS 5-6")
+            .tls
+            .supports_version(ProtocolVersion::Tls12));
     }
 
     #[test]
@@ -629,12 +664,7 @@ mod tests {
     fn chacha_old_vs_new_code_points() {
         // Android 5 uses the pre-standard points, Android 7 the RFC ones.
         let a = android();
-        let has = |v: &str, id: u16| {
-            era(&a, v)
-                .tls
-                .ciphers
-                .contains(&CipherSuite(id))
-        };
+        let has = |v: &str, id: u16| era(&a, v).tls.ciphers.contains(&CipherSuite(id));
         assert!(has("5.0-5.1", 0xcc13));
         assert!(!has("5.0-5.1", 0xcca8));
         assert!(has("7-8", 0xcca8));

@@ -13,16 +13,18 @@ use tlscope_wire::CipherSuite;
 
 /// AES/Camellia/SEED CBC suites (no 3DES/DES), strongest-first.
 pub const CBC_AES_POOL: &[u16] = &[
-    0xc009, 0xc013, 0xc00a, 0xc014, 0xc023, 0xc027, 0xc024, 0xc028, 0x0033, 0x0039, 0x002f,
-    0x0035, 0x003c, 0x003d, 0x0067, 0x006b, 0x0032, 0x0038, 0x0040, 0x006a, 0x0041, 0x0084,
-    0x0045, 0x0088, 0x0096, 0x009a, 0xc004, 0xc005, 0xc00e, 0xc00f, 0xc025, 0xc026,
+    0xc009, 0xc013, 0xc00a, 0xc014, 0xc023, 0xc027, 0xc024, 0xc028, 0x0033, 0x0039, 0x002f, 0x0035,
+    0x003c, 0x003d, 0x0067, 0x006b, 0x0032, 0x0038, 0x0040, 0x006a, 0x0041, 0x0084, 0x0045, 0x0088,
+    0x0096, 0x009a, 0xc004, 0xc005, 0xc00e, 0xc00f, 0xc025, 0xc026,
 ];
 
 /// RC4 suites in the order clients historically preferred them.
 pub const RC4_POOL: &[u16] = &[0xc011, 0xc007, 0x0005, 0x0004, 0xc00c, 0xc002, 0x0066];
 
 /// 3DES suites, ECDHE-first.
-pub const TDES_POOL: &[u16] = &[0xc012, 0xc008, 0x0016, 0x000a, 0xc00d, 0xc003, 0x0013, 0x000d];
+pub const TDES_POOL: &[u16] = &[
+    0xc012, 0xc008, 0x0016, 0x000a, 0xc00d, 0xc003, 0x0013, 0x000d,
+];
 
 /// Single-DES suites.
 pub const DES_POOL: &[u16] = &[0x0015, 0x0009, 0x0012, 0x000c];
@@ -34,7 +36,9 @@ pub const EXPORT_POOL: &[u16] = &[0x0003, 0x0006, 0x0008, 0x0014, 0x0011, 0x000e
 pub const NULL_POOL: &[u16] = &[0x0002, 0x0001, 0x003b, 0xc010, 0xc006];
 
 /// Anonymous (unauthenticated) suites.
-pub const ANON_POOL: &[u16] = &[0x0034, 0x003a, 0x0018, 0x001b, 0xc018, 0xc019, 0x0017, 0x0019];
+pub const ANON_POOL: &[u16] = &[
+    0x0034, 0x003a, 0x0018, 0x001b, 0xc018, 0xc019, 0x0017, 0x0019,
+];
 
 /// Where RC4 sits in the constructed list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,8 +92,8 @@ pub fn mix(
 /// RSA/DHE-only CBC suites for stacks without elliptic-curve support
 /// (OpenSSL 0.9.8 default builds, Android 2.3, Java 6, odd malware).
 pub const CBC_AES_NO_EC_POOL: &[u16] = &[
-    0x002f, 0x0035, 0x0033, 0x0039, 0x003c, 0x003d, 0x0067, 0x006b, 0x0032, 0x0038, 0x0041,
-    0x0084, 0x0096, 0x0045, 0x0088, 0x0040,
+    0x002f, 0x0035, 0x0033, 0x0039, 0x003c, 0x003d, 0x0067, 0x006b, 0x0032, 0x0038, 0x0041, 0x0084,
+    0x0096, 0x0045, 0x0088, 0x0040,
 ];
 
 /// RC4 suites for EC-free stacks.
@@ -108,7 +112,10 @@ pub fn mix_no_ec(
     des: usize,
     rc4_placement: Rc4Placement,
 ) -> Vec<CipherSuite> {
-    assert!(cbc_aes <= CBC_AES_NO_EC_POOL.len(), "no-ec cbc pool exhausted");
+    assert!(
+        cbc_aes <= CBC_AES_NO_EC_POOL.len(),
+        "no-ec cbc pool exhausted"
+    );
     assert!(rc4 <= RC4_NO_EC_POOL.len(), "no-ec rc4 pool exhausted");
     assert!(tdes <= TDES_NO_EC_POOL.len(), "no-ec 3des pool exhausted");
     assert!(des <= DES_POOL.len(), "des pool exhausted");
@@ -185,7 +192,13 @@ mod tests {
             assert!(CipherSuite(id).is_anon(), "{:#06x}", id);
         }
         for pool in [
-            CBC_AES_POOL, RC4_POOL, TDES_POOL, DES_POOL, EXPORT_POOL, NULL_POOL, ANON_POOL,
+            CBC_AES_POOL,
+            RC4_POOL,
+            TDES_POOL,
+            DES_POOL,
+            EXPORT_POOL,
+            NULL_POOL,
+            ANON_POOL,
         ] {
             for &id in pool {
                 assert!(

@@ -115,7 +115,9 @@ impl TlsConfig {
             ext_type::SIGNATURE_ALGORITHMS => {
                 // A representative (hash, sig) list; content does not
                 // feed the 4-feature fingerprint.
-                Extension::signature_algorithms(&[0x0403, 0x0503, 0x0603, 0x0401, 0x0501, 0x0601, 0x0201])
+                Extension::signature_algorithms(&[
+                    0x0403, 0x0503, 0x0603, 0x0401, 0x0501, 0x0601, 0x0201,
+                ])
             }
             ext_type::ALPN => Extension::alpn(&["h2", "http/1.1"]),
             other => Extension::empty(other),
@@ -296,8 +298,10 @@ mod tests {
     #[test]
     fn grease_draws_do_not_change_fingerprint() {
         let cfg = config(true);
-        let fp1 = Fingerprint::from_client_hello(&cfg.build_hello(None, &HelloEntropy::from_seed(1)));
-        let fp2 = Fingerprint::from_client_hello(&cfg.build_hello(None, &HelloEntropy::from_seed(999)));
+        let fp1 =
+            Fingerprint::from_client_hello(&cfg.build_hello(None, &HelloEntropy::from_seed(1)));
+        let fp2 =
+            Fingerprint::from_client_hello(&cfg.build_hello(None, &HelloEntropy::from_seed(999)));
         assert_eq!(fp1, fp2);
         assert_eq!(fp1, cfg.fingerprint());
     }
@@ -348,10 +352,7 @@ mod tests {
     #[test]
     fn version_support_tls13_style() {
         let mut cfg = config(false);
-        cfg.supported_versions = vec![
-            ProtocolVersion::Tls13Draft(18),
-            ProtocolVersion::Tls12,
-        ];
+        cfg.supported_versions = vec![ProtocolVersion::Tls13Draft(18), ProtocolVersion::Tls12];
         cfg.extensions.push(ext_type::SUPPORTED_VERSIONS);
         assert!(cfg.supports_version(ProtocolVersion::Tls13));
         let hello = cfg.build_hello(None, &HelloEntropy::zero());

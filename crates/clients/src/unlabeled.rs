@@ -23,7 +23,9 @@ use tlscope_wire::exts::ext_type as xt;
 use tlscope_wire::{NamedGroup, ProtocolVersion};
 
 use crate::family::{Era, Family};
-use crate::pools::{aead, mix, mix_no_ec, with_extras, Rc4Placement, ANON_POOL, EXPORT_POOL, NULL_POOL};
+use crate::pools::{
+    aead, mix, mix_no_ec, with_extras, Rc4Placement, ANON_POOL, EXPORT_POOL, NULL_POOL,
+};
 use crate::spec::TlsConfig;
 
 fn cfg(
@@ -154,8 +156,17 @@ pub fn misc_a() -> Family {
                 tls: cfg(
                     ProtocolVersion::Tls10,
                     mix(&[], 14, 3, 2, 1, Rc4Placement::Mid),
-                    vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS, xt::SESSION_TICKET],
-                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SESSION_TICKET,
+                    ],
+                    vec![
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP384R1,
+                        NamedGroup::SECP521R1,
+                    ],
                 ),
             },
             Era {
@@ -164,8 +175,18 @@ pub fn misc_a() -> Family {
                 tls: cfg(
                     ProtocolVersion::Tls12,
                     mix(aead::GEN2, 12, 2, 1, 0, Rc4Placement::Mid),
-                    vec![xt::SERVER_NAME, xt::SUPPORTED_GROUPS, xt::EC_POINT_FORMATS, xt::SESSION_TICKET, xt::SIGNATURE_ALGORITHMS],
-                    vec![NamedGroup::SECP256R1, NamedGroup::SECP384R1, NamedGroup::SECP521R1],
+                    vec![
+                        xt::SERVER_NAME,
+                        xt::SUPPORTED_GROUPS,
+                        xt::EC_POINT_FORMATS,
+                        xt::SESSION_TICKET,
+                        xt::SIGNATURE_ALGORITHMS,
+                    ],
+                    vec![
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP384R1,
+                        NamedGroup::SECP521R1,
+                    ],
                 ),
             },
         ],
@@ -241,7 +262,11 @@ pub fn misc_c() -> Family {
                         xt::SIGNATURE_ALGORITHMS,
                         xt::EXTENDED_MASTER_SECRET,
                     ],
-                    vec![NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP384R1],
+                    vec![
+                        NamedGroup::X25519,
+                        NamedGroup::SECP256R1,
+                        NamedGroup::SECP384R1,
+                    ],
                 ),
             },
         ],
@@ -296,7 +321,12 @@ mod tests {
     #[test]
     fn embedded_stacks_advertise_export() {
         assert!(embedded_ssl3().eras[0].tls.count_ciphers(|c| c.is_export()) >= 4);
-        assert!(embedded_tls10().eras[0].tls.count_ciphers(|c| c.is_export()) >= 5);
+        assert!(
+            embedded_tls10().eras[0]
+                .tls
+                .count_ciphers(|c| c.is_export())
+                >= 5
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!   --csv          emit CSV instead of ASCII rendering
 //!   --width <n>    ASCII chart width (default 84)
 //!   --seed <n>     override the study seed
+//!   --stats        print per-stage pipeline metrics after the run
 //!   --list         list experiment ids and exit
 //! ```
 
@@ -21,6 +22,7 @@ use tlscope::report::{ReportContext, EXPERIMENT_IDS};
 struct Options {
     full: bool,
     csv: bool,
+    stats: bool,
     width: usize,
     seed: Option<u64>,
     save: Option<String>,
@@ -30,7 +32,7 @@ struct Options {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--quick|--full] [--csv] [--width N] [--seed N] [--list] <id>...|all\n\
+        "usage: repro [--quick|--full] [--csv] [--stats] [--width N] [--seed N] [--list] <id>...|all\n\
          ids: {}",
         EXPERIMENT_IDS.join(" ")
     );
@@ -40,6 +42,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         full: false,
         csv: false,
+        stats: false,
         width: 84,
         seed: None,
         save: None,
@@ -52,6 +55,7 @@ fn parse_args() -> Result<Options, String> {
             "--quick" => opts.full = false,
             "--full" => opts.full = true,
             "--csv" => opts.csv = true,
+            "--stats" => opts.stats = true,
             "--width" => {
                 opts.width = args
                     .next()
@@ -172,6 +176,10 @@ fn main() -> ExitCode {
             }
             None => eprintln!("# --save: no passive run was needed; nothing saved"),
         }
+    }
+    if opts.stats {
+        // Stats go to stderr so --csv output stays machine-readable.
+        eprint!("{}", ctx.metrics().snapshot().render());
     }
     if failed {
         ExitCode::FAILURE

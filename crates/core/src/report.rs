@@ -3,7 +3,7 @@
 //! serves many experiments.
 
 use tlscope_analysis::{figures, sections, tables, Figure, Study, StudyConfig, Table};
-use tlscope_notary::NotaryAggregate;
+use tlscope_notary::{NotaryAggregate, PipelineMetrics};
 use tlscope_scanner::ScanSnapshot;
 
 /// A rendered experiment result.
@@ -43,9 +43,36 @@ impl Artifact {
 
 /// All experiment ids, in paper order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3", "fig4",
-    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "s4.1", "s5.1", "s5.4", "s5.5", "s5.6",
-    "s6.1", "s6.2", "s6.3", "s6.4", "s7.3", "s9-ext", "ssl-pulse", "censys", "impact",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "s4.1",
+    "s5.1",
+    "s5.4",
+    "s5.5",
+    "s5.6",
+    "s6.1",
+    "s6.2",
+    "s6.3",
+    "s6.4",
+    "s7.3",
+    "s9-ext",
+    "ssl-pulse",
+    "censys",
+    "impact",
 ];
 
 /// Whether an experiment needs the passive run / the active campaign.
@@ -63,6 +90,7 @@ pub struct ReportContext {
     study: Study,
     passive: Option<NotaryAggregate>,
     scans: Option<Vec<ScanSnapshot>>,
+    metrics: PipelineMetrics,
 }
 
 impl ReportContext {
@@ -72,6 +100,7 @@ impl ReportContext {
             study: Study::new(cfg),
             passive: None,
             scans: None,
+            metrics: PipelineMetrics::new(),
         }
     }
 
@@ -82,6 +111,7 @@ impl ReportContext {
             study: Study::new(cfg),
             passive: Some(passive),
             scans: None,
+            metrics: PipelineMetrics::new(),
         }
     }
 
@@ -95,10 +125,19 @@ impl ReportContext {
         &self.study
     }
 
+    /// Pipeline accounting for the passive run (all zeros until
+    /// [`passive`] triggers a simulation; a `--load`-injected aggregate
+    /// never populates it).
+    ///
+    /// [`passive`]: ReportContext::passive
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.metrics
+    }
+
     /// The passive aggregate, running it on first use.
     pub fn passive(&mut self) -> &NotaryAggregate {
         if self.passive.is_none() {
-            self.passive = Some(self.study.run_passive());
+            self.passive = Some(self.study.run_passive_metered(&self.metrics));
         }
         self.passive.as_ref().unwrap()
     }
@@ -193,7 +232,13 @@ pub fn impact_table(agg: &NotaryAggregate) -> Table {
     let mut t = Table::new(
         "impact",
         "Attack impact: pre/post disclosure slopes (pp/month) and change-point lag",
-        vec!["Attack", "Series", "Slope before", "Slope after", "Lag (months)"],
+        vec![
+            "Attack",
+            "Series",
+            "Slope before",
+            "Slope after",
+            "Lag (months)",
+        ],
     );
     let fig2 = figures::fig2(agg);
     let fig7 = figures::fig7(agg);
@@ -259,10 +304,7 @@ mod tests {
         assert_eq!(f2.id(), "fig2");
         assert_eq!(f8.id(), "fig8");
         // Both CSV renders have the same month axis length.
-        assert_eq!(
-            f2.to_csv().lines().count(),
-            f8.to_csv().lines().count()
-        );
+        assert_eq!(f2.to_csv().lines().count(), f8.to_csv().lines().count());
     }
 
     #[test]

@@ -376,7 +376,10 @@ mod tests {
     fn collision_rate() {
         let mut db = FingerprintDb::new();
         for i in 0..9 {
-            db.insert(fp(i), Label::new(format!("app{i}"), Category::MobileApp, "1"));
+            db.insert(
+                fp(i),
+                Label::new(format!("app{i}"), Category::MobileApp, "1"),
+            );
         }
         db.insert(fp(0), Label::new("other", Category::MobileApp, "1"));
         assert!((db.collision_rate() - 1.0 / 9.0).abs() < 1e-9);

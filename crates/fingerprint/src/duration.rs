@@ -70,7 +70,7 @@ impl DurationStats {
 }
 
 /// Streaming first/last-seen tracker keyed by fingerprint id.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SightingTracker {
     map: HashMap<u64, Sighting>,
 }
@@ -234,7 +234,10 @@ mod tests {
         assert_eq!(stats.long_lived, 2);
         assert_eq!(stats.long_lived_connections, 2000);
         assert_eq!(stats.median_days, 1.0);
-        assert_eq!(stats.max_days, (Date::ymd(2018, 3, 1) - Date::ymd(2014, 10, 1)) + 1);
+        assert_eq!(
+            stats.max_days,
+            (Date::ymd(2018, 3, 1) - Date::ymd(2014, 10, 1)) + 1
+        );
         assert!((stats.long_lived_traffic_pct() - 100.0 * 2000.0 / 2006.0).abs() < 1e-9);
         assert!(stats.mean_days > 1.0 && stats.stddev_days > 0.0);
     }

@@ -38,5 +38,5 @@ pub mod rich;
 pub use db::{Category, CoverageStats, FingerprintDb, InsertOutcome, Label};
 pub use duration::{DurationStats, Sighting, SightingTracker};
 pub use fp::Fingerprint;
-pub use rich::{CollisionStats, RichFingerprint};
 pub use ja3::{ja3_hash, ja3_string};
+pub use rich::{CollisionStats, RichFingerprint};

@@ -65,7 +65,13 @@ impl RichFingerprint {
             .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join("-");
-        format!("{};{};{};{}", self.base.canonical(), self.version, comp, sig)
+        format!(
+            "{};{};{};{}",
+            self.base.canonical(),
+            self.version,
+            comp,
+            sig
+        )
     }
 }
 

@@ -126,16 +126,22 @@ impl AeadCounts {
 }
 
 /// Running mean of first-offer relative positions (Figure 5).
-#[derive(Debug, Default, Clone, Copy, PartialEq)]
+///
+/// Positions are accumulated in integer micro-units (1e-6 of the
+/// relative position) rather than as an `f64` sum: integer addition is
+/// associative, so serial ingestion and any parallel sharding produce
+/// byte-identical aggregates — an invariant the pipeline property
+/// tests check exactly.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PositionMean {
-    sum: f64,
+    sum_micro: u64,
     n: u64,
 }
 
 impl PositionMean {
     fn add(&mut self, pos: Option<f64>) {
         if let Some(p) = pos {
-            self.sum += p;
+            self.sum_micro += (p * 1e6).round() as u64;
             self.n += 1;
         }
     }
@@ -145,7 +151,7 @@ impl PositionMean {
         if self.n == 0 {
             None
         } else {
-            Some(100.0 * self.sum / self.n as f64)
+            Some(100.0 * (self.sum_micro as f64 / 1e6) / self.n as f64)
         }
     }
 }
@@ -184,7 +190,7 @@ impl FpClassFlags {
 }
 
 /// All per-month counters.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct MonthlyStats {
     /// Connections ingested this month.
     pub total: u64,
@@ -301,8 +307,7 @@ impl MonthlyStats {
         if self.fp_flags.is_empty() {
             return 0.0;
         }
-        100.0 * self.fp_flags.values().filter(|v| f(v)).count() as f64
-            / self.fp_flags.len() as f64
+        100.0 * self.fp_flags.values().filter(|v| f(v)).count() as f64 / self.fp_flags.len() as f64
     }
 
     /// Percentage of negotiated curves that are `group`.
@@ -317,7 +322,11 @@ impl MonthlyStats {
 }
 
 /// The full longitudinal aggregate.
-#[derive(Debug, Default)]
+///
+/// Equality is exact: with [`PositionMean`]'s integer accumulation,
+/// two aggregates built from the same flows — in any ingestion order
+/// or sharding — compare equal field-for-field.
+#[derive(Debug, Default, PartialEq)]
 pub struct NotaryAggregate {
     months: BTreeMap<Month, MonthlyStats>,
     /// First/last-seen tracking per fingerprint id (§4.1).
@@ -350,10 +359,7 @@ impl NotaryAggregate {
             if rec.date >= FINGERPRINT_FIELDS_SINCE {
                 let fp_id = offer.fingerprint.id64();
                 self.sightings.observe(fp_id, rec.date, 1);
-                *self
-                    .fp_counts
-                    .entry(offer.fingerprint.clone())
-                    .or_insert(0) += 1;
+                *self.fp_counts.entry(offer.fingerprint.clone()).or_insert(0) += 1;
                 stats
                     .fp_flags
                     .entry(fp_id)
@@ -586,15 +592,15 @@ impl NotaryAggregate {
             for (t, n) in stats.adv_extensions {
                 *mine.adv_extensions.entry(t).or_insert(0) += n;
             }
-            mine.pos_aead.sum += stats.pos_aead.sum;
+            mine.pos_aead.sum_micro += stats.pos_aead.sum_micro;
             mine.pos_aead.n += stats.pos_aead.n;
-            mine.pos_cbc.sum += stats.pos_cbc.sum;
+            mine.pos_cbc.sum_micro += stats.pos_cbc.sum_micro;
             mine.pos_cbc.n += stats.pos_cbc.n;
-            mine.pos_rc4.sum += stats.pos_rc4.sum;
+            mine.pos_rc4.sum_micro += stats.pos_rc4.sum_micro;
             mine.pos_rc4.n += stats.pos_rc4.n;
-            mine.pos_des.sum += stats.pos_des.sum;
+            mine.pos_des.sum_micro += stats.pos_des.sum_micro;
             mine.pos_des.n += stats.pos_des.n;
-            mine.pos_3des.sum += stats.pos_3des.sum;
+            mine.pos_3des.sum_micro += stats.pos_3des.sum_micro;
             mine.pos_3des.n += stats.pos_3des.n;
             for (fp, flags) in stats.fp_flags {
                 mine.fp_flags.entry(fp).or_insert(flags);
@@ -643,7 +649,11 @@ mod tests {
         }
     }
 
-    fn record(month_day: (i32, u8, u8), suites: &[u16], answer: Option<(u16, u16)>) -> ConnectionRecord {
+    fn record(
+        month_day: (i32, u8, u8),
+        suites: &[u16],
+        answer: Option<(u16, u16)>,
+    ) -> ConnectionRecord {
         let date = Date::ymd(month_day.0, month_day.1, month_day.2);
         ConnectionRecord {
             date,
@@ -666,8 +676,16 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut agg = NotaryAggregate::new();
-        agg.ingest(&record((2015, 6, 1), &[0xc02f, 0x0005], Some((0xc02f, 0x0303))));
-        agg.ingest(&record((2015, 6, 2), &[0x0005, 0x000a], Some((0x0005, 0x0301))));
+        agg.ingest(&record(
+            (2015, 6, 1),
+            &[0xc02f, 0x0005],
+            Some((0xc02f, 0x0303)),
+        ));
+        agg.ingest(&record(
+            (2015, 6, 2),
+            &[0x0005, 0x000a],
+            Some((0x0005, 0x0301)),
+        ));
         agg.ingest(&record((2015, 6, 3), &[0xc02f], None));
         let m = agg.month(Month::ym(2015, 6)).unwrap();
         assert_eq!(m.total, 3);
@@ -695,8 +713,16 @@ mod tests {
     #[test]
     fn fingerprint_tracking() {
         let mut agg = NotaryAggregate::new();
-        agg.ingest(&record((2015, 6, 1), &[0xc02f, 0x0005], Some((0xc02f, 0x0303))));
-        agg.ingest(&record((2015, 6, 20), &[0xc02f, 0x0005], Some((0xc02f, 0x0303))));
+        agg.ingest(&record(
+            (2015, 6, 1),
+            &[0xc02f, 0x0005],
+            Some((0xc02f, 0x0303)),
+        ));
+        agg.ingest(&record(
+            (2015, 6, 20),
+            &[0xc02f, 0x0005],
+            Some((0xc02f, 0x0303)),
+        ));
         agg.ingest(&record((2015, 6, 2), &[0xc02f], Some((0xc02f, 0x0303))));
         let m = agg.month(Month::ym(2015, 6)).unwrap();
         assert_eq!(m.fp_flags.len(), 2);
@@ -715,8 +741,16 @@ mod tests {
             .map(|i| {
                 record(
                     (2016, 1 + (i % 3) as u8, 1 + (i % 27) as u8),
-                    if i % 2 == 0 { &[0xc02f, 0x0005] } else { &[0x002f] },
-                    if i % 5 == 0 { None } else { Some((0xc02f, 0x0303)) },
+                    if i % 2 == 0 {
+                        &[0xc02f, 0x0005]
+                    } else {
+                        &[0x002f]
+                    },
+                    if i % 5 == 0 {
+                        None
+                    } else {
+                        Some((0xc02f, 0x0303))
+                    },
                 )
             })
             .collect();

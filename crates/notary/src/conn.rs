@@ -121,8 +121,8 @@ pub fn extract(
 ) -> Result<ConnectionRecord, ExtractError> {
     match sniff(client_flow) {
         WireFlavor::Sslv2 => {
-            let hello = Sslv2ClientHello::parse(client_flow)
-                .map_err(|_| ExtractError::GarbledClient)?;
+            let hello =
+                Sslv2ClientHello::parse(client_flow).map_err(|_| ExtractError::GarbledClient)?;
             let suites: Vec<CipherSuite> = hello
                 .cipher_specs
                 .iter()
@@ -355,7 +355,13 @@ mod tests {
             payload: vec![2, 40],
         }
         .to_bytes();
-        let rec = extract(Date::ymd(2015, 6, 3), 443, &client_bytes(&hello), Some(&alert)).unwrap();
+        let rec = extract(
+            Date::ymd(2015, 6, 3),
+            443,
+            &client_bytes(&hello),
+            Some(&alert),
+        )
+        .unwrap();
         assert_eq!(rec.server, ServerOutcome::Rejected);
     }
 

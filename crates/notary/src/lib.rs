@@ -4,8 +4,9 @@
 //! the ICSI SSL Notary (§3.1 of *Coming of Age*, IMC 2018). It consumes
 //! raw tapped flows (bytes only), extracts per-connection records with
 //! the tolerant wire parsers, and aggregates them into the monthly
-//! counters behind every figure of the paper. A crossbeam worker
-//! pipeline mirrors the real system's Bro worker fan-out.
+//! counters behind every figure of the paper. A batched worker
+//! pipeline on scoped threads mirrors the real system's Bro worker
+//! fan-out, with per-stage accounting in [`PipelineMetrics`].
 //!
 //! ```
 //! use tlscope_notary::{ingest_serial, TappedFlow};
@@ -37,13 +38,17 @@
 
 pub mod aggregate;
 pub mod conn;
+pub mod metrics;
 pub mod pipeline;
 pub mod store;
 
 pub use aggregate::{
-    AeadCounts, FpClassFlags, KxCounts, MonthlyStats, NotaryAggregate, PositionMean,
-    VersionCounts,
+    AeadCounts, FpClassFlags, KxCounts, MonthlyStats, NotaryAggregate, PositionMean, VersionCounts,
 };
 pub use conn::{ClientOffer, ConnectionRecord, ExtractError, ServerAnswer, ServerOutcome};
-pub use pipeline::{ingest_parallel, ingest_serial, TappedFlow};
+pub use metrics::{MetricsSnapshot, PipelineMetrics};
+pub use pipeline::{
+    ingest_batched, ingest_flow, ingest_parallel, ingest_parallel_metered, ingest_serial,
+    ingest_serial_metered, TappedFlow, DEFAULT_BATCH,
+};
 pub use store::{from_text, to_text, StoreError};

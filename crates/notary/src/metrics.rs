@@ -1,0 +1,266 @@
+//! Pipeline accounting: lock-free per-stage counters and wall-clock.
+//!
+//! The paper's Notary processed 319.3 B connections on a cluster whose
+//! health was only observable through per-stage accounting (what was
+//! parsed, what was dropped, where time went). [`PipelineMetrics`] is
+//! that layer for the reproduction: a bag of atomic counters shared by
+//! every stage of the generation → extraction → aggregation pipeline.
+//! All methods take `&self`, so one instance can be threaded through
+//! any number of worker threads without locks.
+//!
+//! Stage wall-clocks are *CPU-summed* across workers: with `N` workers
+//! busy for a second each, a stage records `N` seconds. Divide by the
+//! elapsed wall time to read out effective parallelism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared, lock-free pipeline counters.
+///
+/// Counter groups:
+/// * **generation** — flows and wire bytes emitted by the synthetic
+///   tap, plus generator wall-clock;
+/// * **ingestion** — flows/batches through the notary, parse failures
+///   by class, plus extraction wall-clock;
+/// * **merge / fault** — aggregate-merge wall-clock and shards lost to
+///   worker panics (best-effort collection, paper §3.1).
+#[derive(Debug, Default)]
+pub struct PipelineMetrics {
+    flows_generated: AtomicU64,
+    bytes_generated: AtomicU64,
+    gen_nanos: AtomicU64,
+
+    flows_dispatched: AtomicU64,
+    flows_ingested: AtomicU64,
+    batches_ingested: AtomicU64,
+    not_tls: AtomicU64,
+    garbled_client: AtomicU64,
+    ingest_nanos: AtomicU64,
+
+    merge_nanos: AtomicU64,
+    shards_lost: AtomicU64,
+}
+
+impl PipelineMetrics {
+    /// A zeroed metrics bag.
+    pub fn new() -> Self {
+        PipelineMetrics::default()
+    }
+
+    /// Record one generated flow of `bytes` wire bytes.
+    pub fn record_generated(&self, bytes: u64, elapsed: Duration) {
+        self.flows_generated.fetch_add(1, Ordering::Relaxed);
+        self.bytes_generated.fetch_add(bytes, Ordering::Relaxed);
+        self.gen_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record `flows` handed to the ingestion stage (sent, not yet
+    /// necessarily processed — the gap to `flows_ingested` is loss).
+    pub fn record_dispatched(&self, flows: u64) {
+        self.flows_dispatched.fetch_add(flows, Ordering::Relaxed);
+    }
+
+    /// Record one ingested batch of `flows` flows taking `elapsed`.
+    pub fn record_batch(&self, flows: u64, elapsed: Duration) {
+        self.flows_ingested.fetch_add(flows, Ordering::Relaxed);
+        self.batches_ingested.fetch_add(1, Ordering::Relaxed);
+        self.ingest_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record parse failures by class.
+    pub fn record_parse_failures(&self, not_tls: u64, garbled_client: u64) {
+        self.not_tls.fetch_add(not_tls, Ordering::Relaxed);
+        self.garbled_client
+            .fetch_add(garbled_client, Ordering::Relaxed);
+    }
+
+    /// Record time spent merging partial aggregates.
+    pub fn record_merge(&self, elapsed: Duration) {
+        self.merge_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record one worker shard lost to a panic.
+    pub fn record_shard_lost(&self) {
+        self.shards_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Shards lost so far (also available via [`snapshot`]).
+    ///
+    /// [`snapshot`]: PipelineMetrics::snapshot
+    pub fn shards_lost(&self) -> u64 {
+        self.shards_lost.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            flows_generated: self.flows_generated.load(Ordering::Relaxed),
+            bytes_generated: self.bytes_generated.load(Ordering::Relaxed),
+            gen_nanos: self.gen_nanos.load(Ordering::Relaxed),
+            flows_dispatched: self.flows_dispatched.load(Ordering::Relaxed),
+            flows_ingested: self.flows_ingested.load(Ordering::Relaxed),
+            batches_ingested: self.batches_ingested.load(Ordering::Relaxed),
+            not_tls: self.not_tls.load(Ordering::Relaxed),
+            garbled_client: self.garbled_client.load(Ordering::Relaxed),
+            ingest_nanos: self.ingest_nanos.load(Ordering::Relaxed),
+            merge_nanos: self.merge_nanos.load(Ordering::Relaxed),
+            shards_lost: self.shards_lost.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`PipelineMetrics`], with derived rates and a
+/// terminal rendering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Flows emitted by the generator.
+    pub flows_generated: u64,
+    /// Wire bytes emitted by the generator (client + server flows).
+    pub bytes_generated: u64,
+    /// CPU-summed generator wall-clock, nanoseconds.
+    pub gen_nanos: u64,
+    /// Flows handed to the ingestion stage.
+    pub flows_dispatched: u64,
+    /// Flows actually processed by the ingestion stage.
+    pub flows_ingested: u64,
+    /// Batches processed by the ingestion stage.
+    pub batches_ingested: u64,
+    /// Parse failures: not SSL/TLS at all.
+    pub not_tls: u64,
+    /// Parse failures: client flow too damaged to parse.
+    pub garbled_client: u64,
+    /// CPU-summed ingestion wall-clock, nanoseconds.
+    pub ingest_nanos: u64,
+    /// Wall-clock spent merging partial aggregates, nanoseconds.
+    pub merge_nanos: u64,
+    /// Worker shards lost to panics.
+    pub shards_lost: u64,
+}
+
+fn rate(count: u64, nanos: u64) -> f64 {
+    if nanos == 0 {
+        0.0
+    } else {
+        count as f64 / (nanos as f64 / 1e9)
+    }
+}
+
+fn scaled(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+impl MetricsSnapshot {
+    /// Generator throughput in flows per CPU-second.
+    pub fn gen_flows_per_sec(&self) -> f64 {
+        rate(self.flows_generated, self.gen_nanos)
+    }
+
+    /// Ingestion throughput in flows per CPU-second.
+    pub fn ingest_flows_per_sec(&self) -> f64 {
+        rate(self.flows_ingested, self.ingest_nanos)
+    }
+
+    /// Flows dispatched but never processed (lost with panicked
+    /// shards or dropped batches).
+    pub fn flows_lost(&self) -> u64 {
+        self.flows_dispatched.saturating_sub(self.flows_ingested)
+    }
+
+    /// Multi-line terminal rendering of the per-stage accounting.
+    pub fn render(&self) -> String {
+        let mut out = String::from("pipeline metrics\n");
+        out.push_str(&format!(
+            "  generate   {:>12} flows  {:>10} bytes  {:>9.3}s cpu  {:>10} flows/s\n",
+            self.flows_generated,
+            scaled(self.bytes_generated as f64),
+            self.gen_nanos as f64 / 1e9,
+            scaled(self.gen_flows_per_sec()),
+        ));
+        out.push_str(&format!(
+            "  ingest     {:>12} flows  {:>10} batches {:>8.3}s cpu  {:>10} flows/s\n",
+            self.flows_ingested,
+            self.batches_ingested,
+            self.ingest_nanos as f64 / 1e9,
+            scaled(self.ingest_flows_per_sec()),
+        ));
+        out.push_str(&format!(
+            "  parse-fail {:>12} not-tls {:>9} garbled\n",
+            self.not_tls, self.garbled_client,
+        ));
+        out.push_str(&format!(
+            "  merge      {:>12.3}s\n",
+            self.merge_nanos as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "  faults     {:>12} shards lost  {:>8} flows lost\n",
+            self.shards_lost,
+            self.flows_lost(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = PipelineMetrics::new();
+        m.record_generated(120, Duration::from_nanos(500));
+        m.record_generated(80, Duration::from_nanos(500));
+        m.record_dispatched(2);
+        m.record_batch(2, Duration::from_micros(3));
+        m.record_parse_failures(1, 0);
+        m.record_shard_lost();
+        let s = m.snapshot();
+        assert_eq!(s.flows_generated, 2);
+        assert_eq!(s.bytes_generated, 200);
+        assert_eq!(s.gen_nanos, 1000);
+        assert_eq!(s.flows_ingested, 2);
+        assert_eq!(s.batches_ingested, 1);
+        assert_eq!(s.not_tls, 1);
+        assert_eq!(s.shards_lost, 1);
+        assert_eq!(s.flows_lost(), 0);
+    }
+
+    #[test]
+    fn rates_and_render() {
+        let m = PipelineMetrics::new();
+        m.record_batch(1000, Duration::from_millis(100));
+        m.record_dispatched(1200);
+        let s = m.snapshot();
+        assert!((s.ingest_flows_per_sec() - 10_000.0).abs() < 1.0);
+        assert_eq!(s.flows_lost(), 200);
+        let text = s.render();
+        assert!(text.contains("ingest"));
+        assert!(text.contains("flows lost"));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = PipelineMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.record_batch(1, Duration::from_nanos(10));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().flows_ingested, 4000);
+        assert_eq!(m.snapshot().batches_ingested, 4000);
+    }
+}

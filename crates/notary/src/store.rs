@@ -17,14 +17,59 @@ use tlscope_chron::Month;
 use crate::aggregate::{MonthlyStats, NotaryAggregate};
 
 const SCALARS: &[&str] = &[
-    "total", "sslv2", "rejected", "missing_server", "garbled_server", "answered", "v_ssl2",
-    "v_ssl3", "v_tls10", "v_tls11", "v_tls12", "v_tls13", "v_other", "neg_rc4", "neg_cbc",
-    "neg_aead", "neg_null", "neg_null_null", "neg_3des", "neg_des", "neg_export", "neg_anon",
-    "neg_unoffered", "neg_fs", "kx_rsa", "kx_dhe", "kx_ecdhe", "kx_dh", "kx_ecdh", "kx_tls13",
-    "kx_other", "na_128gcm", "na_256gcm", "na_chacha", "na_ccm", "na_other", "hb_neg",
-    "adv_rc4", "adv_cbc", "adv_aead", "adv_des", "adv_3des", "adv_export", "adv_anon",
-    "adv_null", "adv_fs", "adv_hb", "adv_tls13", "aa_128gcm", "aa_256gcm", "aa_chacha",
-    "aa_ccm", "aa_other",
+    "total",
+    "sslv2",
+    "rejected",
+    "missing_server",
+    "garbled_server",
+    "answered",
+    "v_ssl2",
+    "v_ssl3",
+    "v_tls10",
+    "v_tls11",
+    "v_tls12",
+    "v_tls13",
+    "v_other",
+    "neg_rc4",
+    "neg_cbc",
+    "neg_aead",
+    "neg_null",
+    "neg_null_null",
+    "neg_3des",
+    "neg_des",
+    "neg_export",
+    "neg_anon",
+    "neg_unoffered",
+    "neg_fs",
+    "kx_rsa",
+    "kx_dhe",
+    "kx_ecdhe",
+    "kx_dh",
+    "kx_ecdh",
+    "kx_tls13",
+    "kx_other",
+    "na_128gcm",
+    "na_256gcm",
+    "na_chacha",
+    "na_ccm",
+    "na_other",
+    "hb_neg",
+    "adv_rc4",
+    "adv_cbc",
+    "adv_aead",
+    "adv_des",
+    "adv_3des",
+    "adv_export",
+    "adv_anon",
+    "adv_null",
+    "adv_fs",
+    "adv_hb",
+    "adv_tls13",
+    "aa_128gcm",
+    "aa_256gcm",
+    "aa_chacha",
+    "aa_ccm",
+    "aa_other",
 ];
 
 fn scalar_values(s: &MonthlyStats) -> Vec<u64> {
@@ -33,14 +78,59 @@ fn scalar_values(s: &MonthlyStats) -> Vec<u64> {
     let na = s.neg_aead_alg;
     let aa = s.adv_aead_alg;
     vec![
-        s.total, s.sslv2, s.rejected, s.missing_server, s.garbled_server, s.answered, v.ssl2,
-        v.ssl3, v.tls10, v.tls11, v.tls12, v.tls13, v.other, s.neg_rc4, s.neg_cbc, s.neg_aead,
-        s.neg_null, s.neg_null_null, s.neg_3des, s.neg_des, s.neg_export, s.neg_anon,
-        s.neg_unoffered, s.neg_fs, k.rsa, k.dhe, k.ecdhe, k.dh, k.ecdh, k.tls13, k.other,
-        na.aes128gcm, na.aes256gcm, na.chacha, na.ccm, na.other, s.heartbeat_negotiated,
-        s.adv_rc4, s.adv_cbc, s.adv_aead, s.adv_des, s.adv_3des, s.adv_export, s.adv_anon,
-        s.adv_null, s.adv_fs, s.adv_heartbeat, s.adv_tls13, aa.aes128gcm, aa.aes256gcm,
-        aa.chacha, aa.ccm, aa.other,
+        s.total,
+        s.sslv2,
+        s.rejected,
+        s.missing_server,
+        s.garbled_server,
+        s.answered,
+        v.ssl2,
+        v.ssl3,
+        v.tls10,
+        v.tls11,
+        v.tls12,
+        v.tls13,
+        v.other,
+        s.neg_rc4,
+        s.neg_cbc,
+        s.neg_aead,
+        s.neg_null,
+        s.neg_null_null,
+        s.neg_3des,
+        s.neg_des,
+        s.neg_export,
+        s.neg_anon,
+        s.neg_unoffered,
+        s.neg_fs,
+        k.rsa,
+        k.dhe,
+        k.ecdhe,
+        k.dh,
+        k.ecdh,
+        k.tls13,
+        k.other,
+        na.aes128gcm,
+        na.aes256gcm,
+        na.chacha,
+        na.ccm,
+        na.other,
+        s.heartbeat_negotiated,
+        s.adv_rc4,
+        s.adv_cbc,
+        s.adv_aead,
+        s.adv_des,
+        s.adv_3des,
+        s.adv_export,
+        s.adv_anon,
+        s.adv_null,
+        s.adv_fs,
+        s.adv_heartbeat,
+        s.adv_tls13,
+        aa.aes128gcm,
+        aa.aes256gcm,
+        aa.chacha,
+        aa.ccm,
+        aa.other,
     ]
 }
 
@@ -206,6 +296,9 @@ mod tests {
         let flows = g
             .months(Month::ym(2015, 1), Month::ym(2015, 3))
             .flat_map(|(_, evs)| evs.into_iter())
+            // `TappedFlow::from` is unusable here: unit tests are a
+            // separate compilation of this crate, and the traffic
+            // crate's From impl targets the library build's type.
             .map(|ev| crate::TappedFlow {
                 date: ev.date,
                 port: ev.port,

@@ -1,0 +1,91 @@
+//! Generator-driven pipeline tests: serial vs parallel equivalence on
+//! realistic traffic. These live outside the crate so the traffic
+//! crate's `From<ConnectionEvent> for TappedFlow` impl applies (it
+//! targets the library build of tlscope-notary).
+
+use tlscope_chron::Month;
+use tlscope_notary::{
+    ingest_batched, ingest_parallel, ingest_parallel_metered, ingest_serial, PipelineMetrics,
+    TappedFlow,
+};
+use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
+
+fn flows(month: Month, n: u32) -> Vec<TappedFlow> {
+    let g = Generator::new(TrafficConfig {
+        seed: 7,
+        connections_per_month: n,
+        faults: FaultInjector::none(),
+    });
+    g.month(month).into_iter().map(TappedFlow::from).collect()
+}
+
+#[test]
+fn serial_ingestion_counts_everything() {
+    let agg = ingest_serial(flows(Month::ym(2016, 3), 400));
+    let m = agg.month(Month::ym(2016, 3)).unwrap();
+    assert_eq!(m.total, 400);
+    assert!(m.answered > 350);
+    assert!(m.neg_aead > 0);
+}
+
+#[test]
+fn parallel_matches_serial_exactly() {
+    let fs = flows(Month::ym(2015, 9), 600);
+    let serial = ingest_serial(fs.clone());
+    let parallel = ingest_parallel(fs, 4);
+    // Aggregation is commutative and integer-exact, so the whole
+    // aggregate — counters, fingerprints, sightings, position means —
+    // must be bit-identical.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn batch_size_never_changes_the_result() {
+    let fs = flows(Month::ym(2014, 8), 500);
+    let serial = ingest_serial(fs.clone());
+    for batch in [1, 7, 64, 256, 1024] {
+        let metrics = PipelineMetrics::new();
+        let batched = ingest_batched(fs.clone(), 3, batch, &metrics);
+        assert_eq!(serial, batched, "batch size {batch} diverged");
+        assert_eq!(metrics.snapshot().flows_ingested, fs.len() as u64);
+    }
+}
+
+#[test]
+fn faulty_flows_are_tolerated() {
+    let g = Generator::new(TrafficConfig {
+        seed: 9,
+        connections_per_month: 500,
+        faults: FaultInjector {
+            drop_prob: 0.0,
+            truncate_prob: 0.3,
+            corrupt_prob: 0.3,
+        },
+    });
+    let fs: Vec<TappedFlow> = g
+        .month(Month::ym(2016, 6))
+        .into_iter()
+        .map(TappedFlow::from)
+        .collect();
+    let n = fs.len();
+    let agg = ingest_serial(fs);
+    // Nothing panics; damaged flows are counted, not lost.
+    let m = agg.month(Month::ym(2016, 6)).unwrap();
+    assert!(m.total as usize + agg.garbled_client as usize + agg.not_tls as usize == n);
+    assert!(agg.garbled_client > 0);
+}
+
+#[test]
+fn realistic_traffic_failures_are_metered() {
+    let fs = flows(Month::ym(2016, 1), 700);
+    let metrics = PipelineMetrics::new();
+    let agg = ingest_parallel_metered(fs, 3, &metrics);
+    let s = metrics.snapshot();
+    assert_eq!(s.flows_dispatched, 700);
+    assert_eq!(s.flows_ingested, 700);
+    assert_eq!(s.batches_ingested, 3);
+    assert_eq!(
+        s.not_tls + s.garbled_client,
+        agg.not_tls + agg.garbled_client
+    );
+}

@@ -1,0 +1,72 @@
+//! Property test: the batched parallel pipeline is byte-for-byte
+//! equivalent to serial ingestion — for any batch size, worker count
+//! 1–8, and tap fault mix (including 100 % truncation). Equality is on
+//! the whole [`NotaryAggregate`] (integer-exact), so every monthly
+//! counter, fingerprint count, sighting, and failure counter must
+//! match, and the parse-failure classes surfaced through
+//! [`PipelineMetrics`] must agree with the aggregate itself.
+
+use proptest::prelude::*;
+use tlscope_chron::Month;
+use tlscope_notary::{ingest_batched, ingest_serial, PipelineMetrics, TappedFlow};
+use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
+
+fn fault_mix() -> impl Strategy<Value = FaultInjector> {
+    (0usize..5).prop_map(|i| match i {
+        0 => FaultInjector::none(),
+        1 => FaultInjector::tap_defaults(),
+        2 => FaultInjector {
+            drop_prob: 0.1,
+            truncate_prob: 0.2,
+            corrupt_prob: 0.2,
+        },
+        // Every flow truncated: nothing but damaged input.
+        3 => FaultInjector {
+            drop_prob: 0.0,
+            truncate_prob: 1.0,
+            corrupt_prob: 0.0,
+        },
+        _ => FaultInjector {
+            drop_prob: 0.0,
+            truncate_prob: 0.5,
+            corrupt_prob: 1.0,
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn parallel_is_byte_for_byte_serial(
+        seed in 0u64..1_000_000,
+        year in 2012i32..=2018,
+        mon in 1u8..=12,
+        n in 50u32..200,
+        workers in 1usize..=8,
+        batch in 1usize..300,
+        faults in fault_mix(),
+    ) {
+        let g = Generator::new(TrafficConfig {
+            seed,
+            connections_per_month: n,
+            faults,
+        });
+        let flows: Vec<TappedFlow> = g
+            .month(Month::ym(year, mon))
+            .into_iter()
+            .map(TappedFlow::from)
+            .collect();
+
+        let serial = ingest_serial(flows.clone());
+        let metrics = PipelineMetrics::new();
+        let parallel = ingest_batched(flows.clone(), workers, batch, &metrics);
+        prop_assert_eq!(&serial, &parallel);
+
+        let s = metrics.snapshot();
+        prop_assert_eq!(s.not_tls, serial.not_tls);
+        prop_assert_eq!(s.garbled_client, serial.garbled_client);
+        prop_assert_eq!(s.flows_dispatched, flows.len() as u64);
+        prop_assert_eq!(s.flows_ingested, flows.len() as u64);
+        prop_assert_eq!(s.shards_lost, 0);
+    }
+}

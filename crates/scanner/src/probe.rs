@@ -8,11 +8,7 @@
 
 use tlscope_wire::{CipherSuite, ClientHello, Extension, NamedGroup, ProtocolVersion};
 
-fn hello(
-    version: ProtocolVersion,
-    suites: &[u16],
-    extensions: Vec<Extension>,
-) -> ClientHello {
+fn hello(version: ProtocolVersion, suites: &[u16], extensions: Vec<Extension>) -> ClientHello {
     ClientHello {
         legacy_version: version,
         random: [0x5c; 32],
@@ -128,10 +124,7 @@ mod tests {
         assert_eq!(h.legacy_version, ProtocolVersion::Ssl3);
         assert!(h.extensions.is_none());
         assert!(!h.offers_tls13());
-        assert_eq!(
-            h.offered_versions(),
-            vec![ProtocolVersion::Ssl3]
-        );
+        assert_eq!(h.offered_versions(), vec![ProtocolVersion::Ssl3]);
     }
 
     #[test]

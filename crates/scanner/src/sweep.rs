@@ -104,12 +104,7 @@ pub fn probe_host(profile: &ServerProfile, snap: &mut ScanSnapshot) {
 }
 
 /// Sweep `hosts` random responsive servers at `date`.
-pub fn sweep(
-    population: &ServerPopulation,
-    date: Date,
-    hosts: u32,
-    seed: u64,
-) -> ScanSnapshot {
+pub fn sweep(population: &ServerPopulation, date: Date, hosts: u32, seed: u64) -> ScanSnapshot {
     let mut rng = SmallRng::seed_from_u64(seed ^ (date.to_epoch_days() as u64));
     let mut snap = ScanSnapshot {
         date,

@@ -199,7 +199,9 @@ pub fn params(cohort: Cohort, date: Date) -> CohortParams {
             p_hb_vuln: 0.35 * decay_after(d, HEARTBLEED, 25.0, 0.004),
             p_client_order: 0.35,
             p_quirk_rc4: 0.012,
-            p_quirk_3des: 0.004 + 0.020 * (1.0 - ramp(d, Date::ymd(2012, 1, 1), Date::ymd(2015, 6, 1))) - 0.002 * ramp(d, SWEET32, Date::ymd(2018, 5, 1)),
+            p_quirk_3des: 0.004
+                + 0.020 * (1.0 - ramp(d, Date::ymd(2012, 1, 1), Date::ymd(2015, 6, 1)))
+                - 0.002 * ramp(d, SWEET32, Date::ymd(2018, 5, 1)),
             p_odd_curves: 0.03,
             p_no_ecc: 0.75 * (1.0 - ramp(d, Date::ymd(2012, 6, 1), Date::ymd(2016, 6, 1))) + 0.04,
         },
@@ -228,7 +230,9 @@ pub fn params(cohort: Cohort, date: Date) -> CohortParams {
             p_hb_vuln: 0.28 * decay_after(d, HEARTBLEED, 45.0, 0.005),
             p_client_order: 0.20,
             p_quirk_rc4: 0.025,
-            p_quirk_3des: 0.005 + 0.025 * (1.0 - ramp(d, Date::ymd(2012, 1, 1), Date::ymd(2015, 6, 1))) - 0.002 * ramp(d, SWEET32, Date::ymd(2018, 5, 1)),
+            p_quirk_3des: 0.005
+                + 0.025 * (1.0 - ramp(d, Date::ymd(2012, 1, 1), Date::ymd(2015, 6, 1)))
+                - 0.002 * ramp(d, SWEET32, Date::ymd(2018, 5, 1)),
             p_odd_curves: 0.01,
             p_no_ecc: 0.65 * (1.0 - ramp(d, Date::ymd(2012, 6, 1), Date::ymd(2016, 1, 1))) + 0.05,
         },
@@ -503,7 +507,9 @@ mod tests {
     #[test]
     fn tls13_lives_in_cdns_only_late() {
         assert_eq!(
-            frac(Cohort::Cdn, Date::ymd(2016, 6, 1), 1000, |p| p.tls13.is_some()),
+            frac(Cohort::Cdn, Date::ymd(2016, 6, 1), 1000, |p| p
+                .tls13
+                .is_some()),
             0.0
         );
         let apr18 = frac(Cohort::Cdn, Date::ymd(2018, 4, 1), 3000, |p| {
@@ -511,7 +517,9 @@ mod tests {
         });
         assert!(apr18 > 0.3, "apr18 {apr18}");
         assert_eq!(
-            frac(Cohort::Iot, Date::ymd(2018, 4, 1), 500, |p| p.tls13.is_some()),
+            frac(Cohort::Iot, Date::ymd(2018, 4, 1), 500, |p| p
+                .tls13
+                .is_some()),
             0.0
         );
     }
@@ -519,7 +527,10 @@ mod tests {
     #[test]
     fn iot_never_modernises() {
         let d = Date::ymd(2018, 4, 1);
-        assert_eq!(frac(Cohort::Iot, d, 1000, |p| p.preference[0].is_aead()), 0.0);
+        assert_eq!(
+            frac(Cohort::Iot, d, 1000, |p| p.preference[0].is_aead()),
+            0.0
+        );
         let tls10 = frac(Cohort::Iot, d, 1000, |p| {
             p.max_version == ProtocolVersion::Tls10
         });

@@ -59,9 +59,7 @@ pub fn respond(
             extensions.push(Extension::key_share_server(group));
         }
     }
-    if hello.find_extension(ext_type::RENEGOTIATION_INFO).is_some()
-        && !version.is_tls13_family()
-    {
+    if hello.find_extension(ext_type::RENEGOTIATION_INFO).is_some() && !version.is_tls13_family() {
         extensions.push(Extension::renegotiation_info());
     }
     let heartbeat = profile.heartbeat
@@ -104,9 +102,7 @@ fn negotiate_version(
     // TLS 1.3 path: exact-member match within the 1.3 family, mirroring
     // how draft deployments only interoperated on equal draft numbers.
     if let Some(server13) = profile.tls13 {
-        if hello
-            .offered_versions().contains(&server13)
-        {
+        if hello.offered_versions().contains(&server13) {
             return Ok(server13);
         }
     }
@@ -180,24 +176,24 @@ fn select_cipher(
             }
         }
         Quirk::PreferAnon => {
-            if let Some(c) = offered
-                .iter()
-                .find(|c| c.is_anon() || c.is_null_null())
-            {
+            if let Some(c) = offered.iter().find(|c| c.is_anon() || c.is_null_null()) {
                 return Ok(*c);
             }
         }
         Quirk::None => {}
     }
 
-    let supportable = |c: &CipherSuite| {
-        profile.preference.contains(c) && ecdhe_feasible(profile, hello, *c)
-    };
+    let supportable =
+        |c: &CipherSuite| profile.preference.contains(c) && ecdhe_feasible(profile, hello, *c);
     let choice = if profile.prefer_server_order {
         profile
             .preference
             .iter()
-            .find(|c| offered.contains(c) && ecdhe_feasible(profile, hello, **c) && usable_at(**c, version))
+            .find(|c| {
+                offered.contains(c)
+                    && ecdhe_feasible(profile, hello, **c)
+                    && usable_at(**c, version)
+            })
             .copied()
     } else {
         offered.iter().find(|c| supportable(c)).copied()
@@ -347,10 +343,13 @@ mod tests {
             pref
         };
         let mut h = hello(&[0x1301, 0x1303, 0xc02b, 0xc02f], Some(&[29, 23]));
-        h.extensions.as_mut().unwrap().push(Extension::supported_versions(&[
-            ProtocolVersion::Tls13Experiment(2),
-            ProtocolVersion::Tls12,
-        ]));
+        h.extensions
+            .as_mut()
+            .unwrap()
+            .push(Extension::supported_versions(&[
+                ProtocolVersion::Tls13Experiment(2),
+                ProtocolVersion::Tls12,
+            ]));
         let n = respond(&p, &h, [0; 32]).unwrap();
         assert_eq!(n.version, ProtocolVersion::Tls13Experiment(2));
         assert!(n.cipher.is_tls13());

@@ -285,7 +285,10 @@ mod tests {
             .filter(|_| pop.sample_host(date, &mut rng).supports_ssl3())
             .count() as f64
             / n as f64;
-        assert!(host_ssl3 > traffic_ssl3 + 0.1, "host {host_ssl3} traffic {traffic_ssl3}");
+        assert!(
+            host_ssl3 > traffic_ssl3 + 0.1,
+            "host {host_ssl3} traffic {traffic_ssl3}"
+        );
         // Censys anchor: ~45 % of hosts supported SSL 3 in Sep 2015.
         assert!(host_ssl3 > 0.33 && host_ssl3 < 0.60, "host {host_ssl3}");
     }
@@ -296,7 +299,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let n = 4000;
         let host_ssl3 = (0..n)
-            .filter(|_| pop.sample_host(Date::ymd(2018, 5, 1), &mut rng).supports_ssl3())
+            .filter(|_| {
+                pop.sample_host(Date::ymd(2018, 5, 1), &mut rng)
+                    .supports_ssl3()
+            })
             .count() as f64
             / n as f64;
         // "less than 25 % of servers support SSL 3" in May 2018.

@@ -94,8 +94,8 @@ pub mod preference {
     /// Modern 2015+ stack: ECDHE-AEAD first, CBC fallback, 3DES last.
     pub fn modern() -> Vec<CipherSuite> {
         v(&[
-            0xc02f, 0xc02b, 0xc030, 0xc02c, 0xcca8, 0xcca9, 0x009e, 0x009c, 0xc027, 0xc013,
-            0xc014, 0x003c, 0x002f, 0x0035, 0x000a,
+            0xc02f, 0xc02b, 0xc030, 0xc02c, 0xcca8, 0xcca9, 0x009e, 0x009c, 0xc027, 0xc013, 0xc014,
+            0x003c, 0x002f, 0x0035, 0x000a,
         ])
     }
 
@@ -104,8 +104,8 @@ pub mod preference {
     /// steady minority share of negotiations).
     pub fn modern_aes256_first() -> Vec<CipherSuite> {
         v(&[
-            0xc030, 0xc02c, 0xc02f, 0xc02b, 0x009f, 0x009d, 0x009e, 0x009c, 0xc028, 0xc014,
-            0xc027, 0xc013, 0x0035, 0x002f, 0x000a,
+            0xc030, 0xc02c, 0xc02f, 0xc02b, 0x009f, 0x009d, 0x009e, 0x009c, 0xc028, 0xc014, 0xc027,
+            0xc013, 0x0035, 0x002f, 0x000a,
         ])
     }
 
@@ -113,8 +113,8 @@ pub mod preference {
     /// properties, 2016+).
     pub fn modern_chacha_first() -> Vec<CipherSuite> {
         v(&[
-            0xcca8, 0xcca9, 0xc02f, 0xc02b, 0xc030, 0xc02c, 0x009e, 0x009c, 0xc027, 0xc013,
-            0xc014, 0x002f, 0x0035,
+            0xcca8, 0xcca9, 0xc02f, 0xc02b, 0xc030, 0xc02c, 0x009e, 0x009c, 0xc027, 0xc013, 0xc014,
+            0x002f, 0x0035,
         ])
     }
 
@@ -123,8 +123,7 @@ pub mod preference {
     /// non-forward-secret ciphers").
     pub fn cbc_era() -> Vec<CipherSuite> {
         v(&[
-            0x002f, 0x0035, 0x0033, 0x0039, 0xc013, 0xc014, 0xc011, 0x0005, 0x0004, 0x000a,
-            0x0016,
+            0x002f, 0x0035, 0x0033, 0x0039, 0xc013, 0xc014, 0xc011, 0x0005, 0x0004, 0x000a, 0x0016,
         ])
     }
 
@@ -132,8 +131,7 @@ pub mod preference {
     /// forward secrecy (§6.3.1).
     pub fn cbc_era_fs() -> Vec<CipherSuite> {
         v(&[
-            0xc013, 0xc014, 0x0033, 0x0039, 0x002f, 0x0035, 0xc011, 0x0005, 0x0004, 0x000a,
-            0x0016,
+            0xc013, 0xc014, 0x0033, 0x0039, 0x002f, 0x0035, 0xc011, 0x0005, 0x0004, 0x000a, 0x0016,
         ])
     }
 

@@ -13,8 +13,10 @@
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use std::time::Instant;
 use tlscope_chron::{Date, Month};
 use tlscope_clients::{catalog, Family, HelloEntropy};
+use tlscope_notary::{PipelineMetrics, TappedFlow};
 use tlscope_servers::{negotiate, Destination, ServerPopulation};
 use tlscope_wire::record::{ContentType, Record};
 use tlscope_wire::{ProtocolVersion, Sslv2ClientHello};
@@ -33,6 +35,29 @@ pub struct ConnectionEvent {
     pub client_flow: Vec<u8>,
     /// Server → client bytes; `None` when the tap missed them.
     pub server_flow: Option<Vec<u8>>,
+}
+
+impl ConnectionEvent {
+    /// Total wire bytes the tap captured for this connection.
+    pub fn wire_bytes(&self) -> u64 {
+        self.client_flow.len() as u64 + self.server_flow.as_ref().map_or(0, |s| s.len() as u64)
+    }
+}
+
+/// The generator→notary boundary: hand the captured byte buffers to
+/// the tap without copying them. This is the single definition of the
+/// mapping — every pipeline (study runner, benches, tests) goes
+/// through it, so a field added to either side cannot silently
+/// desynchronise a hand-rolled copy.
+impl From<ConnectionEvent> for TappedFlow {
+    fn from(ev: ConnectionEvent) -> TappedFlow {
+        TappedFlow {
+            date: ev.date,
+            port: ev.port,
+            client: ev.client_flow,
+            server: ev.server_flow,
+        }
+    }
 }
 
 /// Generator configuration.
@@ -80,28 +105,39 @@ impl Generator {
 
     /// Generate one month of traffic. Deterministic in (seed, month).
     pub fn month(&self, month: Month) -> Vec<ConnectionEvent> {
-        let mut rng = SmallRng::seed_from_u64(
-            self.cfg
-                .seed
-                .wrapping_mul(0x9e3779b97f4a7c15)
-                .wrapping_add(month.index() as u64),
-        );
         let mut out = Vec::with_capacity(self.cfg.connections_per_month as usize);
-        // Shares drift within a month; sampling at mid-month per
-        // connection-day keeps the curves smooth without recomputing
-        // per event.
-        for _ in 0..self.cfg.connections_per_month {
-            let day = rng.random_range(1..=month.len_days());
-            let date = Date::new(month.year(), month.month_of_year(), day).unwrap();
-            if let Some(ev) = self.connection(date, &mut rng) {
-                out.push(ev);
-            }
-        }
+        out.extend(self.stream_month(month));
         out
     }
 
+    /// Lazily generate one month of traffic, one event at a time.
+    ///
+    /// Yields exactly the same event sequence as [`Generator::month`]
+    /// (same per-month RNG stream, same fault injection) without ever
+    /// materializing the month — the streaming study runner aggregates
+    /// each event as it is drawn, so peak memory stays at one event
+    /// per worker instead of one month per worker.
+    pub fn stream_month(&self, month: Month) -> MonthStream<'_> {
+        MonthStream {
+            generator: self,
+            month,
+            rng: SmallRng::seed_from_u64(
+                self.cfg
+                    .seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add(month.index() as u64),
+            ),
+            remaining: self.cfg.connections_per_month,
+            metrics: None,
+        }
+    }
+
     /// Generate every month in an inclusive range.
-    pub fn months(&self, start: Month, end: Month) -> impl Iterator<Item = (Month, Vec<ConnectionEvent>)> + '_ {
+    pub fn months(
+        &self,
+        start: Month,
+        end: Month,
+    ) -> impl Iterator<Item = (Month, Vec<ConnectionEvent>)> + '_ {
         start.iter_through(end).map(move |m| (m, self.month(m)))
     }
 
@@ -153,9 +189,7 @@ impl Generator {
         let client_bytes: Vec<u8> = client_records.iter().flat_map(|r| r.to_bytes()).collect();
 
         // 4. Server side.
-        let profile = self
-            .population
-            .sample_for_traffic(dest, date, rng);
+        let profile = self.population.sample_for_traffic(dest, date, rng);
         let mut server_random = [0u8; 32];
         for chunk in server_random.chunks_mut(8) {
             chunk.copy_from_slice(&rng.random::<u64>().to_le_bytes());
@@ -204,6 +238,56 @@ impl Generator {
             client_flow,
             server_flow,
         })
+    }
+}
+
+/// Lazy per-event iterator over one month's traffic.
+///
+/// Created by [`Generator::stream_month`]. Attach a
+/// [`PipelineMetrics`] with [`MonthStream::metered`] to account each
+/// drawn event (flow count, wire bytes, generation wall-clock) as it
+/// is produced.
+pub struct MonthStream<'a> {
+    generator: &'a Generator,
+    month: Month,
+    rng: SmallRng,
+    remaining: u32,
+    metrics: Option<&'a PipelineMetrics>,
+}
+
+impl<'a> MonthStream<'a> {
+    /// Record every drawn event into `metrics` (generation stage).
+    pub fn metered(mut self, metrics: &'a PipelineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+impl Iterator for MonthStream<'_> {
+    type Item = ConnectionEvent;
+
+    fn next(&mut self) -> Option<ConnectionEvent> {
+        let started = self.metrics.map(|_| Instant::now());
+        // Shares drift within a month; sampling per connection-day
+        // keeps the curves smooth without recomputing per event.
+        while self.remaining > 0 {
+            self.remaining -= 1;
+            let day = self.rng.random_range(1..=self.month.len_days());
+            let date = Date::new(self.month.year(), self.month.month_of_year(), day).unwrap();
+            if let Some(ev) = self.generator.connection(date, &mut self.rng) {
+                if let (Some(m), Some(t0)) = (self.metrics, started) {
+                    m.record_generated(ev.wire_bytes(), t0.elapsed());
+                }
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Fault injection can drop any event, so only the upper bound
+        // is known.
+        (0, Some(self.remaining as usize))
     }
 }
 
@@ -365,6 +449,48 @@ mod tests {
                 sh.cipher_suite
             );
         }
+    }
+
+    #[test]
+    fn stream_matches_materialized_month() {
+        let g = small_gen();
+        let streamed: Vec<ConnectionEvent> = g.stream_month(Month::ym(2015, 6)).collect();
+        let materialized = g.month(Month::ym(2015, 6));
+        assert_eq!(streamed.len(), materialized.len());
+        for (a, b) in streamed.iter().zip(&materialized) {
+            assert_eq!(a.date, b.date);
+            assert_eq!(a.port, b.port);
+            assert_eq!(a.client_flow, b.client_flow);
+            assert_eq!(a.server_flow, b.server_flow);
+        }
+    }
+
+    #[test]
+    fn metered_stream_accounts_flows_and_bytes() {
+        let g = small_gen();
+        let metrics = PipelineMetrics::new();
+        let total_bytes: u64 = g
+            .stream_month(Month::ym(2016, 3))
+            .metered(&metrics)
+            .map(|ev| ev.wire_bytes())
+            .sum();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.flows_generated, 500);
+        assert_eq!(snap.bytes_generated, total_bytes);
+        assert!(snap.gen_nanos > 0);
+    }
+
+    #[test]
+    fn from_connection_event_moves_flows() {
+        let g = small_gen();
+        let ev = g.month(Month::ym(2016, 3)).remove(0);
+        let (date, port) = (ev.date, ev.port);
+        let (client, server) = (ev.client_flow.clone(), ev.server_flow.clone());
+        let flow = TappedFlow::from(ev);
+        assert_eq!(flow.date, date);
+        assert_eq!(flow.port, port);
+        assert_eq!(flow.client, client);
+        assert_eq!(flow.server, server);
     }
 
     #[test]

@@ -45,23 +45,63 @@ const fn d(y: i32, m: u8) -> Date {
 /// default weight so nothing silently vanishes.
 pub fn share_anchors(name: &str) -> ShareCurve {
     let anchors: &[(Date, f64)] = match name {
-        "Chrome" => &[(d(2012, 1), 0.160), (d(2014, 1), 0.220), (d(2016, 1), 0.270), (d(2018, 4), 0.320)],
-        "Firefox" => &[(d(2012, 1), 0.140), (d(2014, 1), 0.120), (d(2016, 1), 0.100), (d(2018, 4), 0.080)],
+        "Chrome" => &[
+            (d(2012, 1), 0.160),
+            (d(2014, 1), 0.220),
+            (d(2016, 1), 0.270),
+            (d(2018, 4), 0.320),
+        ],
+        "Firefox" => &[
+            (d(2012, 1), 0.140),
+            (d(2014, 1), 0.120),
+            (d(2016, 1), 0.100),
+            (d(2018, 4), 0.080),
+        ],
         "Firefox (TLS 1.3 flag)" => &[(d(2017, 2), 0.0), (d(2017, 4), 0.006), (d(2018, 4), 0.007)],
-        "Chrome (TLS 1.3 experiment)" => &[(d(2017, 2), 0.0), (d(2017, 4), 0.010), (d(2018, 2), 0.010), (d(2018, 4), 0.004)],
-        "IE/Edge" => &[(d(2012, 1), 0.180), (d(2014, 1), 0.130), (d(2016, 1), 0.070), (d(2018, 4), 0.050)],
+        "Chrome (TLS 1.3 experiment)" => &[
+            (d(2017, 2), 0.0),
+            (d(2017, 4), 0.010),
+            (d(2018, 2), 0.010),
+            (d(2018, 4), 0.004),
+        ],
+        "IE/Edge" => &[
+            (d(2012, 1), 0.180),
+            (d(2014, 1), 0.130),
+            (d(2016, 1), 0.070),
+            (d(2018, 4), 0.050),
+        ],
         "Safari" => &[(d(2012, 1), 0.050), (d(2018, 4), 0.055)],
         "Opera" => &[(d(2012, 1), 0.022), (d(2018, 4), 0.018)],
-        "Android SDK" => &[(d(2012, 1), 0.060), (d(2014, 1), 0.120), (d(2016, 1), 0.170), (d(2018, 4), 0.200)],
-        "Apple SecureTransport" => &[(d(2012, 1), 0.080), (d(2015, 1), 0.130), (d(2018, 4), 0.160)],
+        "Android SDK" => &[
+            (d(2012, 1), 0.060),
+            (d(2014, 1), 0.120),
+            (d(2016, 1), 0.170),
+            (d(2018, 4), 0.200),
+        ],
+        "Apple SecureTransport" => &[
+            (d(2012, 1), 0.080),
+            (d(2015, 1), 0.130),
+            (d(2018, 4), 0.160),
+        ],
         "MS CryptoAPI" => &[(d(2012, 1), 0.050), (d(2018, 4), 0.040)],
         "OpenSSL" => &[(d(2012, 1), 0.070), (d(2018, 4), 0.070)],
         "Java JSSE" => &[(d(2012, 1), 0.042), (d(2018, 4), 0.015)],
         // GRID: 2.84 % of lifetime connections negotiate NULL (§6.1),
         // falling to 0.42 % of 2018 traffic.
-        "Globus GridFTP" => &[(d(2012, 1), 0.068), (d(2014, 1), 0.052), (d(2016, 1), 0.024), (d(2018, 1), 0.0065), (d(2018, 4), 0.0065)],
+        "Globus GridFTP" => &[
+            (d(2012, 1), 0.068),
+            (d(2014, 1), 0.052),
+            (d(2016, 1), 0.024),
+            (d(2018, 1), 0.0065),
+            (d(2018, 4), 0.0065),
+        ],
         // Nagios anon: 0.17 % lifetime, 0.60 % of 2018 (§6.2 — rising).
-        "Nagios NRPE" => &[(d(2012, 1), 0.0008), (d(2016, 1), 0.0018), (d(2018, 1), 0.0060), (d(2018, 4), 0.0060)],
+        "Nagios NRPE" => &[
+            (d(2012, 1), 0.0008),
+            (d(2016, 1), 0.0018),
+            (d(2018, 1), 0.0060),
+            (d(2018, 4), 0.0060),
+        ],
         "Legacy Nagios probe (SSLv2)" => &[(d(2012, 1), 0.00002), (d(2018, 4), 0.00001)],
         "Thunderbird" => &[(d(2012, 1), 0.012), (d(2018, 4), 0.008)],
         "Apple Mail" => &[(d(2012, 1), 0.015), (d(2018, 4), 0.015)],
@@ -74,12 +114,29 @@ pub fn share_anchors(name: &str) -> ShareCurve {
         "Avast" => &[(d(2014, 10), 0.0), (d(2015, 6), 0.007), (d(2018, 4), 0.007)],
         // Kaspersky and Lookout spike alongside the anon SDK in
         // mid-2015 (§6.2).
-        "Kaspersky" => &[(d(2014, 8), 0.0), (d(2015, 4), 0.005), (d(2015, 6), 0.009), (d(2015, 10), 0.007), (d(2018, 4), 0.005)],
+        "Kaspersky" => &[
+            (d(2014, 8), 0.0),
+            (d(2015, 4), 0.005),
+            (d(2015, 6), 0.009),
+            (d(2015, 10), 0.007),
+            (d(2018, 4), 0.005),
+        ],
         "Lookout Personal" => &[(d(2013, 5), 0.0), (d(2014, 1), 0.003), (d(2018, 4), 0.003)],
         "Bluecoat Proxy" => &[(d(2013, 1), 0.0), (d(2014, 1), 0.004), (d(2018, 4), 0.003)],
-        "Craftar Image Recognition" => &[(d(2014, 3), 0.0), (d(2014, 9), 0.001), (d(2018, 4), 0.001)],
-        "Shodan scanner" => &[(d(2013, 6), 0.0), (d(2014, 1), 0.0005), (d(2018, 4), 0.0005)],
-        "Zbot" => &[(d(2012, 6), 0.0), (d(2013, 1), 0.002), (d(2016, 1), 0.001), (d(2018, 4), 0.0005)],
+        "Craftar Image Recognition" => {
+            &[(d(2014, 3), 0.0), (d(2014, 9), 0.001), (d(2018, 4), 0.001)]
+        }
+        "Shodan scanner" => &[
+            (d(2013, 6), 0.0),
+            (d(2014, 1), 0.0005),
+            (d(2018, 4), 0.0005),
+        ],
+        "Zbot" => &[
+            (d(2012, 6), 0.0),
+            (d(2013, 1), 0.002),
+            (d(2016, 1), 0.001),
+            (d(2018, 4), 0.0005),
+        ],
         "InstallMoney" => &[(d(2014, 9), 0.0), (d(2015, 3), 0.001), (d(2018, 4), 0.0008)],
         "Splunk forwarder" => &[(d(2013, 10), 0.0), (d(2014, 6), 0.003), (d(2018, 4), 0.003)],
         "Interwise" => &[(d(2012, 1), 0.0006), (d(2018, 4), 0.0002)],
@@ -92,18 +149,45 @@ pub fn share_anchors(name: &str) -> ShareCurve {
         "HP LaserJet firmware" => &[(d(2012, 1), 0.004), (d(2018, 4), 0.002)],
         "SmartHome hub" => &[(d(2014, 3), 0.0), (d(2015, 6), 0.002), (d(2018, 4), 0.003)],
         "SmartTV platform" => &[(d(2014, 5), 0.0), (d(2015, 6), 0.004), (d(2018, 4), 0.006)],
-        "GostRAT" => &[(d(2015, 2), 0.0), (d(2015, 8), 0.0004), (d(2018, 4), 0.0002)],
+        "GostRAT" => &[
+            (d(2015, 2), 0.0),
+            (d(2015, 8), 0.0004),
+            (d(2018, 4), 0.0002),
+        ],
         "Steam" => &[(d(2016, 2), 0.0), (d(2016, 10), 0.004), (d(2018, 4), 0.005)],
         // Unlabelled mass (~30 % of fingerprinted-era traffic, §4).
-        "(embedded stack, SSL3)" => &[(d(2012, 1), 0.060), (d(2013, 6), 0.024), (d(2014, 7), 0.002), (d(2015, 6), 0.0002), (d(2018, 4), 0.00005)],
-        "(embedded stack, TLS1.0)" => &[(d(2012, 1), 0.240), (d(2014, 1), 0.090), (d(2016, 1), 0.022), (d(2018, 4), 0.007)],
+        "(embedded stack, SSL3)" => &[
+            (d(2012, 1), 0.060),
+            (d(2013, 6), 0.024),
+            (d(2014, 7), 0.002),
+            (d(2015, 6), 0.0002),
+            (d(2018, 4), 0.00005),
+        ],
+        "(embedded stack, TLS1.0)" => &[
+            (d(2012, 1), 0.240),
+            (d(2014, 1), 0.090),
+            (d(2016, 1), 0.022),
+            (d(2018, 4), 0.007),
+        ],
         // The §6.2 spike: 5.8 % → 12.9 % of connections advertising
         // anon within two months of mid-2015.
-        "(anon/NULL SDK)" => &[(d(2012, 1), 0.050), (d(2015, 4), 0.052), (d(2015, 6), 0.210), (d(2015, 8), 0.170), (d(2015, 11), 0.110), (d(2016, 6), 0.060), (d(2018, 4), 0.045)],
+        "(anon/NULL SDK)" => &[
+            (d(2012, 1), 0.050),
+            (d(2015, 4), 0.052),
+            (d(2015, 6), 0.210),
+            (d(2015, 8), 0.170),
+            (d(2015, 11), 0.110),
+            (d(2016, 6), 0.060),
+            (d(2018, 4), 0.045),
+        ],
         "(misc A)" => &[(d(2012, 1), 0.105), (d(2018, 4), 0.130)],
         "(misc B)" => &[(d(2012, 1), 0.090), (d(2018, 4), 0.110)],
         "(misc C)" => &[(d(2012, 1), 0.080), (d(2018, 4), 0.100)],
-        "(cipher-shuffling client)" => &[(d(2014, 6), 0.0), (d(2014, 10), 0.0015), (d(2018, 4), 0.0015)],
+        "(cipher-shuffling client)" => &[
+            (d(2014, 6), 0.0),
+            (d(2014, 10), 0.0015),
+            (d(2018, 4), 0.0015),
+        ],
         _ => &[(d(2012, 1), 0.0005), (d(2018, 4), 0.0005)],
     };
     ShareCurve {
@@ -127,10 +211,7 @@ impl Market {
     /// Build from the full client catalog.
     pub fn new() -> Self {
         let families = tlscope_clients::catalog::all_families();
-        let curves = families
-            .iter()
-            .map(|f| share_anchors(f.name))
-            .collect();
+        let curves = families.iter().map(|f| share_anchors(f.name)).collect();
         Market { families, curves }
     }
 
@@ -182,7 +263,11 @@ mod tests {
     #[test]
     fn shares_normalise() {
         let m = Market::new();
-        for date in [Date::ymd(2012, 2, 1), Date::ymd(2015, 6, 1), Date::ymd(2018, 4, 1)] {
+        for date in [
+            Date::ymd(2012, 2, 1),
+            Date::ymd(2015, 6, 1),
+            Date::ymd(2018, 4, 1),
+        ] {
             let sum: f64 = m.shares(date).iter().sum();
             assert!((sum - 1.0).abs() < 1e-9, "{date}: {sum}");
         }
@@ -240,6 +325,9 @@ mod tests {
         assert!(mid > w0 && mid < w1);
         // Clamped outside.
         assert_eq!(c.weight(Date::ymd(2010, 1, 1)), w0);
-        assert_eq!(c.weight(Date::ymd(2020, 1, 1)), c.weight(Date::ymd(2018, 4, 1)));
+        assert_eq!(
+            c.weight(Date::ymd(2020, 1, 1)),
+            c.weight(Date::ymd(2018, 4, 1))
+        );
     }
 }

@@ -169,7 +169,10 @@ impl Extension {
 
     /// An empty-bodied extension (most boolean-flag extensions).
     pub fn empty(typ: u16) -> Self {
-        Extension { typ, body: Vec::new() }
+        Extension {
+            typ,
+            body: Vec::new(),
+        }
     }
 
     /// `supported_groups`: body is a u16-length-prefixed list of groups.
@@ -320,9 +323,7 @@ impl Extension {
 
     /// Decode a ServerHello `key_share` body; returns the group.
     pub fn parse_key_share_server(&self) -> WireResult<NamedGroup> {
-        debug_assert!(
-            self.typ == ext_type::KEY_SHARE || self.typ == ext_type::KEY_SHARE_DRAFT
-        );
+        debug_assert!(self.typ == ext_type::KEY_SHARE || self.typ == ext_type::KEY_SHARE_DRAFT);
         let mut r = Reader::new(&self.body);
         let g = r.u16()?;
         let mut key = r.vec16()?;
@@ -371,7 +372,11 @@ mod tests {
 
     #[test]
     fn groups_roundtrip() {
-        let groups = [NamedGroup::X25519, NamedGroup::SECP256R1, NamedGroup::SECP384R1];
+        let groups = [
+            NamedGroup::X25519,
+            NamedGroup::SECP256R1,
+            NamedGroup::SECP384R1,
+        ];
         let e = Extension::supported_groups(&groups);
         assert_eq!(e.parse_supported_groups().unwrap(), groups.to_vec());
     }
@@ -455,7 +460,10 @@ mod tests {
     #[test]
     fn malformed_bodies_rejected() {
         // supported_groups with odd-length list body.
-        let e = Extension::new(ext_type::SUPPORTED_GROUPS, vec![0x00, 0x03, 0x00, 0x1d, 0x99]);
+        let e = Extension::new(
+            ext_type::SUPPORTED_GROUPS,
+            vec![0x00, 0x03, 0x00, 0x1d, 0x99],
+        );
         assert!(e.parse_supported_groups().is_err());
         // heartbeat with trailing garbage.
         let e = Extension::new(ext_type::HEARTBEAT, vec![1, 2]);

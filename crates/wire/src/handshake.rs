@@ -371,12 +371,15 @@ mod tests {
         let mut ch = sample_client_hello();
         // TLS 1.3 clients keep legacy_version at 1.2 (§6.4).
         ch.legacy_version = ProtocolVersion::Tls12;
-        ch.extensions.as_mut().unwrap().push(Extension::supported_versions(&[
-            ProtocolVersion::Tls13Experiment(2),
-            ProtocolVersion::Tls13Draft(18),
-            ProtocolVersion::Tls12,
-            ProtocolVersion::Tls11,
-        ]));
+        ch.extensions
+            .as_mut()
+            .unwrap()
+            .push(Extension::supported_versions(&[
+                ProtocolVersion::Tls13Experiment(2),
+                ProtocolVersion::Tls13Draft(18),
+                ProtocolVersion::Tls12,
+                ProtocolVersion::Tls11,
+            ]));
         assert!(ch.offers_tls13());
         let vs = ch.offered_versions();
         assert_eq!(vs.len(), 4);
@@ -406,12 +409,11 @@ mod tests {
             session_id: vec![],
             cipher_suite: CipherSuite(0x1301),
             compression_method: 0,
-            extensions: Some(vec![Extension::selected_version(ProtocolVersion::Tls13Draft(18))]),
+            extensions: Some(vec![Extension::selected_version(
+                ProtocolVersion::Tls13Draft(18),
+            )]),
         };
-        assert_eq!(
-            sh.negotiated_version(),
-            ProtocolVersion::Tls13Draft(18)
-        );
+        assert_eq!(sh.negotiated_version(), ProtocolVersion::Tls13Draft(18));
     }
 
     #[test]

@@ -311,8 +311,14 @@ impl CipherSuite {
         self.prop(|i| {
             matches!(
                 i.kx,
-                Kx::Dhe | Kx::Ecdhe | Kx::DhAnon | Kx::EcdhAnon | Kx::DhePsk | Kx::EcdhePsk
-                    | Kx::Srp | Kx::Tls13
+                Kx::Dhe
+                    | Kx::Ecdhe
+                    | Kx::DhAnon
+                    | Kx::EcdhAnon
+                    | Kx::DhePsk
+                    | Kx::EcdhePsk
+                    | Kx::Srp
+                    | Kx::Tls13
             )
         })
     }

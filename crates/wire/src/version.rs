@@ -206,6 +206,9 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(ProtocolVersion::Tls12.to_string(), "TLSv1.2");
-        assert_eq!(ProtocolVersion::Tls13Draft(18).to_string(), "TLSv1.3-draft18");
+        assert_eq!(
+            ProtocolVersion::Tls13Draft(18).to_string(),
+            "TLSv1.3-draft18"
+        );
     }
 }

@@ -57,7 +57,10 @@ fn main() {
         (&fig7, "Export"),
     ] {
         if let Some((month, shift)) = change_point(fig, series) {
-            println!("  {:6} in {}: shifted at {month} (|Δmean| {shift:.1} pp)", series, fig.id);
+            println!(
+                "  {:6} in {}: shifted at {month} (|Δmean| {shift:.1} pp)",
+                series, fig.id
+            );
         }
     }
 

@@ -58,7 +58,7 @@ fn main() {
         fig2.value_at("CBC", m2018).unwrap_or(f64::NAN)
     );
     println!("paper: \"forward-secret cipher suites, now more than 90% of connections\"");
-    let fs = fig8.value_at("ECDHE", m2018).unwrap_or(0.0)
-        + fig8.value_at("DHE", m2018).unwrap_or(0.0);
+    let fs =
+        fig8.value_at("ECDHE", m2018).unwrap_or(0.0) + fig8.value_at("DHE", m2018).unwrap_or(0.0);
     println!("  measured 2018-02: DHE+ECDHE negotiated {fs:.1}%");
 }

@@ -54,12 +54,7 @@ fn main() {
         faults: FaultInjector::tap_defaults(),
     });
     let month = Month::ym(2015, 6);
-    let flows = generator.month(month).into_iter().map(|ev| TappedFlow {
-        date: ev.date,
-        port: ev.port,
-        client: ev.client_flow,
-        server: ev.server_flow,
-    });
+    let flows = generator.month(month).into_iter().map(TappedFlow::from);
     let agg = ingest_serial(flows);
     let stats = agg.month(month).expect("month present");
     println!(

@@ -14,12 +14,7 @@ fn flows(seed: u64, month: Month, n: u32) -> Vec<TappedFlow> {
     })
     .month(month)
     .into_iter()
-    .map(|ev| TappedFlow {
-        date: ev.date,
-        port: ev.port,
-        client: ev.client_flow,
-        server: ev.server_flow,
-    })
+    .map(TappedFlow::from)
     .collect()
 }
 
@@ -43,12 +38,8 @@ fn parallel_ingestion_is_exact() {
     let serial = ingest_serial(fs.clone());
     for workers in [2, 3, 8] {
         let par = ingest_parallel(fs.clone(), workers);
-        assert_eq!(par.total(), serial.total(), "workers={workers}");
-        let sm = serial.month(Month::ym(2015, 7)).unwrap();
-        let pm = par.month(Month::ym(2015, 7)).unwrap();
-        assert_eq!(sm.neg_kx.ecdhe, pm.neg_kx.ecdhe);
-        assert_eq!(sm.curves, pm.curves);
-        assert_eq!(sm.supported_versions_values, pm.supported_versions_values);
+        // Exact equality: every counter, fingerprint, and sighting.
+        assert_eq!(par, serial, "workers={workers}");
     }
 }
 
@@ -68,7 +59,14 @@ fn monthly_percentages_are_coherent() {
     // Cipher classes are mutually exclusive per connection.
     assert!(m.neg_rc4 + m.neg_cbc + m.neg_aead + m.neg_null <= m.answered + m.neg_null_null);
     // Advertised counters never exceed totals.
-    for count in [m.adv_rc4, m.adv_cbc, m.adv_aead, m.adv_export, m.adv_anon, m.adv_null] {
+    for count in [
+        m.adv_rc4,
+        m.adv_cbc,
+        m.adv_aead,
+        m.adv_export,
+        m.adv_anon,
+        m.adv_null,
+    ] {
         assert!(count <= m.total);
     }
     // Forward secrecy: every AEAD negotiation in this era is (EC)DHE.
@@ -124,16 +122,11 @@ fn faults_do_not_break_aggregation() {
     });
     let month = Month::ym(2015, 3);
     let n_events = gen.month(month).len();
-    let agg = ingest_serial(gen.month(month).into_iter().map(|ev| TappedFlow {
-        date: ev.date,
-        port: ev.port,
-        client: ev.client_flow,
-        server: ev.server_flow,
-    }));
+    let agg = ingest_serial(gen.month(month).into_iter().map(TappedFlow::from));
     let ingested = agg.month(month).map(|m| m.total).unwrap_or(0);
-    assert_eq!(
-        ingested + agg.garbled_client + agg.not_tls,
-        n_events as u64
+    assert_eq!(ingested + agg.garbled_client + agg.not_tls, n_events as u64);
+    assert!(
+        agg.garbled_client > 0,
+        "corruption should damage some flows"
     );
-    assert!(agg.garbled_client > 0, "corruption should damage some flows");
 }

@@ -1,0 +1,335 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Implements the measurement surface this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`Throughput`] and sample-size hints, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the `criterion_group!` /
+//! `criterion_main!` macros — over a simple wall-clock harness.
+//!
+//! Behavior: each benchmark is warmed up briefly, then timed for a
+//! fixed measurement window, and a one-line summary (mean time per
+//! iteration plus derived throughput) is printed. Under `--test`
+//! (what `cargo test --benches` passes) every benchmark body runs
+//! exactly once so the suite stays fast. Positional CLI arguments act
+//! as substring filters on benchmark names, matching the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The vendored harness times
+/// every routine call individually, so the hint only exists for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher<'a> {
+    mode: Mode,
+    measured: &'a mut Measurement,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run each body exactly once (`--test`).
+    Test,
+    /// Warm up, then measure for the configured window.
+    Measure,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Measurement {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+                self.measured.iters = 1;
+            }
+            Mode::Measure => {
+                let warm_until = Instant::now() + WARMUP;
+                while Instant::now() < warm_until {
+                    black_box(routine());
+                }
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while iters < MIN_ITERS || start.elapsed() < MEASURE_WINDOW {
+                    black_box(routine());
+                    iters += 1;
+                }
+                self.measured.total = start.elapsed();
+                self.measured.iters = iters;
+            }
+        }
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine(setup()));
+                self.measured.iters = 1;
+            }
+            Mode::Measure => {
+                black_box(routine(setup()));
+                let mut timed = Duration::ZERO;
+                let mut iters = 0u64;
+                while iters < MIN_ITERS || timed < MEASURE_WINDOW {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    timed += start.elapsed();
+                    iters += 1;
+                }
+                self.measured.total = timed;
+                self.measured.iters = iters;
+            }
+        }
+    }
+}
+
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE_WINDOW: Duration = Duration::from_millis(400);
+const MIN_ITERS: u64 = 3;
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {}
+                a => filters.push(a.to_string()),
+            }
+        }
+        Criterion { filters, test_mode }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&mut self, name: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.selected(name) {
+            return;
+        }
+        let mut measured = Measurement::default();
+        let mode = if self.test_mode {
+            Mode::Test
+        } else {
+            Mode::Measure
+        };
+        f(&mut Bencher {
+            mode,
+            measured: &mut measured,
+        });
+        if self.test_mode {
+            println!("test {name} ... ok");
+            return;
+        }
+        let per_iter = if measured.iters == 0 {
+            Duration::ZERO
+        } else {
+            measured.total / measured.iters.max(1) as u32
+        };
+        let mut line = format!("{name:<44} time: {}", fmt_duration(per_iter));
+        if let Some(t) = throughput {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                match t {
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!("  thrpt: {}/s", fmt_scaled(n as f64 / secs, "B")));
+                    }
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!(
+                            "  thrpt: {}/s",
+                            fmt_scaled(n as f64 / secs, "elem")
+                        ));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Benchmark one function.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        self.run_one(&name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the units-per-iteration used for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accept (and ignore) a sample-size hint; the vendored harness
+    /// always times a fixed wall-clock window.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark one function within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s/iter", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms/iter", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs/iter", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns/iter")
+    }
+}
+
+fn fmt_scaled(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            filters: vec![],
+            test_mode: true,
+        };
+        let mut ran = 0;
+        c.bench_function("unit/iter", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("unit/group");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let c = Criterion {
+            filters: vec!["ingest".into()],
+            test_mode: true,
+        };
+        assert!(c.selected("pipeline/ingest/serial"));
+        assert!(!c.selected("pipeline/generate"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns/iter");
+        assert!(fmt_duration(Duration::from_micros(1500)).ends_with("ms/iter"));
+        assert!(fmt_scaled(2_500_000.0, "B").starts_with("2.50 M"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no network access and
+//! no registry cache, so the handful of `rand` APIs the workspace uses
+//! are implemented here as a local path dependency: [`rngs::SmallRng`]
+//! (xoshiro256** seeded via SplitMix64), [`SeedableRng::seed_from_u64`],
+//! and the [`RngExt`] sampling surface (`random`, `random_range`).
+//!
+//! Determinism is part of the contract: every draw is a pure function
+//! of the seed and the call sequence, on every platform, so the
+//! synthetic-traffic studies are exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build from a single `u64`, expanded with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64: the standard seed expander for xoshiro generators.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256**: 256-bit state, excellent statistical quality, and
+    /// the same role `SmallRng` plays in the real crate — a fast
+    /// non-cryptographic generator for simulation workloads.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; SplitMix64
+            // cannot produce four zero words from any seed, but guard
+            // anyway so the invariant is local.
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types samplable uniformly over their whole domain via `random()`.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<T: Standard, const N: usize> Standard for [T; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        core::array::from_fn(|_| T::sample(rng))
+    }
+}
+
+/// Integer types uniform-samplable over an arbitrary sub-range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw uniformly from `[low, high]` (inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                let span = (high as u64).wrapping_sub(low as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = span + 1;
+                // Debiased modulo: reject draws from the final partial
+                // block so every value is exactly equally likely.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let draw = rng.next_u64();
+                    if draw <= zone {
+                        return low.wrapping_add((draw % span) as u64 as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                // Shift to the unsigned domain, sample there, shift back.
+                let ulow = (low as $u).wrapping_add(<$t>::MIN.unsigned_abs() as $u);
+                let uhigh = (high as $u).wrapping_add(<$t>::MIN.unsigned_abs() as $u);
+                let drawn = <$u>::sample_inclusive(rng, ulow, uhigh);
+                drawn.wrapping_sub(<$t>::MIN.unsigned_abs() as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + f64::sample(rng) * (high - low)
+    }
+}
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + HasPredecessor> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_inclusive(rng, self.start, self.end.predecessor())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample from an empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Types with a largest-value-below operation (half-open range support).
+pub trait HasPredecessor: Sized {
+    /// The greatest value strictly less than `self`.
+    fn predecessor(self) -> Self;
+}
+
+macro_rules! impl_predecessor {
+    ($($t:ty),*) => {$(
+        impl HasPredecessor for $t {
+            fn predecessor(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_predecessor!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HasPredecessor for f64 {
+    fn predecessor(self) -> Self {
+        // Half-open float ranges keep the bound exclusive already
+        // (sample() < 1.0), so the bound itself is the "predecessor".
+        self
+    }
+}
+
+/// The sampling extension trait: `random()` and `random_range()`.
+pub trait RngExt: RngCore {
+    /// A uniform draw over the full domain of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from `range` (half-open or inclusive).
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Compatibility alias: the real crate calls this trait `Rng`.
+pub use self::RngExt as Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.random::<u64>()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.random::<u64>()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3..10u8);
+            assert!((3..10).contains(&v));
+            let w = rng.random_range(5..=6usize);
+            assert!((5..=6).contains(&w));
+            let x = rng.random_range(-4i64..=4);
+            assert!((-4..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+}
