@@ -9,11 +9,16 @@
 //! identical to a serial run), and every stage reports into a shared
 //! [`PipelineMetrics`].
 
+use std::collections::BTreeSet;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use tlscope_chron::Month;
-use tlscope_notary::{ingest_flow, NotaryAggregate, PipelineMetrics, TappedFlow};
+use tlscope_notary::{
+    checkpoint, ingest_flow, CheckpointError, NotaryAggregate, PipelineMetrics, TappedFlow,
+};
 use tlscope_scanner::{ScanCampaign, ScanSnapshot};
 use tlscope_servers::ServerPopulation;
 use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
@@ -35,6 +40,10 @@ pub struct StudyConfig {
     pub faults: FaultInjector,
     /// Hosts per active sweep.
     pub scan_hosts: u32,
+    /// When set, each completed month's partial aggregate is written
+    /// to this directory, and months already checkpointed there are
+    /// loaded instead of re-simulated (`repro --resume <dir>`).
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -50,6 +59,7 @@ impl Default for StudyConfig {
             workers: 4,
             faults: FaultInjector::tap_defaults(),
             scan_hosts: 4_000,
+            checkpoint_dir: None,
         }
     }
 }
@@ -104,17 +114,52 @@ impl Study {
 
     /// Run the passive measurement with pipeline accounting.
     ///
+    /// Convenience wrapper over [`Study::try_run_passive_metered`];
+    /// panics on checkpoint IO errors (impossible when
+    /// `checkpoint_dir` is unset).
+    pub fn run_passive_metered(&self, metrics: &PipelineMetrics) -> NotaryAggregate {
+        self.try_run_passive_metered(metrics)
+            .expect("checkpoint IO failed")
+    }
+
+    /// Run the passive measurement with pipeline accounting and
+    /// (optionally) per-month checkpointing.
+    ///
     /// Months are sharded across `cfg.workers` threads through an
     /// atomic work index; each worker streams its month's events and
-    /// folds them into a thread-local aggregate as they are drawn, so
-    /// peak memory stays at one event per worker. A worker panic loses
-    /// only that worker's shard (counted in `metrics`); the surviving
-    /// partials are still merged and returned.
-    pub fn run_passive_metered(&self, metrics: &PipelineMetrics) -> NotaryAggregate {
-        let months: Vec<Month> = self.cfg.start.iter_through(self.cfg.end).collect();
+    /// folds them into a *fresh per-month partial* as they are drawn,
+    /// so peak memory stays at one event per worker and a completed
+    /// month is a self-contained unit of progress. With
+    /// `cfg.checkpoint_dir` set, each completed partial is written
+    /// atomically to `<dir>/<YYYY-MM>.ckpt` before being merged, and
+    /// months already checkpointed in the directory are loaded and
+    /// skipped — so an interrupted run resumes from the last completed
+    /// month and, because merging is commutative and integer-exact,
+    /// produces a final aggregate bit-identical to an uninterrupted
+    /// one.
+    ///
+    /// A worker panic loses only that worker's current months (counted
+    /// in `metrics`); the surviving partials are still merged and
+    /// returned.
+    pub fn try_run_passive_metered(
+        &self,
+        metrics: &PipelineMetrics,
+    ) -> Result<NotaryAggregate, CheckpointError> {
+        let (mut result, completed) = match &self.cfg.checkpoint_dir {
+            Some(dir) => checkpoint::load_dir(dir)?,
+            None => (NotaryAggregate::new(), BTreeSet::new()),
+        };
+        let months: Vec<Month> = self
+            .cfg
+            .start
+            .iter_through(self.cfg.end)
+            .filter(|m| !completed.contains(m))
+            .collect();
         let workers = self.cfg.workers.max(1).min(months.len().max(1));
         let next = AtomicUsize::new(0);
-        let mut result = NotaryAggregate::new();
+        // First checkpoint write error, reported after the scope ends
+        // (workers stop claiming months once one is recorded).
+        let ckpt_error: Mutex<Option<CheckpointError>> = Mutex::new(None);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -123,23 +168,38 @@ impl Study {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&month) = months.get(i) else { break };
+                            if ckpt_error
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .is_some()
+                            {
+                                break;
+                            }
+                            let mut partial = NotaryAggregate::new();
                             let mut flows = 0u64;
                             let mut ingest_time = std::time::Duration::ZERO;
-                            let fail0 = (agg.not_tls, agg.garbled_client);
                             for ev in self.generator.stream_month(month).metered(metrics) {
                                 let flow = TappedFlow::from(ev);
                                 let started = Instant::now();
-                                ingest_flow(&mut agg, &flow);
+                                ingest_flow(&mut partial, &flow);
                                 ingest_time += started.elapsed();
                                 flows += 1;
                             }
                             metrics.record_dispatched(flows);
                             // One month shard = one accounting batch.
                             metrics.record_batch(flows, ingest_time);
-                            metrics.record_parse_failures(
-                                agg.not_tls - fail0.0,
-                                agg.garbled_client - fail0.1,
-                            );
+                            metrics.record_parse_failures(partial.not_tls, partial.garbled_client);
+                            metrics.record_salvaged(partial.salvaged);
+                            if let Some(dir) = &self.cfg.checkpoint_dir {
+                                if let Err(e) = checkpoint::write_month(dir, month, &partial) {
+                                    ckpt_error
+                                        .lock()
+                                        .unwrap_or_else(|p| p.into_inner())
+                                        .get_or_insert(e);
+                                    break;
+                                }
+                            }
+                            agg.merge(partial);
                         }
                         agg
                     })
@@ -156,7 +216,10 @@ impl Study {
                 }
             }
         });
-        result
+        match ckpt_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some(e) => Err(e),
+            None => Ok(result),
+        }
     }
 
     /// Run the active campaign (monthly cadence over the Censys window).
@@ -206,6 +269,85 @@ mod tests {
         // Aggregation is commutative and integer-exact, so the sharded
         // run must be bit-identical to the serial one.
         assert_eq!(serial, parallel);
+    }
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        let pid = std::process::id();
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        std::env::temp_dir().join(format!("tlscope-study-{tag}-{pid}-{t}"))
+    }
+
+    /// An interrupted-then-resumed checkpointed run must be
+    /// bit-identical to an uninterrupted run — for the serial
+    /// (workers = 1) and sharded runners alike.
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        for workers in [1usize, 4] {
+            let mut cfg = StudyConfig::quick();
+            cfg.start = Month::ym(2016, 1);
+            cfg.end = Month::ym(2016, 4);
+            cfg.connections_per_month = 200;
+            cfg.workers = workers;
+            // No drops/duplication so the regenerated-flow count below
+            // is exact.
+            cfg.faults = FaultInjector::none();
+            let uninterrupted = Study::new(cfg.clone()).run_passive();
+
+            // Simulate a run killed after two completed months: only
+            // the truncated window executes before the "crash".
+            let dir = unique_dir(&format!("resume-w{workers}"));
+            let mut killed = cfg.clone();
+            killed.end = Month::ym(2016, 2);
+            killed.checkpoint_dir = Some(dir.clone());
+            let _ = Study::new(killed).run_passive();
+
+            // Resume over the full window from the same directory.
+            let mut resumed_cfg = cfg.clone();
+            resumed_cfg.checkpoint_dir = Some(dir.clone());
+            let metrics = PipelineMetrics::new();
+            let resumed = Study::new(resumed_cfg)
+                .try_run_passive_metered(&metrics)
+                .unwrap();
+            assert_eq!(resumed, uninterrupted, "workers = {workers}");
+            // Only the two remaining months were re-simulated.
+            assert_eq!(metrics.snapshot().flows_generated, 2 * 200);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn fully_checkpointed_run_resumes_without_regenerating() {
+        let mut cfg = StudyConfig::quick();
+        cfg.start = Month::ym(2015, 3);
+        cfg.end = Month::ym(2015, 5);
+        cfg.connections_per_month = 150;
+        cfg.workers = 2;
+        let dir = unique_dir("full");
+        cfg.checkpoint_dir = Some(dir.clone());
+        let first = Study::new(cfg.clone()).run_passive();
+        let metrics = PipelineMetrics::new();
+        let second = Study::new(cfg).try_run_passive_metered(&metrics).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(metrics.snapshot().flows_generated, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_io_errors_surface_as_errors() {
+        let mut cfg = StudyConfig::quick();
+        cfg.start = Month::ym(2015, 1);
+        cfg.end = Month::ym(2015, 1);
+        cfg.connections_per_month = 50;
+        // A file where the checkpoint directory should be.
+        let path = unique_dir("clash");
+        std::fs::write(&path, "not a directory").unwrap();
+        cfg.checkpoint_dir = Some(path.clone());
+        let err = Study::new(cfg).try_run_passive_metered(&PipelineMetrics::new());
+        assert!(err.is_err());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

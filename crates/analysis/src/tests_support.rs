@@ -45,6 +45,7 @@ pub fn record(date: Date, suites: &[u16], negotiated: Option<u16>) -> Connection
             }),
             None => ServerOutcome::Rejected,
         },
+        salvaged: false,
     }
 }
 

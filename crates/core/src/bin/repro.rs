@@ -11,6 +11,8 @@
 //!   --width <n>    ASCII chart width (default 84)
 //!   --seed <n>     override the study seed
 //!   --stats        print per-stage pipeline metrics after the run
+//!   --resume <dir> checkpoint completed months into <dir> and resume
+//!                  from whatever is already there
 //!   --list         list experiment ids and exit
 //! ```
 
@@ -27,12 +29,13 @@ struct Options {
     seed: Option<u64>,
     save: Option<String>,
     load: Option<String>,
+    resume: Option<String>,
     ids: Vec<String>,
 }
 
 fn usage() {
     eprintln!(
-        "usage: repro [--quick|--full] [--csv] [--stats] [--width N] [--seed N] [--list] <id>...|all\n\
+        "usage: repro [--quick|--full] [--csv] [--stats] [--width N] [--seed N] [--resume DIR] [--list] <id>...|all\n\
          ids: {}",
         EXPERIMENT_IDS.join(" ")
     );
@@ -47,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
         seed: None,
         save: None,
         load: None,
+        resume: None,
         ids: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -76,6 +80,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--load" => {
                 opts.load = Some(args.next().ok_or("--load needs a path")?);
+            }
+            "--resume" => {
+                opts.resume = Some(args.next().ok_or("--resume needs a directory")?);
             }
             "--list" => {
                 for id in EXPERIMENT_IDS {
@@ -115,6 +122,16 @@ fn main() -> ExitCode {
     };
     if let Some(seed) = opts.seed {
         cfg.seed = seed;
+    }
+    if let Some(dir) = &opts.resume {
+        // Create the directory up front so a typo'd path fails here,
+        // not after months of simulation.
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create checkpoint dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# checkpointing completed months to {dir}");
+        cfg.checkpoint_dir = Some(std::path::PathBuf::from(dir));
     }
     eprintln!(
         "# tlscope repro: {} months x {} connections/month, {} scan hosts/sweep, seed {:#x}",

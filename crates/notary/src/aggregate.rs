@@ -146,6 +146,17 @@ impl PositionMean {
         }
     }
 
+    /// Raw accumulator parts `(sum_micro, n)` — lossless, for exact
+    /// serialization (checkpoints must round-trip bit-identically).
+    pub fn raw_parts(&self) -> (u64, u64) {
+        (self.sum_micro, self.n)
+    }
+
+    /// Rebuild from [`PositionMean::raw_parts`] output.
+    pub fn from_raw_parts(sum_micro: u64, n: u64) -> Self {
+        PositionMean { sum_micro, n }
+    }
+
     /// Mean relative position in percent (0 = head of list).
     pub fn mean_pct(&self) -> Option<f64> {
         if self.n == 0 {
@@ -337,6 +348,9 @@ pub struct NotaryAggregate {
     pub not_tls: u64,
     /// Client flows too damaged to parse.
     pub garbled_client: u64,
+    /// Connections recovered by prefix salvage after tap damage
+    /// (ingested normally; this counter only sizes the degradation).
+    pub salvaged: u64,
 }
 
 impl NotaryAggregate {
@@ -347,6 +361,9 @@ impl NotaryAggregate {
 
     /// Ingest one extracted connection record.
     pub fn ingest(&mut self, rec: &ConnectionRecord) {
+        if rec.salvaged {
+            self.salvaged += 1;
+        }
         let stats = self.months.entry(rec.month).or_default();
         stats.total += 1;
         if rec.sslv2 {
@@ -621,6 +638,7 @@ impl NotaryAggregate {
         }
         self.not_tls += other.not_tls;
         self.garbled_client += other.garbled_client;
+        self.salvaged += other.salvaged;
     }
 }
 
@@ -670,6 +688,7 @@ mod tests {
                 }),
                 None => ServerOutcome::Rejected,
             },
+            salvaged: false,
         }
     }
 

@@ -101,6 +101,12 @@ pub struct ConnectionRecord {
     pub client: Option<ClientOffer>,
     /// Server outcome.
     pub server: ServerOutcome,
+    /// True when tap damage forced prefix salvage: the flow's record
+    /// stream was unparseable end-to-end (truncated or gapped
+    /// mid-stream) but the intact record prefix still yielded the
+    /// handshake, so the connection was recovered instead of
+    /// discarded (§3.1 best-effort collection).
+    pub salvaged: bool,
 }
 
 /// Errors recording why a flow could not be processed at all.
@@ -149,13 +155,15 @@ pub fn extract(
                 sslv2: true,
                 client: Some(offer),
                 server: ServerOutcome::Missing,
+                salvaged: false,
             })
         }
         WireFlavor::Tls => {
-            let hello = parse_client_hello(client_flow).ok_or(ExtractError::GarbledClient)?;
+            let (hello, client_salvaged) =
+                parse_client_hello(client_flow).ok_or(ExtractError::GarbledClient)?;
             let offer = client_offer(&hello);
-            let server = match server_flow {
-                None => ServerOutcome::Missing,
+            let (server, server_salvaged) = match server_flow {
+                None => (ServerOutcome::Missing, false),
                 Some(bytes) => parse_server_flow(bytes, &hello),
             };
             Ok(ConnectionRecord {
@@ -165,16 +173,34 @@ pub fn extract(
                 sslv2: false,
                 client: Some(offer),
                 server,
+                salvaged: client_salvaged || server_salvaged,
             })
         }
         WireFlavor::Other => Err(ExtractError::NotTls),
     }
 }
 
-fn parse_client_hello(flow: &[u8]) -> Option<ClientHello> {
-    let records = Record::read_all(flow).ok()?;
+/// Read the record stream; if strict end-to-end parsing fails, fall
+/// back to the longest intact record *prefix* (the salvage path for
+/// flows truncated or gapped by tap damage). Returns the records and
+/// whether salvage was needed.
+fn read_records_salvage(flow: &[u8]) -> (Vec<Record>, bool) {
+    if let Ok(records) = Record::read_all(flow) {
+        return (records, false);
+    }
+    let mut r = Reader::new(flow);
+    let mut records = Vec::new();
+    while let Ok(rec) = Record::read(&mut r) {
+        records.push(rec);
+    }
+    (records, true)
+}
+
+fn parse_client_hello(flow: &[u8]) -> Option<(ClientHello, bool)> {
+    let (records, salvaged) = read_records_salvage(flow);
     let handshake = Record::coalesce_handshake(&records).ok()?;
-    ClientHello::parse_handshake(&handshake).ok()
+    let hello = ClientHello::parse_handshake(&handshake).ok()?;
+    Some((hello, salvaged))
 }
 
 fn client_offer(hello: &ClientHello) -> ClientOffer {
@@ -204,21 +230,19 @@ fn client_offer(hello: &ClientHello) -> ClientOffer {
     }
 }
 
-fn parse_server_flow(bytes: &[u8], client: &ClientHello) -> ServerOutcome {
-    let Ok(records) = Record::read_all(bytes) else {
-        return ServerOutcome::Garbled;
-    };
+fn parse_server_flow(bytes: &[u8], client: &ClientHello) -> (ServerOutcome, bool) {
+    let (records, salvaged) = read_records_salvage(bytes);
     if records.is_empty() {
-        return ServerOutcome::Garbled;
+        return (ServerOutcome::Garbled, false);
     }
     if records[0].content_type == ContentType::Alert {
         // Classify the alert when possible; damaged alerts still count
         // as rejections.
         let _ = tlscope_wire::Alert::parse(&records[0].payload);
-        return ServerOutcome::Rejected;
+        return (ServerOutcome::Rejected, salvaged);
     }
     let Ok(handshake) = Record::coalesce_handshake(&records) else {
-        return ServerOutcome::Garbled;
+        return (ServerOutcome::Garbled, false);
     };
     let mut r = Reader::new(&handshake);
     let mut server_hello: Option<ServerHello> = None;
@@ -238,7 +262,7 @@ fn parse_server_flow(bytes: &[u8], client: &ClientHello) -> ServerOutcome {
         }
     }
     let Some(sh) = server_hello else {
-        return ServerOutcome::Garbled;
+        return (ServerOutcome::Garbled, false);
     };
     let version = sh.negotiated_version();
     let key_share_curve = sh
@@ -247,12 +271,15 @@ fn parse_server_flow(bytes: &[u8], client: &ClientHello) -> ServerOutcome {
         .and_then(|e| e.parse_key_share_server().ok());
     let heartbeat = client.find_extension(ext_type::HEARTBEAT).is_some()
         && sh.find_extension(ext_type::HEARTBEAT).is_some();
-    ServerOutcome::Answered(ServerAnswer {
-        version,
-        cipher: sh.cipher_suite,
-        curve: ske_curve.or(key_share_curve),
-        heartbeat,
-    })
+    (
+        ServerOutcome::Answered(ServerAnswer {
+            version,
+            cipher: sh.cipher_suite,
+            curve: ske_curve.or(key_share_curve),
+            heartbeat,
+        }),
+        salvaged,
+    )
 }
 
 #[cfg(test)]
@@ -389,6 +416,57 @@ mod tests {
         // Garbled server flow.
         let rec = extract(Date::ymd(2015, 6, 3), 443, &bytes, Some(&[0xff, 0x00])).unwrap();
         assert_eq!(rec.server, ServerOutcome::Garbled);
+    }
+
+    #[test]
+    fn server_half_prefix_salvage() {
+        // A mid-stream gap severs a later record: strict end-to-end
+        // parsing fails, but the intact prefix still holds the
+        // ServerHello — the connection is salvaged, not discarded.
+        let hello = sample_hello();
+        let sh = ServerHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [5; 32],
+            session_id: vec![],
+            cipher_suite: CipherSuite(0xc02f),
+            compression_method: 0,
+            extensions: Some(vec![]),
+        };
+        let mut bytes = server_bytes(&sh, Some(NamedGroup::X25519));
+        bytes.extend_from_slice(&[0x16, 0x03, 0x03, 0xff]); // severed record header
+        let rec = extract(
+            Date::ymd(2015, 6, 3),
+            443,
+            &client_bytes(&hello),
+            Some(&bytes),
+        )
+        .unwrap();
+        assert!(rec.salvaged);
+        match &rec.server {
+            ServerOutcome::Answered(ans) => {
+                assert_eq!(ans.cipher, CipherSuite(0xc02f));
+                assert_eq!(ans.curve, Some(NamedGroup::X25519));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_half_prefix_salvage() {
+        let hello = sample_hello();
+        let mut bytes = client_bytes(&hello);
+        bytes.extend_from_slice(&[0x16, 0x03, 0x01, 0x00]); // severed record header
+        let rec = extract(Date::ymd(2015, 6, 3), 443, &bytes, None).unwrap();
+        assert!(rec.salvaged);
+        let offer = rec.client.unwrap();
+        assert!(offer.offers(|c| c.is_aead()));
+    }
+
+    #[test]
+    fn undamaged_flows_are_not_salvaged() {
+        let hello = sample_hello();
+        let rec = extract(Date::ymd(2015, 6, 3), 443, &client_bytes(&hello), None).unwrap();
+        assert!(!rec.salvaged);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod conn;
 pub mod metrics;
 pub mod pipeline;
@@ -45,10 +46,12 @@ pub mod store;
 pub use aggregate::{
     AeadCounts, FpClassFlags, KxCounts, MonthlyStats, NotaryAggregate, PositionMean, VersionCounts,
 };
+pub use checkpoint::CheckpointError;
 pub use conn::{ClientOffer, ConnectionRecord, ExtractError, ServerAnswer, ServerOutcome};
 pub use metrics::{MetricsSnapshot, PipelineMetrics};
 pub use pipeline::{
     ingest_batched, ingest_flow, ingest_parallel, ingest_parallel_metered, ingest_serial,
-    ingest_serial_metered, TappedFlow, DEFAULT_BATCH,
+    ingest_serial_metered, ingest_supervised_with, ingest_with, PipelineConfig,
+    PipelineConfigError, TappedFlow, DEFAULT_BATCH,
 };
 pub use store::{from_text, to_text, StoreError};

@@ -19,9 +19,13 @@ use std::time::Duration;
 ///
 /// Counter groups:
 /// * **generation** — flows and wire bytes emitted by the synthetic
-///   tap, plus generator wall-clock;
+///   tap, plus generator wall-clock, flows lost to tap outage windows,
+///   and tap-duplicated flows;
 /// * **ingestion** — flows/batches through the notary, parse failures
-///   by class, plus extraction wall-clock;
+///   by class, records salvaged from damaged flows, plus extraction
+///   wall-clock;
+/// * **recovery** — batch retries, worker respawns, and quarantined
+///   poison flows from the supervised pipeline;
 /// * **merge / fault** — aggregate-merge wall-clock and shards lost to
 ///   worker panics (best-effort collection, paper §3.1).
 #[derive(Debug, Default)]
@@ -29,13 +33,20 @@ pub struct PipelineMetrics {
     flows_generated: AtomicU64,
     bytes_generated: AtomicU64,
     gen_nanos: AtomicU64,
+    flows_outage_dropped: AtomicU64,
+    flows_duplicated: AtomicU64,
 
     flows_dispatched: AtomicU64,
     flows_ingested: AtomicU64,
     batches_ingested: AtomicU64,
     not_tls: AtomicU64,
     garbled_client: AtomicU64,
+    flows_salvaged: AtomicU64,
     ingest_nanos: AtomicU64,
+
+    batch_retries: AtomicU64,
+    worker_respawns: AtomicU64,
+    flows_quarantined: AtomicU64,
 
     merge_nanos: AtomicU64,
     shards_lost: AtomicU64,
@@ -76,6 +87,40 @@ impl PipelineMetrics {
             .fetch_add(garbled_client, Ordering::Relaxed);
     }
 
+    /// Record `flows` lost to a tap outage window (never dispatched).
+    pub fn record_outage_dropped(&self, flows: u64) {
+        self.flows_outage_dropped
+            .fetch_add(flows, Ordering::Relaxed);
+    }
+
+    /// Record `flows` duplicated by the tap (the duplicate is also
+    /// counted as generated).
+    pub fn record_duplicated(&self, flows: u64) {
+        self.flows_duplicated.fetch_add(flows, Ordering::Relaxed);
+    }
+
+    /// Record `flows` whose records were salvaged from damaged bytes
+    /// (graceful extraction degradation instead of a garbled drop).
+    pub fn record_salvaged(&self, flows: u64) {
+        self.flows_salvaged.fetch_add(flows, Ordering::Relaxed);
+    }
+
+    /// Record one bisection re-dispatch of a failed (sub-)batch.
+    pub fn record_batch_retry(&self) {
+        self.batch_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one worker respawn after a caught processing panic.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `flows` quarantined as poison (they panicked the
+    /// processor even in isolation and were excluded from the run).
+    pub fn record_quarantined(&self, flows: u64) {
+        self.flows_quarantined.fetch_add(flows, Ordering::Relaxed);
+    }
+
     /// Record time spent merging partial aggregates.
     pub fn record_merge(&self, elapsed: Duration) {
         self.merge_nanos
@@ -100,12 +145,18 @@ impl PipelineMetrics {
             flows_generated: self.flows_generated.load(Ordering::Relaxed),
             bytes_generated: self.bytes_generated.load(Ordering::Relaxed),
             gen_nanos: self.gen_nanos.load(Ordering::Relaxed),
+            flows_outage_dropped: self.flows_outage_dropped.load(Ordering::Relaxed),
+            flows_duplicated: self.flows_duplicated.load(Ordering::Relaxed),
             flows_dispatched: self.flows_dispatched.load(Ordering::Relaxed),
             flows_ingested: self.flows_ingested.load(Ordering::Relaxed),
             batches_ingested: self.batches_ingested.load(Ordering::Relaxed),
             not_tls: self.not_tls.load(Ordering::Relaxed),
             garbled_client: self.garbled_client.load(Ordering::Relaxed),
+            flows_salvaged: self.flows_salvaged.load(Ordering::Relaxed),
             ingest_nanos: self.ingest_nanos.load(Ordering::Relaxed),
+            batch_retries: self.batch_retries.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            flows_quarantined: self.flows_quarantined.load(Ordering::Relaxed),
             merge_nanos: self.merge_nanos.load(Ordering::Relaxed),
             shards_lost: self.shards_lost.load(Ordering::Relaxed),
         }
@@ -122,6 +173,10 @@ pub struct MetricsSnapshot {
     pub bytes_generated: u64,
     /// CPU-summed generator wall-clock, nanoseconds.
     pub gen_nanos: u64,
+    /// Flows lost to tap outage windows (never dispatched).
+    pub flows_outage_dropped: u64,
+    /// Flows duplicated by the tap.
+    pub flows_duplicated: u64,
     /// Flows handed to the ingestion stage.
     pub flows_dispatched: u64,
     /// Flows actually processed by the ingestion stage.
@@ -132,8 +187,17 @@ pub struct MetricsSnapshot {
     pub not_tls: u64,
     /// Parse failures: client flow too damaged to parse.
     pub garbled_client: u64,
+    /// Connections salvaged from damaged flows (prefix-recovered
+    /// records instead of a garbled drop).
+    pub flows_salvaged: u64,
     /// CPU-summed ingestion wall-clock, nanoseconds.
     pub ingest_nanos: u64,
+    /// Bisection re-dispatches of failed (sub-)batches.
+    pub batch_retries: u64,
+    /// Worker respawns after caught processing panics.
+    pub worker_respawns: u64,
+    /// Poison flows quarantined by the supervisor.
+    pub flows_quarantined: u64,
     /// Wall-clock spent merging partial aggregates, nanoseconds.
     pub merge_nanos: u64,
     /// Worker shards lost to panics.
@@ -177,6 +241,13 @@ impl MetricsSnapshot {
         self.flows_dispatched.saturating_sub(self.flows_ingested)
     }
 
+    /// The end-to-end flow-accounting invariant of the supervised
+    /// pipeline: every dispatched flow is either ingested or
+    /// quarantined (nothing silently vanishes).
+    pub fn accounting_holds(&self) -> bool {
+        self.flows_dispatched == self.flows_ingested + self.flows_quarantined
+    }
+
     /// Multi-line terminal rendering of the per-stage accounting.
     pub fn render(&self) -> String {
         let mut out = String::from("pipeline metrics\n");
@@ -195,8 +266,16 @@ impl MetricsSnapshot {
             scaled(self.ingest_flows_per_sec()),
         ));
         out.push_str(&format!(
-            "  parse-fail {:>12} not-tls {:>9} garbled\n",
-            self.not_tls, self.garbled_client,
+            "  parse-fail {:>12} not-tls {:>9} garbled {:>9} salvaged\n",
+            self.not_tls, self.garbled_client, self.flows_salvaged,
+        ));
+        out.push_str(&format!(
+            "  tap        {:>12} outage-dropped {:>6} duplicated\n",
+            self.flows_outage_dropped, self.flows_duplicated,
+        ));
+        out.push_str(&format!(
+            "  recovery   {:>12} retries {:>9} respawns {:>8} quarantined\n",
+            self.batch_retries, self.worker_respawns, self.flows_quarantined,
         ));
         out.push_str(&format!(
             "  merge      {:>12.3}s\n",
@@ -246,6 +325,41 @@ mod tests {
         let text = s.render();
         assert!(text.contains("ingest"));
         assert!(text.contains("flows lost"));
+    }
+
+    #[test]
+    fn recovery_counters_accumulate_and_render() {
+        let m = PipelineMetrics::new();
+        m.record_dispatched(10);
+        m.record_batch(7, Duration::from_micros(1));
+        m.record_batch_retry();
+        m.record_batch_retry();
+        m.record_worker_respawn();
+        m.record_quarantined(3);
+        m.record_salvaged(2);
+        m.record_outage_dropped(5);
+        m.record_duplicated(1);
+        let s = m.snapshot();
+        assert_eq!(s.batch_retries, 2);
+        assert_eq!(s.worker_respawns, 1);
+        assert_eq!(s.flows_quarantined, 3);
+        assert_eq!(s.flows_salvaged, 2);
+        assert_eq!(s.flows_outage_dropped, 5);
+        assert_eq!(s.flows_duplicated, 1);
+        assert!(
+            s.accounting_holds(),
+            "10 dispatched = 7 ingested + 3 quarantined"
+        );
+        let text = s.render();
+        for needle in [
+            "retries",
+            "respawns",
+            "quarantined",
+            "salvaged",
+            "outage-dropped",
+        ] {
+            assert!(text.contains(needle), "render missing {needle}: {text}");
+        }
     }
 
     #[test]

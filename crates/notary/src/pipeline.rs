@@ -1,4 +1,4 @@
-//! Parallel ingestion pipeline.
+//! Supervised parallel ingestion pipeline.
 //!
 //! The real Notary fans captured flows out to parallel Bro workers; we
 //! mirror that with a batched MPMC pipeline on scoped threads: one
@@ -9,13 +9,21 @@
 //! which is what lets throughput scale with workers instead of being
 //! capped by per-flow send/recv overhead.
 //!
-//! Collection is best-effort, like the paper's (§3.1): a worker panic
-//! loses that worker's shard — counted in [`PipelineMetrics`] — but
-//! the surviving partial aggregates are still merged and returned.
+//! Collection is best-effort, like the paper's (§3.1) — but unlike the
+//! paper's cluster we *supervise* it: a processing panic no longer
+//! loses the worker's whole shard. Each batch is processed into a
+//! fresh partial aggregate behind a panic boundary; when a batch
+//! panics, the worker's batch state is discarded and rebuilt (counted
+//! as a respawn in [`PipelineMetrics`]) and the failed batch is
+//! re-dispatched by **bisection** — halves retried recursively, with
+//! optional backoff — until the individual poison flow(s) are isolated
+//! and quarantined. The end-to-end accounting invariant
+//! `dispatched = ingested + quarantined` is exact and tested.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, Once};
+use std::time::{Duration, Instant};
 
 use tlscope_chron::Date;
 
@@ -44,6 +52,127 @@ pub const DEFAULT_BATCH: usize = 256;
 /// producer blocks (bounds memory at roughly
 /// `CHANNEL_DEPTH × batch × flow size`).
 const CHANNEL_DEPTH: usize = 64;
+
+/// Retry backoff is doubled per bisection level but never exceeds
+/// this, so a deeply poisoned batch cannot stall a worker for long.
+const MAX_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Invalid pipeline configuration (the documented, non-panicking
+/// replacement for the old `assert!(workers > 0)` crash path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineConfigError {
+    /// `workers` was zero.
+    ZeroWorkers,
+    /// `batch` was zero.
+    ZeroBatch,
+}
+
+impl std::fmt::Display for PipelineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineConfigError::ZeroWorkers => write!(f, "pipeline needs at least one worker"),
+            PipelineConfigError::ZeroBatch => write!(f, "pipeline needs a positive batch size"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineConfigError {}
+
+/// Validated pipeline configuration.
+///
+/// Invariants (`workers ≥ 1`, `batch ≥ 1`) are enforced at
+/// construction, so the pipeline itself has no panicking
+/// precondition: a caller with a zero-worker config gets a
+/// [`PipelineConfigError`] from [`PipelineConfig::new`] instead of a
+/// crashed study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    workers: usize,
+    batch: usize,
+    retry_backoff: Duration,
+}
+
+impl Default for PipelineConfig {
+    /// Four workers, [`DEFAULT_BATCH`] flows per batch, no backoff.
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 4,
+            batch: DEFAULT_BATCH,
+            retry_backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Checked constructor: rejects zero workers / zero batch.
+    pub fn new(workers: usize, batch: usize) -> Result<Self, PipelineConfigError> {
+        if workers == 0 {
+            return Err(PipelineConfigError::ZeroWorkers);
+        }
+        if batch == 0 {
+            return Err(PipelineConfigError::ZeroBatch);
+        }
+        Ok(PipelineConfig {
+            workers,
+            batch,
+            retry_backoff: Duration::ZERO,
+        })
+    }
+
+    /// Lenient constructor: zero values are clamped to 1 (documented
+    /// alternative to the error path for best-effort callers).
+    pub fn clamped(workers: usize, batch: usize) -> Self {
+        PipelineConfig {
+            workers: workers.max(1),
+            batch: batch.max(1),
+            retry_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Base delay before a failed batch's halves are re-dispatched
+    /// (doubled per bisection level, capped at 100 ms). Zero — the
+    /// default — retries immediately.
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Worker thread count (≥ 1).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Flows per channel batch (≥ 1).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Configured base retry backoff.
+    pub fn retry_backoff(&self) -> Duration {
+        self.retry_backoff
+    }
+}
+
+// The default panic hook prints every caught worker panic, which
+// floods output once panics are expected and supervised. The hook
+// below forwards to the previous hook unless the current thread is
+// inside a supervised worker.
+thread_local! {
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
 
 /// Extract one flow and fold it into `agg`.
 pub fn ingest_flow(agg: &mut NotaryAggregate, flow: &TappedFlow) {
@@ -77,11 +206,13 @@ pub fn ingest_serial_metered(
     metrics.record_dispatched(n);
     metrics.record_batch(n, started.elapsed());
     metrics.record_parse_failures(agg.not_tls, agg.garbled_client);
+    metrics.record_salvaged(agg.salvaged);
     agg
 }
 
 /// Ingest a stream of flows on `workers` threads; the result is
 /// identical to [`ingest_serial`] (aggregation is commutative).
+/// `workers == 0` is clamped to 1.
 pub fn ingest_parallel(
     flows: impl IntoIterator<Item = TappedFlow>,
     workers: usize,
@@ -90,46 +221,131 @@ pub fn ingest_parallel(
 }
 
 /// [`ingest_parallel`] with pipeline accounting: batches, per-stage
-/// wall-clock, parse-failure classes, and shards lost to panics.
+/// wall-clock, parse-failure classes, and the supervised-recovery
+/// counters (retries, respawns, quarantined flows).
 pub fn ingest_parallel_metered(
     flows: impl IntoIterator<Item = TappedFlow>,
     workers: usize,
     metrics: &PipelineMetrics,
 ) -> NotaryAggregate {
-    run_batched(flows, workers, DEFAULT_BATCH, metrics, ingest_flow)
+    ingest_with(
+        flows,
+        &PipelineConfig::clamped(workers, DEFAULT_BATCH),
+        metrics,
+    )
 }
 
 /// [`ingest_parallel_metered`] with an explicit batch size — exposed
 /// so equivalence tests can sweep batch sizes (any batch size must
-/// produce a result identical to [`ingest_serial`]).
+/// produce a result identical to [`ingest_serial`]). Zero workers or
+/// batch are clamped to 1 instead of panicking.
 pub fn ingest_batched(
     flows: impl IntoIterator<Item = TappedFlow>,
     workers: usize,
     batch: usize,
     metrics: &PipelineMetrics,
 ) -> NotaryAggregate {
-    run_batched(flows, workers, batch, metrics, ingest_flow)
+    ingest_with(flows, &PipelineConfig::clamped(workers, batch), metrics)
 }
 
-/// The batched worker pipeline, generic over the per-flow processor so
-/// the panic-recovery path is testable with a deliberately faulty
-/// processor.
-pub(crate) fn run_batched<F>(
+/// Ingest with a validated [`PipelineConfig`].
+pub fn ingest_with(
     flows: impl IntoIterator<Item = TappedFlow>,
-    workers: usize,
-    batch: usize,
+    cfg: &PipelineConfig,
+    metrics: &PipelineMetrics,
+) -> NotaryAggregate {
+    ingest_supervised_with(flows, cfg, metrics, ingest_flow)
+}
+
+/// Process one slice behind a panic boundary into a fresh partial
+/// aggregate, so a mid-flow panic can never leave half-ingested state
+/// in the worker's running aggregate.
+fn process_slice<F>(flows: &[TappedFlow], process: F) -> std::thread::Result<NotaryAggregate>
+where
+    F: Fn(&mut NotaryAggregate, &TappedFlow) + Copy,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut agg = NotaryAggregate::new();
+        for flow in flows {
+            process(&mut agg, flow);
+        }
+        agg
+    }))
+}
+
+/// Supervised processing of one batch: on success the partial is
+/// merged and accounted; on panic the batch is bisected and both
+/// halves re-dispatched (with capped exponential backoff) until the
+/// poison flow(s) are isolated and quarantined.
+fn supervise_batch<F>(
+    batch: &[TappedFlow],
+    depth: u32,
+    cfg: &PipelineConfig,
+    metrics: &PipelineMetrics,
+    process: F,
+    agg: &mut NotaryAggregate,
+) where
+    F: Fn(&mut NotaryAggregate, &TappedFlow) + Copy,
+{
+    let started = Instant::now();
+    match process_slice(batch, process) {
+        Ok(partial) => {
+            metrics.record_batch(batch.len() as u64, started.elapsed());
+            metrics.record_parse_failures(partial.not_tls, partial.garbled_client);
+            metrics.record_salvaged(partial.salvaged);
+            agg.merge(partial);
+        }
+        Err(_) => {
+            // The worker's batch context died with the panic; it is
+            // rebuilt from scratch for the retries below — that
+            // discard-and-rebuild is the respawn.
+            metrics.record_worker_respawn();
+            if batch.len() == 1 {
+                metrics.record_quarantined(1);
+                return;
+            }
+            if !cfg.retry_backoff.is_zero() {
+                let backoff = cfg
+                    .retry_backoff
+                    .saturating_mul(1u32 << depth.min(10))
+                    .min(MAX_BACKOFF);
+                std::thread::sleep(backoff);
+            }
+            let mid = batch.len() / 2;
+            for half in [&batch[..mid], &batch[mid..]] {
+                metrics.record_batch_retry();
+                supervise_batch(half, depth + 1, cfg, metrics, process, agg);
+            }
+        }
+    }
+}
+
+/// The supervised batched worker pipeline, generic over the per-flow
+/// processor so the recovery path is testable (and benchmarkable)
+/// with a deliberately faulty processor.
+///
+/// Guarantees, all visible through `metrics`:
+/// * no shard loss — worker panics are contained per batch
+///   (`shards_lost` stays 0 unless something outside the processing
+///   boundary fails);
+/// * poison isolation — a flow that panics the processor is bisected
+///   down to and quarantined alone; its batch neighbours are ingested;
+/// * exact accounting — `dispatched = ingested + quarantined`.
+pub fn ingest_supervised_with<F>(
+    flows: impl IntoIterator<Item = TappedFlow>,
+    cfg: &PipelineConfig,
     metrics: &PipelineMetrics,
     process: F,
 ) -> NotaryAggregate
 where
     F: Fn(&mut NotaryAggregate, &TappedFlow) + Copy + Send + Sync,
 {
-    assert!(workers > 0, "need at least one worker");
-    assert!(batch > 0, "need a positive batch size");
+    install_quiet_panic_hook();
+    let (workers, batch) = (cfg.workers(), cfg.batch());
     let (tx, rx) = mpsc::sync_channel::<Vec<TappedFlow>>(CHANNEL_DEPTH);
-    // Workers share the receiver through Arc so that when every worker
-    // has died (all panicked), the channel disconnects and the producer
-    // unblocks with a send error instead of deadlocking.
+    // Workers share the receiver through Arc so that if every worker
+    // somehow died, the channel would disconnect and the producer
+    // unblock with a send error instead of deadlocking.
     let rx = Arc::new(Mutex::new(rx));
     let mut result = NotaryAggregate::new();
     std::thread::scope(|scope| {
@@ -137,6 +353,7 @@ where
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 scope.spawn(move || {
+                    QUIET_PANICS.with(|q| q.set(true));
                     let mut agg = NotaryAggregate::new();
                     loop {
                         let received = {
@@ -144,17 +361,7 @@ where
                             guard.recv()
                         };
                         let Ok(batch) = received else { break };
-                        let started = Instant::now();
-                        let flows = batch.len() as u64;
-                        let fail0 = (agg.not_tls, agg.garbled_client);
-                        for flow in &batch {
-                            process(&mut agg, flow);
-                        }
-                        metrics.record_batch(flows, started.elapsed());
-                        metrics.record_parse_failures(
-                            agg.not_tls - fail0.0,
-                            agg.garbled_client - fail0.1,
-                        );
+                        supervise_batch(&batch, 0, cfg, metrics, process, &mut agg);
                     }
                     agg
                 })
@@ -224,10 +431,43 @@ mod tests {
     }
 
     #[test]
+    fn config_rejects_zero_values() {
+        assert_eq!(
+            PipelineConfig::new(0, 64),
+            Err(PipelineConfigError::ZeroWorkers)
+        );
+        assert_eq!(
+            PipelineConfig::new(2, 0),
+            Err(PipelineConfigError::ZeroBatch)
+        );
+        let cfg = PipelineConfig::new(2, 64).unwrap();
+        assert_eq!((cfg.workers(), cfg.batch()), (2, 64));
+        let clamped = PipelineConfig::clamped(0, 0);
+        assert_eq!((clamped.workers(), clamped.batch()), (1, 1));
+        assert!(!PipelineConfigError::ZeroWorkers.to_string().is_empty());
+        assert!(!PipelineConfigError::ZeroBatch.to_string().is_empty());
+    }
+
+    #[test]
+    fn zero_worker_request_no_longer_crashes() {
+        // The old pipeline asserted on this; now it is clamped and the
+        // run completes with full accounting.
+        let metrics = PipelineMetrics::new();
+        let agg = ingest_batched(synthetic_flows(100), 0, 0, &metrics);
+        assert_eq!(agg.not_tls, 100);
+        assert!(metrics.snapshot().accounting_holds());
+    }
+
+    #[test]
     fn batches_are_sized_and_metered() {
         let metrics = PipelineMetrics::new();
         // 700 flows at a 256-flow batch = ceil(700/256) = 3 batches.
-        let agg = run_batched(synthetic_flows(700), 3, DEFAULT_BATCH, &metrics, count_flow);
+        let agg = ingest_supervised_with(
+            synthetic_flows(700),
+            &PipelineConfig::new(3, DEFAULT_BATCH).unwrap(),
+            &metrics,
+            count_flow,
+        );
         assert_eq!(agg.not_tls, 700);
         let s = metrics.snapshot();
         assert_eq!(s.flows_dispatched, 700);
@@ -249,17 +489,21 @@ mod tests {
     }
 
     #[test]
-    fn worker_panics_lose_shards_not_everything() {
-        // A processor that panics on one specific flow: the shard
-        // handling that flow dies, the rest of the pipeline survives.
+    fn poison_flow_is_quarantined_alone() {
+        // A processor that panics on one specific flow: with
+        // supervision, exactly that flow is quarantined and every
+        // other flow in its batch survives — no shard loss.
         let fs = synthetic_flows(900);
         let poison_len = fs[500].client.len();
         let poison_byte = fs[500].client[0];
+        let poison_count = fs
+            .iter()
+            .filter(|f| f.client.len() == poison_len && f.client[0] == poison_byte)
+            .count() as u64;
         let metrics = PipelineMetrics::new();
-        let agg = run_batched(
+        let agg = ingest_supervised_with(
             fs,
-            4,
-            64,
+            &PipelineConfig::new(4, 64).unwrap(),
             &metrics,
             move |agg: &mut NotaryAggregate, flow: &TappedFlow| {
                 if flow.client.len() == poison_len && flow.client[0] == poison_byte {
@@ -269,27 +513,62 @@ mod tests {
             },
         );
         let s = metrics.snapshot();
-        assert!(s.shards_lost >= 1, "a shard must be lost");
-        assert!(s.shards_lost < 4, "not every shard may be lost");
-        // The merged result still carries the surviving shards.
-        assert!(agg.not_tls > 0);
-        assert!(agg.not_tls < 900);
+        assert_eq!(s.shards_lost, 0, "supervision must prevent shard loss");
+        assert_eq!(s.flows_quarantined, poison_count);
+        assert_eq!(agg.not_tls, 900 - poison_count);
         assert_eq!(s.flows_dispatched, 900);
-        assert!(s.flows_ingested < 900);
+        assert_eq!(s.flows_ingested, 900 - poison_count);
+        assert!(s.accounting_holds(), "dispatched = ingested + quarantined");
+        assert!(s.worker_respawns >= 1, "each panic is a respawn");
+        assert!(s.batch_retries >= 2, "bisection re-dispatches halves");
     }
 
     #[test]
-    fn all_workers_panicking_does_not_deadlock() {
+    fn fully_poisoned_input_quarantines_everything() {
         let metrics = PipelineMetrics::new();
-        let agg = run_batched(
+        let agg = ingest_supervised_with(
             synthetic_flows(2_000),
-            2,
-            16,
+            &PipelineConfig::new(2, 16).unwrap(),
             &metrics,
             |_agg: &mut NotaryAggregate, _flow: &TappedFlow| panic!("always fails"),
         );
         assert_eq!(agg.total(), 0);
-        assert_eq!(metrics.snapshot().shards_lost, 2);
+        let s = metrics.snapshot();
+        assert_eq!(s.shards_lost, 0);
+        assert_eq!(s.flows_quarantined, 2_000);
+        assert_eq!(s.flows_ingested, 0);
+        assert!(s.accounting_holds());
+        // Bisecting a b-flow batch to singletons costs ~2b retries;
+        // the supervisor must stay within that bound.
+        assert!(s.batch_retries <= 2 * 2_000);
+    }
+
+    #[test]
+    fn retry_backoff_is_applied_and_capped() {
+        let fs = synthetic_flows(8);
+        let metrics = PipelineMetrics::new();
+        let cfg = PipelineConfig::new(1, 8)
+            .unwrap()
+            .with_retry_backoff(Duration::from_micros(50));
+        assert_eq!(cfg.retry_backoff(), Duration::from_micros(50));
+        let started = Instant::now();
+        let _ = ingest_supervised_with(
+            fs,
+            &cfg,
+            &metrics,
+            |_agg: &mut NotaryAggregate, flow: &TappedFlow| {
+                if flow.client.len() == 8 {
+                    panic!("poison");
+                }
+            },
+        );
+        let s = metrics.snapshot();
+        assert_eq!(s.flows_quarantined, 1);
+        assert!(s.accounting_holds());
+        // Backoff slept at least once but stayed well under the cap
+        // even with doubling.
+        assert!(started.elapsed() >= Duration::from_micros(50));
+        assert!(started.elapsed() < Duration::from_secs(2));
     }
 
     #[test]
@@ -297,7 +576,7 @@ mod tests {
         let fs = synthetic_flows(150);
         let serial = ingest_serial(fs.clone());
         let metrics = PipelineMetrics::new();
-        let batched = run_batched(fs, 1, 1, &metrics, ingest_flow);
+        let batched = ingest_batched(fs, 1, 1, &metrics);
         assert_eq!(serial, batched);
         assert_eq!(metrics.snapshot().batches_ingested, 150);
     }

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use tlscope_chron::Month;
 
-use crate::aggregate::{MonthlyStats, NotaryAggregate};
+use crate::aggregate::{MonthlyStats, NotaryAggregate, PositionMean};
 
 const SCALARS: &[&str] = &[
     "total",
@@ -70,6 +70,20 @@ const SCALARS: &[&str] = &[
     "aa_chacha",
     "aa_ccm",
     "aa_other",
+    // Raw PositionMean accumulators (micro-unit sum + sample count):
+    // persisted losslessly so a reloaded aggregate is bit-identical —
+    // required by the checkpoint/resume machinery, which reuses this
+    // codec per month.
+    "pa_sum",
+    "pa_n",
+    "pc_sum",
+    "pc_n",
+    "pr_sum",
+    "pr_n",
+    "pd_sum",
+    "pd_n",
+    "p3_sum",
+    "p3_n",
 ];
 
 fn scalar_values(s: &MonthlyStats) -> Vec<u64> {
@@ -131,7 +145,25 @@ fn scalar_values(s: &MonthlyStats) -> Vec<u64> {
         aa.chacha,
         aa.ccm,
         aa.other,
+        s.pos_aead.raw_parts().0,
+        s.pos_aead.raw_parts().1,
+        s.pos_cbc.raw_parts().0,
+        s.pos_cbc.raw_parts().1,
+        s.pos_rc4.raw_parts().0,
+        s.pos_rc4.raw_parts().1,
+        s.pos_des.raw_parts().0,
+        s.pos_des.raw_parts().1,
+        s.pos_3des.raw_parts().0,
+        s.pos_3des.raw_parts().1,
     ]
+}
+
+fn set_pos_sum(p: &mut PositionMean, val: u64) {
+    *p = PositionMean::from_raw_parts(val, p.raw_parts().1);
+}
+
+fn set_pos_n(p: &mut PositionMean, val: u64) {
+    *p = PositionMean::from_raw_parts(p.raw_parts().0, val);
 }
 
 fn apply_scalar(s: &mut MonthlyStats, key: &str, val: u64) {
@@ -191,6 +223,16 @@ fn apply_scalar(s: &mut MonthlyStats, key: &str, val: u64) {
         "aa_chacha" => s.adv_aead_alg.chacha = val,
         "aa_ccm" => s.adv_aead_alg.ccm = val,
         "aa_other" => s.adv_aead_alg.other = val,
+        "pa_sum" => set_pos_sum(&mut s.pos_aead, val),
+        "pa_n" => set_pos_n(&mut s.pos_aead, val),
+        "pc_sum" => set_pos_sum(&mut s.pos_cbc, val),
+        "pc_n" => set_pos_n(&mut s.pos_cbc, val),
+        "pr_sum" => set_pos_sum(&mut s.pos_rc4, val),
+        "pr_n" => set_pos_n(&mut s.pos_rc4, val),
+        "pd_sum" => set_pos_sum(&mut s.pos_des, val),
+        "pd_n" => set_pos_n(&mut s.pos_des, val),
+        "p3_sum" => set_pos_sum(&mut s.pos_3des, val),
+        "p3_n" => set_pos_n(&mut s.pos_3des, val),
         _ => {}
     }
 }
@@ -203,17 +245,51 @@ fn write_map(out: &mut String, tag: &str, map: &HashMap<u16, u64>) {
     }
 }
 
+/// One `month\t<k=v>...` record line (no trailing newline), shared
+/// between the aggregate store and the per-month checkpoint files.
+pub(crate) fn month_line(month: &Month, stats: &MonthlyStats) -> String {
+    let mut out = month.to_string();
+    for (key, val) in SCALARS.iter().zip(scalar_values(stats)) {
+        out.push_str(&format!("\t{key}={val}"));
+    }
+    write_map(&mut out, "curve", &stats.curves);
+    write_map(&mut out, "sv", &stats.supported_versions_values);
+    write_map(&mut out, "ext", &stats.adv_extensions);
+    out
+}
+
+/// Parse one [`month_line`] record. Unknown scalar keys are ignored
+/// (forward compatibility); structural damage returns `None`.
+/// `fp_flags` is not part of this codec — the checkpoint format
+/// carries it on separate lines.
+pub(crate) fn parse_month_line(line: &str) -> Option<(Month, MonthlyStats)> {
+    let mut fields = line.split('\t');
+    let month: Month = fields.next()?.parse().ok()?;
+    let mut stats = MonthlyStats::default();
+    for field in fields {
+        let (key, val) = field.split_once('=')?;
+        let val: u64 = val.parse().ok()?;
+        if let Some((tag, map_key)) = key.split_once(':') {
+            let map_key: u16 = map_key.parse().ok()?;
+            let map = match tag {
+                "curve" => &mut stats.curves,
+                "sv" => &mut stats.supported_versions_values,
+                "ext" => &mut stats.adv_extensions,
+                _ => return None,
+            };
+            map.insert(map_key, val);
+        } else {
+            apply_scalar(&mut stats, key, val);
+        }
+    }
+    Some((month, stats))
+}
+
 /// Serialise the monthly counters to the line-oriented text format.
 pub fn to_text(agg: &NotaryAggregate) -> String {
     let mut out = String::from("# tlscope notary aggregate v1\n");
     for (month, stats) in agg.iter_months() {
-        out.push_str(&month.to_string());
-        for (key, val) in SCALARS.iter().zip(scalar_values(stats)) {
-            out.push_str(&format!("\t{key}={val}"));
-        }
-        write_map(&mut out, "curve", &stats.curves);
-        write_map(&mut out, "sv", &stats.supported_versions_values);
-        write_map(&mut out, "ext", &stats.adv_extensions);
+        out.push_str(&month_line(month, stats));
         out.push('\n');
     }
     out
@@ -254,28 +330,7 @@ pub fn from_text(text: &str) -> Result<NotaryAggregate, StoreError> {
         if line.trim().is_empty() {
             continue;
         }
-        let mut fields = line.split('\t');
-        let month: Month = fields
-            .next()
-            .and_then(|m| m.parse().ok())
-            .ok_or(StoreError::BadLine(idx + 1))?;
-        let mut stats = MonthlyStats::default();
-        for field in fields {
-            let (key, val) = field.split_once('=').ok_or(StoreError::BadLine(idx + 1))?;
-            let val: u64 = val.parse().map_err(|_| StoreError::BadLine(idx + 1))?;
-            if let Some((tag, map_key)) = key.split_once(':') {
-                let map_key: u16 = map_key.parse().map_err(|_| StoreError::BadLine(idx + 1))?;
-                let map = match tag {
-                    "curve" => &mut stats.curves,
-                    "sv" => &mut stats.supported_versions_values,
-                    "ext" => &mut stats.adv_extensions,
-                    _ => return Err(StoreError::BadLine(idx + 1)),
-                };
-                map.insert(map_key, val);
-            } else {
-                apply_scalar(&mut stats, key, val);
-            }
-        }
+        let (month, stats) = parse_month_line(line).ok_or(StoreError::BadLine(idx + 1))?;
         agg.insert_month(month, stats);
     }
     Ok(agg)

@@ -5,8 +5,8 @@
 
 use tlscope_chron::Month;
 use tlscope_notary::{
-    ingest_batched, ingest_parallel, ingest_parallel_metered, ingest_serial, PipelineMetrics,
-    TappedFlow,
+    ingest_batched, ingest_flow, ingest_parallel, ingest_parallel_metered, ingest_serial,
+    ingest_supervised_with, NotaryAggregate, PipelineConfig, PipelineMetrics, TappedFlow,
 };
 use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
 
@@ -57,9 +57,9 @@ fn faulty_flows_are_tolerated() {
         seed: 9,
         connections_per_month: 500,
         faults: FaultInjector {
-            drop_prob: 0.0,
             truncate_prob: 0.3,
             corrupt_prob: 0.3,
+            ..FaultInjector::none()
         },
     });
     let fs: Vec<TappedFlow> = g
@@ -73,6 +73,106 @@ fn faulty_flows_are_tolerated() {
     let m = agg.month(Month::ym(2016, 6)).unwrap();
     assert!(m.total as usize + agg.garbled_client as usize + agg.not_tls as usize == n);
     assert!(agg.garbled_client > 0);
+}
+
+/// The ISSUE's poison-flow acceptance criterion, on realistic traffic
+/// with the real extractor: a flow that panics the processor results
+/// in exactly that flow quarantined — `shards_lost` stays 0, every
+/// surviving flow is ingested (bit-identical to a serial run over the
+/// survivors), and `dispatched = ingested + quarantined`.
+#[test]
+fn poison_flow_is_quarantined_not_the_shard() {
+    let fs = flows(Month::ym(2016, 5), 600);
+    let poison = fs[123].client.clone();
+    let expected = fs.iter().filter(|f| f.client == poison).count() as u64;
+    assert!(expected >= 1);
+    let metrics = PipelineMetrics::new();
+    let needle = poison.clone();
+    // The processor is shared by reference across workers (`F: Copy`),
+    // so the non-`Copy` capture is borrowed, not duplicated.
+    let process = move |agg: &mut NotaryAggregate, flow: &TappedFlow| {
+        if flow.client == needle {
+            panic!("poisoned flow reached the extractor");
+        }
+        ingest_flow(agg, flow);
+    };
+    let agg = ingest_supervised_with(
+        fs.clone(),
+        &PipelineConfig::new(4, 50).unwrap(),
+        &metrics,
+        &process,
+    );
+    let s = metrics.snapshot();
+    assert_eq!(s.shards_lost, 0, "supervision must prevent shard loss");
+    assert_eq!(s.flows_quarantined, expected);
+    assert_eq!(s.flows_dispatched, 600);
+    assert_eq!(s.flows_ingested, 600 - expected);
+    assert!(
+        s.accounting_holds(),
+        "dispatched = ingested + quarantined must hold"
+    );
+    assert!(s.worker_respawns >= 1);
+    assert!(s.batch_retries >= 2);
+    let survivors = ingest_serial(fs.into_iter().filter(|f| f.client != poison));
+    assert_eq!(agg, survivors, "batch neighbours must all survive");
+}
+
+/// Runs under whatever `TLSCOPE_FAULT_PROFILE` names — the CI
+/// fault-matrix job sets `stress`, forcing heavy drops, truncation,
+/// corruption, gaps, duplication, and outages through the full
+/// pipeline; locally it falls back to the default tap mix.
+#[test]
+fn env_fault_profile_never_breaks_equivalence() {
+    let faults = FaultInjector::from_env(FaultInjector::tap_defaults());
+    faults.validate().expect("profile must be valid");
+    let g = Generator::new(TrafficConfig {
+        seed: 31,
+        connections_per_month: 800,
+        faults,
+    });
+    let fs: Vec<TappedFlow> = g
+        .month(Month::ym(2017, 9))
+        .into_iter()
+        .map(TappedFlow::from)
+        .collect();
+    let serial = ingest_serial(fs.clone());
+    let metrics = PipelineMetrics::new();
+    let batched = ingest_batched(fs.clone(), 4, 64, &metrics);
+    assert_eq!(serial, batched);
+    let s = metrics.snapshot();
+    assert_eq!(s.flows_dispatched, fs.len() as u64);
+    assert!(s.accounting_holds());
+    assert_eq!(s.shards_lost, 0);
+}
+
+/// Graceful degradation on realistic traffic: heavy truncation and
+/// mid-flow gaps damage many flows, and a measurable share of them is
+/// salvaged — the parser recovers the intact handshake prefix instead
+/// of writing the whole flow off as garbled. The salvage count must
+/// flow through both the aggregate and the pipeline metrics.
+#[test]
+fn damaged_flows_are_salvaged_not_discarded() {
+    let g = Generator::new(TrafficConfig {
+        seed: 17,
+        connections_per_month: 2000,
+        faults: FaultInjector {
+            truncate_prob: 0.5,
+            gap_prob: 0.5,
+            ..FaultInjector::none()
+        },
+    });
+    let fs: Vec<TappedFlow> = g
+        .month(Month::ym(2016, 4))
+        .into_iter()
+        .map(TappedFlow::from)
+        .collect();
+    let metrics = PipelineMetrics::new();
+    let agg = ingest_batched(fs.clone(), 4, 128, &metrics);
+    assert!(agg.salvaged > 0, "no flow was salvaged under 50% damage");
+    assert!(agg.garbled_client > 0, "some damage should be fatal");
+    let s = metrics.snapshot();
+    assert_eq!(s.flows_salvaged, agg.salvaged);
+    assert_eq!(agg, ingest_serial(fs), "salvage must stay deterministic");
 }
 
 #[test]

@@ -12,25 +12,33 @@ use tlscope_notary::{ingest_batched, ingest_serial, PipelineMetrics, TappedFlow}
 use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
 
 fn fault_mix() -> impl Strategy<Value = FaultInjector> {
-    (0usize..5).prop_map(|i| match i {
+    (0usize..7).prop_map(|i| match i {
         0 => FaultInjector::none(),
         1 => FaultInjector::tap_defaults(),
         2 => FaultInjector {
             drop_prob: 0.1,
             truncate_prob: 0.2,
             corrupt_prob: 0.2,
+            ..FaultInjector::none()
         },
         // Every flow truncated: nothing but damaged input.
         3 => FaultInjector {
-            drop_prob: 0.0,
             truncate_prob: 1.0,
-            corrupt_prob: 0.0,
+            ..FaultInjector::none()
         },
-        _ => FaultInjector {
-            drop_prob: 0.0,
+        4 => FaultInjector {
             truncate_prob: 0.5,
             corrupt_prob: 1.0,
+            ..FaultInjector::none()
         },
+        // The extended tap faults: mid-flow gaps, duplication, outages.
+        5 => FaultInjector {
+            gap_prob: 0.5,
+            duplicate_prob: 0.3,
+            outage_prob: 0.4,
+            ..FaultInjector::none()
+        },
+        _ => FaultInjector::stress(),
     })
 }
 

@@ -5,12 +5,52 @@
 //! packet drops (e.g., due to CPU overload) and misconfigurations"
 //! (§3.1). The injector reproduces those artefacts so the measurement
 //! pipeline is forced to tolerate them, smoltcp-style: drops, truncated
-//! flows, and corrupted octets.
+//! flows, corrupted octets, mid-flow segment gaps, flow duplication,
+//! and contiguous outage windows where the tap sees nothing at all.
+//!
+//! Every fault is seeded and deterministic: per-flow faults draw from
+//! the month RNG stream (gated so a zero probability consumes no
+//! draws), and outage windows are a pure function of `(seed, date)`,
+//! so serial and sharded runs see identical fault patterns.
 
 use rand::rngs::SmallRng;
 use rand::RngExt;
 
-/// Probabilities of each fault, applied per flow.
+use tlscope_chron::Date;
+
+/// Length of one outage window, in days. Outages model the paper's
+/// tap-level blackouts (node reboots, capture-process crashes): the
+/// tap is dark for a *contiguous* span, not scattered single flows.
+pub const OUTAGE_SPAN_DAYS: i64 = 3;
+
+/// A probability field was invalid (checked constructor, see
+/// [`FaultInjector::checked`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfigError {
+    /// Name of the offending field.
+    pub field: &'static str,
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault probability `{}` must be a finite value in [0, 1]",
+            self.field
+        )
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+/// Probabilities of each tap fault.
+///
+/// `drop`, `truncate`, `corrupt`, `gap`, and `duplicate` apply per
+/// flow; `outage` applies per [`OUTAGE_SPAN_DAYS`]-day window (the
+/// whole window goes dark). Construct with [`FaultInjector::checked`]
+/// to validate the probabilities; the struct-literal escape hatch
+/// remains for tests, and [`FaultInjector::validate`] can be called on
+/// any value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultInjector {
     /// Drop the flow entirely (monitor never sees it).
@@ -19,6 +59,15 @@ pub struct FaultInjector {
     pub truncate_prob: f64,
     /// Flip one random octet (damaged capture).
     pub corrupt_prob: f64,
+    /// Excise a contiguous mid-flow span (capture gap: the tap lost a
+    /// run of segments but caught the rest of the flow).
+    pub gap_prob: f64,
+    /// Emit the flow twice (tap-side duplication, e.g. a misconfigured
+    /// mirror port seeing both directions of a bonded link).
+    pub duplicate_prob: f64,
+    /// Probability that any given [`OUTAGE_SPAN_DAYS`]-day window is a
+    /// tap outage: every flow dated inside it is lost.
+    pub outage_prob: f64,
 }
 
 impl FaultInjector {
@@ -28,19 +77,129 @@ impl FaultInjector {
             drop_prob: 0.0,
             truncate_prob: 0.0,
             corrupt_prob: 0.0,
+            gap_prob: 0.0,
+            duplicate_prob: 0.0,
+            outage_prob: 0.0,
         }
     }
 
     /// The default best-effort-tap fault mix.
+    ///
+    /// The extended faults (gap, duplication, outage) default to zero
+    /// so the default event stream — which calibration anchors on —
+    /// is unchanged; enable them explicitly or via [`stress`].
+    ///
+    /// [`stress`]: FaultInjector::stress
     pub fn tap_defaults() -> Self {
         FaultInjector {
             drop_prob: 0.002,
             truncate_prob: 0.001,
             corrupt_prob: 0.0005,
+            ..FaultInjector::none()
         }
     }
 
-    /// Apply faults to a flow. `None` means the flow was dropped.
+    /// A high-fault profile exercising every recovery path: heavy
+    /// drops, truncation, corruption, gaps, duplication, and outages.
+    /// Used by the CI fault-matrix job (`TLSCOPE_FAULT_PROFILE=stress`).
+    pub fn stress() -> Self {
+        FaultInjector {
+            drop_prob: 0.05,
+            truncate_prob: 0.10,
+            corrupt_prob: 0.05,
+            gap_prob: 0.10,
+            duplicate_prob: 0.05,
+            outage_prob: 0.15,
+        }
+    }
+
+    /// Checked constructor over all six probabilities (in declaration
+    /// order): rejects NaN, negative, and >1.0 values instead of
+    /// silently misbehaving at sampling time.
+    pub fn checked(
+        drop_prob: f64,
+        truncate_prob: f64,
+        corrupt_prob: f64,
+        gap_prob: f64,
+        duplicate_prob: f64,
+        outage_prob: f64,
+    ) -> Result<Self, FaultConfigError> {
+        let inj = FaultInjector {
+            drop_prob,
+            truncate_prob,
+            corrupt_prob,
+            gap_prob,
+            duplicate_prob,
+            outage_prob,
+        };
+        inj.validate()?;
+        Ok(inj)
+    }
+
+    /// Validate every probability field: finite and within `[0, 1]`.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        for (field, p) in [
+            ("drop_prob", self.drop_prob),
+            ("truncate_prob", self.truncate_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("gap_prob", self.gap_prob),
+            ("duplicate_prob", self.duplicate_prob),
+            ("outage_prob", self.outage_prob),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(FaultConfigError { field });
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a named fault profile: `none`, `defaults` (the tap
+    /// mix), or `stress`.
+    pub fn profile(name: &str) -> Option<Self> {
+        match name {
+            "none" => Some(FaultInjector::none()),
+            "defaults" | "tap" => Some(FaultInjector::tap_defaults()),
+            "stress" => Some(FaultInjector::stress()),
+            _ => None,
+        }
+    }
+
+    /// The profile named by the `TLSCOPE_FAULT_PROFILE` environment
+    /// variable, falling back to `fallback` when the variable is unset
+    /// or names no known profile. This is how the CI fault-matrix job
+    /// re-runs the pipeline tests under `stress` without a code change.
+    pub fn from_env(fallback: FaultInjector) -> FaultInjector {
+        std::env::var("TLSCOPE_FAULT_PROFILE")
+            .ok()
+            .as_deref()
+            .and_then(FaultInjector::profile)
+            .unwrap_or(fallback)
+    }
+
+    /// True when `date` falls inside a tap outage window. Pure in
+    /// `(seed, date)`: independent of RNG stream position, worker
+    /// sharding, and generation order, so outages are contiguous
+    /// calendar spans exactly as §3.1 describes.
+    pub fn in_outage(&self, seed: u64, date: Date) -> bool {
+        if self.outage_prob <= 0.0 {
+            return false;
+        }
+        let window = date.to_epoch_days().div_euclid(OUTAGE_SPAN_DAYS) as u64;
+        // SplitMix64 over (seed, window) → uniform in [0, 1).
+        let mut z = seed ^ window.wrapping_mul(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / ((1u64 << 53) as f64) < self.outage_prob
+    }
+
+    /// Whether the tap duplicates this flow (drawn per flow; gated so
+    /// a zero probability consumes no RNG draws).
+    pub fn duplicates(&self, rng: &mut SmallRng) -> bool {
+        self.duplicate_prob > 0.0 && rng.random::<f64>() < self.duplicate_prob
+    }
+
+    /// Apply per-flow byte faults. `None` means the flow was dropped.
     pub fn apply(&self, mut flow: Vec<u8>, rng: &mut SmallRng) -> Option<Vec<u8>> {
         if self.drop_prob > 0.0 && rng.random::<f64>() < self.drop_prob {
             return None;
@@ -49,6 +208,14 @@ impl FaultInjector {
         {
             let cut = rng.random_range(0..flow.len());
             flow.truncate(cut);
+        }
+        if self.gap_prob > 0.0 && rng.random::<f64>() < self.gap_prob && flow.len() >= 2 {
+            // Excise a contiguous span strictly inside the flow: the
+            // capture resumes after the gap, so bytes remain on both
+            // sides of the damage.
+            let start = rng.random_range(0..flow.len() - 1);
+            let len = rng.random_range(1..=flow.len() - 1 - start).max(1);
+            flow.drain(start..start + len);
         }
         if self.corrupt_prob > 0.0 && rng.random::<f64>() < self.corrupt_prob && !flow.is_empty() {
             let idx = rng.random_range(0..flow.len());
@@ -77,8 +244,7 @@ mod tests {
     fn always_drop() {
         let inj = FaultInjector {
             drop_prob: 1.0,
-            truncate_prob: 0.0,
-            corrupt_prob: 0.0,
+            ..FaultInjector::none()
         };
         let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(inj.apply(vec![1, 2, 3], &mut rng), None);
@@ -87,9 +253,8 @@ mod tests {
     #[test]
     fn truncation_shortens() {
         let inj = FaultInjector {
-            drop_prob: 0.0,
             truncate_prob: 1.0,
-            corrupt_prob: 0.0,
+            ..FaultInjector::none()
         };
         let mut rng = SmallRng::seed_from_u64(7);
         let out = inj.apply(vec![9u8; 100], &mut rng).unwrap();
@@ -99,9 +264,8 @@ mod tests {
     #[test]
     fn corruption_flips_one_bit() {
         let inj = FaultInjector {
-            drop_prob: 0.0,
-            truncate_prob: 0.0,
             corrupt_prob: 1.0,
+            ..FaultInjector::none()
         };
         let mut rng = SmallRng::seed_from_u64(3);
         let data = vec![0u8; 64];
@@ -116,6 +280,30 @@ mod tests {
     }
 
     #[test]
+    fn gap_removes_interior_span() {
+        let inj = FaultInjector {
+            gap_prob: 1.0,
+            ..FaultInjector::none()
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let data: Vec<u8> = (0..200u8).collect();
+        let out = inj.apply(data.clone(), &mut rng).unwrap();
+        assert!(!out.is_empty(), "gap must never consume the whole flow");
+        assert!(out.len() < data.len(), "gap must remove bytes");
+        // The surviving bytes are a subsequence of the original flow:
+        // a contiguous prefix followed by a contiguous suffix.
+        let removed = data.len() - out.len();
+        let mut matched = false;
+        for start in 0..out.len() + 1 {
+            if data[..start] == out[..start] && data[start + removed..] == out[start..] {
+                matched = true;
+                break;
+            }
+        }
+        assert!(matched, "gap output is not prefix+suffix of the input");
+    }
+
+    #[test]
     fn default_rates_are_rare() {
         let inj = FaultInjector::tap_defaults();
         let mut rng = SmallRng::seed_from_u64(11);
@@ -123,5 +311,94 @@ mod tests {
             .filter(|_| inj.apply(vec![1, 2, 3], &mut rng).is_some())
             .count();
         assert!(survived > 9_900);
+    }
+
+    #[test]
+    fn checked_rejects_bad_probabilities() {
+        assert!(FaultInjector::checked(0.0, 0.0, 0.0, 0.0, 0.0, 0.0).is_ok());
+        assert!(FaultInjector::checked(1.0, 1.0, 1.0, 1.0, 1.0, 1.0).is_ok());
+        let nan = FaultInjector::checked(f64::NAN, 0.0, 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(nan.unwrap_err().field, "drop_prob");
+        let neg = FaultInjector::checked(0.0, -0.001, 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(neg.unwrap_err().field, "truncate_prob");
+        let over = FaultInjector::checked(0.0, 0.0, 1.5, 0.0, 0.0, 0.0);
+        assert_eq!(over.unwrap_err().field, "corrupt_prob");
+        let inf = FaultInjector::checked(0.0, 0.0, 0.0, f64::INFINITY, 0.0, 0.0);
+        assert_eq!(inf.unwrap_err().field, "gap_prob");
+        assert!(FaultInjector::checked(0.0, 0.0, 0.0, 0.0, 2.0, 0.0).is_err());
+        assert!(FaultInjector::checked(0.0, 0.0, 0.0, 0.0, 0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn validate_flags_struct_literals() {
+        let bad = FaultInjector {
+            outage_prob: f64::NAN,
+            ..FaultInjector::none()
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "outage_prob");
+        assert!(FaultInjector::stress().validate().is_ok());
+        assert!(FaultInjector::tap_defaults().validate().is_ok());
+    }
+
+    #[test]
+    fn outage_windows_are_contiguous_and_deterministic() {
+        let inj = FaultInjector {
+            outage_prob: 0.3,
+            ..FaultInjector::none()
+        };
+        let start = Date::ymd(2015, 1, 1);
+        let days: Vec<bool> = (0..365)
+            .map(|d| inj.in_outage(9, start.add_days(d)))
+            .collect();
+        // Deterministic: same answer on re-query.
+        let again: Vec<bool> = (0..365)
+            .map(|d| inj.in_outage(9, start.add_days(d)))
+            .collect();
+        assert_eq!(days, again);
+        // Some outages, but not everything dark.
+        let dark = days.iter().filter(|d| **d).count();
+        assert!(dark > 30, "expected some outage days, got {dark}");
+        assert!(dark < 300, "expected some light days, got {dark}");
+        // Dark days come in runs of OUTAGE_SPAN_DAYS (window-aligned, so
+        // any maximal run is a multiple of the span once away from the
+        // year boundary).
+        let mut run = 0i64;
+        for (i, d) in days.iter().enumerate() {
+            if *d {
+                run += 1;
+            } else {
+                if run > 0 && i as i64 - run > 0 {
+                    assert_eq!(run % OUTAGE_SPAN_DAYS, 0, "run of {run} days");
+                }
+                run = 0;
+            }
+        }
+        // A different seed produces a different outage calendar.
+        let other: Vec<bool> = (0..365)
+            .map(|d| inj.in_outage(10, start.add_days(d)))
+            .collect();
+        assert_ne!(days, other);
+    }
+
+    #[test]
+    fn zero_probability_outage_never_fires() {
+        let inj = FaultInjector::none();
+        for d in 0..1000 {
+            assert!(!inj.in_outage(1, Date::ymd(2014, 1, 1).add_days(d)));
+        }
+    }
+
+    #[test]
+    fn named_profiles_resolve() {
+        assert_eq!(FaultInjector::profile("none"), Some(FaultInjector::none()));
+        assert_eq!(
+            FaultInjector::profile("defaults"),
+            Some(FaultInjector::tap_defaults())
+        );
+        assert_eq!(
+            FaultInjector::profile("stress"),
+            Some(FaultInjector::stress())
+        );
+        assert_eq!(FaultInjector::profile("bogus"), None);
     }
 }

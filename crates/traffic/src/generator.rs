@@ -18,6 +18,7 @@ use tlscope_chron::{Date, Month};
 use tlscope_clients::{catalog, Family, HelloEntropy};
 use tlscope_notary::{PipelineMetrics, TappedFlow};
 use tlscope_servers::{negotiate, Destination, ServerPopulation};
+use tlscope_wire::handshake::handshake_type;
 use tlscope_wire::record::{ContentType, Record};
 use tlscope_wire::{ProtocolVersion, Sslv2ClientHello};
 
@@ -128,6 +129,7 @@ impl Generator {
                     .wrapping_add(month.index() as u64),
             ),
             remaining: self.cfg.connections_per_month,
+            pending: None,
             metrics: None,
         }
     }
@@ -196,19 +198,26 @@ impl Generator {
         }
         let server_bytes = match negotiate::respond(&profile, &hello, server_random) {
             Ok(n) => {
-                let mut handshake = n.server_hello.to_handshake_bytes();
-                if !n.version.is_tls13_family() {
-                    if let Some(curve) = n.curve {
-                        handshake.extend_from_slice(&tlscope_wire::ske::ecdhe_ske(curve, 65));
-                    }
-                }
                 let version = if n.version.is_tls13_family() {
                     ProtocolVersion::Tls12
                 } else {
                     n.version
                 };
-                Record::wrap_handshake(version, &handshake)
+                // Real server stacks frame the flight as one record per
+                // handshake message (ServerHello / SKE / HelloDone), not
+                // one coalesced record — which is what lets a tap that
+                // truncated or gapped the tail of the flight still keep
+                // an intact ServerHello prefix for salvage.
+                let mut messages = vec![n.server_hello.to_handshake_bytes()];
+                if !n.version.is_tls13_family() {
+                    if let Some(curve) = n.curve {
+                        messages.push(tlscope_wire::ske::ecdhe_ske(curve, 65));
+                    }
+                    messages.push(vec![handshake_type::SERVER_HELLO_DONE, 0, 0, 0]);
+                }
+                messages
                     .iter()
+                    .flat_map(|m| Record::wrap_handshake(version, m))
                     .flat_map(|r| r.to_bytes())
                     .collect::<Vec<u8>>()
             }
@@ -252,6 +261,8 @@ pub struct MonthStream<'a> {
     month: Month,
     rng: SmallRng,
     remaining: u32,
+    /// Second copy of a tap-duplicated flow, emitted on the next draw.
+    pending: Option<ConnectionEvent>,
     metrics: Option<&'a PipelineMetrics>,
 }
 
@@ -268,13 +279,37 @@ impl Iterator for MonthStream<'_> {
 
     fn next(&mut self) -> Option<ConnectionEvent> {
         let started = self.metrics.map(|_| Instant::now());
+        if let Some(ev) = self.pending.take() {
+            // Second copy of a duplicated flow.
+            if let (Some(m), Some(t0)) = (self.metrics, started) {
+                m.record_generated(ev.wire_bytes(), t0.elapsed());
+            }
+            return Some(ev);
+        }
+        let faults = &self.generator.cfg.faults;
         // Shares drift within a month; sampling per connection-day
         // keeps the curves smooth without recomputing per event.
         while self.remaining > 0 {
             self.remaining -= 1;
             let day = self.rng.random_range(1..=self.month.len_days());
             let date = Date::new(self.month.year(), self.month.month_of_year(), day).unwrap();
+            if faults.in_outage(self.generator.cfg.seed, date) {
+                // The tap is dark: the connection happened on the wire
+                // but was never captured. The check precedes generation
+                // — an outage costs no RNG draws, mirroring a capture
+                // process that simply is not running.
+                if let Some(m) = self.metrics {
+                    m.record_outage_dropped(1);
+                }
+                continue;
+            }
             if let Some(ev) = self.generator.connection(date, &mut self.rng) {
+                if faults.duplicates(&mut self.rng) {
+                    if let Some(m) = self.metrics {
+                        m.record_duplicated(1);
+                    }
+                    self.pending = Some(ev.clone());
+                }
                 if let (Some(m), Some(t0)) = (self.metrics, started) {
                     m.record_generated(ev.wire_bytes(), t0.elapsed());
                 }
@@ -285,9 +320,10 @@ impl Iterator for MonthStream<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        // Fault injection can drop any event, so only the upper bound
-        // is known.
-        (0, Some(self.remaining as usize))
+        // Fault injection can drop any event and duplication can double
+        // one, so only the upper bound is known.
+        let pending = usize::from(self.pending.is_some());
+        (0, Some(self.remaining as usize * 2 + pending))
     }
 }
 
@@ -500,12 +536,71 @@ mod tests {
             connections_per_month: 2000,
             faults: FaultInjector {
                 drop_prob: 0.5,
-                truncate_prob: 0.0,
-                corrupt_prob: 0.0,
+                ..FaultInjector::none()
             },
         });
         let events = lossy.month(Month::ym(2016, 3));
         // Client-side drops remove the whole event.
         assert!(events.len() < 1300, "{}", events.len());
+    }
+
+    #[test]
+    fn outage_windows_remove_whole_days_deterministically() {
+        let cfg = TrafficConfig {
+            seed: 42,
+            connections_per_month: 1000,
+            faults: FaultInjector {
+                outage_prob: 0.4,
+                ..FaultInjector::none()
+            },
+        };
+        let g = Generator::new(cfg.clone());
+        let metrics = PipelineMetrics::new();
+        let events: Vec<ConnectionEvent> = g
+            .stream_month(Month::ym(2016, 3))
+            .metered(&metrics)
+            .collect();
+        let dropped = metrics.snapshot().flows_outage_dropped;
+        assert!(dropped > 0, "expected some outage losses");
+        assert_eq!(events.len() as u64 + dropped, 1000);
+        // No surviving event is dated inside an outage window.
+        for ev in &events {
+            assert!(!cfg.faults.in_outage(cfg.seed, ev.date));
+        }
+        // Deterministic: a second run sees the identical event stream.
+        let again: Vec<ConnectionEvent> = g.stream_month(Month::ym(2016, 3)).collect();
+        assert_eq!(events.len(), again.len());
+        for (a, b) in events.iter().zip(&again) {
+            assert_eq!(a.client_flow, b.client_flow);
+        }
+    }
+
+    #[test]
+    fn duplication_emits_adjacent_identical_flows() {
+        let g = Generator::new(TrafficConfig {
+            seed: 42,
+            connections_per_month: 500,
+            faults: FaultInjector {
+                duplicate_prob: 0.2,
+                ..FaultInjector::none()
+            },
+        });
+        let metrics = PipelineMetrics::new();
+        let events: Vec<ConnectionEvent> = g
+            .stream_month(Month::ym(2016, 3))
+            .metered(&metrics)
+            .collect();
+        let snap = metrics.snapshot();
+        assert!(snap.flows_duplicated > 0, "expected some duplicates");
+        assert_eq!(events.len() as u64, 500 + snap.flows_duplicated);
+        assert_eq!(snap.flows_generated, events.len() as u64);
+        // Each duplicate is an exact adjacent copy.
+        let adjacent_dups = events
+            .windows(2)
+            .filter(|w| {
+                w[0].client_flow == w[1].client_flow && w[0].server_flow == w[1].server_flow
+            })
+            .count() as u64;
+        assert!(adjacent_dups >= snap.flows_duplicated);
     }
 }

@@ -118,6 +118,7 @@ fn faults_do_not_break_aggregation() {
             drop_prob: 0.05,
             truncate_prob: 0.05,
             corrupt_prob: 0.05,
+            ..FaultInjector::none()
         },
     });
     let month = Month::ym(2015, 3);
