@@ -32,8 +32,8 @@ pub fn table1() -> Table {
 pub fn table2(agg: &NotaryAggregate) -> Table {
     let (db, _) = catalog::build_database();
     let mut cov = CoverageStats::new();
-    for (fp, count) in &agg.fp_counts {
-        cov.observe(&db, fp, *count);
+    for (fp, count) in agg.iter_fp_counts() {
+        cov.observe(&db, fp, count);
     }
     let mut t = Table::new(
         "table2",

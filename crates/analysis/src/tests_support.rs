@@ -43,7 +43,7 @@ pub fn record(date: Date, suites: &[u16], negotiated: Option<u16>) -> Connection
                 curve: None,
                 heartbeat: false,
             }),
-            None => ServerOutcome::Rejected,
+            None => ServerOutcome::Rejected { alert: None },
         },
         salvaged: false,
     }

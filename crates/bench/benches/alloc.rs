@@ -1,0 +1,195 @@
+//! pipeline/alloc — end-to-end generation→ingestion throughput and
+//! allocation bench.
+//!
+//! Unlike the criterion benches this is a plain `main` so it can emit a
+//! machine-readable trajectory file, `BENCH_pipeline.json`, at the
+//! workspace root. Run it with the counting allocator enabled:
+//!
+//! ```text
+//! cargo bench -p tlscope-bench --bench alloc --features alloc-counter -- --fast
+//! ```
+//!
+//! Without `--features alloc-counter` the bench still reports
+//! throughput but allocation counts read as zero, so the budget check
+//! is skipped. `--fast` shrinks the workload for CI smoke runs. The
+//! bench exits non-zero when allocations per connection exceed the
+//! committed budget, which is how the CI bench-smoke job fails on an
+//! allocation regression.
+
+use std::time::Instant;
+
+use tlscope::chron::Month;
+use tlscope::notary::{ingest_flow, NotaryAggregate, TappedFlow};
+use tlscope::traffic::{FaultInjector, Generator, TrafficConfig};
+
+/// Pre-PR measurement (commit a5f358f, this bench at 20k connections,
+/// month 2015-06, fault profile `none`), recorded before the zero-copy
+/// extraction and fingerprint-interning work landed so the emitted
+/// JSON always carries the comparison point.
+const PRE_PR_GEN_ALLOCS_PER_CONN: f64 = 48.100;
+const PRE_PR_INGEST_ALLOCS_PER_CONN: f64 = 53.988;
+const PRE_PR_PIPELINE_ALLOCS_PER_CONN: f64 = 102.089;
+const PRE_PR_PIPELINE_CONNS_PER_SEC: f64 = 97_929.0;
+
+use tlscope_bench::PIPELINE_ALLOC_BUDGET_PER_CONN;
+
+#[cfg(feature = "alloc-counter")]
+use tlscope_bench::alloc_counter;
+
+#[cfg(not(feature = "alloc-counter"))]
+mod alloc_counter {
+    /// Stub so the bench compiles without the counting allocator; all
+    /// counts read as zero and the budget check is skipped.
+    pub fn counted<T>(f: impl FnOnce() -> T) -> (T, u64) {
+        (f(), 0)
+    }
+}
+
+fn generator(conns: u32) -> Generator {
+    Generator::new(TrafficConfig {
+        seed: 0x715C0,
+        connections_per_month: conns,
+        faults: FaultInjector::none(),
+    })
+}
+
+fn flow_bytes(flow: &TappedFlow) -> u64 {
+    flow.client.len() as u64 + flow.server.as_ref().map_or(0, |s| s.len() as u64)
+}
+
+/// Best-of-`reps` wall time for `f`, which must be repeatable.
+fn best_secs(reps: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let conns: u32 = if fast { 3_000 } else { 20_000 };
+    let reps: u32 = if fast { 2 } else { 3 };
+    let month = Month::new(2015, 6).unwrap();
+    let gen = generator(conns);
+
+    // Warm up thread-local scratch and lazy runtime state outside the
+    // counted regions.
+    let warm: Vec<TappedFlow> = gen.stream_month(month).map(TappedFlow::from).collect();
+    let mut agg = NotaryAggregate::new();
+    for flow in warm.iter().take(64) {
+        ingest_flow(&mut agg, flow);
+    }
+    drop(agg);
+    let total_bytes: u64 = warm.iter().map(flow_bytes).sum();
+
+    // --- Generation stage: allocations and throughput. ---
+    let (_, gen_allocs) = alloc_counter::counted(|| {
+        for event in gen.stream_month(month) {
+            std::hint::black_box(&event);
+        }
+    });
+    let gen_secs = best_secs(reps, || {
+        for event in gen.stream_month(month) {
+            std::hint::black_box(&event);
+        }
+    });
+
+    // --- Ingestion stage (extract + aggregate) over pre-built flows. ---
+    let (_, ingest_allocs) = alloc_counter::counted(|| {
+        let mut agg = NotaryAggregate::new();
+        for flow in &warm {
+            ingest_flow(&mut agg, flow);
+        }
+        std::hint::black_box(&agg);
+    });
+    let ingest_secs = best_secs(reps, || {
+        let mut agg = NotaryAggregate::new();
+        for flow in &warm {
+            ingest_flow(&mut agg, flow);
+        }
+        std::hint::black_box(&agg);
+    });
+
+    // --- Fused pipeline: generate -> tap -> extract -> aggregate. ---
+    let fused = || {
+        let mut agg = NotaryAggregate::new();
+        for event in gen.stream_month(month) {
+            let flow = TappedFlow::from(event);
+            ingest_flow(&mut agg, &flow);
+        }
+        std::hint::black_box(&agg);
+    };
+    let (_, pipeline_allocs) = alloc_counter::counted(fused);
+    let pipeline_secs = best_secs(reps, fused);
+
+    let n = conns as f64;
+    let gen_apc = gen_allocs as f64 / n;
+    let ingest_apc = ingest_allocs as f64 / n;
+    let pipeline_apc = pipeline_allocs as f64 / n;
+    let pipeline_cps = n / pipeline_secs;
+    let counting = cfg!(feature = "alloc-counter");
+
+    let alloc_reduction = if counting && pipeline_apc > 0.0 {
+        PRE_PR_PIPELINE_ALLOCS_PER_CONN / pipeline_apc
+    } else {
+        0.0
+    };
+    let budget_pass = !counting || pipeline_apc <= PIPELINE_ALLOC_BUDGET_PER_CONN;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pipeline/alloc\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"connections\": {conns},\n",
+            "  \"month\": \"2015-06\",\n",
+            "  \"alloc_counter\": {counting},\n",
+            "  \"gen\": {{ \"allocs_per_conn\": {gen_apc:.3}, \"conns_per_sec\": {gen_cps:.0} }},\n",
+            "  \"ingest\": {{ \"allocs_per_conn\": {ing_apc:.3}, \"conns_per_sec\": {ing_cps:.0}, \"bytes_per_sec\": {ing_bps:.0} }},\n",
+            "  \"pipeline\": {{ \"allocs_per_conn\": {pipe_apc:.3}, \"conns_per_sec\": {pipe_cps:.0}, \"bytes_per_sec\": {pipe_bps:.0} }},\n",
+            "  \"baseline_pre_pr\": {{ \"gen_allocs_per_conn\": {pre_gen:.3}, \"ingest_allocs_per_conn\": {pre_ing:.3}, \"pipeline_allocs_per_conn\": {pre_pipe:.3}, \"pipeline_conns_per_sec\": {pre_cps:.0} }},\n",
+            "  \"improvement\": {{ \"alloc_reduction_factor\": {red:.2}, \"throughput_factor\": {thr:.2} }},\n",
+            "  \"budget\": {{ \"pipeline_allocs_per_conn_max\": {budget:.1}, \"pass\": {pass} }}\n",
+            "}}\n"
+        ),
+        mode = if fast { "fast" } else { "full" },
+        conns = conns,
+        counting = counting,
+        gen_apc = gen_apc,
+        gen_cps = n / gen_secs,
+        ing_apc = ingest_apc,
+        ing_cps = n / ingest_secs,
+        ing_bps = total_bytes as f64 / ingest_secs,
+        pipe_apc = pipeline_apc,
+        pipe_cps = pipeline_cps,
+        pipe_bps = total_bytes as f64 / pipeline_secs,
+        pre_gen = PRE_PR_GEN_ALLOCS_PER_CONN,
+        pre_ing = PRE_PR_INGEST_ALLOCS_PER_CONN,
+        pre_pipe = PRE_PR_PIPELINE_ALLOCS_PER_CONN,
+        pre_cps = PRE_PR_PIPELINE_CONNS_PER_SEC,
+        red = alloc_reduction,
+        thr = if pipeline_cps > 0.0 && PRE_PR_PIPELINE_CONNS_PER_SEC > 0.0 {
+            pipeline_cps / PRE_PR_PIPELINE_CONNS_PER_SEC
+        } else {
+            0.0
+        },
+        budget = PIPELINE_ALLOC_BUDGET_PER_CONN,
+        pass = budget_pass,
+    );
+
+    print!("{json}");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("warning: could not write {out}: {e}");
+    }
+
+    if !budget_pass {
+        eprintln!(
+            "alloc budget exceeded: {pipeline_apc:.3} allocs/conn > {PIPELINE_ALLOC_BUDGET_PER_CONN:.1}"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,13 +1,24 @@
 //! # tlscope-bench
 //!
 //! Criterion benchmarks for the tlscope workspace. The benchmarks live
-//! in `benches/`; this library only hosts the shared workload helpers.
+//! in `benches/`; this library hosts the shared workload helpers and,
+//! behind the `alloc-counter` feature, a counting global allocator used
+//! by the `alloc` bench to report heap allocations per connection.
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "alloc-counter"), forbid(unsafe_code))]
 
 use tlscope::chron::Month;
 use tlscope::notary::TappedFlow;
 use tlscope::traffic::{FaultInjector, Generator, TrafficConfig};
+
+/// Regression budget for the fused generation→ingestion pipeline, in
+/// heap allocations per connection. Enforced by the `alloc` bench
+/// (full workload) and by the alloc-budget regression test (marginal
+/// cost, immune to one-time table growth). The post-PR full-workload
+/// measurement is ~13.1 allocs/conn; the budget leaves headroom for
+/// allocator noise and small feature growth without letting the ≥5×
+/// win over the 102.1 pre-PR baseline erode.
+pub const PIPELINE_ALLOC_BUDGET_PER_CONN: f64 = 16.0;
 
 /// Generate one month of flows at a given volume for bench workloads.
 pub fn bench_flows(month: Month, n: u32, seed: u64) -> Vec<TappedFlow> {
@@ -21,4 +32,83 @@ pub fn bench_flows(month: Month, n: u32, seed: u64) -> Vec<TappedFlow> {
         .into_iter()
         .map(TappedFlow::from)
         .collect()
+}
+
+/// A counting wrapper around the system allocator. Installed as the
+/// global allocator whenever this crate is built with the
+/// `alloc-counter` feature, so the `alloc` bench (and the alloc-budget
+/// regression test) can report heap allocations per connection.
+///
+/// Counters are thread-local: a measurement on one thread is not
+/// polluted by concurrent test threads or allocator traffic elsewhere
+/// in the process. The thread locals are const-initialised `Cell`s, so
+/// reading them from inside `alloc` cannot itself allocate (no lazy
+/// init, no destructor registration).
+#[cfg(feature = "alloc-counter")]
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+        static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Forwarding allocator that counts every `alloc`/`alloc_zeroed`/
+    /// `realloc` on the calling thread. `dealloc` is free.
+    pub struct CountingAlloc;
+
+    fn record(bytes: usize) {
+        // try_with: the thread-local may be unavailable during thread
+        // teardown; dropping a count there is fine.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = ALLOC_BYTES.try_with(|c| c.set(c.get() + bytes as u64));
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            record(new_size);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Reset this thread's counters to zero.
+    pub fn reset() {
+        let _ = ALLOCS.try_with(|c| c.set(0));
+        let _ = ALLOC_BYTES.try_with(|c| c.set(0));
+    }
+
+    /// Heap allocations performed by this thread since the last `reset`.
+    pub fn thread_allocations() -> u64 {
+        ALLOCS.try_with(Cell::get).unwrap_or(0)
+    }
+
+    /// Bytes requested from the allocator by this thread since `reset`.
+    pub fn thread_alloc_bytes() -> u64 {
+        ALLOC_BYTES.try_with(Cell::get).unwrap_or(0)
+    }
+
+    /// Run `f` and return `(result, allocations)` for this thread.
+    pub fn counted<T>(f: impl FnOnce() -> T) -> (T, u64) {
+        let before = thread_allocations();
+        let out = f();
+        (out, thread_allocations() - before)
+    }
 }

@@ -1,0 +1,59 @@
+//! Alloc-budget regression test: pins the fused generation→ingestion
+//! hot path under [`PIPELINE_ALLOC_BUDGET_PER_CONN`] heap allocations
+//! per connection. Runs only with the counting allocator installed:
+//!
+//! ```text
+//! cargo test -p tlscope-bench --features alloc-counter --test alloc_budget
+//! ```
+//!
+//! The check measures *marginal* allocations per connection — the
+//! difference between a large and a small workload divided by the
+//! connection delta — so one-time costs (interner tables, month maps,
+//! hash-map growth) cancel out and the test stays meaningful at
+//! test-sized workloads.
+
+#![cfg(feature = "alloc-counter")]
+
+use tlscope::chron::Month;
+use tlscope::notary::{ingest_flow, NotaryAggregate, TappedFlow};
+use tlscope::traffic::{FaultInjector, Generator, TrafficConfig};
+use tlscope_bench::{alloc_counter, PIPELINE_ALLOC_BUDGET_PER_CONN};
+
+fn fused_pipeline_allocs(conns: u32) -> u64 {
+    let gen = Generator::new(TrafficConfig {
+        seed: 0x715C0,
+        connections_per_month: conns,
+        faults: FaultInjector::none(),
+    });
+    let month = Month::new(2015, 6).unwrap();
+    // Warm thread-local extraction scratch outside the counted region.
+    let mut agg = NotaryAggregate::new();
+    for event in gen.stream_month(month).take(64) {
+        let flow = TappedFlow::from(event);
+        ingest_flow(&mut agg, &flow);
+    }
+    drop(agg);
+    let (_, allocs) = alloc_counter::counted(|| {
+        let mut agg = NotaryAggregate::new();
+        for event in gen.stream_month(month) {
+            let flow = TappedFlow::from(event);
+            ingest_flow(&mut agg, &flow);
+        }
+        std::hint::black_box(&agg);
+    });
+    allocs
+}
+
+#[test]
+fn marginal_pipeline_allocs_per_conn_stay_under_budget() {
+    let (small, large) = (2_000u32, 6_000u32);
+    let a_small = fused_pipeline_allocs(small);
+    let a_large = fused_pipeline_allocs(large);
+    assert!(a_large > a_small, "larger workload must allocate more");
+    let marginal = (a_large - a_small) as f64 / (large - small) as f64;
+    assert!(
+        marginal <= PIPELINE_ALLOC_BUDGET_PER_CONN,
+        "pipeline hot path regressed: {marginal:.3} allocs/conn > budget \
+         {PIPELINE_ALLOC_BUDGET_PER_CONN:.1} (small={a_small}, large={a_large})"
+    );
+}

@@ -82,11 +82,20 @@ impl AdoptionModel {
     /// two releases behind carries its laggard tail squared-ish, which
     /// is what produces multi-year-old fingerprints in the traffic.
     pub fn era_shares(&self, family: &Family, date: Date) -> Vec<f64> {
+        let mut weights = Vec::with_capacity(family.eras.len());
+        self.era_shares_into(family, date, &mut weights);
+        weights
+    }
+
+    /// [`AdoptionModel::era_shares`], written into a reusable buffer —
+    /// the generator hot path calls this once per connection.
+    pub fn era_shares_into(&self, family: &Family, date: Date, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(family.eras.len(), 0.0);
         let Some(current) = family.era_index_at(date) else {
-            return vec![0.0; family.eras.len()];
+            return;
         };
-        let mut weights = vec![0.0; family.eras.len()];
-        for (i, w) in weights.iter_mut().enumerate().take(current + 1) {
+        for (i, w) in out.iter_mut().enumerate().take(current + 1) {
             let superseded = if i == current {
                 None
             } else {
@@ -94,13 +103,12 @@ impl AdoptionModel {
             };
             *w = self.weight(superseded);
         }
-        let total: f64 = weights.iter().sum();
+        let total: f64 = out.iter().sum();
         if total > 0.0 {
-            for w in &mut weights {
+            for w in out.iter_mut() {
                 *w /= total;
             }
         }
-        weights
     }
 }
 

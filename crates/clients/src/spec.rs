@@ -9,8 +9,10 @@
 
 use tlscope_chron::Date;
 use tlscope_fingerprint::{Category, Fingerprint};
-use tlscope_wire::exts::ext_type;
+use tlscope_wire::codec::Writer;
+use tlscope_wire::exts::{ext_body, ext_type, write_extension};
 use tlscope_wire::grease::grease_value;
+use tlscope_wire::handshake::handshake_type;
 use tlscope_wire::{CipherSuite, ClientHello, Extension, NamedGroup, ProtocolVersion};
 
 /// Full TLS configuration of one client version.
@@ -121,6 +123,117 @@ impl TlsConfig {
             }
             ext_type::ALPN => Extension::alpn(&["h2", "http/1.1"]),
             other => Extension::empty(other),
+        }
+    }
+
+    /// Fill `out` with the on-wire cipher-suite order this configuration
+    /// emits (GREASE prepended when applicable), reusing the buffer.
+    pub fn hello_ciphers_into(&self, entropy: &HelloEntropy, out: &mut Vec<CipherSuite>) {
+        out.clear();
+        if self.grease {
+            out.push(CipherSuite(grease_value(entropy.grease_draws[0])));
+        }
+        out.extend(self.ciphers.iter().copied());
+    }
+
+    /// Append the framed ClientHello handshake message to `w` —
+    /// byte-identical to `build_hello(sni, entropy).to_handshake_bytes()`
+    /// with `ciphers` as the suite list — without materialising a
+    /// [`ClientHello`] or any [`Extension`].
+    ///
+    /// `ciphers` is the final on-wire suite order, normally produced by
+    /// [`TlsConfig::hello_ciphers_into`] (the caller may reorder it, as
+    /// the cipher-shuffling client does).
+    pub fn write_hello_into(
+        &self,
+        sni: Option<&str>,
+        entropy: &HelloEntropy,
+        ciphers: &[CipherSuite],
+        w: &mut Writer,
+    ) {
+        w.u8(handshake_type::CLIENT_HELLO);
+        w.vec24(|w| {
+            w.u16(self.legacy_version.to_wire());
+            w.bytes(&entropy.random);
+            w.vec8(|w| {
+                w.bytes(&entropy.session_id);
+            });
+            w.vec16(|w| {
+                for c in ciphers {
+                    w.u16(c.0);
+                }
+            });
+            w.vec8(|w| {
+                w.bytes(&self.compression);
+            });
+            if !self.extensions.is_empty() || self.grease {
+                w.vec16(|w| {
+                    if self.grease {
+                        write_extension(w, grease_value(entropy.grease_draws[1]), |_| {});
+                    }
+                    for &t in &self.extensions {
+                        self.write_one_extension(w, t, sni, entropy);
+                    }
+                    if self.grease {
+                        write_extension(
+                            w,
+                            grease_value(entropy.grease_draws[2].wrapping_add(1)),
+                            |_| {},
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    /// Write one extension the way `materialise_extension` builds it,
+    /// straight into `w`.
+    fn write_one_extension(
+        &self,
+        w: &mut Writer,
+        typ: u16,
+        sni: Option<&str>,
+        entropy: &HelloEntropy,
+    ) {
+        match typ {
+            ext_type::SERVER_NAME => write_extension(w, typ, |w| {
+                ext_body::server_name(w, sni.unwrap_or("example.com"));
+            }),
+            ext_type::SUPPORTED_GROUPS => write_extension(w, typ, |w| {
+                let grease = self.grease.then(|| grease_value(entropy.grease_draws[3]));
+                ext_body::supported_groups(
+                    w,
+                    grease.into_iter().chain(self.curves.iter().map(|g| g.0)),
+                );
+            }),
+            ext_type::EC_POINT_FORMATS => write_extension(w, typ, |w| {
+                ext_body::ec_point_formats(w, &self.point_formats);
+            }),
+            ext_type::SUPPORTED_VERSIONS => write_extension(w, typ, |w| {
+                let grease = self.grease.then(|| grease_value(entropy.grease_draws[0]));
+                ext_body::supported_versions(
+                    w,
+                    grease
+                        .into_iter()
+                        .chain(self.supported_versions.iter().map(|v| v.to_wire())),
+                );
+            }),
+            ext_type::HEARTBEAT => write_extension(w, typ, |w| {
+                ext_body::heartbeat(w, self.heartbeat_mode);
+            }),
+            ext_type::RENEGOTIATION_INFO => write_extension(w, typ, |w| {
+                ext_body::renegotiation_info(w);
+            }),
+            ext_type::SIGNATURE_ALGORITHMS => write_extension(w, typ, |w| {
+                ext_body::signature_algorithms(
+                    w,
+                    &[0x0403, 0x0503, 0x0603, 0x0401, 0x0501, 0x0601, 0x0201],
+                );
+            }),
+            ext_type::ALPN => write_extension(w, typ, |w| {
+                ext_body::alpn(w, &["h2", "http/1.1"]);
+            }),
+            other => write_extension(w, other, |_| {}),
         }
     }
 
@@ -357,6 +470,45 @@ mod tests {
         assert!(cfg.supports_version(ProtocolVersion::Tls13));
         let hello = cfg.build_hello(None, &HelloEntropy::zero());
         assert!(hello.offers_tls13());
+    }
+
+    #[test]
+    fn write_hello_into_matches_build_hello_across_catalog() {
+        // The allocation-free serialiser must be byte-identical to the
+        // materialise-then-serialise path for every catalogued
+        // configuration, with and without SNI, greased or not.
+        let mut ciphers = Vec::new();
+        for fam in crate::catalog::all_families() {
+            for era in &fam.eras {
+                for sni in [None, Some("mozilla.org")] {
+                    for seed in [0u64, 7, 0xDEAD_BEEF] {
+                        let entropy = HelloEntropy::from_seed(seed);
+                        let want = era.tls.build_hello(sni, &entropy).to_handshake_bytes();
+                        era.tls.hello_ciphers_into(&entropy, &mut ciphers);
+                        let mut w = Writer::new();
+                        era.tls.write_hello_into(sni, &entropy, &ciphers, &mut w);
+                        assert_eq!(
+                            w.into_bytes(),
+                            want,
+                            "{} {} sni={sni:?} seed={seed}",
+                            fam.name,
+                            era.versions
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hello_ciphers_into_reuses_buffer() {
+        let cfg = config(true);
+        let entropy = HelloEntropy::from_seed(5);
+        let mut buf = vec![CipherSuite(0xdead); 32];
+        cfg.hello_ciphers_into(&entropy, &mut buf);
+        assert_eq!(buf.len(), cfg.ciphers.len() + 1);
+        assert!(tlscope_wire::is_grease(buf[0].0));
+        assert_eq!(&buf[1..], &cfg.ciphers[..]);
     }
 
     #[test]

@@ -121,6 +121,10 @@ enum Entry {
 #[derive(Debug, Default, Clone)]
 pub struct FingerprintDb {
     entries: HashMap<Fingerprint, Entry>,
+    // Maintained by `insert` so len/removed/collision_rate are O(1)
+    // instead of a full-table scan; always equal to the scan counts.
+    usable: usize,
+    tombstones: usize,
 }
 
 impl FingerprintDb {
@@ -135,13 +139,18 @@ impl FingerprintDb {
         match self.entries.entry(fp) {
             MapEntry::Vacant(v) => {
                 v.insert(Entry::Unique(label));
+                self.usable += 1;
                 InsertOutcome::Inserted
             }
             MapEntry::Occupied(mut o) => match o.get_mut() {
                 Entry::Tombstone => InsertOutcome::AlreadyRemoved,
                 Entry::Unique(existing) => {
                     if existing.name == label.name {
-                        if !existing.versions.contains(&label.versions) {
+                        // Version ranges are a comma-separated set; a
+                        // plain substring test would let "5" swallow
+                        // "52" (and "52" match inside "52,53"), so
+                        // compare whole components.
+                        if !existing.versions.split(',').any(|v| v == label.versions) {
                             existing.versions.push(',');
                             existing.versions.push_str(&label.versions);
                         }
@@ -160,6 +169,8 @@ impl FingerprintDb {
                         // Two distinct programs (or two distinct
                         // libraries): ambiguous, remove.
                         *o.get_mut() = Entry::Tombstone;
+                        self.usable -= 1;
+                        self.tombstones += 1;
                         InsertOutcome::RemovedCollision
                     }
                 }
@@ -175,12 +186,9 @@ impl FingerprintDb {
         }
     }
 
-    /// Number of usable (non-tombstoned) fingerprints.
+    /// Number of usable (non-tombstoned) fingerprints. O(1).
     pub fn len(&self) -> usize {
-        self.entries
-            .values()
-            .filter(|e| matches!(e, Entry::Unique(_)))
-            .count()
+        self.usable
     }
 
     /// True when no usable fingerprints exist.
@@ -188,12 +196,9 @@ impl FingerprintDb {
         self.len() == 0
     }
 
-    /// Number of tombstoned (collided) fingerprints.
+    /// Number of tombstoned (collided) fingerprints. O(1).
     pub fn removed(&self) -> usize {
-        self.entries
-            .values()
-            .filter(|e| matches!(e, Entry::Tombstone))
-            .count()
+        self.tombstones
     }
 
     /// Collision rate: tombstones / (tombstones + usable). The paper
@@ -400,6 +405,42 @@ mod tests {
         assert_eq!(rows.last().unwrap().0, "All");
         assert_eq!(rows.last().unwrap().1, 2);
         assert_eq!(rows[0].0, "Libraries"); // highest coverage first
+    }
+
+    #[test]
+    fn version_merge_compares_whole_components() {
+        // "5" is a substring of "52" but a distinct version range; the
+        // old substring check silently dropped it.
+        let mut db = FingerprintDb::new();
+        db.insert(fp(1), Label::new("Firefox", Category::Browser, "52"));
+        db.insert(fp(1), Label::new("Firefox", Category::Browser, "5"));
+        assert_eq!(db.lookup(&fp(1)).unwrap().versions, "52,5");
+        // Exact component repeats still dedupe.
+        db.insert(fp(1), Label::new("Firefox", Category::Browser, "52"));
+        db.insert(fp(1), Label::new("Firefox", Category::Browser, "5"));
+        assert_eq!(db.lookup(&fp(1)).unwrap().versions, "52,5");
+    }
+
+    #[test]
+    fn cached_counts_match_table_scan() {
+        let mut db = FingerprintDb::new();
+        for i in 0..6 {
+            db.insert(
+                fp(i),
+                Label::new(format!("app{i}"), Category::MobileApp, "1"),
+            );
+        }
+        // Tombstone two, merge one, library-replace one.
+        db.insert(fp(0), Label::new("other", Category::MobileApp, "1"));
+        db.insert(fp(1), Label::new("another", Category::Email, "2"));
+        db.insert(fp(2), Label::new("app2", Category::MobileApp, "2"));
+        db.insert(fp(3), Label::new("OpenSSL", Category::Library, "1.0"));
+        db.insert(fp(0), Label::new("app0", Category::MobileApp, "1")); // already removed
+        let scanned_usable = db.iter().count();
+        assert_eq!(db.len(), scanned_usable);
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.removed(), 2);
+        assert!((db.collision_rate() - 2.0 / 6.0).abs() < 1e-9);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! statistics from a stream of (fingerprint, date) observations.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use tlscope_chron::Date;
 
 /// First-seen / last-seen / volume record for one fingerprint.
@@ -70,12 +71,25 @@ impl DurationStats {
 }
 
 /// Streaming first/last-seen tracker keyed by fingerprint id.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
-pub struct SightingTracker {
-    map: HashMap<u64, Sighting>,
+///
+/// The key type is generic so callers can pick the cheapest id at
+/// hand: the 64-bit content hash ([`crate::Fingerprint::id64`]) for
+/// standalone use, or a dense interned u32 ([`crate::FpId`]) inside a
+/// high-volume aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SightingTracker<K: Eq + Hash = u64> {
+    map: HashMap<K, Sighting>,
 }
 
-impl SightingTracker {
+impl<K: Eq + Hash + Copy> Default for SightingTracker<K> {
+    fn default() -> Self {
+        SightingTracker {
+            map: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy> SightingTracker<K> {
     /// Empty tracker.
     pub fn new() -> Self {
         SightingTracker::default()
@@ -84,7 +98,7 @@ impl SightingTracker {
     /// Record `count` connections with fingerprint id `fp` on `date`.
     ///
     /// Observations may arrive out of chronological order.
-    pub fn observe(&mut self, fp: u64, date: Date, count: u64) {
+    pub fn observe(&mut self, fp: K, date: Date, count: u64) {
         self.map
             .entry(fp)
             .and_modify(|s| {
@@ -114,13 +128,13 @@ impl SightingTracker {
     }
 
     /// Sighting record for one fingerprint id.
-    pub fn get(&self, fp: u64) -> Option<&Sighting> {
+    pub fn get(&self, fp: K) -> Option<&Sighting> {
         self.map.get(&fp)
     }
 
     /// Iterate all (fingerprint id, sighting) pairs — used to merge
     /// trackers from parallel ingestion workers.
-    pub fn iter_raw(&self) -> impl Iterator<Item = (&u64, &Sighting)> {
+    pub fn iter_raw(&self) -> impl Iterator<Item = (&K, &Sighting)> {
         self.map.iter()
     }
 
@@ -197,14 +211,14 @@ mod tests {
 
     #[test]
     fn single_day_has_duration_one() {
-        let mut t = SightingTracker::new();
+        let mut t: SightingTracker = SightingTracker::new();
         t.observe(1, Date::ymd(2015, 6, 1), 10);
         assert_eq!(t.get(1).unwrap().duration_days(), 1);
     }
 
     #[test]
     fn out_of_order_observations() {
-        let mut t = SightingTracker::new();
+        let mut t: SightingTracker = SightingTracker::new();
         t.observe(1, Date::ymd(2015, 6, 10), 1);
         t.observe(1, Date::ymd(2015, 6, 1), 1);
         t.observe(1, Date::ymd(2015, 6, 5), 1);
@@ -217,7 +231,7 @@ mod tests {
 
     #[test]
     fn stats_bimodal_population() {
-        let mut t = SightingTracker::new();
+        let mut t: SightingTracker = SightingTracker::new();
         // 6 ephemeral single-day fingerprints with little traffic.
         for i in 0..6 {
             t.observe(i, Date::ymd(2016, 1, 1 + i as u8), 1);
@@ -244,7 +258,7 @@ mod tests {
 
     #[test]
     fn quantiles_on_uniform_data() {
-        let mut t = SightingTracker::new();
+        let mut t: SightingTracker = SightingTracker::new();
         // Durations 1, 2, 3, 4, 5 days.
         for i in 0..5u64 {
             t.observe(i, Date::ymd(2016, 1, 1), 1);
@@ -258,7 +272,7 @@ mod tests {
 
     #[test]
     fn empty_stats() {
-        let t = SightingTracker::new();
+        let t: SightingTracker = SightingTracker::new();
         let stats = t.stats(1200);
         assert_eq!(stats.fingerprints, 0);
         assert_eq!(stats.long_lived_traffic_pct(), 0.0);

@@ -11,7 +11,28 @@
 
 use core::fmt;
 use tlscope_wire::grease::{is_grease, strip_grease};
+use tlscope_wire::view::{ext_view, ClientHelloView};
 use tlscope_wire::{ext_type, ClientHello};
+
+/// Incremental FNV-1a, the hash behind [`Fingerprint::id64`].
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf29ce484222325)
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn absorb_u16(&mut self, v: u16) {
+        self.absorb(&v.to_be_bytes());
+    }
+}
 
 /// A 4-feature client fingerprint, order-preserving, GREASE-stripped.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -58,6 +79,91 @@ impl Fingerprint {
             curves,
             point_formats,
         }
+    }
+
+    /// Extract the fingerprint from a borrowed ClientHello view.
+    ///
+    /// Produces exactly the fingerprint [`Self::from_client_hello`]
+    /// would for the same bytes, but allocates only the four feature
+    /// vectors (each sized in one shot — no intermediate collects).
+    pub fn from_client_hello_view(hello: &ClientHelloView<'_>) -> Self {
+        let mut ciphers = Vec::with_capacity(hello.cipher_suite_count());
+        ciphers.extend(
+            hello
+                .cipher_suites()
+                .map(|c| c.0)
+                .filter(|v| !is_grease(*v)),
+        );
+        let extensions = match &hello.extensions {
+            None => Vec::new(),
+            Some(exts) => {
+                let mut out = Vec::with_capacity(exts.iter().count());
+                out.extend(exts.iter().map(|(t, _)| t).filter(|t| !is_grease(*t)));
+                out
+            }
+        };
+        let curves = match hello
+            .find_extension(ext_type::SUPPORTED_GROUPS)
+            .and_then(|b| ext_view::supported_groups(b).ok())
+        {
+            None => Vec::new(),
+            Some(gs) => {
+                let mut out = Vec::with_capacity(gs.len());
+                out.extend(gs.filter(|g| !is_grease(*g)));
+                out
+            }
+        };
+        let point_formats = hello
+            .find_extension(ext_type::EC_POINT_FORMATS)
+            .and_then(|b| ext_view::ec_point_formats(b).ok())
+            .map(|f| f.to_vec())
+            .unwrap_or_default();
+        Fingerprint {
+            ciphers,
+            extensions,
+            curves,
+            point_formats,
+        }
+    }
+
+    /// Compute [`Self::id64`] straight off a borrowed view without
+    /// building the fingerprint — zero allocations, so a repeat
+    /// fingerprint can be recognised (via an interner keyed on id64)
+    /// before any feature vector is materialised.
+    pub fn id64_of_view(hello: &ClientHelloView<'_>) -> u64 {
+        let mut h = Fnv64::new();
+        for c in hello.cipher_suites() {
+            if !is_grease(c.0) {
+                h.absorb_u16(c.0);
+            }
+        }
+        h.absorb(&[0xff, 0xfe]);
+        if let Some(exts) = &hello.extensions {
+            for (t, _) in exts.iter() {
+                if !is_grease(t) {
+                    h.absorb_u16(t);
+                }
+            }
+        }
+        h.absorb(&[0xff, 0xfd]);
+        if let Some(gs) = hello
+            .find_extension(ext_type::SUPPORTED_GROUPS)
+            .and_then(|b| ext_view::supported_groups(b).ok())
+        {
+            for g in gs {
+                if !is_grease(g) {
+                    h.absorb_u16(g);
+                }
+            }
+        }
+        h.absorb(&[0xff, 0xfc]);
+        if let Some(f) = hello
+            .find_extension(ext_type::EC_POINT_FORMATS)
+            .and_then(|b| ext_view::ec_point_formats(b).ok())
+        {
+            h.absorb(f);
+        }
+        h.0
     }
 
     /// Canonical text form: the four features joined by `;`, values
@@ -118,27 +224,21 @@ impl Fingerprint {
     /// A compact 64-bit identity derived from the canonical form (FNV-1a).
     /// Handy as a map key in high-volume aggregation.
     pub fn id64(&self) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
-        let mut absorb = |bytes: &[u8]| {
-            for b in bytes {
-                h ^= u64::from(*b);
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        };
+        let mut h = Fnv64::new();
         for v in &self.ciphers {
-            absorb(&v.to_be_bytes());
+            h.absorb_u16(*v);
         }
-        absorb(&[0xff, 0xfe]);
+        h.absorb(&[0xff, 0xfe]);
         for v in &self.extensions {
-            absorb(&v.to_be_bytes());
+            h.absorb_u16(*v);
         }
-        absorb(&[0xff, 0xfd]);
+        h.absorb(&[0xff, 0xfd]);
         for v in &self.curves {
-            absorb(&v.to_be_bytes());
+            h.absorb_u16(*v);
         }
-        absorb(&[0xff, 0xfc]);
-        absorb(&self.point_formats);
-        h
+        h.absorb(&[0xff, 0xfc]);
+        h.absorb(&self.point_formats);
+        h.0
     }
 
     /// True if any offered cipher satisfies `pred`.
@@ -257,6 +357,32 @@ mod tests {
         let fp = Fingerprint::from_client_hello(&hello(false));
         assert!(fp.any_cipher(|c| c.is_aead()));
         assert!(!fp.any_cipher(|c| c.is_rc4()));
+    }
+
+    #[test]
+    fn view_extraction_matches_owned() {
+        for with_grease in [false, true] {
+            let h = hello(with_grease);
+            let bytes = h.to_handshake_bytes();
+            let view = ClientHelloView::parse_handshake(&bytes).unwrap();
+            let owned = Fingerprint::from_client_hello(&h);
+            assert_eq!(Fingerprint::from_client_hello_view(&view), owned);
+            assert_eq!(Fingerprint::id64_of_view(&view), owned.id64());
+        }
+        // No extension block at all.
+        let h = ClientHello {
+            legacy_version: ProtocolVersion::Tls10,
+            random: [0; 32],
+            session_id: vec![],
+            cipher_suites: vec![CipherSuite(0x0005), CipherSuite(0x000a)],
+            compression_methods: vec![0],
+            extensions: None,
+        };
+        let bytes = h.to_handshake_bytes();
+        let view = ClientHelloView::parse_handshake(&bytes).unwrap();
+        let owned = Fingerprint::from_client_hello(&h);
+        assert_eq!(Fingerprint::from_client_hello_view(&view), owned);
+        assert_eq!(Fingerprint::id64_of_view(&view), owned.id64());
     }
 
     #[test]

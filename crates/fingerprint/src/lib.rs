@@ -31,6 +31,7 @@
 pub mod db;
 pub mod duration;
 pub mod fp;
+pub mod intern;
 pub mod ja3;
 pub mod md5;
 pub mod rich;
@@ -38,5 +39,6 @@ pub mod rich;
 pub use db::{Category, CoverageStats, FingerprintDb, InsertOutcome, Label};
 pub use duration::{DurationStats, Sighting, SightingTracker};
 pub use fp::Fingerprint;
+pub use intern::{FpId, FpInterner};
 pub use ja3::{ja3_hash, ja3_string};
 pub use rich::{CollisionStats, RichFingerprint};

@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use tlscope_chron::Month;
-use tlscope_fingerprint::{Fingerprint, SightingTracker};
+use tlscope_fingerprint::{Fingerprint, FpId, FpInterner, Sighting, SightingTracker};
 use tlscope_wire::{AeadAlg, Kx, ProtocolVersion};
 
 use crate::conn::{ClientOffer, ConnectionRecord, ServerOutcome};
@@ -290,8 +290,9 @@ pub struct MonthlyStats {
     /// 3DES position mean.
     pub pos_3des: PositionMean,
 
-    /// Distinct fingerprints seen this month with their class flags.
-    pub fp_flags: HashMap<u64, FpClassFlags>,
+    /// Distinct fingerprints seen this month with their class flags,
+    /// keyed by the owning aggregate's interned fingerprint id.
+    pub fp_flags: HashMap<FpId, FpClassFlags>,
 }
 
 impl MonthlyStats {
@@ -336,14 +337,21 @@ impl MonthlyStats {
 ///
 /// Equality is exact: with [`PositionMean`]'s integer accumulation,
 /// two aggregates built from the same flows — in any ingestion order
-/// or sharding — compare equal field-for-field.
-#[derive(Debug, Default, PartialEq)]
+/// or sharding — compare equal. Fingerprint state is interned: the
+/// dense [`FpId`] each shard assigns depends on its ingestion order,
+/// so equality (and [`NotaryAggregate::merge`]) resolve ids through
+/// the interner rather than comparing them raw.
+#[derive(Debug, Default)]
 pub struct NotaryAggregate {
     months: BTreeMap<Month, MonthlyStats>,
-    /// First/last-seen tracking per fingerprint id (§4.1).
-    pub sightings: SightingTracker,
-    /// Total connections per fingerprint (Table 2 coverage input).
-    pub fp_counts: HashMap<Fingerprint, u64>,
+    /// Hash-consed fingerprint table: every distinct fingerprint is
+    /// stored once; all per-fingerprint state keys on its dense id.
+    pub(crate) interner: FpInterner,
+    /// First/last-seen tracking per interned fingerprint (§4.1).
+    pub sightings: SightingTracker<FpId>,
+    /// Total connections per fingerprint, indexed by [`FpId`] (Table 2
+    /// coverage input).
+    pub(crate) fp_counts: Vec<u64>,
     /// Flows that were not SSL/TLS at all.
     pub not_tls: u64,
     /// Client flows too damaged to parse.
@@ -374,19 +382,26 @@ impl NotaryAggregate {
         if let Some(offer) = &rec.client {
             Self::ingest_offer(stats, offer);
             if rec.date >= FINGERPRINT_FIELDS_SINCE {
-                let fp_id = offer.fingerprint.id64();
-                self.sightings.observe(fp_id, rec.date, 1);
-                *self.fp_counts.entry(offer.fingerprint.clone()).or_insert(0) += 1;
+                // A repeat fingerprint is a hash of the id64 and a u32
+                // table hit — the clone runs only on first sight.
+                let fp = self
+                    .interner
+                    .intern_hashed(offer.fingerprint.id64(), || offer.fingerprint.clone());
+                self.sightings.observe(fp, rec.date, 1);
+                if self.fp_counts.len() <= fp.index() {
+                    self.fp_counts.resize(fp.index() + 1, 0);
+                }
+                self.fp_counts[fp.index()] += 1;
                 stats
                     .fp_flags
-                    .entry(fp_id)
+                    .entry(fp)
                     .or_insert_with(|| FpClassFlags::from_offer(offer));
             }
         }
 
         match &rec.server {
             ServerOutcome::Missing => stats.missing_server += 1,
-            ServerOutcome::Rejected => stats.rejected += 1,
+            ServerOutcome::Rejected { .. } => stats.rejected += 1,
             ServerOutcome::Garbled => stats.garbled_server += 1,
             ServerOutcome::Answered(ans) => {
                 stats.answered += 1;
@@ -535,8 +550,54 @@ impl NotaryAggregate {
         self.months.values().map(|m| m.total).sum()
     }
 
+    /// Number of distinct fingerprints interned.
+    pub fn distinct_fingerprints(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Iterate `(fingerprint, connection count)` pairs in interning
+    /// order.
+    pub fn iter_fp_counts(&self) -> impl Iterator<Item = (&Fingerprint, u64)> {
+        self.interner
+            .iter()
+            .map(|(id, fp)| (fp, self.fp_counts.get(id.index()).copied().unwrap_or(0)))
+    }
+
+    /// Connection count for one fingerprint (0 when never seen).
+    pub fn fp_count(&self, fp: &Fingerprint) -> u64 {
+        self.interner
+            .lookup_id64(fp.id64())
+            .and_then(|id| self.fp_counts.get(id.index()).copied())
+            .unwrap_or(0)
+    }
+
+    /// Sighting record for one fingerprint.
+    pub fn sighting_of(&self, fp: &Fingerprint) -> Option<&Sighting> {
+        let id = self.interner.lookup_id64(fp.id64())?;
+        self.sightings.get(id)
+    }
+
+    /// Add `n` connections to a fingerprint id's count, growing the
+    /// dense table as needed.
+    pub(crate) fn bump_fp(&mut self, id: FpId, n: u64) {
+        if self.fp_counts.len() <= id.index() {
+            self.fp_counts.resize(id.index() + 1, 0);
+        }
+        self.fp_counts[id.index()] += n;
+    }
+
     /// Merge another aggregate into this one (parallel ingestion).
+    ///
+    /// `other`'s dense fingerprint ids are meaningless here, so its
+    /// interner is drained first into a remap table; every id-keyed
+    /// structure is translated through it. The result is identical to
+    /// having ingested `other`'s records into `self` directly.
     pub fn merge(&mut self, other: NotaryAggregate) {
+        let remap: Vec<FpId> = other
+            .interner
+            .into_entries()
+            .map(|(id64, fp)| self.interner.intern_hashed(id64, || fp))
+            .collect();
         for (month, stats) in other.months {
             let mine = self.months.entry(month).or_default();
             mine.total += stats.total;
@@ -620,25 +681,79 @@ impl NotaryAggregate {
             mine.pos_3des.sum_micro += stats.pos_3des.sum_micro;
             mine.pos_3des.n += stats.pos_3des.n;
             for (fp, flags) in stats.fp_flags {
-                mine.fp_flags.entry(fp).or_insert(flags);
+                mine.fp_flags.entry(remap[fp.index()]).or_insert(flags);
             }
         }
-        for (fp, count) in other.fp_counts {
-            let id = fp.id64();
-            // Sightings were already tracked per record in `other`;
-            // merge the counters.
-            *self.fp_counts.entry(fp).or_insert(0) += count;
-            let _ = id;
+        for (i, count) in other.fp_counts.into_iter().enumerate() {
+            self.bump_fp(remap[i], count);
         }
         // Merge sighting windows.
-        let other_sightings = other.sightings;
-        for (id, s) in other_sightings.iter_raw() {
-            self.sightings.observe(*id, s.first, 0);
-            self.sightings.observe(*id, s.last, s.connections);
+        for (id, s) in other.sightings.iter_raw() {
+            let id = remap[id.index()];
+            self.sightings.observe(id, s.first, 0);
+            self.sightings.observe(id, s.last, s.connections);
         }
         self.not_tls += other.not_tls;
         self.garbled_client += other.garbled_client;
         self.salvaged += other.salvaged;
+    }
+}
+
+/// Id-order-independent equality: months, failure counters, and all
+/// per-fingerprint state must agree, with dense ids resolved through
+/// each side's interner (two shards that interned the same
+/// fingerprints in different orders still compare equal).
+impl PartialEq for NotaryAggregate {
+    fn eq(&self, other: &Self) -> bool {
+        if self.not_tls != other.not_tls
+            || self.garbled_client != other.garbled_client
+            || self.salvaged != other.salvaged
+            || self.months.len() != other.months.len()
+            || self.interner.len() != other.interner.len()
+        {
+            return false;
+        }
+        for ((ma, sa), (mb, sb)) in self.months.iter().zip(other.months.iter()) {
+            if ma != mb {
+                return false;
+            }
+            let fa: BTreeMap<u64, FpClassFlags> = sa
+                .fp_flags
+                .iter()
+                .map(|(id, f)| (self.interner.id64_of(*id), *f))
+                .collect();
+            let fb: BTreeMap<u64, FpClassFlags> = sb
+                .fp_flags
+                .iter()
+                .map(|(id, f)| (other.interner.id64_of(*id), *f))
+                .collect();
+            if fa != fb {
+                return false;
+            }
+            let mut ca = sa.clone();
+            let mut cb = sb.clone();
+            ca.fp_flags.clear();
+            cb.fp_flags.clear();
+            if ca != cb {
+                return false;
+            }
+        }
+        let counts_a: BTreeMap<&Fingerprint, u64> = self.iter_fp_counts().collect();
+        let counts_b: BTreeMap<&Fingerprint, u64> = other.iter_fp_counts().collect();
+        if counts_a != counts_b {
+            return false;
+        }
+        let sights_a: BTreeMap<u64, Sighting> = self
+            .sightings
+            .iter_raw()
+            .map(|(id, s)| (self.interner.id64_of(*id), *s))
+            .collect();
+        let sights_b: BTreeMap<u64, Sighting> = other
+            .sightings
+            .iter_raw()
+            .map(|(id, s)| (other.interner.id64_of(*id), *s))
+            .collect();
+        sights_a == sights_b
     }
 }
 
@@ -686,7 +801,7 @@ mod tests {
                     curve: None,
                     heartbeat: false,
                 }),
-                None => ServerOutcome::Rejected,
+                None => ServerOutcome::Rejected { alert: None },
             },
             salvaged: false,
         }
@@ -746,10 +861,11 @@ mod tests {
         let m = agg.month(Month::ym(2015, 6)).unwrap();
         assert_eq!(m.fp_flags.len(), 2);
         assert!((m.pct_fingerprints(|f| f.rc4) - 50.0).abs() < 1e-9);
-        assert_eq!(agg.fp_counts.len(), 2);
+        assert_eq!(agg.distinct_fingerprints(), 2);
         assert_eq!(agg.sightings.len(), 2);
         let fp = offer(&[0xc02f, 0x0005]).fingerprint;
-        let s = agg.sightings.get(fp.id64()).unwrap();
+        assert_eq!(agg.fp_count(&fp), 2);
+        let s = agg.sighting_of(&fp).unwrap();
         assert_eq!(s.duration_days(), 20);
         assert_eq!(s.connections, 2);
     }
@@ -795,7 +911,33 @@ mod tests {
             assert_eq!(am.adv_rc4, s.adv_rc4);
             assert_eq!(am.fp_flags.len(), s.fp_flags.len());
         }
-        assert_eq!(a.fp_counts, seq.fp_counts);
+        // Full id-order-independent equality: the merged shard interned
+        // fingerprints in a different order than the serial pass.
+        assert_eq!(a, seq);
+    }
+
+    #[test]
+    fn equality_ignores_interning_order() {
+        // Same records, opposite ingestion order → different dense ids
+        // but equal aggregates.
+        let r1 = record((2016, 3, 1), &[0xc02f, 0x0005], Some((0xc02f, 0x0303)));
+        let r2 = record((2016, 3, 2), &[0x002f], Some((0x002f, 0x0303)));
+        let mut a = NotaryAggregate::new();
+        a.ingest(&r1);
+        a.ingest(&r2);
+        let mut b = NotaryAggregate::new();
+        b.ingest(&r2);
+        b.ingest(&r1);
+        assert_ne!(
+            a.interner
+                .lookup_id64(offer(&[0xc02f, 0x0005]).fingerprint.id64()),
+            b.interner
+                .lookup_id64(offer(&[0xc02f, 0x0005]).fingerprint.id64()),
+        );
+        assert_eq!(a, b);
+        // And a genuinely different count is still detected.
+        b.ingest(&r1);
+        assert_ne!(a, b);
     }
 
     #[test]

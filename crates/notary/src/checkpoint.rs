@@ -108,13 +108,19 @@ pub fn to_text(partial: &NotaryAggregate) -> String {
         out.push_str("month\t");
         out.push_str(&month_line(month, stats));
         out.push('\n');
-        let mut flags: Vec<(&u64, &FpClassFlags)> = stats.fp_flags.iter().collect();
-        flags.sort_by_key(|(id, _)| **id);
+        // On-disk flag lines key on the stable content hash (id64), not
+        // the run-local dense id — the v1 format is unchanged.
+        let mut flags: Vec<(u64, &FpClassFlags)> = stats
+            .fp_flags
+            .iter()
+            .map(|(id, f)| (partial.interner.id64_of(*id), f))
+            .collect();
+        flags.sort_by_key(|(id, _)| *id);
         for (id, f) in flags {
             out.push_str(&format!("flag\t{month}\t{id}\t{}\n", flags_to_bits(f)));
         }
     }
-    let mut fps: Vec<(&Fingerprint, &u64)> = partial.fp_counts.iter().collect();
+    let mut fps: Vec<(&Fingerprint, u64)> = partial.iter_fp_counts().collect();
     fps.sort();
     for (fp, count) in fps {
         out.push_str(&format!(
@@ -125,8 +131,12 @@ pub fn to_text(partial: &NotaryAggregate) -> String {
             join_ids(&fp.point_formats),
         ));
     }
-    let mut sightings: Vec<_> = partial.sightings.iter_raw().collect();
-    sightings.sort_by_key(|(id, _)| **id);
+    let mut sightings: Vec<_> = partial
+        .sightings
+        .iter_raw()
+        .map(|(id, s)| (partial.interner.id64_of(*id), s))
+        .collect();
+    sightings.sort_by_key(|(id, _)| *id);
     for (id, s) in sightings {
         out.push_str(&format!(
             "sight\t{id}\t{}\t{}\t{}\n",
@@ -150,8 +160,13 @@ pub fn from_text(text: &str, path: &Path) -> Result<NotaryAggregate, CheckpointE
     }
     let mut agg = NotaryAggregate::new();
     // Month stats are buffered so `flag` lines can attach to them in
-    // any order relative to their `month` line.
+    // any order relative to their `month` line. Flag and sight lines
+    // key on id64 but the in-memory structures key on interned ids, so
+    // they are buffered too and resolved once all `fp` lines (which
+    // populate the interner) have been read.
     let mut months = BTreeMap::new();
+    let mut pending_flags: Vec<(usize, Month, u64, FpClassFlags)> = Vec::new();
+    let mut pending_sights: Vec<(usize, u64, Date, Date, u64)> = Vec::new();
     for (idx, line) in lines {
         if line.trim().is_empty() {
             continue;
@@ -168,11 +183,10 @@ pub fn from_text(text: &str, path: &Path) -> Result<NotaryAggregate, CheckpointE
                 let month: Month = f.next().and_then(|v| v.parse().ok()).ok_or(bad(n))?;
                 let id: u64 = f.next().and_then(|v| v.parse().ok()).ok_or(bad(n))?;
                 let bits: u8 = f.next().and_then(|v| v.parse().ok()).ok_or(bad(n))?;
-                months
-                    .get_mut(&month)
-                    .ok_or(bad(n))?
-                    .fp_flags
-                    .insert(id, flags_from_bits(bits));
+                if !months.contains_key(&month) {
+                    return Err(bad(n));
+                }
+                pending_flags.push((n, month, id, flags_from_bits(bits)));
             }
             "fp" => {
                 let mut f = rest.split('\t');
@@ -181,15 +195,16 @@ pub fn from_text(text: &str, path: &Path) -> Result<NotaryAggregate, CheckpointE
                 let extensions = f.next().and_then(split_ids::<u16>).ok_or(bad(n))?;
                 let curves = f.next().and_then(split_ids::<u16>).ok_or(bad(n))?;
                 let point_formats = f.next().and_then(split_ids::<u8>).ok_or(bad(n))?;
-                agg.fp_counts.insert(
-                    Fingerprint {
-                        ciphers,
-                        extensions,
-                        curves,
-                        point_formats,
-                    },
-                    count,
-                );
+                let id = agg.interner.intern_owned(Fingerprint {
+                    ciphers,
+                    extensions,
+                    curves,
+                    point_formats,
+                });
+                if agg.fp_counts.len() <= id.index() {
+                    agg.fp_counts.resize(id.index() + 1, 0);
+                }
+                agg.fp_counts[id.index()] = count;
             }
             "sight" => {
                 let mut f = rest.split('\t');
@@ -197,8 +212,7 @@ pub fn from_text(text: &str, path: &Path) -> Result<NotaryAggregate, CheckpointE
                 let first: Date = f.next().and_then(|v| v.parse().ok()).ok_or(bad(n))?;
                 let last: Date = f.next().and_then(|v| v.parse().ok()).ok_or(bad(n))?;
                 let connections: u64 = f.next().and_then(|v| v.parse().ok()).ok_or(bad(n))?;
-                agg.sightings.observe(id, first, 0);
-                agg.sightings.observe(id, last, connections);
+                pending_sights.push((n, id, first, last, connections));
             }
             "fail" => {
                 let mut f = rest.split('\t');
@@ -208,6 +222,21 @@ pub fn from_text(text: &str, path: &Path) -> Result<NotaryAggregate, CheckpointE
             }
             _ => return Err(bad(n)),
         }
+    }
+    // A flag or sight id64 with no matching `fp` line means the file
+    // is internally inconsistent — reject it at that line.
+    for (n, month, id64, flags) in pending_flags {
+        let id = agg.interner.lookup_id64(id64).ok_or(bad(n))?;
+        months
+            .get_mut(&month)
+            .ok_or(bad(n))?
+            .fp_flags
+            .insert(id, flags);
+    }
+    for (n, id64, first, last, connections) in pending_sights {
+        let id = agg.interner.lookup_id64(id64).ok_or(bad(n))?;
+        agg.sightings.observe(id, first, 0);
+        agg.sightings.observe(id, last, connections);
     }
     for (month, stats) in months {
         agg.insert_month(month, stats);
@@ -319,7 +348,7 @@ mod tests {
     fn roundtrip_is_bit_identical() {
         let partial = sample_partial(Month::ym(2015, 6));
         assert!(partial.sightings.len() > 0, "sample must exercise fps");
-        assert!(!partial.fp_counts.is_empty());
+        assert!(partial.distinct_fingerprints() > 0);
         let text = to_text(&partial);
         let back = from_text(&text, Path::new("test")).unwrap();
         assert_eq!(partial, back, "checkpoint text must be lossless");
@@ -367,6 +396,15 @@ mod tests {
         ));
         assert!(matches!(
             from_text("# tlscope checkpoint v1\nflag\t2015-01\t5\t1\n", p),
+            Err(CheckpointError::Malformed(_, 2)),
+        ));
+        // A sight line referencing an id64 with no fp line is
+        // internally inconsistent.
+        assert!(matches!(
+            from_text(
+                "# tlscope checkpoint v1\nsight\t99\t2015-01-01\t2015-01-02\t5\n",
+                p
+            ),
             Err(CheckpointError::Malformed(_, 2)),
         ));
         // Error values render.

@@ -3,17 +3,24 @@
 //! This is the Bro/Zeek-analogue layer of the reproduction: everything
 //! it knows comes from parsing the tapped bytes. It never receives
 //! generator ground truth.
+//!
+//! Extraction is zero-copy: records are walked as [`RecordView`]s
+//! borrowed straight from the flow, and the handshake is only ever
+//! copied when it actually spans multiple records — the common
+//! single-record case hands a borrowed slice to the hello parsers.
+//! The one coalesce buffer lives in [`ExtractScratch`] so a worker
+//! ingesting millions of flows reuses the same allocation throughout.
+
+use std::cell::RefCell;
 
 use tlscope_chron::{Date, Month};
 use tlscope_fingerprint::Fingerprint;
 use tlscope_wire::codec::Reader;
 use tlscope_wire::exts::ext_type;
 use tlscope_wire::handshake::{handshake_type, read_handshake};
-use tlscope_wire::record::{sslv2_kind_as_suite, ContentType, Record};
-use tlscope_wire::{
-    sniff, CipherSuite, ClientHello, NamedGroup, ProtocolVersion, ServerHello, Sslv2ClientHello,
-    WireFlavor,
-};
+use tlscope_wire::record::{sslv2_kind_as_suite, ContentType, RecordView};
+use tlscope_wire::view::{ext_view, ClientHelloView, ServerHelloView};
+use tlscope_wire::{sniff, CipherSuite, NamedGroup, ProtocolVersion, Sslv2ClientHello, WireFlavor};
 
 /// What the client side of a connection offered.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,18 +52,21 @@ impl ClientOffer {
     /// Relative position (0.0 = head) of the first offered suite
     /// satisfying `pred`, ignoring GREASE/SCSV entries (Figure 5).
     pub fn first_position(&self, pred: impl Fn(CipherSuite) -> bool) -> Option<f64> {
-        let real: Vec<CipherSuite> = self
-            .suites
-            .iter()
-            .copied()
-            .filter(|c| !tlscope_wire::is_grease(c.0) && !c.is_signaling())
-            .collect();
-        if real.is_empty() {
+        let mut hit: Option<usize> = None;
+        let mut real = 0usize;
+        for c in self.suites.iter().copied() {
+            if tlscope_wire::is_grease(c.0) || c.is_signaling() {
+                continue;
+            }
+            if hit.is_none() && pred(c) {
+                hit = Some(real);
+            }
+            real += 1;
+        }
+        if real == 0 {
             return None;
         }
-        real.iter()
-            .position(|c| pred(*c))
-            .map(|i| i as f64 / real.len() as f64)
+        hit.map(|i| i as f64 / real as f64)
     }
 }
 
@@ -78,8 +88,13 @@ pub struct ServerAnswer {
 pub enum ServerOutcome {
     /// Handshake proceeded: ServerHello seen.
     Answered(ServerAnswer),
-    /// Server rejected with an alert (description code when parseable).
-    Rejected,
+    /// Server rejected with an alert. Carries the alert description
+    /// code when the alert payload parsed; a damaged alert still
+    /// counts as a rejection, just with no code.
+    Rejected {
+        /// Alert description code (RFC 5246 §7.2), if parseable.
+        alert: Option<u8>,
+    },
     /// Tap did not capture the server flow.
     Missing,
     /// Server bytes present but unparseable (tap damage).
@@ -118,12 +133,45 @@ pub enum ExtractError {
     GarbledClient,
 }
 
+/// Reusable extraction state: one coalesce buffer shared by the
+/// client and server halves of every flow a worker processes.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    coalesce: Vec<u8>,
+}
+
+impl ExtractScratch {
+    /// Fresh scratch with no buffer capacity yet.
+    pub fn new() -> Self {
+        ExtractScratch::default()
+    }
+}
+
 /// Extract a connection record from tapped flows.
+///
+/// Convenience wrapper over [`extract_with`] using a thread-local
+/// [`ExtractScratch`], so repeated calls on one thread reuse the
+/// coalesce buffer.
 pub fn extract(
     date: Date,
     port: u16,
     client_flow: &[u8],
     server_flow: Option<&[u8]>,
+) -> Result<ConnectionRecord, ExtractError> {
+    thread_local! {
+        static SCRATCH: RefCell<ExtractScratch> = RefCell::new(ExtractScratch::new());
+    }
+    SCRATCH.with(|s| extract_with(date, port, client_flow, server_flow, &mut s.borrow_mut()))
+}
+
+/// Extract a connection record from tapped flows, reusing `scratch`
+/// across calls so the steady state performs no coalesce allocation.
+pub fn extract_with(
+    date: Date,
+    port: u16,
+    client_flow: &[u8],
+    server_flow: Option<&[u8]>,
+    scratch: &mut ExtractScratch,
 ) -> Result<ConnectionRecord, ExtractError> {
     match sniff(client_flow) {
         WireFlavor::Sslv2 => {
@@ -159,12 +207,11 @@ pub fn extract(
             })
         }
         WireFlavor::Tls => {
-            let (hello, client_salvaged) =
-                parse_client_hello(client_flow).ok_or(ExtractError::GarbledClient)?;
-            let offer = client_offer(&hello);
+            let (offer, client_salvaged) = parse_client_offer(client_flow, &mut scratch.coalesce)
+                .ok_or(ExtractError::GarbledClient)?;
             let (server, server_salvaged) = match server_flow {
                 None => (ServerOutcome::Missing, false),
-                Some(bytes) => parse_server_flow(bytes, &hello),
+                Some(bytes) => parse_server_flow(bytes, offer.heartbeat, &mut scratch.coalesce),
             };
             Ok(ConnectionRecord {
                 date,
@@ -180,72 +227,132 @@ pub fn extract(
     }
 }
 
-/// Read the record stream; if strict end-to-end parsing fails, fall
-/// back to the longest intact record *prefix* (the salvage path for
-/// flows truncated or gapped by tap damage). Returns the records and
-/// whether salvage was needed.
-fn read_records_salvage(flow: &[u8]) -> (Vec<Record>, bool) {
-    if let Ok(records) = Record::read_all(flow) {
-        return (records, false);
-    }
+/// The result of streaming a record-layer flow into handshake bytes.
+enum CoalesceOutcome<'a> {
+    /// All parsed records were handshake; `bytes` is the concatenated
+    /// handshake stream — borrowed from the flow when a single record
+    /// held it, from the scratch buffer when it spanned records.
+    Handshake { bytes: &'a [u8], salvaged: bool },
+    /// The first record was an alert; `payload` is its fragment.
+    FirstAlert { payload: &'a [u8], salvaged: bool },
+    /// No record parsed at all (empty or immediately damaged flow).
+    Empty,
+    /// A parsed record was neither handshake nor leading alert.
+    NonHandshake,
+}
+
+/// Walk the record stream once, coalescing handshake fragments.
+///
+/// Replaces the old parse-all-records-then-concatenate path: records
+/// are borrowed views, and the intact record *prefix* is used when
+/// strict end-to-end parsing fails (the §3.1 salvage path —
+/// `salvaged` reports that fallback). A lone handshake record is
+/// returned as a borrowed slice with no copy at all.
+fn coalesce_stream<'a>(flow: &'a [u8], scratch: &'a mut Vec<u8>) -> CoalesceOutcome<'a> {
     let mut r = Reader::new(flow);
-    let mut records = Vec::new();
-    while let Ok(rec) = Record::read(&mut r) {
-        records.push(rec);
+    if r.is_empty() {
+        return CoalesceOutcome::Empty;
     }
-    (records, true)
+    let Ok(first) = RecordView::read(&mut r) else {
+        return CoalesceOutcome::Empty;
+    };
+    if first.content_type == ContentType::Alert {
+        // Keep scanning: damage *after* the alert still marks the
+        // flow as salvaged, exactly as the whole-flow parse did.
+        let mut salvaged = false;
+        while !r.is_empty() {
+            if RecordView::read(&mut r).is_err() {
+                salvaged = true;
+                break;
+            }
+        }
+        return CoalesceOutcome::FirstAlert {
+            payload: first.payload,
+            salvaged,
+        };
+    }
+    if first.content_type != ContentType::Handshake {
+        return CoalesceOutcome::NonHandshake;
+    }
+    let mut salvaged = false;
+    let mut single = Some(first.payload);
+    scratch.clear();
+    while !r.is_empty() {
+        match RecordView::read(&mut r) {
+            Err(_) => {
+                salvaged = true;
+                break;
+            }
+            Ok(rec) if rec.content_type != ContentType::Handshake => {
+                return CoalesceOutcome::NonHandshake;
+            }
+            Ok(rec) => {
+                if let Some(first_payload) = single.take() {
+                    scratch.extend_from_slice(first_payload);
+                }
+                scratch.extend_from_slice(rec.payload);
+            }
+        }
+    }
+    let bytes = match single {
+        Some(payload) => payload,
+        None => scratch.as_slice(),
+    };
+    CoalesceOutcome::Handshake { bytes, salvaged }
 }
 
-fn parse_client_hello(flow: &[u8]) -> Option<(ClientHello, bool)> {
-    let (records, salvaged) = read_records_salvage(flow);
-    let handshake = Record::coalesce_handshake(&records).ok()?;
-    let hello = ClientHello::parse_handshake(&handshake).ok()?;
-    Some((hello, salvaged))
+fn parse_client_offer(flow: &[u8], scratch: &mut Vec<u8>) -> Option<(ClientOffer, bool)> {
+    let CoalesceOutcome::Handshake { bytes, salvaged } = coalesce_stream(flow, scratch) else {
+        return None;
+    };
+    let hello = ClientHelloView::parse_handshake(bytes).ok()?;
+    Some((client_offer(&hello), salvaged))
 }
 
-fn client_offer(hello: &ClientHello) -> ClientOffer {
+fn client_offer(hello: &ClientHelloView<'_>) -> ClientOffer {
     let supported_versions_raw = hello
         .find_extension(ext_type::SUPPORTED_VERSIONS)
-        .and_then(|e| e.parse_supported_versions().ok())
-        .map(|vs| {
-            vs.iter()
-                .map(|v| v.to_wire())
-                .filter(|w| !tlscope_wire::is_grease(*w))
-                .collect()
-        })
+        .and_then(|body| ext_view::supported_versions(body).ok())
+        .map(|vs| vs.filter(|w| !tlscope_wire::is_grease(*w)).collect())
         .unwrap_or_default();
+    let extension_types = match &hello.extensions {
+        Some(exts) => exts
+            .iter()
+            .map(|(typ, _)| typ)
+            .filter(|t| !tlscope_wire::is_grease(*t))
+            .collect(),
+        None => Vec::new(),
+    };
     ClientOffer {
         legacy_version: hello.legacy_version,
-        suites: hello.cipher_suites.clone(),
+        suites: hello.cipher_suites().collect(),
         versions: hello.offered_versions(),
         supported_versions_raw,
         heartbeat: hello.find_extension(ext_type::HEARTBEAT).is_some(),
-        extension_types: hello
-            .extensions()
-            .iter()
-            .map(|e| e.typ)
-            .filter(|t| !tlscope_wire::is_grease(*t))
-            .collect(),
-        fingerprint: Fingerprint::from_client_hello(hello),
+        extension_types,
+        fingerprint: Fingerprint::from_client_hello_view(hello),
     }
 }
 
-fn parse_server_flow(bytes: &[u8], client: &ClientHello) -> (ServerOutcome, bool) {
-    let (records, salvaged) = read_records_salvage(bytes);
-    if records.is_empty() {
-        return (ServerOutcome::Garbled, false);
-    }
-    if records[0].content_type == ContentType::Alert {
-        // Classify the alert when possible; damaged alerts still count
-        // as rejections.
-        let _ = tlscope_wire::Alert::parse(&records[0].payload);
-        return (ServerOutcome::Rejected, salvaged);
-    }
-    let Ok(handshake) = Record::coalesce_handshake(&records) else {
-        return (ServerOutcome::Garbled, false);
+fn parse_server_flow(
+    bytes: &[u8],
+    client_heartbeat: bool,
+    scratch: &mut Vec<u8>,
+) -> (ServerOutcome, bool) {
+    let (handshake, salvaged) = match coalesce_stream(bytes, scratch) {
+        CoalesceOutcome::Handshake { bytes, salvaged } => (bytes, salvaged),
+        CoalesceOutcome::FirstAlert { payload, salvaged } => {
+            let alert = tlscope_wire::Alert::parse(payload)
+                .ok()
+                .map(|a| a.description);
+            return (ServerOutcome::Rejected { alert }, salvaged);
+        }
+        CoalesceOutcome::Empty | CoalesceOutcome::NonHandshake => {
+            return (ServerOutcome::Garbled, false);
+        }
     };
-    let mut r = Reader::new(&handshake);
-    let mut server_hello: Option<ServerHello> = None;
+    let mut r = Reader::new(handshake);
+    let mut server_hello: Option<ServerHelloView<'_>> = None;
     let mut ske_curve: Option<NamedGroup> = None;
     while !r.is_empty() {
         let Ok((typ, body)) = read_handshake(&mut r) else {
@@ -253,7 +360,7 @@ fn parse_server_flow(bytes: &[u8], client: &ClientHello) -> (ServerOutcome, bool
         };
         match typ {
             handshake_type::SERVER_HELLO => {
-                server_hello = ServerHello::parse_body(body).ok();
+                server_hello = ServerHelloView::parse_body(body).ok();
             }
             handshake_type::SERVER_KEY_EXCHANGE => {
                 ske_curve = tlscope_wire::ske::parse_ske_curve(body).ok();
@@ -268,9 +375,8 @@ fn parse_server_flow(bytes: &[u8], client: &ClientHello) -> (ServerOutcome, bool
     let key_share_curve = sh
         .find_extension(ext_type::KEY_SHARE)
         .or_else(|| sh.find_extension(ext_type::KEY_SHARE_DRAFT))
-        .and_then(|e| e.parse_key_share_server().ok());
-    let heartbeat = client.find_extension(ext_type::HEARTBEAT).is_some()
-        && sh.find_extension(ext_type::HEARTBEAT).is_some();
+        .and_then(|body| ext_view::key_share_server(body).ok());
+    let heartbeat = client_heartbeat && sh.find_extension(ext_type::HEARTBEAT).is_some();
     (
         ServerOutcome::Answered(ServerAnswer {
             version,
@@ -285,7 +391,8 @@ fn parse_server_flow(bytes: &[u8], client: &ClientHello) -> (ServerOutcome, bool
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tlscope_wire::Extension;
+    use tlscope_wire::record::Record;
+    use tlscope_wire::{ClientHello, Extension, ServerHello};
 
     fn client_bytes(hello: &ClientHello) -> Vec<u8> {
         Record::wrap_handshake(ProtocolVersion::Tls10, &hello.to_handshake_bytes())
@@ -364,7 +471,9 @@ mod tests {
     #[test]
     fn positions_ignore_scsv() {
         let hello = sample_hello();
-        let offer = client_offer(&hello);
+        let mut scratch = Vec::new();
+        let (offer, salvaged) = parse_client_offer(&client_bytes(&hello), &mut scratch).unwrap();
+        assert!(!salvaged);
         // 4 real suites: aead at 0, cbc at 1/4, rc4 at 2/4, 3des 3/4.
         assert_eq!(offer.first_position(|c| c.is_aead()), Some(0.0));
         assert_eq!(offer.first_position(|c| c.is_cbc()), Some(0.25));
@@ -374,7 +483,7 @@ mod tests {
     }
 
     #[test]
-    fn alert_is_rejected() {
+    fn alert_is_rejected_with_description() {
         let hello = sample_hello();
         let alert = Record {
             content_type: ContentType::Alert,
@@ -389,7 +498,50 @@ mod tests {
             Some(&alert),
         )
         .unwrap();
-        assert_eq!(rec.server, ServerOutcome::Rejected);
+        assert_eq!(rec.server, ServerOutcome::Rejected { alert: Some(40) });
+    }
+
+    #[test]
+    fn damaged_alert_still_rejects() {
+        // A one-byte alert fragment cannot carry a description, but the
+        // rejection itself is unambiguous.
+        let hello = sample_hello();
+        let alert = Record {
+            content_type: ContentType::Alert,
+            version: ProtocolVersion::Tls12,
+            payload: vec![2],
+        }
+        .to_bytes();
+        let rec = extract(
+            Date::ymd(2015, 6, 3),
+            443,
+            &client_bytes(&hello),
+            Some(&alert),
+        )
+        .unwrap();
+        assert_eq!(rec.server, ServerOutcome::Rejected { alert: None });
+        assert!(!rec.salvaged);
+    }
+
+    #[test]
+    fn alert_followed_by_damage_is_salvaged() {
+        let hello = sample_hello();
+        let mut alert = Record {
+            content_type: ContentType::Alert,
+            version: ProtocolVersion::Tls12,
+            payload: vec![2, 40],
+        }
+        .to_bytes();
+        alert.extend_from_slice(&[0x16, 0x03, 0x03, 0xff]); // severed record header
+        let rec = extract(
+            Date::ymd(2015, 6, 3),
+            443,
+            &client_bytes(&hello),
+            Some(&alert),
+        )
+        .unwrap();
+        assert_eq!(rec.server, ServerOutcome::Rejected { alert: Some(40) });
+        assert!(rec.salvaged);
     }
 
     #[test]
@@ -467,6 +619,33 @@ mod tests {
         let hello = sample_hello();
         let rec = extract(Date::ymd(2015, 6, 3), 443, &client_bytes(&hello), None).unwrap();
         assert!(!rec.salvaged);
+    }
+
+    #[test]
+    fn multi_record_handshake_coalesces_via_scratch() {
+        // Force the handshake across two records so the scratch-buffer
+        // branch (not the borrowed single-record fast path) runs.
+        let hello = sample_hello();
+        let hs = hello.to_handshake_bytes();
+        let split = hs.len() / 2;
+        let mut bytes = Vec::new();
+        for chunk in [&hs[..split], &hs[split..]] {
+            Record {
+                content_type: ContentType::Handshake,
+                version: ProtocolVersion::Tls10,
+                payload: chunk.to_vec(),
+            }
+            .view()
+            .write_into(&mut bytes);
+        }
+        let mut scratch = ExtractScratch::new();
+        let rec = extract_with(Date::ymd(2015, 6, 3), 443, &bytes, None, &mut scratch).unwrap();
+        assert!(!rec.salvaged);
+        let offer = rec.client.unwrap();
+        assert_eq!(offer.suites.len(), 5);
+        assert!(offer.heartbeat);
+        // Scratch kept its buffer for the next flow.
+        assert!(scratch.coalesce.capacity() >= hs.len());
     }
 
     #[test]

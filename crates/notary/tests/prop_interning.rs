@@ -1,0 +1,116 @@
+//! Property tests for fingerprint interning: the `FpId`s an aggregate
+//! hands out depend on ingestion order (first sighting wins the next
+//! dense id), so sharded workers assign *different* ids to the same
+//! [`Fingerprint`] — and merge-time remapping plus the id-independent
+//! `PartialEq` must hide that completely. These tests pin the ISSUE's
+//! acceptance matrix: interned parallel pipeline `PartialEq`-identical
+//! to the serial path across workers 1–8 × fault profiles
+//! none/defaults/stress.
+
+use proptest::prelude::*;
+use tlscope_chron::Month;
+use tlscope_notary::{ingest_flow, ingest_parallel, ingest_serial, NotaryAggregate, TappedFlow};
+use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
+
+fn flows(seed: u64, year: i32, mon: u8, n: u32, faults: FaultInjector) -> Vec<TappedFlow> {
+    let g = Generator::new(TrafficConfig {
+        seed,
+        connections_per_month: n,
+        faults,
+    });
+    g.month(Month::ym(year, mon))
+        .into_iter()
+        .map(TappedFlow::from)
+        .collect()
+}
+
+fn profile(i: usize) -> FaultInjector {
+    match i {
+        0 => FaultInjector::none(),
+        1 => FaultInjector::tap_defaults(),
+        _ => FaultInjector::stress(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The full acceptance matrix per case: every worker count 1–8 is
+    /// checked against the serial aggregate for one (seed, month,
+    /// fault-profile) draw, and per-fingerprint lookups through the
+    /// interner must agree in both directions.
+    #[test]
+    fn interned_parallel_matches_serial_for_all_worker_counts(
+        seed in 0u64..1_000_000,
+        year in 2012i32..=2018,
+        mon in 1u8..=12,
+        n in 80u32..240,
+        profile_idx in 0usize..3,
+    ) {
+        let fs = flows(seed, year, mon, n, profile(profile_idx));
+        let serial = ingest_serial(fs.clone());
+        for workers in 1usize..=8 {
+            let parallel = ingest_parallel(fs.clone(), workers);
+            prop_assert_eq!(&serial, &parallel, "workers={}", workers);
+            // Equality is id-independent by construction; also pin the
+            // by-value lookup path each side of the remap.
+            for (fp, count) in serial.iter_fp_counts() {
+                prop_assert_eq!(parallel.fp_count(fp), count);
+                prop_assert_eq!(
+                    parallel.sighting_of(fp).is_some(),
+                    serial.sighting_of(fp).is_some()
+                );
+            }
+            for (fp, count) in parallel.iter_fp_counts() {
+                prop_assert_eq!(serial.fp_count(fp), count);
+            }
+        }
+    }
+
+    /// Ingestion order permutes interner id assignment; the aggregate
+    /// must still compare equal. Reversing the flow order guarantees a
+    /// different first-sighting sequence whenever the month carries
+    /// more than one distinct fingerprint.
+    #[test]
+    fn id_assignment_order_is_invisible(
+        seed in 0u64..1_000_000,
+        year in 2012i32..=2018,
+        mon in 1u8..=12,
+    ) {
+        let fs = flows(seed, year, mon, 150, FaultInjector::none());
+        let mut forward = NotaryAggregate::new();
+        for f in &fs {
+            ingest_flow(&mut forward, f);
+        }
+        let mut backward = NotaryAggregate::new();
+        for f in fs.iter().rev() {
+            ingest_flow(&mut backward, f);
+        }
+        prop_assert_eq!(&forward, &backward);
+    }
+
+    /// Merge is commutative under remapping: folding the shards
+    /// left-to-right and right-to-left yields equal aggregates even
+    /// though the surviving interners assign ids in different orders.
+    #[test]
+    fn merge_order_is_invisible(
+        seed in 0u64..1_000_000,
+        year in 2012i32..=2018,
+        mon in 1u8..=12,
+        shards in 2usize..=6,
+    ) {
+        let fs = flows(seed, year, mon, 180, FaultInjector::tap_defaults());
+        let chunk = fs.len().div_ceil(shards);
+        let part = |c: &[TappedFlow]| ingest_serial(c.iter().cloned());
+        let mut ltr = NotaryAggregate::new();
+        for c in fs.chunks(chunk) {
+            ltr.merge(part(c));
+        }
+        let mut rtl = NotaryAggregate::new();
+        for c in fs.chunks(chunk).rev() {
+            rtl.merge(part(c));
+        }
+        prop_assert_eq!(&ltr, &rtl);
+        prop_assert_eq!(&ltr, &ingest_serial(fs));
+    }
+}

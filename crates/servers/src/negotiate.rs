@@ -38,6 +38,36 @@ pub struct Negotiated {
     pub heartbeat: bool,
 }
 
+/// Everything negotiation reads from a ClientHello, borrowed.
+///
+/// The traffic generator knows these facts from the client
+/// configuration it emitted and fills the struct from reusable buffers
+/// without ever materialising a [`ClientHello`]; [`respond`] extracts
+/// them from a parsed hello. Both paths feed [`respond_facts`], so the
+/// negotiation logic itself exists once.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientFacts<'a> {
+    /// The legacy version field of the hello.
+    pub legacy_version: ProtocolVersion,
+    /// Session id to echo.
+    pub session_id: &'a [u8],
+    /// Offered suites in client order (GREASE and SCSVs included).
+    pub cipher_suites: &'a [CipherSuite],
+    /// `supported_versions` extension content when that extension is
+    /// present (GREASE included — filtered here exactly like
+    /// [`ClientHello::offered_versions`]); `None` when absent.
+    pub supported_versions: Option<&'a [ProtocolVersion]>,
+    /// `supported_groups` extension content when present (GREASE
+    /// included); `None` when absent.
+    pub curves: Option<&'a [NamedGroup]>,
+    /// renegotiation_info extension present.
+    pub has_renegotiation_info: bool,
+    /// heartbeat extension present.
+    pub has_heartbeat: bool,
+    /// Any extension block present, even an empty one.
+    pub has_extensions: bool,
+}
+
 /// Negotiate a response to `hello` under `profile`.
 ///
 /// `server_random` keeps the function deterministic for tests and
@@ -47,9 +77,35 @@ pub fn respond(
     hello: &ClientHello,
     server_random: [u8; 32],
 ) -> Result<Negotiated, HandshakeFailure> {
-    let version = negotiate_version(profile, hello)?;
-    let cipher = select_cipher(profile, hello, version)?;
-    let curve = select_curve(profile, hello, cipher, version);
+    let versions = hello
+        .find_extension(ext_type::SUPPORTED_VERSIONS)
+        .and_then(|e| e.parse_supported_versions().ok());
+    let curves = hello
+        .find_extension(ext_type::SUPPORTED_GROUPS)
+        .and_then(|e| e.parse_supported_groups().ok());
+    let facts = ClientFacts {
+        legacy_version: hello.legacy_version,
+        session_id: &hello.session_id,
+        cipher_suites: &hello.cipher_suites,
+        supported_versions: versions.as_deref(),
+        curves: curves.as_deref(),
+        has_renegotiation_info: hello.find_extension(ext_type::RENEGOTIATION_INFO).is_some(),
+        has_heartbeat: hello.find_extension(ext_type::HEARTBEAT).is_some(),
+        has_extensions: hello.extensions.is_some(),
+    };
+    respond_facts(profile, &facts, server_random)
+}
+
+/// Negotiate a response to a client described by `facts` — the
+/// allocation-light core of [`respond`].
+pub fn respond_facts(
+    profile: &ServerProfile,
+    facts: &ClientFacts<'_>,
+    server_random: [u8; 32],
+) -> Result<Negotiated, HandshakeFailure> {
+    let version = negotiate_version(profile, facts)?;
+    let cipher = select_cipher(profile, facts, version)?;
+    let curve = select_curve(profile, facts, cipher, version);
 
     let mut extensions: Vec<Extension> = Vec::new();
     if version.is_tls13_family() {
@@ -59,12 +115,10 @@ pub fn respond(
             extensions.push(Extension::key_share_server(group));
         }
     }
-    if hello.find_extension(ext_type::RENEGOTIATION_INFO).is_some() && !version.is_tls13_family() {
+    if facts.has_renegotiation_info && !version.is_tls13_family() {
         extensions.push(Extension::renegotiation_info());
     }
-    let heartbeat = profile.heartbeat
-        && hello.find_extension(ext_type::HEARTBEAT).is_some()
-        && !version.is_tls13_family();
+    let heartbeat = profile.heartbeat && facts.has_heartbeat && !version.is_tls13_family();
     if heartbeat {
         extensions.push(Extension::heartbeat(1));
     }
@@ -76,10 +130,10 @@ pub fn respond(
             version
         },
         random: server_random,
-        session_id: hello.session_id.clone(),
+        session_id: facts.session_id.to_vec(),
         cipher_suite: cipher,
         compression_method: 0,
-        extensions: if extensions.is_empty() && hello.extensions.is_none() {
+        extensions: if extensions.is_empty() && !facts.has_extensions {
             None
         } else {
             Some(extensions)
@@ -95,24 +149,48 @@ pub fn respond(
     })
 }
 
+/// True for a GREASE value riding in a version list.
+fn grease_version(v: ProtocolVersion) -> bool {
+    matches!(v, ProtocolVersion::Unknown(x) if is_grease(x))
+}
+
+/// The classic version ladder a client without `supported_versions`
+/// implicitly offers (everything from SSL 3 up to its legacy field).
+const CLASSIC_VERSIONS: [ProtocolVersion; 4] = [
+    ProtocolVersion::Ssl3,
+    ProtocolVersion::Tls10,
+    ProtocolVersion::Tls11,
+    ProtocolVersion::Tls12,
+];
+
 fn negotiate_version(
     profile: &ServerProfile,
-    hello: &ClientHello,
+    facts: &ClientFacts<'_>,
 ) -> Result<ProtocolVersion, HandshakeFailure> {
     // TLS 1.3 path: exact-member match within the 1.3 family, mirroring
     // how draft deployments only interoperated on equal draft numbers.
     if let Some(server13) = profile.tls13 {
-        if hello.offered_versions().contains(&server13) {
+        let offered13 = match facts.supported_versions {
+            Some(vs) => vs.iter().any(|v| !grease_version(*v) && *v == server13),
+            None => false,
+        };
+        if offered13 {
             return Ok(server13);
         }
     }
     // Classic path: min(client max, server max), bounded below by both.
-    let client_max = hello
-        .offered_versions()
-        .into_iter()
-        .filter(|v| !v.is_tls13_family())
-        .max_by_key(|v| v.rank())
-        .unwrap_or(hello.legacy_version);
+    let client_max = match facts.supported_versions {
+        Some(vs) => vs
+            .iter()
+            .copied()
+            .filter(|v| !grease_version(*v) && !v.is_tls13_family())
+            .max_by_key(|v| v.rank()),
+        None => CLASSIC_VERSIONS
+            .into_iter()
+            .filter(|v| v.rank() <= facts.legacy_version.rank())
+            .max_by_key(|v| v.rank()),
+    }
+    .unwrap_or(facts.legacy_version);
     let chosen = if client_max.rank() <= profile.max_version.rank() {
         client_max
     } else {
@@ -141,80 +219,67 @@ fn usable_at(cipher: CipherSuite, version: ProtocolVersion) -> bool {
 
 fn select_cipher(
     profile: &ServerProfile,
-    hello: &ClientHello,
+    facts: &ClientFacts<'_>,
     version: ProtocolVersion,
 ) -> Result<CipherSuite, HandshakeFailure> {
-    let offered: Vec<CipherSuite> = hello
-        .cipher_suites
-        .iter()
-        .copied()
-        .filter(|c| !is_grease(c.0) && !c.is_signaling() && usable_at(*c, version))
-        .collect();
+    let usable = |c: &CipherSuite| !is_grease(c.0) && !c.is_signaling() && usable_at(*c, version);
+    let offered = || facts.cipher_suites.iter().copied().filter(|c| usable(c));
 
     // Out-of-spec behaviours first.
     match profile.quirk {
         Quirk::ChooseUnoffered(s) => return Ok(s),
         Quirk::DowngradeRc4ToExport => {
-            if offered.iter().any(|c| c.0 == 0x0005 || c.0 == 0x0004) {
+            if offered().any(|c| c.0 == 0x0005 || c.0 == 0x0004) {
                 // Interwise: answer RC4_128 with EXP_RC4_40_MD5 (§5.5).
                 return Ok(CipherSuite(0x0003));
             }
         }
         Quirk::PreferRc4 => {
-            if let Some(c) = offered.iter().find(|c| c.is_rc4()) {
-                return Ok(*c);
+            if let Some(c) = offered().find(|c| c.is_rc4()) {
+                return Ok(c);
             }
         }
         Quirk::Prefer3Des => {
-            if let Some(c) = offered.iter().find(|c| c.is_3des()) {
-                return Ok(*c);
+            if let Some(c) = offered().find(|c| c.is_3des()) {
+                return Ok(c);
             }
         }
         Quirk::PreferNull => {
-            if let Some(c) = offered.iter().find(|c| c.is_null_encryption()) {
-                return Ok(*c);
+            if let Some(c) = offered().find(|c| c.is_null_encryption()) {
+                return Ok(c);
             }
         }
         Quirk::PreferAnon => {
-            if let Some(c) = offered.iter().find(|c| c.is_anon() || c.is_null_null()) {
-                return Ok(*c);
+            if let Some(c) = offered().find(|c| c.is_anon() || c.is_null_null()) {
+                return Ok(c);
             }
         }
         Quirk::None => {}
     }
 
-    let supportable =
-        |c: &CipherSuite| profile.preference.contains(c) && ecdhe_feasible(profile, hello, *c);
     let choice = if profile.prefer_server_order {
         profile
             .preference
             .iter()
-            .find(|c| {
-                offered.contains(c)
-                    && ecdhe_feasible(profile, hello, **c)
-                    && usable_at(**c, version)
-            })
+            .find(|c| offered().any(|o| o == **c) && ecdhe_feasible(profile, facts, **c))
             .copied()
     } else {
-        offered.iter().find(|c| supportable(c)).copied()
+        offered().find(|c| profile.preference.contains(c) && ecdhe_feasible(profile, facts, *c))
     };
     choice.ok_or(HandshakeFailure::NoCommonCipher)
 }
 
-/// ECDHE suites need a curve both sides support; clients without a
-/// supported_groups extension are assumed (per RFC 4492) to support the
-/// NIST trio.
-fn common_curve(profile: &ServerProfile, hello: &ClientHello) -> Option<NamedGroup> {
-    let client_curves: Vec<NamedGroup> = hello
-        .find_extension(ext_type::SUPPORTED_GROUPS)
-        .and_then(|e| e.parse_supported_groups().ok())
-        .unwrap_or_else(|| {
-            vec![
-                NamedGroup::SECP256R1,
-                NamedGroup::SECP384R1,
-                NamedGroup::SECP521R1,
-            ]
-        });
+/// The RFC 4492 default: clients without a supported_groups extension
+/// are assumed to support the NIST trio.
+const RFC4492_DEFAULT_CURVES: [NamedGroup; 3] = [
+    NamedGroup::SECP256R1,
+    NamedGroup::SECP384R1,
+    NamedGroup::SECP521R1,
+];
+
+/// ECDHE suites need a curve both sides support.
+fn common_curve(profile: &ServerProfile, facts: &ClientFacts<'_>) -> Option<NamedGroup> {
+    let client_curves = facts.curves.unwrap_or(&RFC4492_DEFAULT_CURVES);
     // Server preference order wins (the common OpenSSL deployment).
     profile
         .curves
@@ -223,10 +288,10 @@ fn common_curve(profile: &ServerProfile, hello: &ClientHello) -> Option<NamedGro
         .copied()
 }
 
-fn ecdhe_feasible(profile: &ServerProfile, hello: &ClientHello, cipher: CipherSuite) -> bool {
+fn ecdhe_feasible(profile: &ServerProfile, facts: &ClientFacts<'_>, cipher: CipherSuite) -> bool {
     match cipher.kx() {
         Some(Kx::Ecdhe) | Some(Kx::Ecdh) | Some(Kx::EcdhAnon) => {
-            common_curve(profile, hello).is_some()
+            common_curve(profile, facts).is_some()
         }
         _ => true,
     }
@@ -234,7 +299,7 @@ fn ecdhe_feasible(profile: &ServerProfile, hello: &ClientHello, cipher: CipherSu
 
 fn select_curve(
     profile: &ServerProfile,
-    hello: &ClientHello,
+    facts: &ClientFacts<'_>,
     cipher: CipherSuite,
     version: ProtocolVersion,
 ) -> Option<NamedGroup> {
@@ -244,7 +309,7 @@ fn select_curve(
             Some(Kx::Ecdhe) | Some(Kx::Ecdh) | Some(Kx::EcdhAnon) | Some(Kx::EcdhePsk)
         );
     if needs_curve {
-        common_curve(profile, hello)
+        common_curve(profile, facts)
     } else {
         None
     }

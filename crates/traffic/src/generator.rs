@@ -18,9 +18,12 @@ use tlscope_chron::{Date, Month};
 use tlscope_clients::{catalog, Family, HelloEntropy};
 use tlscope_notary::{PipelineMetrics, TappedFlow};
 use tlscope_servers::{negotiate, Destination, ServerPopulation};
+use tlscope_wire::codec::Writer;
+use tlscope_wire::exts::ext_type;
+use tlscope_wire::grease::grease_value;
 use tlscope_wire::handshake::handshake_type;
-use tlscope_wire::record::{ContentType, Record};
-use tlscope_wire::{ProtocolVersion, Sslv2ClientHello};
+use tlscope_wire::record::{ContentType, Record, RecordView};
+use tlscope_wire::{CipherSuite, NamedGroup, ProtocolVersion, Sslv2ClientHello};
 
 use crate::faults::FaultInjector;
 use crate::market::Market;
@@ -131,6 +134,7 @@ impl Generator {
             remaining: self.cfg.connections_per_month,
             pending: None,
             metrics: None,
+            scratch: GenScratch::default(),
         }
     }
 
@@ -143,12 +147,18 @@ impl Generator {
         start.iter_through(end).map(move |m| (m, self.month(m)))
     }
 
-    fn connection(&self, date: Date, rng: &mut SmallRng) -> Option<ConnectionEvent> {
+    fn connection(
+        &self,
+        date: Date,
+        rng: &mut SmallRng,
+        scratch: &mut GenScratch,
+    ) -> Option<ConnectionEvent> {
         // 1. Client family + era.
-        let shares = self.market.shares(date);
-        let fam_idx = pick_index(rng, &shares)?;
+        self.market.shares_into(date, &mut scratch.shares);
+        let fam_idx = pick_index(rng, &scratch.shares)?;
         let family = &self.market.families()[fam_idx];
-        let era_idx = pick_index(rng, &catalog::adoption_for(family).era_shares(family, date))?;
+        catalog::adoption_for(family).era_shares_into(family, date, &mut scratch.era_shares);
+        let era_idx = pick_index(rng, &scratch.era_shares)?;
         let era = &family.eras[era_idx];
 
         // 2. Destination.
@@ -176,27 +186,76 @@ impl Generator {
         }
 
         let sni = sni_for(dest, rng);
-        let mut hello = era.tls.build_hello(Some(sni), &entropy);
+        let cfg = &era.tls;
+        cfg.hello_ciphers_into(&entropy, &mut scratch.ciphers);
         if family.name == "(cipher-shuffling client)" {
             // §4.1: the fingerprint-exploding bug — unstable cipher
             // order per connection.
-            shuffle(&mut hello.cipher_suites, rng);
+            shuffle(&mut scratch.ciphers, rng);
         }
-        let record_version = if hello.legacy_version.rank() <= ProtocolVersion::Ssl3.rank() {
+        let record_version = if cfg.legacy_version.rank() <= ProtocolVersion::Ssl3.rank() {
             ProtocolVersion::Ssl3
         } else {
             ProtocolVersion::Tls10
         };
-        let client_records = Record::wrap_handshake(record_version, &hello.to_handshake_bytes());
-        let client_bytes: Vec<u8> = client_records.iter().flat_map(|r| r.to_bytes()).collect();
+        {
+            let GenScratch {
+                handshake, ciphers, ..
+            } = scratch;
+            with_writer(handshake, |w| {
+                cfg.write_hello_into(Some(sni), &entropy, ciphers, w);
+            });
+        }
+        let mut client_bytes =
+            Vec::with_capacity(scratch.handshake.len() + 5 * (scratch.handshake.len() >> 14) + 5);
+        Record::wrap_handshake_into(record_version, &scratch.handshake, &mut client_bytes);
 
-        // 4. Server side.
+        // 4. Server side. Negotiation runs on ClientFacts assembled
+        // from the configuration that just emitted the hello — the
+        // same information a parse of `client_bytes` would recover,
+        // without materialising a ClientHello.
         let profile = self.population.sample_for_traffic(dest, date, rng);
         let mut server_random = [0u8; 32];
         for chunk in server_random.chunks_mut(8) {
             chunk.copy_from_slice(&rng.random::<u64>().to_le_bytes());
         }
-        let server_bytes = match negotiate::respond(&profile, &hello, server_random) {
+        let supported_versions = if cfg.extensions.contains(&ext_type::SUPPORTED_VERSIONS) {
+            scratch.versions.clear();
+            if cfg.grease {
+                scratch.versions.push(ProtocolVersion::Unknown(grease_value(
+                    entropy.grease_draws[0],
+                )));
+            }
+            scratch
+                .versions
+                .extend(cfg.supported_versions.iter().copied());
+            Some(scratch.versions.as_slice())
+        } else {
+            None
+        };
+        let curves = if cfg.extensions.contains(&ext_type::SUPPORTED_GROUPS) {
+            scratch.curves.clear();
+            if cfg.grease {
+                scratch
+                    .curves
+                    .push(NamedGroup(grease_value(entropy.grease_draws[3])));
+            }
+            scratch.curves.extend(cfg.curves.iter().copied());
+            Some(scratch.curves.as_slice())
+        } else {
+            None
+        };
+        let facts = negotiate::ClientFacts {
+            legacy_version: cfg.legacy_version,
+            session_id: &entropy.session_id,
+            cipher_suites: &scratch.ciphers,
+            supported_versions,
+            curves,
+            has_renegotiation_info: cfg.extensions.contains(&ext_type::RENEGOTIATION_INFO),
+            has_heartbeat: cfg.extensions.contains(&ext_type::HEARTBEAT),
+            has_extensions: !cfg.extensions.is_empty() || cfg.grease,
+        };
+        let server_bytes = match negotiate::respond_facts(&profile, &facts, server_random) {
             Ok(n) => {
                 let version = if n.version.is_tls13_family() {
                     ProtocolVersion::Tls12
@@ -208,18 +267,25 @@ impl Generator {
                 // one coalesced record — which is what lets a tap that
                 // truncated or gapped the tail of the flight still keep
                 // an intact ServerHello prefix for salvage.
-                let mut messages = vec![n.server_hello.to_handshake_bytes()];
+                let mut out = Vec::with_capacity(192);
+                with_writer(&mut scratch.handshake, |w| {
+                    n.server_hello.write_handshake(w)
+                });
+                Record::wrap_handshake_into(version, &scratch.handshake, &mut out);
                 if !n.version.is_tls13_family() {
                     if let Some(curve) = n.curve {
-                        messages.push(tlscope_wire::ske::ecdhe_ske(curve, 65));
+                        with_writer(&mut scratch.handshake, |w| {
+                            tlscope_wire::ske::write_ecdhe_ske(w, curve, 65);
+                        });
+                        Record::wrap_handshake_into(version, &scratch.handshake, &mut out);
                     }
-                    messages.push(vec![handshake_type::SERVER_HELLO_DONE, 0, 0, 0]);
+                    Record::wrap_handshake_into(
+                        version,
+                        &[handshake_type::SERVER_HELLO_DONE, 0, 0, 0],
+                        &mut out,
+                    );
                 }
-                messages
-                    .iter()
-                    .flat_map(|m| Record::wrap_handshake(version, m))
-                    .flat_map(|r| r.to_bytes())
-                    .collect::<Vec<u8>>()
+                out
             }
             Err(failure) => {
                 let alert = match failure {
@@ -230,12 +296,14 @@ impl Generator {
                         tlscope_wire::Alert::handshake_failure()
                     }
                 };
-                Record {
+                let mut out = Vec::with_capacity(7);
+                RecordView {
                     content_type: ContentType::Alert,
                     version: record_version,
-                    payload: alert.to_bytes(),
+                    payload: &[alert.level.to_wire(), alert.description],
                 }
-                .to_bytes()
+                .write_into(&mut out);
+                out
             }
         };
 
@@ -248,6 +316,28 @@ impl Generator {
             server_flow,
         })
     }
+}
+
+/// Per-stream reusable buffers. Every connection draws through these
+/// instead of allocating fresh intermediates; only the flows that cross
+/// the generator→notary boundary still own their bytes.
+#[derive(Default)]
+struct GenScratch {
+    shares: Vec<f64>,
+    era_shares: Vec<f64>,
+    ciphers: Vec<CipherSuite>,
+    versions: Vec<ProtocolVersion>,
+    curves: Vec<NamedGroup>,
+    handshake: Vec<u8>,
+}
+
+/// Run a serialiser over a [`Writer`] that borrows `buf`'s storage,
+/// leaving the (possibly grown) storage in `buf` for the next use.
+fn with_writer(buf: &mut Vec<u8>, f: impl FnOnce(&mut Writer)) {
+    buf.clear();
+    let mut w = Writer::from_vec(std::mem::take(buf));
+    f(&mut w);
+    *buf = w.into_bytes();
 }
 
 /// Lazy per-event iterator over one month's traffic.
@@ -264,6 +354,8 @@ pub struct MonthStream<'a> {
     /// Second copy of a tap-duplicated flow, emitted on the next draw.
     pending: Option<ConnectionEvent>,
     metrics: Option<&'a PipelineMetrics>,
+    /// Reusable per-connection buffers.
+    scratch: GenScratch,
 }
 
 impl<'a> MonthStream<'a> {
@@ -303,7 +395,10 @@ impl Iterator for MonthStream<'_> {
                 }
                 continue;
             }
-            if let Some(ev) = self.generator.connection(date, &mut self.rng) {
+            if let Some(ev) = self
+                .generator
+                .connection(date, &mut self.rng, &mut self.scratch)
+            {
                 if faults.duplicates(&mut self.rng) {
                     if let Some(m) = self.metrics {
                         m.record_duplicated(1);

@@ -223,25 +223,28 @@ impl Market {
     /// Normalised shares at a date (aligned with [`Market::families`]).
     /// Families that have not shipped anything yet get zero.
     pub fn shares(&self, date: Date) -> Vec<f64> {
-        let mut weights: Vec<f64> = self
-            .families
-            .iter()
-            .zip(&self.curves)
-            .map(|(f, c)| {
-                if f.era_index_at(date).is_some() {
-                    c.weight(date)
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let total: f64 = weights.iter().sum();
+        let mut weights = Vec::with_capacity(self.families.len());
+        self.shares_into(date, &mut weights);
+        weights
+    }
+
+    /// [`Market::shares`], written into a reusable buffer — the
+    /// generator hot path calls this once per connection.
+    pub fn shares_into(&self, date: Date, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.families.iter().zip(&self.curves).map(|(f, c)| {
+            if f.era_index_at(date).is_some() {
+                c.weight(date)
+            } else {
+                0.0
+            }
+        }));
+        let total: f64 = out.iter().sum();
         if total > 0.0 {
-            for w in &mut weights {
+            for w in out.iter_mut() {
                 *w /= total;
             }
         }
-        weights
     }
 
     /// Share of a single family by name (sums over duplicates).

@@ -161,6 +161,15 @@ impl Writer {
         }
     }
 
+    /// Wrap an existing buffer, appending after its current contents.
+    ///
+    /// Together with [`Writer::into_bytes`] this lets a hot loop reuse
+    /// one allocation across serialisations: take the buffer out,
+    /// write, put it back.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Writer { buf }
+    }
+
     /// Finish and return the accumulated bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf

@@ -178,50 +178,35 @@ impl Extension {
     /// `supported_groups`: body is a u16-length-prefixed list of groups.
     pub fn supported_groups(groups: &[NamedGroup]) -> Self {
         let mut w = Writer::new();
-        w.vec16(|w| {
-            for g in groups {
-                w.u16(g.0);
-            }
-        });
+        ext_body::supported_groups(&mut w, groups.iter().map(|g| g.0));
         Extension::new(ext_type::SUPPORTED_GROUPS, w.into_bytes())
     }
 
     /// `ec_point_formats`: body is a u8-length-prefixed list of formats.
     pub fn ec_point_formats(formats: &[u8]) -> Self {
         let mut w = Writer::new();
-        w.vec8(|w| {
-            w.bytes(formats);
-        });
+        ext_body::ec_point_formats(&mut w, formats);
         Extension::new(ext_type::EC_POINT_FORMATS, w.into_bytes())
     }
 
     /// `supported_versions` (ClientHello form): u8-length-prefixed list.
     pub fn supported_versions(versions: &[ProtocolVersion]) -> Self {
         let mut w = Writer::new();
-        w.vec8(|w| {
-            for v in versions {
-                w.u16(v.to_wire());
-            }
-        });
+        ext_body::supported_versions(&mut w, versions.iter().map(|v| v.to_wire()));
         Extension::new(ext_type::SUPPORTED_VERSIONS, w.into_bytes())
     }
 
     /// `supported_versions` (ServerHello form): single version.
     pub fn selected_version(version: ProtocolVersion) -> Self {
         let mut w = Writer::new();
-        w.u16(version.to_wire());
+        ext_body::selected_version(&mut w, version);
         Extension::new(ext_type::SUPPORTED_VERSIONS, w.into_bytes())
     }
 
     /// `server_name` with a single DNS hostname.
     pub fn server_name(host: &str) -> Self {
         let mut w = Writer::new();
-        w.vec16(|w| {
-            w.u8(0); // name_type = host_name
-            w.vec16(|w| {
-                w.bytes(host.as_bytes());
-            });
-        });
+        ext_body::server_name(&mut w, host);
         Extension::new(ext_type::SERVER_NAME, w.into_bytes())
     }
 
@@ -238,32 +223,21 @@ impl Extension {
     /// ServerHello `key_share`: the selected group plus an opaque key.
     pub fn key_share_server(group: crate::groups::NamedGroup) -> Self {
         let mut w = Writer::new();
-        w.u16(group.0);
-        w.vec16(|w| {
-            w.bytes(&[0x04; 32]);
-        });
+        ext_body::key_share_server(&mut w, group);
         Extension::new(ext_type::KEY_SHARE, w.into_bytes())
     }
 
     /// `signature_algorithms` from (hash, sig) wire pairs.
     pub fn signature_algorithms(algs: &[u16]) -> Self {
         let mut w = Writer::new();
-        w.vec16(|w| {
-            w.u16_list(algs);
-        });
+        ext_body::signature_algorithms(&mut w, algs);
         Extension::new(ext_type::SIGNATURE_ALGORITHMS, w.into_bytes())
     }
 
     /// `application_layer_protocol_negotiation` from protocol names.
     pub fn alpn(protocols: &[&str]) -> Self {
         let mut w = Writer::new();
-        w.vec16(|w| {
-            for p in protocols {
-                w.vec8(|w| {
-                    w.bytes(p.as_bytes());
-                });
-            }
-        });
+        ext_body::alpn(&mut w, protocols);
         Extension::new(ext_type::ALPN, w.into_bytes())
     }
 
@@ -340,6 +314,99 @@ impl Extension {
         r.expect_empty()?;
         Ok(m)
     }
+}
+
+/// Extension-body serialisers, shared between the [`Extension`]
+/// builders and allocation-free hello writers (which emit bodies
+/// straight into a reusable buffer instead of materialising
+/// `Extension` structs). Each function appends exactly the bytes the
+/// corresponding builder would put in `Extension::body`.
+pub mod ext_body {
+    use super::*;
+
+    /// `supported_groups` body from wire group values.
+    pub fn supported_groups(w: &mut Writer, groups: impl IntoIterator<Item = u16>) {
+        w.vec16(|w| {
+            for g in groups {
+                w.u16(g);
+            }
+        });
+    }
+
+    /// `ec_point_formats` body.
+    pub fn ec_point_formats(w: &mut Writer, formats: &[u8]) {
+        w.vec8(|w| {
+            w.bytes(formats);
+        });
+    }
+
+    /// ClientHello `supported_versions` body from wire version values.
+    pub fn supported_versions(w: &mut Writer, versions: impl IntoIterator<Item = u16>) {
+        w.vec8(|w| {
+            for v in versions {
+                w.u16(v);
+            }
+        });
+    }
+
+    /// ServerHello `supported_versions` body (single version).
+    pub fn selected_version(w: &mut Writer, version: ProtocolVersion) {
+        w.u16(version.to_wire());
+    }
+
+    /// `server_name` body with a single DNS hostname.
+    pub fn server_name(w: &mut Writer, host: &str) {
+        w.vec16(|w| {
+            w.u8(0); // name_type = host_name
+            w.vec16(|w| {
+                w.bytes(host.as_bytes());
+            });
+        });
+    }
+
+    /// `heartbeat` body.
+    pub fn heartbeat(w: &mut Writer, mode: u8) {
+        w.u8(mode);
+    }
+
+    /// `renegotiation_info` body with empty verify data.
+    pub fn renegotiation_info(w: &mut Writer) {
+        w.u8(0);
+    }
+
+    /// ServerHello `key_share` body: selected group plus opaque key.
+    pub fn key_share_server(w: &mut Writer, group: NamedGroup) {
+        w.u16(group.0);
+        w.vec16(|w| {
+            w.bytes(&[0x04; 32]);
+        });
+    }
+
+    /// `signature_algorithms` body from (hash, sig) wire pairs.
+    pub fn signature_algorithms(w: &mut Writer, algs: &[u16]) {
+        w.vec16(|w| {
+            w.u16_list(algs);
+        });
+    }
+
+    /// ALPN body from protocol names.
+    pub fn alpn(w: &mut Writer, protocols: &[&str]) {
+        w.vec16(|w| {
+            for p in protocols {
+                w.vec8(|w| {
+                    w.bytes(p.as_bytes());
+                });
+            }
+        });
+    }
+}
+
+/// Write one extension (type + u16-length-prefixed body) into `w`,
+/// with the body produced by `body` — typically one of the
+/// [`ext_body`] serialisers.
+pub fn write_extension(w: &mut Writer, typ: u16, body: impl FnOnce(&mut Writer)) {
+    w.u16(typ);
+    w.vec16(body);
 }
 
 /// Serialise an extension list (with outer u16 length) into `w`.

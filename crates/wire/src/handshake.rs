@@ -117,9 +117,8 @@ impl ClientHello {
         self.offered_versions().iter().any(|v| v.is_tls13_family())
     }
 
-    /// Serialise to the handshake *body* (without the 4-byte header).
-    pub fn to_body(&self) -> Vec<u8> {
-        let mut w = Writer::with_capacity(128);
+    /// Append the handshake *body* (without the 4-byte header) to `w`.
+    pub fn write_body(&self, w: &mut Writer) {
         w.u16(self.legacy_version.to_wire());
         w.bytes(&self.random);
         w.vec8(|w| {
@@ -134,14 +133,28 @@ impl ClientHello {
             w.bytes(&self.compression_methods);
         });
         if let Some(exts) = &self.extensions {
-            write_extensions(&mut w, exts);
+            write_extensions(w, exts);
         }
+    }
+
+    /// Append the framed handshake message to `w`.
+    pub fn write_handshake(&self, w: &mut Writer) {
+        w.u8(handshake_type::CLIENT_HELLO);
+        w.vec24(|w| self.write_body(w));
+    }
+
+    /// Serialise to the handshake *body* (without the 4-byte header).
+    pub fn to_body(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(128);
+        self.write_body(&mut w);
         w.into_bytes()
     }
 
     /// Serialise to a framed handshake message.
     pub fn to_handshake_bytes(&self) -> Vec<u8> {
-        frame_handshake(handshake_type::CLIENT_HELLO, &self.to_body())
+        let mut w = Writer::with_capacity(160);
+        self.write_handshake(&mut w);
+        w.into_bytes()
     }
 
     /// Parse from a handshake body.
@@ -235,9 +248,8 @@ impl ServerHello {
         self.legacy_version
     }
 
-    /// Serialise to the handshake *body* (without the 4-byte header).
-    pub fn to_body(&self) -> Vec<u8> {
-        let mut w = Writer::with_capacity(96);
+    /// Append the handshake *body* (without the 4-byte header) to `w`.
+    pub fn write_body(&self, w: &mut Writer) {
         w.u16(self.legacy_version.to_wire());
         w.bytes(&self.random);
         w.vec8(|w| {
@@ -246,14 +258,28 @@ impl ServerHello {
         w.u16(self.cipher_suite.0);
         w.u8(self.compression_method);
         if let Some(exts) = &self.extensions {
-            write_extensions(&mut w, exts);
+            write_extensions(w, exts);
         }
+    }
+
+    /// Append the framed handshake message to `w`.
+    pub fn write_handshake(&self, w: &mut Writer) {
+        w.u8(handshake_type::SERVER_HELLO);
+        w.vec24(|w| self.write_body(w));
+    }
+
+    /// Serialise to the handshake *body* (without the 4-byte header).
+    pub fn to_body(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(96);
+        self.write_body(&mut w);
         w.into_bytes()
     }
 
     /// Serialise to a framed handshake message.
     pub fn to_handshake_bytes(&self) -> Vec<u8> {
-        frame_handshake(handshake_type::SERVER_HELLO, &self.to_body())
+        let mut w = Writer::with_capacity(128);
+        self.write_handshake(&mut w);
+        w.into_bytes()
     }
 
     /// Parse from a handshake body.

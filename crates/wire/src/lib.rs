@@ -54,6 +54,7 @@ pub mod ske;
 pub mod suites;
 pub mod suites_table;
 pub mod version;
+pub mod view;
 
 pub use alert::{Alert, AlertLevel};
 pub use error::{WireError, WireResult};
@@ -61,6 +62,7 @@ pub use exts::{ext_type, Extension};
 pub use grease::{is_grease, strip_grease};
 pub use groups::NamedGroup;
 pub use handshake::{ClientHello, ServerHello};
-pub use record::{sniff, ContentType, Record, Sslv2ClientHello, WireFlavor};
+pub use record::{sniff, ContentType, Record, RecordView, Sslv2ClientHello, WireFlavor};
 pub use suites::{AeadAlg, Auth, CipherSuite, Enc, EncMode, Kx, Mac, SuiteInfo};
 pub use version::ProtocolVersion;
+pub use view::{ClientHelloView, ExtensionsView, ServerHelloView};

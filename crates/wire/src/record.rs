@@ -53,6 +53,52 @@ impl ContentType {
     }
 }
 
+/// A borrowed view of one TLSPlaintext record: the zero-copy twin of
+/// [`Record`]. The payload stays a slice into the captured flow, so
+/// parsing a record stream performs no heap allocation at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordView<'a> {
+    /// Content type.
+    pub content_type: ContentType,
+    /// Record-layer version (not authoritative for the connection).
+    pub version: ProtocolVersion,
+    /// Fragment payload, borrowed from the flow bytes.
+    pub payload: &'a [u8],
+}
+
+impl<'a> RecordView<'a> {
+    /// Parse one record off the front of `r` without copying the
+    /// payload.
+    pub fn read(r: &mut Reader<'a>) -> WireResult<RecordView<'a>> {
+        let content_type = ContentType::from_wire(r.u8()?)?;
+        let version = ProtocolVersion::from_wire(r.u16()?);
+        let mut body = r.vec16()?;
+        Ok(RecordView {
+            content_type,
+            version,
+            payload: body.rest(),
+        })
+    }
+
+    /// Append this record's wire encoding to `out`.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.payload.len() <= u16::MAX as usize, "record too long");
+        out.push(self.content_type.to_wire());
+        out.extend_from_slice(&self.version.to_wire().to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.payload);
+    }
+
+    /// Copy into an owned [`Record`].
+    pub fn to_owned(&self) -> Record {
+        Record {
+            content_type: self.content_type,
+            version: self.version,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
 /// One TLSPlaintext record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
@@ -67,25 +113,23 @@ pub struct Record {
 impl Record {
     /// Serialise this record.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::with_capacity(self.payload.len() + 5);
-        w.u8(self.content_type.to_wire());
-        w.u16(self.version.to_wire());
-        w.vec16(|w| {
-            w.bytes(&self.payload);
-        });
-        w.into_bytes()
+        let mut out = Vec::with_capacity(self.payload.len() + 5);
+        self.view().write_into(&mut out);
+        out
+    }
+
+    /// Borrow as a [`RecordView`].
+    pub fn view(&self) -> RecordView<'_> {
+        RecordView {
+            content_type: self.content_type,
+            version: self.version,
+            payload: &self.payload,
+        }
     }
 
     /// Parse one record off the front of `r`.
     pub fn read(r: &mut Reader<'_>) -> WireResult<Record> {
-        let content_type = ContentType::from_wire(r.u8()?)?;
-        let version = ProtocolVersion::from_wire(r.u16()?);
-        let mut body = r.vec16()?;
-        Ok(Record {
-            content_type,
-            version,
-            payload: body.rest().to_vec(),
-        })
+        Ok(RecordView::read(r)?.to_owned())
     }
 
     /// Parse every record in `bytes`.
@@ -109,6 +153,20 @@ impl Record {
                 payload: chunk.to_vec(),
             })
             .collect()
+    }
+
+    /// Append the wire bytes of [`Record::wrap_handshake`] directly to
+    /// `out`, skipping the intermediate record structs and payload
+    /// copies. Byte-identical to serialising `wrap_handshake`'s result.
+    pub fn wrap_handshake_into(version: ProtocolVersion, handshake: &[u8], out: &mut Vec<u8>) {
+        for chunk in handshake.chunks(MAX_FRAGMENT) {
+            RecordView {
+                content_type: ContentType::Handshake,
+                version,
+                payload: chunk,
+            }
+            .write_into(out);
+        }
     }
 
     /// Concatenate the payloads of consecutive handshake records (record
@@ -286,6 +344,38 @@ mod tests {
         let bytes: Vec<u8> = records.iter().flat_map(|r| r.to_bytes()).collect();
         let parsed = Record::read_all(&bytes).unwrap();
         assert_eq!(Record::coalesce_handshake(&parsed).unwrap(), handshake);
+    }
+
+    #[test]
+    fn record_view_matches_owned_read() {
+        let rec = Record {
+            content_type: ContentType::Handshake,
+            version: ProtocolVersion::Tls12,
+            payload: vec![9, 8, 7, 6],
+        };
+        let bytes = rec.to_bytes();
+        let mut r = Reader::new(&bytes);
+        let view = RecordView::read(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(view.content_type, rec.content_type);
+        assert_eq!(view.version, rec.version);
+        assert_eq!(view.payload, &rec.payload[..]);
+        assert_eq!(view.to_owned(), rec);
+        let mut out = Vec::new();
+        view.write_into(&mut out);
+        assert_eq!(out, bytes);
+    }
+
+    #[test]
+    fn wrap_handshake_into_matches_wrap_handshake() {
+        for len in [0usize, 1, 100, MAX_FRAGMENT, MAX_FRAGMENT + 1, 40_000] {
+            let handshake: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let records = Record::wrap_handshake(ProtocolVersion::Tls12, &handshake);
+            let expect: Vec<u8> = records.iter().flat_map(|r| r.to_bytes()).collect();
+            let mut got = Vec::new();
+            Record::wrap_handshake_into(ProtocolVersion::Tls12, &handshake, &mut got);
+            assert_eq!(got, expect, "len {len}");
+        }
     }
 
     #[test]

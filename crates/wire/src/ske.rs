@@ -10,7 +10,7 @@
 use crate::codec::{Reader, Writer};
 use crate::error::{WireError, WireResult};
 use crate::groups::NamedGroup;
-use crate::handshake::{frame_handshake, handshake_type};
+use crate::handshake::handshake_type;
 
 /// ECCurveType value for named curves.
 pub const CURVE_TYPE_NAMED: u8 = 3;
@@ -21,18 +21,28 @@ pub const CURVE_TYPE_NAMED: u8 = 3;
 /// 65 bytes matches an uncompressed P-256 point.
 pub fn ecdhe_ske(group: NamedGroup, pubkey_len: u8) -> Vec<u8> {
     let mut w = Writer::new();
-    w.u8(CURVE_TYPE_NAMED);
-    w.u16(group.0);
-    w.vec8(|w| {
-        // Opaque ephemeral point; a monitor does not interpret it.
-        w.bytes(&vec![0x04; pubkey_len as usize]);
+    write_ecdhe_ske(&mut w, group, pubkey_len);
+    w.into_bytes()
+}
+
+/// Append a framed ECDHE ServerKeyExchange to `w` — the
+/// allocation-free form of [`ecdhe_ske`].
+pub fn write_ecdhe_ske(w: &mut Writer, group: NamedGroup, pubkey_len: u8) {
+    const POINT_FILLER: [u8; 255] = [0x04; 255];
+    w.u8(handshake_type::SERVER_KEY_EXCHANGE);
+    w.vec24(|w| {
+        w.u8(CURVE_TYPE_NAMED);
+        w.u16(group.0);
+        w.vec8(|w| {
+            // Opaque ephemeral point; a monitor does not interpret it.
+            w.bytes(&POINT_FILLER[..pubkey_len as usize]);
+        });
+        // signature_algorithm + opaque signature (TLS 1.2 form).
+        w.u16(0x0401);
+        w.vec16(|w| {
+            w.bytes(&[0u8; 64]);
+        });
     });
-    // signature_algorithm + opaque signature (TLS 1.2 form).
-    w.u16(0x0401);
-    w.vec16(|w| {
-        w.bytes(&[0u8; 64]);
-    });
-    frame_handshake(handshake_type::SERVER_KEY_EXCHANGE, &w.into_bytes())
 }
 
 /// Parse the named curve out of an ECDHE ServerKeyExchange *body*.

@@ -1,0 +1,530 @@
+//! Borrowed, allocation-free views of the two hello messages.
+//!
+//! The owned [`ClientHello`](crate::ClientHello) /
+//! [`ServerHello`](crate::ServerHello) parsers copy every vector field
+//! onto the heap — a dozen allocations per hello. A passive monitor
+//! digesting millions of connections only ever *reads* those fields
+//! once, so these views keep every field a slice into the coalesced
+//! handshake bytes. Validation is identical to the owned parsers: a
+//! body accepted by one is accepted by the other, and rejected bodies
+//! fail with the same error at the same field.
+
+use crate::codec::Reader;
+use crate::error::{WireError, WireResult};
+use crate::exts::ext_type;
+use crate::groups::NamedGroup;
+use crate::handshake::{handshake_type, read_handshake};
+use crate::suites::CipherSuite;
+use crate::version::ProtocolVersion;
+
+/// Iterator over the big-endian u16 items of an even-length slice.
+#[derive(Debug, Clone, Copy)]
+pub struct U16Items<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> U16Items<'a> {
+    /// Wrap an even-length slice (caller-validated).
+    fn new(buf: &'a [u8]) -> Self {
+        debug_assert!(buf.len().is_multiple_of(2));
+        U16Items { buf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.buf.len() / 2
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Iterator for U16Items<'_> {
+    type Item = u16;
+
+    fn next(&mut self) -> Option<u16> {
+        let (head, rest) = self.buf.split_first_chunk::<2>()?;
+        self.buf = rest;
+        Some(u16::from_be_bytes(*head))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.len(), Some(self.len()))
+    }
+}
+
+impl ExactSizeIterator for U16Items<'_> {}
+
+/// Validate a u16-list body (the raw item bytes, prefixes stripped).
+fn u16_items(buf: &[u8]) -> WireResult<U16Items<'_>> {
+    if !buf.len().is_multiple_of(2) {
+        return Err(WireError::RaggedVector {
+            len: buf.len(),
+            element: 2,
+        });
+    }
+    Ok(U16Items::new(buf))
+}
+
+/// A validated extension block: the raw list bytes (outer u16 length
+/// prefix stripped). Construction walks the whole block, so iteration
+/// never fails.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtensionsView<'a> {
+    block: &'a [u8],
+}
+
+impl<'a> ExtensionsView<'a> {
+    /// Parse an extension block (with outer u16 length) off `r`,
+    /// validating the same structure `read_extensions` does.
+    pub fn read(r: &mut Reader<'a>) -> WireResult<ExtensionsView<'a>> {
+        let mut list = r.vec16()?;
+        let block = list.rest();
+        let mut walk = Reader::new(block);
+        while !walk.is_empty() {
+            walk.u16()?;
+            walk.vec16()?;
+        }
+        Ok(ExtensionsView { block })
+    }
+
+    /// Iterate `(type, body)` pairs.
+    pub fn iter(&self) -> ExtIter<'a> {
+        ExtIter {
+            r: Reader::new(self.block),
+        }
+    }
+
+    /// The body of the first extension of type `typ`.
+    pub fn find(&self, typ: u16) -> Option<&'a [u8]> {
+        self.iter().find(|(t, _)| *t == typ).map(|(_, b)| b)
+    }
+
+    /// True if an extension of type `typ` is present.
+    pub fn has(&self, typ: u16) -> bool {
+        self.find(typ).is_some()
+    }
+}
+
+/// Iterator over a validated extension block.
+#[derive(Debug, Clone)]
+pub struct ExtIter<'a> {
+    r: Reader<'a>,
+}
+
+impl<'a> Iterator for ExtIter<'a> {
+    type Item = (u16, &'a [u8]);
+
+    fn next(&mut self) -> Option<(u16, &'a [u8])> {
+        if self.r.is_empty() {
+            return None;
+        }
+        // The block was validated at construction; errors are unreachable.
+        let typ = self.r.u16().ok()?;
+        let mut body = self.r.vec16().ok()?;
+        Some((typ, body.rest()))
+    }
+}
+
+/// Borrowed decoders for the extension bodies the pipeline reads.
+/// Validation matches the corresponding `Extension::parse_*` methods.
+pub mod ext_view {
+    use super::*;
+
+    /// `supported_groups` body → wire group values.
+    pub fn supported_groups(body: &[u8]) -> WireResult<U16Items<'_>> {
+        let mut r = Reader::new(body);
+        let mut list = r.vec16()?;
+        let items = u16_items(list.rest())?;
+        r.expect_empty()?;
+        Ok(items)
+    }
+
+    /// `ec_point_formats` body → format bytes.
+    pub fn ec_point_formats(body: &[u8]) -> WireResult<&[u8]> {
+        let mut r = Reader::new(body);
+        let mut list = r.vec8()?;
+        let formats = list.rest();
+        r.expect_empty()?;
+        Ok(formats)
+    }
+
+    /// ClientHello `supported_versions` body → wire version values.
+    pub fn supported_versions(body: &[u8]) -> WireResult<U16Items<'_>> {
+        let mut r = Reader::new(body);
+        let mut list = r.vec8()?;
+        let items = u16_items(list.rest())?;
+        r.expect_empty()?;
+        Ok(items)
+    }
+
+    /// ServerHello `supported_versions` body → the selected version.
+    pub fn selected_version(body: &[u8]) -> WireResult<ProtocolVersion> {
+        let mut r = Reader::new(body);
+        let v = r.u16()?;
+        r.expect_empty()?;
+        Ok(ProtocolVersion::from_wire(v))
+    }
+
+    /// ServerHello `key_share` body → the selected group.
+    pub fn key_share_server(body: &[u8]) -> WireResult<NamedGroup> {
+        let mut r = Reader::new(body);
+        let g = r.u16()?;
+        let mut key = r.vec16()?;
+        let _ = key.rest();
+        r.expect_empty()?;
+        Ok(NamedGroup(g))
+    }
+}
+
+/// A borrowed ClientHello: every field a slice into the handshake
+/// bytes. Parses exactly the inputs [`crate::ClientHello::parse_body`]
+/// parses.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientHelloView<'a> {
+    /// Legacy version field.
+    pub legacy_version: ProtocolVersion,
+    /// 32 bytes of client randomness.
+    pub random: &'a [u8],
+    /// Session id (0–32 bytes).
+    pub session_id: &'a [u8],
+    /// Raw cipher-suite list bytes (even length, non-empty).
+    suites: &'a [u8],
+    /// Offered compression methods (non-empty).
+    pub compression_methods: &'a [u8],
+    /// Extension block: `None` when absent entirely.
+    pub extensions: Option<ExtensionsView<'a>>,
+}
+
+impl<'a> ClientHelloView<'a> {
+    /// Parse from a handshake body.
+    pub fn parse_body(body: &'a [u8]) -> WireResult<Self> {
+        let mut r = Reader::new(body);
+        let legacy_version = ProtocolVersion::from_wire(r.u16()?);
+        let random = r.take(32)?;
+        let mut sid = r.vec8()?;
+        let session_id = sid.rest();
+        if session_id.len() > 32 {
+            return Err(WireError::InvalidField("session_id longer than 32 bytes"));
+        }
+        let mut suite_list = r.vec16()?;
+        let suites = suite_list.rest();
+        if !suites.len().is_multiple_of(2) {
+            return Err(WireError::RaggedVector {
+                len: suites.len(),
+                element: 2,
+            });
+        }
+        if suites.is_empty() {
+            return Err(WireError::InvalidField("empty cipher suite list"));
+        }
+        let mut comp = r.vec8()?;
+        let compression_methods = comp.rest();
+        if compression_methods.is_empty() {
+            return Err(WireError::InvalidField("empty compression list"));
+        }
+        let extensions = if r.is_empty() {
+            None
+        } else {
+            let exts = ExtensionsView::read(&mut r)?;
+            r.expect_empty()?;
+            Some(exts)
+        };
+        Ok(ClientHelloView {
+            legacy_version,
+            random,
+            session_id,
+            suites,
+            compression_methods,
+            extensions,
+        })
+    }
+
+    /// Parse from a framed handshake message (exactly one message).
+    pub fn parse_handshake(bytes: &'a [u8]) -> WireResult<Self> {
+        let mut r = Reader::new(bytes);
+        let (typ, body) = read_handshake(&mut r)?;
+        if typ != handshake_type::CLIENT_HELLO {
+            return Err(WireError::UnexpectedHandshakeType {
+                got: typ,
+                want: handshake_type::CLIENT_HELLO,
+            });
+        }
+        r.expect_empty()?;
+        Self::parse_body(body)
+    }
+
+    /// Offered cipher suites in wire order (GREASE included).
+    pub fn cipher_suites(&self) -> impl Iterator<Item = CipherSuite> + use<'a> {
+        U16Items::new(self.suites).map(CipherSuite)
+    }
+
+    /// Number of offered suites.
+    pub fn cipher_suite_count(&self) -> usize {
+        self.suites.len() / 2
+    }
+
+    /// The body of the first extension of type `typ`.
+    pub fn find_extension(&self, typ: u16) -> Option<&'a [u8]> {
+        self.extensions.as_ref().and_then(|e| e.find(typ))
+    }
+
+    /// The versions this client actually supports — same semantics as
+    /// [`crate::ClientHello::offered_versions`] (GREASE filtered;
+    /// classic maximum-version fallback when the extension is absent).
+    pub fn offered_versions(&self) -> Vec<ProtocolVersion> {
+        if let Some(body) = self.find_extension(ext_type::SUPPORTED_VERSIONS) {
+            if let Ok(vs) = ext_view::supported_versions(body) {
+                return vs
+                    .filter(|v| !crate::grease::is_grease(*v))
+                    .map(ProtocolVersion::from_wire)
+                    .collect();
+            }
+        }
+        let all = [
+            ProtocolVersion::Ssl3,
+            ProtocolVersion::Tls10,
+            ProtocolVersion::Tls11,
+            ProtocolVersion::Tls12,
+        ];
+        all.iter()
+            .copied()
+            .filter(|v| v.rank() <= self.legacy_version.rank())
+            .collect()
+    }
+}
+
+/// A borrowed ServerHello. Parses exactly the inputs
+/// [`crate::ServerHello::parse_body`] parses.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerHelloView<'a> {
+    /// Legacy version field.
+    pub legacy_version: ProtocolVersion,
+    /// 32 bytes of server randomness.
+    pub random: &'a [u8],
+    /// Echoed or fresh session id.
+    pub session_id: &'a [u8],
+    /// The single selected cipher suite.
+    pub cipher_suite: CipherSuite,
+    /// The selected compression method.
+    pub compression_method: u8,
+    /// Extension block, if present.
+    pub extensions: Option<ExtensionsView<'a>>,
+}
+
+impl<'a> ServerHelloView<'a> {
+    /// Parse from a handshake body.
+    pub fn parse_body(body: &'a [u8]) -> WireResult<Self> {
+        let mut r = Reader::new(body);
+        let legacy_version = ProtocolVersion::from_wire(r.u16()?);
+        let random = r.take(32)?;
+        let mut sid = r.vec8()?;
+        let session_id = sid.rest();
+        if session_id.len() > 32 {
+            return Err(WireError::InvalidField("session_id longer than 32 bytes"));
+        }
+        let cipher_suite = CipherSuite(r.u16()?);
+        let compression_method = r.u8()?;
+        let extensions = if r.is_empty() {
+            None
+        } else {
+            let exts = ExtensionsView::read(&mut r)?;
+            r.expect_empty()?;
+            Some(exts)
+        };
+        Ok(ServerHelloView {
+            legacy_version,
+            random,
+            session_id,
+            cipher_suite,
+            compression_method,
+            extensions,
+        })
+    }
+
+    /// The body of the first extension of type `typ`.
+    pub fn find_extension(&self, typ: u16) -> Option<&'a [u8]> {
+        self.extensions.as_ref().and_then(|e| e.find(typ))
+    }
+
+    /// The actually negotiated protocol version — same semantics as
+    /// [`crate::ServerHello::negotiated_version`].
+    pub fn negotiated_version(&self) -> ProtocolVersion {
+        if let Some(body) = self.find_extension(ext_type::SUPPORTED_VERSIONS) {
+            if let Ok(v) = ext_view::selected_version(body) {
+                return v;
+            }
+        }
+        self.legacy_version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClientHello, Extension, ServerHello};
+
+    fn sample_hello() -> ClientHello {
+        ClientHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [7u8; 32],
+            session_id: vec![1, 2, 3, 4],
+            cipher_suites: vec![
+                CipherSuite(0x2a2a), // GREASE
+                CipherSuite(0xc02b),
+                CipherSuite(0x009c),
+                CipherSuite(0x00ff),
+            ],
+            compression_methods: vec![0],
+            extensions: Some(vec![
+                Extension::server_name("example.org"),
+                Extension::supported_groups(&[NamedGroup::X25519, NamedGroup::SECP256R1]),
+                Extension::ec_point_formats(&[0]),
+                Extension::heartbeat(1),
+                Extension::supported_versions(&[
+                    ProtocolVersion::Tls13Draft(18),
+                    ProtocolVersion::Tls12,
+                ]),
+                Extension::renegotiation_info(),
+            ]),
+        }
+    }
+
+    #[test]
+    fn view_fields_match_owned_parse() {
+        let ch = sample_hello();
+        let bytes = ch.to_handshake_bytes();
+        let owned = ClientHello::parse_handshake(&bytes).unwrap();
+        let view = ClientHelloView::parse_handshake(&bytes).unwrap();
+        assert_eq!(view.legacy_version, owned.legacy_version);
+        assert_eq!(view.random, &owned.random[..]);
+        assert_eq!(view.session_id, &owned.session_id[..]);
+        assert_eq!(
+            view.cipher_suites().collect::<Vec<_>>(),
+            owned.cipher_suites
+        );
+        assert_eq!(view.compression_methods, &owned.compression_methods[..]);
+        let view_exts: Vec<(u16, Vec<u8>)> = view
+            .extensions
+            .unwrap()
+            .iter()
+            .map(|(t, b)| (t, b.to_vec()))
+            .collect();
+        let owned_exts: Vec<(u16, Vec<u8>)> = owned
+            .extensions()
+            .iter()
+            .map(|e| (e.typ, e.body.clone()))
+            .collect();
+        assert_eq!(view_exts, owned_exts);
+        assert_eq!(view.offered_versions(), owned.offered_versions());
+    }
+
+    #[test]
+    fn view_rejects_what_owned_rejects() {
+        let bytes = sample_hello().to_handshake_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                ClientHelloView::parse_handshake(&bytes[..cut]).is_err(),
+                ClientHello::parse_handshake(&bytes[..cut]).is_err(),
+                "divergence at prefix {cut}"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0xde);
+        assert!(ClientHelloView::parse_handshake(&trailing).is_err());
+
+        let mut empty_suites = sample_hello();
+        empty_suites.cipher_suites.clear();
+        assert_eq!(
+            ClientHelloView::parse_handshake(&empty_suites.to_handshake_bytes()).unwrap_err(),
+            ClientHello::parse_handshake(&empty_suites.to_handshake_bytes()).unwrap_err(),
+        );
+    }
+
+    #[test]
+    fn ext_view_decoders_match_typed_decoders() {
+        let groups = [
+            NamedGroup(0x2a2a),
+            NamedGroup::X25519,
+            NamedGroup::SECP256R1,
+        ];
+        let e = Extension::supported_groups(&groups);
+        assert_eq!(
+            ext_view::supported_groups(&e.body)
+                .unwrap()
+                .map(NamedGroup)
+                .collect::<Vec<_>>(),
+            e.parse_supported_groups().unwrap()
+        );
+
+        let e = Extension::ec_point_formats(&[0, 1, 2]);
+        assert_eq!(
+            ext_view::ec_point_formats(&e.body).unwrap(),
+            &e.parse_ec_point_formats().unwrap()[..]
+        );
+
+        let vs = [ProtocolVersion::Tls13Draft(22), ProtocolVersion::Tls12];
+        let e = Extension::supported_versions(&vs);
+        assert_eq!(
+            ext_view::supported_versions(&e.body)
+                .unwrap()
+                .map(ProtocolVersion::from_wire)
+                .collect::<Vec<_>>(),
+            e.parse_supported_versions().unwrap()
+        );
+
+        let e = Extension::selected_version(ProtocolVersion::Tls13Experiment(2));
+        assert_eq!(
+            ext_view::selected_version(&e.body).unwrap(),
+            e.parse_selected_version().unwrap()
+        );
+
+        let e = Extension::key_share_server(NamedGroup::X25519);
+        assert_eq!(
+            ext_view::key_share_server(&e.body).unwrap(),
+            e.parse_key_share_server().unwrap()
+        );
+
+        // Malformed bodies fail in both.
+        let ragged = [0x00u8, 0x03, 0x00, 0x1d, 0x99];
+        assert!(ext_view::supported_groups(&ragged).is_err());
+        assert!(Extension::new(ext_type::SUPPORTED_GROUPS, ragged.to_vec())
+            .parse_supported_groups()
+            .is_err());
+    }
+
+    #[test]
+    fn server_view_matches_owned() {
+        let sh = ServerHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [9u8; 32],
+            session_id: vec![5, 6],
+            cipher_suite: CipherSuite(0x1301),
+            compression_method: 0,
+            extensions: Some(vec![
+                Extension::selected_version(ProtocolVersion::Tls13Draft(23)),
+                Extension::key_share_server(NamedGroup::X25519),
+            ]),
+        };
+        let bytes = sh.to_handshake_bytes();
+        let mut r = Reader::new(&bytes);
+        let (typ, body) = read_handshake(&mut r).unwrap();
+        assert_eq!(typ, handshake_type::SERVER_HELLO);
+        let view = ServerHelloView::parse_body(body).unwrap();
+        assert_eq!(view.cipher_suite, sh.cipher_suite);
+        assert_eq!(view.negotiated_version(), sh.negotiated_version());
+        assert_eq!(
+            ext_view::key_share_server(view.find_extension(ext_type::KEY_SHARE).unwrap()).unwrap(),
+            NamedGroup::X25519
+        );
+        for cut in 0..body.len() {
+            assert_eq!(
+                ServerHelloView::parse_body(&body[..cut]).is_err(),
+                ServerHello::parse_body(&body[..cut]).is_err(),
+                "divergence at prefix {cut}"
+            );
+        }
+    }
+}

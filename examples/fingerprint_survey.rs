@@ -35,8 +35,8 @@ fn main() {
     // Table 2: coverage by category.
     println!("{}", tables::table2(&agg).to_ascii());
     let mut cov = CoverageStats::new();
-    for (fp, count) in &agg.fp_counts {
-        cov.observe(&db, fp, *count);
+    for (fp, count) in agg.iter_fp_counts() {
+        cov.observe(&db, fp, count);
     }
     println!(
         "overall attribution: {:.2}% of fingerprinted connections (paper: 69.23%)\n",
@@ -48,10 +48,10 @@ fn main() {
 
     // The ten busiest fingerprints, paper-style ("the 10 most common
     // fingerprints explain 25.9% of the total Notary traffic").
-    let mut by_volume: Vec<_> = agg.fp_counts.iter().collect();
-    by_volume.sort_by(|a, b| b.1.cmp(a.1));
-    let total: u64 = agg.fp_counts.values().sum();
-    let top10: u64 = by_volume.iter().take(10).map(|(_, n)| **n).sum();
+    let mut by_volume: Vec<_> = agg.iter_fp_counts().collect();
+    by_volume.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    let total: u64 = by_volume.iter().map(|(_, n)| n).sum();
+    let top10: u64 = by_volume.iter().take(10).map(|(_, n)| n).sum();
     println!(
         "top-10 fingerprints carry {:.1}% of fingerprinted traffic:",
         100.0 * top10 as f64 / total.max(1) as f64

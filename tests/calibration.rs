@@ -169,8 +169,8 @@ fn fingerprint_coverage_near_paper() {
     let (agg, _) = study();
     let (db, _) = tlscope::clients::catalog::build_database();
     let mut cov = tlscope::fingerprint::CoverageStats::new();
-    for (fp, n) in &agg.fp_counts {
-        cov.observe(&db, fp, *n);
+    for (fp, n) in agg.iter_fp_counts() {
+        cov.observe(&db, fp, n);
     }
     // Paper: 69.23%.
     let pct = cov.coverage_pct();
