@@ -3,7 +3,7 @@
 
 use tlscope_chron::Month;
 use tlscope_notary::NotaryAggregate;
-use tlscope_scanner::ScanSnapshot;
+use tlscope_scanner::{ScanMetricsSnapshot, ScanSnapshot};
 
 use crate::series::{Figure, Series, Table};
 
@@ -449,6 +449,36 @@ pub fn ssl_pulse(pulses: &[tlscope_scanner::PulseSnapshot]) -> Table {
             format!("{:.1}%", p.pct(p.rc4_supported)),
             p.rc4_only.to_string(),
         ]);
+    }
+    t
+}
+
+/// Scan-engine accounting (§3.2 operational view): the dispatch /
+/// probe / handshake ledger of the active campaign, the analogue of
+/// the Censys pipeline health counters. Every dispatched host must be
+/// probed and every probe must resolve — the final row states whether
+/// that invariant held.
+pub fn scan_accounting(s: &ScanMetricsSnapshot) -> Table {
+    let mut t = Table::new(
+        "scan-accounting",
+        "Active-scan accounting (sharded sweep engine; dispatch == probed is the engine invariant)",
+        vec!["Counter", "Value"],
+    );
+    let rows: [(&str, String); 8] = [
+        ("sweeps completed", s.sweeps_completed.to_string()),
+        ("hosts dispatched", s.hosts_dispatched.to_string()),
+        ("hosts probed", s.hosts_probed.to_string()),
+        ("probes sent", s.probes_sent.to_string()),
+        ("handshakes completed", s.handshakes_completed.to_string()),
+        ("handshakes refused", s.handshakes_refused.to_string()),
+        ("hosts/s (cpu)", format!("{:.0}", s.hosts_per_sec())),
+        (
+            "accounting holds",
+            if s.accounting_holds() { "yes" } else { "NO" }.to_string(),
+        ),
+    ];
+    for (k, v) in rows {
+        t.push_row(vec![k.to_string(), v]);
     }
     t
 }

@@ -19,7 +19,7 @@ use tlscope_chron::Month;
 use tlscope_notary::{
     checkpoint, ingest_flow, CheckpointError, NotaryAggregate, PipelineMetrics, TappedFlow,
 };
-use tlscope_scanner::{ScanCampaign, ScanSnapshot};
+use tlscope_scanner::{ScanCampaign, ScanMetrics, ScanSnapshot};
 use tlscope_servers::ServerPopulation;
 use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
 
@@ -224,12 +224,28 @@ impl Study {
 
     /// Run the active campaign (monthly cadence over the Censys window).
     pub fn run_active(&self) -> Vec<ScanSnapshot> {
-        ScanCampaign::censys_monthly(self.cfg.scan_hosts, self.cfg.seed).run(&self.population)
+        self.run_active_metered(&ScanMetrics::new())
+    }
+
+    /// Run the active campaign with scan accounting, sweep dates
+    /// sharded across `cfg.workers` threads. Bit-identical to
+    /// [`Study::run_active`] at any worker count (host sampling is
+    /// counter-based per `(seed, date, host index)`).
+    pub fn run_active_metered(&self, metrics: &ScanMetrics) -> Vec<ScanSnapshot> {
+        ScanCampaign::censys_monthly(self.cfg.scan_hosts, self.cfg.seed).run_parallel(
+            &self.population,
+            self.cfg.workers,
+            metrics,
+        )
     }
 
     /// Run the active campaign at the paper's weekly cadence.
     pub fn run_active_weekly(&self) -> Vec<ScanSnapshot> {
-        ScanCampaign::censys_weekly(self.cfg.scan_hosts, self.cfg.seed).run(&self.population)
+        ScanCampaign::censys_weekly(self.cfg.scan_hosts, self.cfg.seed).run_parallel(
+            &self.population,
+            self.cfg.workers,
+            &ScanMetrics::new(),
+        )
     }
 
     /// All months of the passive window.

@@ -1,0 +1,165 @@
+//! scan/sweep — active-scan engine throughput and allocation bench.
+//!
+//! Like the `alloc` bench this is a plain `main` emitting a
+//! machine-readable file, `BENCH_scan.json`, at the workspace root.
+//! Run it with the counting allocator enabled:
+//!
+//! ```text
+//! cargo bench -p tlscope-bench --bench scan --features alloc-counter -- --fast
+//! ```
+//!
+//! It measures three things about one Censys-style sweep:
+//!
+//! 1. **Serial throughput** — hosts/s and probes/s through the
+//!    prepared-probe + `decide` hot loop.
+//! 2. **Sharded throughput** — the same sweep through
+//!    `sweep_sharded` at 4 workers, reported as a ratio against
+//!    serial (≈1× on a single-core runner; the point on such hosts is
+//!    the bit-identical result, not speed).
+//! 3. **Allocations per host** — counted over the serial sweep, gated
+//!    against [`SCAN_ALLOC_BUDGET_PER_HOST`]; the bench exits non-zero
+//!    past budget. A naive per-host loop that re-materialises the
+//!    probe set each host (the pre-PR shape, still available as
+//!    `probe_host`) is measured alongside as the comparison point.
+//!
+//! Without `--features alloc-counter` allocation counts read as zero
+//! and the budget check is skipped.
+
+use std::time::Instant;
+
+use tlscope::chron::Date;
+use tlscope::scanner::{probe_host, sweep, sweep_sharded, ScanMetrics, ScanSnapshot};
+use tlscope::servers::ServerPopulation;
+use tlscope_bench::SCAN_ALLOC_BUDGET_PER_HOST;
+
+#[cfg(feature = "alloc-counter")]
+use tlscope_bench::alloc_counter;
+
+#[cfg(not(feature = "alloc-counter"))]
+mod alloc_counter {
+    /// Stub so the bench compiles without the counting allocator; all
+    /// counts read as zero and the budget check is skipped.
+    pub fn counted<T>(f: impl FnOnce() -> T) -> (T, u64) {
+        (f(), 0)
+    }
+}
+
+/// Probes per host in the sweep probe set (Chrome, SSL3-only, export).
+const PROBES_PER_HOST: f64 = 3.0;
+
+const SEED: u64 = 0x5CA7;
+
+/// Best-of-`reps` wall time for `f`, which must be repeatable.
+fn best_secs(reps: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let hosts: u32 = if fast { 2_000 } else { 10_000 };
+    let reps: u32 = if fast { 2 } else { 3 };
+    let workers = 4usize;
+    let date = Date::ymd(2016, 6, 1);
+    let pop = ServerPopulation::new();
+
+    // Warm up lazy population state outside the counted region.
+    let warm = sweep(&pop, date, 256.min(hosts), SEED);
+    std::hint::black_box(&warm);
+
+    // --- Serial sweep: allocations and throughput. ---
+    let (serial_snap, serial_allocs) = alloc_counter::counted(|| sweep(&pop, date, hosts, SEED));
+    let serial_secs = best_secs(reps, || {
+        std::hint::black_box(sweep(&pop, date, hosts, SEED));
+    });
+
+    // --- Sharded sweep: same work over a thread-scoped work queue.
+    // Counting is thread-local, so only wall time is comparable here;
+    // the result itself must be bit-identical to serial.
+    let metrics = ScanMetrics::new();
+    let sharded_snap = sweep_sharded(&pop, date, hosts, SEED, workers, &metrics);
+    assert_eq!(
+        serial_snap, sharded_snap,
+        "sharded sweep diverged from serial"
+    );
+    let sharded_secs = best_secs(reps, || {
+        let m = ScanMetrics::new();
+        std::hint::black_box(sweep_sharded(&pop, date, hosts, SEED, workers, &m));
+    });
+    let accounting = metrics.snapshot().accounting_holds();
+
+    // --- Naive per-host baseline: rebuild every probe for every host,
+    // the shape the prepared-probe path replaced. ---
+    let naive_hosts = hosts.min(2_000);
+    let (_, naive_allocs) = alloc_counter::counted(|| {
+        let mut snap = ScanSnapshot::new(date);
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(SEED);
+        for _ in 0..naive_hosts {
+            let profile = pop.sample_host(date, &mut rng);
+            probe_host(&profile, &mut snap);
+        }
+        std::hint::black_box(&snap);
+    });
+
+    let n = hosts as f64;
+    let serial_apc = serial_allocs as f64 / n;
+    let naive_apc = naive_allocs as f64 / naive_hosts as f64;
+    let serial_hps = n / serial_secs;
+    let sharded_hps = n / sharded_secs;
+    let counting = cfg!(feature = "alloc-counter");
+    let budget_pass = !counting || serial_apc <= SCAN_ALLOC_BUDGET_PER_HOST;
+    let reduction = if counting && serial_apc > 0.0 {
+        naive_apc / serial_apc
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scan/sweep\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"hosts\": {hosts},\n",
+            "  \"date\": \"2016-06-01\",\n",
+            "  \"alloc_counter\": {counting},\n",
+            "  \"serial\": {{ \"hosts_per_sec\": {ser_hps:.0}, \"probes_per_sec\": {ser_pps:.0}, \"allocs_per_host\": {ser_apc:.3} }},\n",
+            "  \"sharded\": {{ \"workers\": {workers}, \"hosts_per_sec\": {sh_hps:.0}, \"vs_serial\": {ratio:.2}, \"bit_identical\": true, \"accounting_holds\": {acct} }},\n",
+            "  \"baseline_naive_probe_rebuild\": {{ \"allocs_per_host\": {naive_apc:.3} }},\n",
+            "  \"improvement\": {{ \"alloc_reduction_factor\": {red:.1} }},\n",
+            "  \"budget\": {{ \"allocs_per_host_max\": {budget:.1}, \"pass\": {pass} }}\n",
+            "}}\n"
+        ),
+        mode = if fast { "fast" } else { "full" },
+        hosts = hosts,
+        counting = counting,
+        ser_hps = serial_hps,
+        ser_pps = serial_hps * PROBES_PER_HOST,
+        ser_apc = serial_apc,
+        workers = workers,
+        sh_hps = sharded_hps,
+        ratio = sharded_hps / serial_hps,
+        acct = accounting,
+        naive_apc = naive_apc,
+        red = reduction,
+        budget = SCAN_ALLOC_BUDGET_PER_HOST,
+        pass = budget_pass,
+    );
+
+    print!("{json}");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("warning: could not write {out}: {e}");
+    }
+
+    if !budget_pass {
+        eprintln!(
+            "scan alloc budget exceeded: {serial_apc:.3} allocs/host > {SCAN_ALLOC_BUDGET_PER_HOST:.1}"
+        );
+        std::process::exit(1);
+    }
+}

@@ -20,6 +20,15 @@ use tlscope::traffic::{FaultInjector, Generator, TrafficConfig};
 /// win over the 102.1 pre-PR baseline erode.
 pub const PIPELINE_ALLOC_BUDGET_PER_CONN: f64 = 16.0;
 
+/// Regression budget for the active-scan hot loop, in heap
+/// allocations per probed host. Enforced by the `scan` bench. With the
+/// campaign probe set prepared once and negotiation going through the
+/// allocation-free `decide` core, the only per-host heap traffic left
+/// is the sampled profile's preference list (and, for ECC-capable
+/// profiles, its curve list) — ~1.6–1.9 allocs/host steady-state; the
+/// naive per-host probe rebuild this PR replaced cost ~60×.
+pub const SCAN_ALLOC_BUDGET_PER_HOST: f64 = 2.0;
+
 /// Generate one month of flows at a given volume for bench workloads.
 pub fn bench_flows(month: Month, n: u32, seed: u64) -> Vec<TappedFlow> {
     let generator = Generator::new(TrafficConfig {

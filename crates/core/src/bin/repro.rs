@@ -11,6 +11,7 @@
 //!   --width <n>    ASCII chart width (default 84)
 //!   --seed <n>     override the study seed
 //!   --stats        print per-stage pipeline metrics after the run
+//!   --scan-stats   print active-scan accounting after the run
 //!   --resume <dir> checkpoint completed months into <dir> and resume
 //!                  from whatever is already there
 //!   --list         list experiment ids and exit
@@ -25,6 +26,7 @@ struct Options {
     full: bool,
     csv: bool,
     stats: bool,
+    scan_stats: bool,
     width: usize,
     seed: Option<u64>,
     save: Option<String>,
@@ -35,7 +37,7 @@ struct Options {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--quick|--full] [--csv] [--stats] [--width N] [--seed N] [--resume DIR] [--list] <id>...|all\n\
+        "usage: repro [--quick|--full] [--csv] [--stats] [--scan-stats] [--width N] [--seed N] [--resume DIR] [--list] <id>...|all\n\
          ids: {}",
         EXPERIMENT_IDS.join(" ")
     );
@@ -46,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
         full: false,
         csv: false,
         stats: false,
+        scan_stats: false,
         width: 84,
         seed: None,
         save: None,
@@ -60,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
             "--full" => opts.full = true,
             "--csv" => opts.csv = true,
             "--stats" => opts.stats = true,
+            "--scan-stats" => opts.scan_stats = true,
             "--width" => {
                 opts.width = args
                     .next()
@@ -197,6 +201,9 @@ fn main() -> ExitCode {
     if opts.stats {
         // Stats go to stderr so --csv output stays machine-readable.
         eprint!("{}", ctx.metrics().snapshot().render());
+    }
+    if opts.scan_stats {
+        eprint!("{}", ctx.scan_metrics().snapshot().render());
     }
     if failed {
         ExitCode::FAILURE

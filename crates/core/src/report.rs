@@ -4,7 +4,7 @@
 
 use tlscope_analysis::{figures, sections, tables, Figure, Study, StudyConfig, Table};
 use tlscope_notary::{NotaryAggregate, PipelineMetrics};
-use tlscope_scanner::ScanSnapshot;
+use tlscope_scanner::{ScanMetrics, ScanSnapshot};
 
 /// A rendered experiment result.
 #[derive(Debug, Clone)]
@@ -72,6 +72,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "s9-ext",
     "ssl-pulse",
     "censys",
+    "scan-accounting",
     "impact",
 ];
 
@@ -80,7 +81,7 @@ pub fn needs(id: &str) -> (bool, bool) {
     match id {
         "table1" | "table3" | "table4" | "table5" | "table6" => (false, false),
         "s5.1" | "s5.4" | "s5.6" => (true, true),
-        "censys" | "ssl-pulse" => (false, true),
+        "censys" | "ssl-pulse" | "scan-accounting" => (false, true),
         _ => (true, false),
     }
 }
@@ -91,6 +92,7 @@ pub struct ReportContext {
     passive: Option<NotaryAggregate>,
     scans: Option<Vec<ScanSnapshot>>,
     metrics: PipelineMetrics,
+    scan_metrics: ScanMetrics,
 }
 
 impl ReportContext {
@@ -101,6 +103,7 @@ impl ReportContext {
             passive: None,
             scans: None,
             metrics: PipelineMetrics::new(),
+            scan_metrics: ScanMetrics::new(),
         }
     }
 
@@ -112,6 +115,7 @@ impl ReportContext {
             passive: Some(passive),
             scans: None,
             metrics: PipelineMetrics::new(),
+            scan_metrics: ScanMetrics::new(),
         }
     }
 
@@ -134,6 +138,14 @@ impl ReportContext {
         &self.metrics
     }
 
+    /// Scan accounting for the active campaign (all zeros until
+    /// [`scans`] triggers the sweeps).
+    ///
+    /// [`scans`]: ReportContext::scans
+    pub fn scan_metrics(&self) -> &ScanMetrics {
+        &self.scan_metrics
+    }
+
     /// The passive aggregate, running it on first use.
     pub fn passive(&mut self) -> &NotaryAggregate {
         if self.passive.is_none() {
@@ -145,7 +157,7 @@ impl ReportContext {
     /// The active campaign results, running them on first use.
     pub fn scans(&mut self) -> &[ScanSnapshot] {
         if self.scans.is_none() {
-            self.scans = Some(self.study.run_active());
+            self.scans = Some(self.study.run_active_metered(&self.scan_metrics));
         }
         self.scans.as_ref().unwrap()
     }
@@ -206,6 +218,7 @@ impl ReportContext {
                 let pop = tlscope_servers::ServerPopulation::new();
                 let sites = self.study.config().scan_hosts;
                 let seed = self.study.config().seed;
+                let probes = tlscope_scanner::ProbeSet::campaign();
                 let pulses: Vec<_> = (2013..=2018)
                     .map(|year| {
                         let date = if year == 2013 {
@@ -213,12 +226,18 @@ impl ReportContext {
                         } else {
                             tlscope_chron::Date::ymd(year, 4, 1)
                         };
-                        tlscope_scanner::pulse_survey(&pop, date, sites, seed)
+                        tlscope_scanner::pulse_survey_with(&probes, &pop, date, sites, seed)
                     })
                     .collect();
                 Artifact::Table(sections::ssl_pulse(&pulses))
             }
             "censys" => Artifact::Figure(sections::censys_series(self.scans())),
+            "scan-accounting" => {
+                // Make sure the campaign has actually run so the
+                // ledger reflects real sweeps, not a zeroed bag.
+                self.scans();
+                Artifact::Table(sections::scan_accounting(&self.scan_metrics.snapshot()))
+            }
             "impact" => Artifact::Table(impact_table(self.passive())),
             _ => return None,
         })
@@ -320,6 +339,6 @@ mod tests {
         for id in EXPERIMENT_IDS {
             let _ = needs(id);
         }
-        assert_eq!(EXPERIMENT_IDS.len(), 30);
+        assert_eq!(EXPERIMENT_IDS.len(), 31);
     }
 }

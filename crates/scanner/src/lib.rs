@@ -21,9 +21,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod probe;
 pub mod schedule;
 pub mod sweep;
 
+pub use metrics::{ScanMetrics, ScanMetricsSnapshot};
+pub use probe::{PreparedProbe, ProbeSet};
 pub use schedule::{schedule, ScanCampaign, CENSYS_END, CENSYS_START};
-pub use sweep::{probe_host, pulse_survey, sweep, PulseSnapshot, ScanSnapshot};
+pub use sweep::{
+    probe_host, probe_host_with, pulse_survey, pulse_survey_with, sweep, sweep_sharded,
+    ProbeFlight, PulseSnapshot, ScanSnapshot,
+};

@@ -1,0 +1,235 @@
+//! Scan accounting: lock-free counters for the active-scan engine.
+//!
+//! The Censys pipeline the paper rides on (§3.2) ran IPv4-wide sweeps
+//! weekly for almost three years; at that scale the only way to know a
+//! scanner is healthy is per-stage accounting — how many hosts were
+//! handed to workers, how many were actually probed, how many probes
+//! completed a handshake. [`ScanMetrics`] is that layer for the
+//! reproduction's active half, mirroring the passive pipeline's
+//! `PipelineMetrics`: a bag of atomic counters threaded through any
+//! number of sweep workers, all methods `&self`.
+//!
+//! Sweep wall-clocks are *CPU-summed* across workers, like the passive
+//! stage clocks: with `N` workers busy a second each, `scan_nanos`
+//! reads `N` seconds. Divide by elapsed wall time for effective
+//! parallelism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared, lock-free active-scan counters.
+///
+/// The accounting invariant of the sharded sweep engine is
+/// `hosts_dispatched == hosts_probed`: every host index claimed from
+/// the work queue is probed exactly once (there is no drop path —
+/// refused handshakes still count as probed hosts).
+#[derive(Debug, Default)]
+pub struct ScanMetrics {
+    hosts_dispatched: AtomicU64,
+    hosts_probed: AtomicU64,
+    probes_sent: AtomicU64,
+    handshakes_completed: AtomicU64,
+    handshakes_refused: AtomicU64,
+    sweeps_completed: AtomicU64,
+    scan_nanos: AtomicU64,
+}
+
+impl ScanMetrics {
+    /// A zeroed metrics bag.
+    pub fn new() -> Self {
+        ScanMetrics::default()
+    }
+
+    /// Record `hosts` claimed by a sweep worker (assigned, not yet
+    /// necessarily probed — the gap to `hosts_probed` is loss).
+    pub fn record_dispatched(&self, hosts: u64) {
+        self.hosts_dispatched.fetch_add(hosts, Ordering::Relaxed);
+    }
+
+    /// Record one probed shard: `hosts` hosts receiving `probes`
+    /// probes, of which `completed` finished a handshake and `refused`
+    /// were turned away.
+    pub fn record_probed(&self, hosts: u64, probes: u64, completed: u64, refused: u64) {
+        self.hosts_probed.fetch_add(hosts, Ordering::Relaxed);
+        self.probes_sent.fetch_add(probes, Ordering::Relaxed);
+        self.handshakes_completed
+            .fetch_add(completed, Ordering::Relaxed);
+        self.handshakes_refused
+            .fetch_add(refused, Ordering::Relaxed);
+    }
+
+    /// Record one completed sweep taking `elapsed` of worker time.
+    pub fn record_sweep(&self, elapsed: Duration) {
+        self.sweeps_completed.fetch_add(1, Ordering::Relaxed);
+        self.scan_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ScanMetricsSnapshot {
+        ScanMetricsSnapshot {
+            hosts_dispatched: self.hosts_dispatched.load(Ordering::Relaxed),
+            hosts_probed: self.hosts_probed.load(Ordering::Relaxed),
+            probes_sent: self.probes_sent.load(Ordering::Relaxed),
+            handshakes_completed: self.handshakes_completed.load(Ordering::Relaxed),
+            handshakes_refused: self.handshakes_refused.load(Ordering::Relaxed),
+            sweeps_completed: self.sweeps_completed.load(Ordering::Relaxed),
+            scan_nanos: self.scan_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`ScanMetrics`], with derived rates and a
+/// terminal rendering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanMetricsSnapshot {
+    /// Host indices claimed by sweep workers.
+    pub hosts_dispatched: u64,
+    /// Hosts actually probed (every probe in the set sent).
+    pub hosts_probed: u64,
+    /// Individual probes sent (hosts × probes per host).
+    pub probes_sent: u64,
+    /// Probes that completed a handshake.
+    pub handshakes_completed: u64,
+    /// Probes refused (version or cipher mismatch).
+    pub handshakes_refused: u64,
+    /// Sweeps finished.
+    pub sweeps_completed: u64,
+    /// CPU-summed sweep wall-clock, nanoseconds.
+    pub scan_nanos: u64,
+}
+
+fn rate(count: u64, nanos: u64) -> f64 {
+    if nanos == 0 {
+        0.0
+    } else {
+        count as f64 / (nanos as f64 / 1e9)
+    }
+}
+
+fn scaled(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+impl ScanMetricsSnapshot {
+    /// Scan throughput in hosts per CPU-second.
+    pub fn hosts_per_sec(&self) -> f64 {
+        rate(self.hosts_probed, self.scan_nanos)
+    }
+
+    /// Scan throughput in probes per CPU-second.
+    pub fn probes_per_sec(&self) -> f64 {
+        rate(self.probes_sent, self.scan_nanos)
+    }
+
+    /// Hosts claimed but never probed (zero unless a worker died).
+    pub fn hosts_lost(&self) -> u64 {
+        self.hosts_dispatched.saturating_sub(self.hosts_probed)
+    }
+
+    /// The sweep-engine accounting invariant: every dispatched host
+    /// was probed.
+    pub fn accounting_holds(&self) -> bool {
+        self.hosts_dispatched == self.hosts_probed
+            && self.handshakes_completed + self.handshakes_refused == self.probes_sent
+    }
+
+    /// Multi-line terminal rendering of the scan accounting.
+    pub fn render(&self) -> String {
+        let mut out = String::from("scan metrics\n");
+        out.push_str(&format!(
+            "  sweep      {:>12} sweeps {:>10} hosts  {:>9.3}s cpu  {:>10} hosts/s\n",
+            self.sweeps_completed,
+            self.hosts_probed,
+            self.scan_nanos as f64 / 1e9,
+            scaled(self.hosts_per_sec()),
+        ));
+        out.push_str(&format!(
+            "  probes     {:>12} sent   {:>10} completed {:>6} refused  {:>7} probes/s\n",
+            self.probes_sent,
+            self.handshakes_completed,
+            self.handshakes_refused,
+            scaled(self.probes_per_sec()),
+        ));
+        out.push_str(&format!(
+            "  accounting {:>12} dispatched {:>6} probed {:>9} lost\n",
+            self.hosts_dispatched,
+            self.hosts_probed,
+            self.hosts_lost(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_account() {
+        let m = ScanMetrics::new();
+        m.record_dispatched(10);
+        m.record_probed(10, 30, 25, 5);
+        m.record_sweep(Duration::from_millis(2));
+        let s = m.snapshot();
+        assert_eq!(s.hosts_dispatched, 10);
+        assert_eq!(s.hosts_probed, 10);
+        assert_eq!(s.probes_sent, 30);
+        assert_eq!(s.handshakes_completed, 25);
+        assert_eq!(s.handshakes_refused, 5);
+        assert_eq!(s.sweeps_completed, 1);
+        assert_eq!(s.hosts_lost(), 0);
+        assert!(s.accounting_holds());
+        let text = s.render();
+        for needle in ["sweeps", "probes/s", "dispatched", "lost"] {
+            assert!(text.contains(needle), "render missing {needle}: {text}");
+        }
+    }
+
+    #[test]
+    fn lost_hosts_break_accounting() {
+        let m = ScanMetrics::new();
+        m.record_dispatched(8);
+        m.record_probed(5, 15, 15, 0);
+        let s = m.snapshot();
+        assert_eq!(s.hosts_lost(), 3);
+        assert!(!s.accounting_holds());
+    }
+
+    #[test]
+    fn rates_follow_clock() {
+        let m = ScanMetrics::new();
+        m.record_dispatched(1000);
+        m.record_probed(1000, 3000, 2800, 200);
+        m.record_sweep(Duration::from_millis(100));
+        let s = m.snapshot();
+        assert!((s.hosts_per_sec() - 10_000.0).abs() < 1.0);
+        assert!((s.probes_per_sec() - 30_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = ScanMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        m.record_dispatched(1);
+                        m.record_probed(1, 3, 3, 0);
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.hosts_probed, 2000);
+        assert!(s.accounting_holds());
+    }
+}

@@ -6,6 +6,8 @@
 //! scans offer SSL 3 as the sole version, and others look for
 //! export-grade support. Each probe here is a genuine ClientHello.
 
+use tlscope_servers::ClientFacts;
+use tlscope_wire::exts::ext_type;
 use tlscope_wire::{CipherSuite, ClientHello, Extension, NamedGroup, ProtocolVersion};
 
 fn hello(version: ProtocolVersion, suites: &[u16], extensions: Vec<Extension>) -> ClientHello {
@@ -100,6 +102,105 @@ pub fn chrome_2015_no_rc4() -> ClientHello {
     h
 }
 
+/// A probe materialised once per campaign: the ClientHello itself plus
+/// the extension content negotiation reads (`supported_versions`,
+/// `supported_groups`), parsed up front so the per-host loop can borrow
+/// a [`ClientFacts`] without touching the heap.
+///
+/// The old path re-built every probe hello — fresh suite and extension
+/// `Vec`s — for every one of the thousands of hosts in a sweep;
+/// preparing the probe once amortises all of that to campaign setup.
+#[derive(Debug, Clone)]
+pub struct PreparedProbe {
+    hello: ClientHello,
+    supported_versions: Option<Vec<ProtocolVersion>>,
+    curves: Option<Vec<NamedGroup>>,
+    has_renegotiation_info: bool,
+    has_heartbeat: bool,
+}
+
+impl PreparedProbe {
+    /// Prepare `hello` for repeated probing: parse the extension
+    /// content [`facts`] will borrow.
+    ///
+    /// [`facts`]: PreparedProbe::facts
+    pub fn new(hello: ClientHello) -> Self {
+        let supported_versions = hello
+            .find_extension(ext_type::SUPPORTED_VERSIONS)
+            .and_then(|e| e.parse_supported_versions().ok());
+        let curves = hello
+            .find_extension(ext_type::SUPPORTED_GROUPS)
+            .and_then(|e| e.parse_supported_groups().ok());
+        let has_renegotiation_info = hello.find_extension(ext_type::RENEGOTIATION_INFO).is_some();
+        let has_heartbeat = hello.find_extension(ext_type::HEARTBEAT).is_some();
+        PreparedProbe {
+            hello,
+            supported_versions,
+            curves,
+            has_renegotiation_info,
+            has_heartbeat,
+        }
+    }
+
+    /// The underlying ClientHello.
+    pub fn hello(&self) -> &ClientHello {
+        &self.hello
+    }
+
+    /// Borrow the negotiation-relevant facts. Free: everything was
+    /// derived in [`PreparedProbe::new`].
+    pub fn facts(&self) -> ClientFacts<'_> {
+        ClientFacts {
+            legacy_version: self.hello.legacy_version,
+            session_id: &self.hello.session_id,
+            cipher_suites: &self.hello.cipher_suites,
+            supported_versions: self.supported_versions.as_deref(),
+            curves: self.curves.as_deref(),
+            has_renegotiation_info: self.has_renegotiation_info,
+            has_heartbeat: self.has_heartbeat,
+            has_extensions: self.hello.extensions.is_some(),
+        }
+    }
+}
+
+/// Every probe one scan campaign sends, prepared once.
+///
+/// Build one per campaign (or per sweep worker — construction is cheap
+/// relative to a sweep, just not free) and thread it through
+/// [`crate::sweep::probe_host_with`] / [`crate::pulse_survey`].
+#[derive(Debug, Clone)]
+pub struct ProbeSet {
+    /// The 2015-Chrome-equivalent offer (§3.2).
+    pub chrome_2015: PreparedProbe,
+    /// The SSL3-only weekly scan offer (§5.1).
+    pub ssl3_only: PreparedProbe,
+    /// The export-suite offer (§5.5).
+    pub export_only: PreparedProbe,
+    /// The SSL Pulse RC4-only support check (§5.3).
+    pub rc4_only: PreparedProbe,
+    /// The Chrome offer with RC4 removed (§5.3's bankmellat experiment).
+    pub chrome_2015_no_rc4: PreparedProbe,
+}
+
+impl ProbeSet {
+    /// Materialise every campaign probe.
+    pub fn campaign() -> Self {
+        ProbeSet {
+            chrome_2015: PreparedProbe::new(chrome_2015()),
+            ssl3_only: PreparedProbe::new(ssl3_only()),
+            export_only: PreparedProbe::new(export_only()),
+            rc4_only: PreparedProbe::new(rc4_only()),
+            chrome_2015_no_rc4: PreparedProbe::new(chrome_2015_no_rc4()),
+        }
+    }
+}
+
+impl Default for ProbeSet {
+    fn default() -> Self {
+        ProbeSet::campaign()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +245,40 @@ mod tests {
         let h = chrome_2015_no_rc4();
         assert!(!h.cipher_suites.iter().any(|c| c.is_rc4()));
         assert!(h.cipher_suites.len() < chrome_2015().cipher_suites.len());
+    }
+
+    #[test]
+    fn prepared_probe_decides_like_parsed_hello() {
+        use tlscope_servers::{negotiate, ServerPopulation, ServerProfile};
+        let probes = ProbeSet::campaign();
+        let profiles = [
+            ServerProfile::baseline("t"),
+            ServerPopulation::grid_server(),
+            ServerPopulation::interwise_server(),
+            ServerPopulation::nagios_server(),
+            ServerPopulation::splunk_indexer(),
+        ];
+        for prepared in [
+            &probes.chrome_2015,
+            &probes.ssl3_only,
+            &probes.export_only,
+            &probes.rc4_only,
+            &probes.chrome_2015_no_rc4,
+        ] {
+            for profile in &profiles {
+                let via_facts = negotiate::decide(profile, &prepared.facts());
+                let via_hello = negotiate::respond(profile, prepared.hello(), [0xA5; 32]);
+                match (via_facts, via_hello) {
+                    (Ok(d), Ok(n)) => {
+                        assert_eq!(d.version, n.version);
+                        assert_eq!(d.cipher, n.cipher);
+                        assert_eq!(d.curve, n.curve);
+                        assert_eq!(d.heartbeat, n.heartbeat);
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    (a, b) => panic!("facts {a:?} vs hello {b:?}"),
+                }
+            }
+        }
     }
 }

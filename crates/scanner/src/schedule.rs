@@ -4,10 +4,13 @@
 //! paper we use the data till May 13 2018" (§3.2), with weekly IPv4
 //! sweeps. [`ScanCampaign`] runs the sweeps over that window.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use tlscope_chron::Date;
 use tlscope_servers::ServerPopulation;
 
-use crate::sweep::{sweep, ScanSnapshot};
+use crate::metrics::ScanMetrics;
+use crate::sweep::{sweep, sweep_sharded, ScanSnapshot};
 
 /// First Censys scan used by the paper.
 pub const CENSYS_START: Date = Date::ymd(2015, 8, 22);
@@ -63,6 +66,70 @@ impl ScanCampaign {
             .map(|d| sweep(population, *d, self.hosts_per_sweep, self.seed))
             .collect()
     }
+
+    /// Run every sweep across `workers` threads, recording scan
+    /// accounting into `metrics`.
+    ///
+    /// Whole sweep dates are claimed from an atomic work index — the
+    /// same distribution as the passive pipeline's metered run — so a
+    /// long campaign parallelises across its dates rather than inside
+    /// each sweep. Host sampling is counter-based per `(seed, date,
+    /// host index)`, so every sweep (and therefore the whole campaign)
+    /// is bit-identical to [`ScanCampaign::run`] at any worker count,
+    /// and snapshots come back in date order regardless of which
+    /// worker finished first.
+    pub fn run_parallel(
+        &self,
+        population: &ServerPopulation,
+        workers: usize,
+        metrics: &ScanMetrics,
+    ) -> Vec<ScanSnapshot> {
+        let workers = workers.max(1).min(self.dates.len().max(1));
+        if workers <= 1 {
+            return self
+                .dates
+                .iter()
+                .map(|d| sweep_sharded(population, *d, self.hosts_per_sweep, self.seed, 1, metrics))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut ordered: Vec<Option<ScanSnapshot>> = vec![None; self.dates.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(date) = self.dates.get(idx) else {
+                                break;
+                            };
+                            let snap = sweep_sharded(
+                                population,
+                                *date,
+                                self.hosts_per_sweep,
+                                self.seed,
+                                1,
+                                metrics,
+                            );
+                            done.push((idx, snap));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (idx, snap) in h.join().expect("campaign worker panicked") {
+                    ordered[idx] = Some(snap);
+                }
+            }
+        });
+        ordered
+            .into_iter()
+            .map(|s| s.expect("every campaign date swept"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +159,26 @@ mod tests {
         assert_eq!(snaps.len(), 3);
         assert!(snaps.windows(2).all(|w| w[0].date < w[1].date));
         assert!(snaps.iter().all(|s| s.hosts == 200));
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        let campaign = ScanCampaign {
+            dates: schedule(Date::ymd(2016, 1, 1), Date::ymd(2016, 6, 1), 30),
+            hosts_per_sweep: 300,
+            seed: 17,
+        };
+        let pop = ServerPopulation::new();
+        let serial = campaign.run(&pop);
+        for workers in [1usize, 2, 5, 8] {
+            let metrics = ScanMetrics::new();
+            let parallel = campaign.run_parallel(&pop, workers, &metrics);
+            assert_eq!(serial, parallel, "workers = {workers}");
+            let s = metrics.snapshot();
+            assert!(s.accounting_holds(), "{s:?}");
+            assert_eq!(s.hosts_probed, 300 * campaign.dates.len() as u64);
+            assert_eq!(s.sweeps_completed, campaign.dates.len() as u64);
+        }
     }
 
     #[test]

@@ -6,13 +6,32 @@
 //! the paper quotes: SSL 3 support, what servers choose from a
 //! 2015-Chrome offer (CBC / RC4 / 3DES / AEAD), export support,
 //! Heartbeat support, and residual Heartbleed vulnerability.
+//!
+//! ## Determinism and sharding
+//!
+//! Host sampling is *counter-based*: host `i` of a sweep draws its
+//! profile from a private RNG stream derived by SplitMix64 from
+//! `(seed, date, i)` — the same construction as the fault injector's
+//! outage windows. No host's draw depends on any other host's, so a
+//! sweep can be split across any number of workers at any chunk
+//! boundary and, because [`ScanSnapshot::merge`] is a commutative
+//! integer sum, the sharded result is bit-identical to the serial one.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tlscope_chron::Date;
 use tlscope_servers::{negotiate, ServerPopulation, ServerProfile};
 
-use crate::probe;
+use crate::metrics::ScanMetrics;
+use crate::probe::ProbeSet;
+
+/// Hosts claimed per work-queue fetch in a sharded sweep: small enough
+/// to balance the tail, large enough that the atomic is cold.
+const SHARD_CHUNK: u64 = 512;
 
 /// Results of one full sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +64,47 @@ pub struct ScanSnapshot {
 }
 
 impl ScanSnapshot {
+    /// An empty snapshot for `date` (all counters zero).
+    pub fn new(date: Date) -> Self {
+        ScanSnapshot {
+            date,
+            hosts: 0,
+            ssl3_supported: 0,
+            answered: 0,
+            chose_aead: 0,
+            chose_cbc: 0,
+            chose_rc4: 0,
+            chose_3des: 0,
+            chose_tls12: 0,
+            export_supported: 0,
+            heartbeat_supported: 0,
+            heartbleed_vulnerable: 0,
+        }
+    }
+
+    /// Fold another partial snapshot of the *same sweep* into this
+    /// one. Pure integer sums, so merging is commutative and
+    /// associative: any shard order reproduces the serial result
+    /// bit for bit.
+    ///
+    /// # Panics
+    /// When the dates differ — partials from different sweeps are a
+    /// bug, not data.
+    pub fn merge(&mut self, other: &ScanSnapshot) {
+        assert_eq!(self.date, other.date, "merging snapshots across sweeps");
+        self.hosts += other.hosts;
+        self.ssl3_supported += other.ssl3_supported;
+        self.answered += other.answered;
+        self.chose_aead += other.chose_aead;
+        self.chose_cbc += other.chose_cbc;
+        self.chose_rc4 += other.chose_rc4;
+        self.chose_3des += other.chose_3des;
+        self.chose_tls12 += other.chose_tls12;
+        self.export_supported += other.export_supported;
+        self.heartbeat_supported += other.heartbeat_supported;
+        self.heartbleed_vulnerable += other.heartbleed_vulnerable;
+    }
+
     /// Percentage helper over probed hosts.
     pub fn pct(&self, count: u64) -> f64 {
         if self.hosts == 0 {
@@ -55,75 +115,225 @@ impl ScanSnapshot {
     }
 }
 
-/// Probe one server with every scan and fold into `snap`.
-pub fn probe_host(profile: &ServerProfile, snap: &mut ScanSnapshot) {
+/// Per-host probe accounting returned by [`probe_host_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeFlight {
+    /// Probes sent to the host.
+    pub probes: u64,
+    /// Probes that completed a handshake.
+    pub completed: u64,
+    /// Probes the host refused.
+    pub refused: u64,
+}
+
+impl ProbeFlight {
+    fn add(&mut self, other: ProbeFlight) {
+        self.probes += other.probes;
+        self.completed += other.completed;
+        self.refused += other.refused;
+    }
+}
+
+/// The counter-based host stream: a private RNG for host `index` of
+/// the sweep at `(seed, date)`.
+///
+/// SplitMix64 finalisation over the mixed key, then `SmallRng`'s own
+/// SplitMix64 seed expansion — the same stateless construction the
+/// fault injector uses for outage windows, so a host's profile draw is
+/// a pure function of `(seed, date, index)` independent of worker
+/// count, chunking, and visit order.
+fn host_rng(seed: u64, date: Date, index: u64) -> SmallRng {
+    let days = date.to_epoch_days() as u64;
+    let mut z =
+        seed ^ days.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ index.wrapping_mul(0xd1b5_4a32_d192_ed03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    SmallRng::seed_from_u64(z)
+}
+
+/// Probe one server with every sweep probe from `probes` and fold into
+/// `snap`. The hot path of the scan engine: with the probe set
+/// prepared once per campaign, deciding all three probes touches no
+/// heap at all ([`negotiate::decide`] allocates nothing).
+pub fn probe_host_with(
+    probes: &ProbeSet,
+    profile: &ServerProfile,
+    snap: &mut ScanSnapshot,
+) -> ProbeFlight {
+    let mut flight = ProbeFlight::default();
     snap.hosts += 1;
 
     // 2015-Chrome probe.
-    if let Ok(n) = negotiate::respond(profile, &probe::chrome_2015(), [0xA5; 32]) {
-        snap.answered += 1;
-        if n.cipher.is_aead() {
-            snap.chose_aead += 1;
-        }
-        if n.cipher.is_cbc() {
-            snap.chose_cbc += 1;
-        }
-        if n.cipher.is_rc4() {
-            snap.chose_rc4 += 1;
-        }
-        if n.cipher.is_3des() {
-            snap.chose_3des += 1;
-        }
-        if n.version == tlscope_wire::ProtocolVersion::Tls12 {
-            snap.chose_tls12 += 1;
-        }
-        if n.heartbeat {
-            snap.heartbeat_supported += 1;
-            // The Heartbleed check: a malformed heartbeat against a
-            // heartbeat-answering host. The profile's vulnerability flag
-            // *is* the server behaviour being measured.
-            if profile.heartbleed_vulnerable {
-                snap.heartbleed_vulnerable += 1;
+    flight.probes += 1;
+    match negotiate::decide(profile, &probes.chrome_2015.facts()) {
+        Ok(d) => {
+            flight.completed += 1;
+            snap.answered += 1;
+            if d.cipher.is_aead() {
+                snap.chose_aead += 1;
+            }
+            if d.cipher.is_cbc() {
+                snap.chose_cbc += 1;
+            }
+            if d.cipher.is_rc4() {
+                snap.chose_rc4 += 1;
+            }
+            if d.cipher.is_3des() {
+                snap.chose_3des += 1;
+            }
+            if d.version == tlscope_wire::ProtocolVersion::Tls12 {
+                snap.chose_tls12 += 1;
+            }
+            if d.heartbeat {
+                snap.heartbeat_supported += 1;
+                // The Heartbleed check: a malformed heartbeat against a
+                // heartbeat-answering host. The profile's vulnerability
+                // flag *is* the server behaviour being measured.
+                if profile.heartbleed_vulnerable {
+                    snap.heartbleed_vulnerable += 1;
+                }
             }
         }
+        Err(_) => flight.refused += 1,
     }
 
     // SSL3-only probe.
-    if negotiate::respond(profile, &probe::ssl3_only(), [0xA5; 32]).is_ok() {
-        snap.ssl3_supported += 1;
+    flight.probes += 1;
+    match negotiate::decide(profile, &probes.ssl3_only.facts()) {
+        Ok(_) => {
+            flight.completed += 1;
+            snap.ssl3_supported += 1;
+        }
+        Err(_) => flight.refused += 1,
     }
 
     // Export probe: supported if the server completes with an export
     // suite (the Interwise-style downgrade also counts — that is the
     // point of the scan).
-    if let Ok(n) = negotiate::respond(profile, &probe::export_only(), [0xA5; 32]) {
-        if n.cipher.is_export() {
-            snap.export_supported += 1;
+    flight.probes += 1;
+    match negotiate::decide(profile, &probes.export_only.facts()) {
+        Ok(d) => {
+            flight.completed += 1;
+            if d.cipher.is_export() {
+                snap.export_supported += 1;
+            }
         }
+        Err(_) => flight.refused += 1,
+    }
+
+    flight
+}
+
+/// Probe one server with every scan and fold into `snap`.
+///
+/// Convenience wrapper that materialises a fresh [`ProbeSet`] per
+/// call; sweep loops must prepare the set once and use
+/// [`probe_host_with`].
+pub fn probe_host(profile: &ServerProfile, snap: &mut ScanSnapshot) {
+    probe_host_with(&ProbeSet::campaign(), profile, snap);
+}
+
+/// Probe the half-open host-index range `range` into a fresh partial.
+fn sweep_range(
+    population: &ServerPopulation,
+    probes: &ProbeSet,
+    date: Date,
+    range: Range<u64>,
+    seed: u64,
+    snap: &mut ScanSnapshot,
+    flight: &mut ProbeFlight,
+) {
+    for index in range {
+        let mut rng = host_rng(seed, date, index);
+        let profile = population.sample_host(date, &mut rng);
+        flight.add(probe_host_with(probes, &profile, snap));
     }
 }
 
-/// Sweep `hosts` random responsive servers at `date`.
+/// Sweep `hosts` random responsive servers at `date`, serially.
 pub fn sweep(population: &ServerPopulation, date: Date, hosts: u32, seed: u64) -> ScanSnapshot {
-    let mut rng = SmallRng::seed_from_u64(seed ^ (date.to_epoch_days() as u64));
-    let mut snap = ScanSnapshot {
-        date,
-        hosts: 0,
-        ssl3_supported: 0,
-        answered: 0,
-        chose_aead: 0,
-        chose_cbc: 0,
-        chose_rc4: 0,
-        chose_3des: 0,
-        chose_tls12: 0,
-        export_supported: 0,
-        heartbeat_supported: 0,
-        heartbleed_vulnerable: 0,
-    };
-    for _ in 0..hosts {
-        let profile = population.sample_host(date, &mut rng);
-        probe_host(&profile, &mut snap);
+    sweep_sharded(population, date, hosts, seed, 1, &ScanMetrics::new())
+}
+
+/// Sweep `hosts` servers at `date` across `workers` threads.
+///
+/// Host indices are claimed in [`SHARD_CHUNK`]-sized blocks from an
+/// atomic work index; each worker folds its blocks into a private
+/// partial snapshot, and the partials are merged at the end. Because
+/// host sampling is counter-based and the merge is a commutative sum,
+/// the result is bit-identical to [`sweep`] at any worker count.
+/// `workers <= 1` runs inline with no threads spawned.
+pub fn sweep_sharded(
+    population: &ServerPopulation,
+    date: Date,
+    hosts: u32,
+    seed: u64,
+    workers: usize,
+    metrics: &ScanMetrics,
+) -> ScanSnapshot {
+    let probes = ProbeSet::campaign();
+    let hosts = hosts as u64;
+    let started = Instant::now();
+    let mut snap = ScanSnapshot::new(date);
+
+    if workers <= 1 || hosts <= SHARD_CHUNK {
+        let mut flight = ProbeFlight::default();
+        metrics.record_dispatched(hosts);
+        sweep_range(
+            population,
+            &probes,
+            date,
+            0..hosts,
+            seed,
+            &mut snap,
+            &mut flight,
+        );
+        metrics.record_probed(snap.hosts, flight.probes, flight.completed, flight.refused);
+        metrics.record_sweep(started.elapsed());
+        return snap;
     }
+
+    let next = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut partial = ScanSnapshot::new(date);
+                    let mut flight = ProbeFlight::default();
+                    loop {
+                        let start = next.fetch_add(SHARD_CHUNK, Ordering::Relaxed);
+                        if start >= hosts {
+                            break;
+                        }
+                        let end = (start + SHARD_CHUNK).min(hosts);
+                        metrics.record_dispatched(end - start);
+                        sweep_range(
+                            population,
+                            &probes,
+                            date,
+                            start..end,
+                            seed,
+                            &mut partial,
+                            &mut flight,
+                        );
+                    }
+                    metrics.record_probed(
+                        partial.hosts,
+                        flight.probes,
+                        flight.completed,
+                        flight.refused,
+                    );
+                    partial
+                })
+            })
+            .collect();
+        for h in handles {
+            let partial = h.join().expect("sweep worker panicked");
+            snap.merge(&partial);
+        }
+    });
+    metrics.record_sweep(started.elapsed());
     snap
 }
 
@@ -172,20 +382,7 @@ mod tests {
 
     #[test]
     fn interwise_counts_as_export_supporter() {
-        let mut snap = ScanSnapshot {
-            date: Date::ymd(2016, 1, 1),
-            hosts: 0,
-            ssl3_supported: 0,
-            answered: 0,
-            chose_aead: 0,
-            chose_cbc: 0,
-            chose_rc4: 0,
-            chose_3des: 0,
-            chose_tls12: 0,
-            export_supported: 0,
-            heartbeat_supported: 0,
-            heartbleed_vulnerable: 0,
-        };
+        let mut snap = ScanSnapshot::new(Date::ymd(2016, 1, 1));
         probe_host(&ServerPopulation::interwise_server(), &mut snap);
         assert_eq!(snap.export_supported, 1);
         // And it chose RC4 from the Chrome probe (it's RC4-era).
@@ -198,12 +395,46 @@ mod tests {
         let mut profile = ServerPopulation::grid_server();
         profile.heartbleed_vulnerable = true;
         profile.heartbeat = false;
-        let mut snap = sweep(&ServerPopulation::new(), Date::ymd(2016, 1, 1), 0, 0);
+        let mut snap = ScanSnapshot::new(Date::ymd(2016, 1, 1));
         probe_host(&profile, &mut snap);
         assert_eq!(snap.heartbleed_vulnerable, 0);
         profile.heartbeat = true;
         probe_host(&profile, &mut snap);
         assert_eq!(snap.heartbleed_vulnerable, 1);
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_serial() {
+        let pop = ServerPopulation::new();
+        let date = Date::ymd(2016, 9, 1);
+        let serial = sweep(&pop, date, 2500, 9);
+        for workers in [2usize, 3, 8] {
+            let metrics = ScanMetrics::new();
+            let sharded = sweep_sharded(&pop, date, 2500, 9, workers, &metrics);
+            assert_eq!(serial, sharded, "workers = {workers}");
+            let s = metrics.snapshot();
+            assert!(s.accounting_holds(), "{s:?}");
+            assert_eq!(s.hosts_probed, 2500);
+            assert_eq!(s.probes_sent, 3 * 2500);
+        }
+    }
+
+    #[test]
+    fn zero_host_sweep_is_empty() {
+        let pop = ServerPopulation::new();
+        let metrics = ScanMetrics::new();
+        let snap = sweep_sharded(&pop, Date::ymd(2017, 3, 1), 0, 5, 4, &metrics);
+        assert_eq!(snap, ScanSnapshot::new(Date::ymd(2017, 3, 1)));
+        assert!(metrics.snapshot().accounting_holds());
+        assert_eq!(metrics.snapshot().sweeps_completed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "merging snapshots across sweeps")]
+    fn merge_rejects_mismatched_dates() {
+        let mut a = ScanSnapshot::new(Date::ymd(2016, 1, 1));
+        let b = ScanSnapshot::new(Date::ymd(2016, 1, 8));
+        a.merge(&b);
     }
 }
 
@@ -226,6 +457,27 @@ pub struct PulseSnapshot {
 }
 
 impl PulseSnapshot {
+    /// An empty snapshot for `date` (all counters zero).
+    pub fn new(date: Date) -> Self {
+        PulseSnapshot {
+            date,
+            sites: 0,
+            rc4_supported: 0,
+            rc4_only: 0,
+        }
+    }
+
+    /// Fold another partial of the same survey in (commutative sums).
+    ///
+    /// # Panics
+    /// When the dates differ.
+    pub fn merge(&mut self, other: &PulseSnapshot) {
+        assert_eq!(self.date, other.date, "merging snapshots across surveys");
+        self.sites += other.sites;
+        self.rc4_supported += other.rc4_supported;
+        self.rc4_only += other.rc4_only;
+    }
+
     /// Percentage helper over probed sites.
     pub fn pct(&self, count: u64) -> f64 {
         if self.sites == 0 {
@@ -236,38 +488,49 @@ impl PulseSnapshot {
     }
 }
 
-/// Run one SSL Pulse-style survey at `date`.
-pub fn pulse_survey(
+/// The salt separating the pulse survey's host streams from the IPv4
+/// sweep's at the same `(seed, date)`.
+const PULSE_SALT: u64 = 0x9D15E;
+
+/// Run one SSL Pulse-style survey at `date` with a prepared probe set.
+pub fn pulse_survey_with(
+    probes: &ProbeSet,
     population: &ServerPopulation,
     date: Date,
     sites: u32,
     seed: u64,
 ) -> PulseSnapshot {
     use tlscope_servers::Destination;
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9D15E ^ (date.to_epoch_days() as u64));
-    let mut snap = PulseSnapshot {
-        date,
-        sites: 0,
-        rc4_supported: 0,
-        rc4_only: 0,
-    };
-    for _ in 0..sites {
+    let mut snap = PulseSnapshot::new(date);
+    for index in 0..sites as u64 {
+        let mut rng = host_rng(seed ^ PULSE_SALT, date, index);
         let profile = population.sample_for_traffic(Destination::Web, date, &mut rng);
         snap.sites += 1;
-        let rc4 = negotiate::respond(&profile, &crate::probe::rc4_only(), [0x11; 32])
-            .map(|n| n.cipher.is_rc4())
+        let rc4 = negotiate::decide(&profile, &probes.rc4_only.facts())
+            .map(|d| d.cipher.is_rc4())
             .unwrap_or(false);
         if rc4 {
             snap.rc4_supported += 1;
-            let strong =
-                negotiate::respond(&profile, &crate::probe::chrome_2015_no_rc4(), [0x11; 32])
-                    .is_ok();
+            let strong = negotiate::decide(&profile, &probes.chrome_2015_no_rc4.facts()).is_ok();
             if !strong {
                 snap.rc4_only += 1;
             }
         }
     }
     snap
+}
+
+/// Run one SSL Pulse-style survey at `date`.
+///
+/// Materialises a fresh [`ProbeSet`]; to survey many dates, prepare
+/// the set once and call [`pulse_survey_with`].
+pub fn pulse_survey(
+    population: &ServerPopulation,
+    date: Date,
+    sites: u32,
+    seed: u64,
+) -> PulseSnapshot {
+    pulse_survey_with(&ProbeSet::campaign(), population, date, sites, seed)
 }
 
 #[cfg(test)]
@@ -287,5 +550,14 @@ mod pulse_tests {
         assert!(l < e);
         // RC4-only sites effectively vanish.
         assert!(late.pct(late.rc4_only) < 2.0);
+    }
+
+    #[test]
+    fn survey_is_deterministic_and_probe_set_invariant() {
+        let pop = ServerPopulation::new();
+        let date = Date::ymd(2015, 4, 1);
+        let a = pulse_survey(&pop, date, 500, 11);
+        let b = pulse_survey_with(&ProbeSet::campaign(), &pop, date, 500, 11);
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,109 @@
+//! Property tests for the sharded scan engine: sharding is invisible.
+//!
+//! The determinism contract of the active-scan engine is that worker
+//! count is *not* part of the experiment: any sharding of a sweep or a
+//! campaign must reproduce the serial result bit for bit. These tests
+//! drive that contract across worker counts, cadences, and host counts
+//! (including zero), plus the merge-commutativity property the sharded
+//! path relies on.
+
+use proptest::prelude::*;
+use tlscope_chron::Date;
+use tlscope_scanner::{
+    schedule, sweep, sweep_sharded, ScanCampaign, ScanMetrics, ScanSnapshot, CENSYS_START,
+};
+use tlscope_servers::ServerPopulation;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A sharded sweep equals the serial sweep at any worker count,
+    /// over the full host-count range the campaigns use (including the
+    /// empty sweep), with the dispatch accounting intact.
+    #[test]
+    fn sharded_sweep_matches_serial(
+        seed in 0u64..1_000_000,
+        week in 0i64..140,
+        hosts in 0u32..6000,
+        workers in 1usize..=8,
+    ) {
+        let pop = ServerPopulation::new();
+        let date = CENSYS_START.add_days(7 * week);
+        let serial = sweep(&pop, date, hosts, seed);
+        let metrics = ScanMetrics::new();
+        let sharded = sweep_sharded(&pop, date, hosts, seed, workers, &metrics);
+        prop_assert_eq!(&serial, &sharded);
+        let s = metrics.snapshot();
+        prop_assert!(s.accounting_holds(), "accounting broke: {:?}", s);
+        prop_assert_eq!(s.hosts_probed, hosts as u64);
+        prop_assert_eq!(s.probes_sent, 3 * hosts as u64);
+    }
+
+    /// A parallel campaign equals the serial campaign at any worker
+    /// count and cadence, snapshots in date order.
+    #[test]
+    fn parallel_campaign_matches_serial(
+        seed in 0u64..1_000_000,
+        weekly in 0u32..2,
+        months in 1i64..5,
+        hosts in 1u32..400,
+        workers in 1usize..=8,
+    ) {
+        let interval = if weekly == 0 { 7i64 } else { 30i64 };
+        let campaign = ScanCampaign {
+            dates: schedule(CENSYS_START, CENSYS_START.add_days(30 * months), interval),
+            hosts_per_sweep: hosts,
+            seed,
+        };
+        let pop = ServerPopulation::new();
+        let serial = campaign.run(&pop);
+        let metrics = ScanMetrics::new();
+        let parallel = campaign.run_parallel(&pop, workers, &metrics);
+        prop_assert_eq!(&serial, &parallel);
+        let s = metrics.snapshot();
+        prop_assert!(s.accounting_holds(), "accounting broke: {:?}", s);
+        prop_assert_eq!(s.hosts_probed, hosts as u64 * campaign.dates.len() as u64);
+        prop_assert_eq!(s.sweeps_completed, campaign.dates.len() as u64);
+    }
+
+    /// Merging partial snapshots is order-independent: any permutation
+    /// of shard partials folds to the same total — the property that
+    /// lets workers merge in completion order.
+    #[test]
+    fn snapshot_merge_is_commutative(
+        seed in 0u64..1_000_000,
+        hosts in 1u32..1200,
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let pop = ServerPopulation::new();
+        let date = Date::ymd(2016, 9, 1);
+        // Build three disjoint partials out of one sweep's host range
+        // by sweeping sub-ranges with the sweep's own seeds: hosts are
+        // counter-based, so [0, a) + [a, b) + [b, n) partitions the
+        // serial sweep exactly. Emulate via full sweeps of prefix
+        // lengths and subtraction-free recomposition instead: sweep
+        // each prefix and derive the mid/tail shards by merging order.
+        let a = ((hosts as f64) * cut_a.min(cut_b)) as u32;
+        let b = ((hosts as f64) * cut_a.max(cut_b)) as u32;
+        // Shards as independent counter ranges: emulate by three
+        // sharded sweeps with worker counts that chunk differently —
+        // all must equal serial, hence equal each other in any order.
+        let serial = sweep(&pop, date, hosts, seed);
+        let m = ScanMetrics::new();
+        let two = sweep_sharded(&pop, date, hosts, seed, 2, &m);
+        let eight = sweep_sharded(&pop, date, hosts, seed, 8, &m);
+        prop_assert_eq!(&serial, &two);
+        prop_assert_eq!(&serial, &eight);
+        // And the merge itself commutes on arbitrary partials.
+        let pa = sweep(&pop, date, a, seed);
+        let pb = sweep(&pop, date, b, seed.wrapping_add(1));
+        let mut ab = ScanSnapshot::new(date);
+        ab.merge(&pa);
+        ab.merge(&pb);
+        let mut ba = ScanSnapshot::new(date);
+        ba.merge(&pb);
+        ba.merge(&pa);
+        prop_assert_eq!(ab, ba);
+    }
+}

@@ -34,6 +34,8 @@ pub mod profile;
 pub mod ramps;
 
 pub use cohorts::{params, Cohort, CohortParams};
-pub use negotiate::{respond, respond_facts, ClientFacts, HandshakeFailure, Negotiated};
+pub use negotiate::{
+    decide, respond, respond_facts, ClientFacts, Decision, HandshakeFailure, Negotiated,
+};
 pub use population::{Destination, ServerPopulation};
 pub use profile::{preference, Quirk, ServerProfile};

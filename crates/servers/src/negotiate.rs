@@ -96,6 +96,45 @@ pub fn respond(
     respond_facts(profile, &facts, server_random)
 }
 
+/// The outcome of the pure negotiation decision — everything the
+/// server picked, with no wire message attached.
+///
+/// This is the allocation-free core shared by [`respond_facts`] (which
+/// additionally materialises the ServerHello) and callers that only
+/// need the decision, like the active scanner's per-host hot loop:
+/// probing millions of hosts cares about *what* the server chose, not
+/// about the ServerHello bytes, and building the message would put a
+/// heap allocation in every probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The negotiated protocol version (resolving supported_versions).
+    pub version: ProtocolVersion,
+    /// The selected cipher suite.
+    pub cipher: CipherSuite,
+    /// The ECDHE group selected; `None` for non-(EC)DHE suites.
+    pub curve: Option<NamedGroup>,
+    /// True when both sides negotiated the Heartbeat extension (§5.4).
+    pub heartbeat: bool,
+}
+
+/// Decide how `profile` answers a client described by `facts`, without
+/// constructing the ServerHello. Performs no heap allocation.
+pub fn decide(
+    profile: &ServerProfile,
+    facts: &ClientFacts<'_>,
+) -> Result<Decision, HandshakeFailure> {
+    let version = negotiate_version(profile, facts)?;
+    let cipher = select_cipher(profile, facts, version)?;
+    let curve = select_curve(profile, facts, cipher, version);
+    let heartbeat = profile.heartbeat && facts.has_heartbeat && !version.is_tls13_family();
+    Ok(Decision {
+        version,
+        cipher,
+        curve,
+        heartbeat,
+    })
+}
+
 /// Negotiate a response to a client described by `facts` — the
 /// allocation-light core of [`respond`].
 pub fn respond_facts(
@@ -103,9 +142,12 @@ pub fn respond_facts(
     facts: &ClientFacts<'_>,
     server_random: [u8; 32],
 ) -> Result<Negotiated, HandshakeFailure> {
-    let version = negotiate_version(profile, facts)?;
-    let cipher = select_cipher(profile, facts, version)?;
-    let curve = select_curve(profile, facts, cipher, version);
+    let Decision {
+        version,
+        cipher,
+        curve,
+        heartbeat,
+    } = decide(profile, facts)?;
 
     let mut extensions: Vec<Extension> = Vec::new();
     if version.is_tls13_family() {
@@ -118,7 +160,6 @@ pub fn respond_facts(
     if facts.has_renegotiation_info && !version.is_tls13_family() {
         extensions.push(Extension::renegotiation_info());
     }
-    let heartbeat = profile.heartbeat && facts.has_heartbeat && !version.is_tls13_family();
     if heartbeat {
         extensions.push(Extension::heartbeat(1));
     }
@@ -490,6 +531,39 @@ mod tests {
         // exactly the bankmellat.ir experiment from §5.3.
         let h = hello(&[0xc02f], Some(&[23]));
         assert!(respond(&p, &h, [0; 32]).unwrap().cipher.is_aead());
+    }
+
+    #[test]
+    fn decide_agrees_with_respond() {
+        let mut p = ServerProfile::baseline("t");
+        p.heartbeat = true;
+        let mut h = hello(&[0xc02b, 0xc02f, 0xc013, 0x0005, 0x000a], Some(&[29, 23]));
+        h.extensions.as_mut().unwrap().push(Extension::heartbeat(1));
+        for quirk in [Quirk::None, Quirk::PreferRc4, Quirk::Prefer3Des] {
+            p.quirk = quirk;
+            let n = respond(&p, &h, [7; 32]).unwrap();
+            let versions = h
+                .find_extension(ext_type::SUPPORTED_VERSIONS)
+                .and_then(|e| e.parse_supported_versions().ok());
+            let curves = h
+                .find_extension(ext_type::SUPPORTED_GROUPS)
+                .and_then(|e| e.parse_supported_groups().ok());
+            let facts = ClientFacts {
+                legacy_version: h.legacy_version,
+                session_id: &h.session_id,
+                cipher_suites: &h.cipher_suites,
+                supported_versions: versions.as_deref(),
+                curves: curves.as_deref(),
+                has_renegotiation_info: h.find_extension(ext_type::RENEGOTIATION_INFO).is_some(),
+                has_heartbeat: h.find_extension(ext_type::HEARTBEAT).is_some(),
+                has_extensions: h.extensions.is_some(),
+            };
+            let d = decide(&p, &facts).unwrap();
+            assert_eq!(d.version, n.version);
+            assert_eq!(d.cipher, n.cipher);
+            assert_eq!(d.curve, n.curve);
+            assert_eq!(d.heartbeat, n.heartbeat);
+        }
     }
 
     #[test]
