@@ -455,22 +455,28 @@ pub fn ssl_pulse(pulses: &[tlscope_scanner::PulseSnapshot]) -> Table {
 
 /// Scan-engine accounting (§3.2 operational view): the dispatch /
 /// probe / handshake ledger of the active campaign, the analogue of
-/// the Censys pipeline health counters. Every dispatched host must be
-/// probed and every probe must resolve — the final row states whether
-/// that invariant held.
+/// the Censys pipeline health counters. Loss is a normal, measured
+/// outcome — dropped hosts, timed-out probes, retries, and lost
+/// workers all get rows — and the final row states whether the
+/// two-part ledger (`dispatched == probed + dropped`, `completed +
+/// refused + timed_out == sent`) balanced.
 pub fn scan_accounting(s: &ScanMetricsSnapshot) -> Table {
     let mut t = Table::new(
         "scan-accounting",
-        "Active-scan accounting (sharded sweep engine; dispatch == probed is the engine invariant)",
+        "Active-scan accounting (sharded sweep engine; dispatched == probed + dropped and completed + refused + timed_out == sent are the engine invariants)",
         vec!["Counter", "Value"],
     );
-    let rows: [(&str, String); 8] = [
+    let rows: [(&str, String); 12] = [
         ("sweeps completed", s.sweeps_completed.to_string()),
         ("hosts dispatched", s.hosts_dispatched.to_string()),
         ("hosts probed", s.hosts_probed.to_string()),
+        ("hosts dropped", s.hosts_dropped.to_string()),
+        ("host retries", s.host_retries.to_string()),
         ("probes sent", s.probes_sent.to_string()),
         ("handshakes completed", s.handshakes_completed.to_string()),
         ("handshakes refused", s.handshakes_refused.to_string()),
+        ("probes timed out", s.probes_timed_out.to_string()),
+        ("workers lost", s.workers_lost.to_string()),
         ("hosts/s (cpu)", format!("{:.0}", s.hosts_per_sec())),
         (
             "accounting holds",

@@ -19,7 +19,7 @@ use tlscope_chron::Month;
 use tlscope_notary::{
     checkpoint, ingest_flow, CheckpointError, NotaryAggregate, PipelineMetrics, TappedFlow,
 };
-use tlscope_scanner::{ScanCampaign, ScanMetrics, ScanSnapshot};
+use tlscope_scanner::{ScanCampaign, ScanFaults, ScanMetrics, ScanSnapshot};
 use tlscope_servers::ServerPopulation;
 use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
 
@@ -40,6 +40,11 @@ pub struct StudyConfig {
     pub faults: FaultInjector,
     /// Hosts per active sweep.
     pub scan_hosts: u32,
+    /// Scan-side fault injection (SYN loss, flakes, timeouts, dead
+    /// hosts). Defaults to [`ScanFaults::none`] unless
+    /// `TLSCOPE_SCAN_FAULT_PROFILE` names a profile, so calibration
+    /// anchors see a loss-free scanner out of the box.
+    pub scan_faults: ScanFaults,
     /// When set, each completed month's partial aggregate is written
     /// to this directory, and months already checkpointed there are
     /// loaded instead of re-simulated (`repro --resume <dir>`).
@@ -59,6 +64,7 @@ impl Default for StudyConfig {
             workers: 4,
             faults: FaultInjector::tap_defaults(),
             scan_hosts: 4_000,
+            scan_faults: ScanFaults::from_env(ScanFaults::none()),
             checkpoint_dir: None,
         }
     }
@@ -232,20 +238,16 @@ impl Study {
     /// [`Study::run_active`] at any worker count (host sampling is
     /// counter-based per `(seed, date, host index)`).
     pub fn run_active_metered(&self, metrics: &ScanMetrics) -> Vec<ScanSnapshot> {
-        ScanCampaign::censys_monthly(self.cfg.scan_hosts, self.cfg.seed).run_parallel(
-            &self.population,
-            self.cfg.workers,
-            metrics,
-        )
+        ScanCampaign::censys_monthly(self.cfg.scan_hosts, self.cfg.seed)
+            .with_faults(self.cfg.scan_faults)
+            .run_parallel(&self.population, self.cfg.workers, metrics)
     }
 
     /// Run the active campaign at the paper's weekly cadence.
     pub fn run_active_weekly(&self) -> Vec<ScanSnapshot> {
-        ScanCampaign::censys_weekly(self.cfg.scan_hosts, self.cfg.seed).run_parallel(
-            &self.population,
-            self.cfg.workers,
-            &ScanMetrics::new(),
-        )
+        ScanCampaign::censys_weekly(self.cfg.scan_hosts, self.cfg.seed)
+            .with_faults(self.cfg.scan_faults)
+            .run_parallel(&self.population, self.cfg.workers, &ScanMetrics::new())
     }
 
     /// All months of the passive window.

@@ -21,6 +21,11 @@
 //!    past budget. A naive per-host loop that re-materialises the
 //!    probe set each host (the pre-PR shape, still available as
 //!    `probe_host`) is measured alongside as the comparison point.
+//! 4. **Faulted throughput** — the same sweep under the `stress`
+//!    fault profile: retries, drops, and timeouts in the hot loop,
+//!    with the loss counters and the two-part accounting invariant
+//!    reported. Fault draws are pure arithmetic, so this row shares
+//!    the serial row's allocation budget.
 //!
 //! Without `--features alloc-counter` allocation counts read as zero
 //! and the budget check is skipped.
@@ -28,7 +33,9 @@
 use std::time::Instant;
 
 use tlscope::chron::Date;
-use tlscope::scanner::{probe_host, sweep, sweep_sharded, ScanMetrics, ScanSnapshot};
+use tlscope::scanner::{
+    probe_host, sweep, sweep_sharded, sweep_sharded_with, ScanFaults, ScanMetrics, ScanSnapshot,
+};
 use tlscope::servers::ServerPopulation;
 use tlscope_bench::SCAN_ALLOC_BUDGET_PER_HOST;
 
@@ -93,6 +100,28 @@ fn main() {
     });
     let accounting = metrics.snapshot().accounting_holds();
 
+    // --- Faulted sweep: stress profile through the same engine. ---
+    let faults = ScanFaults::stress();
+    let fault_metrics = ScanMetrics::new();
+    let (_, faulted_allocs) = alloc_counter::counted(|| {
+        std::hint::black_box(sweep_sharded_with(
+            &pop,
+            date,
+            hosts,
+            SEED,
+            1,
+            &fault_metrics,
+            &faults,
+        ));
+    });
+    let faulted_secs = best_secs(reps, || {
+        let m = ScanMetrics::new();
+        std::hint::black_box(sweep_sharded_with(&pop, date, hosts, SEED, 1, &m, &faults));
+    });
+    let fs = fault_metrics.snapshot();
+    assert!(fs.hosts_dropped > 0, "stress profile must drop hosts");
+    assert!(fs.probes_timed_out > 0, "stress profile must time out");
+
     // --- Naive per-host baseline: rebuild every probe for every host,
     // the shape the prepared-probe path replaced. ---
     let naive_hosts = hosts.min(2_000);
@@ -108,11 +137,14 @@ fn main() {
 
     let n = hosts as f64;
     let serial_apc = serial_allocs as f64 / n;
+    let faulted_apc = faulted_allocs as f64 / n;
     let naive_apc = naive_allocs as f64 / naive_hosts as f64;
     let serial_hps = n / serial_secs;
     let sharded_hps = n / sharded_secs;
+    let faulted_hps = n / faulted_secs;
     let counting = cfg!(feature = "alloc-counter");
-    let budget_pass = !counting || serial_apc <= SCAN_ALLOC_BUDGET_PER_HOST;
+    let budget_pass = !counting
+        || (serial_apc <= SCAN_ALLOC_BUDGET_PER_HOST && faulted_apc <= SCAN_ALLOC_BUDGET_PER_HOST);
     let reduction = if counting && serial_apc > 0.0 {
         naive_apc / serial_apc
     } else {
@@ -129,6 +161,7 @@ fn main() {
             "  \"alloc_counter\": {counting},\n",
             "  \"serial\": {{ \"hosts_per_sec\": {ser_hps:.0}, \"probes_per_sec\": {ser_pps:.0}, \"allocs_per_host\": {ser_apc:.3} }},\n",
             "  \"sharded\": {{ \"workers\": {workers}, \"hosts_per_sec\": {sh_hps:.0}, \"vs_serial\": {ratio:.2}, \"bit_identical\": true, \"accounting_holds\": {acct} }},\n",
+            "  \"faulted\": {{ \"profile\": \"stress\", \"hosts_per_sec\": {f_hps:.0}, \"allocs_per_host\": {f_apc:.3}, \"hosts_dropped\": {f_dropped}, \"probes_timed_out\": {f_timed}, \"host_retries\": {f_retries}, \"accounting_holds\": {f_acct} }},\n",
             "  \"baseline_naive_probe_rebuild\": {{ \"allocs_per_host\": {naive_apc:.3} }},\n",
             "  \"improvement\": {{ \"alloc_reduction_factor\": {red:.1} }},\n",
             "  \"budget\": {{ \"allocs_per_host_max\": {budget:.1}, \"pass\": {pass} }}\n",
@@ -144,6 +177,12 @@ fn main() {
         sh_hps = sharded_hps,
         ratio = sharded_hps / serial_hps,
         acct = accounting,
+        f_hps = faulted_hps,
+        f_apc = faulted_apc,
+        f_dropped = fs.hosts_dropped,
+        f_timed = fs.probes_timed_out,
+        f_retries = fs.host_retries,
+        f_acct = fs.accounting_holds(),
         naive_apc = naive_apc,
         red = reduction,
         budget = SCAN_ALLOC_BUDGET_PER_HOST,
@@ -158,7 +197,7 @@ fn main() {
 
     if !budget_pass {
         eprintln!(
-            "scan alloc budget exceeded: {serial_apc:.3} allocs/host > {SCAN_ALLOC_BUDGET_PER_HOST:.1}"
+            "scan alloc budget exceeded: serial {serial_apc:.3} / faulted {faulted_apc:.3} allocs/host > {SCAN_ALLOC_BUDGET_PER_HOST:.1}"
         );
         std::process::exit(1);
     }

@@ -203,6 +203,11 @@ fn main() -> ExitCode {
         eprint!("{}", ctx.metrics().snapshot().render());
     }
     if opts.scan_stats {
+        // Name the profile the campaign ran under so a lossy ledger is
+        // attributable to its knob set.
+        if let Ok(profile) = std::env::var("TLSCOPE_SCAN_FAULT_PROFILE") {
+            eprintln!("# scan fault profile: {profile}");
+        }
         eprint!("{}", ctx.scan_metrics().snapshot().render());
     }
     if failed {

@@ -214,10 +214,14 @@ impl ReportContext {
             "s7.3" => Artifact::Table(sections::s7_3(self.passive())),
             "s9-ext" => Artifact::Figure(sections::s9_extensions(self.passive())),
             "ssl-pulse" => {
-                // Yearly surveys over the SSL Pulse window (Oct 2013 on).
+                // Yearly surveys over the SSL Pulse window (Oct 2013
+                // on), run through the sharded, metered engine: survey
+                // probes land in the same scan ledger the sweeps use,
+                // so `--scan-stats` sees them.
                 let pop = tlscope_servers::ServerPopulation::new();
                 let sites = self.study.config().scan_hosts;
                 let seed = self.study.config().seed;
+                let workers = self.study.config().workers;
                 let probes = tlscope_scanner::ProbeSet::campaign();
                 let pulses: Vec<_> = (2013..=2018)
                     .map(|year| {
@@ -226,7 +230,15 @@ impl ReportContext {
                         } else {
                             tlscope_chron::Date::ymd(year, 4, 1)
                         };
-                        tlscope_scanner::pulse_survey_with(&probes, &pop, date, sites, seed)
+                        tlscope_scanner::pulse_survey_sharded(
+                            &probes,
+                            &pop,
+                            date,
+                            sites,
+                            seed,
+                            workers,
+                            &self.scan_metrics,
+                        )
                     })
                     .collect();
                 Artifact::Table(sections::ssl_pulse(&pulses))
@@ -324,6 +336,18 @@ mod tests {
         assert_eq!(f8.id(), "fig8");
         // Both CSV renders have the same month axis length.
         assert_eq!(f2.to_csv().lines().count(), f8.to_csv().lines().count());
+    }
+
+    #[test]
+    fn pulse_surveys_land_in_the_scan_ledger() {
+        let mut ctx = tiny_ctx();
+        let a = ctx.run("ssl-pulse").unwrap();
+        assert_eq!(a.id(), "ssl-pulse");
+        let s = ctx.scan_metrics().snapshot();
+        // Six yearly surveys of `scan_hosts` sites each, all metered.
+        assert_eq!(s.hosts_probed, 6 * 200);
+        assert_eq!(s.sweeps_completed, 6);
+        assert!(s.accounting_holds(), "{s:?}");
     }
 
     #[test]

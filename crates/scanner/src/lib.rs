@@ -21,15 +21,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod metrics;
 pub mod probe;
 pub mod schedule;
 pub mod sweep;
 
+pub use faults::{ScanFaultConfigError, ScanFaults, DEAD_HOST_SPAN_DAYS, MAX_PROBE_ATTEMPTS};
 pub use metrics::{ScanMetrics, ScanMetricsSnapshot};
 pub use probe::{PreparedProbe, ProbeSet};
 pub use schedule::{schedule, ScanCampaign, CENSYS_END, CENSYS_START};
 pub use sweep::{
-    probe_host, probe_host_with, pulse_survey, pulse_survey_with, sweep, sweep_sharded,
-    ProbeFlight, PulseSnapshot, ScanSnapshot,
+    probe_host, probe_host_with, pulse_survey, pulse_survey_sharded, pulse_survey_with, sweep,
+    sweep_faulted, sweep_sharded, sweep_sharded_with, ProbeFlight, PulseSnapshot, ScanSnapshot,
 };

@@ -4,7 +4,8 @@
 //! weekly for almost three years; at that scale the only way to know a
 //! scanner is healthy is per-stage accounting — how many hosts were
 //! handed to workers, how many were actually probed, how many probes
-//! completed a handshake. [`ScanMetrics`] is that layer for the
+//! completed a handshake, *and how many were lost to timeouts, dead
+//! hosts, or worker death*. [`ScanMetrics`] is that layer for the
 //! reproduction's active half, mirroring the passive pipeline's
 //! `PipelineMetrics`: a bag of atomic counters threaded through any
 //! number of sweep workers, all methods `&self`.
@@ -19,17 +20,26 @@ use std::time::Duration;
 
 /// Shared, lock-free active-scan counters.
 ///
-/// The accounting invariant of the sharded sweep engine is
-/// `hosts_dispatched == hosts_probed`: every host index claimed from
-/// the work queue is probed exactly once (there is no drop path —
-/// refused handshakes still count as probed hosts).
+/// The accounting invariant of the sharded sweep engine is two-part:
+/// `hosts_dispatched == hosts_probed + hosts_dropped` (every host
+/// index claimed from the work queue is either fully probed or
+/// explicitly given up on — exhausted retry budget, dead host, or a
+/// worker death costing its in-flight chunk) and
+/// `handshakes_completed + handshakes_refused + probes_timed_out ==
+/// probes_sent` (every probe sent resolves exactly one way). Refused
+/// handshakes still count as probed hosts; only hosts the scanner
+/// never finished probing are drops.
 #[derive(Debug, Default)]
 pub struct ScanMetrics {
     hosts_dispatched: AtomicU64,
     hosts_probed: AtomicU64,
+    hosts_dropped: AtomicU64,
+    host_retries: AtomicU64,
     probes_sent: AtomicU64,
     handshakes_completed: AtomicU64,
     handshakes_refused: AtomicU64,
+    probes_timed_out: AtomicU64,
+    workers_lost: AtomicU64,
     sweeps_completed: AtomicU64,
     scan_nanos: AtomicU64,
 }
@@ -41,21 +51,50 @@ impl ScanMetrics {
     }
 
     /// Record `hosts` claimed by a sweep worker (assigned, not yet
-    /// necessarily probed — the gap to `hosts_probed` is loss).
+    /// necessarily probed — the gap to `hosts_probed` is loss, and
+    /// must be matched by `hosts_dropped` for the ledger to balance).
     pub fn record_dispatched(&self, hosts: u64) {
         self.hosts_dispatched.fetch_add(hosts, Ordering::Relaxed);
     }
 
     /// Record one probed shard: `hosts` hosts receiving `probes`
-    /// probes, of which `completed` finished a handshake and `refused`
-    /// were turned away.
-    pub fn record_probed(&self, hosts: u64, probes: u64, completed: u64, refused: u64) {
+    /// probes, of which `completed` finished a handshake, `refused`
+    /// were turned away, and `timed_out` were sent but never resolved.
+    pub fn record_probed(
+        &self,
+        hosts: u64,
+        probes: u64,
+        completed: u64,
+        refused: u64,
+        timed_out: u64,
+    ) {
         self.hosts_probed.fetch_add(hosts, Ordering::Relaxed);
         self.probes_sent.fetch_add(probes, Ordering::Relaxed);
         self.handshakes_completed
             .fetch_add(completed, Ordering::Relaxed);
         self.handshakes_refused
             .fetch_add(refused, Ordering::Relaxed);
+        self.probes_timed_out
+            .fetch_add(timed_out, Ordering::Relaxed);
+    }
+
+    /// Record `hosts` dispatched hosts the scanner gave up on:
+    /// exhausted retry budget, dead-host window, or a dead worker's
+    /// in-flight chunk.
+    pub fn record_dropped(&self, hosts: u64) {
+        self.hosts_dropped.fetch_add(hosts, Ordering::Relaxed);
+    }
+
+    /// Record `attempts` retry attempts (connect attempts beyond each
+    /// host's first).
+    pub fn record_retries(&self, attempts: u64) {
+        self.host_retries.fetch_add(attempts, Ordering::Relaxed);
+    }
+
+    /// Record one sweep worker dying (its in-flight chunk is recorded
+    /// as dropped separately; completed chunks survive the merge).
+    pub fn record_worker_lost(&self) {
+        self.workers_lost.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one completed sweep taking `elapsed` of worker time.
@@ -70,9 +109,13 @@ impl ScanMetrics {
         ScanMetricsSnapshot {
             hosts_dispatched: self.hosts_dispatched.load(Ordering::Relaxed),
             hosts_probed: self.hosts_probed.load(Ordering::Relaxed),
+            hosts_dropped: self.hosts_dropped.load(Ordering::Relaxed),
+            host_retries: self.host_retries.load(Ordering::Relaxed),
             probes_sent: self.probes_sent.load(Ordering::Relaxed),
             handshakes_completed: self.handshakes_completed.load(Ordering::Relaxed),
             handshakes_refused: self.handshakes_refused.load(Ordering::Relaxed),
+            probes_timed_out: self.probes_timed_out.load(Ordering::Relaxed),
+            workers_lost: self.workers_lost.load(Ordering::Relaxed),
             sweeps_completed: self.sweeps_completed.load(Ordering::Relaxed),
             scan_nanos: self.scan_nanos.load(Ordering::Relaxed),
         }
@@ -87,12 +130,23 @@ pub struct ScanMetricsSnapshot {
     pub hosts_dispatched: u64,
     /// Hosts actually probed (every probe in the set sent).
     pub hosts_probed: u64,
-    /// Individual probes sent (hosts × probes per host).
+    /// Hosts given up on: retry budget exhausted (dead hosts, repeated
+    /// SYN loss / flakes) or lost with a dead worker's chunk.
+    pub hosts_dropped: u64,
+    /// Connect attempts beyond each host's first (the retry layer's
+    /// work).
+    pub host_retries: u64,
+    /// Individual probes sent (probed hosts × probes per host, plus
+    /// timed-out probes).
     pub probes_sent: u64,
     /// Probes that completed a handshake.
     pub handshakes_completed: u64,
     /// Probes refused (version or cipher mismatch).
     pub handshakes_refused: u64,
+    /// Probes sent but never resolved (handshake timeout).
+    pub probes_timed_out: u64,
+    /// Sweep workers that died (each costing its in-flight chunk).
+    pub workers_lost: u64,
     /// Sweeps finished.
     pub sweeps_completed: u64,
     /// CPU-summed sweep wall-clock, nanoseconds.
@@ -130,16 +184,20 @@ impl ScanMetricsSnapshot {
         rate(self.probes_sent, self.scan_nanos)
     }
 
-    /// Hosts claimed but never probed (zero unless a worker died).
+    /// Hosts claimed but never probed. Equal to `hosts_dropped`
+    /// whenever the ledger balances — under the fault model this is a
+    /// reachable, measured state, not a worker-death canary.
     pub fn hosts_lost(&self) -> u64 {
         self.hosts_dispatched.saturating_sub(self.hosts_probed)
     }
 
-    /// The sweep-engine accounting invariant: every dispatched host
-    /// was probed.
+    /// The two-part sweep-engine accounting invariant: every
+    /// dispatched host was probed or dropped, and every probe sent
+    /// completed, was refused, or timed out.
     pub fn accounting_holds(&self) -> bool {
-        self.hosts_dispatched == self.hosts_probed
-            && self.handshakes_completed + self.handshakes_refused == self.probes_sent
+        self.hosts_dispatched == self.hosts_probed + self.hosts_dropped
+            && self.handshakes_completed + self.handshakes_refused + self.probes_timed_out
+                == self.probes_sent
     }
 
     /// Multi-line terminal rendering of the scan accounting.
@@ -153,17 +211,25 @@ impl ScanMetricsSnapshot {
             scaled(self.hosts_per_sec()),
         ));
         out.push_str(&format!(
-            "  probes     {:>12} sent   {:>10} completed {:>6} refused  {:>7} probes/s\n",
+            "  probes     {:>12} sent   {:>10} completed {:>6} refused {:>6} timed out  {:>7} probes/s\n",
             self.probes_sent,
             self.handshakes_completed,
             self.handshakes_refused,
+            self.probes_timed_out,
             scaled(self.probes_per_sec()),
         ));
         out.push_str(&format!(
-            "  accounting {:>12} dispatched {:>6} probed {:>9} lost\n",
-            self.hosts_dispatched,
-            self.hosts_probed,
-            self.hosts_lost(),
+            "  accounting {:>12} dispatched {:>6} probed {:>9} dropped {:>6} retries\n",
+            self.hosts_dispatched, self.hosts_probed, self.hosts_dropped, self.host_retries,
+        ));
+        out.push_str(&format!(
+            "  faults     {:>12} workers lost   ledger {}\n",
+            self.workers_lost,
+            if self.accounting_holds() {
+                "balanced"
+            } else {
+                "IMBALANCED"
+            },
         ));
         out
     }
@@ -177,38 +243,65 @@ mod tests {
     fn counters_accumulate_and_account() {
         let m = ScanMetrics::new();
         m.record_dispatched(10);
-        m.record_probed(10, 30, 25, 5);
+        m.record_probed(10, 30, 24, 5, 1);
         m.record_sweep(Duration::from_millis(2));
         let s = m.snapshot();
         assert_eq!(s.hosts_dispatched, 10);
         assert_eq!(s.hosts_probed, 10);
         assert_eq!(s.probes_sent, 30);
-        assert_eq!(s.handshakes_completed, 25);
+        assert_eq!(s.handshakes_completed, 24);
         assert_eq!(s.handshakes_refused, 5);
+        assert_eq!(s.probes_timed_out, 1);
         assert_eq!(s.sweeps_completed, 1);
         assert_eq!(s.hosts_lost(), 0);
         assert!(s.accounting_holds());
         let text = s.render();
-        for needle in ["sweeps", "probes/s", "dispatched", "lost"] {
+        for needle in [
+            "sweeps",
+            "probes/s",
+            "dispatched",
+            "dropped",
+            "timed out",
+            "balanced",
+        ] {
             assert!(text.contains(needle), "render missing {needle}: {text}");
         }
     }
 
     #[test]
-    fn lost_hosts_break_accounting() {
+    fn dropped_hosts_balance_the_ledger() {
         let m = ScanMetrics::new();
         m.record_dispatched(8);
-        m.record_probed(5, 15, 15, 0);
+        m.record_probed(5, 15, 15, 0, 0);
         let s = m.snapshot();
         assert_eq!(s.hosts_lost(), 3);
-        assert!(!s.accounting_holds());
+        assert!(!s.accounting_holds(), "unaccounted loss must be visible");
+        m.record_dropped(3);
+        m.record_retries(6);
+        let s = m.snapshot();
+        assert_eq!(s.hosts_dropped, 3);
+        assert_eq!(s.host_retries, 6);
+        assert_eq!(s.hosts_lost(), 3);
+        assert!(s.accounting_holds(), "drops account for the loss: {s:?}");
+    }
+
+    #[test]
+    fn unresolved_probes_break_accounting() {
+        let m = ScanMetrics::new();
+        m.record_dispatched(5);
+        // 15 sent but only 14 resolved: a probe vanished without being
+        // counted as completed, refused, or timed out.
+        m.record_probed(5, 15, 10, 3, 1);
+        assert!(!m.snapshot().accounting_holds());
+        m.record_probed(0, 0, 0, 0, 1);
+        assert!(m.snapshot().accounting_holds());
     }
 
     #[test]
     fn rates_follow_clock() {
         let m = ScanMetrics::new();
         m.record_dispatched(1000);
-        m.record_probed(1000, 3000, 2800, 200);
+        m.record_probed(1000, 3000, 2800, 200, 0);
         m.record_sweep(Duration::from_millis(100));
         let s = m.snapshot();
         assert!((s.hosts_per_sec() - 10_000.0).abs() < 1.0);
@@ -223,7 +316,7 @@ mod tests {
                 s.spawn(|| {
                     for _ in 0..500 {
                         m.record_dispatched(1);
-                        m.record_probed(1, 3, 3, 0);
+                        m.record_probed(1, 3, 3, 0, 0);
                     }
                 });
             }
@@ -231,5 +324,18 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.hosts_probed, 2000);
         assert!(s.accounting_holds());
+    }
+
+    #[test]
+    fn worker_loss_is_counted_outside_the_ledger() {
+        let m = ScanMetrics::new();
+        m.record_dispatched(512);
+        m.record_dropped(512);
+        m.record_worker_lost();
+        let s = m.snapshot();
+        assert_eq!(s.workers_lost, 1);
+        assert_eq!(s.hosts_dropped, 512);
+        assert!(s.accounting_holds());
+        assert!(s.render().contains("workers lost"));
     }
 }

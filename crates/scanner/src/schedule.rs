@@ -2,15 +2,19 @@
 //!
 //! "Censys scans are available starting from August 22nd 2015; in our
 //! paper we use the data till May 13 2018" (§3.2), with weekly IPv4
-//! sweeps. [`ScanCampaign`] runs the sweeps over that window.
+//! sweeps. [`ScanCampaign`] runs the sweeps over that window, under
+//! the campaign's [`ScanFaults`] profile, and survives worker death:
+//! a dead campaign worker forfeits only its unfinished dates, which
+//! are re-swept inline after the survivors drain the queue.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use tlscope_chron::Date;
 use tlscope_servers::ServerPopulation;
 
+use crate::faults::ScanFaults;
 use crate::metrics::ScanMetrics;
-use crate::sweep::{sweep, sweep_sharded, ScanSnapshot};
+use crate::sweep::{quiet_thread_panics, sweep_faulted, sweep_sharded_with, ScanSnapshot};
 
 /// First Censys scan used by the paper.
 pub const CENSYS_START: Date = Date::ymd(2015, 8, 22);
@@ -38,32 +42,50 @@ pub struct ScanCampaign {
     pub hosts_per_sweep: u32,
     /// RNG seed.
     pub seed: u64,
+    /// Fault profile every sweep runs under.
+    pub faults: ScanFaults,
 }
 
 impl ScanCampaign {
-    /// The paper's Censys window at weekly cadence.
+    /// The paper's Censys window at weekly cadence, fault-free.
     pub fn censys_weekly(hosts_per_sweep: u32, seed: u64) -> Self {
         ScanCampaign {
             dates: schedule(CENSYS_START, CENSYS_END, 7),
             hosts_per_sweep,
             seed,
+            faults: ScanFaults::none(),
         }
     }
 
-    /// A sparser monthly variant for quick runs.
+    /// A sparser monthly variant for quick runs, fault-free.
     pub fn censys_monthly(hosts_per_sweep: u32, seed: u64) -> Self {
         ScanCampaign {
             dates: schedule(CENSYS_START, CENSYS_END, 30),
             hosts_per_sweep,
             seed,
+            faults: ScanFaults::none(),
         }
+    }
+
+    /// The same campaign under a different fault profile.
+    pub fn with_faults(mut self, faults: ScanFaults) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Run every sweep.
     pub fn run(&self, population: &ServerPopulation) -> Vec<ScanSnapshot> {
         self.dates
             .iter()
-            .map(|d| sweep(population, *d, self.hosts_per_sweep, self.seed))
+            .map(|d| {
+                sweep_faulted(
+                    population,
+                    *d,
+                    self.hosts_per_sweep,
+                    self.seed,
+                    &self.faults,
+                )
+            })
             .collect()
     }
 
@@ -73,11 +95,19 @@ impl ScanCampaign {
     /// Whole sweep dates are claimed from an atomic work index — the
     /// same distribution as the passive pipeline's metered run — so a
     /// long campaign parallelises across its dates rather than inside
-    /// each sweep. Host sampling is counter-based per `(seed, date,
-    /// host index)`, so every sweep (and therefore the whole campaign)
-    /// is bit-identical to [`ScanCampaign::run`] at any worker count,
-    /// and snapshots come back in date order regardless of which
-    /// worker finished first.
+    /// each sweep. Host sampling and fault draws are counter-based per
+    /// `(seed, date, host index)`, so every sweep (and therefore the
+    /// whole campaign) is bit-identical to [`ScanCampaign::run`] at
+    /// any worker count, and snapshots come back in date order
+    /// regardless of which worker finished first.
+    ///
+    /// A campaign worker that dies forfeits only the dates it had not
+    /// finished: survivors keep draining the queue, and any date left
+    /// unswept is re-swept inline afterwards. Counter-based sampling
+    /// makes the recovery sweep bit-identical to the one that was
+    /// lost, so the returned snapshots match a clean run exactly; the
+    /// loss shows up in `metrics` (`workers_lost`, and any accounting
+    /// the dead worker had already committed), never in the data.
     pub fn run_parallel(
         &self,
         population: &ServerPopulation,
@@ -89,7 +119,17 @@ impl ScanCampaign {
             return self
                 .dates
                 .iter()
-                .map(|d| sweep_sharded(population, *d, self.hosts_per_sweep, self.seed, 1, metrics))
+                .map(|d| {
+                    sweep_sharded_with(
+                        population,
+                        *d,
+                        self.hosts_per_sweep,
+                        self.seed,
+                        1,
+                        metrics,
+                        &self.faults,
+                    )
+                })
                 .collect();
         }
 
@@ -105,13 +145,21 @@ impl ScanCampaign {
                             let Some(date) = self.dates.get(idx) else {
                                 break;
                             };
-                            let snap = sweep_sharded(
+                            if self.faults.panic_on_date == Some(*date) {
+                                // Campaign-level failpoint: this worker
+                                // dies before sweeping, losing the date
+                                // and anything still in its `done` pile.
+                                quiet_thread_panics(true);
+                                panic!("scan fault failpoint: date {date}");
+                            }
+                            let snap = sweep_sharded_with(
                                 population,
                                 *date,
                                 self.hosts_per_sweep,
                                 self.seed,
                                 1,
                                 metrics,
+                                &self.faults,
                             );
                             done.push((idx, snap));
                         }
@@ -120,14 +168,40 @@ impl ScanCampaign {
                 })
                 .collect();
             for h in handles {
-                for (idx, snap) in h.join().expect("campaign worker panicked") {
-                    ordered[idx] = Some(snap);
+                // Survivor-merge: a dead worker costs its unreturned
+                // dates (recovered below), never the campaign.
+                match h.join() {
+                    Ok(done) => {
+                        for (idx, snap) in done {
+                            ordered[idx] = Some(snap);
+                        }
+                    }
+                    Err(_) => metrics.record_worker_lost(),
                 }
             }
         });
-        ordered
-            .into_iter()
-            .map(|s| s.expect("every campaign date swept"))
+        // Recovery pass: re-sweep any date a dead worker left behind.
+        // The failpoint is cleared so recovery cannot re-trip it; the
+        // fault *profile* stays, so the recovered snapshot is exactly
+        // the one the lost worker would have produced.
+        let mut recovery = self.faults;
+        recovery.panic_on_date = None;
+        self.dates
+            .iter()
+            .zip(ordered)
+            .map(|(date, snap)| {
+                snap.unwrap_or_else(|| {
+                    sweep_sharded_with(
+                        population,
+                        *date,
+                        self.hosts_per_sweep,
+                        self.seed,
+                        1,
+                        metrics,
+                        &recovery,
+                    )
+                })
+            })
             .collect()
     }
 }
@@ -154,6 +228,7 @@ mod tests {
             dates: schedule(Date::ymd(2016, 1, 1), Date::ymd(2016, 3, 1), 30),
             hosts_per_sweep: 200,
             seed: 5,
+            faults: ScanFaults::none(),
         };
         let snaps = campaign.run(&ServerPopulation::new());
         assert_eq!(snaps.len(), 3);
@@ -167,6 +242,7 @@ mod tests {
             dates: schedule(Date::ymd(2016, 1, 1), Date::ymd(2016, 6, 1), 30),
             hosts_per_sweep: 300,
             seed: 17,
+            faults: ScanFaults::none(),
         };
         let pop = ServerPopulation::new();
         let serial = campaign.run(&pop);
@@ -178,6 +254,55 @@ mod tests {
             assert!(s.accounting_holds(), "{s:?}");
             assert_eq!(s.hosts_probed, 300 * campaign.dates.len() as u64);
             assert_eq!(s.sweeps_completed, campaign.dates.len() as u64);
+        }
+    }
+
+    #[test]
+    fn faulted_campaign_matches_serial_and_accounts_loss() {
+        let campaign = ScanCampaign {
+            dates: schedule(Date::ymd(2016, 1, 1), Date::ymd(2016, 6, 1), 30),
+            hosts_per_sweep: 600,
+            seed: 23,
+            faults: ScanFaults::stress(),
+        };
+        let pop = ServerPopulation::new();
+        let serial = campaign.run(&pop);
+        for workers in [1usize, 3, 6] {
+            let metrics = ScanMetrics::new();
+            let parallel = campaign.run_parallel(&pop, workers, &metrics);
+            assert_eq!(serial, parallel, "workers = {workers}");
+            let s = metrics.snapshot();
+            assert!(s.accounting_holds(), "{s:?}");
+            assert!(s.hosts_dropped > 0, "{s:?}");
+            assert!(s.probes_timed_out > 0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn killed_campaign_worker_recovers_every_date() {
+        let dates = schedule(Date::ymd(2016, 1, 1), Date::ymd(2016, 6, 1), 30);
+        let killed = dates[2];
+        let clean = ScanCampaign {
+            dates: dates.clone(),
+            hosts_per_sweep: 300,
+            seed: 17,
+            faults: ScanFaults::none(),
+        };
+        let campaign = clean.clone().with_faults(ScanFaults {
+            panic_on_date: Some(killed),
+            ..ScanFaults::none()
+        });
+        let pop = ServerPopulation::new();
+        let expected = clean.run(&pop);
+        for workers in [2usize, 4] {
+            let metrics = ScanMetrics::new();
+            let snaps = campaign.run_parallel(&pop, workers, &metrics);
+            // Degraded, not panicked — and the recovery sweep restores
+            // the killed date bit-for-bit.
+            assert_eq!(snaps, expected, "workers = {workers}");
+            let s = metrics.snapshot();
+            assert!(s.workers_lost >= 1, "{s:?}");
+            assert!(s.accounting_holds(), "{s:?}");
         }
     }
 

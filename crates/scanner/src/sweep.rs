@@ -16,9 +16,33 @@
 //! sweep can be split across any number of workers at any chunk
 //! boundary and, because [`ScanSnapshot::merge`] is a commutative
 //! integer sum, the sharded result is bit-identical to the serial one.
+//!
+//! ## Fault model and the retry layer
+//!
+//! Real IPv4-wide sweeps lose probes constantly — unanswered SYNs,
+//! handshake timeouts, flaky hosts, machines that are simply off.
+//! [`ScanFaults`] injects those losses deterministically (every draw
+//! is a pure function of `(seed, date, host_index, attempt)`), and the
+//! sweep hot loop answers with a capped retry budget
+//! ([`MAX_PROBE_ATTEMPTS`]): transient failures are retried, exhausted
+//! hosts are counted as `hosts_dropped`, timed-out probes as
+//! `probes_timed_out`. Because retry draws are keyed by attempt
+//! number, the faulted sweep remains bit-identical across any shard
+//! boundary.
+//!
+//! ## Worker death
+//!
+//! Every chunk of work runs behind a panic boundary and commits its
+//! accounting only when it completes: a panicking chunk is recorded as
+//! dropped in full, the worker retires, and the surviving workers'
+//! partials still merge — a dead worker costs its in-flight chunk,
+//! never the sweep (the `ingest_parallel` pattern from the passive
+//! pipeline).
 
 use std::ops::Range;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
@@ -26,11 +50,14 @@ use rand::SeedableRng;
 use tlscope_chron::Date;
 use tlscope_servers::{negotiate, ServerPopulation, ServerProfile};
 
+use crate::faults::{ScanFaults, MAX_PROBE_ATTEMPTS};
 use crate::metrics::ScanMetrics;
 use crate::probe::ProbeSet;
 
 /// Hosts claimed per work-queue fetch in a sharded sweep: small enough
-/// to balance the tail, large enough that the atomic is cold.
+/// to balance the tail, large enough that the atomic is cold. Also the
+/// unit of loss when a worker dies: accounting commits per chunk, so a
+/// panic costs exactly the in-flight chunk.
 const SHARD_CHUNK: u64 = 512;
 
 /// Results of one full sweep.
@@ -124,6 +151,8 @@ pub struct ProbeFlight {
     pub completed: u64,
     /// Probes the host refused.
     pub refused: u64,
+    /// Probes sent but never resolved (handshake timeout).
+    pub timed_out: u64,
 }
 
 impl ProbeFlight {
@@ -131,6 +160,7 @@ impl ProbeFlight {
         self.probes += other.probes;
         self.completed += other.completed;
         self.refused += other.refused;
+        self.timed_out += other.timed_out;
     }
 }
 
@@ -152,77 +182,101 @@ fn host_rng(seed: u64, date: Date, index: u64) -> SmallRng {
     SmallRng::seed_from_u64(z)
 }
 
-/// Probe one server with every sweep probe from `probes` and fold into
-/// `snap`. The hot path of the scan engine: with the probe set
-/// prepared once per campaign, deciding all three probes touches no
-/// heap at all ([`negotiate::decide`] allocates nothing).
-pub fn probe_host_with(
+/// Probe one server with every sweep probe, skipping (and counting)
+/// any probe `times_out` says was lost mid-handshake. The hot path of
+/// the scan engine: with the probe set prepared once per campaign,
+/// deciding all three probes touches no heap at all
+/// ([`negotiate::decide`] allocates nothing).
+fn probe_host_timed(
     probes: &ProbeSet,
     profile: &ServerProfile,
     snap: &mut ScanSnapshot,
+    mut times_out: impl FnMut(u32) -> bool,
 ) -> ProbeFlight {
     let mut flight = ProbeFlight::default();
     snap.hosts += 1;
 
     // 2015-Chrome probe.
     flight.probes += 1;
-    match negotiate::decide(profile, &probes.chrome_2015.facts()) {
-        Ok(d) => {
-            flight.completed += 1;
-            snap.answered += 1;
-            if d.cipher.is_aead() {
-                snap.chose_aead += 1;
-            }
-            if d.cipher.is_cbc() {
-                snap.chose_cbc += 1;
-            }
-            if d.cipher.is_rc4() {
-                snap.chose_rc4 += 1;
-            }
-            if d.cipher.is_3des() {
-                snap.chose_3des += 1;
-            }
-            if d.version == tlscope_wire::ProtocolVersion::Tls12 {
-                snap.chose_tls12 += 1;
-            }
-            if d.heartbeat {
-                snap.heartbeat_supported += 1;
-                // The Heartbleed check: a malformed heartbeat against a
-                // heartbeat-answering host. The profile's vulnerability
-                // flag *is* the server behaviour being measured.
-                if profile.heartbleed_vulnerable {
-                    snap.heartbleed_vulnerable += 1;
+    if times_out(0) {
+        flight.timed_out += 1;
+    } else {
+        match negotiate::decide(profile, &probes.chrome_2015.facts()) {
+            Ok(d) => {
+                flight.completed += 1;
+                snap.answered += 1;
+                if d.cipher.is_aead() {
+                    snap.chose_aead += 1;
+                }
+                if d.cipher.is_cbc() {
+                    snap.chose_cbc += 1;
+                }
+                if d.cipher.is_rc4() {
+                    snap.chose_rc4 += 1;
+                }
+                if d.cipher.is_3des() {
+                    snap.chose_3des += 1;
+                }
+                if d.version == tlscope_wire::ProtocolVersion::Tls12 {
+                    snap.chose_tls12 += 1;
+                }
+                if d.heartbeat {
+                    snap.heartbeat_supported += 1;
+                    // The Heartbleed check: a malformed heartbeat against a
+                    // heartbeat-answering host. The profile's vulnerability
+                    // flag *is* the server behaviour being measured.
+                    if profile.heartbleed_vulnerable {
+                        snap.heartbleed_vulnerable += 1;
+                    }
                 }
             }
+            Err(_) => flight.refused += 1,
         }
-        Err(_) => flight.refused += 1,
     }
 
     // SSL3-only probe.
     flight.probes += 1;
-    match negotiate::decide(profile, &probes.ssl3_only.facts()) {
-        Ok(_) => {
-            flight.completed += 1;
-            snap.ssl3_supported += 1;
+    if times_out(1) {
+        flight.timed_out += 1;
+    } else {
+        match negotiate::decide(profile, &probes.ssl3_only.facts()) {
+            Ok(_) => {
+                flight.completed += 1;
+                snap.ssl3_supported += 1;
+            }
+            Err(_) => flight.refused += 1,
         }
-        Err(_) => flight.refused += 1,
     }
 
     // Export probe: supported if the server completes with an export
     // suite (the Interwise-style downgrade also counts — that is the
     // point of the scan).
     flight.probes += 1;
-    match negotiate::decide(profile, &probes.export_only.facts()) {
-        Ok(d) => {
-            flight.completed += 1;
-            if d.cipher.is_export() {
-                snap.export_supported += 1;
+    if times_out(2) {
+        flight.timed_out += 1;
+    } else {
+        match negotiate::decide(profile, &probes.export_only.facts()) {
+            Ok(d) => {
+                flight.completed += 1;
+                if d.cipher.is_export() {
+                    snap.export_supported += 1;
+                }
             }
+            Err(_) => flight.refused += 1,
         }
-        Err(_) => flight.refused += 1,
     }
 
     flight
+}
+
+/// Probe one server with every sweep probe from `probes` and fold into
+/// `snap`, with no faults in play.
+pub fn probe_host_with(
+    probes: &ProbeSet,
+    profile: &ServerProfile,
+    snap: &mut ScanSnapshot,
+) -> ProbeFlight {
+    probe_host_timed(probes, profile, snap, |_| false)
 }
 
 /// Probe one server with every scan and fold into `snap`.
@@ -234,36 +288,268 @@ pub fn probe_host(profile: &ServerProfile, snap: &mut ScanSnapshot) {
     probe_host_with(&ProbeSet::campaign(), profile, snap);
 }
 
+/// How probing one dispatched host resolved under the fault model.
+enum HostOutcome {
+    /// The host was probed (possibly after retries).
+    Probed(ProbeFlight),
+    /// The attempt budget ran out; the host was given up on.
+    Dropped,
+}
+
+/// Probe dispatched host `index` under `faults`, retrying transient
+/// connect failures up to [`MAX_PROBE_ATTEMPTS`] times. Returns the
+/// outcome plus the number of retries (attempts beyond the first).
+///
+/// Order per attempt mirrors a real probe: dead-host windows and SYN
+/// loss kill the connect before anything is sent; a flake kills the
+/// established connection before probing (flakier cohorts flake more,
+/// via [`ServerProfile::scan_flake_bias`]); per-probe timeouts land
+/// after the probe is on the wire, so they count as sent. The profile
+/// is a pure function of `(seed, date, index)` and is sampled at most
+/// once regardless of attempts.
+fn probe_indexed_host(
+    population: &ServerPopulation,
+    probes: &ProbeSet,
+    faults: &ScanFaults,
+    date: Date,
+    index: u64,
+    seed: u64,
+    snap: &mut ScanSnapshot,
+) -> (HostOutcome, u64) {
+    if faults.panic_on_host == Some(index) {
+        panic!("scan fault failpoint: host {index}");
+    }
+    let mut profile: Option<ServerProfile> = None;
+    for attempt in 0..MAX_PROBE_ATTEMPTS {
+        if faults.host_dead(seed, date, index) || faults.syn_dropped(seed, date, index, attempt) {
+            continue;
+        }
+        let profile = profile.get_or_insert_with(|| {
+            let mut rng = host_rng(seed, date, index);
+            population.sample_host(date, &mut rng)
+        });
+        if faults.flakes(seed, date, index, attempt, profile.scan_flake_bias()) {
+            continue;
+        }
+        let flight = probe_host_timed(probes, profile, snap, |probe| {
+            faults.times_out(seed, date, index, attempt, probe)
+        });
+        return (HostOutcome::Probed(flight), attempt as u64);
+    }
+    (HostOutcome::Dropped, (MAX_PROBE_ATTEMPTS - 1) as u64)
+}
+
+/// Accounting for one committed chunk of hosts (or survey sites).
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkLedger {
+    probed: u64,
+    dropped: u64,
+    retries: u64,
+    flight: ProbeFlight,
+}
+
 /// Probe the half-open host-index range `range` into a fresh partial.
 fn sweep_range(
     population: &ServerPopulation,
     probes: &ProbeSet,
+    faults: &ScanFaults,
     date: Date,
     range: Range<u64>,
     seed: u64,
     snap: &mut ScanSnapshot,
-    flight: &mut ProbeFlight,
-) {
+) -> ChunkLedger {
+    let mut ledger = ChunkLedger::default();
     for index in range {
-        let mut rng = host_rng(seed, date, index);
-        let profile = population.sample_host(date, &mut rng);
-        flight.add(probe_host_with(probes, &profile, snap));
+        let (outcome, retries) =
+            probe_indexed_host(population, probes, faults, date, index, seed, snap);
+        ledger.retries += retries;
+        match outcome {
+            HostOutcome::Probed(flight) => {
+                ledger.probed += 1;
+                ledger.flight.add(flight);
+            }
+            HostOutcome::Dropped => ledger.dropped += 1,
+        }
+    }
+    ledger
+}
+
+// The default panic hook prints every caught worker panic; once chunk
+// panics are expected and supervised that floods output. The hook
+// forwards to the previous hook unless the current thread is inside a
+// supervised chunk (same pattern as the passive pipeline).
+thread_local! {
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Suppress (or restore) panic-hook output for expected panics on the
+/// current thread. Used by the campaign failpoint; chunk boundaries
+/// manage it internally.
+pub(crate) fn quiet_thread_panics(quiet: bool) {
+    install_quiet_panic_hook();
+    QUIET_PANICS.with(|q| q.set(quiet));
+}
+
+/// Run one chunk behind a panic boundary and commit its accounting.
+///
+/// Dispatch and probe/drop counters for the chunk are recorded
+/// *together, after the chunk completes*, so the ledger balances at
+/// every observable point — there is no window where hosts are
+/// dispatched but unaccounted. On panic the whole chunk is recorded as
+/// dispatched-and-dropped, the worker is counted lost, and `false` is
+/// returned so the caller retires the worker.
+fn commit_chunk<S>(
+    range: Range<u64>,
+    metrics: &ScanMetrics,
+    make: &impl Fn() -> S,
+    chunk_fn: &impl Fn(Range<u64>, &mut S) -> ChunkLedger,
+    merge_fn: &impl Fn(&mut S, &S),
+    into: &mut S,
+) -> bool {
+    let hosts = range.end - range.start;
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut partial = make();
+        let ledger = chunk_fn(range, &mut partial);
+        (partial, ledger)
+    }));
+    QUIET_PANICS.with(|q| q.set(false));
+    match result {
+        Ok((partial, ledger)) => {
+            metrics.record_dispatched(hosts);
+            metrics.record_probed(
+                ledger.probed,
+                ledger.flight.probes,
+                ledger.flight.completed,
+                ledger.flight.refused,
+                ledger.flight.timed_out,
+            );
+            if ledger.dropped > 0 {
+                metrics.record_dropped(ledger.dropped);
+            }
+            if ledger.retries > 0 {
+                metrics.record_retries(ledger.retries);
+            }
+            merge_fn(into, &partial);
+            true
+        }
+        Err(_) => {
+            metrics.record_dispatched(hosts);
+            metrics.record_dropped(hosts);
+            metrics.record_worker_lost();
+            false
+        }
     }
 }
 
-/// Sweep `hosts` random responsive servers at `date`, serially.
+/// The chunked host engine shared by IPv4 sweeps and pulse surveys:
+/// [`SHARD_CHUNK`]-sized index ranges claimed from an atomic work
+/// queue, each probed into a fresh partial behind a panic boundary and
+/// committed (accounting and merge) as a unit. `workers <= 1` runs the
+/// same chunk loop inline with no threads spawned; either way a
+/// panicking chunk is recorded as dropped and ends only its worker.
+fn run_chunked<S: Send>(
+    hosts: u64,
+    workers: usize,
+    metrics: &ScanMetrics,
+    make: &(impl Fn() -> S + Sync),
+    chunk_fn: &(impl Fn(Range<u64>, &mut S) -> ChunkLedger + Sync),
+    merge_fn: &(impl Fn(&mut S, &S) + Sync),
+) -> S {
+    install_quiet_panic_hook();
+    let mut total = make();
+    if workers <= 1 || hosts <= SHARD_CHUNK {
+        let mut claimed = 0u64;
+        while claimed < hosts {
+            let end = (claimed + SHARD_CHUNK).min(hosts);
+            if !commit_chunk(claimed..end, metrics, make, chunk_fn, merge_fn, &mut total) {
+                break;
+            }
+            claimed = end;
+        }
+        return total;
+    }
+
+    let next = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut partial = make();
+                    loop {
+                        let start = next.fetch_add(SHARD_CHUNK, Ordering::Relaxed);
+                        if start >= hosts {
+                            break;
+                        }
+                        let end = (start + SHARD_CHUNK).min(hosts);
+                        if !commit_chunk(
+                            start..end,
+                            metrics,
+                            make,
+                            chunk_fn,
+                            merge_fn,
+                            &mut partial,
+                        ) {
+                            break;
+                        }
+                    }
+                    partial
+                })
+            })
+            .collect();
+        for h in handles {
+            // Survivor-merge: chunk panics are caught inside the
+            // worker, so a join error means the worker died outside
+            // any chunk — count it and keep the survivors.
+            match h.join() {
+                Ok(partial) => merge_fn(&mut total, &partial),
+                Err(_) => metrics.record_worker_lost(),
+            }
+        }
+    });
+    total
+}
+
+/// Sweep `hosts` random responsive servers at `date`, serially, with
+/// no faults.
 pub fn sweep(population: &ServerPopulation, date: Date, hosts: u32, seed: u64) -> ScanSnapshot {
     sweep_sharded(population, date, hosts, seed, 1, &ScanMetrics::new())
 }
 
-/// Sweep `hosts` servers at `date` across `workers` threads.
-///
-/// Host indices are claimed in [`SHARD_CHUNK`]-sized blocks from an
-/// atomic work index; each worker folds its blocks into a private
-/// partial snapshot, and the partials are merged at the end. Because
-/// host sampling is counter-based and the merge is a commutative sum,
-/// the result is bit-identical to [`sweep`] at any worker count.
-/// `workers <= 1` runs inline with no threads spawned.
+/// Sweep `hosts` servers at `date`, serially, under `faults`.
+pub fn sweep_faulted(
+    population: &ServerPopulation,
+    date: Date,
+    hosts: u32,
+    seed: u64,
+    faults: &ScanFaults,
+) -> ScanSnapshot {
+    sweep_sharded_with(
+        population,
+        date,
+        hosts,
+        seed,
+        1,
+        &ScanMetrics::new(),
+        faults,
+    )
+}
+
+/// Sweep `hosts` servers at `date` across `workers` threads, with no
+/// faults (see [`sweep_sharded_with`]).
 pub fn sweep_sharded(
     population: &ServerPopulation,
     date: Date,
@@ -272,67 +558,51 @@ pub fn sweep_sharded(
     workers: usize,
     metrics: &ScanMetrics,
 ) -> ScanSnapshot {
+    sweep_sharded_with(
+        population,
+        date,
+        hosts,
+        seed,
+        workers,
+        metrics,
+        &ScanFaults::none(),
+    )
+}
+
+/// Sweep `hosts` servers at `date` across `workers` threads under the
+/// fault model.
+///
+/// Host indices are claimed in [`SHARD_CHUNK`]-sized blocks from an
+/// atomic work index; each worker folds its blocks into a private
+/// partial snapshot behind a per-chunk panic boundary, and the
+/// partials are merged at the end. Because host sampling and every
+/// fault draw are counter-based and the merge is a commutative sum,
+/// the result is bit-identical to the serial sweep at any worker count
+/// and under any fault profile. A dead worker costs its in-flight
+/// chunk (recorded as `hosts_dropped`); the sweep still completes.
+/// `workers <= 1` runs the chunk loop inline with no threads spawned.
+pub fn sweep_sharded_with(
+    population: &ServerPopulation,
+    date: Date,
+    hosts: u32,
+    seed: u64,
+    workers: usize,
+    metrics: &ScanMetrics,
+    faults: &ScanFaults,
+) -> ScanSnapshot {
     let probes = ProbeSet::campaign();
     let hosts = hosts as u64;
     let started = Instant::now();
-    let mut snap = ScanSnapshot::new(date);
-
-    if workers <= 1 || hosts <= SHARD_CHUNK {
-        let mut flight = ProbeFlight::default();
-        metrics.record_dispatched(hosts);
-        sweep_range(
-            population,
-            &probes,
-            date,
-            0..hosts,
-            seed,
-            &mut snap,
-            &mut flight,
-        );
-        metrics.record_probed(snap.hosts, flight.probes, flight.completed, flight.refused);
-        metrics.record_sweep(started.elapsed());
-        return snap;
-    }
-
-    let next = AtomicU64::new(0);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut partial = ScanSnapshot::new(date);
-                    let mut flight = ProbeFlight::default();
-                    loop {
-                        let start = next.fetch_add(SHARD_CHUNK, Ordering::Relaxed);
-                        if start >= hosts {
-                            break;
-                        }
-                        let end = (start + SHARD_CHUNK).min(hosts);
-                        metrics.record_dispatched(end - start);
-                        sweep_range(
-                            population,
-                            &probes,
-                            date,
-                            start..end,
-                            seed,
-                            &mut partial,
-                            &mut flight,
-                        );
-                    }
-                    metrics.record_probed(
-                        partial.hosts,
-                        flight.probes,
-                        flight.completed,
-                        flight.refused,
-                    );
-                    partial
-                })
-            })
-            .collect();
-        for h in handles {
-            let partial = h.join().expect("sweep worker panicked");
-            snap.merge(&partial);
-        }
-    });
+    let snap = run_chunked(
+        hosts,
+        workers,
+        metrics,
+        &|| ScanSnapshot::new(date),
+        &|range, snap: &mut ScanSnapshot| {
+            sweep_range(population, &probes, faults, date, range, seed, snap)
+        },
+        &|a: &mut ScanSnapshot, b: &ScanSnapshot| a.merge(b),
+    );
     metrics.record_sweep(started.elapsed());
     snap
 }
@@ -415,6 +685,7 @@ mod tests {
             let s = metrics.snapshot();
             assert!(s.accounting_holds(), "{s:?}");
             assert_eq!(s.hosts_probed, 2500);
+            assert_eq!(s.hosts_dropped, 0);
             assert_eq!(s.probes_sent, 3 * 2500);
         }
     }
@@ -435,6 +706,103 @@ mod tests {
         let mut a = ScanSnapshot::new(Date::ymd(2016, 1, 1));
         let b = ScanSnapshot::new(Date::ymd(2016, 1, 8));
         a.merge(&b);
+    }
+
+    #[test]
+    fn faulted_sweep_reaches_the_loss_ledger() {
+        // Under a non-zero profile, hosts_dispatched != hosts_probed
+        // is a *reachable, accounted* state: drops and timeouts appear
+        // in the ledger and the two-part invariant still holds.
+        let pop = ServerPopulation::new();
+        let metrics = ScanMetrics::new();
+        let faults = ScanFaults::stress();
+        let snap = sweep_sharded_with(&pop, Date::ymd(2016, 6, 1), 3000, 11, 1, &metrics, &faults);
+        let s = metrics.snapshot();
+        assert!(s.accounting_holds(), "{s:?}");
+        assert_eq!(s.hosts_dispatched, 3000);
+        assert!(s.hosts_dropped > 0, "{s:?}");
+        assert!(s.probes_timed_out > 0, "{s:?}");
+        assert!(s.host_retries > 0, "{s:?}");
+        assert!(s.hosts_probed < 3000);
+        assert_eq!(s.hosts_lost(), s.hosts_dropped);
+        assert_eq!(snap.hosts, s.hosts_probed);
+        // Timed-out probes are in `sent` but resolve to none of the
+        // snapshot counters, so answered <= completed chrome probes.
+        assert_eq!(
+            s.handshakes_completed + s.handshakes_refused + s.probes_timed_out,
+            s.probes_sent
+        );
+    }
+
+    #[test]
+    fn faulted_sweep_is_shard_invariant() {
+        let pop = ServerPopulation::new();
+        let date = Date::ymd(2017, 2, 1);
+        for faults in [ScanFaults::scan_defaults(), ScanFaults::stress()] {
+            let serial = sweep_faulted(&pop, date, 2000, 21, &faults);
+            for workers in [2usize, 5, 8] {
+                let metrics = ScanMetrics::new();
+                let sharded = sweep_sharded_with(&pop, date, 2000, 21, workers, &metrics, &faults);
+                assert_eq!(serial, sharded, "workers = {workers}");
+                assert!(metrics.snapshot().accounting_holds());
+            }
+        }
+    }
+
+    #[test]
+    fn default_fault_rates_are_light() {
+        let pop = ServerPopulation::new();
+        let metrics = ScanMetrics::new();
+        let faults = ScanFaults::scan_defaults();
+        sweep_sharded_with(&pop, Date::ymd(2016, 6, 1), 4000, 5, 1, &metrics, &faults);
+        let s = metrics.snapshot();
+        assert!(s.accounting_holds());
+        // A few percent of loss, not a blackout.
+        assert!(s.hosts_dropped > 0 && s.hosts_dropped < 400, "{s:?}");
+    }
+
+    #[test]
+    fn dead_worker_costs_its_chunk_not_the_sweep() {
+        let pop = ServerPopulation::new();
+        let date = Date::ymd(2016, 9, 1);
+        // Host 700 lives in chunk [512, 1024): that chunk's worker
+        // panics, the chunk is dropped, everything else completes.
+        let faults = ScanFaults {
+            panic_on_host: Some(700),
+            ..ScanFaults::none()
+        };
+        for workers in [2usize, 4, 8] {
+            let metrics = ScanMetrics::new();
+            let snap = sweep_sharded_with(&pop, date, 3000, 9, workers, &metrics, &faults);
+            let s = metrics.snapshot();
+            assert!(s.accounting_holds(), "{s:?}");
+            assert_eq!(s.hosts_dispatched, 3000, "workers = {workers}");
+            assert_eq!(s.hosts_dropped, 512, "workers = {workers}: {s:?}");
+            assert_eq!(s.hosts_probed, 3000 - 512);
+            assert_eq!(s.workers_lost, 1);
+            assert_eq!(snap.hosts, 3000 - 512);
+        }
+    }
+
+    #[test]
+    fn serial_chunk_panic_degrades_and_accounts() {
+        // In the inline (workers = 1) path the panicking chunk ends
+        // the sweep early: its chunk is dropped, later chunks are
+        // never dispatched, and the ledger still balances.
+        let pop = ServerPopulation::new();
+        let metrics = ScanMetrics::new();
+        let faults = ScanFaults {
+            panic_on_host: Some(700),
+            ..ScanFaults::none()
+        };
+        let snap = sweep_sharded_with(&pop, Date::ymd(2016, 9, 1), 3000, 9, 1, &metrics, &faults);
+        let s = metrics.snapshot();
+        assert!(s.accounting_holds(), "{s:?}");
+        assert_eq!(s.hosts_dispatched, 1024);
+        assert_eq!(s.hosts_probed, 512);
+        assert_eq!(s.hosts_dropped, 512);
+        assert_eq!(s.workers_lost, 1);
+        assert_eq!(snap.hosts, 512);
     }
 }
 
@@ -492,7 +860,79 @@ impl PulseSnapshot {
 /// sweep's at the same `(seed, date)`.
 const PULSE_SALT: u64 = 0x9D15E;
 
-/// Run one SSL Pulse-style survey at `date` with a prepared probe set.
+/// Probe the half-open site-index range of one pulse survey into a
+/// fresh partial. Site streams are salted with [`PULSE_SALT`], exactly
+/// as the serial survey always drew them — sharding does not move
+/// them.
+fn pulse_range(
+    probes: &ProbeSet,
+    population: &ServerPopulation,
+    date: Date,
+    range: Range<u64>,
+    seed: u64,
+    snap: &mut PulseSnapshot,
+) -> ChunkLedger {
+    use tlscope_servers::Destination;
+    let mut ledger = ChunkLedger::default();
+    for index in range {
+        let mut rng = host_rng(seed ^ PULSE_SALT, date, index);
+        let profile = population.sample_for_traffic(Destination::Web, date, &mut rng);
+        snap.sites += 1;
+        ledger.probed += 1;
+        ledger.flight.probes += 1;
+        match negotiate::decide(&profile, &probes.rc4_only.facts()) {
+            Ok(d) => {
+                ledger.flight.completed += 1;
+                if d.cipher.is_rc4() {
+                    snap.rc4_supported += 1;
+                    // Only RC4 supporters get the second, RC4-free probe.
+                    ledger.flight.probes += 1;
+                    match negotiate::decide(&profile, &probes.chrome_2015_no_rc4.facts()) {
+                        Ok(_) => ledger.flight.completed += 1,
+                        Err(_) => {
+                            ledger.flight.refused += 1;
+                            snap.rc4_only += 1;
+                        }
+                    }
+                }
+            }
+            Err(_) => ledger.flight.refused += 1,
+        }
+    }
+    ledger
+}
+
+/// Run one SSL Pulse-style survey at `date` across `workers` threads,
+/// with survey accounting recorded into `metrics` — the same chunked
+/// engine as [`sweep_sharded_with`], so surveys are visible to
+/// `repro --scan-stats` and a dead worker costs a chunk, not the
+/// survey. Site sampling keeps the [`PULSE_SALT`]-separated host
+/// streams bit-for-bit, so any worker count reproduces the serial
+/// survey exactly.
+pub fn pulse_survey_sharded(
+    probes: &ProbeSet,
+    population: &ServerPopulation,
+    date: Date,
+    sites: u32,
+    seed: u64,
+    workers: usize,
+    metrics: &ScanMetrics,
+) -> PulseSnapshot {
+    let started = Instant::now();
+    let snap = run_chunked(
+        sites as u64,
+        workers,
+        metrics,
+        &|| PulseSnapshot::new(date),
+        &|range, snap: &mut PulseSnapshot| pulse_range(probes, population, date, range, seed, snap),
+        &|a: &mut PulseSnapshot, b: &PulseSnapshot| a.merge(b),
+    );
+    metrics.record_sweep(started.elapsed());
+    snap
+}
+
+/// Run one SSL Pulse-style survey at `date` with a prepared probe set,
+/// serially and without metrics.
 pub fn pulse_survey_with(
     probes: &ProbeSet,
     population: &ServerPopulation,
@@ -500,30 +940,22 @@ pub fn pulse_survey_with(
     sites: u32,
     seed: u64,
 ) -> PulseSnapshot {
-    use tlscope_servers::Destination;
-    let mut snap = PulseSnapshot::new(date);
-    for index in 0..sites as u64 {
-        let mut rng = host_rng(seed ^ PULSE_SALT, date, index);
-        let profile = population.sample_for_traffic(Destination::Web, date, &mut rng);
-        snap.sites += 1;
-        let rc4 = negotiate::decide(&profile, &probes.rc4_only.facts())
-            .map(|d| d.cipher.is_rc4())
-            .unwrap_or(false);
-        if rc4 {
-            snap.rc4_supported += 1;
-            let strong = negotiate::decide(&profile, &probes.chrome_2015_no_rc4.facts()).is_ok();
-            if !strong {
-                snap.rc4_only += 1;
-            }
-        }
-    }
-    snap
+    pulse_survey_sharded(
+        probes,
+        population,
+        date,
+        sites,
+        seed,
+        1,
+        &ScanMetrics::new(),
+    )
 }
 
 /// Run one SSL Pulse-style survey at `date`.
 ///
 /// Materialises a fresh [`ProbeSet`]; to survey many dates, prepare
-/// the set once and call [`pulse_survey_with`].
+/// the set once and call [`pulse_survey_with`] (or
+/// [`pulse_survey_sharded`] for the metered, sharded engine).
 pub fn pulse_survey(
     population: &ServerPopulation,
     date: Date,
@@ -559,5 +991,25 @@ mod pulse_tests {
         let a = pulse_survey(&pop, date, 500, 11);
         let b = pulse_survey_with(&ProbeSet::campaign(), &pop, date, 500, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_survey_is_bit_identical_and_metered() {
+        let pop = ServerPopulation::new();
+        let probes = ProbeSet::campaign();
+        let date = Date::ymd(2015, 4, 1);
+        let serial = pulse_survey(&pop, date, 2500, 11);
+        for workers in [1usize, 2, 4, 8] {
+            let metrics = ScanMetrics::new();
+            let sharded = pulse_survey_sharded(&probes, &pop, date, 2500, 11, workers, &metrics);
+            assert_eq!(serial, sharded, "workers = {workers}");
+            let s = metrics.snapshot();
+            assert!(s.accounting_holds(), "{s:?}");
+            assert_eq!(s.hosts_dispatched, 2500);
+            assert_eq!(s.hosts_probed, 2500);
+            // One probe per site, plus one more per RC4 supporter.
+            assert_eq!(s.probes_sent, 2500 + serial.rc4_supported);
+            assert_eq!(s.sweeps_completed, 1);
+        }
     }
 }

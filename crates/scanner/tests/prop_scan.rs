@@ -1,46 +1,74 @@
 //! Property tests for the sharded scan engine: sharding is invisible.
 //!
-//! The determinism contract of the active-scan engine is that worker
-//! count is *not* part of the experiment: any sharding of a sweep or a
-//! campaign must reproduce the serial result bit for bit. These tests
-//! drive that contract across worker counts, cadences, and host counts
-//! (including zero), plus the merge-commutativity property the sharded
-//! path relies on.
+//! The determinism contract of the active-scan engine is that neither
+//! worker count nor the fault profile's *evaluation context* is part
+//! of the experiment: any sharding of a sweep or a campaign must
+//! reproduce the serial result bit for bit, under any fault profile,
+//! because every host draw and every fault draw is a pure function of
+//! `(seed, date, host_index, attempt)`. These tests drive that
+//! contract across worker counts, cadences, fault profiles, and host
+//! counts (including zero), plus the two-part accounting invariant
+//! (`dispatched == probed + dropped` and `completed + refused +
+//! timed_out == sent`) and the merge-commutativity property the
+//! sharded path relies on.
 
 use proptest::prelude::*;
 use tlscope_chron::Date;
 use tlscope_scanner::{
-    schedule, sweep, sweep_sharded, ScanCampaign, ScanMetrics, ScanSnapshot, CENSYS_START,
+    pulse_survey_sharded, pulse_survey_with, schedule, sweep, sweep_faulted, sweep_sharded,
+    sweep_sharded_with, ProbeSet, ScanCampaign, ScanFaults, ScanMetrics, ScanSnapshot,
+    CENSYS_START,
 };
 use tlscope_servers::ServerPopulation;
+
+/// The named profiles a sweep can run under, as a proptest strategy.
+fn fault_profile() -> impl Strategy<Value = ScanFaults> {
+    prop_oneof![
+        Just(ScanFaults::none()),
+        Just(ScanFaults::scan_defaults()),
+        Just(ScanFaults::stress()),
+    ]
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// A sharded sweep equals the serial sweep at any worker count,
-    /// over the full host-count range the campaigns use (including the
-    /// empty sweep), with the dispatch accounting intact.
+    /// A sharded sweep equals the serial sweep at any worker count and
+    /// under any fault profile, over the full host-count range the
+    /// campaigns use (including the empty sweep), with the two-part
+    /// loss ledger balanced.
     #[test]
     fn sharded_sweep_matches_serial(
         seed in 0u64..1_000_000,
         week in 0i64..140,
         hosts in 0u32..6000,
         workers in 1usize..=8,
+        faults in fault_profile(),
     ) {
         let pop = ServerPopulation::new();
         let date = CENSYS_START.add_days(7 * week);
-        let serial = sweep(&pop, date, hosts, seed);
+        let serial = sweep_faulted(&pop, date, hosts, seed, &faults);
         let metrics = ScanMetrics::new();
-        let sharded = sweep_sharded(&pop, date, hosts, seed, workers, &metrics);
+        let sharded = sweep_sharded_with(&pop, date, hosts, seed, workers, &metrics, &faults);
         prop_assert_eq!(&serial, &sharded);
         let s = metrics.snapshot();
         prop_assert!(s.accounting_holds(), "accounting broke: {:?}", s);
-        prop_assert_eq!(s.hosts_probed, hosts as u64);
-        prop_assert_eq!(s.probes_sent, 3 * hosts as u64);
+        prop_assert_eq!(s.hosts_dispatched, hosts as u64);
+        prop_assert_eq!(s.hosts_probed + s.hosts_dropped, hosts as u64);
+        prop_assert_eq!(s.hosts_probed, serial.hosts);
+        prop_assert_eq!(
+            s.handshakes_completed + s.handshakes_refused + s.probes_timed_out,
+            s.probes_sent
+        );
+        if faults.is_none() {
+            prop_assert_eq!(s.hosts_dropped, 0);
+            prop_assert_eq!(s.probes_timed_out, 0);
+            prop_assert_eq!(s.probes_sent, 3 * hosts as u64);
+        }
     }
 
     /// A parallel campaign equals the serial campaign at any worker
-    /// count and cadence, snapshots in date order.
+    /// count, cadence, and fault profile, snapshots in date order.
     #[test]
     fn parallel_campaign_matches_serial(
         seed in 0u64..1_000_000,
@@ -48,12 +76,14 @@ proptest! {
         months in 1i64..5,
         hosts in 1u32..400,
         workers in 1usize..=8,
+        faults in fault_profile(),
     ) {
         let interval = if weekly == 0 { 7i64 } else { 30i64 };
         let campaign = ScanCampaign {
             dates: schedule(CENSYS_START, CENSYS_START.add_days(30 * months), interval),
             hosts_per_sweep: hosts,
             seed,
+            faults,
         };
         let pop = ServerPopulation::new();
         let serial = campaign.run(&pop);
@@ -62,8 +92,39 @@ proptest! {
         prop_assert_eq!(&serial, &parallel);
         let s = metrics.snapshot();
         prop_assert!(s.accounting_holds(), "accounting broke: {:?}", s);
-        prop_assert_eq!(s.hosts_probed, hosts as u64 * campaign.dates.len() as u64);
+        let dispatched = hosts as u64 * campaign.dates.len() as u64;
+        prop_assert_eq!(s.hosts_dispatched, dispatched);
+        prop_assert_eq!(s.hosts_probed + s.hosts_dropped, dispatched);
+        prop_assert_eq!(
+            s.handshakes_completed + s.handshakes_refused + s.probes_timed_out,
+            s.probes_sent
+        );
         prop_assert_eq!(s.sweeps_completed, campaign.dates.len() as u64);
+        if faults.is_none() {
+            prop_assert_eq!(s.hosts_probed, dispatched);
+        }
+    }
+
+    /// A sharded pulse survey equals the serial survey at any worker
+    /// count: the `PULSE_SALT` site streams do not move when the
+    /// survey is metered and chunked.
+    #[test]
+    fn sharded_pulse_survey_matches_serial(
+        seed in 0u64..1_000_000,
+        sites in 0u32..4000,
+        workers in 1usize..=8,
+    ) {
+        let pop = ServerPopulation::new();
+        let probes = ProbeSet::campaign();
+        let date = Date::ymd(2015, 4, 1);
+        let serial = pulse_survey_with(&probes, &pop, date, sites, seed);
+        let metrics = ScanMetrics::new();
+        let sharded = pulse_survey_sharded(&probes, &pop, date, sites, seed, workers, &metrics);
+        prop_assert_eq!(&serial, &sharded);
+        let s = metrics.snapshot();
+        prop_assert!(s.accounting_holds(), "accounting broke: {:?}", s);
+        prop_assert_eq!(s.hosts_probed, sites as u64);
+        prop_assert_eq!(s.probes_sent, sites as u64 + serial.rc4_supported);
     }
 
     /// Merging partial snapshots is order-independent: any permutation

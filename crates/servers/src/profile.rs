@@ -66,6 +66,22 @@ impl ServerProfile {
         self.min_version.rank() <= ProtocolVersion::Ssl3.rank()
     }
 
+    /// Relative scan-flake rate for this server's cohort: the
+    /// multiplier a scanner's transient-failure probability is scaled
+    /// by when probing this host. Professionally operated fleets
+    /// (major web properties, CDNs) flake less than baseline; embedded
+    /// and relic boxes flake more; the long tail sits in between. Used
+    /// by the active scanner's fault model — a reachability hook, not
+    /// a handshake property, so it never affects negotiation.
+    pub fn scan_flake_bias(&self) -> f64 {
+        match self.cohort {
+            "major-web" | "cdn" => 0.25,
+            "iot" | "sslv2-relic" | "bank-legacy" => 3.0,
+            "long-tail-web" | "grid" | "interwise" | "gost" => 1.5,
+            _ => 1.0,
+        }
+    }
+
     /// A compliant, conservative default used as a base in tests.
     pub fn baseline(cohort: &'static str) -> Self {
         ServerProfile {
@@ -198,6 +214,16 @@ mod tests {
         assert_eq!(p.quirk, Quirk::None);
         assert!(!p.supports_ssl3());
         assert!(p.preference.iter().all(|c| c.info().is_some()));
+    }
+
+    #[test]
+    fn flake_bias_orders_cohorts_by_operational_quality() {
+        let cdn = ServerProfile::baseline("cdn").scan_flake_bias();
+        let base = ServerProfile::baseline("enterprise").scan_flake_bias();
+        let tail = ServerProfile::baseline("long-tail-web").scan_flake_bias();
+        let relic = ServerProfile::baseline("iot").scan_flake_bias();
+        assert!(cdn < base && base < tail && tail < relic);
+        assert_eq!(base, 1.0);
     }
 
     #[test]

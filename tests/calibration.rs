@@ -165,6 +165,43 @@ fn censys_trends() {
 }
 
 #[test]
+fn censys_weekly_cadence_anchor() {
+    // The paper's actual cadence (§3.2): weekly sweeps, 2015-08-22
+    // through 2018-05-13 — ~142 of them. A reduced-scale weekly
+    // campaign must cover the window at that cadence, show the same
+    // trend directions as the monthly runs, and keep the scan ledger
+    // balanced with zero loss under the `none` profile.
+    use tlscope::scanner::{ScanCampaign, ScanMetrics};
+    use tlscope::servers::ServerPopulation;
+
+    let campaign = ScanCampaign::censys_weekly(400, 7);
+    assert!(
+        campaign.dates.len() >= 140 && campaign.dates.len() <= 145,
+        "{}",
+        campaign.dates.len()
+    );
+    let metrics = ScanMetrics::new();
+    let snaps = campaign.run_parallel(&ServerPopulation::new(), 4, &metrics);
+    assert_eq!(snaps.len(), campaign.dates.len());
+    let first = snaps.first().unwrap();
+    let last = snaps.last().unwrap();
+    // Same §5 anchors as the monthly campaign, at the real cadence.
+    let ssl3_first = first.pct(first.ssl3_supported);
+    assert!(ssl3_first > 35.0 && ssl3_first < 65.0, "{ssl3_first}");
+    assert!(last.pct(last.ssl3_supported) < ssl3_first);
+    assert!(last.pct(last.chose_rc4) < first.pct(first.chose_rc4));
+    assert!(last.pct(last.chose_aead) > first.pct(first.chose_aead));
+    assert!(last.pct(last.heartbleed_vulnerable) < 1.5);
+    // Fault-free weekly campaign: every dispatched host probed.
+    let s = metrics.snapshot();
+    assert!(s.accounting_holds(), "{s:?}");
+    assert_eq!(s.hosts_dispatched, 400 * campaign.dates.len() as u64);
+    assert_eq!(s.hosts_probed, s.hosts_dispatched);
+    assert_eq!(s.hosts_dropped, 0);
+    assert_eq!(s.sweeps_completed, campaign.dates.len() as u64);
+}
+
+#[test]
 fn fingerprint_coverage_near_paper() {
     let (agg, _) = study();
     let (db, _) = tlscope::clients::catalog::build_database();

@@ -166,6 +166,40 @@ pub mod strategy {
         };
     }
 
+    /// The strategy returned by [`prop_oneof!`](crate::prop_oneof):
+    /// one branch picked uniformly per case.
+    pub struct Union<T> {
+        branches: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `branches` (at least one).
+        pub fn new(branches: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(
+                !branches.is_empty(),
+                "prop_oneof! needs at least one branch"
+            );
+            Union { branches }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.random_range(0..self.branches.len());
+            self.branches[idx].generate(rng)
+        }
+    }
+
+    /// Box a strategy for use in a [`Union`] (macro plumbing).
+    pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(strategy)
+    }
+
     impl_tuple_strategy!(A);
     impl_tuple_strategy!(A, B);
     impl_tuple_strategy!(A, B, C);
@@ -313,7 +347,18 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// A strategy choosing uniformly among the given strategies (subset of
+/// the real macro: no weights; every branch must yield the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
 }
 
 /// Define property tests. Each `fn` runs `config.cases` times with
@@ -441,6 +486,11 @@ mod tests {
             if let Some(v) = o {
                 prop_assert!(v < 10);
             }
+        }
+
+        #[test]
+        fn oneof_draws_from_every_branch(x in prop_oneof![Just(1u8), Just(2), 10u8..20]) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
         }
     }
 
