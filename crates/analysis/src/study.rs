@@ -9,7 +9,6 @@
 //! identical to a serial run), and every stage reports into a shared
 //! [`PipelineMetrics`].
 
-use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -19,7 +18,7 @@ use tlscope_chron::Month;
 use tlscope_notary::{
     checkpoint, ingest_flow, CheckpointError, NotaryAggregate, PipelineMetrics, TappedFlow,
 };
-use tlscope_scanner::{ScanCampaign, ScanFaults, ScanMetrics, ScanSnapshot};
+use tlscope_scanner::{ScanCampaign, ScanCheckpointError, ScanFaults, ScanMetrics, ScanSnapshot};
 use tlscope_servers::ServerPopulation;
 use tlscope_traffic::{FaultInjector, Generator, TrafficConfig};
 
@@ -49,6 +48,10 @@ pub struct StudyConfig {
     /// to this directory, and months already checkpointed there are
     /// loaded instead of re-simulated (`repro --resume <dir>`).
     pub checkpoint_dir: Option<PathBuf>,
+    /// When set, each completed campaign date's snapshot + ledger is
+    /// written to this directory, and dates already checkpointed there
+    /// are loaded instead of re-swept (`repro --resume-scan <dir>`).
+    pub scan_checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -66,6 +69,7 @@ impl Default for StudyConfig {
             scan_hosts: 4_000,
             scan_faults: ScanFaults::from_env(ScanFaults::none()),
             checkpoint_dir: None,
+            scan_checkpoint_dir: None,
         }
     }
 }
@@ -120,12 +124,13 @@ impl Study {
 
     /// Run the passive measurement with pipeline accounting.
     ///
-    /// Convenience wrapper over [`Study::try_run_passive_metered`];
-    /// panics on checkpoint IO errors (impossible when
-    /// `checkpoint_dir` is unset).
+    /// Convenience wrapper over [`Study::try_run_passive_metered`].
+    /// Checkpoint errors are only reachable with `cfg.checkpoint_dir`
+    /// set; callers that checkpoint should use the `try_` variant to
+    /// surface them instead of panicking here.
     pub fn run_passive_metered(&self, metrics: &PipelineMetrics) -> NotaryAggregate {
         self.try_run_passive_metered(metrics)
-            .expect("checkpoint IO failed")
+            .unwrap_or_else(|e| panic!("passive checkpoint error: {e}"))
     }
 
     /// Run the passive measurement with pipeline accounting and
@@ -152,8 +157,13 @@ impl Study {
         metrics: &PipelineMetrics,
     ) -> Result<NotaryAggregate, CheckpointError> {
         let (mut result, completed) = match &self.cfg.checkpoint_dir {
-            Some(dir) => checkpoint::load_dir(dir)?,
-            None => (NotaryAggregate::new(), BTreeSet::new()),
+            Some(dir) => {
+                let load = checkpoint::load_dir(dir)?;
+                metrics.record_checkpoints_loaded(load.completed.len() as u64);
+                metrics.record_checkpoints_quarantined(load.quarantined.len() as u64);
+                (load.aggregate, load.completed)
+            }
+            None => (NotaryAggregate::new(), std::collections::BTreeSet::new()),
         };
         let months: Vec<Month> = self
             .cfg
@@ -204,6 +214,7 @@ impl Study {
                                         .get_or_insert(e);
                                     break;
                                 }
+                                metrics.record_checkpoint_written();
                             }
                             agg.merge(partial);
                         }
@@ -237,10 +248,39 @@ impl Study {
     /// sharded across `cfg.workers` threads. Bit-identical to
     /// [`Study::run_active`] at any worker count (host sampling is
     /// counter-based per `(seed, date, host index)`).
+    ///
+    /// Convenience wrapper over [`Study::try_run_active_metered`].
+    /// Checkpoint errors are only reachable with
+    /// `cfg.scan_checkpoint_dir` set; checkpointing callers should use
+    /// the `try_` variant to surface them instead of panicking here.
     pub fn run_active_metered(&self, metrics: &ScanMetrics) -> Vec<ScanSnapshot> {
+        self.try_run_active_metered(metrics)
+            .unwrap_or_else(|e| panic!("scan checkpoint error: {e}"))
+    }
+
+    /// Run the active campaign with scan accounting and (optionally)
+    /// per-date checkpointing.
+    ///
+    /// With `cfg.scan_checkpoint_dir` set, each completed date's
+    /// snapshot and ledger is written atomically to
+    /// `<dir>/<YYYY-MM-DD>.ckpt`, and dates already checkpointed there
+    /// are loaded (their ledgers replayed into `metrics`) and skipped —
+    /// so an interrupted campaign resumes from the last completed date
+    /// and produces snapshots and counters bit-identical to an
+    /// uninterrupted run. Damaged checkpoint files are quarantined to
+    /// `*.ckpt.bad` and their dates re-swept.
+    pub fn try_run_active_metered(
+        &self,
+        metrics: &ScanMetrics,
+    ) -> Result<Vec<ScanSnapshot>, ScanCheckpointError> {
         ScanCampaign::censys_monthly(self.cfg.scan_hosts, self.cfg.seed)
             .with_faults(self.cfg.scan_faults)
-            .run_parallel(&self.population, self.cfg.workers, metrics)
+            .run_durable(
+                &self.population,
+                self.cfg.workers,
+                metrics,
+                self.cfg.scan_checkpoint_dir.as_deref(),
+            )
     }
 
     /// Run the active campaign at the paper's weekly cadence.
@@ -366,6 +406,151 @@ mod tests {
         let err = Study::new(cfg).try_run_passive_metered(&PipelineMetrics::new());
         assert!(err.is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Core scan-ledger counters (everything except wall-clock time and
+    /// the checkpoint bookkeeping itself).
+    fn scan_ledger_core(s: &tlscope_scanner::ScanMetricsSnapshot) -> [u64; 9] {
+        [
+            s.hosts_dispatched,
+            s.hosts_probed,
+            s.hosts_dropped,
+            s.host_retries,
+            s.probes_sent,
+            s.handshakes_completed,
+            s.handshakes_refused,
+            s.probes_timed_out,
+            s.sweeps_completed,
+        ]
+    }
+
+    /// A scan campaign resumed from a partially-populated checkpoint
+    /// directory must be bit-identical — snapshots and ledger — to an
+    /// uninterrupted run.
+    #[test]
+    fn scan_resume_from_checkpoint_is_bit_identical() {
+        let mut cfg = StudyConfig::quick();
+        cfg.scan_hosts = 120;
+        cfg.workers = 3;
+        cfg.scan_faults = ScanFaults::scan_defaults();
+        let clean_metrics = ScanMetrics::new();
+        let expected = Study::new(cfg.clone())
+            .try_run_active_metered(&clean_metrics)
+            .unwrap();
+
+        // A full checkpointed run, then delete the last two date files
+        // to simulate a campaign killed before completing them.
+        let dir = unique_dir("scan-resume");
+        cfg.scan_checkpoint_dir = Some(dir.clone());
+        let _ = Study::new(cfg.clone()).run_active();
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        let total = files.len();
+        assert_eq!(total, expected.len());
+        for path in files.iter().rev().take(2) {
+            std::fs::remove_file(path).unwrap();
+        }
+
+        let metrics = ScanMetrics::new();
+        let resumed = Study::new(cfg).try_run_active_metered(&metrics).unwrap();
+        assert_eq!(resumed, expected);
+        let s = metrics.snapshot();
+        assert_eq!(s.checkpoints_loaded, (total - 2) as u64);
+        assert_eq!(s.checkpoints_written, 2);
+        assert_eq!(s.checkpoints_quarantined, 0);
+        // Replayed ledgers + the two re-swept dates reproduce the clean
+        // run's accounting exactly.
+        assert_eq!(
+            scan_ledger_core(&s),
+            scan_ledger_core(&clean_metrics.snapshot())
+        );
+        assert!(s.accounting_holds());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A damaged scan checkpoint is quarantined and its date re-swept;
+    /// the resumed campaign still matches the clean run.
+    #[test]
+    fn scan_resume_quarantines_damaged_checkpoints() {
+        let mut cfg = StudyConfig::quick();
+        cfg.scan_hosts = 100;
+        cfg.workers = 2;
+        cfg.scan_faults = ScanFaults::scan_defaults();
+        let expected = Study::new(cfg.clone()).run_active();
+
+        let dir = unique_dir("scan-quarantine");
+        cfg.scan_checkpoint_dir = Some(dir.clone());
+        let _ = Study::new(cfg.clone()).run_active();
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        let total = files.len();
+        // Truncate the first checkpoint mid-file.
+        let victim = &files[0];
+        let text = std::fs::read_to_string(victim).unwrap();
+        std::fs::write(victim, &text[..text.len() / 2]).unwrap();
+
+        let metrics = ScanMetrics::new();
+        let resumed = Study::new(cfg).try_run_active_metered(&metrics).unwrap();
+        assert_eq!(resumed, expected);
+        let s = metrics.snapshot();
+        assert_eq!(s.checkpoints_quarantined, 1);
+        assert_eq!(s.checkpoints_loaded, (total - 1) as u64);
+        assert_eq!(s.checkpoints_written, 1);
+        let bad = victim.with_extension("ckpt.bad");
+        assert!(bad.exists(), "damaged file parked at {}", bad.display());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_checkpoint_io_errors_surface_as_errors() {
+        let mut cfg = StudyConfig::quick();
+        cfg.scan_hosts = 60;
+        // A file where the scan checkpoint directory should be.
+        let path = unique_dir("scan-clash");
+        std::fs::write(&path, "not a directory").unwrap();
+        cfg.scan_checkpoint_dir = Some(path.clone());
+        let err = Study::new(cfg).try_run_active_metered(&ScanMetrics::new());
+        assert!(err.is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The passive runner reports loaded / quarantined / written
+    /// checkpoint counts through the pipeline metrics.
+    #[test]
+    fn passive_resume_reports_recovery_counters() {
+        let mut cfg = StudyConfig::quick();
+        cfg.start = Month::ym(2016, 6);
+        cfg.end = Month::ym(2016, 9);
+        cfg.connections_per_month = 150;
+        cfg.workers = 2;
+        cfg.faults = FaultInjector::none();
+        let expected = Study::new(cfg.clone()).run_passive();
+
+        let dir = unique_dir("passive-quarantine");
+        cfg.checkpoint_dir = Some(dir.clone());
+        let _ = Study::new(cfg.clone()).run_passive();
+        // Bit-flip one month's checkpoint body.
+        let victim = dir.join("2016-07.ckpt");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let metrics = PipelineMetrics::new();
+        let resumed = Study::new(cfg).try_run_passive_metered(&metrics).unwrap();
+        assert_eq!(resumed, expected);
+        let s = metrics.snapshot();
+        assert_eq!(s.checkpoints_loaded, 3);
+        assert_eq!(s.checkpoints_quarantined, 1);
+        assert_eq!(s.checkpoints_written, 1);
+        assert!(victim.with_extension("ckpt.bad").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

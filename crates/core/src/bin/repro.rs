@@ -14,13 +14,16 @@
 //!   --scan-stats   print active-scan accounting after the run
 //!   --resume <dir> checkpoint completed months into <dir> and resume
 //!                  from whatever is already there
+//!   --resume-scan <dir>
+//!                  checkpoint completed scan dates into <dir> and
+//!                  resume the campaign from whatever is already there
 //!   --list         list experiment ids and exit
 //! ```
 
 use std::process::ExitCode;
 
 use tlscope::analysis::StudyConfig;
-use tlscope::report::{ReportContext, EXPERIMENT_IDS};
+use tlscope::report::{needs, ReportContext, EXPERIMENT_IDS};
 
 struct Options {
     full: bool,
@@ -32,12 +35,13 @@ struct Options {
     save: Option<String>,
     load: Option<String>,
     resume: Option<String>,
+    resume_scan: Option<String>,
     ids: Vec<String>,
 }
 
 fn usage() {
     eprintln!(
-        "usage: repro [--quick|--full] [--csv] [--stats] [--scan-stats] [--width N] [--seed N] [--resume DIR] [--list] <id>...|all\n\
+        "usage: repro [--quick|--full] [--csv] [--stats] [--scan-stats] [--width N] [--seed N] [--resume DIR] [--resume-scan DIR] [--list] <id>...|all\n\
          ids: {}",
         EXPERIMENT_IDS.join(" ")
     );
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Options, String> {
         save: None,
         load: None,
         resume: None,
+        resume_scan: None,
         ids: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -87,6 +92,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--resume" => {
                 opts.resume = Some(args.next().ok_or("--resume needs a directory")?);
+            }
+            "--resume-scan" => {
+                opts.resume_scan = Some(args.next().ok_or("--resume-scan needs a directory")?);
             }
             "--list" => {
                 for id in EXPERIMENT_IDS {
@@ -127,6 +135,12 @@ fn main() -> ExitCode {
     if let Some(seed) = opts.seed {
         cfg.seed = seed;
     }
+    // Which apertures the requested experiments will actually run, so
+    // an inert --resume/--resume-scan can be called out up front.
+    let (needs_passive, needs_active) = opts.ids.iter().fold((false, false), |(p, a), id| {
+        let (np, na) = needs(id);
+        (p || np, a || na)
+    });
     if let Some(dir) = &opts.resume {
         // Create the directory up front so a typo'd path fails here,
         // not after months of simulation.
@@ -134,8 +148,28 @@ fn main() -> ExitCode {
             eprintln!("error: cannot create checkpoint dir {dir}: {e}");
             return ExitCode::FAILURE;
         }
+        if opts.load.is_some() {
+            eprintln!("warning: --resume has no effect: --load supplies the passive aggregate");
+        } else if !needs_passive {
+            eprintln!(
+                "warning: --resume has no effect: requested experiments run no passive study"
+            );
+        }
         eprintln!("# checkpointing completed months to {dir}");
         cfg.checkpoint_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(dir) = &opts.resume_scan {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create scan checkpoint dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !needs_active {
+            eprintln!(
+                "warning: --resume-scan has no effect: requested experiments run no active campaign"
+            );
+        }
+        eprintln!("# checkpointing completed scan dates to {dir}");
+        cfg.scan_checkpoint_dir = Some(std::path::PathBuf::from(dir));
     }
     eprintln!(
         "# tlscope repro: {} months x {} connections/month, {} scan hosts/sweep, seed {:#x}",
@@ -170,7 +204,7 @@ fn main() -> ExitCode {
     let mut failed = false;
     for id in &opts.ids {
         match ctx.run(id) {
-            Some(artifact) => {
+            Ok(artifact) => {
                 if opts.csv {
                     println!("# {id}");
                     print!("{}", artifact.to_csv());
@@ -178,8 +212,8 @@ fn main() -> ExitCode {
                     println!("{}", artifact.to_ascii(opts.width));
                 }
             }
-            None => {
-                eprintln!("error: unknown experiment '{id}'");
+            Err(e) => {
+                eprintln!("error: {e}");
                 failed = true;
             }
         }

@@ -3,8 +3,8 @@
 //! serves many experiments.
 
 use tlscope_analysis::{figures, sections, tables, Figure, Study, StudyConfig, Table};
-use tlscope_notary::{NotaryAggregate, PipelineMetrics};
-use tlscope_scanner::{ScanMetrics, ScanSnapshot};
+use tlscope_notary::{CheckpointError, NotaryAggregate, PipelineMetrics};
+use tlscope_scanner::{ScanCheckpointError, ScanMetrics, ScanSnapshot};
 
 /// A rendered experiment result.
 #[derive(Debug, Clone)]
@@ -38,6 +38,49 @@ impl Artifact {
             Artifact::Figure(f) => &f.id,
             Artifact::Table(t) => &t.id,
         }
+    }
+}
+
+/// Why an experiment could not produce its artefact.
+#[derive(Debug)]
+pub enum RunError {
+    /// The id is not in the registry.
+    UnknownExperiment(String),
+    /// The passive run hit a checkpoint-store error.
+    Passive(CheckpointError),
+    /// The active campaign hit a scan-checkpoint-store error.
+    Scan(ScanCheckpointError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnknownExperiment(id) => write!(f, "unknown experiment '{id}'"),
+            RunError::Passive(e) => write!(f, "{e}"),
+            RunError::Scan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::UnknownExperiment(_) => None,
+            RunError::Passive(e) => Some(e),
+            RunError::Scan(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for RunError {
+    fn from(e: CheckpointError) -> Self {
+        RunError::Passive(e)
+    }
+}
+
+impl From<ScanCheckpointError> for RunError {
+    fn from(e: ScanCheckpointError) -> Self {
+        RunError::Scan(e)
     }
 }
 
@@ -147,72 +190,95 @@ impl ReportContext {
     }
 
     /// The passive aggregate, running it on first use.
+    ///
+    /// Panics on checkpoint-store errors; contexts with a checkpoint
+    /// directory configured should use [`ReportContext::try_passive`].
     pub fn passive(&mut self) -> &NotaryAggregate {
+        self.try_passive()
+            .unwrap_or_else(|e| panic!("passive checkpoint error: {e}"))
+    }
+
+    /// The passive aggregate, running it on first use and surfacing
+    /// checkpoint-store errors instead of panicking.
+    pub fn try_passive(&mut self) -> Result<&NotaryAggregate, CheckpointError> {
         if self.passive.is_none() {
-            self.passive = Some(self.study.run_passive_metered(&self.metrics));
+            self.passive = Some(self.study.try_run_passive_metered(&self.metrics)?);
         }
-        self.passive.as_ref().unwrap()
+        Ok(self.passive.as_ref().unwrap())
     }
 
     /// The active campaign results, running them on first use.
+    ///
+    /// Panics on scan-checkpoint-store errors; contexts with a scan
+    /// checkpoint directory configured should use
+    /// [`ReportContext::try_scans`].
     pub fn scans(&mut self) -> &[ScanSnapshot] {
-        if self.scans.is_none() {
-            self.scans = Some(self.study.run_active_metered(&self.scan_metrics));
-        }
-        self.scans.as_ref().unwrap()
+        self.try_scans()
+            .unwrap_or_else(|e| panic!("scan checkpoint error: {e}"))
     }
 
-    /// Run one experiment by id.
-    pub fn run(&mut self, id: &str) -> Option<Artifact> {
-        Some(match id {
+    /// The active campaign results, running them on first use and
+    /// surfacing scan-checkpoint-store errors instead of panicking.
+    pub fn try_scans(&mut self) -> Result<&[ScanSnapshot], ScanCheckpointError> {
+        if self.scans.is_none() {
+            self.scans = Some(self.study.try_run_active_metered(&self.scan_metrics)?);
+        }
+        Ok(self.scans.as_deref().unwrap())
+    }
+
+    /// Run one experiment by id. Checkpoint-store errors from either
+    /// aperture surface as [`RunError`] rather than aborting the
+    /// process.
+    pub fn run(&mut self, id: &str) -> Result<Artifact, RunError> {
+        Ok(match id {
             "table1" => Artifact::Table(tables::table1()),
-            "table2" => Artifact::Table(tables::table2(self.passive())),
+            "table2" => Artifact::Table(tables::table2(self.try_passive()?)),
             "table3" => Artifact::Table(tables::table3()),
             "table4" => Artifact::Table(tables::table4()),
             "table5" => Artifact::Table(tables::table5()),
             "table6" => Artifact::Table(tables::table6()),
-            "fig1" => Artifact::Figure(figures::fig1(self.passive())),
-            "fig2" => Artifact::Figure(figures::fig2(self.passive())),
-            "fig3" => Artifact::Figure(figures::fig3(self.passive())),
-            "fig4" => Artifact::Figure(figures::fig4(self.passive())),
-            "fig5" => Artifact::Figure(figures::fig5(self.passive())),
-            "fig6" => Artifact::Figure(figures::fig6(self.passive())),
-            "fig7" => Artifact::Figure(figures::fig7(self.passive())),
-            "fig8" => Artifact::Figure(figures::fig8(self.passive())),
-            "fig9" => Artifact::Figure(figures::fig9(self.passive())),
-            "fig10" => Artifact::Figure(figures::fig10(self.passive())),
-            "s4.1" => Artifact::Table(sections::s4_1(self.passive())),
+            "fig1" => Artifact::Figure(figures::fig1(self.try_passive()?)),
+            "fig2" => Artifact::Figure(figures::fig2(self.try_passive()?)),
+            "fig3" => Artifact::Figure(figures::fig3(self.try_passive()?)),
+            "fig4" => Artifact::Figure(figures::fig4(self.try_passive()?)),
+            "fig5" => Artifact::Figure(figures::fig5(self.try_passive()?)),
+            "fig6" => Artifact::Figure(figures::fig6(self.try_passive()?)),
+            "fig7" => Artifact::Figure(figures::fig7(self.try_passive()?)),
+            "fig8" => Artifact::Figure(figures::fig8(self.try_passive()?)),
+            "fig9" => Artifact::Figure(figures::fig9(self.try_passive()?)),
+            "fig10" => Artifact::Figure(figures::fig10(self.try_passive()?)),
+            "s4.1" => Artifact::Table(sections::s4_1(self.try_passive()?)),
             "s5.1" => {
-                self.scans();
-                self.passive();
+                self.try_scans()?;
+                self.try_passive()?;
                 Artifact::Table(sections::s5_1(
                     self.passive.as_ref().unwrap(),
                     self.scans.as_ref().unwrap(),
                 ))
             }
             "s5.4" => {
-                self.scans();
-                self.passive();
+                self.try_scans()?;
+                self.try_passive()?;
                 Artifact::Table(sections::s5_4(
                     self.passive.as_ref().unwrap(),
                     self.scans.as_ref().unwrap(),
                 ))
             }
-            "s5.5" => Artifact::Table(sections::s5_5(self.passive())),
+            "s5.5" => Artifact::Table(sections::s5_5(self.try_passive()?)),
             "s5.6" => {
-                self.scans();
-                self.passive();
+                self.try_scans()?;
+                self.try_passive()?;
                 Artifact::Table(sections::s5_6(
                     self.passive.as_ref().unwrap(),
                     self.scans.as_ref().unwrap(),
                 ))
             }
-            "s6.1" => Artifact::Table(sections::s6_1(self.passive())),
-            "s6.2" => Artifact::Table(sections::s6_2(self.passive())),
-            "s6.3" => Artifact::Table(sections::s6_3(self.passive())),
-            "s6.4" => Artifact::Table(sections::s6_4(self.passive())),
-            "s7.3" => Artifact::Table(sections::s7_3(self.passive())),
-            "s9-ext" => Artifact::Figure(sections::s9_extensions(self.passive())),
+            "s6.1" => Artifact::Table(sections::s6_1(self.try_passive()?)),
+            "s6.2" => Artifact::Table(sections::s6_2(self.try_passive()?)),
+            "s6.3" => Artifact::Table(sections::s6_3(self.try_passive()?)),
+            "s6.4" => Artifact::Table(sections::s6_4(self.try_passive()?)),
+            "s7.3" => Artifact::Table(sections::s7_3(self.try_passive()?)),
+            "s9-ext" => Artifact::Figure(sections::s9_extensions(self.try_passive()?)),
             "ssl-pulse" => {
                 // Yearly surveys over the SSL Pulse window (Oct 2013
                 // on), run through the sharded, metered engine: survey
@@ -243,15 +309,15 @@ impl ReportContext {
                     .collect();
                 Artifact::Table(sections::ssl_pulse(&pulses))
             }
-            "censys" => Artifact::Figure(sections::censys_series(self.scans())),
+            "censys" => Artifact::Figure(sections::censys_series(self.try_scans()?)),
             "scan-accounting" => {
                 // Make sure the campaign has actually run so the
                 // ledger reflects real sweeps, not a zeroed bag.
-                self.scans();
+                self.try_scans()?;
                 Artifact::Table(sections::scan_accounting(&self.scan_metrics.snapshot()))
             }
-            "impact" => Artifact::Table(impact_table(self.passive())),
-            _ => return None,
+            "impact" => Artifact::Table(impact_table(self.try_passive()?)),
+            _ => return Err(RunError::UnknownExperiment(id.to_string())),
         })
     }
 }
@@ -351,9 +417,46 @@ mod tests {
     }
 
     #[test]
-    fn unknown_id_is_none() {
+    fn unknown_id_is_an_error() {
         let mut ctx = tiny_ctx();
-        assert!(ctx.run("fig99").is_none());
+        match ctx.run("fig99") {
+            Err(RunError::UnknownExperiment(id)) => assert_eq!(id, "fig99"),
+            other => panic!("expected UnknownExperiment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_errors_surface_through_run() {
+        let mut cfg = StudyConfig::quick();
+        cfg.start = Month::ym(2015, 1);
+        cfg.end = Month::ym(2015, 1);
+        cfg.connections_per_month = 50;
+        cfg.scan_hosts = 50;
+        // Files where the checkpoint directories should be.
+        let base = std::env::temp_dir().join(format!(
+            "tlscope-report-clash-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let scan_base = base.with_extension("scan");
+        std::fs::write(&base, "not a directory").unwrap();
+        std::fs::write(&scan_base, "not a directory").unwrap();
+        cfg.checkpoint_dir = Some(base.clone());
+        cfg.scan_checkpoint_dir = Some(scan_base.clone());
+        let mut ctx = ReportContext::new(cfg);
+        match ctx.run("fig1") {
+            Err(RunError::Passive(_)) => {}
+            other => panic!("expected Passive error, got {other:?}"),
+        }
+        match ctx.run("censys") {
+            Err(RunError::Scan(_)) => {}
+            other => panic!("expected Scan error, got {other:?}"),
+        }
+        std::fs::remove_file(&base).unwrap();
+        std::fs::remove_file(&scan_base).unwrap();
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //! Files are written atomically (temp file + rename) so an interrupt
 //! mid-write leaves either no checkpoint or a complete one, never a
 //! torn file; all sections are emitted in sorted order so identical
-//! partials serialize to identical bytes.
+//! partials serialize to identical bytes. Since format v2 every file
+//! carries an FNV-1a content-checksum footer ([`tlscope_durable`]), so
+//! truncation and bit-rot are *detected* at load time; [`load_dir`]
+//! quarantines damaged files (rename to `*.ckpt.bad`) and reports
+//! their months as incomplete so the runner recomputes them, instead
+//! of aborting the whole resume. The v1 format (no footer) is still
+//! readable.
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -33,7 +39,10 @@ use tlscope_fingerprint::Fingerprint;
 use crate::aggregate::{FpClassFlags, NotaryAggregate};
 use crate::store::{month_line, parse_month_line};
 
-const HEADER: &str = "# tlscope checkpoint v1";
+/// Legacy header: files without a checksum footer.
+const HEADER_V1: &str = "# tlscope checkpoint v1";
+/// Current header: body sealed with a `sum\tfnv1a:` footer.
+const HEADER: &str = "# tlscope checkpoint v2";
 
 /// Errors from checkpoint IO or parsing.
 #[derive(Debug)]
@@ -42,6 +51,21 @@ pub enum CheckpointError {
     Io(PathBuf, std::io::Error),
     /// A checkpoint file failed to parse; carries path and 1-based line.
     Malformed(PathBuf, usize),
+    /// A v2 checkpoint file failed its content-checksum check
+    /// (truncated, torn, or bit-rotted on disk).
+    Corrupt(PathBuf),
+}
+
+impl CheckpointError {
+    /// True when the error describes a damaged *file* (recoverable by
+    /// quarantining it and recomputing its month) rather than a
+    /// filesystem failure that must abort the resume.
+    pub fn is_damage(&self) -> bool {
+        matches!(
+            self,
+            CheckpointError::Malformed(..) | CheckpointError::Corrupt(..)
+        )
+    }
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -50,6 +74,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Io(p, e) => write!(f, "checkpoint io error at {}: {e}", p.display()),
             CheckpointError::Malformed(p, line) => {
                 write!(f, "malformed checkpoint {} (line {line})", p.display())
+            }
+            CheckpointError::Corrupt(p) => {
+                write!(f, "corrupt checkpoint {} (checksum failed)", p.display())
             }
         }
     }
@@ -147,17 +174,27 @@ pub fn to_text(partial: &NotaryAggregate) -> String {
         "fail\t{}\t{}\t{}\n",
         partial.not_tls, partial.garbled_client, partial.salvaged
     ));
-    out
+    tlscope_durable::seal(out)
 }
 
 /// Parse checkpoint text back into a partial aggregate.
+///
+/// Accepts both the current sealed v2 format (checksum footer
+/// verified; failure is [`CheckpointError::Corrupt`]) and the legacy
+/// v1 format, which has no footer and is parsed as-is.
 pub fn from_text(text: &str, path: &Path) -> Result<NotaryAggregate, CheckpointError> {
     let bad = |n: usize| CheckpointError::Malformed(path.to_path_buf(), n);
-    let mut lines = text.lines().enumerate();
-    match lines.next() {
-        Some((_, header)) if header.starts_with(HEADER) => {}
-        _ => return Err(bad(1)),
-    }
+    let first = text.lines().next().unwrap_or("");
+    let body = if first.starts_with(HEADER) {
+        tlscope_durable::open_sealed(text)
+            .map_err(|_| CheckpointError::Corrupt(path.to_path_buf()))?
+    } else if first.starts_with(HEADER_V1) {
+        text
+    } else {
+        return Err(bad(1));
+    };
+    let mut lines = body.lines().enumerate();
+    lines.next(); // header, validated above
     let mut agg = NotaryAggregate::new();
     // Month stats are buffered so `flag` lines can attach to them in
     // any order relative to their `month` line. Flag and sight lines
@@ -258,21 +295,37 @@ pub fn write_month(
     month: Month,
     partial: &NotaryAggregate,
 ) -> Result<(), CheckpointError> {
-    std::fs::create_dir_all(dir).map_err(|e| CheckpointError::Io(dir.to_path_buf(), e))?;
     let final_path = month_path(dir, month);
-    let tmp_path = dir.join(format!("{month}.ckpt.tmp"));
-    std::fs::write(&tmp_path, to_text(partial))
-        .map_err(|e| CheckpointError::Io(tmp_path.clone(), e))?;
-    std::fs::rename(&tmp_path, &final_path)
-        .map_err(|e| CheckpointError::Io(final_path.clone(), e))?;
-    Ok(())
+    tlscope_durable::write_atomic(dir, &format!("{month}.ckpt"), &to_text(partial))
+        .map_err(|e| CheckpointError::Io(final_path, e))
 }
 
 /// Load one month's checkpoint file.
 pub fn read_month(dir: &Path, month: Month) -> Result<NotaryAggregate, CheckpointError> {
     let path = month_path(dir, month);
-    let text = std::fs::read_to_string(&path).map_err(|e| CheckpointError::Io(path.clone(), e))?;
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        // Bit-rot can make a file invalid UTF-8; that is damage to the
+        // file's content, not a filesystem failure.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            return Err(CheckpointError::Corrupt(path));
+        }
+        Err(e) => return Err(CheckpointError::Io(path, e)),
+    };
     from_text(&text, &path)
+}
+
+/// Result of scanning a checkpoint directory with [`load_dir`].
+#[derive(Debug)]
+pub struct DirLoad {
+    /// Merge of every intact month partial.
+    pub aggregate: NotaryAggregate,
+    /// Months whose checkpoints loaded cleanly (safe to skip).
+    pub completed: BTreeSet<Month>,
+    /// Quarantine paths (`*.ckpt.bad`) of damaged files that were
+    /// moved aside; their months are *not* in `completed`, so the
+    /// runner recomputes them.
+    pub quarantined: Vec<PathBuf>,
 }
 
 /// Scan a checkpoint directory: merge every completed month's partial
@@ -280,13 +333,20 @@ pub fn read_month(dir: &Path, month: Month) -> Result<NotaryAggregate, Checkpoin
 ///
 /// A missing directory is a valid cold start (empty aggregate, no
 /// completed months). Leftover `.tmp` files from an interrupted write
-/// are ignored — their month was not completed.
-pub fn load_dir(dir: &Path) -> Result<(NotaryAggregate, BTreeSet<Month>), CheckpointError> {
-    let mut agg = NotaryAggregate::new();
-    let mut done = BTreeSet::new();
+/// are ignored — their month was not completed. A damaged file
+/// (malformed, truncated, or failing its checksum) is quarantined —
+/// renamed to `<month>.ckpt.bad` — and its month reported incomplete,
+/// so a resume recomputes it instead of aborting; only filesystem
+/// errors abort.
+pub fn load_dir(dir: &Path) -> Result<DirLoad, CheckpointError> {
+    let mut load = DirLoad {
+        aggregate: NotaryAggregate::new(),
+        completed: BTreeSet::new(),
+        quarantined: Vec::new(),
+    };
     let entries = match std::fs::read_dir(dir) {
         Ok(entries) => entries,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((agg, done)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(load),
         Err(e) => return Err(CheckpointError::Io(dir.to_path_buf(), e)),
     };
     let mut months = Vec::new();
@@ -304,10 +364,21 @@ pub fn load_dir(dir: &Path) -> Result<(NotaryAggregate, BTreeSet<Month>), Checkp
     // commutative anyway, but determinism should not depend on it).
     months.sort();
     for month in months {
-        agg.merge(read_month(dir, month)?);
-        done.insert(month);
+        match read_month(dir, month) {
+            Ok(partial) => {
+                load.aggregate.merge(partial);
+                load.completed.insert(month);
+            }
+            Err(e) if e.is_damage() => {
+                let path = month_path(dir, month);
+                let bad = tlscope_durable::quarantine(&path)
+                    .map_err(|io| CheckpointError::Io(path, io))?;
+                load.quarantined.push(bad);
+            }
+            Err(e) => return Err(e),
+        }
     }
-    Ok((agg, done))
+    Ok(load)
 }
 
 #[cfg(test)]
@@ -350,10 +421,24 @@ mod tests {
         assert!(partial.sightings.len() > 0, "sample must exercise fps");
         assert!(partial.distinct_fingerprints() > 0);
         let text = to_text(&partial);
+        assert!(text.starts_with(HEADER));
         let back = from_text(&text, Path::new("test")).unwrap();
         assert_eq!(partial, back, "checkpoint text must be lossless");
         // Serialization itself is deterministic.
         assert_eq!(text, to_text(&back));
+    }
+
+    #[test]
+    fn v1_format_is_still_readable() {
+        let partial = sample_partial(Month::ym(2016, 2));
+        // Reconstruct what a v1 writer produced: same body, v1 header,
+        // no checksum footer.
+        let sealed = to_text(&partial);
+        let body = tlscope_durable::open_sealed(&sealed).unwrap();
+        let v1_text = body.replacen(HEADER, HEADER_V1, 1);
+        assert!(v1_text.starts_with(HEADER_V1));
+        let back = from_text(&v1_text, Path::new("legacy")).unwrap();
+        assert_eq!(partial, back, "v1 checkpoints must stay lossless");
     }
 
     #[test]
@@ -370,17 +455,19 @@ mod tests {
         write_month(&dir, m2, &p2).unwrap();
         // A leftover temp file from an interrupted write is ignored.
         std::fs::write(dir.join("2015-08.ckpt.tmp"), "torn").unwrap();
-        let (loaded, done) = load_dir(&dir).unwrap();
-        assert_eq!(loaded, whole);
-        assert_eq!(done.into_iter().collect::<Vec<_>>(), vec![m1, m2]);
+        let load = load_dir(&dir).unwrap();
+        assert_eq!(load.aggregate, whole);
+        assert_eq!(load.completed.into_iter().collect::<Vec<_>>(), vec![m1, m2]);
+        assert!(load.quarantined.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn missing_dir_is_cold_start() {
-        let (agg, done) = load_dir(&unique_dir("absent")).unwrap();
-        assert_eq!(agg, NotaryAggregate::new());
-        assert!(done.is_empty());
+        let load = load_dir(&unique_dir("absent")).unwrap();
+        assert_eq!(load.aggregate, NotaryAggregate::new());
+        assert!(load.completed.is_empty());
+        assert!(load.quarantined.is_empty());
     }
 
     #[test]
@@ -407,9 +494,73 @@ mod tests {
             ),
             Err(CheckpointError::Malformed(_, 2)),
         ));
+        // A v2 header without a valid checksum footer is corrupt.
+        assert!(matches!(
+            from_text("# tlscope checkpoint v2\nfail\t0\t0\t0\n", p),
+            Err(CheckpointError::Corrupt(_)),
+        ));
         // Error values render.
         let err = from_text("", p).unwrap_err();
         assert!(err.to_string().contains("line 1"));
+        let err = from_text("# tlscope checkpoint v2\n", p).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn truncated_and_flipped_files_are_corrupt() {
+        let partial = sample_partial(Month::ym(2015, 9));
+        let text = to_text(&partial);
+        let p = Path::new("x");
+        // Truncation anywhere past the header is detected.
+        let cut = text.len() / 2;
+        assert!(matches!(
+            from_text(&text[..cut], p),
+            Err(CheckpointError::Corrupt(_)),
+        ));
+        // A single flipped bit is detected.
+        let mut bytes = text.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        let flipped = String::from_utf8_lossy(&bytes).into_owned();
+        assert!(matches!(
+            from_text(&flipped, p),
+            Err(CheckpointError::Corrupt(_)),
+        ));
+    }
+
+    #[test]
+    fn damaged_files_are_quarantined_not_fatal() {
+        let dir = unique_dir("quarantine");
+        let m1 = Month::ym(2015, 6);
+        let m2 = Month::ym(2015, 7);
+        let m3 = Month::ym(2015, 8);
+        write_month(&dir, m1, &sample_partial(m1)).unwrap();
+        write_month(&dir, m2, &sample_partial(m2)).unwrap();
+        write_month(&dir, m3, &sample_partial(m3)).unwrap();
+        // Truncate m2's file and garble m3's outright.
+        let p2 = dir.join(format!("{m2}.ckpt"));
+        let text2 = std::fs::read_to_string(&p2).unwrap();
+        std::fs::write(&p2, &text2[..text2.len() / 3]).unwrap();
+        let p3 = dir.join(format!("{m3}.ckpt"));
+        std::fs::write(&p3, b"not a checkpoint at all\xff\xfe").unwrap();
+        let load = load_dir(&dir).unwrap();
+        assert_eq!(load.aggregate, sample_partial(m1));
+        assert_eq!(load.completed.into_iter().collect::<Vec<_>>(), vec![m1]);
+        assert_eq!(
+            load.quarantined,
+            vec![
+                dir.join(format!("{m2}.ckpt.bad")),
+                dir.join(format!("{m3}.ckpt.bad"))
+            ]
+        );
+        // The damaged bytes were preserved, and the live names freed.
+        assert!(!p2.exists() && !p3.exists());
+        assert!(load.quarantined.iter().all(|p| p.exists()));
+        // A second load sees one intact month and no new damage.
+        let again = load_dir(&dir).unwrap();
+        assert_eq!(again.completed.len(), 1);
+        assert!(again.quarantined.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod store;
 pub use aggregate::{
     AeadCounts, FpClassFlags, KxCounts, MonthlyStats, NotaryAggregate, PositionMean, VersionCounts,
 };
-pub use checkpoint::CheckpointError;
+pub use checkpoint::{CheckpointError, DirLoad};
 pub use conn::{ClientOffer, ConnectionRecord, ExtractError, ServerAnswer, ServerOutcome};
 pub use metrics::{MetricsSnapshot, PipelineMetrics};
 pub use pipeline::{

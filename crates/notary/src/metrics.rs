@@ -50,6 +50,10 @@ pub struct PipelineMetrics {
 
     merge_nanos: AtomicU64,
     shards_lost: AtomicU64,
+
+    checkpoints_written: AtomicU64,
+    checkpoints_loaded: AtomicU64,
+    checkpoints_quarantined: AtomicU64,
 }
 
 impl PipelineMetrics {
@@ -132,6 +136,23 @@ impl PipelineMetrics {
         self.shards_lost.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one checkpoint file written to the durable store.
+    pub fn record_checkpoint_written(&self) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` checkpoint files loaded cleanly on resume (their
+    /// months are skipped, not recomputed).
+    pub fn record_checkpoints_loaded(&self, n: u64) {
+        self.checkpoints_loaded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` damaged checkpoint files quarantined on resume
+    /// (renamed to `*.ckpt.bad`; their months are recomputed).
+    pub fn record_checkpoints_quarantined(&self, n: u64) {
+        self.checkpoints_quarantined.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Shards lost so far (also available via [`snapshot`]).
     ///
     /// [`snapshot`]: PipelineMetrics::snapshot
@@ -159,6 +180,9 @@ impl PipelineMetrics {
             flows_quarantined: self.flows_quarantined.load(Ordering::Relaxed),
             merge_nanos: self.merge_nanos.load(Ordering::Relaxed),
             shards_lost: self.shards_lost.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoints_loaded: self.checkpoints_loaded.load(Ordering::Relaxed),
+            checkpoints_quarantined: self.checkpoints_quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -202,6 +226,13 @@ pub struct MetricsSnapshot {
     pub merge_nanos: u64,
     /// Worker shards lost to panics.
     pub shards_lost: u64,
+    /// Checkpoint files written to the durable store.
+    pub checkpoints_written: u64,
+    /// Checkpoint files loaded cleanly on resume (months skipped).
+    pub checkpoints_loaded: u64,
+    /// Damaged checkpoint files quarantined on resume (months
+    /// recomputed).
+    pub checkpoints_quarantined: u64,
 }
 
 fn rate(count: u64, nanos: u64) -> f64 {
@@ -286,6 +317,10 @@ impl MetricsSnapshot {
             self.shards_lost,
             self.flows_lost(),
         ));
+        out.push_str(&format!(
+            "  checkpoint {:>12} written {:>9} loaded {:>10} quarantined\n",
+            self.checkpoints_written, self.checkpoints_loaded, self.checkpoints_quarantined,
+        ));
         out
     }
 }
@@ -339,7 +374,14 @@ mod tests {
         m.record_salvaged(2);
         m.record_outage_dropped(5);
         m.record_duplicated(1);
+        m.record_checkpoint_written();
+        m.record_checkpoint_written();
+        m.record_checkpoints_loaded(4);
+        m.record_checkpoints_quarantined(1);
         let s = m.snapshot();
+        assert_eq!(s.checkpoints_written, 2);
+        assert_eq!(s.checkpoints_loaded, 4);
+        assert_eq!(s.checkpoints_quarantined, 1);
         assert_eq!(s.batch_retries, 2);
         assert_eq!(s.worker_respawns, 1);
         assert_eq!(s.flows_quarantined, 3);
@@ -357,6 +399,7 @@ mod tests {
             "quarantined",
             "salvaged",
             "outage-dropped",
+            "checkpoint",
         ] {
             assert!(text.contains(needle), "render missing {needle}: {text}");
         }

@@ -22,10 +22,11 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, Once};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tlscope_chron::Date;
+use tlscope_durable::{install_quiet_panic_hook, quiet_thread_panics};
 
 use crate::aggregate::NotaryAggregate;
 use crate::conn::extract;
@@ -151,27 +152,6 @@ impl PipelineConfig {
     pub fn retry_backoff(&self) -> Duration {
         self.retry_backoff
     }
-}
-
-// The default panic hook prints every caught worker panic, which
-// floods output once panics are expected and supervised. The hook
-// below forwards to the previous hook unless the current thread is
-// inside a supervised worker.
-thread_local! {
-    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-static QUIET_HOOK: Once = Once::new();
-
-fn install_quiet_panic_hook() {
-    QUIET_HOOK.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if !QUIET_PANICS.with(|q| q.get()) {
-                prev(info);
-            }
-        }));
-    });
 }
 
 /// Extract one flow and fold it into `agg`.
@@ -353,7 +333,7 @@ where
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 scope.spawn(move || {
-                    QUIET_PANICS.with(|q| q.set(true));
+                    quiet_thread_panics(true);
                     let mut agg = NotaryAggregate::new();
                     loop {
                         let received = {

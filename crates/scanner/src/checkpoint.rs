@@ -1,0 +1,454 @@
+//! Per-date checkpoint files for resumable scan campaigns.
+//!
+//! The paper's Censys campaign swept IPv4 weekly for almost three
+//! years (§3.2); a crash 100 sweeps in must not force a restart from
+//! zero. The campaign runner persists each completed date's
+//! [`ScanSnapshot`] *and* its per-date [`ScanMetrics`] ledger to
+//! `<dir>/<YYYY-MM-DD>.ckpt`, and on resume reloads both: the
+//! snapshot fills the date's slot in the campaign series, and the
+//! ledger is replayed into the campaign's metrics bag
+//! ([`ScanMetrics::absorb`]) so the resumed run's accounting — right
+//! down to the two-part invariant `dispatched == probed + dropped` —
+//! is indistinguishable from an uninterrupted run. Because every
+//! sweep is a pure function of `(seed, date, host_index, attempt)`,
+//! the resumed series is **bit-identical** (`PartialEq`) to a clean
+//! run at any worker count and under any fault profile.
+//!
+//! Files are written atomically (tmp + rename, via
+//! [`tlscope_durable::write_atomic`]) and sealed with an FNV-1a
+//! content-checksum footer from birth, so truncation and bit-rot are
+//! *detected* at load: [`load_dir`] quarantines damaged files
+//! (rename to `*.ckpt.bad`) and reports their dates as incomplete so
+//! the campaign re-sweeps them instead of aborting.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use tlscope_chron::Date;
+
+use crate::metrics::ScanMetricsSnapshot;
+use crate::sweep::ScanSnapshot;
+
+/// Versioned first line of every scan checkpoint file.
+const HEADER: &str = "# tlscope scan checkpoint v1";
+
+/// Errors from scan-checkpoint IO or parsing.
+#[derive(Debug)]
+pub enum ScanCheckpointError {
+    /// Filesystem failure (path carried for context).
+    Io(PathBuf, std::io::Error),
+    /// A checkpoint file failed to parse; carries path and 1-based
+    /// line.
+    Malformed(PathBuf, usize),
+    /// A checkpoint file failed its content-checksum check (truncated,
+    /// torn, or bit-rotted on disk).
+    Corrupt(PathBuf),
+}
+
+impl ScanCheckpointError {
+    /// True when the error describes a damaged *file* (recoverable by
+    /// quarantining it and re-sweeping its date) rather than a
+    /// filesystem failure that must abort the resume.
+    pub fn is_damage(&self) -> bool {
+        matches!(
+            self,
+            ScanCheckpointError::Malformed(..) | ScanCheckpointError::Corrupt(..)
+        )
+    }
+}
+
+impl std::fmt::Display for ScanCheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanCheckpointError::Io(p, e) => {
+                write!(f, "scan checkpoint io error at {}: {e}", p.display())
+            }
+            ScanCheckpointError::Malformed(p, line) => {
+                write!(f, "malformed scan checkpoint {} (line {line})", p.display())
+            }
+            ScanCheckpointError::Corrupt(p) => {
+                write!(
+                    f,
+                    "corrupt scan checkpoint {} (checksum failed)",
+                    p.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScanCheckpointError {}
+
+/// One completed campaign date: what the sweep measured and what it
+/// cost. The ledger is the per-date [`ScanMetricsSnapshot`] recorded
+/// while sweeping only this date, so replaying it on resume
+/// reconstructs the campaign totals losslessly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DateCheckpoint {
+    /// The sweep's measurement counters.
+    pub snapshot: ScanSnapshot,
+    /// The sweep's accounting ledger (core counters only; checkpoint
+    /// counters are per-run and never persisted).
+    pub ledger: ScanMetricsSnapshot,
+}
+
+/// Serialize one completed date to checkpoint text: versioned header,
+/// a `snap` line, a `ledger` line, and a checksum footer. Field order
+/// is fixed, so equal checkpoints produce equal bytes.
+pub fn to_text(ckpt: &DateCheckpoint) -> String {
+    let s = &ckpt.snapshot;
+    let l = &ckpt.ledger;
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    out.push_str(&format!(
+        "snap\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        s.date,
+        s.hosts,
+        s.ssl3_supported,
+        s.answered,
+        s.chose_aead,
+        s.chose_cbc,
+        s.chose_rc4,
+        s.chose_3des,
+        s.chose_tls12,
+        s.export_supported,
+        s.heartbeat_supported,
+        s.heartbleed_vulnerable,
+    ));
+    out.push_str(&format!(
+        "ledger\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        l.hosts_dispatched,
+        l.hosts_probed,
+        l.hosts_dropped,
+        l.host_retries,
+        l.probes_sent,
+        l.handshakes_completed,
+        l.handshakes_refused,
+        l.probes_timed_out,
+        l.workers_lost,
+        l.sweeps_completed,
+        l.scan_nanos,
+    ));
+    tlscope_durable::seal(out)
+}
+
+/// Parse checkpoint text back into a [`DateCheckpoint`]. The checksum
+/// footer is verified first; a failed check is
+/// [`ScanCheckpointError::Corrupt`].
+pub fn from_text(text: &str, path: &Path) -> Result<DateCheckpoint, ScanCheckpointError> {
+    let bad = |n: usize| ScanCheckpointError::Malformed(path.to_path_buf(), n);
+    if !text.lines().next().unwrap_or("").starts_with(HEADER) {
+        return Err(bad(1));
+    }
+    let body = tlscope_durable::open_sealed(text)
+        .map_err(|_| ScanCheckpointError::Corrupt(path.to_path_buf()))?;
+    // Both section lines carry exactly eleven u64 counters (the snap
+    // line after its leading date field).
+    fn counters(fields: &mut std::str::Split<'_, char>) -> Option<[u64; 11]> {
+        let mut out = [0u64; 11];
+        for slot in &mut out {
+            *slot = fields.next()?.parse().ok()?;
+        }
+        fields.next().is_none().then_some(out)
+    }
+    let mut snapshot: Option<ScanSnapshot> = None;
+    let mut ledger: Option<ScanMetricsSnapshot> = None;
+    let mut last = 1;
+    for (idx, line) in body.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = idx + 1;
+        last = n;
+        let (tag, rest) = line.split_once('\t').ok_or(bad(n))?;
+        let mut f = rest.split('\t');
+        match tag {
+            "snap" if snapshot.is_none() => {
+                let date: Date = f.next().and_then(|v| v.parse().ok()).ok_or(bad(n))?;
+                let c = counters(&mut f).ok_or(bad(n))?;
+                snapshot = Some(ScanSnapshot {
+                    date,
+                    hosts: c[0],
+                    ssl3_supported: c[1],
+                    answered: c[2],
+                    chose_aead: c[3],
+                    chose_cbc: c[4],
+                    chose_rc4: c[5],
+                    chose_3des: c[6],
+                    chose_tls12: c[7],
+                    export_supported: c[8],
+                    heartbeat_supported: c[9],
+                    heartbleed_vulnerable: c[10],
+                });
+            }
+            "ledger" if ledger.is_none() => {
+                let c = counters(&mut f).ok_or(bad(n))?;
+                ledger = Some(ScanMetricsSnapshot {
+                    hosts_dispatched: c[0],
+                    hosts_probed: c[1],
+                    hosts_dropped: c[2],
+                    host_retries: c[3],
+                    probes_sent: c[4],
+                    handshakes_completed: c[5],
+                    handshakes_refused: c[6],
+                    probes_timed_out: c[7],
+                    workers_lost: c[8],
+                    sweeps_completed: c[9],
+                    scan_nanos: c[10],
+                    checkpoints_written: 0,
+                    checkpoints_loaded: 0,
+                    checkpoints_quarantined: 0,
+                });
+            }
+            // Duplicate sections or unknown tags are malformed.
+            _ => return Err(bad(n)),
+        }
+    }
+    match (snapshot, ledger) {
+        (Some(snapshot), Some(ledger)) => Ok(DateCheckpoint { snapshot, ledger }),
+        // A missing section means the body ended early.
+        _ => Err(bad(last + 1)),
+    }
+}
+
+fn date_path(dir: &Path, date: Date) -> PathBuf {
+    dir.join(format!("{date}.ckpt"))
+}
+
+/// Atomically write the checkpoint for one completed date.
+pub fn write_date(dir: &Path, ckpt: &DateCheckpoint) -> Result<(), ScanCheckpointError> {
+    let date = ckpt.snapshot.date;
+    tlscope_durable::write_atomic(dir, &format!("{date}.ckpt"), &to_text(ckpt))
+        .map_err(|e| ScanCheckpointError::Io(date_path(dir, date), e))
+}
+
+/// Load one date's checkpoint file. The filename date must match the
+/// `snap` line's date — a mismatch means the file's content does not
+/// belong to this slot and is treated as damage.
+pub fn read_date(dir: &Path, date: Date) -> Result<DateCheckpoint, ScanCheckpointError> {
+    let path = date_path(dir, date);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        // Bit-rot can make a file invalid UTF-8; that is damage to the
+        // file's content, not a filesystem failure.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            return Err(ScanCheckpointError::Corrupt(path));
+        }
+        Err(e) => return Err(ScanCheckpointError::Io(path, e)),
+    };
+    let ckpt = from_text(&text, &path)?;
+    if ckpt.snapshot.date != date {
+        return Err(ScanCheckpointError::Malformed(path, 2));
+    }
+    Ok(ckpt)
+}
+
+/// Result of scanning a scan-checkpoint directory with [`load_dir`].
+#[derive(Debug)]
+pub struct ScanDirLoad {
+    /// Dates whose checkpoints loaded cleanly, with their contents.
+    pub completed: BTreeMap<Date, DateCheckpoint>,
+    /// Quarantine paths (`*.ckpt.bad`) of damaged files that were
+    /// moved aside; their dates are *not* in `completed`, so the
+    /// campaign re-sweeps them.
+    pub quarantined: Vec<PathBuf>,
+}
+
+/// Scan a checkpoint directory for completed campaign dates.
+///
+/// A missing directory is a valid cold start. Leftover `.tmp` files
+/// from an interrupted write are ignored — their date was not
+/// completed. A damaged file (malformed, truncated, failing its
+/// checksum, or carrying the wrong date) is quarantined — renamed to
+/// `<date>.ckpt.bad` — and its date reported incomplete, so a resume
+/// re-sweeps it instead of aborting; only filesystem errors abort.
+pub fn load_dir(dir: &Path) -> Result<ScanDirLoad, ScanCheckpointError> {
+    let mut load = ScanDirLoad {
+        completed: BTreeMap::new(),
+        quarantined: Vec::new(),
+    };
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(load),
+        Err(e) => return Err(ScanCheckpointError::Io(dir.to_path_buf(), e)),
+    };
+    let mut dates = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| ScanCheckpointError::Io(dir.to_path_buf(), e))?;
+        let name = entry.file_name();
+        let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".ckpt")) else {
+            continue;
+        };
+        if let Ok(date) = stem.parse::<Date>() {
+            dates.push(date);
+        }
+    }
+    dates.sort();
+    for date in dates {
+        match read_date(dir, date) {
+            Ok(ckpt) => {
+                load.completed.insert(date, ckpt);
+            }
+            Err(e) if e.is_damage() => {
+                let path = date_path(dir, date);
+                let bad = tlscope_durable::quarantine(&path)
+                    .map_err(|io| ScanCheckpointError::Io(path, io))?;
+                load.quarantined.push(bad);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::ScanFaults;
+    use crate::metrics::ScanMetrics;
+    use crate::sweep::sweep_sharded_with;
+    use tlscope_servers::ServerPopulation;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        let pid = std::process::id();
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        std::env::temp_dir().join(format!("tlscope-scan-ckpt-{tag}-{pid}-{t}"))
+    }
+
+    fn sample_checkpoint(date: Date) -> DateCheckpoint {
+        let pop = ServerPopulation::new();
+        let metrics = ScanMetrics::new();
+        let snapshot = sweep_sharded_with(
+            &pop,
+            date,
+            400,
+            41,
+            1,
+            &metrics,
+            &ScanFaults::scan_defaults(),
+        );
+        DateCheckpoint {
+            snapshot,
+            ledger: metrics.snapshot(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let ckpt = sample_checkpoint(Date::ymd(2016, 3, 5));
+        assert!(ckpt.ledger.accounting_holds());
+        assert!(ckpt.snapshot.answered > 0, "sample must probe something");
+        let text = to_text(&ckpt);
+        assert!(text.starts_with(HEADER));
+        let back = from_text(&text, Path::new("test")).unwrap();
+        assert_eq!(ckpt, back, "checkpoint text must be lossless");
+        assert_eq!(text, to_text(&back));
+    }
+
+    #[test]
+    fn dir_roundtrip_and_tmp_files_ignored() {
+        let dir = unique_dir("dir");
+        let d1 = Date::ymd(2016, 3, 5);
+        let d2 = Date::ymd(2016, 4, 4);
+        let c1 = sample_checkpoint(d1);
+        let c2 = sample_checkpoint(d2);
+        write_date(&dir, &c1).unwrap();
+        write_date(&dir, &c2).unwrap();
+        std::fs::write(dir.join("2016-05-04.ckpt.tmp"), "torn").unwrap();
+        let load = load_dir(&dir).unwrap();
+        assert_eq!(load.completed.len(), 2);
+        assert_eq!(load.completed[&d1], c1);
+        assert_eq!(load.completed[&d2], c2);
+        assert!(load.quarantined.is_empty());
+        assert!(!dir.join("2016-03-05.ckpt.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_cold_start() {
+        let load = load_dir(&unique_dir("absent")).unwrap();
+        assert!(load.completed.is_empty());
+        assert!(load.quarantined.is_empty());
+    }
+
+    #[test]
+    fn malformed_and_corrupt_texts_are_rejected() {
+        let p = Path::new("x");
+        assert!(matches!(
+            from_text("", p),
+            Err(ScanCheckpointError::Malformed(_, 1))
+        ));
+        assert!(matches!(
+            from_text("# some other file\n", p),
+            Err(ScanCheckpointError::Malformed(_, 1))
+        ));
+        // Right header, no footer: truncation.
+        assert!(matches!(
+            from_text("# tlscope scan checkpoint v1\n", p),
+            Err(ScanCheckpointError::Corrupt(_))
+        ));
+        // Sealed but missing the ledger section.
+        let half = tlscope_durable::seal(format!(
+            "{HEADER}\nsnap\t2016-03-05\t1\t1\t1\t1\t1\t1\t1\t1\t1\t1\t1\n"
+        ));
+        assert!(matches!(
+            from_text(&half, p),
+            Err(ScanCheckpointError::Malformed(_, 3))
+        ));
+        // Sealed but with a bogus tag.
+        let bogus = tlscope_durable::seal(format!("{HEADER}\nwhat\tis\tthis\n"));
+        assert!(matches!(
+            from_text(&bogus, p),
+            Err(ScanCheckpointError::Malformed(_, 2))
+        ));
+        // Errors render with context.
+        let err = from_text(&bogus, p).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let err = from_text("# tlscope scan checkpoint v1\n", p).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn damaged_files_are_quarantined_not_fatal() {
+        let dir = unique_dir("quarantine");
+        let d1 = Date::ymd(2016, 3, 5);
+        let d2 = Date::ymd(2016, 4, 4);
+        let d3 = Date::ymd(2016, 5, 4);
+        let d4 = Date::ymd(2016, 6, 3);
+        for d in [d1, d2, d3, d4] {
+            write_date(&dir, &sample_checkpoint(d)).unwrap();
+        }
+        // Truncate d2, bit-flip d3, and swap d4's content to a
+        // different date (slot mismatch).
+        let p2 = date_path(&dir, d2);
+        let t2 = std::fs::read_to_string(&p2).unwrap();
+        std::fs::write(&p2, &t2[..t2.len() / 2]).unwrap();
+        let p3 = date_path(&dir, d3);
+        let mut b3 = std::fs::read(&p3).unwrap();
+        let mid = b3.len() / 2;
+        b3[mid] ^= 0x10;
+        std::fs::write(&p3, &b3).unwrap();
+        let p4 = date_path(&dir, d4);
+        std::fs::write(&p4, to_text(&sample_checkpoint(d1))).unwrap();
+
+        let load = load_dir(&dir).unwrap();
+        assert_eq!(load.completed.keys().copied().collect::<Vec<_>>(), vec![d1]);
+        assert_eq!(
+            load.quarantined,
+            vec![
+                dir.join(format!("{d2}.ckpt.bad")),
+                dir.join(format!("{d3}.ckpt.bad")),
+                dir.join(format!("{d4}.ckpt.bad")),
+            ]
+        );
+        assert!(load.quarantined.iter().all(|p| p.exists()));
+        // A second load sees one intact date and no new damage.
+        let again = load_dir(&dir).unwrap();
+        assert_eq!(again.completed.len(), 1);
+        assert!(again.quarantined.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -21,12 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod faults;
 pub mod metrics;
 pub mod probe;
 pub mod schedule;
 pub mod sweep;
 
+pub use checkpoint::{DateCheckpoint, ScanCheckpointError, ScanDirLoad};
 pub use faults::{ScanFaultConfigError, ScanFaults, DEAD_HOST_SPAN_DAYS, MAX_PROBE_ATTEMPTS};
 pub use metrics::{ScanMetrics, ScanMetricsSnapshot};
 pub use probe::{PreparedProbe, ProbeSet};

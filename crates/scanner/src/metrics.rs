@@ -42,6 +42,10 @@ pub struct ScanMetrics {
     workers_lost: AtomicU64,
     sweeps_completed: AtomicU64,
     scan_nanos: AtomicU64,
+
+    checkpoints_written: AtomicU64,
+    checkpoints_loaded: AtomicU64,
+    checkpoints_quarantined: AtomicU64,
 }
 
 impl ScanMetrics {
@@ -104,6 +108,54 @@ impl ScanMetrics {
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Record one checkpoint file written to the durable store.
+    pub fn record_checkpoint_written(&self) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` checkpoint files loaded cleanly on resume (their
+    /// dates are skipped, not re-swept).
+    pub fn record_checkpoints_loaded(&self, n: u64) {
+        self.checkpoints_loaded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` damaged checkpoint files quarantined on resume
+    /// (renamed to `*.ckpt.bad`; their dates are re-swept).
+    pub fn record_checkpoints_quarantined(&self, n: u64) {
+        self.checkpoints_quarantined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Fold a stored per-date ledger back into this bag — the resume
+    /// path's replay of a skipped date's accounting, so a resumed
+    /// campaign's totals (and its two-part invariant) match an
+    /// uninterrupted run exactly.
+    ///
+    /// Only the sweep-ledger counters are absorbed; the checkpoint
+    /// counters describe *this* run's durable-store activity and are
+    /// never carried across runs.
+    pub fn absorb(&self, s: &ScanMetricsSnapshot) {
+        self.hosts_dispatched
+            .fetch_add(s.hosts_dispatched, Ordering::Relaxed);
+        self.hosts_probed
+            .fetch_add(s.hosts_probed, Ordering::Relaxed);
+        self.hosts_dropped
+            .fetch_add(s.hosts_dropped, Ordering::Relaxed);
+        self.host_retries
+            .fetch_add(s.host_retries, Ordering::Relaxed);
+        self.probes_sent.fetch_add(s.probes_sent, Ordering::Relaxed);
+        self.handshakes_completed
+            .fetch_add(s.handshakes_completed, Ordering::Relaxed);
+        self.handshakes_refused
+            .fetch_add(s.handshakes_refused, Ordering::Relaxed);
+        self.probes_timed_out
+            .fetch_add(s.probes_timed_out, Ordering::Relaxed);
+        self.workers_lost
+            .fetch_add(s.workers_lost, Ordering::Relaxed);
+        self.sweeps_completed
+            .fetch_add(s.sweeps_completed, Ordering::Relaxed);
+        self.scan_nanos.fetch_add(s.scan_nanos, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of all counters.
     pub fn snapshot(&self) -> ScanMetricsSnapshot {
         ScanMetricsSnapshot {
@@ -118,6 +170,9 @@ impl ScanMetrics {
             workers_lost: self.workers_lost.load(Ordering::Relaxed),
             sweeps_completed: self.sweeps_completed.load(Ordering::Relaxed),
             scan_nanos: self.scan_nanos.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoints_loaded: self.checkpoints_loaded.load(Ordering::Relaxed),
+            checkpoints_quarantined: self.checkpoints_quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -151,6 +206,13 @@ pub struct ScanMetricsSnapshot {
     pub sweeps_completed: u64,
     /// CPU-summed sweep wall-clock, nanoseconds.
     pub scan_nanos: u64,
+    /// Checkpoint files written to the durable store.
+    pub checkpoints_written: u64,
+    /// Checkpoint files loaded cleanly on resume (dates skipped).
+    pub checkpoints_loaded: u64,
+    /// Damaged checkpoint files quarantined on resume (dates
+    /// re-swept).
+    pub checkpoints_quarantined: u64,
 }
 
 fn rate(count: u64, nanos: u64) -> f64 {
@@ -230,6 +292,10 @@ impl ScanMetricsSnapshot {
             } else {
                 "IMBALANCED"
             },
+        ));
+        out.push_str(&format!(
+            "  checkpoint {:>12} written {:>9} loaded {:>10} quarantined\n",
+            self.checkpoints_written, self.checkpoints_loaded, self.checkpoints_quarantined,
         ));
         out
     }
@@ -324,6 +390,40 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.hosts_probed, 2000);
         assert!(s.accounting_holds());
+    }
+
+    #[test]
+    fn absorb_replays_a_stored_ledger_exactly() {
+        let per_date = ScanMetrics::new();
+        per_date.record_dispatched(600);
+        per_date.record_probed(580, 1740, 1500, 200, 40);
+        per_date.record_dropped(20);
+        per_date.record_retries(35);
+        per_date.record_worker_lost();
+        per_date.record_sweep(Duration::from_millis(7));
+        let stored = per_date.snapshot();
+        assert!(stored.accounting_holds());
+
+        let campaign = ScanMetrics::new();
+        campaign.record_checkpoint_written();
+        campaign.absorb(&stored);
+        let replayed = campaign.snapshot();
+        // Every ledger counter carried over, checkpoint counters not.
+        assert_eq!(replayed.hosts_dispatched, stored.hosts_dispatched);
+        assert_eq!(replayed.hosts_probed, stored.hosts_probed);
+        assert_eq!(replayed.hosts_dropped, stored.hosts_dropped);
+        assert_eq!(replayed.host_retries, stored.host_retries);
+        assert_eq!(replayed.probes_sent, stored.probes_sent);
+        assert_eq!(replayed.handshakes_completed, stored.handshakes_completed);
+        assert_eq!(replayed.handshakes_refused, stored.handshakes_refused);
+        assert_eq!(replayed.probes_timed_out, stored.probes_timed_out);
+        assert_eq!(replayed.workers_lost, stored.workers_lost);
+        assert_eq!(replayed.sweeps_completed, stored.sweeps_completed);
+        assert_eq!(replayed.scan_nanos, stored.scan_nanos);
+        assert_eq!(replayed.checkpoints_written, 1);
+        assert_eq!(replayed.checkpoints_loaded, 0);
+        assert!(replayed.accounting_holds());
+        assert!(replayed.render().contains("checkpoint"));
     }
 
     #[test]

@@ -7,11 +7,14 @@
 //! a dead campaign worker forfeits only its unfinished dates, which
 //! are re-swept inline after the survivors drain the queue.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use tlscope_chron::Date;
 use tlscope_servers::ServerPopulation;
 
+use crate::checkpoint::{self, DateCheckpoint, ScanCheckpointError};
 use crate::faults::ScanFaults;
 use crate::metrics::ScanMetrics;
 use crate::sweep::{quiet_thread_panics, sweep_faulted, sweep_sharded_with, ScanSnapshot};
@@ -114,54 +117,142 @@ impl ScanCampaign {
         workers: usize,
         metrics: &ScanMetrics,
     ) -> Vec<ScanSnapshot> {
-        let workers = workers.max(1).min(self.dates.len().max(1));
+        self.run_durable(population, workers, metrics, None)
+            .unwrap_or_else(|e| unreachable!("no checkpoint dir, no checkpoint IO: {e}"))
+    }
+
+    /// [`ScanCampaign::run_parallel`] with durable checkpoint/resume.
+    ///
+    /// With `checkpoint_dir` set, every completed date's
+    /// [`ScanSnapshot`] and per-date accounting ledger are persisted to
+    /// `<dir>/<YYYY-MM-DD>.ckpt` (atomic tmp+rename, checksummed — see
+    /// [`crate::checkpoint`]), and dates already present in the store
+    /// are *skipped*: their snapshots fill the series directly and
+    /// their ledgers are replayed into `metrics`
+    /// ([`ScanMetrics::absorb`]), so a resumed campaign returns
+    /// snapshots and totals bit-identical to an uninterrupted run — at
+    /// any worker count, under any fault profile. Damaged checkpoint
+    /// files are quarantined (`*.ckpt.bad`, counted in
+    /// `checkpoints_quarantined`) and their dates re-swept.
+    ///
+    /// Only filesystem failures abort the campaign, and they surface
+    /// as [`ScanCheckpointError::Io`] after in-flight workers drain;
+    /// every date swept before the failure keeps its checkpoint, so a
+    /// rerun loses nothing.
+    pub fn run_durable(
+        &self,
+        population: &ServerPopulation,
+        workers: usize,
+        metrics: &ScanMetrics,
+        checkpoint_dir: Option<&Path>,
+    ) -> Result<Vec<ScanSnapshot>, ScanCheckpointError> {
+        let mut ordered: Vec<Option<ScanSnapshot>> = vec![None; self.dates.len()];
+        // Resume: adopt completed dates from the store. Snapshots fill
+        // their slots; stored ledgers replay into the campaign bag so
+        // totals match an uninterrupted run exactly.
+        if let Some(dir) = checkpoint_dir {
+            let mut store = checkpoint::load_dir(dir)?;
+            let mut loaded = 0u64;
+            for (idx, date) in self.dates.iter().enumerate() {
+                if ordered[idx].is_none() {
+                    if let Some(ckpt) = store.completed.remove(date) {
+                        metrics.absorb(&ckpt.ledger);
+                        ordered[idx] = Some(ckpt.snapshot);
+                        loaded += 1;
+                    }
+                }
+            }
+            metrics.record_checkpoints_loaded(loaded);
+            metrics.record_checkpoints_quarantined(store.quarantined.len() as u64);
+        }
+
+        // One date, end to end: sweep into a fresh per-date bag,
+        // persist (snapshot + ledger) if checkpointing, then fold the
+        // ledger into the campaign bag. The per-date bag is what makes
+        // the stored ledger lossless — and since all counters are
+        // additive, campaign totals are unchanged by the indirection.
+        let sweep_date =
+            |date: Date, faults: &ScanFaults| -> Result<ScanSnapshot, ScanCheckpointError> {
+                let date_metrics = ScanMetrics::new();
+                let snapshot = sweep_sharded_with(
+                    population,
+                    date,
+                    self.hosts_per_sweep,
+                    self.seed,
+                    1,
+                    &date_metrics,
+                    faults,
+                );
+                let ledger = date_metrics.snapshot();
+                metrics.absorb(&ledger);
+                if let Some(dir) = checkpoint_dir {
+                    checkpoint::write_date(
+                        dir,
+                        &DateCheckpoint {
+                            snapshot: snapshot.clone(),
+                            ledger,
+                        },
+                    )?;
+                    metrics.record_checkpoint_written();
+                }
+                Ok(snapshot)
+            };
+
+        let pending: Vec<usize> = ordered
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(idx, _)| idx)
+            .collect();
+        let workers = workers.max(1).min(pending.len().max(1));
         if workers <= 1 {
-            return self
-                .dates
-                .iter()
-                .map(|d| {
-                    sweep_sharded_with(
-                        population,
-                        *d,
-                        self.hosts_per_sweep,
-                        self.seed,
-                        1,
-                        metrics,
-                        &self.faults,
-                    )
-                })
-                .collect();
+            for &idx in &pending {
+                ordered[idx] = Some(sweep_date(self.dates[idx], &self.faults)?);
+            }
+            return Ok(ordered
+                .into_iter()
+                .map(|s| s.expect("all slots filled"))
+                .collect());
         }
 
         let next = AtomicUsize::new(0);
-        let mut ordered: Vec<Option<ScanSnapshot>> = vec![None; self.dates.len()];
+        // First checkpoint-write failure; workers stop claiming dates
+        // once it is set and the error surfaces after the scope joins.
+        let ckpt_error: Mutex<Option<ScanCheckpointError>> = Mutex::new(None);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut done = Vec::new();
                         loop {
-                            let idx = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(date) = self.dates.get(idx) else {
+                            if ckpt_error
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .is_some()
+                            {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&idx) = pending.get(i) else {
                                 break;
                             };
-                            if self.faults.panic_on_date == Some(*date) {
+                            let date = self.dates[idx];
+                            if self.faults.panic_on_date == Some(date) {
                                 // Campaign-level failpoint: this worker
                                 // dies before sweeping, losing the date
                                 // and anything still in its `done` pile.
                                 quiet_thread_panics(true);
                                 panic!("scan fault failpoint: date {date}");
                             }
-                            let snap = sweep_sharded_with(
-                                population,
-                                *date,
-                                self.hosts_per_sweep,
-                                self.seed,
-                                1,
-                                metrics,
-                                &self.faults,
-                            );
-                            done.push((idx, snap));
+                            match sweep_date(date, &self.faults) {
+                                Ok(snap) => done.push((idx, snap)),
+                                Err(e) => {
+                                    let mut guard =
+                                        ckpt_error.lock().unwrap_or_else(|p| p.into_inner());
+                                    guard.get_or_insert(e);
+                                    break;
+                                }
+                            }
                         }
                         done
                     })
@@ -180,29 +271,25 @@ impl ScanCampaign {
                 }
             }
         });
+        if let Some(e) = ckpt_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
         // Recovery pass: re-sweep any date a dead worker left behind.
         // The failpoint is cleared so recovery cannot re-trip it; the
         // fault *profile* stays, so the recovered snapshot is exactly
-        // the one the lost worker would have produced.
+        // the one the lost worker would have produced (counter-based
+        // sampling). Recovered dates are checkpointed like any other.
         let mut recovery = self.faults;
         recovery.panic_on_date = None;
-        self.dates
-            .iter()
-            .zip(ordered)
-            .map(|(date, snap)| {
-                snap.unwrap_or_else(|| {
-                    sweep_sharded_with(
-                        population,
-                        *date,
-                        self.hosts_per_sweep,
-                        self.seed,
-                        1,
-                        metrics,
-                        &recovery,
-                    )
-                })
-            })
-            .collect()
+        for (idx, slot) in ordered.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(sweep_date(self.dates[idx], &recovery)?);
+            }
+        }
+        Ok(ordered
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect())
     }
 }
 
@@ -310,5 +397,95 @@ mod tests {
     fn single_day_schedule() {
         let d = Date::ymd(2017, 1, 1);
         assert_eq!(schedule(d, d, 7), vec![d]);
+    }
+
+    fn unique_dir(tag: &str) -> std::path::PathBuf {
+        let pid = std::process::id();
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        std::env::temp_dir().join(format!("tlscope-campaign-{tag}-{pid}-{t}"))
+    }
+
+    /// Counters that must survive interrupt/resume exactly (everything
+    /// but the wall-clock and the per-run checkpoint counters).
+    fn ledger_core(s: &crate::metrics::ScanMetricsSnapshot) -> [u64; 9] {
+        [
+            s.hosts_dispatched,
+            s.hosts_probed,
+            s.hosts_dropped,
+            s.host_retries,
+            s.probes_sent,
+            s.handshakes_completed,
+            s.handshakes_refused,
+            s.probes_timed_out,
+            s.sweeps_completed,
+        ]
+    }
+
+    #[test]
+    fn resumed_campaign_is_bit_identical() {
+        let campaign = ScanCampaign {
+            dates: schedule(Date::ymd(2016, 1, 1), Date::ymd(2016, 6, 1), 30),
+            hosts_per_sweep: 300,
+            seed: 17,
+            faults: ScanFaults::stress(),
+        };
+        let pop = ServerPopulation::new();
+        let clean_metrics = ScanMetrics::new();
+        let expected = campaign.run_parallel(&pop, 2, &clean_metrics);
+
+        // "Interrupt" after three dates: a first run over the prefix
+        // leaves exactly their checkpoints behind.
+        let dir = unique_dir("resume");
+        let prefix = ScanCampaign {
+            dates: campaign.dates[..3].to_vec(),
+            ..campaign.clone()
+        };
+        prefix
+            .run_durable(&pop, 2, &ScanMetrics::new(), Some(&dir))
+            .unwrap();
+
+        let resumed = ScanMetrics::new();
+        let snaps = campaign.run_durable(&pop, 3, &resumed, Some(&dir)).unwrap();
+        assert_eq!(snaps, expected, "resume must be bit-identical");
+        let s = resumed.snapshot();
+        assert_eq!(s.checkpoints_loaded, 3);
+        assert_eq!(s.checkpoints_quarantined, 0);
+        assert_eq!(s.checkpoints_written, (campaign.dates.len() - 3) as u64);
+        assert!(s.accounting_holds(), "{s:?}");
+        // Replayed ledgers restore the uninterrupted totals exactly.
+        assert_eq!(ledger_core(&s), ledger_core(&clean_metrics.snapshot()));
+
+        // A second resume finds every date done: nothing re-swept,
+        // totals still exact.
+        let warm = ScanMetrics::new();
+        let again = campaign.run_durable(&pop, 2, &warm, Some(&dir)).unwrap();
+        assert_eq!(again, expected);
+        let w = warm.snapshot();
+        assert_eq!(w.checkpoints_loaded, campaign.dates.len() as u64);
+        assert_eq!(w.checkpoints_written, 0);
+        assert_eq!(ledger_core(&w), ledger_core(&clean_metrics.snapshot()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_io_errors_surface_as_errors() {
+        // A plain file where the checkpoint directory should be makes
+        // every store operation fail — surfaced, not panicked.
+        let dir = unique_dir("io-error");
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let campaign = ScanCampaign {
+            dates: schedule(Date::ymd(2016, 1, 1), Date::ymd(2016, 3, 1), 30),
+            hosts_per_sweep: 100,
+            seed: 3,
+            faults: ScanFaults::none(),
+        };
+        let err = campaign
+            .run_durable(&ServerPopulation::new(), 2, &ScanMetrics::new(), Some(&dir))
+            .unwrap_err();
+        assert!(matches!(err, ScanCheckpointError::Io(..)), "{err}");
+        std::fs::remove_file(&dir).unwrap();
     }
 }

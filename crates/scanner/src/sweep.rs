@@ -42,7 +42,6 @@
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Once;
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
@@ -374,34 +373,9 @@ fn sweep_range(
     ledger
 }
 
-// The default panic hook prints every caught worker panic; once chunk
-// panics are expected and supervised that floods output. The hook
-// forwards to the previous hook unless the current thread is inside a
-// supervised chunk (same pattern as the passive pipeline).
-thread_local! {
-    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-static QUIET_HOOK: Once = Once::new();
-
-fn install_quiet_panic_hook() {
-    QUIET_HOOK.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if !QUIET_PANICS.with(|q| q.get()) {
-                prev(info);
-            }
-        }));
-    });
-}
-
-/// Suppress (or restore) panic-hook output for expected panics on the
-/// current thread. Used by the campaign failpoint; chunk boundaries
-/// manage it internally.
-pub(crate) fn quiet_thread_panics(quiet: bool) {
-    install_quiet_panic_hook();
-    QUIET_PANICS.with(|q| q.set(quiet));
-}
+// Supervised chunk panics share the process-wide quiet hook with the
+// passive pipeline (both live in `tlscope_durable`).
+pub(crate) use tlscope_durable::quiet_thread_panics;
 
 /// Run one chunk behind a panic boundary and commit its accounting.
 ///
@@ -420,13 +394,13 @@ fn commit_chunk<S>(
     into: &mut S,
 ) -> bool {
     let hosts = range.end - range.start;
-    QUIET_PANICS.with(|q| q.set(true));
+    quiet_thread_panics(true);
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
         let mut partial = make();
         let ledger = chunk_fn(range, &mut partial);
         (partial, ledger)
     }));
-    QUIET_PANICS.with(|q| q.set(false));
+    quiet_thread_panics(false);
     match result {
         Ok((partial, ledger)) => {
             metrics.record_dispatched(hosts);
@@ -469,7 +443,7 @@ fn run_chunked<S: Send>(
     chunk_fn: &(impl Fn(Range<u64>, &mut S) -> ChunkLedger + Sync),
     merge_fn: &(impl Fn(&mut S, &S) + Sync),
 ) -> S {
-    install_quiet_panic_hook();
+    tlscope_durable::install_quiet_panic_hook();
     let mut total = make();
     if workers <= 1 || hosts <= SHARD_CHUNK {
         let mut claimed = 0u64;

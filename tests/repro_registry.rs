@@ -16,7 +16,7 @@ fn every_experiment_renders() {
     for id in EXPERIMENT_IDS {
         let artifact = ctx
             .run(id)
-            .unwrap_or_else(|| panic!("experiment {id} unknown"));
+            .unwrap_or_else(|e| panic!("experiment {id} failed: {e}"));
         assert_eq!(artifact.id(), *id);
         let ascii = artifact.to_ascii(60);
         assert!(ascii.len() > 20, "{id}: empty ascii");
