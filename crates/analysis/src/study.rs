@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use tlscope_chron::Month;
 use tlscope_notary::{
-    checkpoint, ingest_flow, CheckpointError, NotaryAggregate, PipelineMetrics, TappedFlow,
+    checkpoint, ingest_borrowed, CheckpointError, NotaryAggregate, PipelineMetrics,
 };
 use tlscope_scanner::{ScanCampaign, ScanCheckpointError, ScanFaults, ScanMetrics, ScanSnapshot};
 use tlscope_servers::ServerPopulation;
@@ -194,10 +194,19 @@ impl Study {
                             let mut partial = NotaryAggregate::new();
                             let mut flows = 0u64;
                             let mut ingest_time = std::time::Duration::ZERO;
-                            for ev in self.generator.stream_month(month).metered(metrics) {
-                                let flow = TappedFlow::from(ev);
+                            // Borrowed fast path: fold straight from
+                            // the generator's scratch buffers into the
+                            // aggregate — no flow buffer is ever owned.
+                            let mut stream = self.generator.stream_month(month).metered(metrics);
+                            while let Some(flow) = stream.next_flow() {
                                 let started = Instant::now();
-                                ingest_flow(&mut partial, &flow);
+                                ingest_borrowed(
+                                    &mut partial,
+                                    flow.date,
+                                    flow.port,
+                                    flow.client,
+                                    flow.server,
+                                );
                                 ingest_time += started.elapsed();
                                 flows += 1;
                             }

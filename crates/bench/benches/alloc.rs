@@ -15,11 +15,21 @@
 //! bench exits non-zero when allocations per connection exceed the
 //! committed budget, which is how the CI bench-smoke job fails on an
 //! allocation regression.
+//!
+//! The per-stage breakdown reports where the remaining allocations
+//! live: `gen` pulls borrowed flows from the generator's scratch,
+//! `channel` is the producer side of the pool-recycled batch channel
+//! over a warm pool, and `ingest` extracts-and-aggregates borrowed
+//! bytes through the thread-local record slot. The `pipeline` row is
+//! the fused borrowed path the study runner uses.
 
 use std::time::Instant;
 
 use tlscope::chron::Month;
-use tlscope::notary::{ingest_flow, NotaryAggregate, TappedFlow};
+use tlscope::notary::{
+    ingest_borrowed, ingest_flow, ingest_pooled_scope, FlowPool, NotaryAggregate, PipelineConfig,
+    PipelineMetrics, TappedFlow, DEFAULT_BATCH,
+};
 use tlscope::traffic::{FaultInjector, Generator, TrafficConfig};
 
 /// Pre-PR measurement (commit a5f358f, this bench at 20k connections,
@@ -30,6 +40,12 @@ const PRE_PR_GEN_ALLOCS_PER_CONN: f64 = 48.100;
 const PRE_PR_INGEST_ALLOCS_PER_CONN: f64 = 53.988;
 const PRE_PR_PIPELINE_ALLOCS_PER_CONN: f64 = 102.089;
 const PRE_PR_PIPELINE_CONNS_PER_SEC: f64 = 97_929.0;
+
+/// Previous-PR measurement (owned `TappedFlow` roundtrip, 16.0
+/// budget), kept so the trajectory of the buffer-recycling PR stays
+/// visible in the emitted JSON.
+const PREV_PR_PIPELINE_ALLOCS_PER_CONN: f64 = 13.119;
+const PREV_PR_PIPELINE_CONNS_PER_SEC: f64 = 146_219.0;
 
 use tlscope_bench::PIPELINE_ALLOC_BUDGET_PER_CONN;
 
@@ -76,7 +92,8 @@ fn main() {
     let gen = generator(conns);
 
     // Warm up thread-local scratch and lazy runtime state outside the
-    // counted regions.
+    // counted regions; `warm` also serves as the pre-built owned flow
+    // set for the ingest and channel stages.
     let warm: Vec<TappedFlow> = gen.stream_month(month).map(TappedFlow::from).collect();
     let mut agg = NotaryAggregate::new();
     for flow in warm.iter().take(64) {
@@ -85,40 +102,60 @@ fn main() {
     drop(agg);
     let total_bytes: u64 = warm.iter().map(flow_bytes).sum();
 
-    // --- Generation stage: allocations and throughput. ---
-    let (_, gen_allocs) = alloc_counter::counted(|| {
-        for event in gen.stream_month(month) {
-            std::hint::black_box(&event);
+    // --- Generation stage: borrowed pulls from stream scratch. ---
+    let gen_stage = || {
+        let mut stream = gen.stream_month(month);
+        while let Some(flow) = stream.next_flow() {
+            std::hint::black_box(&flow);
         }
-    });
-    let gen_secs = best_secs(reps, || {
-        for event in gen.stream_month(month) {
-            std::hint::black_box(&event);
-        }
-    });
+    };
+    let (_, gen_allocs) = alloc_counter::counted(gen_stage);
+    let gen_secs = best_secs(reps, gen_stage);
 
-    // --- Ingestion stage (extract + aggregate) over pre-built flows. ---
-    let (_, ingest_allocs) = alloc_counter::counted(|| {
+    // --- Channel stage: producer side of the pool-recycled batch
+    // channel, measured over a warm pool so the one-time circulation
+    // population is excluded (counters are thread-local, so worker
+    // extraction does not pollute the producer's count). ---
+    let cfg = PipelineConfig::clamped(2, DEFAULT_BATCH);
+    let pool = FlowPool::for_config(&cfg);
+    let channel_stage = || {
+        let metrics = PipelineMetrics::new();
+        let (agg, ()) = ingest_pooled_scope(&pool, &cfg, &metrics, |feeder| {
+            for f in &warm {
+                feeder.push(f.date, f.port, &f.client, f.server.as_deref());
+            }
+        });
+        std::hint::black_box(&agg);
+    };
+    channel_stage(); // cold run: fills the pool's circulation.
+    let (_, channel_allocs) = alloc_counter::counted(channel_stage);
+    let channel_secs = best_secs(reps, channel_stage);
+
+    // --- Ingestion stage (extract + aggregate) over pre-built flows,
+    // through the borrowed path. ---
+    let ingest_stage = || {
         let mut agg = NotaryAggregate::new();
         for flow in &warm {
-            ingest_flow(&mut agg, flow);
+            ingest_borrowed(
+                &mut agg,
+                flow.date,
+                flow.port,
+                &flow.client,
+                flow.server.as_deref(),
+            );
         }
         std::hint::black_box(&agg);
-    });
-    let ingest_secs = best_secs(reps, || {
-        let mut agg = NotaryAggregate::new();
-        for flow in &warm {
-            ingest_flow(&mut agg, flow);
-        }
-        std::hint::black_box(&agg);
-    });
+    };
+    let (_, ingest_allocs) = alloc_counter::counted(ingest_stage);
+    let ingest_secs = best_secs(reps, ingest_stage);
 
-    // --- Fused pipeline: generate -> tap -> extract -> aggregate. ---
+    // --- Fused pipeline: generate -> tap -> extract -> aggregate,
+    // zero-copy end to end (the study runner's inner loop). ---
     let fused = || {
         let mut agg = NotaryAggregate::new();
-        for event in gen.stream_month(month) {
-            let flow = TappedFlow::from(event);
-            ingest_flow(&mut agg, &flow);
+        let mut stream = gen.stream_month(month);
+        while let Some(flow) = stream.next_flow() {
+            ingest_borrowed(&mut agg, flow.date, flow.port, flow.client, flow.server);
         }
         std::hint::black_box(&agg);
     };
@@ -127,6 +164,7 @@ fn main() {
 
     let n = conns as f64;
     let gen_apc = gen_allocs as f64 / n;
+    let channel_apc = channel_allocs as f64 / n;
     let ingest_apc = ingest_allocs as f64 / n;
     let pipeline_apc = pipeline_allocs as f64 / n;
     let pipeline_cps = n / pipeline_secs;
@@ -148,9 +186,11 @@ fn main() {
             "  \"month\": \"2015-06\",\n",
             "  \"alloc_counter\": {counting},\n",
             "  \"gen\": {{ \"allocs_per_conn\": {gen_apc:.3}, \"conns_per_sec\": {gen_cps:.0} }},\n",
+            "  \"channel\": {{ \"allocs_per_conn\": {chan_apc:.3}, \"conns_per_sec\": {chan_cps:.0} }},\n",
             "  \"ingest\": {{ \"allocs_per_conn\": {ing_apc:.3}, \"conns_per_sec\": {ing_cps:.0}, \"bytes_per_sec\": {ing_bps:.0} }},\n",
             "  \"pipeline\": {{ \"allocs_per_conn\": {pipe_apc:.3}, \"conns_per_sec\": {pipe_cps:.0}, \"bytes_per_sec\": {pipe_bps:.0} }},\n",
             "  \"baseline_pre_pr\": {{ \"gen_allocs_per_conn\": {pre_gen:.3}, \"ingest_allocs_per_conn\": {pre_ing:.3}, \"pipeline_allocs_per_conn\": {pre_pipe:.3}, \"pipeline_conns_per_sec\": {pre_cps:.0} }},\n",
+            "  \"baseline_prev_pr\": {{ \"pipeline_allocs_per_conn\": {prev_pipe:.3}, \"pipeline_conns_per_sec\": {prev_cps:.0} }},\n",
             "  \"improvement\": {{ \"alloc_reduction_factor\": {red:.2}, \"throughput_factor\": {thr:.2} }},\n",
             "  \"budget\": {{ \"pipeline_allocs_per_conn_max\": {budget:.1}, \"pass\": {pass} }}\n",
             "}}\n"
@@ -160,6 +200,8 @@ fn main() {
         counting = counting,
         gen_apc = gen_apc,
         gen_cps = n / gen_secs,
+        chan_apc = channel_apc,
+        chan_cps = n / channel_secs,
         ing_apc = ingest_apc,
         ing_cps = n / ingest_secs,
         ing_bps = total_bytes as f64 / ingest_secs,
@@ -170,6 +212,8 @@ fn main() {
         pre_ing = PRE_PR_INGEST_ALLOCS_PER_CONN,
         pre_pipe = PRE_PR_PIPELINE_ALLOCS_PER_CONN,
         pre_cps = PRE_PR_PIPELINE_CONNS_PER_SEC,
+        prev_pipe = PREV_PR_PIPELINE_ALLOCS_PER_CONN,
+        prev_cps = PREV_PR_PIPELINE_CONNS_PER_SEC,
         red = alloc_reduction,
         thr = if pipeline_cps > 0.0 && PRE_PR_PIPELINE_CONNS_PER_SEC > 0.0 {
             pipeline_cps / PRE_PR_PIPELINE_CONNS_PER_SEC

@@ -14,11 +14,14 @@ use tlscope::traffic::{FaultInjector, Generator, TrafficConfig};
 /// Regression budget for the fused generation→ingestion pipeline, in
 /// heap allocations per connection. Enforced by the `alloc` bench
 /// (full workload) and by the alloc-budget regression test (marginal
-/// cost, immune to one-time table growth). The post-PR full-workload
-/// measurement is ~13.1 allocs/conn; the budget leaves headroom for
-/// allocator noise and small feature growth without letting the ≥5×
-/// win over the 102.1 pre-PR baseline erode.
-pub const PIPELINE_ALLOC_BUDGET_PER_CONN: f64 = 16.0;
+/// cost, immune to one-time table growth). With the borrowed fast
+/// path — generation into reused scratch, extraction refilled into a
+/// thread-local record slot, flow buffers never owned — the
+/// steady-state cost is amortized table growth plus first-sight
+/// fingerprint interning, well under one alloc/conn on the full
+/// workload; 4.0 leaves headroom for allocator noise and small
+/// feature growth without letting the structural win erode.
+pub const PIPELINE_ALLOC_BUDGET_PER_CONN: f64 = 4.0;
 
 /// Regression budget for the active-scan hot loop, in heap
 /// allocations per probed host. Enforced by the `scan` bench. With the

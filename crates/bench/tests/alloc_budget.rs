@@ -10,12 +10,14 @@
 //! difference between a large and a small workload divided by the
 //! connection delta — so one-time costs (interner tables, month maps,
 //! hash-map growth) cancel out and the test stays meaningful at
-//! test-sized workloads.
+//! test-sized workloads. It exercises the borrowed fast path exactly
+//! as the fused study runner does: scratch borrows from the
+//! generator's stream folded straight into the aggregate.
 
 #![cfg(feature = "alloc-counter")]
 
 use tlscope::chron::Month;
-use tlscope::notary::{ingest_flow, NotaryAggregate, TappedFlow};
+use tlscope::notary::{ingest_borrowed, NotaryAggregate};
 use tlscope::traffic::{FaultInjector, Generator, TrafficConfig};
 use tlscope_bench::{alloc_counter, PIPELINE_ALLOC_BUDGET_PER_CONN};
 
@@ -28,16 +30,20 @@ fn fused_pipeline_allocs(conns: u32) -> u64 {
     let month = Month::new(2015, 6).unwrap();
     // Warm thread-local extraction scratch outside the counted region.
     let mut agg = NotaryAggregate::new();
-    for event in gen.stream_month(month).take(64) {
-        let flow = TappedFlow::from(event);
-        ingest_flow(&mut agg, &flow);
+    let mut stream = gen.stream_month(month);
+    for _ in 0..64 {
+        let Some(flow) = stream.next_flow() else {
+            break;
+        };
+        ingest_borrowed(&mut agg, flow.date, flow.port, flow.client, flow.server);
     }
+    drop(stream);
     drop(agg);
     let (_, allocs) = alloc_counter::counted(|| {
         let mut agg = NotaryAggregate::new();
-        for event in gen.stream_month(month) {
-            let flow = TappedFlow::from(event);
-            ingest_flow(&mut agg, &flow);
+        let mut stream = gen.stream_month(month);
+        while let Some(flow) = stream.next_flow() {
+            ingest_borrowed(&mut agg, flow.date, flow.port, flow.client, flow.server);
         }
         std::hint::black_box(&agg);
     });
@@ -49,8 +55,10 @@ fn marginal_pipeline_allocs_per_conn_stay_under_budget() {
     let (small, large) = (2_000u32, 6_000u32);
     let a_small = fused_pipeline_allocs(small);
     let a_large = fused_pipeline_allocs(large);
-    assert!(a_large > a_small, "larger workload must allocate more");
-    let marginal = (a_large - a_small) as f64 / (large - small) as f64;
+    // With the borrowed path the marginal cost can be ~zero; the
+    // larger run may allocate no more than the smaller once tables
+    // have grown, so the delta saturates instead of asserting growth.
+    let marginal = a_large.saturating_sub(a_small) as f64 / (large - small) as f64;
     assert!(
         marginal <= PIPELINE_ALLOC_BUDGET_PER_CONN,
         "pipeline hot path regressed: {marginal:.3} allocs/conn > budget \

@@ -85,44 +85,48 @@ impl Fingerprint {
     ///
     /// Produces exactly the fingerprint [`Self::from_client_hello`]
     /// would for the same bytes, but allocates only the four feature
-    /// vectors (each sized in one shot — no intermediate collects).
+    /// vectors (the cipher list sized in one shot).
     pub fn from_client_hello_view(hello: &ClientHelloView<'_>) -> Self {
-        let mut ciphers = Vec::with_capacity(hello.cipher_suite_count());
-        ciphers.extend(
+        let mut fp = Fingerprint {
+            ciphers: Vec::with_capacity(hello.cipher_suite_count()),
+            extensions: Vec::new(),
+            curves: Vec::new(),
+            point_formats: Vec::new(),
+        };
+        fp.refill_from_view(hello);
+        fp
+    }
+
+    /// Refill `self` in place from a borrowed ClientHello view,
+    /// clearing and reusing the four feature vectors' capacity — the
+    /// steady-state path of a monitor worker performs no allocation.
+    /// Produces exactly [`Self::from_client_hello_view`]'s value.
+    pub fn refill_from_view(&mut self, hello: &ClientHelloView<'_>) {
+        self.ciphers.clear();
+        self.ciphers.extend(
             hello
                 .cipher_suites()
                 .map(|c| c.0)
                 .filter(|v| !is_grease(*v)),
         );
-        let extensions = match &hello.extensions {
-            None => Vec::new(),
-            Some(exts) => {
-                let mut out = Vec::with_capacity(exts.iter().count());
-                out.extend(exts.iter().map(|(t, _)| t).filter(|t| !is_grease(*t)));
-                out
-            }
-        };
-        let curves = match hello
+        self.extensions.clear();
+        if let Some(exts) = &hello.extensions {
+            self.extensions
+                .extend(exts.iter().map(|(t, _)| t).filter(|t| !is_grease(*t)));
+        }
+        self.curves.clear();
+        if let Some(gs) = hello
             .find_extension(ext_type::SUPPORTED_GROUPS)
             .and_then(|b| ext_view::supported_groups(b).ok())
         {
-            None => Vec::new(),
-            Some(gs) => {
-                let mut out = Vec::with_capacity(gs.len());
-                out.extend(gs.filter(|g| !is_grease(*g)));
-                out
-            }
-        };
-        let point_formats = hello
+            self.curves.extend(gs.filter(|g| !is_grease(*g)));
+        }
+        self.point_formats.clear();
+        if let Some(f) = hello
             .find_extension(ext_type::EC_POINT_FORMATS)
             .and_then(|b| ext_view::ec_point_formats(b).ok())
-            .map(|f| f.to_vec())
-            .unwrap_or_default();
-        Fingerprint {
-            ciphers,
-            extensions,
-            curves,
-            point_formats,
+        {
+            self.point_formats.extend_from_slice(f);
         }
     }
 

@@ -133,11 +133,31 @@ pub enum ExtractError {
     GarbledClient,
 }
 
-/// Reusable extraction state: one coalesce buffer shared by the
-/// client and server halves of every flow a worker processes.
-#[derive(Debug, Default)]
+/// Reusable extraction state: one coalesce buffer plus one record
+/// slot — offer vectors included — shared by every flow a worker
+/// processes, so the steady state of [`extract_into`] performs no
+/// allocation at all.
+#[derive(Debug)]
 pub struct ExtractScratch {
     coalesce: Vec<u8>,
+    record: ConnectionRecord,
+}
+
+impl Default for ExtractScratch {
+    fn default() -> Self {
+        ExtractScratch {
+            coalesce: Vec::new(),
+            record: ConnectionRecord {
+                date: Date::ymd(2000, 1, 1),
+                month: Date::ymd(2000, 1, 1).month(),
+                port: 0,
+                sslv2: false,
+                client: None,
+                server: ServerOutcome::Missing,
+                salvaged: false,
+            },
+        }
+    }
 }
 
 impl ExtractScratch {
@@ -145,6 +165,33 @@ impl ExtractScratch {
     pub fn new() -> Self {
         ExtractScratch::default()
     }
+}
+
+/// An offer slot with every vector empty, ready for refilling.
+fn empty_offer() -> ClientOffer {
+    ClientOffer {
+        legacy_version: ProtocolVersion::Ssl2,
+        suites: Vec::new(),
+        versions: Vec::new(),
+        supported_versions_raw: Vec::new(),
+        heartbeat: false,
+        extension_types: Vec::new(),
+        fingerprint: Fingerprint {
+            ciphers: Vec::new(),
+            extensions: Vec::new(),
+            curves: Vec::new(),
+            point_formats: Vec::new(),
+        },
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<ExtractScratch> = RefCell::new(ExtractScratch::new());
+}
+
+/// Run `f` with this thread's shared [`ExtractScratch`].
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut ExtractScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
 /// Extract a connection record from tapped flows.
@@ -158,14 +205,15 @@ pub fn extract(
     client_flow: &[u8],
     server_flow: Option<&[u8]>,
 ) -> Result<ConnectionRecord, ExtractError> {
-    thread_local! {
-        static SCRATCH: RefCell<ExtractScratch> = RefCell::new(ExtractScratch::new());
-    }
-    SCRATCH.with(|s| extract_with(date, port, client_flow, server_flow, &mut s.borrow_mut()))
+    with_thread_scratch(|s| extract_with(date, port, client_flow, server_flow, s))
 }
 
 /// Extract a connection record from tapped flows, reusing `scratch`
 /// across calls so the steady state performs no coalesce allocation.
+///
+/// Owned wrapper over [`extract_into`]; hot-path callers that only
+/// need to *read* the record should use `extract_into` directly and
+/// skip the clone.
 pub fn extract_with(
     date: Date,
     port: u16,
@@ -173,55 +221,74 @@ pub fn extract_with(
     server_flow: Option<&[u8]>,
     scratch: &mut ExtractScratch,
 ) -> Result<ConnectionRecord, ExtractError> {
+    extract_into(date, port, client_flow, server_flow, scratch).cloned()
+}
+
+/// Extract a connection record into `scratch`'s record slot and
+/// return a borrow of it, valid until the next call on the same
+/// scratch. Every vector in the record — suites, versions, extension
+/// types, the fingerprint features — is refilled in place, so a
+/// worker's steady state allocates nothing per flow. On `Err` the
+/// slot's contents are unspecified.
+pub fn extract_into<'s>(
+    date: Date,
+    port: u16,
+    client_flow: &[u8],
+    server_flow: Option<&[u8]>,
+    scratch: &'s mut ExtractScratch,
+) -> Result<&'s ConnectionRecord, ExtractError> {
     match sniff(client_flow) {
         WireFlavor::Sslv2 => {
             let hello =
                 Sslv2ClientHello::parse(client_flow).map_err(|_| ExtractError::GarbledClient)?;
-            let suites: Vec<CipherSuite> = hello
-                .cipher_specs
-                .iter()
-                .filter_map(|k| sslv2_kind_as_suite(*k))
-                .collect();
-            let offer = ClientOffer {
-                legacy_version: ProtocolVersion::Ssl2,
-                versions: vec![ProtocolVersion::Ssl2],
-                supported_versions_raw: vec![],
-                heartbeat: false,
-                extension_types: vec![],
-                fingerprint: Fingerprint {
-                    ciphers: suites.iter().map(|c| c.0).collect(),
-                    extensions: vec![],
-                    curves: vec![],
-                    point_formats: vec![],
-                },
-                suites,
-            };
-            Ok(ConnectionRecord {
-                date,
-                month: date.month(),
-                port,
-                sslv2: true,
-                client: Some(offer),
-                server: ServerOutcome::Missing,
-                salvaged: false,
-            })
+            let rec = &mut scratch.record;
+            let offer = rec.client.get_or_insert_with(empty_offer);
+            offer.legacy_version = ProtocolVersion::Ssl2;
+            offer.suites.clear();
+            offer.suites.extend(
+                hello
+                    .cipher_specs
+                    .iter()
+                    .filter_map(|k| sslv2_kind_as_suite(*k)),
+            );
+            offer.versions.clear();
+            offer.versions.push(ProtocolVersion::Ssl2);
+            offer.supported_versions_raw.clear();
+            offer.heartbeat = false;
+            offer.extension_types.clear();
+            offer.fingerprint.ciphers.clear();
+            offer
+                .fingerprint
+                .ciphers
+                .extend(offer.suites.iter().map(|c| c.0));
+            offer.fingerprint.extensions.clear();
+            offer.fingerprint.curves.clear();
+            offer.fingerprint.point_formats.clear();
+            rec.date = date;
+            rec.month = date.month();
+            rec.port = port;
+            rec.sslv2 = true;
+            rec.server = ServerOutcome::Missing;
+            rec.salvaged = false;
+            Ok(rec)
         }
         WireFlavor::Tls => {
-            let (offer, client_salvaged) = parse_client_offer(client_flow, &mut scratch.coalesce)
+            let ExtractScratch { coalesce, record } = scratch;
+            let offer = record.client.get_or_insert_with(empty_offer);
+            let client_salvaged = refill_client_offer(client_flow, coalesce, offer)
                 .ok_or(ExtractError::GarbledClient)?;
+            let client_heartbeat = offer.heartbeat;
             let (server, server_salvaged) = match server_flow {
                 None => (ServerOutcome::Missing, false),
-                Some(bytes) => parse_server_flow(bytes, offer.heartbeat, &mut scratch.coalesce),
+                Some(bytes) => parse_server_flow(bytes, client_heartbeat, coalesce),
             };
-            Ok(ConnectionRecord {
-                date,
-                month: date.month(),
-                port,
-                sslv2: false,
-                client: Some(offer),
-                server,
-                salvaged: client_salvaged || server_salvaged,
-            })
+            record.date = date;
+            record.month = date.month();
+            record.port = port;
+            record.sslv2 = false;
+            record.server = server;
+            record.salvaged = client_salvaged || server_salvaged;
+            Ok(record)
         }
         WireFlavor::Other => Err(ExtractError::NotTls),
     }
@@ -301,37 +368,53 @@ fn coalesce_stream<'a>(flow: &'a [u8], scratch: &'a mut Vec<u8>) -> CoalesceOutc
     CoalesceOutcome::Handshake { bytes, salvaged }
 }
 
+#[cfg(test)]
 fn parse_client_offer(flow: &[u8], scratch: &mut Vec<u8>) -> Option<(ClientOffer, bool)> {
+    let mut offer = empty_offer();
+    let salvaged = refill_client_offer(flow, scratch, &mut offer)?;
+    Some((offer, salvaged))
+}
+
+/// Coalesce and parse a client flow, refilling `offer`'s vectors in
+/// place. Returns the salvage flag, or `None` when the flow is
+/// garbled (leaving `offer` in an unspecified state).
+fn refill_client_offer(
+    flow: &[u8],
+    scratch: &mut Vec<u8>,
+    offer: &mut ClientOffer,
+) -> Option<bool> {
     let CoalesceOutcome::Handshake { bytes, salvaged } = coalesce_stream(flow, scratch) else {
         return None;
     };
     let hello = ClientHelloView::parse_handshake(bytes).ok()?;
-    Some((client_offer(&hello), salvaged))
+    refill_offer(offer, &hello);
+    Some(salvaged)
 }
 
-fn client_offer(hello: &ClientHelloView<'_>) -> ClientOffer {
-    let supported_versions_raw = hello
+fn refill_offer(offer: &mut ClientOffer, hello: &ClientHelloView<'_>) {
+    offer.legacy_version = hello.legacy_version;
+    offer.suites.clear();
+    offer.suites.extend(hello.cipher_suites());
+    hello.offered_versions_into(&mut offer.versions);
+    offer.supported_versions_raw.clear();
+    if let Some(vs) = hello
         .find_extension(ext_type::SUPPORTED_VERSIONS)
         .and_then(|body| ext_view::supported_versions(body).ok())
-        .map(|vs| vs.filter(|w| !tlscope_wire::is_grease(*w)).collect())
-        .unwrap_or_default();
-    let extension_types = match &hello.extensions {
-        Some(exts) => exts
-            .iter()
-            .map(|(typ, _)| typ)
-            .filter(|t| !tlscope_wire::is_grease(*t))
-            .collect(),
-        None => Vec::new(),
-    };
-    ClientOffer {
-        legacy_version: hello.legacy_version,
-        suites: hello.cipher_suites().collect(),
-        versions: hello.offered_versions(),
-        supported_versions_raw,
-        heartbeat: hello.find_extension(ext_type::HEARTBEAT).is_some(),
-        extension_types,
-        fingerprint: Fingerprint::from_client_hello_view(hello),
+    {
+        offer
+            .supported_versions_raw
+            .extend(vs.filter(|w| !tlscope_wire::is_grease(*w)));
     }
+    offer.heartbeat = hello.find_extension(ext_type::HEARTBEAT).is_some();
+    offer.extension_types.clear();
+    if let Some(exts) = &hello.extensions {
+        offer.extension_types.extend(
+            exts.iter()
+                .map(|(typ, _)| typ)
+                .filter(|t| !tlscope_wire::is_grease(*t)),
+        );
+    }
+    offer.fingerprint.refill_from_view(hello);
 }
 
 fn parse_server_flow(
@@ -654,7 +737,7 @@ mod tests {
             version: ProtocolVersion::Ssl2,
             cipher_specs: vec![tlscope_wire::record::sslv2_cipher::RC4_128_WITH_MD5],
             session_id: vec![],
-            challenge: vec![1; 16],
+            challenge: [1; 16],
         };
         let rec = extract(Date::ymd(2018, 2, 10), 5666, &v2.to_bytes(), None).unwrap();
         assert!(rec.sslv2);

@@ -41,17 +41,24 @@ pub mod checkpoint;
 pub mod conn;
 pub mod metrics;
 pub mod pipeline;
+pub mod pool;
 pub mod store;
 
 pub use aggregate::{
     AeadCounts, FpClassFlags, KxCounts, MonthlyStats, NotaryAggregate, PositionMean, VersionCounts,
 };
 pub use checkpoint::{CheckpointError, DirLoad};
-pub use conn::{ClientOffer, ConnectionRecord, ExtractError, ServerAnswer, ServerOutcome};
+pub use conn::{
+    ClientOffer, ConnectionRecord, ExtractError, ExtractScratch, ServerAnswer, ServerOutcome,
+};
 pub use metrics::{MetricsSnapshot, PipelineMetrics};
 pub use pipeline::{
-    ingest_batched, ingest_flow, ingest_parallel, ingest_parallel_metered, ingest_serial,
-    ingest_serial_metered, ingest_supervised_with, ingest_with, PipelineConfig,
+    ingest_batched, ingest_borrowed, ingest_flow, ingest_parallel, ingest_parallel_metered,
+    ingest_serial, ingest_serial_metered, ingest_supervised_with, ingest_with, PipelineConfig,
     PipelineConfigError, TappedFlow, DEFAULT_BATCH,
+};
+pub use pool::{
+    ingest_pooled, ingest_pooled_flow, ingest_pooled_scope, ingest_pooled_supervised, FlowBuf,
+    FlowPool, PoolStats, PooledBatch, PooledFeeder, PooledFlow,
 };
 pub use store::{from_text, to_text, StoreError};

@@ -29,7 +29,7 @@ use tlscope_chron::Date;
 use tlscope_durable::{install_quiet_panic_hook, quiet_thread_panics};
 
 use crate::aggregate::NotaryAggregate;
-use crate::conn::extract;
+use crate::conn::{extract_into, with_thread_scratch};
 use crate::metrics::PipelineMetrics;
 
 /// A flow handed to the monitor: everything a tap knows.
@@ -52,7 +52,7 @@ pub const DEFAULT_BATCH: usize = 256;
 /// Batches buffered in the producer→worker channel before the
 /// producer blocks (bounds memory at roughly
 /// `CHANNEL_DEPTH × batch × flow size`).
-const CHANNEL_DEPTH: usize = 64;
+pub(crate) const CHANNEL_DEPTH: usize = 64;
 
 /// Retry backoff is doubled per bisection level but never exceeds
 /// this, so a deeply poisoned batch cannot stall a worker for long.
@@ -155,11 +155,37 @@ impl PipelineConfig {
 }
 
 /// Extract one flow and fold it into `agg`.
+///
+/// Thin owned wrapper over [`ingest_borrowed`].
 pub fn ingest_flow(agg: &mut NotaryAggregate, flow: &TappedFlow) {
-    match extract(flow.date, flow.port, &flow.client, flow.server.as_deref()) {
-        Ok(rec) => agg.ingest(&rec),
-        Err(e) => agg.ingest_failure(e),
-    }
+    ingest_borrowed(
+        agg,
+        flow.date,
+        flow.port,
+        &flow.client,
+        flow.server.as_deref(),
+    );
+}
+
+/// Extract one borrowed flow and fold it into `agg` — the zero-copy
+/// fast path. The connection record is refilled into this thread's
+/// shared [`ExtractScratch`](crate::conn::ExtractScratch) slot and
+/// aggregated by reference, so the steady state allocates neither
+/// flow buffers nor record vectors. The fused study runner folds the
+/// generator's scratch borrows straight through here.
+pub fn ingest_borrowed(
+    agg: &mut NotaryAggregate,
+    date: Date,
+    port: u16,
+    client: &[u8],
+    server: Option<&[u8]>,
+) {
+    with_thread_scratch(
+        |scratch| match extract_into(date, port, client, server, scratch) {
+            Ok(rec) => agg.ingest(rec),
+            Err(e) => agg.ingest_failure(e),
+        },
+    )
 }
 
 /// Ingest a stream of flows on the current thread.
@@ -240,9 +266,9 @@ pub fn ingest_with(
 /// Process one slice behind a panic boundary into a fresh partial
 /// aggregate, so a mid-flow panic can never leave half-ingested state
 /// in the worker's running aggregate.
-fn process_slice<F>(flows: &[TappedFlow], process: F) -> std::thread::Result<NotaryAggregate>
+fn process_slice<T, F>(flows: &[T], process: F) -> std::thread::Result<NotaryAggregate>
 where
-    F: Fn(&mut NotaryAggregate, &TappedFlow) + Copy,
+    F: Fn(&mut NotaryAggregate, &T) + Copy,
 {
     std::panic::catch_unwind(AssertUnwindSafe(|| {
         let mut agg = NotaryAggregate::new();
@@ -256,16 +282,18 @@ where
 /// Supervised processing of one batch: on success the partial is
 /// merged and accounted; on panic the batch is bisected and both
 /// halves re-dispatched (with capped exponential backoff) until the
-/// poison flow(s) are isolated and quarantined.
-fn supervise_batch<F>(
-    batch: &[TappedFlow],
+/// poison flow(s) are isolated and quarantined. Generic over the flow
+/// representation so the pool-recycled channel path shares the exact
+/// recovery machinery.
+pub(crate) fn supervise_batch<T, F>(
+    batch: &[T],
     depth: u32,
     cfg: &PipelineConfig,
     metrics: &PipelineMetrics,
     process: F,
     agg: &mut NotaryAggregate,
 ) where
-    F: Fn(&mut NotaryAggregate, &TappedFlow) + Copy,
+    F: Fn(&mut NotaryAggregate, &T) + Copy,
 {
     let started = Instant::now();
     match process_slice(batch, process) {
@@ -311,18 +339,19 @@ fn supervise_batch<F>(
 /// * poison isolation — a flow that panics the processor is bisected
 ///   down to and quarantined alone; its batch neighbours are ingested;
 /// * exact accounting — `dispatched = ingested + quarantined`.
-pub fn ingest_supervised_with<F>(
-    flows: impl IntoIterator<Item = TappedFlow>,
+pub fn ingest_supervised_with<T, F>(
+    flows: impl IntoIterator<Item = T>,
     cfg: &PipelineConfig,
     metrics: &PipelineMetrics,
     process: F,
 ) -> NotaryAggregate
 where
-    F: Fn(&mut NotaryAggregate, &TappedFlow) + Copy + Send + Sync,
+    T: Send,
+    F: Fn(&mut NotaryAggregate, &T) + Copy + Send + Sync,
 {
     install_quiet_panic_hook();
     let (workers, batch) = (cfg.workers(), cfg.batch());
-    let (tx, rx) = mpsc::sync_channel::<Vec<TappedFlow>>(CHANNEL_DEPTH);
+    let (tx, rx) = mpsc::sync_channel::<Vec<T>>(CHANNEL_DEPTH);
     // Workers share the receiver through Arc so that if every worker
     // somehow died, the channel would disconnect and the producer
     // unblock with a send error instead of deadlocking.

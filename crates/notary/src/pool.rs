@@ -1,0 +1,594 @@
+//! Flow-buffer recycling for the channel path.
+//!
+//! The fused study runner ingests borrowed bytes and never allocates
+//! a flow buffer; but when flows cross the [`ingest_parallel`]
+//! channel they must own their bytes. This module closes that gap:
+//! flow byte buffers and the batch vectors that carry them are
+//! recycled through bounded return channels held by a [`FlowPool`],
+//! so the steady state of a pooled run performs no per-flow or
+//! per-batch allocation — buffers are allocated once, then circulate
+//! producer → worker → pool → producer for the rest of the run.
+//!
+//! Ownership model:
+//! * the **producer** takes buffers from the pool (allocating only
+//!   when the pool is dry), copies each source flow in, and sends
+//!   filled [`PooledBatch`]es to the workers;
+//! * a **worker** only ever borrows the batch's bytes — extraction
+//!   goes through the same borrowed path as the fused runner — and
+//!   then drops the batch;
+//! * **drop recycles**: dropping a [`FlowBuf`] clears it and returns
+//!   it to the pool's buffer channel, and dropping a [`PooledBatch`]
+//!   first releases its flows' buffers, then returns the emptied
+//!   vector itself. This holds on every path — merged batches,
+//!   bisected retries, and quarantined poison flows alike — because
+//!   the batch stays owned by the worker loop across the panic
+//!   boundary.
+//!
+//! The return channels are bounded ([`FlowPool::for_config`] sizes
+//! them to the pipeline's maximum in-flight population); if a return
+//! ever finds the pool full the buffer is simply dropped and counted,
+//! never blocked on.
+//!
+//! [`ingest_parallel`]: crate::pipeline::ingest_parallel
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+
+use tlscope_chron::Date;
+use tlscope_durable::{install_quiet_panic_hook, quiet_thread_panics};
+
+use crate::aggregate::NotaryAggregate;
+use crate::metrics::PipelineMetrics;
+use crate::pipeline::{
+    ingest_borrowed, supervise_batch, PipelineConfig, TappedFlow, CHANNEL_DEPTH,
+};
+
+/// Shared recycling counters, updated with relaxed atomics (they are
+/// diagnostics, not synchronization).
+#[derive(Debug, Default)]
+struct PoolCounters {
+    bufs_created: AtomicU64,
+    bufs_recycled: AtomicU64,
+    bufs_dropped: AtomicU64,
+    batches_created: AtomicU64,
+    batches_recycled: AtomicU64,
+    batches_dropped: AtomicU64,
+}
+
+/// A point-in-time copy of a pool's recycling counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Flow buffers allocated fresh because the pool was dry.
+    pub bufs_created: u64,
+    /// Flow buffers taken from the pool instead of allocated.
+    pub bufs_recycled: u64,
+    /// Flow buffers discarded because the return channel was full.
+    pub bufs_dropped: u64,
+    /// Batch vectors allocated fresh because the pool was dry.
+    pub batches_created: u64,
+    /// Batch vectors taken from the pool instead of allocated.
+    pub batches_recycled: u64,
+    /// Batch vectors discarded because the return channel was full.
+    pub batches_dropped: u64,
+}
+
+/// A recycling pool for flow byte buffers and batch vectors.
+///
+/// The pool is single-consumer: it lives with the producer, which is
+/// the only side that *takes* buffers; workers return them from any
+/// thread through the cloneable senders carried inside each handle.
+#[derive(Debug)]
+pub struct FlowPool {
+    buf_rx: Receiver<Vec<u8>>,
+    buf_tx: SyncSender<Vec<u8>>,
+    batch_rx: Receiver<Vec<PooledFlow>>,
+    batch_tx: SyncSender<Vec<PooledFlow>>,
+    counters: Arc<PoolCounters>,
+}
+
+impl FlowPool {
+    /// A pool whose return channels hold at most `buf_slots` byte
+    /// buffers and `batch_slots` batch vectors.
+    pub fn new(buf_slots: usize, batch_slots: usize) -> Self {
+        let (buf_tx, buf_rx) = mpsc::sync_channel(buf_slots.max(1));
+        let (batch_tx, batch_rx) = mpsc::sync_channel(batch_slots.max(1));
+        FlowPool {
+            buf_rx,
+            buf_tx,
+            batch_rx,
+            batch_tx,
+            counters: Arc::new(PoolCounters::default()),
+        }
+    }
+
+    /// A pool sized for `cfg`'s maximum in-flight population: every
+    /// buffer of every batch that can simultaneously sit in the
+    /// dispatch channel, in the producer, and in each worker fits in
+    /// the return channels, so a steady-state run never drops a
+    /// returned buffer.
+    pub fn for_config(cfg: &PipelineConfig) -> Self {
+        let batches_in_flight = CHANNEL_DEPTH + cfg.workers() + 2;
+        FlowPool::new(batches_in_flight * cfg.batch() * 2, batches_in_flight)
+    }
+
+    /// Take a buffer from the pool (or allocate a fresh one) and fill
+    /// it with a copy of `bytes`.
+    pub fn flow_buf(&self, bytes: &[u8]) -> FlowBuf {
+        let buf = match self.buf_rx.try_recv() {
+            Ok(b) => {
+                self.counters.bufs_recycled.fetch_add(1, Ordering::Relaxed);
+                b
+            }
+            Err(_) => {
+                self.counters.bufs_created.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        };
+        let mut fb = FlowBuf {
+            buf,
+            ret: self.buf_tx.clone(),
+            counters: Arc::clone(&self.counters),
+        };
+        fb.fill(bytes);
+        fb
+    }
+
+    /// Take an empty batch vector from the pool (or allocate one
+    /// sized for `capacity` flows).
+    pub fn batch(&self, capacity: usize) -> PooledBatch {
+        let items = match self.batch_rx.try_recv() {
+            Ok(v) => {
+                self.counters
+                    .batches_recycled
+                    .fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            Err(_) => {
+                self.counters
+                    .batches_created
+                    .fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(capacity)
+            }
+        };
+        PooledBatch {
+            items,
+            ret: self.batch_tx.clone(),
+            counters: Arc::clone(&self.counters),
+        }
+    }
+
+    /// Current recycling counters.
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.counters;
+        PoolStats {
+            bufs_created: c.bufs_created.load(Ordering::Relaxed),
+            bufs_recycled: c.bufs_recycled.load(Ordering::Relaxed),
+            bufs_dropped: c.bufs_dropped.load(Ordering::Relaxed),
+            batches_created: c.batches_created.load(Ordering::Relaxed),
+            batches_recycled: c.batches_recycled.load(Ordering::Relaxed),
+            batches_dropped: c.batches_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, recyclable flow byte buffer: clears itself and returns
+/// to its pool on drop, wherever that drop happens.
+#[derive(Debug)]
+pub struct FlowBuf {
+    buf: Vec<u8>,
+    ret: SyncSender<Vec<u8>>,
+    counters: Arc<PoolCounters>,
+}
+
+impl FlowBuf {
+    /// Replace the contents with a copy of `bytes`, reusing capacity.
+    pub fn fill(&mut self, bytes: &[u8]) {
+        self.buf.clear();
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+impl Deref for FlowBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Drop for FlowBuf {
+    fn drop(&mut self) {
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        if buf.capacity() > 0 && self.ret.try_send(buf).is_err() {
+            self.counters.bufs_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A flow whose byte buffers are pool-recycled.
+#[derive(Debug)]
+pub struct PooledFlow {
+    /// Capture date.
+    pub date: Date,
+    /// Destination port.
+    pub port: u16,
+    /// Client-to-server bytes.
+    pub client: FlowBuf,
+    /// Server-to-client bytes, when captured.
+    pub server: Option<FlowBuf>,
+}
+
+/// A recyclable batch: on drop it releases its flows' buffers back to
+/// the pool and then returns the emptied vector itself for reuse.
+#[derive(Debug)]
+pub struct PooledBatch {
+    items: Vec<PooledFlow>,
+    ret: SyncSender<Vec<PooledFlow>>,
+    counters: Arc<PoolCounters>,
+}
+
+impl PooledBatch {
+    /// Append a flow to the batch.
+    pub fn push(&mut self, flow: PooledFlow) {
+        self.items.push(flow);
+    }
+
+    /// Flows currently in the batch.
+    pub fn flows(&self) -> &[PooledFlow] {
+        &self.items
+    }
+
+    /// Number of flows in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the batch holds no flows.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl Drop for PooledBatch {
+    fn drop(&mut self) {
+        let mut items = std::mem::take(&mut self.items);
+        // Dropping the flows returns their FlowBufs to the pool; the
+        // emptied vector keeps its capacity for the next batch.
+        items.clear();
+        if items.capacity() > 0 && self.ret.try_send(items).is_err() {
+            self.counters
+                .batches_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Extract one pooled flow and fold it into `agg` — the pooled
+/// buffers are only borrowed, exactly like the fused fast path.
+pub fn ingest_pooled_flow(agg: &mut NotaryAggregate, flow: &PooledFlow) {
+    ingest_borrowed(
+        agg,
+        flow.date,
+        flow.port,
+        &flow.client,
+        flow.server.as_deref(),
+    );
+}
+
+/// Producer-side handle for feeding borrowed flows into the pooled
+/// pipeline: each pushed flow is copied into recycled buffers,
+/// batched into a recycled vector, and dispatched when the batch
+/// fills.
+pub struct PooledFeeder<'a> {
+    pool: &'a FlowPool,
+    tx: &'a SyncSender<PooledBatch>,
+    metrics: &'a PipelineMetrics,
+    batch: usize,
+    cur: Option<PooledBatch>,
+    stopped: bool,
+}
+
+impl PooledFeeder<'_> {
+    /// Copy a borrowed flow into pooled buffers and enqueue it.
+    pub fn push(&mut self, date: Date, port: u16, client: &[u8], server: Option<&[u8]>) {
+        if self.stopped {
+            return;
+        }
+        let flow = PooledFlow {
+            date,
+            port,
+            client: self.pool.flow_buf(client),
+            server: server.map(|s| self.pool.flow_buf(s)),
+        };
+        let batch = self.batch;
+        let cur = self.cur.get_or_insert_with(|| self.pool.batch(batch));
+        cur.push(flow);
+        if cur.len() >= batch {
+            self.flush();
+        }
+    }
+
+    /// Dispatch the partially-filled batch, if any.
+    fn flush(&mut self) {
+        let Some(b) = self.cur.take() else { return };
+        if b.is_empty() {
+            return;
+        }
+        self.metrics.record_dispatched(b.len() as u64);
+        if self.tx.send(b).is_err() {
+            // Every worker is gone; stop producing.
+            self.stopped = true;
+        }
+    }
+}
+
+/// The pool-recycled supervised pipeline, generic over the per-flow
+/// processor (as [`ingest_supervised_with`]) and fed by a producer
+/// callback instead of an iterator, so callers can push *borrowed*
+/// flow bytes straight from generation scratch — the pool copy is the
+/// only copy. Shares the batch supervision machinery with the owned
+/// pipeline: panics bisect, poison flows quarantine, and
+/// `dispatched = ingested + quarantined` holds exactly. Buffers of
+/// quarantined flows are recycled like any other.
+///
+/// [`ingest_supervised_with`]: crate::pipeline::ingest_supervised_with
+pub fn ingest_pooled_supervised<R, F>(
+    pool: &FlowPool,
+    cfg: &PipelineConfig,
+    metrics: &PipelineMetrics,
+    process: F,
+    feed: impl FnOnce(&mut PooledFeeder<'_>) -> R,
+) -> (NotaryAggregate, R)
+where
+    F: Fn(&mut NotaryAggregate, &PooledFlow) + Copy + Send + Sync,
+{
+    install_quiet_panic_hook();
+    let (tx, rx) = mpsc::sync_channel::<PooledBatch>(CHANNEL_DEPTH);
+    let rx = Arc::new(Mutex::new(rx));
+    let mut result = NotaryAggregate::new();
+    let mut fed = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.workers())
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                scope.spawn(move || {
+                    quiet_thread_panics(true);
+                    let mut agg = NotaryAggregate::new();
+                    loop {
+                        let received = {
+                            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                            guard.recv()
+                        };
+                        let Ok(batch) = received else { break };
+                        supervise_batch(batch.flows(), 0, cfg, metrics, process, &mut agg);
+                        // `batch` drops here: buffers and the vector
+                        // go back to the pool.
+                    }
+                    agg
+                })
+            })
+            .collect();
+        drop(rx);
+        let mut feeder = PooledFeeder {
+            pool,
+            tx: &tx,
+            metrics,
+            batch: cfg.batch(),
+            cur: None,
+            stopped: false,
+        };
+        fed = Some(feed(&mut feeder));
+        feeder.flush();
+        drop(tx);
+        for h in handles {
+            match h.join() {
+                Ok(agg) => {
+                    let started = std::time::Instant::now();
+                    result.merge(agg);
+                    metrics.record_merge(started.elapsed());
+                }
+                Err(_) => metrics.record_shard_lost(),
+            }
+        }
+    });
+    (result, fed.expect("feed ran inside the scope"))
+}
+
+/// Pooled supervised ingestion with the standard extraction
+/// processor. The callback pushes borrowed flows; the result is
+/// bit-identical to [`ingest_serial`] over the same sequence.
+///
+/// [`ingest_serial`]: crate::pipeline::ingest_serial
+pub fn ingest_pooled_scope<R>(
+    pool: &FlowPool,
+    cfg: &PipelineConfig,
+    metrics: &PipelineMetrics,
+    feed: impl FnOnce(&mut PooledFeeder<'_>) -> R,
+) -> (NotaryAggregate, R) {
+    ingest_pooled_supervised(pool, cfg, metrics, ingest_pooled_flow, feed)
+}
+
+/// Pooled counterpart of [`ingest_batched`]: owned flows are copied
+/// into pool buffers and ingested through the recycled channel path.
+/// Exposed so equivalence tests can sweep worker and batch counts.
+///
+/// [`ingest_batched`]: crate::pipeline::ingest_batched
+pub fn ingest_pooled(
+    flows: impl IntoIterator<Item = TappedFlow>,
+    workers: usize,
+    batch: usize,
+    metrics: &PipelineMetrics,
+) -> NotaryAggregate {
+    let cfg = PipelineConfig::clamped(workers, batch);
+    let pool = FlowPool::for_config(&cfg);
+    let (agg, ()) = ingest_pooled_scope(&pool, &cfg, metrics, |feeder| {
+        for f in flows {
+            feeder.push(f.date, f.port, &f.client, f.server.as_deref());
+        }
+    });
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_flows(n: usize) -> Vec<TappedFlow> {
+        (0..n)
+            .map(|i| TappedFlow {
+                date: Date::ymd(2016, 1, 1 + (i % 28) as u8),
+                port: 443,
+                client: vec![i as u8; 8 + i % 32],
+                server: (i % 3 == 0).then(|| vec![0x15, i as u8]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn buffers_circulate_through_the_pool() {
+        let pool = FlowPool::new(4, 2);
+        let b1 = pool.flow_buf(b"hello");
+        assert_eq!(&*b1, b"hello");
+        drop(b1);
+        let b2 = pool.flow_buf(b"xy");
+        assert_eq!(&*b2, b"xy");
+        let s = pool.stats();
+        assert_eq!(s.bufs_created, 1);
+        assert_eq!(s.bufs_recycled, 1);
+        assert_eq!(s.bufs_dropped, 0);
+    }
+
+    #[test]
+    fn full_return_channel_drops_instead_of_blocking() {
+        let pool = FlowPool::new(1, 1);
+        let a = pool.flow_buf(b"a");
+        let b = pool.flow_buf(b"b");
+        drop(a); // fills the single return slot
+        drop(b); // finds it full → dropped, not blocked
+        let s = pool.stats();
+        assert_eq!(s.bufs_dropped, 1);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_returned() {
+        let pool = FlowPool::new(4, 2);
+        drop(pool.flow_buf(b""));
+        let s = pool.stats();
+        // A capacity-0 Vec never hit the heap; returning it would just
+        // occupy a slot with nothing to recycle.
+        assert_eq!(s.bufs_dropped, 0);
+        let refill = pool.flow_buf(b"z");
+        assert_eq!(&*refill, b"z");
+        assert_eq!(pool.stats().bufs_created, 2);
+    }
+
+    #[test]
+    fn batch_drop_releases_flows_then_vector() {
+        let pool = FlowPool::new(8, 2);
+        let mut batch = pool.batch(4);
+        batch.push(PooledFlow {
+            date: Date::ymd(2016, 1, 1),
+            port: 443,
+            client: pool.flow_buf(b"client"),
+            server: Some(pool.flow_buf(b"server")),
+        });
+        assert_eq!(batch.len(), 1);
+        assert!(!batch.is_empty());
+        drop(batch);
+        let s = pool.stats();
+        assert_eq!(s.bufs_created, 2);
+        assert_eq!(s.bufs_dropped, 0);
+        // Both buffers and the vector are back: the next batch and its
+        // buffers come from the pool.
+        let again = pool.batch(4);
+        let buf = pool.flow_buf(b"re");
+        assert_eq!(&*buf, b"re");
+        let s = pool.stats();
+        assert_eq!(s.batches_recycled, 1);
+        assert_eq!(s.bufs_recycled, 1);
+        drop((again, buf));
+    }
+
+    #[test]
+    fn pooled_matches_serial_on_synthetic_flows() {
+        let fs = synthetic_flows(700);
+        let serial = crate::pipeline::ingest_serial(fs.clone());
+        let metrics = PipelineMetrics::new();
+        let pooled = ingest_pooled(fs, 3, 64, &metrics);
+        assert_eq!(serial, pooled);
+        let s = metrics.snapshot();
+        assert_eq!(s.flows_dispatched, 700);
+        assert_eq!(s.flows_ingested, 700);
+        assert!(s.accounting_holds());
+    }
+
+    #[test]
+    fn steady_state_reuses_buffers() {
+        let cfg = PipelineConfig::clamped(2, 16);
+        let pool = FlowPool::for_config(&cfg);
+        let metrics = PipelineMetrics::new();
+        // Enough flows that the producer outlives the channel's
+        // in-flight population many times over: once the dispatch
+        // channel fills, every further push runs against returning
+        // buffers.
+        let fs = synthetic_flows(20_000);
+        let (_, ()) = ingest_pooled_scope(&pool, &cfg, &metrics, |feeder| {
+            for f in &fs {
+                feeder.push(f.date, f.port, &f.client, f.server.as_deref());
+            }
+        });
+        let s = pool.stats();
+        assert!(
+            s.bufs_recycled > s.bufs_created,
+            "steady state should be dominated by recycling: {s:?}"
+        );
+        assert_eq!(s.bufs_dropped, 0, "pool sized for the pipeline never drops");
+        assert!(s.batches_recycled > 0);
+    }
+
+    #[test]
+    fn quarantined_flows_return_their_buffers() {
+        let fs = synthetic_flows(300);
+        let poison_len = fs[150].client.len();
+        let poison_byte = fs[150].client[0];
+        let poison_count = fs
+            .iter()
+            .filter(|f| f.client.len() == poison_len && f.client[0] == poison_byte)
+            .count() as u64;
+        let cfg = PipelineConfig::clamped(2, 32);
+        let pool = FlowPool::for_config(&cfg);
+        let metrics = PipelineMetrics::new();
+        let (agg, ()) = ingest_pooled_supervised(
+            &pool,
+            &cfg,
+            &metrics,
+            move |agg: &mut NotaryAggregate, flow: &PooledFlow| {
+                if flow.client.len() == poison_len && flow.client[0] == poison_byte {
+                    panic!("poisoned flow");
+                }
+                agg.not_tls += 1;
+            },
+            |feeder| {
+                for f in &fs {
+                    feeder.push(f.date, f.port, &f.client, f.server.as_deref());
+                }
+            },
+        );
+        let s = metrics.snapshot();
+        assert_eq!(s.shards_lost, 0);
+        assert_eq!(s.flows_quarantined, poison_count);
+        assert_eq!(agg.not_tls, 300 - poison_count);
+        assert!(s.accounting_holds());
+        // Poisoned batches went through bisection; their buffers still
+        // came home — nothing was dropped, and the pool hands back a
+        // recycled buffer (not a fresh one) now that the run is over.
+        let before = pool.stats();
+        assert_eq!(before.bufs_dropped, 0);
+        let reused = pool.flow_buf(b"post-run");
+        assert_eq!(&*reused, b"post-run");
+        assert_eq!(pool.stats().bufs_recycled, before.bufs_recycled + 1);
+    }
+}

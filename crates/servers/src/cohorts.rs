@@ -289,13 +289,76 @@ pub fn params(cohort: Cohort, date: Date) -> CohortParams {
     }
 }
 
+/// Memo for [`params`], keyed by `(cohort, day of month)`.
+///
+/// The parameter curves are pure functions of `(cohort, date)` but
+/// cost ~20 calendar-ramp evaluations per call, which dominated
+/// profile sampling on the generator hot path. A month has at most 31
+/// distinct dates, so one slot per `(cohort, day)` — validated
+/// against the stored date so a cache crossing a month boundary
+/// simply recomputes — removes the recomputation without touching the
+/// RNG stream.
+#[derive(Debug, Clone, Default)]
+pub struct ParamsCache {
+    slots: Vec<Option<(Date, CohortParams)>>,
+}
+
+const COHORTS: usize = 6;
+const DAY_SLOTS: usize = 31;
+
+impl ParamsCache {
+    fn cohort_index(cohort: Cohort) -> usize {
+        match cohort {
+            Cohort::MajorWeb => 0,
+            Cohort::Cdn => 1,
+            Cohort::LongTailWeb => 2,
+            Cohort::Enterprise => 3,
+            Cohort::Iot => 4,
+            Cohort::Mail => 5,
+        }
+    }
+
+    /// [`params`] through the memo.
+    pub fn params(&mut self, cohort: Cohort, date: Date) -> CohortParams {
+        if self.slots.is_empty() {
+            self.slots.resize(COHORTS * DAY_SLOTS, None);
+        }
+        let idx = Self::cohort_index(cohort) * DAY_SLOTS + (date.day() as usize - 1);
+        match self.slots[idx] {
+            Some((d, p)) if d == date => p,
+            _ => {
+                let p = params(cohort, date);
+                self.slots[idx] = Some((date, p));
+                p
+            }
+        }
+    }
+}
+
 fn bern(rng: &mut SmallRng, p: f64) -> bool {
     p > 0.0 && rng.random::<f64>() < p
 }
 
 /// Sample a concrete server profile from a cohort at a date.
 pub fn sample(cohort: Cohort, date: Date, rng: &mut SmallRng) -> ServerProfile {
-    let p = params(cohort, date);
+    sample_from_params(&params(cohort, date), cohort, rng)
+}
+
+/// [`sample`] with the parameter curves served from a memo — the
+/// generator hot path draws thousands of profiles per calendar day.
+/// Draws the identical RNG sequence as [`sample`].
+pub fn sample_cached(
+    cache: &mut ParamsCache,
+    cohort: Cohort,
+    date: Date,
+    rng: &mut SmallRng,
+) -> ServerProfile {
+    let p = cache.params(cohort, date);
+    sample_from_params(&p, cohort, rng)
+}
+
+/// The sampling core: turn drawn parameters into a concrete profile.
+fn sample_from_params(p: &CohortParams, cohort: Cohort, rng: &mut SmallRng) -> ServerProfile {
     let cohort_name = match cohort {
         Cohort::MajorWeb => "major-web",
         Cohort::Cdn => "cdn",

@@ -5,7 +5,9 @@
 //! ServerKeyExchange) exactly the way the deployed stacks the paper
 //! measures do — including the out-of-spec behaviours it documents.
 
-use tlscope_wire::exts::ext_type;
+use tlscope_wire::codec::Writer;
+use tlscope_wire::exts::{ext_body, ext_type, write_extension};
+use tlscope_wire::handshake::handshake_type;
 use tlscope_wire::{
     grease::is_grease, CipherSuite, ClientHello, Extension, Kx, NamedGroup, ProtocolVersion,
     ServerHello,
@@ -188,6 +190,72 @@ pub fn respond_facts(
         curve,
         heartbeat,
     })
+}
+
+/// Negotiate like [`respond_facts`], but serialise the framed
+/// ServerHello handshake message straight into `w` — no [`ServerHello`]
+/// struct, no extension vector, zero heap allocations beyond `w`'s own
+/// storage. Returns the [`Decision`] so callers keep the negotiation
+/// outcome. Byte-identical to serialising
+/// `respond_facts(..)?.server_hello.write_handshake(w)` for the same
+/// inputs (pinned by `respond_facts_into_matches_respond_facts`).
+pub fn respond_facts_into(
+    profile: &ServerProfile,
+    facts: &ClientFacts<'_>,
+    server_random: [u8; 32],
+    w: &mut Writer,
+) -> Result<Decision, HandshakeFailure> {
+    let d = decide(profile, facts)?;
+    let tls13 = d.version.is_tls13_family();
+    // Mirrors respond_facts: the extension block appears when the
+    // server has extensions to send, or when the client sent a block
+    // (even an empty one) — in which case the server echoes an empty
+    // block rather than omitting it.
+    // (renegotiation_info itself is only *written* on the pre-1.3
+    // branch below; for deciding whether a block appears at all the
+    // version does not matter).
+    let server_sends_exts = tls13 || facts.has_renegotiation_info || d.heartbeat;
+    let has_block = server_sends_exts || facts.has_extensions;
+    w.u8(handshake_type::SERVER_HELLO);
+    w.vec24(|w| {
+        let legacy = if tls13 {
+            ProtocolVersion::Tls12
+        } else {
+            d.version
+        };
+        w.u16(legacy.to_wire());
+        w.bytes(&server_random);
+        w.vec8(|w| {
+            w.bytes(facts.session_id);
+        });
+        w.u16(d.cipher.0);
+        w.u8(0); // compression_method
+        if has_block {
+            w.vec16(|w| {
+                if tls13 {
+                    write_extension(w, ext_type::SUPPORTED_VERSIONS, |w| {
+                        ext_body::selected_version(w, d.version)
+                    });
+                    if let Some(group) = d.curve {
+                        write_extension(w, ext_type::KEY_SHARE, |w| {
+                            ext_body::key_share_server(w, group)
+                        });
+                    }
+                }
+                if facts.has_renegotiation_info && !tls13 {
+                    write_extension(
+                        w,
+                        ext_type::RENEGOTIATION_INFO,
+                        ext_body::renegotiation_info,
+                    );
+                }
+                if d.heartbeat {
+                    write_extension(w, ext_type::HEARTBEAT, |w| ext_body::heartbeat(w, 1));
+                }
+            });
+        }
+    });
+    Ok(d)
 }
 
 /// True for a GREASE value riding in a version list.
@@ -563,6 +631,128 @@ mod tests {
             assert_eq!(d.cipher, n.cipher);
             assert_eq!(d.curve, n.curve);
             assert_eq!(d.heartbeat, n.heartbeat);
+        }
+    }
+
+    #[test]
+    fn respond_facts_into_matches_respond_facts() {
+        // The borrowed writer must emit byte-identical framed
+        // ServerHellos across every structural variant: classic,
+        // TLS 1.3 (selected_version + key_share), heartbeat,
+        // renegotiation_info, empty-block echo, and no block at all.
+        let facts_variants: Vec<(&str, ClientFacts<'_>)> = vec![
+            (
+                "plain, no extensions",
+                ClientFacts {
+                    legacy_version: ProtocolVersion::Tls12,
+                    session_id: &[],
+                    cipher_suites: &[CipherSuite(0xc02f), CipherSuite(0x002f)],
+                    supported_versions: None,
+                    curves: None,
+                    has_renegotiation_info: false,
+                    has_heartbeat: false,
+                    has_extensions: false,
+                },
+            ),
+            (
+                "empty block echo",
+                ClientFacts {
+                    legacy_version: ProtocolVersion::Tls12,
+                    session_id: &[9, 9, 9],
+                    cipher_suites: &[CipherSuite(0x002f)],
+                    supported_versions: None,
+                    curves: None,
+                    has_renegotiation_info: false,
+                    has_heartbeat: false,
+                    has_extensions: true,
+                },
+            ),
+            (
+                "renego + heartbeat + curves",
+                ClientFacts {
+                    legacy_version: ProtocolVersion::Tls12,
+                    session_id: &[1; 32],
+                    cipher_suites: &[CipherSuite(0xc02b), CipherSuite(0xc013)],
+                    supported_versions: None,
+                    curves: Some(&[NamedGroup::X25519, NamedGroup::SECP256R1]),
+                    has_renegotiation_info: true,
+                    has_heartbeat: true,
+                    has_extensions: true,
+                },
+            ),
+            (
+                "tls13 offer",
+                ClientFacts {
+                    legacy_version: ProtocolVersion::Tls12,
+                    session_id: &[5; 8],
+                    cipher_suites: &[CipherSuite(0x1301), CipherSuite(0xc02f)],
+                    supported_versions: Some(&[
+                        ProtocolVersion::Tls13Draft(23),
+                        ProtocolVersion::Tls12,
+                    ]),
+                    curves: Some(&[NamedGroup::X25519]),
+                    has_renegotiation_info: true,
+                    has_heartbeat: false,
+                    has_extensions: true,
+                },
+            ),
+            (
+                "old ssl3 client",
+                ClientFacts {
+                    legacy_version: ProtocolVersion::Ssl3,
+                    session_id: &[],
+                    cipher_suites: &[CipherSuite(0x0005), CipherSuite(0x000a)],
+                    supported_versions: None,
+                    curves: None,
+                    has_renegotiation_info: false,
+                    has_heartbeat: false,
+                    has_extensions: false,
+                },
+            ),
+        ];
+        let mut profiles = vec![ServerProfile::baseline("a")];
+        let mut hb = ServerProfile::baseline("b");
+        hb.heartbeat = true;
+        profiles.push(hb);
+        let mut t13 = ServerProfile::baseline("c");
+        t13.tls13 = Some(ProtocolVersion::Tls13Draft(23));
+        t13.preference = {
+            let mut pref = vec![CipherSuite(0x1301)];
+            pref.extend(preference::modern());
+            pref
+        };
+        profiles.push(t13);
+        let mut old = ServerProfile::baseline("d");
+        old.max_version = ProtocolVersion::Tls10;
+        old.preference = preference::cbc_era();
+        profiles.push(old);
+        for p in &profiles {
+            for (name, facts) in &facts_variants {
+                let owned = respond_facts(p, facts, [3; 32]);
+                let mut w = Writer::new();
+                let into = respond_facts_into(p, facts, [3; 32], &mut w);
+                match (owned, into) {
+                    (Ok(n), Ok(d)) => {
+                        let mut expect = Writer::new();
+                        n.server_hello.write_handshake(&mut expect);
+                        assert_eq!(
+                            w.into_bytes(),
+                            expect.into_bytes(),
+                            "byte divergence: profile {} / {name}",
+                            p.cohort
+                        );
+                        assert_eq!(
+                            (d.version, d.cipher, d.curve, d.heartbeat),
+                            (n.version, n.cipher, n.curve, n.heartbeat)
+                        );
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    (a, b) => panic!(
+                        "outcome divergence: profile {} / {name}: {a:?} vs {b:?}",
+                        p.cohort
+                    ),
+                }
+            }
         }
     }
 

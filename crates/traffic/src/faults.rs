@@ -201,8 +201,21 @@ impl FaultInjector {
 
     /// Apply per-flow byte faults. `None` means the flow was dropped.
     pub fn apply(&self, mut flow: Vec<u8>, rng: &mut SmallRng) -> Option<Vec<u8>> {
+        if self.apply_in_place(&mut flow, rng) {
+            Some(flow)
+        } else {
+            None
+        }
+    }
+
+    /// Apply per-flow byte faults to a borrowed buffer — the same
+    /// draws, in the same order, as [`FaultInjector::apply`], so the
+    /// owned and in-place paths stay RNG-identical. Returns `false`
+    /// when the flow was dropped (the buffer contents are then
+    /// meaningless).
+    pub fn apply_in_place(&self, flow: &mut Vec<u8>, rng: &mut SmallRng) -> bool {
         if self.drop_prob > 0.0 && rng.random::<f64>() < self.drop_prob {
-            return None;
+            return false;
         }
         if self.truncate_prob > 0.0 && rng.random::<f64>() < self.truncate_prob && !flow.is_empty()
         {
@@ -221,7 +234,7 @@ impl FaultInjector {
             let idx = rng.random_range(0..flow.len());
             flow[idx] ^= 1 << rng.random_range(0..8u8);
         }
-        Some(flow)
+        true
     }
 }
 
@@ -301,6 +314,28 @@ mod tests {
             }
         }
         assert!(matched, "gap output is not prefix+suffix of the input");
+    }
+
+    #[test]
+    fn in_place_matches_owned_draw_for_draw() {
+        // The borrowed fast path relies on apply_in_place consuming the
+        // identical RNG stream as apply; run both over many flows under
+        // the stress mix and compare outputs and stream positions.
+        let inj = FaultInjector::stress();
+        let mut rng_a = SmallRng::seed_from_u64(77);
+        let mut rng_b = SmallRng::seed_from_u64(77);
+        for i in 0..2_000u32 {
+            let data: Vec<u8> = (0..(i % 97) as u8).collect();
+            let owned = inj.apply(data.clone(), &mut rng_a);
+            let mut buf = data;
+            let kept = inj.apply_in_place(&mut buf, &mut rng_b);
+            assert_eq!(owned.is_some(), kept, "drop divergence at flow {i}");
+            if let Some(owned) = owned {
+                assert_eq!(owned, buf, "byte divergence at flow {i}");
+            }
+        }
+        // Streams must end at the same position.
+        assert_eq!(rng_a.random::<u64>(), rng_b.random::<u64>());
     }
 
     #[test]

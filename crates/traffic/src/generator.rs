@@ -17,7 +17,7 @@ use std::time::Instant;
 use tlscope_chron::{Date, Month};
 use tlscope_clients::{catalog, Family, HelloEntropy};
 use tlscope_notary::{PipelineMetrics, TappedFlow};
-use tlscope_servers::{negotiate, Destination, ServerPopulation};
+use tlscope_servers::{negotiate, Destination, ParamsCache, ServerPopulation};
 use tlscope_wire::codec::Writer;
 use tlscope_wire::exts::ext_type;
 use tlscope_wire::grease::grease_value;
@@ -134,7 +134,14 @@ impl Generator {
             remaining: self.cfg.connections_per_month,
             pending: None,
             metrics: None,
-            scratch: GenScratch::default(),
+            scratch: GenScratch {
+                // One (lazily filled) share-vector slot per calendar
+                // day; `shares_into` always writes one weight per
+                // family, so an empty slot unambiguously means
+                // "not yet computed".
+                shares_by_day: vec![Vec::new(); month.len_days() as usize],
+                ..GenScratch::default()
+            },
         }
     }
 
@@ -147,15 +154,30 @@ impl Generator {
         start.iter_through(end).map(move |m| (m, self.month(m)))
     }
 
-    fn connection(
+    /// Generate one connection straight into `scratch`'s flow buffers.
+    ///
+    /// The returned [`FlowMeta`] describes bytes left in
+    /// `scratch.client_buf` / `scratch.server_buf`; nothing is heap-
+    /// allocated per call once the scratch buffers have grown to their
+    /// working sizes. Draws the identical RNG sequence as the previous
+    /// owned implementation, so every pinned event stream is unchanged.
+    fn connection_into(
         &self,
         date: Date,
         rng: &mut SmallRng,
         scratch: &mut GenScratch,
-    ) -> Option<ConnectionEvent> {
-        // 1. Client family + era.
-        self.market.shares_into(date, &mut scratch.shares);
-        let fam_idx = pick_index(rng, &scratch.shares)?;
+    ) -> Option<FlowMeta> {
+        // 1. Client family + era. Market shares are a pure function of
+        // the calendar date, so within one month they take at most 31
+        // distinct values — the scratch caches one share vector per
+        // day instead of re-interpolating ~45 anchor curves per
+        // connection (which dominated generation cost).
+        let day_idx = date.day() as usize - 1;
+        if scratch.shares_by_day[day_idx].is_empty() {
+            let slot = &mut scratch.shares_by_day[day_idx];
+            self.market.shares_into(date, slot);
+        }
+        let fam_idx = pick_index(rng, &scratch.shares_by_day[day_idx])?;
         let family = &self.market.families()[fam_idx];
         catalog::adoption_for(family).era_shares_into(family, date, &mut scratch.era_shares);
         let era_idx = pick_index(rng, &scratch.era_shares)?;
@@ -167,21 +189,27 @@ impl Generator {
         // 3. Client bytes.
         let entropy = HelloEntropy::from_seed(rng.random::<u64>());
         if era.tls.legacy_version == ProtocolVersion::Ssl2 {
-            let hello = Sslv2ClientHello {
-                version: ProtocolVersion::Ssl2,
-                cipher_specs: vec![
-                    tlscope_wire::record::sslv2_cipher::RC4_128_WITH_MD5,
-                    tlscope_wire::record::sslv2_cipher::DES_192_EDE3_CBC_WITH_MD5,
-                ],
-                session_id: vec![],
-                challenge: entropy.random[..16].to_vec(),
-            };
-            let client_flow = self.cfg.faults.apply(hello.to_bytes(), rng)?;
-            return Some(ConnectionEvent {
+            const SSLV2_SPECS: &[u32] = &[
+                tlscope_wire::record::sslv2_cipher::RC4_128_WITH_MD5,
+                tlscope_wire::record::sslv2_cipher::DES_192_EDE3_CBC_WITH_MD5,
+            ];
+            let mut challenge = [0u8; 16];
+            challenge.copy_from_slice(&entropy.random[..16]);
+            scratch.client_buf.clear();
+            Sslv2ClientHello::write_parts_into(
+                ProtocolVersion::Ssl2,
+                SSLV2_SPECS,
+                &[],
+                &challenge,
+                &mut scratch.client_buf,
+            );
+            if !self.cfg.faults.apply_in_place(&mut scratch.client_buf, rng) {
+                return None;
+            }
+            return Some(FlowMeta {
                 date,
                 port,
-                client_flow,
-                server_flow: None,
+                has_server: false,
             });
         }
 
@@ -198,94 +226,101 @@ impl Generator {
         } else {
             ProtocolVersion::Tls10
         };
-        {
-            let GenScratch {
-                handshake, ciphers, ..
-            } = scratch;
-            with_writer(handshake, |w| {
-                cfg.write_hello_into(Some(sni), &entropy, ciphers, w);
-            });
-        }
-        let mut client_bytes =
-            Vec::with_capacity(scratch.handshake.len() + 5 * (scratch.handshake.len() >> 14) + 5);
-        Record::wrap_handshake_into(record_version, &scratch.handshake, &mut client_bytes);
+        let GenScratch {
+            ciphers,
+            versions,
+            curves,
+            handshake,
+            client_buf,
+            server_buf,
+            params_cache,
+            ..
+        } = scratch;
+        with_writer(handshake, |w| {
+            cfg.write_hello_into(Some(sni), &entropy, ciphers, w);
+        });
+        client_buf.clear();
+        Record::wrap_handshake_into(record_version, handshake, client_buf);
 
         // 4. Server side. Negotiation runs on ClientFacts assembled
         // from the configuration that just emitted the hello — the
-        // same information a parse of `client_bytes` would recover,
+        // same information a parse of the client flow would recover,
         // without materialising a ClientHello.
-        let profile = self.population.sample_for_traffic(dest, date, rng);
+        let profile = self
+            .population
+            .sample_for_traffic_cached(params_cache, dest, date, rng);
         let mut server_random = [0u8; 32];
         for chunk in server_random.chunks_mut(8) {
             chunk.copy_from_slice(&rng.random::<u64>().to_le_bytes());
         }
         let supported_versions = if cfg.extensions.contains(&ext_type::SUPPORTED_VERSIONS) {
-            scratch.versions.clear();
+            versions.clear();
             if cfg.grease {
-                scratch.versions.push(ProtocolVersion::Unknown(grease_value(
+                versions.push(ProtocolVersion::Unknown(grease_value(
                     entropy.grease_draws[0],
                 )));
             }
-            scratch
-                .versions
-                .extend(cfg.supported_versions.iter().copied());
-            Some(scratch.versions.as_slice())
+            versions.extend(cfg.supported_versions.iter().copied());
+            Some(versions.as_slice())
         } else {
             None
         };
-        let curves = if cfg.extensions.contains(&ext_type::SUPPORTED_GROUPS) {
-            scratch.curves.clear();
+        let groups = if cfg.extensions.contains(&ext_type::SUPPORTED_GROUPS) {
+            curves.clear();
             if cfg.grease {
-                scratch
-                    .curves
-                    .push(NamedGroup(grease_value(entropy.grease_draws[3])));
+                curves.push(NamedGroup(grease_value(entropy.grease_draws[3])));
             }
-            scratch.curves.extend(cfg.curves.iter().copied());
-            Some(scratch.curves.as_slice())
+            curves.extend(cfg.curves.iter().copied());
+            Some(curves.as_slice())
         } else {
             None
         };
         let facts = negotiate::ClientFacts {
             legacy_version: cfg.legacy_version,
             session_id: &entropy.session_id,
-            cipher_suites: &scratch.ciphers,
+            cipher_suites: ciphers,
             supported_versions,
-            curves,
+            curves: groups,
             has_renegotiation_info: cfg.extensions.contains(&ext_type::RENEGOTIATION_INFO),
             has_heartbeat: cfg.extensions.contains(&ext_type::HEARTBEAT),
             has_extensions: !cfg.extensions.is_empty() || cfg.grease,
         };
-        let server_bytes = match negotiate::respond_facts(&profile, &facts, server_random) {
-            Ok(n) => {
-                let version = if n.version.is_tls13_family() {
+        server_buf.clear();
+        let mut negotiated = None;
+        with_writer(handshake, |w| {
+            negotiated = Some(negotiate::respond_facts_into(
+                &profile,
+                &facts,
+                server_random,
+                w,
+            ));
+        });
+        match negotiated.expect("with_writer runs its closure") {
+            Ok(d) => {
+                let version = if d.version.is_tls13_family() {
                     ProtocolVersion::Tls12
                 } else {
-                    n.version
+                    d.version
                 };
                 // Real server stacks frame the flight as one record per
                 // handshake message (ServerHello / SKE / HelloDone), not
                 // one coalesced record — which is what lets a tap that
                 // truncated or gapped the tail of the flight still keep
                 // an intact ServerHello prefix for salvage.
-                let mut out = Vec::with_capacity(192);
-                with_writer(&mut scratch.handshake, |w| {
-                    n.server_hello.write_handshake(w)
-                });
-                Record::wrap_handshake_into(version, &scratch.handshake, &mut out);
-                if !n.version.is_tls13_family() {
-                    if let Some(curve) = n.curve {
-                        with_writer(&mut scratch.handshake, |w| {
+                Record::wrap_handshake_into(version, handshake, server_buf);
+                if !d.version.is_tls13_family() {
+                    if let Some(curve) = d.curve {
+                        with_writer(handshake, |w| {
                             tlscope_wire::ske::write_ecdhe_ske(w, curve, 65);
                         });
-                        Record::wrap_handshake_into(version, &scratch.handshake, &mut out);
+                        Record::wrap_handshake_into(version, handshake, server_buf);
                     }
                     Record::wrap_handshake_into(
                         version,
                         &[handshake_type::SERVER_HELLO_DONE, 0, 0, 0],
-                        &mut out,
+                        server_buf,
                     );
                 }
-                out
             }
             Err(failure) => {
                 let alert = match failure {
@@ -296,39 +331,75 @@ impl Generator {
                         tlscope_wire::Alert::handshake_failure()
                     }
                 };
-                let mut out = Vec::with_capacity(7);
                 RecordView {
                     content_type: ContentType::Alert,
                     version: record_version,
                     payload: &[alert.level.to_wire(), alert.description],
                 }
-                .write_into(&mut out);
-                out
+                .write_into(server_buf);
             }
-        };
+        }
 
-        let client_flow = self.cfg.faults.apply(client_bytes, rng)?;
-        let server_flow = self.cfg.faults.apply(server_bytes, rng);
-        Some(ConnectionEvent {
+        if !self.cfg.faults.apply_in_place(client_buf, rng) {
+            return None;
+        }
+        let has_server = self.cfg.faults.apply_in_place(server_buf, rng);
+        Some(FlowMeta {
             date,
             port,
-            client_flow,
-            server_flow,
+            has_server,
         })
     }
 }
 
+/// Where one generated connection's bytes are: the flows live in the
+/// stream's [`GenScratch`] buffers, this carries everything else.
+#[derive(Debug, Clone, Copy)]
+struct FlowMeta {
+    date: Date,
+    port: u16,
+    /// The server flow survived fault injection (when false,
+    /// `server_buf` holds meaningless bytes).
+    has_server: bool,
+}
+
+/// One tapped connection, borrowed from the stream's scratch buffers.
+///
+/// Valid until the next [`MonthStream::next_flow`] call; the borrow
+/// checker enforces exactly that. The borrowed twin of
+/// [`ConnectionEvent`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRef<'a> {
+    /// Day the connection was seen.
+    pub date: Date,
+    /// Destination TCP port.
+    pub port: u16,
+    /// Client → server bytes.
+    pub client: &'a [u8],
+    /// Server → client bytes; `None` when the tap missed them.
+    pub server: Option<&'a [u8]>,
+}
+
 /// Per-stream reusable buffers. Every connection draws through these
-/// instead of allocating fresh intermediates; only the flows that cross
-/// the generator→notary boundary still own their bytes.
+/// instead of allocating fresh intermediates — including the flow
+/// bytes themselves: `client_buf`/`server_buf` hold the current
+/// connection's wire bytes, and only callers that need owned flows
+/// (the owned iterator, the channel path) copy them out.
 #[derive(Default)]
 struct GenScratch {
-    shares: Vec<f64>,
+    /// Normalised market shares, cached per day of the month (slot
+    /// `day - 1`; empty = not yet computed). Sized by
+    /// [`Generator::stream_month`].
+    shares_by_day: Vec<Vec<f64>>,
+    /// Memoised cohort parameter curves for profile sampling.
+    params_cache: ParamsCache,
     era_shares: Vec<f64>,
     ciphers: Vec<CipherSuite>,
     versions: Vec<ProtocolVersion>,
     curves: Vec<NamedGroup>,
     handshake: Vec<u8>,
+    client_buf: Vec<u8>,
+    server_buf: Vec<u8>,
 }
 
 /// Run a serialiser over a [`Writer`] that borrows `buf`'s storage,
@@ -351,10 +422,14 @@ pub struct MonthStream<'a> {
     month: Month,
     rng: SmallRng,
     remaining: u32,
-    /// Second copy of a tap-duplicated flow, emitted on the next draw.
-    pending: Option<ConnectionEvent>,
+    /// Replay token for a tap-duplicated flow: the duplicate's bytes
+    /// are still sitting untouched in `scratch`, so the second copy is
+    /// re-emitted from there on the next draw — no owned clone of the
+    /// event is ever held.
+    pending: Option<FlowMeta>,
     metrics: Option<&'a PipelineMetrics>,
-    /// Reusable per-connection buffers.
+    /// Reusable per-connection buffers, including the current flow
+    /// bytes.
     scratch: GenScratch,
 }
 
@@ -364,19 +439,28 @@ impl<'a> MonthStream<'a> {
         self.metrics = Some(metrics);
         self
     }
-}
 
-impl Iterator for MonthStream<'_> {
-    type Item = ConnectionEvent;
+    /// Wire bytes of the connection currently in scratch.
+    fn scratch_wire_bytes(&self, meta: FlowMeta) -> u64 {
+        let server = if meta.has_server {
+            self.scratch.server_buf.len() as u64
+        } else {
+            0
+        };
+        self.scratch.client_buf.len() as u64 + server
+    }
 
-    fn next(&mut self) -> Option<ConnectionEvent> {
+    /// Draw the next connection into scratch: the shared core behind
+    /// both the borrowed and the owned interface. Handles duplication
+    /// replay, outage windows, and metering.
+    fn advance(&mut self) -> Option<FlowMeta> {
         let started = self.metrics.map(|_| Instant::now());
-        if let Some(ev) = self.pending.take() {
-            // Second copy of a duplicated flow.
+        if let Some(meta) = self.pending.take() {
+            // Second copy of a duplicated flow, replayed from scratch.
             if let (Some(m), Some(t0)) = (self.metrics, started) {
-                m.record_generated(ev.wire_bytes(), t0.elapsed());
+                m.record_generated(self.scratch_wire_bytes(meta), t0.elapsed());
             }
-            return Some(ev);
+            return Some(meta);
         }
         let faults = &self.generator.cfg.faults;
         // Shares drift within a month; sampling per connection-day
@@ -395,23 +479,56 @@ impl Iterator for MonthStream<'_> {
                 }
                 continue;
             }
-            if let Some(ev) = self
-                .generator
-                .connection(date, &mut self.rng, &mut self.scratch)
+            if let Some(meta) =
+                self.generator
+                    .connection_into(date, &mut self.rng, &mut self.scratch)
             {
                 if faults.duplicates(&mut self.rng) {
                     if let Some(m) = self.metrics {
                         m.record_duplicated(1);
                     }
-                    self.pending = Some(ev.clone());
+                    self.pending = Some(meta);
                 }
                 if let (Some(m), Some(t0)) = (self.metrics, started) {
-                    m.record_generated(ev.wire_bytes(), t0.elapsed());
+                    m.record_generated(self.scratch_wire_bytes(meta), t0.elapsed());
                 }
-                return Some(ev);
+                return Some(meta);
             }
         }
         None
+    }
+
+    /// Pull the next connection without allocating: the returned
+    /// [`FlowRef`] borrows the stream's scratch buffers and is valid
+    /// until the next call. Yields exactly the sequence the owned
+    /// iterator yields — the fused study runner folds straight from
+    /// these borrows into the aggregate.
+    pub fn next_flow(&mut self) -> Option<FlowRef<'_>> {
+        let meta = self.advance()?;
+        Some(FlowRef {
+            date: meta.date,
+            port: meta.port,
+            client: &self.scratch.client_buf,
+            server: meta
+                .has_server
+                .then_some(self.scratch.server_buf.as_slice()),
+        })
+    }
+}
+
+impl Iterator for MonthStream<'_> {
+    type Item = ConnectionEvent;
+
+    fn next(&mut self) -> Option<ConnectionEvent> {
+        // Same core as next_flow; materialize owned flows for callers
+        // that need them to outlive the stream.
+        let meta = self.advance()?;
+        Some(ConnectionEvent {
+            date: meta.date,
+            port: meta.port,
+            client_flow: self.scratch.client_buf.clone(),
+            server_flow: meta.has_server.then(|| self.scratch.server_buf.clone()),
+        })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -5,7 +5,7 @@
 //! TLS record (content type + version + length) is how the paper can
 //! count the residual SSL 2 connections of §5.1 at all.
 
-use crate::codec::{Reader, Writer};
+use crate::codec::Reader;
 use crate::error::{WireError, WireResult};
 use crate::suites::CipherSuite;
 use crate::version::ProtocolVersion;
@@ -218,8 +218,10 @@ pub struct Sslv2ClientHello {
     pub cipher_specs: Vec<u32>,
     /// Session id (0 or 16 bytes in practice).
     pub session_id: Vec<u8>,
-    /// Challenge bytes (16–32).
-    pub challenge: Vec<u8>,
+    /// Challenge bytes. The protocol allows 16–32; every client we
+    /// model (and every major SSLv2 stack) sent exactly 16, so the
+    /// challenge lives inline — no per-hello heap allocation.
+    pub challenge: [u8; 16],
 }
 
 /// Well-known SSLv2 cipher kinds.
@@ -243,22 +245,43 @@ pub mod sslv2_cipher {
 impl Sslv2ClientHello {
     /// Serialise with the 2-byte MSB-set record header.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut body = Writer::new();
-        body.u8(0x01); // CLIENT-HELLO
-        body.u16(self.version.to_wire());
-        body.u16((self.cipher_specs.len() * 3) as u16);
-        body.u16(self.session_id.len() as u16);
-        body.u16(self.challenge.len() as u16);
-        for spec in &self.cipher_specs {
-            body.u24(*spec);
+        let mut out = Vec::new();
+        Self::write_parts_into(
+            self.version,
+            &self.cipher_specs,
+            &self.session_id,
+            &self.challenge,
+            &mut out,
+        );
+        out
+    }
+
+    /// Append the wire encoding of an SSLv2 CLIENT-HELLO assembled
+    /// from borrowed parts, without building the struct. The body
+    /// length is known up front (9 fixed bytes + 3 per cipher spec +
+    /// session id + challenge), so this writes in a single pass —
+    /// byte-identical to [`Sslv2ClientHello::to_bytes`] on the same
+    /// field values.
+    pub fn write_parts_into(
+        version: ProtocolVersion,
+        cipher_specs: &[u32],
+        session_id: &[u8],
+        challenge: &[u8; 16],
+        out: &mut Vec<u8>,
+    ) {
+        let body_len = 9 + 3 * cipher_specs.len() + session_id.len() + challenge.len();
+        out.reserve(body_len + 2);
+        out.extend_from_slice(&(0x8000 | body_len as u16).to_be_bytes());
+        out.push(0x01); // CLIENT-HELLO
+        out.extend_from_slice(&version.to_wire().to_be_bytes());
+        out.extend_from_slice(&((cipher_specs.len() * 3) as u16).to_be_bytes());
+        out.extend_from_slice(&(session_id.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(challenge.len() as u16).to_be_bytes());
+        for spec in cipher_specs {
+            out.extend_from_slice(&spec.to_be_bytes()[1..]);
         }
-        body.bytes(&self.session_id);
-        body.bytes(&self.challenge);
-        let body = body.into_bytes();
-        let mut w = Writer::with_capacity(body.len() + 2);
-        w.u16(0x8000 | body.len() as u16);
-        w.bytes(&body);
-        w.into_bytes()
+        out.extend_from_slice(session_id);
+        out.extend_from_slice(challenge);
     }
 
     /// Parse an SSLv2 CLIENT-HELLO (header included).
@@ -294,7 +317,12 @@ impl Sslv2ClientHello {
             specs.push(spec_bytes.u24()?);
         }
         let session_id = b.take(sid_len)?.to_vec();
-        let challenge = b.take(challenge_len)?.to_vec();
+        // Every stack we model sent a 16-byte challenge; other lengths
+        // are treated as malformed so the field can live inline.
+        let challenge: [u8; 16] = b
+            .take(challenge_len)?
+            .try_into()
+            .map_err(|_| WireError::MalformedSslv2)?;
         b.expect_empty()?;
         Ok(Sslv2ClientHello {
             version,
@@ -406,7 +434,7 @@ mod tests {
                 sslv2_cipher::DES_192_EDE3_CBC_WITH_MD5,
             ],
             session_id: vec![],
-            challenge: vec![0xaa; 16],
+            challenge: [0xaa; 16],
         };
         let bytes = hello.to_bytes();
         assert_eq!(Sslv2ClientHello::parse(&bytes).unwrap(), hello);
@@ -418,7 +446,7 @@ mod tests {
             version: ProtocolVersion::Ssl2,
             cipher_specs: vec![sslv2_cipher::RC4_128_WITH_MD5],
             session_id: vec![],
-            challenge: vec![0; 16],
+            challenge: [0; 16],
         }
         .to_bytes();
         assert_eq!(sniff(&v2), WireFlavor::Sslv2);
@@ -441,12 +469,56 @@ mod tests {
             version: ProtocolVersion::Ssl2,
             cipher_specs: vec![sslv2_cipher::RC4_128_WITH_MD5],
             session_id: vec![],
-            challenge: vec![0; 16],
+            challenge: [0; 16],
         }
         .to_bytes();
         for cut in 0..bytes.len() {
             assert!(Sslv2ClientHello::parse(&bytes[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn sslv2_write_parts_matches_to_bytes() {
+        let hello = Sslv2ClientHello {
+            version: ProtocolVersion::Ssl2,
+            cipher_specs: vec![
+                sslv2_cipher::RC4_128_WITH_MD5,
+                sslv2_cipher::DES_192_EDE3_CBC_WITH_MD5,
+            ],
+            session_id: vec![7; 16],
+            challenge: [0x5c; 16],
+        };
+        let mut out = vec![0xee]; // appends, never clears
+        Sslv2ClientHello::write_parts_into(
+            hello.version,
+            &hello.cipher_specs,
+            &hello.session_id,
+            &hello.challenge,
+            &mut out,
+        );
+        assert_eq!(out[0], 0xee);
+        assert_eq!(&out[1..], &hello.to_bytes()[..]);
+    }
+
+    #[test]
+    fn sslv2_non_16_byte_challenge_rejected() {
+        // Hand-build a hello with a 20-byte challenge: structurally
+        // valid SSLv2, but outside what the inline field accepts.
+        let challenge_len = 20usize;
+        let body_len = 9 + 3 + challenge_len;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(0x8000 | body_len as u16).to_be_bytes());
+        bytes.push(0x01);
+        bytes.extend_from_slice(&ProtocolVersion::Ssl2.to_wire().to_be_bytes());
+        bytes.extend_from_slice(&3u16.to_be_bytes());
+        bytes.extend_from_slice(&0u16.to_be_bytes());
+        bytes.extend_from_slice(&(challenge_len as u16).to_be_bytes());
+        bytes.extend_from_slice(&sslv2_cipher::RC4_128_WITH_MD5.to_be_bytes()[1..]);
+        bytes.extend_from_slice(&[0xab; 20]);
+        assert_eq!(
+            Sslv2ClientHello::parse(&bytes),
+            Err(WireError::MalformedSslv2)
+        );
     }
 
     #[test]

@@ -275,12 +275,23 @@ impl<'a> ClientHelloView<'a> {
     /// [`crate::ClientHello::offered_versions`] (GREASE filtered;
     /// classic maximum-version fallback when the extension is absent).
     pub fn offered_versions(&self) -> Vec<ProtocolVersion> {
+        let mut out = Vec::new();
+        self.offered_versions_into(&mut out);
+        out
+    }
+
+    /// [`Self::offered_versions`] into a caller-supplied vector, which
+    /// is cleared first — steady-state callers reuse its capacity and
+    /// perform no allocation.
+    pub fn offered_versions_into(&self, out: &mut Vec<ProtocolVersion>) {
+        out.clear();
         if let Some(body) = self.find_extension(ext_type::SUPPORTED_VERSIONS) {
             if let Ok(vs) = ext_view::supported_versions(body) {
-                return vs
-                    .filter(|v| !crate::grease::is_grease(*v))
-                    .map(ProtocolVersion::from_wire)
-                    .collect();
+                out.extend(
+                    vs.filter(|v| !crate::grease::is_grease(*v))
+                        .map(ProtocolVersion::from_wire),
+                );
+                return;
             }
         }
         let all = [
@@ -289,10 +300,11 @@ impl<'a> ClientHelloView<'a> {
             ProtocolVersion::Tls11,
             ProtocolVersion::Tls12,
         ];
-        all.iter()
-            .copied()
-            .filter(|v| v.rank() <= self.legacy_version.rank())
-            .collect()
+        out.extend(
+            all.iter()
+                .copied()
+                .filter(|v| v.rank() <= self.legacy_version.rank()),
+        );
     }
 }
 
