@@ -215,6 +215,7 @@ impl Study {
                             metrics.record_batch(flows, ingest_time);
                             metrics.record_parse_failures(partial.not_tls, partial.garbled_client);
                             metrics.record_salvaged(partial.salvaged);
+                            tlscope_notary::flush_parse_cache_metrics(metrics);
                             if let Some(dir) = &self.cfg.checkpoint_dir {
                                 if let Err(e) = checkpoint::write_month(dir, month, &partial) {
                                     ckpt_error

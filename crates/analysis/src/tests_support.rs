@@ -24,6 +24,7 @@ pub fn offer(suites: &[u16]) -> ClientOffer {
             point_formats: vec![0],
         },
         suites: suites.iter().map(|&s| CipherSuite(s)).collect(),
+        fp_id64: None,
     }
 }
 

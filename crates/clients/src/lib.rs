@@ -45,4 +45,4 @@ pub mod unlabeled;
 
 pub use adoption::AdoptionModel;
 pub use family::{Era, Family};
-pub use spec::{ClientSpec, HelloEntropy, TlsConfig};
+pub use spec::{ClientSpec, HelloEntropy, HelloPatches, TlsConfig};

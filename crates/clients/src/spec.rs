@@ -9,9 +9,9 @@
 
 use tlscope_chron::Date;
 use tlscope_fingerprint::{Category, Fingerprint};
-use tlscope_wire::codec::Writer;
+use tlscope_wire::codec::{patch_bytes, patch_u16, Writer};
 use tlscope_wire::exts::{ext_body, ext_type, write_extension};
-use tlscope_wire::grease::grease_value;
+use tlscope_wire::grease::{grease_value, is_grease};
 use tlscope_wire::handshake::handshake_type;
 use tlscope_wire::{CipherSuite, ClientHello, Extension, NamedGroup, ProtocolVersion};
 
@@ -151,15 +151,37 @@ impl TlsConfig {
         ciphers: &[CipherSuite],
         w: &mut Writer,
     ) {
+        self.write_hello_recording(sni, entropy, ciphers, w);
+    }
+
+    /// [`TlsConfig::write_hello_into`], additionally recording the
+    /// offsets of every volatile byte range into a [`HelloPatches`] —
+    /// the single serialiser behind both, so the patch map can never
+    /// drift from the bytes it describes. Offsets are absolute
+    /// positions in `w`'s buffer; callers start from an empty buffer.
+    pub fn write_hello_recording(
+        &self,
+        sni: Option<&str>,
+        entropy: &HelloEntropy,
+        ciphers: &[CipherSuite],
+        w: &mut Writer,
+    ) -> HelloPatches {
+        let mut patches = HelloPatches::default();
         w.u8(handshake_type::CLIENT_HELLO);
         w.vec24(|w| {
             w.u16(self.legacy_version.to_wire());
+            patches.random = w.len();
             w.bytes(&entropy.random);
+            patches.session_id = w.len() + 1;
+            patches.session_id_len = entropy.session_id.len();
             w.vec8(|w| {
                 w.bytes(&entropy.session_id);
             });
             w.vec16(|w| {
                 for c in ciphers {
+                    if patches.grease_cipher.is_none() && is_grease(c.0) {
+                        patches.grease_cipher = Some(w.len());
+                    }
                     w.u16(c.0);
                 }
             });
@@ -169,12 +191,14 @@ impl TlsConfig {
             if !self.extensions.is_empty() || self.grease {
                 w.vec16(|w| {
                     if self.grease {
+                        patches.grease_ext1 = Some(w.len());
                         write_extension(w, grease_value(entropy.grease_draws[1]), |_| {});
                     }
                     for &t in &self.extensions {
-                        self.write_one_extension(w, t, sni, entropy);
+                        self.write_one_extension(w, t, sni, entropy, &mut patches);
                     }
                     if self.grease {
+                        patches.grease_ext2 = Some(w.len());
                         write_extension(
                             w,
                             grease_value(entropy.grease_draws[2].wrapping_add(1)),
@@ -184,6 +208,7 @@ impl TlsConfig {
                 });
             }
         });
+        patches
     }
 
     /// Write one extension the way `materialise_extension` builds it,
@@ -194,13 +219,19 @@ impl TlsConfig {
         typ: u16,
         sni: Option<&str>,
         entropy: &HelloEntropy,
+        patches: &mut HelloPatches,
     ) {
         match typ {
             ext_type::SERVER_NAME => write_extension(w, typ, |w| {
                 ext_body::server_name(w, sni.unwrap_or("example.com"));
             }),
             ext_type::SUPPORTED_GROUPS => write_extension(w, typ, |w| {
-                let grease = self.grease.then(|| grease_value(entropy.grease_draws[3]));
+                // The GREASE entry leads the vec16 list: 2 length
+                // bytes, then the value.
+                let grease = self.grease.then(|| {
+                    patches.grease_group = Some(w.len() + 2);
+                    grease_value(entropy.grease_draws[3])
+                });
                 ext_body::supported_groups(
                     w,
                     grease.into_iter().chain(self.curves.iter().map(|g| g.0)),
@@ -210,7 +241,12 @@ impl TlsConfig {
                 ext_body::ec_point_formats(w, &self.point_formats);
             }),
             ext_type::SUPPORTED_VERSIONS => write_extension(w, typ, |w| {
-                let grease = self.grease.then(|| grease_value(entropy.grease_draws[0]));
+                // The GREASE entry leads the vec8 list: 1 length byte,
+                // then the value.
+                let grease = self.grease.then(|| {
+                    patches.grease_supported_version = Some(w.len() + 1);
+                    grease_value(entropy.grease_draws[0])
+                });
                 ext_body::supported_versions(
                     w,
                     grease
@@ -290,6 +326,95 @@ impl TlsConfig {
             return true;
         }
         self.legacy_version.rank() >= v.rank() && v.rank() >= self.min_version.rank()
+    }
+}
+
+/// The patch map of a serialised ClientHello template: byte offsets of
+/// every range that varies per connection while the rest of the
+/// message stays bit-identical for a given `(config, sni)` pair.
+///
+/// Recorded by [`TlsConfig::write_hello_recording`]; applying the map
+/// to a cached copy of those bytes with fresh [`HelloEntropy`]
+/// reproduces exactly what a fresh serialisation would emit — the
+/// template side of the hello cache. Validity requires the new
+/// entropy's session id to have the recorded length ([`Self::matches`])
+/// and the GREASE suite slot (if any) to sit at the recorded position,
+/// which holds for every stable-order client configuration.
+#[derive(Debug, Clone, Default)]
+pub struct HelloPatches {
+    /// Offset of the 32-byte client random.
+    pub random: usize,
+    /// Offset of the session-id content bytes (its length byte, part
+    /// of the stable template, precedes it).
+    pub session_id: usize,
+    /// Length of the session id the template was recorded with.
+    pub session_id_len: usize,
+    /// Offset of the GREASE cipher-suite slot, when the config GREASEs.
+    pub grease_cipher: Option<usize>,
+    /// Offset of the leading GREASE extension's type field.
+    pub grease_ext1: Option<usize>,
+    /// Offset of the trailing GREASE extension's type field.
+    pub grease_ext2: Option<usize>,
+    /// Offset of the GREASE entry in `supported_versions`.
+    pub grease_supported_version: Option<usize>,
+    /// Offset of the GREASE entry in `supported_groups`.
+    pub grease_group: Option<usize>,
+}
+
+impl HelloPatches {
+    /// Shift every recorded offset by `delta` — used when the template
+    /// bytes gain a prefix after recording (the 5-byte record header
+    /// the generator wraps around a single-record hello).
+    pub fn shift(&mut self, delta: usize) {
+        self.random += delta;
+        self.session_id += delta;
+        for slot in [
+            &mut self.grease_cipher,
+            &mut self.grease_ext1,
+            &mut self.grease_ext2,
+            &mut self.grease_supported_version,
+            &mut self.grease_group,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            *slot += delta;
+        }
+    }
+
+    /// True when a template recorded with this map can be re-entropied
+    /// with `entropy` (the session id must keep its recorded length —
+    /// a different length would move every later offset).
+    pub fn matches(&self, entropy: &HelloEntropy) -> bool {
+        entropy.session_id.len() == self.session_id_len
+    }
+
+    /// Rewrite the volatile ranges of `buf` (a copy of the template
+    /// bytes) for `entropy`, reproducing a fresh serialisation. The
+    /// GREASE draw mapping mirrors [`TlsConfig::write_hello_recording`]:
+    /// draw 0 feeds both the cipher slot and `supported_versions`,
+    /// draw 1 the leading and draw 2 (+1) the trailing GREASE
+    /// extension, draw 3 `supported_groups`.
+    pub fn apply(&self, buf: &mut [u8], entropy: &HelloEntropy) {
+        debug_assert!(self.matches(entropy), "session-id length changed");
+        let draws = &entropy.grease_draws;
+        patch_bytes(buf, self.random, &entropy.random);
+        patch_bytes(buf, self.session_id, &entropy.session_id);
+        if let Some(off) = self.grease_cipher {
+            patch_u16(buf, off, grease_value(draws[0]));
+        }
+        if let Some(off) = self.grease_ext1 {
+            patch_u16(buf, off, grease_value(draws[1]));
+        }
+        if let Some(off) = self.grease_ext2 {
+            patch_u16(buf, off, grease_value(draws[2].wrapping_add(1)));
+        }
+        if let Some(off) = self.grease_supported_version {
+            patch_u16(buf, off, grease_value(draws[0]));
+        }
+        if let Some(off) = self.grease_group {
+            patch_u16(buf, off, grease_value(draws[3]));
+        }
     }
 }
 
@@ -498,6 +623,66 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn patched_template_matches_fresh_serialisation_across_catalog() {
+        // Record a template with one entropy draw, then re-entropy the
+        // cached bytes through the patch map for other draws: the
+        // result must be byte-identical to serialising from scratch,
+        // for every catalogued configuration. This is the invariant
+        // the generation-side template cache rests on.
+        let mut ciphers = Vec::new();
+        for fam in crate::catalog::all_families() {
+            for era in &fam.eras {
+                for sni in [None, Some("mozilla.org")] {
+                    let base = HelloEntropy::from_seed(11);
+                    era.tls.hello_ciphers_into(&base, &mut ciphers);
+                    let mut w = Writer::new();
+                    let patches = era.tls.write_hello_recording(sni, &base, &ciphers, &mut w);
+                    let template = w.into_bytes();
+                    for seed in [0u64, 7, 0xDEAD_BEEF, u64::MAX] {
+                        let entropy = HelloEntropy::from_seed(seed);
+                        assert!(patches.matches(&entropy));
+                        let mut patched = template.clone();
+                        patches.apply(&mut patched, &entropy);
+                        era.tls.hello_ciphers_into(&entropy, &mut ciphers);
+                        let mut fresh = Writer::new();
+                        era.tls
+                            .write_hello_into(sni, &entropy, &ciphers, &mut fresh);
+                        assert_eq!(
+                            patched,
+                            fresh.into_bytes(),
+                            "{} {} sni={sni:?} seed={seed}",
+                            fam.name,
+                            era.versions
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patch_shift_moves_every_offset() {
+        let cfg = config(true);
+        let entropy = HelloEntropy::from_seed(5);
+        let mut ciphers = Vec::new();
+        cfg.hello_ciphers_into(&entropy, &mut ciphers);
+        let mut w = Writer::new();
+        let mut patches = cfg.write_hello_recording(None, &entropy, &ciphers, &mut w);
+        let bytes = w.into_bytes();
+        let random = patches.random;
+        let grease_cipher = patches.grease_cipher.unwrap();
+        // The recorded cipher slot really holds the GREASE value.
+        assert!(tlscope_wire::is_grease(u16::from_be_bytes([
+            bytes[grease_cipher],
+            bytes[grease_cipher + 1],
+        ])));
+        assert_eq!(&bytes[random..random + 32], &entropy.random);
+        patches.shift(5);
+        assert_eq!(patches.random, random + 5);
+        assert_eq!(patches.grease_cipher, Some(grease_cipher + 5));
     }
 
     #[test]

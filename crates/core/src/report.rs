@@ -226,6 +226,18 @@ impl ReportContext {
         Ok(self.scans.as_deref().unwrap())
     }
 
+    /// Run both apertures (scans first, then passive) and return them
+    /// together — the shared shape of the s5.x comparisons that set
+    /// passive observations against the active campaign.
+    fn passive_and_scans(&mut self) -> Result<(&NotaryAggregate, &[ScanSnapshot]), RunError> {
+        self.try_scans()?;
+        self.try_passive()?;
+        Ok((
+            self.passive.as_ref().unwrap(),
+            self.scans.as_deref().unwrap(),
+        ))
+    }
+
     /// Run one experiment by id. Checkpoint-store errors from either
     /// aperture surface as [`RunError`] rather than aborting the
     /// process.
@@ -249,29 +261,17 @@ impl ReportContext {
             "fig10" => Artifact::Figure(figures::fig10(self.try_passive()?)),
             "s4.1" => Artifact::Table(sections::s4_1(self.try_passive()?)),
             "s5.1" => {
-                self.try_scans()?;
-                self.try_passive()?;
-                Artifact::Table(sections::s5_1(
-                    self.passive.as_ref().unwrap(),
-                    self.scans.as_ref().unwrap(),
-                ))
+                let (passive, scans) = self.passive_and_scans()?;
+                Artifact::Table(sections::s5_1(passive, scans))
             }
             "s5.4" => {
-                self.try_scans()?;
-                self.try_passive()?;
-                Artifact::Table(sections::s5_4(
-                    self.passive.as_ref().unwrap(),
-                    self.scans.as_ref().unwrap(),
-                ))
+                let (passive, scans) = self.passive_and_scans()?;
+                Artifact::Table(sections::s5_4(passive, scans))
             }
             "s5.5" => Artifact::Table(sections::s5_5(self.try_passive()?)),
             "s5.6" => {
-                self.try_scans()?;
-                self.try_passive()?;
-                Artifact::Table(sections::s5_6(
-                    self.passive.as_ref().unwrap(),
-                    self.scans.as_ref().unwrap(),
-                ))
+                let (passive, scans) = self.passive_and_scans()?;
+                Artifact::Table(sections::s5_6(passive, scans))
             }
             "s6.1" => Artifact::Table(sections::s6_1(self.try_passive()?)),
             "s6.2" => Artifact::Table(sections::s6_2(self.try_passive()?)),
@@ -414,6 +414,26 @@ mod tests {
         assert_eq!(s.hosts_probed, 6 * 200);
         assert_eq!(s.sweeps_completed, 6);
         assert!(s.accounting_holds(), "{s:?}");
+    }
+
+    #[test]
+    fn needs_matches_what_run_actually_computes() {
+        for id in EXPERIMENT_IDS {
+            let mut ctx = tiny_ctx();
+            ctx.run(id).unwrap();
+            let (wants_passive, wants_active) = needs(id);
+            assert_eq!(
+                ctx.passive.is_some(),
+                wants_passive,
+                "passive aperture for {id}"
+            );
+            // ssl-pulse drives its surveys through the scan ledger
+            // without materialising campaign snapshots, so the active
+            // aperture is visible as probes in the ledger rather than
+            // a populated `scans`.
+            let ran_active = ctx.scans.is_some() || ctx.scan_metrics().snapshot().hosts_probed > 0;
+            assert_eq!(ran_active, wants_active, "active aperture for {id}");
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod rich;
 
 pub use db::{Category, CoverageStats, FingerprintDb, InsertOutcome, Label};
 pub use duration::{DurationStats, Sighting, SightingTracker};
-pub use fp::Fingerprint;
+pub use fp::{Fingerprint, Fnv64};
 pub use intern::{FpId, FpInterner};
 pub use ja3::{ja3_hash, ja3_string};
 pub use rich::{CollisionStats, RichFingerprint};

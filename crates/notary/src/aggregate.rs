@@ -383,10 +383,13 @@ impl NotaryAggregate {
             Self::ingest_offer(stats, offer);
             if rec.date >= FINGERPRINT_FIELDS_SINCE {
                 // A repeat fingerprint is a hash of the id64 and a u32
-                // table hit — the clone runs only on first sight.
+                // table hit — the clone runs only on first sight. The
+                // parse cache memoises the id64 alongside the offer,
+                // so cached flows skip even the rehash.
+                let id64 = offer.fp_id64.unwrap_or_else(|| offer.fingerprint.id64());
                 let fp = self
                     .interner
-                    .intern_hashed(offer.fingerprint.id64(), || offer.fingerprint.clone());
+                    .intern_hashed(id64, || offer.fingerprint.clone());
                 self.sightings.observe(fp, rec.date, 1);
                 if self.fp_counts.len() <= fp.index() {
                     self.fp_counts.resize(fp.index() + 1, 0);
@@ -458,44 +461,33 @@ impl NotaryAggregate {
     }
 
     fn ingest_offer(stats: &mut MonthlyStats, offer: &ClientOffer) {
-        if offer.offers(|c| c.is_rc4()) {
-            stats.adv_rc4 += 1;
-        }
-        if offer.offers(|c| c.is_cbc()) {
-            stats.adv_cbc += 1;
-        }
-        if offer.offers(|c| c.is_aead()) {
-            stats.adv_aead += 1;
-        }
-        if offer.offers(|c| c.is_des()) {
-            stats.adv_des += 1;
-        }
-        if offer.offers(|c| c.is_3des()) {
-            stats.adv_3des += 1;
-        }
-        if offer.offers(|c| c.is_export()) {
-            stats.adv_export += 1;
-        }
-        if offer.offers(|c| c.is_anon()) {
-            stats.adv_anon += 1;
-        }
-        if offer.offers(|c| c.is_null_encryption()) {
-            stats.adv_null += 1;
-        }
-        if offer.offers(|c| c.is_forward_secret()) {
-            stats.adv_fs += 1;
-        }
-        if offer.heartbeat {
-            stats.adv_heartbeat += 1;
-        }
-        if offer.versions.iter().any(|v| v.is_tls13_family()) {
-            stats.adv_tls13 += 1;
-        }
-        // Connection-weighted advertised AEAD algorithms (one count per
-        // algorithm present in the offer).
+        // One fused pass over the suite list replaces the former
+        // nine `offers()` scans, AEAD-algorithm scan, and five
+        // `first_position` scans. Each suite is classified along every
+        // axis with a single registry lookup (`classes()`); the
+        // arithmetic matches those helpers exactly, so the fold stays
+        // bit-identical to the multi-pass version.
+        let mut any = tlscope_wire::SuiteClasses::default();
         let mut seen = [false; 5];
-        for suite in &offer.suites {
-            if let Some(alg) = suite.aead_alg() {
+        // First-hit real index per position class: aead cbc rc4 des 3des.
+        let mut pos_hit = [None::<usize>; 5];
+        let mut real = 0usize;
+        for c in offer.suites.iter().copied() {
+            // `offers()` semantics: every suite, GREASE included
+            // (GREASE/SCSV/unregistered values are in no class).
+            let cl = c.classes();
+            any.rc4 |= cl.rc4;
+            any.cbc |= cl.cbc;
+            any.aead |= cl.aead;
+            any.des |= cl.des;
+            any.tdes |= cl.tdes;
+            any.export |= cl.export;
+            any.anon |= cl.anon;
+            any.null_enc |= cl.null_enc;
+            any.forward_secret |= cl.forward_secret;
+            // Connection-weighted advertised AEAD algorithms (one
+            // count per algorithm present in the offer).
+            if let Some(alg) = cl.aead_alg {
                 let idx = match alg {
                     AeadAlg::Aes128Gcm => 0,
                     AeadAlg::Aes256Gcm => 1,
@@ -508,6 +500,42 @@ impl NotaryAggregate {
                     stats.adv_aead_alg.bump(alg);
                 }
             }
+            // `first_position()` semantics: GREASE/SCSV entries count
+            // for neither position nor the denominator.
+            if tlscope_wire::is_grease(c.0) || c.is_signaling() {
+                continue;
+            }
+            if pos_hit[0].is_none() && cl.aead {
+                pos_hit[0] = Some(real);
+            }
+            if pos_hit[1].is_none() && cl.cbc {
+                pos_hit[1] = Some(real);
+            }
+            if pos_hit[2].is_none() && cl.rc4 {
+                pos_hit[2] = Some(real);
+            }
+            if pos_hit[3].is_none() && cl.des {
+                pos_hit[3] = Some(real);
+            }
+            if pos_hit[4].is_none() && cl.tdes {
+                pos_hit[4] = Some(real);
+            }
+            real += 1;
+        }
+        stats.adv_rc4 += u64::from(any.rc4);
+        stats.adv_cbc += u64::from(any.cbc);
+        stats.adv_aead += u64::from(any.aead);
+        stats.adv_des += u64::from(any.des);
+        stats.adv_3des += u64::from(any.tdes);
+        stats.adv_export += u64::from(any.export);
+        stats.adv_anon += u64::from(any.anon);
+        stats.adv_null += u64::from(any.null_enc);
+        stats.adv_fs += u64::from(any.forward_secret);
+        if offer.heartbeat {
+            stats.adv_heartbeat += 1;
+        }
+        if offer.versions.iter().any(|v| v.is_tls13_family()) {
+            stats.adv_tls13 += 1;
         }
         for v in &offer.supported_versions_raw {
             *stats.supported_versions_values.entry(*v).or_insert(0) += 1;
@@ -515,11 +543,20 @@ impl NotaryAggregate {
         for t in &offer.extension_types {
             *stats.adv_extensions.entry(*t).or_insert(0) += 1;
         }
-        stats.pos_aead.add(offer.first_position(|c| c.is_aead()));
-        stats.pos_cbc.add(offer.first_position(|c| c.is_cbc()));
-        stats.pos_rc4.add(offer.first_position(|c| c.is_rc4()));
-        stats.pos_des.add(offer.first_position(|c| c.is_des()));
-        stats.pos_3des.add(offer.first_position(|c| c.is_3des()));
+        // Identical to `first_position`: `i as f64 / real as f64`,
+        // `None` when no real suite exists.
+        let frac = |hit: Option<usize>| {
+            if real == 0 {
+                None
+            } else {
+                hit.map(|i| i as f64 / real as f64)
+            }
+        };
+        stats.pos_aead.add(frac(pos_hit[0]));
+        stats.pos_cbc.add(frac(pos_hit[1]));
+        stats.pos_rc4.add(frac(pos_hit[2]));
+        stats.pos_des.add(frac(pos_hit[3]));
+        stats.pos_3des.add(frac(pos_hit[4]));
     }
 
     /// Record a flow that failed extraction.
@@ -779,6 +816,7 @@ mod tests {
                 point_formats: vec![],
             },
             suites: cs,
+            fp_id64: None,
         }
     }
 

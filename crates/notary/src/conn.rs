@@ -12,9 +12,11 @@
 //! ingesting millions of flows reuses the same allocation throughout.
 
 use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
 
 use tlscope_chron::{Date, Month};
-use tlscope_fingerprint::Fingerprint;
+use tlscope_fingerprint::{Fingerprint, Fnv64};
 use tlscope_wire::codec::Reader;
 use tlscope_wire::exts::ext_type;
 use tlscope_wire::handshake::{handshake_type, read_handshake};
@@ -40,6 +42,10 @@ pub struct ClientOffer {
     pub extension_types: Vec<u16>,
     /// The 4-feature fingerprint (GREASE-stripped).
     pub fingerprint: Fingerprint,
+    /// Memoised 64-bit fingerprint hash, populated by the parse cache
+    /// so aggregation can intern without rehashing; `None` when the
+    /// offer came from a non-cached parse (SSLv2, salvage, cache off).
+    pub fp_id64: Option<u64>,
 }
 
 impl ClientOffer {
@@ -141,12 +147,14 @@ pub enum ExtractError {
 pub struct ExtractScratch {
     coalesce: Vec<u8>,
     record: ConnectionRecord,
+    cache: HelloCache,
 }
 
 impl Default for ExtractScratch {
     fn default() -> Self {
         ExtractScratch {
             coalesce: Vec::new(),
+            cache: HelloCache::default(),
             record: ConnectionRecord {
                 date: Date::ymd(2000, 1, 1),
                 month: Date::ymd(2000, 1, 1).month(),
@@ -182,6 +190,7 @@ fn empty_offer() -> ClientOffer {
             curves: Vec::new(),
             point_formats: Vec::new(),
         },
+        fp_id64: None,
     }
 }
 
@@ -264,6 +273,7 @@ pub fn extract_into<'s>(
             offer.fingerprint.extensions.clear();
             offer.fingerprint.curves.clear();
             offer.fingerprint.point_formats.clear();
+            offer.fp_id64 = None;
             rec.date = date;
             rec.month = date.month();
             rec.port = port;
@@ -273,9 +283,13 @@ pub fn extract_into<'s>(
             Ok(rec)
         }
         WireFlavor::Tls => {
-            let ExtractScratch { coalesce, record } = scratch;
+            let ExtractScratch {
+                coalesce,
+                record,
+                cache,
+            } = scratch;
             let offer = record.client.get_or_insert_with(empty_offer);
-            let client_salvaged = refill_client_offer(client_flow, coalesce, offer)
+            let client_salvaged = refill_client_offer_cached(client_flow, coalesce, offer, cache)
                 .ok_or(ExtractError::GarbledClient)?;
             let client_heartbeat = offer.heartbeat;
             let (server, server_salvaged) = match server_flow {
@@ -377,7 +391,10 @@ fn parse_client_offer(flow: &[u8], scratch: &mut Vec<u8>) -> Option<(ClientOffer
 
 /// Coalesce and parse a client flow, refilling `offer`'s vectors in
 /// place. Returns the salvage flag, or `None` when the flow is
-/// garbled (leaving `offer` in an unspecified state).
+/// garbled (leaving `offer` in an unspecified state). The production
+/// path is [`refill_client_offer_cached`]; this uncached twin backs
+/// tests that need a guaranteed-fresh parse.
+#[cfg(test)]
 fn refill_client_offer(
     flow: &[u8],
     scratch: &mut Vec<u8>,
@@ -388,6 +405,351 @@ fn refill_client_offer(
     };
     let hello = ClientHelloView::parse_handshake(bytes).ok()?;
     refill_offer(offer, &hello);
+    Some(salvaged)
+}
+
+/// Default per-thread parse-cache capacity, in memoised hellos.
+const PARSE_CACHE_DEFAULT_CAPACITY: usize = 4096;
+
+/// Canonical stand-in absorbed for every GREASE-patterned u16 while
+/// hashing, so two hellos differing only in their per-connection
+/// GREASE draws collide onto the same cache key.
+const GREASE_MARK: [u8; 2] = [0x0a, 0x0a];
+
+/// Cumulative parse-cache counters for one ingestion thread.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ParseCacheStats {
+    /// Hellos served from the cache without a full parse.
+    pub hits: u64,
+    /// Hellos that were fully parsed and then memoised.
+    pub misses: u64,
+    /// Entries dropped to keep the cache within capacity.
+    pub evictions: u64,
+}
+
+/// A memoised parse result: the handshake length guards against the
+/// (astronomically unlikely) masked-hash collision between hellos of
+/// different lengths.
+#[derive(Debug)]
+struct HelloEntry {
+    hs_len: usize,
+    offer: ClientOffer,
+}
+
+/// Bounded FIFO memo of parsed ClientHellos, keyed by a masked
+/// content hash of the coalesced handshake. Offsets of volatile
+/// fields (random, session id, GREASE slots) are derived from TLS
+/// structure alone — this layer never sees generator metadata.
+#[derive(Debug)]
+struct HelloCache {
+    map: HashMap<u64, HelloEntry>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    /// GREASE cipher-suite slots found by the *current* flow's masked
+    /// scan, as (suite index, wire offset) — reused across flows.
+    slots: Vec<(usize, usize)>,
+    /// Scratch offer for verify-mode re-parses.
+    verify_offer: Option<Box<ClientOffer>>,
+    stats: ParseCacheStats,
+    flushed: ParseCacheStats,
+}
+
+impl Default for HelloCache {
+    fn default() -> Self {
+        HelloCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: PARSE_CACHE_DEFAULT_CAPACITY,
+            slots: Vec::new(),
+            verify_offer: None,
+            stats: ParseCacheStats::default(),
+            flushed: ParseCacheStats::default(),
+        }
+    }
+}
+
+/// True when `TLSCOPE_VERIFY_PARSE_CACHE=1`: every cache hit also
+/// runs the full parse and asserts the memoised offer matches it
+/// bit for bit.
+fn verify_parse_cache() -> bool {
+    static VERIFY: OnceLock<bool> = OnceLock::new();
+    *VERIFY.get_or_init(|| std::env::var("TLSCOPE_VERIFY_PARSE_CACHE").is_ok_and(|v| v == "1"))
+}
+
+/// Set this thread's parse-cache capacity, clearing its contents and
+/// counters. Capacity 0 disables memoisation entirely (every flow
+/// takes the full-parse path and no counters move).
+pub fn parse_cache_set_capacity(capacity: usize) {
+    SCRATCH.with(|s| {
+        let cache = &mut s.borrow_mut().cache;
+        cache.capacity = capacity;
+        cache.map.clear();
+        cache.order.clear();
+        cache.stats = ParseCacheStats::default();
+        cache.flushed = ParseCacheStats::default();
+    });
+}
+
+/// Cumulative parse-cache counters for the calling thread.
+pub fn parse_cache_stats() -> ParseCacheStats {
+    SCRATCH.with(|s| s.borrow().cache.stats)
+}
+
+/// Drain the calling thread's parse-cache counter deltas (since the
+/// previous flush) into `metrics`, so per-thread caches roll up into
+/// the shared pipeline counters without double counting.
+pub fn flush_parse_cache_metrics(metrics: &crate::metrics::PipelineMetrics) {
+    SCRATCH.with(|s| {
+        let cache = &mut s.borrow_mut().cache;
+        let hits = cache.stats.hits - cache.flushed.hits;
+        let misses = cache.stats.misses - cache.flushed.misses;
+        let evictions = cache.stats.evictions - cache.flushed.evictions;
+        cache.flushed = cache.stats;
+        if hits | misses | evictions != 0 {
+            metrics.record_parse_cache(hits, misses, evictions);
+        }
+    });
+}
+
+/// Field-wise copy that reuses every destination vector's capacity.
+/// (`derive(Clone)` provides no such `clone_from`; a plain assignment
+/// would re-allocate all seven vectors per hit.)
+fn copy_offer_from(dst: &mut ClientOffer, src: &ClientOffer) {
+    dst.legacy_version = src.legacy_version;
+    dst.suites.clone_from(&src.suites);
+    dst.versions.clone_from(&src.versions);
+    dst.supported_versions_raw
+        .clone_from(&src.supported_versions_raw);
+    dst.heartbeat = src.heartbeat;
+    dst.extension_types.clone_from(&src.extension_types);
+    dst.fingerprint.ciphers.clone_from(&src.fingerprint.ciphers);
+    dst.fingerprint
+        .extensions
+        .clone_from(&src.fingerprint.extensions);
+    dst.fingerprint.curves.clone_from(&src.fingerprint.curves);
+    dst.fingerprint
+        .point_formats
+        .clone_from(&src.fingerprint.point_formats);
+    dst.fp_id64 = src.fp_id64;
+}
+
+fn be16(b: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([b[off], b[off + 1]])
+}
+
+/// Absorb an extension body holding a length-prefixed list of u16s,
+/// masking GREASE entries. `prefix` is the length-prefix width (1 for
+/// vec8, 2 for vec16). A body that fails strict validation is
+/// absorbed raw — deterministic either way, so correctness holds; it
+/// just forgoes GREASE collapsing for that hello.
+fn absorb_masked_u16_list(h: &mut Fnv64, body: &[u8], prefix: usize) {
+    let well_formed = body.len() >= prefix && {
+        let list_len = if prefix == 1 {
+            body[0] as usize
+        } else {
+            be16(body, 0) as usize
+        };
+        body.len() == prefix + list_len && list_len.is_multiple_of(2)
+    };
+    if !well_formed {
+        h.absorb(body);
+        return;
+    }
+    h.absorb(&body[..prefix]);
+    let mut p = prefix;
+    while p < body.len() {
+        if tlscope_wire::is_grease(be16(body, p)) {
+            h.absorb(&GREASE_MARK);
+        } else {
+            h.absorb(&body[p..p + 2]);
+        }
+        p += 2;
+    }
+}
+
+/// Walk a coalesced ClientHello handshake, hashing every byte except
+/// the structurally-known volatile fields: the 32-byte random and the
+/// session-id contents are skipped (their lengths are still hashed),
+/// and GREASE-patterned u16s in the cipher list, extension type ids,
+/// supported_versions and supported_groups bodies are absorbed as the
+/// canonical [`GREASE_MARK`]. GREASE cipher-suite positions are
+/// recorded into `grease_suites` as (suite index, wire offset) so a
+/// cache hit can patch the memoised offer with this flow's values.
+///
+/// Returns `None` on any structural anomaly — the caller falls back
+/// to the full parse and the flow bypasses the cache.
+fn masked_hello_scan(bytes: &[u8], grease_suites: &mut Vec<(usize, usize)>) -> Option<u64> {
+    grease_suites.clear();
+    let mut h = Fnv64::new();
+    if bytes.len() < 4 || bytes[0] != handshake_type::CLIENT_HELLO {
+        return None;
+    }
+    let body_len = u32::from_be_bytes([0, bytes[1], bytes[2], bytes[3]]) as usize;
+    if bytes.len() != 4 + body_len {
+        return None;
+    }
+    h.absorb(&bytes[..4]);
+    let mut off = 4;
+    // Legacy version, then the masked 32-byte random.
+    if bytes.len() < off + 2 + 32 + 1 {
+        return None;
+    }
+    h.absorb(&bytes[off..off + 2]);
+    off += 2 + 32;
+    // Session id: length hashed, contents masked.
+    let sid_len = bytes[off] as usize;
+    h.absorb(&bytes[off..=off]);
+    off += 1;
+    if bytes.len() < off + sid_len + 2 {
+        return None;
+    }
+    off += sid_len;
+    // Cipher suites: GREASE entries masked and their slots recorded.
+    let suites_len = be16(bytes, off) as usize;
+    h.absorb(&bytes[off..off + 2]);
+    off += 2;
+    if !suites_len.is_multiple_of(2) || bytes.len() < off + suites_len {
+        return None;
+    }
+    for i in 0..suites_len / 2 {
+        let p = off + 2 * i;
+        if tlscope_wire::is_grease(be16(bytes, p)) {
+            grease_suites.push((i, p));
+            h.absorb(&GREASE_MARK);
+        } else {
+            h.absorb(&bytes[p..p + 2]);
+        }
+    }
+    off += suites_len;
+    // Compression methods, hashed verbatim.
+    if bytes.len() < off + 1 {
+        return None;
+    }
+    let comp_len = bytes[off] as usize;
+    h.absorb(&bytes[off..=off]);
+    off += 1;
+    if bytes.len() < off + comp_len {
+        return None;
+    }
+    h.absorb(&bytes[off..off + comp_len]);
+    off += comp_len;
+    if off == bytes.len() {
+        return Some(h.finish());
+    }
+    // Extension block.
+    if bytes.len() < off + 2 {
+        return None;
+    }
+    let ext_total = be16(bytes, off) as usize;
+    h.absorb(&bytes[off..off + 2]);
+    off += 2;
+    if bytes.len() != off + ext_total {
+        return None;
+    }
+    let end = bytes.len();
+    while off < end {
+        if end - off < 4 {
+            return None;
+        }
+        let typ = be16(bytes, off);
+        if tlscope_wire::is_grease(typ) {
+            h.absorb(&GREASE_MARK);
+        } else {
+            h.absorb(&bytes[off..off + 2]);
+        }
+        h.absorb(&bytes[off + 2..off + 4]);
+        let ext_len = be16(bytes, off + 2) as usize;
+        off += 4;
+        if end - off < ext_len {
+            return None;
+        }
+        let body = &bytes[off..off + ext_len];
+        match typ {
+            ext_type::SUPPORTED_VERSIONS => absorb_masked_u16_list(&mut h, body, 1),
+            ext_type::SUPPORTED_GROUPS => absorb_masked_u16_list(&mut h, body, 2),
+            _ => h.absorb(body),
+        }
+        off += ext_len;
+    }
+    Some(h.finish())
+}
+
+/// Cache-aware variant of [`refill_client_offer`]: flows whose masked
+/// hash hits the memo skip the full parse entirely — the memoised
+/// offer is copied in place and its GREASE suite slots re-patched
+/// from this flow's wire bytes. Salvaged flows and structural
+/// anomalies bypass the cache (no counters move).
+fn refill_client_offer_cached(
+    flow: &[u8],
+    scratch: &mut Vec<u8>,
+    offer: &mut ClientOffer,
+    cache: &mut HelloCache,
+) -> Option<bool> {
+    let CoalesceOutcome::Handshake { bytes, salvaged } = coalesce_stream(flow, scratch) else {
+        return None;
+    };
+    if salvaged || cache.capacity == 0 {
+        let hello = ClientHelloView::parse_handshake(bytes).ok()?;
+        refill_offer(offer, &hello);
+        return Some(salvaged);
+    }
+    let Some(hash) = masked_hello_scan(bytes, &mut cache.slots) else {
+        let hello = ClientHelloView::parse_handshake(bytes).ok()?;
+        refill_offer(offer, &hello);
+        return Some(salvaged);
+    };
+    let hit = match cache.map.get(&hash) {
+        Some(entry) if entry.hs_len == bytes.len() => {
+            copy_offer_from(offer, &entry.offer);
+            true
+        }
+        _ => false,
+    };
+    if hit {
+        cache.stats.hits += 1;
+        // The memoised suites carry the *original* flow's GREASE
+        // draws; overwrite them with this flow's wire values.
+        for &(idx, wire_off) in &cache.slots {
+            if idx < offer.suites.len() && wire_off + 2 <= bytes.len() {
+                offer.suites[idx] = CipherSuite(be16(bytes, wire_off));
+            }
+        }
+        if verify_parse_cache() {
+            let hello = ClientHelloView::parse_handshake(bytes)
+                .expect("parse-cache hit on an unparseable hello");
+            let fresh = cache
+                .verify_offer
+                .get_or_insert_with(|| Box::new(empty_offer()));
+            refill_offer(fresh, &hello);
+            fresh.fp_id64 = Some(fresh.fingerprint.id64());
+            assert_eq!(
+                **fresh, *offer,
+                "parse-cache hit diverged from the full parse"
+            );
+        }
+        return Some(salvaged);
+    }
+    let hello = ClientHelloView::parse_handshake(bytes).ok()?;
+    refill_offer(offer, &hello);
+    offer.fp_id64 = Some(offer.fingerprint.id64());
+    cache.stats.misses += 1;
+    let entry = HelloEntry {
+        hs_len: bytes.len(),
+        offer: offer.clone(),
+    };
+    if cache.map.insert(hash, entry).is_none() {
+        cache.order.push_back(hash);
+        while cache.map.len() > cache.capacity {
+            match cache.order.pop_front() {
+                Some(old) => {
+                    if cache.map.remove(&old).is_some() {
+                        cache.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
     Some(salvaged)
 }
 
@@ -415,6 +777,7 @@ fn refill_offer(offer: &mut ClientOffer, hello: &ClientHelloView<'_>) {
         );
     }
     offer.fingerprint.refill_from_view(hello);
+    offer.fp_id64 = None;
 }
 
 fn parse_server_flow(
@@ -729,6 +1092,117 @@ mod tests {
         assert!(offer.heartbeat);
         // Scratch kept its buffer for the next flow.
         assert!(scratch.coalesce.capacity() >= hs.len());
+    }
+
+    #[test]
+    fn masked_scan_collapses_volatile_fields() {
+        let mut hello = sample_hello();
+        let mut slots = Vec::new();
+        let h1 = masked_hello_scan(&hello.to_handshake_bytes(), &mut slots).unwrap();
+        assert!(slots.is_empty());
+        // Different client random: same key.
+        hello.random = [9; 32];
+        let h2 = masked_hello_scan(&hello.to_handshake_bytes(), &mut slots).unwrap();
+        assert_eq!(h1, h2);
+        // Different cipher stack: different key.
+        hello.cipher_suites.push(CipherSuite(0x1301));
+        let h3 = masked_hello_scan(&hello.to_handshake_bytes(), &mut slots).unwrap();
+        assert_ne!(h1, h3);
+        // Session-id *contents* are masked but the length is hashed.
+        hello.cipher_suites.pop();
+        hello.session_id = vec![1; 32];
+        let h4 = masked_hello_scan(&hello.to_handshake_bytes(), &mut slots).unwrap();
+        assert_ne!(h1, h4);
+        hello.session_id = vec![2; 32];
+        let h5 = masked_hello_scan(&hello.to_handshake_bytes(), &mut slots).unwrap();
+        assert_eq!(h4, h5);
+    }
+
+    #[test]
+    fn masked_scan_collapses_grease_and_records_slots() {
+        let mut hello = sample_hello();
+        hello.cipher_suites.insert(0, CipherSuite(0x2a2a));
+        let mut slots = Vec::new();
+        let h1 = masked_hello_scan(&hello.to_handshake_bytes(), &mut slots).unwrap();
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].0, 0);
+        // A different GREASE draw in the same slot: same key, and the
+        // recorded wire offset reads back the new value.
+        hello.cipher_suites[0] = CipherSuite(0xfafa);
+        let hs = hello.to_handshake_bytes();
+        let h2 = masked_hello_scan(&hs, &mut slots).unwrap();
+        assert_eq!(h1, h2);
+        let (_, off) = slots[0];
+        assert_eq!(u16::from_be_bytes([hs[off], hs[off + 1]]), 0xfafa);
+    }
+
+    #[test]
+    fn parse_cache_hit_matches_full_parse() {
+        // Each #[test] runs on its own thread, so this capacity only
+        // affects this test's thread-local cache.
+        parse_cache_set_capacity(64);
+        let mut hello = sample_hello();
+        hello.cipher_suites.insert(0, CipherSuite(0x0a0a));
+        let first = extract(Date::ymd(2016, 3, 1), 443, &client_bytes(&hello), None)
+            .unwrap()
+            .client
+            .unwrap();
+        hello.random = [7; 32];
+        hello.cipher_suites[0] = CipherSuite(0x5a5a);
+        let second = extract(Date::ymd(2016, 3, 1), 443, &client_bytes(&hello), None)
+            .unwrap()
+            .client
+            .unwrap();
+        let stats = parse_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The memoised id64 matches what a fresh hash would produce.
+        assert_eq!(second.fp_id64, Some(second.fingerprint.id64()));
+        // GREASE-stripped features identical; raw suites carry each
+        // flow's own GREASE draw.
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(first.suites[0], CipherSuite(0x0a0a));
+        assert_eq!(second.suites[0], CipherSuite(0x5a5a));
+        assert_eq!(&first.suites[1..], &second.suites[1..]);
+    }
+
+    #[test]
+    fn salvaged_flows_bypass_the_cache() {
+        parse_cache_set_capacity(64);
+        let hello = sample_hello();
+        let mut bytes = client_bytes(&hello);
+        bytes.extend_from_slice(&[0x16, 0x03, 0x01, 0x00]); // severed record header
+        for _ in 0..2 {
+            let rec = extract(Date::ymd(2016, 3, 1), 443, &bytes, None).unwrap();
+            assert!(rec.salvaged);
+            assert_eq!(rec.client.unwrap().fp_id64, None);
+        }
+        assert_eq!(parse_cache_stats(), ParseCacheStats::default());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        parse_cache_set_capacity(0);
+        let hello = sample_hello();
+        for _ in 0..2 {
+            extract(Date::ymd(2016, 3, 1), 443, &client_bytes(&hello), None).unwrap();
+        }
+        assert_eq!(parse_cache_stats(), ParseCacheStats::default());
+    }
+
+    #[test]
+    fn fifo_eviction_counts_and_bounds() {
+        parse_cache_set_capacity(2);
+        let mut hello = sample_hello();
+        for n in 0..3u16 {
+            hello.cipher_suites[0] = CipherSuite(0xc02f - n);
+            extract(Date::ymd(2016, 3, 1), 443, &client_bytes(&hello), None).unwrap();
+        }
+        let stats = parse_cache_stats();
+        assert_eq!((stats.misses, stats.evictions), (3, 1));
+        // The oldest stack was evicted: replaying it misses again.
+        hello.cipher_suites[0] = CipherSuite(0xc02f);
+        extract(Date::ymd(2016, 3, 1), 443, &client_bytes(&hello), None).unwrap();
+        assert_eq!(parse_cache_stats().misses, 4);
     }
 
     #[test]

@@ -49,7 +49,8 @@ pub use aggregate::{
 };
 pub use checkpoint::{CheckpointError, DirLoad};
 pub use conn::{
-    ClientOffer, ConnectionRecord, ExtractError, ExtractScratch, ServerAnswer, ServerOutcome,
+    flush_parse_cache_metrics, parse_cache_set_capacity, parse_cache_stats, ClientOffer,
+    ConnectionRecord, ExtractError, ExtractScratch, ParseCacheStats, ServerAnswer, ServerOutcome,
 };
 pub use metrics::{MetricsSnapshot, PipelineMetrics};
 pub use pipeline::{

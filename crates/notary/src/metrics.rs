@@ -54,6 +54,13 @@ pub struct PipelineMetrics {
     checkpoints_written: AtomicU64,
     checkpoints_loaded: AtomicU64,
     checkpoints_quarantined: AtomicU64,
+
+    template_hits: AtomicU64,
+    template_misses: AtomicU64,
+
+    parse_cache_hits: AtomicU64,
+    parse_cache_misses: AtomicU64,
+    parse_cache_evictions: AtomicU64,
 }
 
 impl PipelineMetrics {
@@ -153,6 +160,26 @@ impl PipelineMetrics {
         self.checkpoints_quarantined.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record generation-side template-cache consults: `hits` flights
+    /// served by memcpy + patch, `misses` serialised in full (and
+    /// cached for next time).
+    pub fn record_template(&self, hits: u64, misses: u64) {
+        self.template_hits.fetch_add(hits, Ordering::Relaxed);
+        self.template_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Record ingestion-side parse-cache consults: `hits` hellos whose
+    /// offer was copied from cache, `misses` fully parsed (and
+    /// inserted), `evictions` entries displaced by capacity pressure.
+    /// Bypassed flows (salvaged, structurally unknown) count as none
+    /// of these.
+    pub fn record_parse_cache(&self, hits: u64, misses: u64, evictions: u64) {
+        self.parse_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.parse_cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.parse_cache_evictions
+            .fetch_add(evictions, Ordering::Relaxed);
+    }
+
     /// Shards lost so far (also available via [`snapshot`]).
     ///
     /// [`snapshot`]: PipelineMetrics::snapshot
@@ -183,6 +210,11 @@ impl PipelineMetrics {
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             checkpoints_loaded: self.checkpoints_loaded.load(Ordering::Relaxed),
             checkpoints_quarantined: self.checkpoints_quarantined.load(Ordering::Relaxed),
+            template_hits: self.template_hits.load(Ordering::Relaxed),
+            template_misses: self.template_misses.load(Ordering::Relaxed),
+            parse_cache_hits: self.parse_cache_hits.load(Ordering::Relaxed),
+            parse_cache_misses: self.parse_cache_misses.load(Ordering::Relaxed),
+            parse_cache_evictions: self.parse_cache_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -233,6 +265,19 @@ pub struct MetricsSnapshot {
     /// Damaged checkpoint files quarantined on resume (months
     /// recomputed).
     pub checkpoints_quarantined: u64,
+    /// Generation-side template-cache hits (flights served by
+    /// memcpy + patch).
+    pub template_hits: u64,
+    /// Generation-side template-cache misses (flights serialised in
+    /// full and cached).
+    pub template_misses: u64,
+    /// Ingestion-side parse-cache hits (offers copied from cache).
+    pub parse_cache_hits: u64,
+    /// Ingestion-side parse-cache misses (hellos fully parsed and
+    /// inserted).
+    pub parse_cache_misses: u64,
+    /// Parse-cache entries evicted by capacity pressure.
+    pub parse_cache_evictions: u64,
 }
 
 fn rate(count: u64, nanos: u64) -> f64 {
@@ -321,6 +366,14 @@ impl MetricsSnapshot {
             "  checkpoint {:>12} written {:>9} loaded {:>10} quarantined\n",
             self.checkpoints_written, self.checkpoints_loaded, self.checkpoints_quarantined,
         ));
+        out.push_str(&format!(
+            "  template   {:>12} hits {:>12} misses\n",
+            self.template_hits, self.template_misses,
+        ));
+        out.push_str(&format!(
+            "  parse-cache{:>12} hits {:>12} misses {:>8} evictions\n",
+            self.parse_cache_hits, self.parse_cache_misses, self.parse_cache_evictions,
+        ));
         out
     }
 }
@@ -403,6 +456,24 @@ mod tests {
         ] {
             assert!(text.contains(needle), "render missing {needle}: {text}");
         }
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_render() {
+        let m = PipelineMetrics::new();
+        m.record_template(10, 2);
+        m.record_template(5, 0);
+        m.record_parse_cache(8, 3, 1);
+        let s = m.snapshot();
+        assert_eq!(s.template_hits, 15);
+        assert_eq!(s.template_misses, 2);
+        assert_eq!(s.parse_cache_hits, 8);
+        assert_eq!(s.parse_cache_misses, 3);
+        assert_eq!(s.parse_cache_evictions, 1);
+        let text = s.render();
+        assert!(text.contains("template"), "{text}");
+        assert!(text.contains("parse-cache"), "{text}");
+        assert!(text.contains("evictions"), "{text}");
     }
 
     #[test]

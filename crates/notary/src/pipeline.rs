@@ -213,6 +213,7 @@ pub fn ingest_serial_metered(
     metrics.record_batch(n, started.elapsed());
     metrics.record_parse_failures(agg.not_tls, agg.garbled_client);
     metrics.record_salvaged(agg.salvaged);
+    crate::conn::flush_parse_cache_metrics(metrics);
     agg
 }
 
@@ -301,6 +302,7 @@ pub(crate) fn supervise_batch<T, F>(
             metrics.record_batch(batch.len() as u64, started.elapsed());
             metrics.record_parse_failures(partial.not_tls, partial.garbled_client);
             metrics.record_salvaged(partial.salvaged);
+            crate::conn::flush_parse_cache_metrics(metrics);
             agg.merge(partial);
         }
         Err(_) => {

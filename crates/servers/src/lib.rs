@@ -35,7 +35,8 @@ pub mod ramps;
 
 pub use cohorts::{params, sample_cached, Cohort, CohortParams, ParamsCache};
 pub use negotiate::{
-    decide, respond, respond_facts, ClientFacts, Decision, HandshakeFailure, Negotiated,
+    decide, respond, respond_facts, write_decision_into, ClientFacts, Decision, HandshakeFailure,
+    Negotiated,
 };
 pub use population::{Destination, ServerPopulation};
 pub use profile::{preference, Quirk, ServerProfile};

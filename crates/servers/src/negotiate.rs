@@ -206,6 +206,21 @@ pub fn respond_facts_into(
     w: &mut Writer,
 ) -> Result<Decision, HandshakeFailure> {
     let d = decide(profile, facts)?;
+    write_decision_into(&d, facts, server_random, w);
+    Ok(d)
+}
+
+/// Serialise the framed ServerHello for an already-made [`Decision`] —
+/// the write half of [`respond_facts_into`], split out so a caller
+/// holding a decision (e.g. one looking up a serialised-flight
+/// template by [`Decision::template_key`]) can build the bytes without
+/// re-running negotiation.
+pub fn write_decision_into(
+    d: &Decision,
+    facts: &ClientFacts<'_>,
+    server_random: [u8; 32],
+    w: &mut Writer,
+) {
     let tls13 = d.version.is_tls13_family();
     // Mirrors respond_facts: the extension block appears when the
     // server has extensions to send, or when the client sent a block
@@ -255,7 +270,30 @@ pub fn respond_facts_into(
             });
         }
     });
-    Ok(d)
+}
+
+impl Decision {
+    /// Pack this decision together with the client-echo facts that
+    /// shape the ServerHello bytes into one u64 cache key.
+    ///
+    /// [`write_decision_into`] emits bytes that are a pure function of
+    /// `(Decision, session id, has_renegotiation_info, has_extensions,
+    /// server_random)`; with an empty session id (the only case the
+    /// generator's template cache handles) everything but the random —
+    /// which the template patches — is captured here, so equal keys
+    /// mean bit-identical flights modulo the 32 random bytes.
+    pub fn template_key(&self, facts: &ClientFacts<'_>) -> u64 {
+        let curve = match self.curve {
+            Some(g) => 0x1_0000 | u64::from(g.0),
+            None => 0,
+        };
+        u64::from(self.version.to_wire())
+            | u64::from(self.cipher.0) << 16
+            | curve << 32
+            | u64::from(self.heartbeat) << 49
+            | u64::from(facts.has_renegotiation_info) << 50
+            | u64::from(facts.has_extensions) << 51
+    }
 }
 
 /// True for a GREASE value riding in a version list.

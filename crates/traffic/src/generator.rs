@@ -13,12 +13,13 @@
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
 use std::time::Instant;
 use tlscope_chron::{Date, Month};
-use tlscope_clients::{catalog, Family, HelloEntropy};
+use tlscope_clients::{catalog, Family, HelloEntropy, HelloPatches};
 use tlscope_notary::{PipelineMetrics, TappedFlow};
 use tlscope_servers::{negotiate, Destination, ParamsCache, ServerPopulation};
-use tlscope_wire::codec::Writer;
+use tlscope_wire::codec::{patch_bytes, Writer};
 use tlscope_wire::exts::ext_type;
 use tlscope_wire::grease::grease_value;
 use tlscope_wire::handshake::handshake_type;
@@ -216,7 +217,8 @@ impl Generator {
         let sni = sni_for(dest, rng);
         let cfg = &era.tls;
         cfg.hello_ciphers_into(&entropy, &mut scratch.ciphers);
-        if family.name == "(cipher-shuffling client)" {
+        let shuffled = family.name == "(cipher-shuffling client)";
+        if shuffled {
             // §4.1: the fingerprint-exploding bug — unstable cipher
             // order per connection.
             shuffle(&mut scratch.ciphers, rng);
@@ -234,13 +236,53 @@ impl Generator {
             client_buf,
             server_buf,
             params_cache,
+            templates,
             ..
         } = scratch;
-        with_writer(handshake, |w| {
-            cfg.write_hello_into(Some(sni), &entropy, ciphers, w);
-        });
-        client_buf.clear();
-        Record::wrap_handshake_into(record_version, handshake, client_buf);
+        // Client bytes via the template cache: for a stable-order
+        // config the serialised hello is a pure function of
+        // (family, era, sni) outside its patch map, so steady state is
+        // memcpy + patch. The shuffling client's suite order changes
+        // per connection and bypasses the cache, as would a non-empty
+        // session id (resumption would move every offset).
+        let cacheable = !shuffled && entropy.session_id.is_empty();
+        let client_key = (fam_idx, era_idx, sni);
+        let mut hit = false;
+        if cacheable {
+            if let Some(t) = templates.client.get(&client_key) {
+                client_buf.clear();
+                client_buf.extend_from_slice(&t.bytes);
+                t.patches.apply(client_buf, &entropy);
+                hit = true;
+            }
+        }
+        if hit {
+            templates.hits += 1;
+        } else {
+            let mut patches = None;
+            with_writer(handshake, |w| {
+                patches = Some(cfg.write_hello_recording(Some(sni), &entropy, ciphers, w));
+            });
+            client_buf.clear();
+            Record::wrap_handshake_into(record_version, handshake, client_buf);
+            let header = client_buf.len() - handshake.len();
+            // header == 5 means the hello fits one record — the only
+            // shape the patch map's uniform +5 shift describes (real
+            // hellos always do; a multi-record monster just stays
+            // uncached).
+            if cacheable && header == 5 {
+                let mut patches = patches.expect("with_writer runs its closure");
+                patches.shift(header);
+                templates.client.insert(
+                    client_key,
+                    ClientTemplate {
+                        bytes: client_buf.clone(),
+                        patches,
+                    },
+                );
+            }
+            templates.misses += 1;
+        }
 
         // 4. Server side. Negotiation runs on ClientFacts assembled
         // from the configuration that just emitted the hello — the
@@ -286,40 +328,30 @@ impl Generator {
             has_extensions: !cfg.extensions.is_empty() || cfg.grease,
         };
         server_buf.clear();
-        let mut negotiated = None;
-        with_writer(handshake, |w| {
-            negotiated = Some(negotiate::respond_facts_into(
-                &profile,
-                &facts,
-                server_random,
-                w,
-            ));
-        });
-        match negotiated.expect("with_writer runs its closure") {
+        match negotiate::decide(&profile, &facts) {
             Ok(d) => {
-                let version = if d.version.is_tls13_family() {
-                    ProtocolVersion::Tls12
-                } else {
-                    d.version
-                };
-                // Real server stacks frame the flight as one record per
-                // handshake message (ServerHello / SKE / HelloDone), not
-                // one coalesced record — which is what lets a tap that
-                // truncated or gapped the tail of the flight still keep
-                // an intact ServerHello prefix for salvage.
-                Record::wrap_handshake_into(version, handshake, server_buf);
-                if !d.version.is_tls13_family() {
-                    if let Some(curve) = d.curve {
-                        with_writer(handshake, |w| {
-                            tlscope_wire::ske::write_ecdhe_ske(w, curve, 65);
-                        });
-                        Record::wrap_handshake_into(version, handshake, server_buf);
+                // The whole server flight is a pure function of
+                // (Decision, echoed facts, server_random) when the
+                // session id is empty — so the flight is cached per
+                // template key and only the 32 random bytes at the
+                // fixed ServerHello offset are rewritten.
+                let server_key = d.template_key(&facts);
+                if entropy.session_id.is_empty() {
+                    if let Some(bytes) = templates.server.get(&server_key) {
+                        server_buf.extend_from_slice(bytes);
+                        patch_bytes(server_buf, SERVER_RANDOM_OFFSET, &server_random);
+                        templates.hits += 1;
+                    } else {
+                        build_server_flight(&d, &facts, server_random, handshake, server_buf);
+                        debug_assert_eq!(
+                            &server_buf[SERVER_RANDOM_OFFSET..SERVER_RANDOM_OFFSET + 32],
+                            &server_random[..],
+                        );
+                        templates.server.insert(server_key, server_buf.clone());
+                        templates.misses += 1;
                     }
-                    Record::wrap_handshake_into(
-                        version,
-                        &[handshake_type::SERVER_HELLO_DONE, 0, 0, 0],
-                        server_buf,
-                    );
+                } else {
+                    build_server_flight(&d, &facts, server_random, handshake, server_buf);
                 }
             }
             Err(failure) => {
@@ -400,6 +432,92 @@ struct GenScratch {
     handshake: Vec<u8>,
     client_buf: Vec<u8>,
     server_buf: Vec<u8>,
+    /// Serialised-flight templates for both sides of the tap.
+    templates: TemplateCache,
+}
+
+/// Byte offset of the 32-byte server random inside a record-framed
+/// ServerHello: 5 record-header bytes, 1 handshake type, 3 length,
+/// 2 legacy version.
+const SERVER_RANDOM_OFFSET: usize = 11;
+
+/// A cached record-framed client flow plus the offsets of its volatile
+/// ranges.
+struct ClientTemplate {
+    bytes: Vec<u8>,
+    patches: HelloPatches,
+}
+
+/// Per-stream cache of serialised wire flights.
+///
+/// Client flows are keyed by (family, era, sni) — the hello bytes are
+/// a pure function of that triple outside the patch map (the calendar
+/// day shifts *which* stacks appear, never their bytes, so day is
+/// deliberately not part of the key). Server flights are keyed by
+/// [`Decision::template_key`](tlscope_servers::Decision::template_key)
+/// and re-randomised by patching the server random in place. Both maps
+/// are unbounded: the key space is the client catalog × a handful of
+/// SNIs, resp. the set of distinct negotiation outcomes — a few
+/// hundred entries per stream at most.
+#[derive(Default)]
+struct TemplateCache {
+    client: HashMap<(usize, usize, &'static str), ClientTemplate>,
+    server: HashMap<u64, Vec<u8>>,
+    hits: u64,
+    misses: u64,
+    flushed_hits: u64,
+    flushed_misses: u64,
+}
+
+impl TemplateCache {
+    /// Counter deltas since the previous call (the metered stream's
+    /// flush point).
+    fn unflushed(&mut self) -> (u64, u64) {
+        let delta = (
+            self.hits - self.flushed_hits,
+            self.misses - self.flushed_misses,
+        );
+        self.flushed_hits = self.hits;
+        self.flushed_misses = self.misses;
+        delta
+    }
+}
+
+/// Serialise the server flight for an already-made decision into
+/// `server_buf` (which the caller cleared): ServerHello, then for
+/// classic TLS the ECDHE ServerKeyExchange (when a curve was selected)
+/// and ServerHelloDone — one record per handshake message, the framing
+/// real stacks use (which lets a tap that truncated the tail of the
+/// flight still keep an intact ServerHello prefix for salvage).
+fn build_server_flight(
+    d: &negotiate::Decision,
+    facts: &negotiate::ClientFacts<'_>,
+    server_random: [u8; 32],
+    handshake: &mut Vec<u8>,
+    server_buf: &mut Vec<u8>,
+) {
+    let version = if d.version.is_tls13_family() {
+        ProtocolVersion::Tls12
+    } else {
+        d.version
+    };
+    with_writer(handshake, |w| {
+        negotiate::write_decision_into(d, facts, server_random, w);
+    });
+    Record::wrap_handshake_into(version, handshake, server_buf);
+    if !d.version.is_tls13_family() {
+        if let Some(curve) = d.curve {
+            with_writer(handshake, |w| {
+                tlscope_wire::ske::write_ecdhe_ske(w, curve, 65);
+            });
+            Record::wrap_handshake_into(version, handshake, server_buf);
+        }
+        Record::wrap_handshake_into(
+            version,
+            &[handshake_type::SERVER_HELLO_DONE, 0, 0, 0],
+            server_buf,
+        );
+    }
 }
 
 /// Run a serialiser over a [`Writer`] that borrows `buf`'s storage,
@@ -492,10 +610,30 @@ impl<'a> MonthStream<'a> {
                 if let (Some(m), Some(t0)) = (self.metrics, started) {
                     m.record_generated(self.scratch_wire_bytes(meta), t0.elapsed());
                 }
+                self.flush_template_metrics();
                 return Some(meta);
             }
         }
+        self.flush_template_metrics();
         None
+    }
+
+    /// Push template-cache counter deltas into the attached metrics
+    /// (no-op on unmetered streams; cumulative totals stay readable
+    /// via [`MonthStream::template_cache_stats`] either way).
+    fn flush_template_metrics(&mut self) {
+        if let Some(m) = self.metrics {
+            let (hits, misses) = self.scratch.templates.unflushed();
+            if hits | misses != 0 {
+                m.record_template(hits, misses);
+            }
+        }
+    }
+
+    /// Cumulative template-cache (hits, misses) for this stream —
+    /// client and server flights combined.
+    pub fn template_cache_stats(&self) -> (u64, u64) {
+        (self.scratch.templates.hits, self.scratch.templates.misses)
     }
 
     /// Pull the next connection without allocating: the returned

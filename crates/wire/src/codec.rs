@@ -268,6 +268,28 @@ impl Writer {
     }
 }
 
+/// Overwrite the big-endian u16 at `offset` in already-serialised
+/// bytes. The patching half of a template cache: a serialised message
+/// is reused and only its volatile slots (GREASE values, length-stable
+/// fields) are rewritten in place.
+///
+/// # Panics
+/// Panics if `offset + 2` exceeds `buf.len()` (a caller bug: patch
+/// offsets are recorded at serialisation time from the same layout).
+pub fn patch_u16(buf: &mut [u8], offset: usize, v: u16) {
+    buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+/// Overwrite `bytes.len()` bytes at `offset` in already-serialised
+/// bytes — the fixed-width sibling of [`patch_u16`], used for the
+/// 32-byte hello randoms.
+///
+/// # Panics
+/// Panics if the target range exceeds `buf.len()`.
+pub fn patch_bytes(buf: &mut [u8], offset: usize, bytes: &[u8]) {
+    buf[offset..offset + bytes.len()].copy_from_slice(bytes);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,6 +63,6 @@ pub use grease::{is_grease, strip_grease};
 pub use groups::NamedGroup;
 pub use handshake::{ClientHello, ServerHello};
 pub use record::{sniff, ContentType, Record, RecordView, Sslv2ClientHello, WireFlavor};
-pub use suites::{AeadAlg, Auth, CipherSuite, Enc, EncMode, Kx, Mac, SuiteInfo};
+pub use suites::{AeadAlg, Auth, CipherSuite, Enc, EncMode, Kx, Mac, SuiteClasses, SuiteInfo};
 pub use version::ProtocolVersion;
 pub use view::{ClientHelloView, ExtensionsView, ServerHelloView};

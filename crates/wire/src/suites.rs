@@ -345,6 +345,73 @@ impl CipherSuite {
     pub fn kx(self) -> Option<Kx> {
         self.info().map(|i| i.kx)
     }
+
+    /// Every class membership in a single registry lookup — exactly
+    /// equivalent to calling each `is_*` predicate (and [`aead_alg`])
+    /// separately, but without repeating the binary search per
+    /// predicate. Unregistered, GREASE, and SCSV values belong to no
+    /// class. The per-connection aggregation fold classifies every
+    /// offered suite along all axes at once, which makes the repeated
+    /// lookups the hot path this amortises.
+    ///
+    /// [`aead_alg`]: CipherSuite::aead_alg
+    pub fn classes(self) -> SuiteClasses {
+        let Some(i) = self.info() else {
+            return SuiteClasses::default();
+        };
+        if i.kx == Kx::Scsv {
+            return SuiteClasses::default();
+        }
+        let mode = i.enc.mode();
+        SuiteClasses {
+            rc4: matches!(i.enc, Enc::Rc4_40 | Enc::Rc4_56 | Enc::Rc4_128),
+            cbc: mode == EncMode::Cbc,
+            aead: mode == EncMode::Aead,
+            des: matches!(i.enc, Enc::Des40Cbc | Enc::DesCbc),
+            tdes: i.enc == Enc::TripleDesCbc,
+            export: i.export,
+            anon: i.auth == Auth::Anon,
+            null_enc: i.enc == Enc::Null,
+            forward_secret: matches!(
+                i.kx,
+                Kx::Dhe
+                    | Kx::Ecdhe
+                    | Kx::DhAnon
+                    | Kx::EcdhAnon
+                    | Kx::DhePsk
+                    | Kx::EcdhePsk
+                    | Kx::Srp
+                    | Kx::Tls13
+            ),
+            aead_alg: i.enc.aead_alg(),
+        }
+    }
+}
+
+/// Class memberships of one suite, from [`CipherSuite::classes`].
+/// Field values match the corresponding `is_*` predicates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuiteClasses {
+    /// [`CipherSuite::is_rc4`].
+    pub rc4: bool,
+    /// [`CipherSuite::is_cbc`].
+    pub cbc: bool,
+    /// [`CipherSuite::is_aead`].
+    pub aead: bool,
+    /// [`CipherSuite::is_des`].
+    pub des: bool,
+    /// [`CipherSuite::is_3des`].
+    pub tdes: bool,
+    /// [`CipherSuite::is_export`].
+    pub export: bool,
+    /// [`CipherSuite::is_anon`].
+    pub anon: bool,
+    /// [`CipherSuite::is_null_encryption`].
+    pub null_enc: bool,
+    /// [`CipherSuite::is_forward_secret`].
+    pub forward_secret: bool,
+    /// [`CipherSuite::aead_alg`].
+    pub aead_alg: Option<AeadAlg>,
 }
 
 impl CipherSuite {
