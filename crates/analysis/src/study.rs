@@ -10,9 +10,11 @@
 //! [`PipelineMetrics`].
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+use tlscope_obs::Progress;
 
 use tlscope_chron::Month;
 use tlscope_notary::{
@@ -158,25 +160,41 @@ impl Study {
     ) -> Result<NotaryAggregate, CheckpointError> {
         let (mut result, completed) = match &self.cfg.checkpoint_dir {
             Some(dir) => {
+                let load_started = Instant::now();
                 let load = checkpoint::load_dir(dir)?;
+                metrics.observe_checkpoint_load(load_started.elapsed());
                 metrics.record_checkpoints_loaded(load.completed.len() as u64);
                 metrics.record_checkpoints_quarantined(load.quarantined.len() as u64);
                 (load.aggregate, load.completed)
             }
             None => (NotaryAggregate::new(), std::collections::BTreeSet::new()),
         };
+        let total_months = self.cfg.start.iter_through(self.cfg.end).count() as u64;
         let months: Vec<Month> = self
             .cfg
             .start
             .iter_through(self.cfg.end)
             .filter(|m| !completed.contains(m))
             .collect();
+        let months_done = AtomicU64::new(total_months - months.len() as u64);
+        let progress = Progress::from_env("passive-study", total_months, "months", "flows");
         let workers = self.cfg.workers.max(1).min(months.len().max(1));
         let next = AtomicUsize::new(0);
         // First checkpoint write error, reported after the scope ends
         // (workers stop claiming months once one is recorded).
         let ckpt_error: Mutex<Option<CheckpointError>> = Mutex::new(None);
+        let stop_heartbeat = AtomicBool::new(false);
         std::thread::scope(|scope| {
+            if progress.is_enabled() {
+                scope.spawn(|| {
+                    progress.run_ticker(&stop_heartbeat, || {
+                        (
+                            months_done.load(Ordering::Relaxed),
+                            metrics.snapshot().flows_ingested,
+                        )
+                    })
+                });
+            }
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -191,6 +209,7 @@ impl Study {
                             {
                                 break;
                             }
+                            let month_started = Instant::now();
                             let mut partial = NotaryAggregate::new();
                             let mut flows = 0u64;
                             let mut ingest_time = std::time::Duration::ZERO;
@@ -217,6 +236,7 @@ impl Study {
                             metrics.record_salvaged(partial.salvaged);
                             tlscope_notary::flush_parse_cache_metrics(metrics);
                             if let Some(dir) = &self.cfg.checkpoint_dir {
+                                let write_started = Instant::now();
                                 if let Err(e) = checkpoint::write_month(dir, month, &partial) {
                                     ckpt_error
                                         .lock()
@@ -224,8 +244,11 @@ impl Study {
                                         .get_or_insert(e);
                                     break;
                                 }
+                                metrics.observe_checkpoint_write(write_started.elapsed());
                                 metrics.record_checkpoint_written();
                             }
+                            metrics.record_month(month_started.elapsed());
+                            months_done.fetch_add(1, Ordering::Relaxed);
                             agg.merge(partial);
                         }
                         agg
@@ -242,6 +265,7 @@ impl Study {
                     Err(_) => metrics.record_shard_lost(),
                 }
             }
+            stop_heartbeat.store(true, Ordering::Release);
         });
         match ckpt_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
             Some(e) => Err(e),

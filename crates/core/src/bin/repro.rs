@@ -12,6 +12,11 @@
 //!   --seed <n>     override the study seed
 //!   --stats        print per-stage pipeline metrics after the run
 //!   --scan-stats   print active-scan accounting after the run
+//!   --stats-json <path>
+//!                  write the pipeline metrics (counters, derived
+//!                  rates, latency histograms) as JSON to <path>
+//!   --scan-stats-json <path>
+//!                  write the scan accounting as JSON to <path>
 //!   --resume <dir> checkpoint completed months into <dir> and resume
 //!                  from whatever is already there
 //!   --resume-scan <dir>
@@ -30,6 +35,8 @@ struct Options {
     csv: bool,
     stats: bool,
     scan_stats: bool,
+    stats_json: Option<String>,
+    scan_stats_json: Option<String>,
     width: usize,
     seed: Option<u64>,
     save: Option<String>,
@@ -41,7 +48,7 @@ struct Options {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--quick|--full] [--csv] [--stats] [--scan-stats] [--width N] [--seed N] [--resume DIR] [--resume-scan DIR] [--list] <id>...|all\n\
+        "usage: repro [--quick|--full] [--csv] [--stats] [--scan-stats] [--stats-json PATH] [--scan-stats-json PATH] [--width N] [--seed N] [--resume DIR] [--resume-scan DIR] [--list] <id>...|all\n\
          ids: {}",
         EXPERIMENT_IDS.join(" ")
     );
@@ -53,6 +60,8 @@ fn parse_args() -> Result<Options, String> {
         csv: false,
         stats: false,
         scan_stats: false,
+        stats_json: None,
+        scan_stats_json: None,
         width: 84,
         seed: None,
         save: None,
@@ -69,6 +78,12 @@ fn parse_args() -> Result<Options, String> {
             "--csv" => opts.csv = true,
             "--stats" => opts.stats = true,
             "--scan-stats" => opts.scan_stats = true,
+            "--stats-json" => {
+                opts.stats_json = Some(args.next().ok_or("--stats-json needs a path")?);
+            }
+            "--scan-stats-json" => {
+                opts.scan_stats_json = Some(args.next().ok_or("--scan-stats-json needs a path")?);
+            }
             "--width" => {
                 opts.width = args
                     .next()
@@ -115,6 +130,21 @@ fn parse_args() -> Result<Options, String> {
         return Err("no experiments requested".into());
     }
     Ok(opts)
+}
+
+/// Write an exported metrics document atomically (tmp + rename via
+/// `tlscope::durable`) so a consumer polling the path never reads a
+/// torn JSON file.
+fn write_json(path: &str, json: &str) -> std::io::Result<()> {
+    let p = std::path::Path::new(path);
+    let dir = match p.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => std::path::Path::new("."),
+    };
+    let name = p.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    tlscope::durable::write_atomic(dir, name, json)
 }
 
 fn main() -> ExitCode {
@@ -235,6 +265,7 @@ fn main() -> ExitCode {
     if opts.stats {
         // Stats go to stderr so --csv output stays machine-readable.
         eprint!("{}", ctx.metrics().snapshot().render());
+        eprint!("{}", ctx.metrics().latency().render());
     }
     if opts.scan_stats {
         // Name the profile the campaign ran under so a lossy ledger is
@@ -243,6 +274,38 @@ fn main() -> ExitCode {
             eprintln!("# scan fault profile: {profile}");
         }
         eprint!("{}", ctx.scan_metrics().snapshot().render());
+        eprint!("{}", ctx.scan_metrics().latency().render());
+    }
+    if let Some(path) = &opts.stats_json {
+        let json = ctx
+            .metrics()
+            .snapshot()
+            .to_json_with(&ctx.metrics().latency());
+        match write_json(path, &json) {
+            Ok(()) => eprintln!("# wrote pipeline stats to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &opts.scan_stats_json {
+        let json = ctx
+            .scan_metrics()
+            .snapshot()
+            .to_json_with(&ctx.scan_metrics().latency());
+        match write_json(path, &json) {
+            Ok(()) => eprintln!("# wrote scan stats to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    // Any flight reports filed by panic boundaries during the run come
+    // out last so they sit next to the exit status in a captured log.
+    for report in tlscope::obs::flight::drain_reports() {
+        eprint!("{report}");
     }
     if failed {
         ExitCode::FAILURE

@@ -24,7 +24,12 @@
 //! * [`scanner`] — the active scan harness with the paper's probe set
 //!   and schedule;
 //! * [`analysis`] — figure/table/section generators and attack-impact
-//!   estimation.
+//!   estimation;
+//! * [`durable`] — checksummed, atomic file persistence shared by the
+//!   checkpoint stores;
+//! * [`obs`] — dependency-free observability: latency histograms,
+//!   hand-rolled JSON, progress heartbeats, and a panic flight
+//!   recorder.
 //!
 //! ## Quick start
 //!
@@ -51,8 +56,10 @@
 pub use tlscope_analysis as analysis;
 pub use tlscope_chron as chron;
 pub use tlscope_clients as clients;
+pub use tlscope_durable as durable;
 pub use tlscope_fingerprint as fingerprint;
 pub use tlscope_notary as notary;
+pub use tlscope_obs as obs;
 pub use tlscope_scanner as scanner;
 pub use tlscope_servers as servers;
 pub use tlscope_traffic as traffic;

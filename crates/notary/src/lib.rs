@@ -52,7 +52,7 @@ pub use conn::{
     flush_parse_cache_metrics, parse_cache_set_capacity, parse_cache_stats, ClientOffer,
     ConnectionRecord, ExtractError, ExtractScratch, ParseCacheStats, ServerAnswer, ServerOutcome,
 };
-pub use metrics::{MetricsSnapshot, PipelineMetrics};
+pub use metrics::{MetricsSnapshot, PipelineLatency, PipelineMetrics};
 pub use pipeline::{
     ingest_batched, ingest_borrowed, ingest_flow, ingest_parallel, ingest_parallel_metered,
     ingest_serial, ingest_serial_metered, ingest_supervised_with, ingest_with, PipelineConfig,

@@ -15,6 +15,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use tlscope_obs::{Histogram, HistogramSnapshot, JsonObj};
+
+use crate::pool::PoolStats;
+
 /// Shared, lock-free pipeline counters.
 ///
 /// Counter groups:
@@ -61,6 +65,20 @@ pub struct PipelineMetrics {
     parse_cache_hits: AtomicU64,
     parse_cache_misses: AtomicU64,
     parse_cache_evictions: AtomicU64,
+
+    pool_bufs_created: AtomicU64,
+    pool_bufs_recycled: AtomicU64,
+    pool_bufs_dropped: AtomicU64,
+    pool_batches_created: AtomicU64,
+    pool_batches_recycled: AtomicU64,
+    pool_batches_dropped: AtomicU64,
+
+    // Latency distributions (observational only: never part of
+    // snapshot equality or any bit-identity property).
+    month_hist: Histogram,
+    ingest_batch_hist: Histogram,
+    ckpt_write_hist: Histogram,
+    ckpt_load_hist: Histogram,
 }
 
 impl PipelineMetrics {
@@ -89,6 +107,42 @@ impl PipelineMetrics {
         self.batches_ingested.fetch_add(1, Ordering::Relaxed);
         self.ingest_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.ingest_batch_hist.record(elapsed);
+    }
+
+    /// Record one completed month of passive generation + ingestion
+    /// taking `elapsed` wall-clock.
+    pub fn record_month(&self, elapsed: Duration) {
+        self.month_hist.record(elapsed);
+    }
+
+    /// Record the wall-clock of one checkpoint file write.
+    pub fn observe_checkpoint_write(&self, elapsed: Duration) {
+        self.ckpt_write_hist.record(elapsed);
+    }
+
+    /// Record the wall-clock of one checkpoint directory load pass.
+    pub fn observe_checkpoint_load(&self, elapsed: Duration) {
+        self.ckpt_load_hist.record(elapsed);
+    }
+
+    /// Fold a [`PoolStats`] *delta* (after-minus-before of
+    /// [`crate::FlowPool::stats`]) into the pool counters, so the
+    /// buffer drops the pool used to count invisibly show up in
+    /// `--stats`.
+    pub fn record_pool(&self, delta: &PoolStats) {
+        self.pool_bufs_created
+            .fetch_add(delta.bufs_created, Ordering::Relaxed);
+        self.pool_bufs_recycled
+            .fetch_add(delta.bufs_recycled, Ordering::Relaxed);
+        self.pool_bufs_dropped
+            .fetch_add(delta.bufs_dropped, Ordering::Relaxed);
+        self.pool_batches_created
+            .fetch_add(delta.batches_created, Ordering::Relaxed);
+        self.pool_batches_recycled
+            .fetch_add(delta.batches_recycled, Ordering::Relaxed);
+        self.pool_batches_dropped
+            .fetch_add(delta.batches_dropped, Ordering::Relaxed);
     }
 
     /// Record parse failures by class.
@@ -215,7 +269,70 @@ impl PipelineMetrics {
             parse_cache_hits: self.parse_cache_hits.load(Ordering::Relaxed),
             parse_cache_misses: self.parse_cache_misses.load(Ordering::Relaxed),
             parse_cache_evictions: self.parse_cache_evictions.load(Ordering::Relaxed),
+            pool_bufs_created: self.pool_bufs_created.load(Ordering::Relaxed),
+            pool_bufs_recycled: self.pool_bufs_recycled.load(Ordering::Relaxed),
+            pool_bufs_dropped: self.pool_bufs_dropped.load(Ordering::Relaxed),
+            pool_batches_created: self.pool_batches_created.load(Ordering::Relaxed),
+            pool_batches_recycled: self.pool_batches_recycled.load(Ordering::Relaxed),
+            pool_batches_dropped: self.pool_batches_dropped.load(Ordering::Relaxed),
         }
+    }
+
+    /// A point-in-time copy of the latency distributions. Kept apart
+    /// from [`snapshot`] so the counter snapshot's equality semantics
+    /// (and the persisted checkpoint format built on it) stay exactly
+    /// as they were.
+    ///
+    /// [`snapshot`]: PipelineMetrics::snapshot
+    pub fn latency(&self) -> PipelineLatency {
+        PipelineLatency {
+            month: self.month_hist.snapshot(),
+            ingest_batch: self.ingest_batch_hist.snapshot(),
+            checkpoint_write: self.ckpt_write_hist.snapshot(),
+            checkpoint_load: self.ckpt_load_hist.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time latency distributions of the passive pipeline —
+/// observational siblings of [`MetricsSnapshot`], deliberately not
+/// part of it (the snapshot is persisted and compared bit-for-bit;
+/// timing never is).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineLatency {
+    /// Wall-clock per completed month (generation + ingestion).
+    pub month: HistogramSnapshot,
+    /// Wall-clock per ingested batch.
+    pub ingest_batch: HistogramSnapshot,
+    /// Wall-clock per checkpoint file write.
+    pub checkpoint_write: HistogramSnapshot,
+    /// Wall-clock per checkpoint directory load pass.
+    pub checkpoint_load: HistogramSnapshot,
+}
+
+impl PipelineLatency {
+    /// Multi-line terminal rendering, mirroring
+    /// [`MetricsSnapshot::render`]'s column layout.
+    pub fn render(&self) -> String {
+        let mut out = String::from("pipeline latency\n");
+        for (label, hist) in [
+            ("month", &self.month),
+            ("batch", &self.ingest_batch),
+            ("ckpt-write", &self.checkpoint_write),
+            ("ckpt-load", &self.checkpoint_load),
+        ] {
+            out.push_str(&format!("  {:<11} {}\n", label, hist.render_line()));
+        }
+        out
+    }
+
+    fn to_json(self) -> String {
+        JsonObj::new()
+            .raw("month", &self.month.to_json())
+            .raw("ingest_batch", &self.ingest_batch.to_json())
+            .raw("checkpoint_write", &self.checkpoint_write.to_json())
+            .raw("checkpoint_load", &self.checkpoint_load.to_json())
+            .finish()
     }
 }
 
@@ -278,6 +395,19 @@ pub struct MetricsSnapshot {
     pub parse_cache_misses: u64,
     /// Parse-cache entries evicted by capacity pressure.
     pub parse_cache_evictions: u64,
+    /// Flow buffers the pool allocated fresh.
+    pub pool_bufs_created: u64,
+    /// Flow buffers the pool recycled instead of allocating.
+    pub pool_bufs_recycled: u64,
+    /// Flow buffers dropped because the pool's return channel was full.
+    pub pool_bufs_dropped: u64,
+    /// Batch vectors the pool allocated fresh.
+    pub pool_batches_created: u64,
+    /// Batch vectors the pool recycled instead of allocating.
+    pub pool_batches_recycled: u64,
+    /// Batch vectors dropped because the pool's return channel was
+    /// full.
+    pub pool_batches_dropped: u64,
 }
 
 fn rate(count: u64, nanos: u64) -> f64 {
@@ -325,56 +455,144 @@ impl MetricsSnapshot {
     }
 
     /// Multi-line terminal rendering of the per-stage accounting.
+    ///
+    /// Every row is `"  " + label padded to 11 + " " + {:>11}` for its
+    /// first figure (the golden layout test pins this), so the columns
+    /// line up even for the 11-character `parse-cache` label that used
+    /// to swallow its separator space.
     pub fn render(&self) -> String {
         let mut out = String::from("pipeline metrics\n");
         out.push_str(&format!(
-            "  generate   {:>12} flows  {:>10} bytes  {:>9.3}s cpu  {:>10} flows/s\n",
+            "  {:<11} {:>11} flows  {:>10} bytes  {:>9.3}s cpu  {:>10} flows/s\n",
+            "generate",
             self.flows_generated,
             scaled(self.bytes_generated as f64),
             self.gen_nanos as f64 / 1e9,
             scaled(self.gen_flows_per_sec()),
         ));
         out.push_str(&format!(
-            "  ingest     {:>12} flows  {:>10} batches {:>8.3}s cpu  {:>10} flows/s\n",
+            "  {:<11} {:>11} flows  {:>10} batches {:>8.3}s cpu  {:>10} flows/s\n",
+            "ingest",
             self.flows_ingested,
             self.batches_ingested,
             self.ingest_nanos as f64 / 1e9,
             scaled(self.ingest_flows_per_sec()),
         ));
         out.push_str(&format!(
-            "  parse-fail {:>12} not-tls {:>9} garbled {:>9} salvaged\n",
-            self.not_tls, self.garbled_client, self.flows_salvaged,
+            "  {:<11} {:>11} not-tls {:>9} garbled {:>9} salvaged\n",
+            "parse-fail", self.not_tls, self.garbled_client, self.flows_salvaged,
         ));
         out.push_str(&format!(
-            "  tap        {:>12} outage-dropped {:>6} duplicated\n",
-            self.flows_outage_dropped, self.flows_duplicated,
+            "  {:<11} {:>11} outage-dropped {:>6} duplicated\n",
+            "tap", self.flows_outage_dropped, self.flows_duplicated,
         ));
         out.push_str(&format!(
-            "  recovery   {:>12} retries {:>9} respawns {:>8} quarantined\n",
-            self.batch_retries, self.worker_respawns, self.flows_quarantined,
+            "  {:<11} {:>11} retries {:>9} respawns {:>8} quarantined\n",
+            "recovery", self.batch_retries, self.worker_respawns, self.flows_quarantined,
         ));
         out.push_str(&format!(
-            "  merge      {:>12.3}s\n",
+            "  {:<11} {:>10.3}s cpu\n",
+            "merge",
             self.merge_nanos as f64 / 1e9
         ));
         out.push_str(&format!(
-            "  faults     {:>12} shards lost  {:>8} flows lost\n",
+            "  {:<11} {:>11} shards lost  {:>8} flows lost\n",
+            "faults",
             self.shards_lost,
             self.flows_lost(),
         ));
         out.push_str(&format!(
-            "  checkpoint {:>12} written {:>9} loaded {:>10} quarantined\n",
-            self.checkpoints_written, self.checkpoints_loaded, self.checkpoints_quarantined,
+            "  {:<11} {:>11} written {:>9} loaded {:>10} quarantined\n",
+            "checkpoint",
+            self.checkpoints_written,
+            self.checkpoints_loaded,
+            self.checkpoints_quarantined,
         ));
         out.push_str(&format!(
-            "  template   {:>12} hits {:>12} misses\n",
-            self.template_hits, self.template_misses,
+            "  {:<11} {:>11} hits {:>12} misses\n",
+            "template", self.template_hits, self.template_misses,
         ));
         out.push_str(&format!(
-            "  parse-cache{:>12} hits {:>12} misses {:>8} evictions\n",
-            self.parse_cache_hits, self.parse_cache_misses, self.parse_cache_evictions,
+            "  {:<11} {:>11} hits {:>12} misses {:>8} evictions\n",
+            "parse-cache",
+            self.parse_cache_hits,
+            self.parse_cache_misses,
+            self.parse_cache_evictions,
+        ));
+        out.push_str(&format!(
+            "  {:<11} {:>11} bufs recycled {:>7} dropped  {:>6} batches recycled {:>5} dropped\n",
+            "pool",
+            self.pool_bufs_recycled,
+            self.pool_bufs_dropped,
+            self.pool_batches_recycled,
+            self.pool_batches_dropped,
         ));
         out
+    }
+
+    /// Schema identifier stamped into every [`to_json`] export; bump
+    /// it whenever the key set changes.
+    ///
+    /// [`to_json`]: MetricsSnapshot::to_json
+    pub const SCHEMA: &'static str = "tlscope-pipeline-stats-v1";
+
+    /// Machine-readable export with empty latency sections (no
+    /// histograms observed).
+    pub fn to_json(&self) -> String {
+        self.to_json_with(&PipelineLatency::default())
+    }
+
+    /// Machine-readable export: `schema` version tag, every raw
+    /// counter under `counters`, the derived figures the rendering
+    /// shows under `derived`, and the latency distributions under
+    /// `latency`. Keys are emitted in a fixed order, so same-state
+    /// exports are byte-identical.
+    pub fn to_json_with(&self, latency: &PipelineLatency) -> String {
+        let counters = JsonObj::new()
+            .u64("flows_generated", self.flows_generated)
+            .u64("bytes_generated", self.bytes_generated)
+            .u64("gen_nanos", self.gen_nanos)
+            .u64("flows_outage_dropped", self.flows_outage_dropped)
+            .u64("flows_duplicated", self.flows_duplicated)
+            .u64("flows_dispatched", self.flows_dispatched)
+            .u64("flows_ingested", self.flows_ingested)
+            .u64("batches_ingested", self.batches_ingested)
+            .u64("not_tls", self.not_tls)
+            .u64("garbled_client", self.garbled_client)
+            .u64("flows_salvaged", self.flows_salvaged)
+            .u64("ingest_nanos", self.ingest_nanos)
+            .u64("batch_retries", self.batch_retries)
+            .u64("worker_respawns", self.worker_respawns)
+            .u64("flows_quarantined", self.flows_quarantined)
+            .u64("merge_nanos", self.merge_nanos)
+            .u64("shards_lost", self.shards_lost)
+            .u64("checkpoints_written", self.checkpoints_written)
+            .u64("checkpoints_loaded", self.checkpoints_loaded)
+            .u64("checkpoints_quarantined", self.checkpoints_quarantined)
+            .u64("template_hits", self.template_hits)
+            .u64("template_misses", self.template_misses)
+            .u64("parse_cache_hits", self.parse_cache_hits)
+            .u64("parse_cache_misses", self.parse_cache_misses)
+            .u64("parse_cache_evictions", self.parse_cache_evictions)
+            .u64("pool_bufs_created", self.pool_bufs_created)
+            .u64("pool_bufs_recycled", self.pool_bufs_recycled)
+            .u64("pool_bufs_dropped", self.pool_bufs_dropped)
+            .u64("pool_batches_created", self.pool_batches_created)
+            .u64("pool_batches_recycled", self.pool_batches_recycled)
+            .u64("pool_batches_dropped", self.pool_batches_dropped)
+            .finish();
+        let derived = JsonObj::new()
+            .f64("gen_flows_per_sec", self.gen_flows_per_sec())
+            .f64("ingest_flows_per_sec", self.ingest_flows_per_sec())
+            .u64("flows_lost", self.flows_lost())
+            .bool("accounting_holds", self.accounting_holds())
+            .finish();
+        JsonObj::new()
+            .str("schema", MetricsSnapshot::SCHEMA)
+            .raw("counters", &counters)
+            .raw("derived", &derived)
+            .raw("latency", &latency.to_json())
+            .finish()
     }
 }
 
@@ -474,6 +692,202 @@ mod tests {
         assert!(text.contains("template"), "{text}");
         assert!(text.contains("parse-cache"), "{text}");
         assert!(text.contains("evictions"), "{text}");
+    }
+
+    #[test]
+    fn render_layout_is_golden() {
+        // Every body row must share one column grid: two-space indent,
+        // label padded to 11 columns, one separator space (the one the
+        // old parse-cache row lacked), then an 11-wide right-aligned
+        // first figure ending at column 25.
+        let m = PipelineMetrics::new();
+        m.record_generated(120, Duration::from_nanos(500));
+        m.record_batch(1, Duration::from_micros(3));
+        m.record_parse_cache(8, 3, 1);
+        m.record_template(15, 2);
+        let text = m.snapshot().render();
+        let body: Vec<&str> = text.lines().skip(1).collect();
+        assert!(body.len() >= 11, "expected all sections rendered: {text}");
+        for line in body {
+            assert!(line.starts_with("  "), "indent: {line:?}");
+            let label = &line[2..13];
+            assert!(
+                !label.starts_with(' '),
+                "label must start at column 2: {line:?}"
+            );
+            assert_eq!(
+                &line[13..14],
+                " ",
+                "separator space missing at column 13: {line:?}"
+            );
+            let first_figure = &line[14..25];
+            assert!(
+                first_figure.ends_with(|c: char| c != ' '),
+                "first figure must be right-aligned to column 24: {line:?}"
+            );
+            assert!(
+                line.len() < 26 || line.as_bytes()[25] == b' ',
+                "first figure wider than its column: {line:?}"
+            );
+        }
+        // The specific satellite bug: parse-cache keeps its separator.
+        let pc = text.lines().find(|l| l.contains("parse-cache")).unwrap();
+        assert!(pc.starts_with("  parse-cache "), "{pc:?}");
+    }
+
+    #[test]
+    fn pool_counters_surface_in_snapshot_and_render() {
+        let m = PipelineMetrics::new();
+        m.record_pool(&PoolStats {
+            bufs_created: 10,
+            bufs_recycled: 90,
+            bufs_dropped: 4,
+            batches_created: 2,
+            batches_recycled: 8,
+            batches_dropped: 1,
+        });
+        m.record_pool(&PoolStats {
+            bufs_created: 1,
+            bufs_recycled: 0,
+            bufs_dropped: 0,
+            batches_created: 0,
+            batches_recycled: 0,
+            batches_dropped: 0,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.pool_bufs_created, 11);
+        assert_eq!(s.pool_bufs_recycled, 90);
+        assert_eq!(s.pool_bufs_dropped, 4);
+        assert_eq!(s.pool_batches_created, 2);
+        assert_eq!(s.pool_batches_recycled, 8);
+        assert_eq!(s.pool_batches_dropped, 1);
+        let text = s.render();
+        assert!(text.contains("pool"), "{text}");
+        assert!(text.contains("bufs recycled"), "{text}");
+    }
+
+    #[test]
+    fn latency_histograms_record_and_render() {
+        let m = PipelineMetrics::new();
+        m.record_batch(10, Duration::from_micros(50));
+        m.record_month(Duration::from_millis(20));
+        m.observe_checkpoint_write(Duration::from_micros(300));
+        m.observe_checkpoint_load(Duration::from_micros(100));
+        let lat = m.latency();
+        assert_eq!(lat.ingest_batch.count, 1);
+        assert_eq!(lat.month.count, 1);
+        assert_eq!(lat.checkpoint_write.count, 1);
+        assert_eq!(lat.checkpoint_load.count, 1);
+        let text = lat.render();
+        for needle in [
+            "pipeline latency",
+            "month",
+            "batch",
+            "ckpt-write",
+            "ckpt-load",
+        ] {
+            assert!(
+                text.contains(needle),
+                "latency render missing {needle}: {text}"
+            );
+        }
+        // Latency is observational: the counter snapshot is untouched
+        // by everything except record_batch's counters.
+        let s = m.snapshot();
+        assert_eq!(s.flows_ingested, 10);
+        assert_eq!(s.batches_ingested, 1);
+    }
+
+    #[test]
+    fn json_export_schema_is_golden() {
+        // The golden key-set test: any drift in the export schema must
+        // be deliberate (bump SCHEMA and update this list).
+        let m = PipelineMetrics::new();
+        m.record_generated(100, Duration::from_nanos(10));
+        m.record_dispatched(1);
+        m.record_batch(1, Duration::from_micros(1));
+        let snap = m.snapshot();
+        let parsed = tlscope_obs::Json::parse(&snap.to_json_with(&m.latency())).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some(MetricsSnapshot::SCHEMA)
+        );
+        assert_eq!(
+            parsed.keys(),
+            vec!["schema", "counters", "derived", "latency"]
+        );
+        let counters = parsed.get("counters").unwrap();
+        assert_eq!(
+            counters.keys(),
+            vec![
+                "flows_generated",
+                "bytes_generated",
+                "gen_nanos",
+                "flows_outage_dropped",
+                "flows_duplicated",
+                "flows_dispatched",
+                "flows_ingested",
+                "batches_ingested",
+                "not_tls",
+                "garbled_client",
+                "flows_salvaged",
+                "ingest_nanos",
+                "batch_retries",
+                "worker_respawns",
+                "flows_quarantined",
+                "merge_nanos",
+                "shards_lost",
+                "checkpoints_written",
+                "checkpoints_loaded",
+                "checkpoints_quarantined",
+                "template_hits",
+                "template_misses",
+                "parse_cache_hits",
+                "parse_cache_misses",
+                "parse_cache_evictions",
+                "pool_bufs_created",
+                "pool_bufs_recycled",
+                "pool_bufs_dropped",
+                "pool_batches_created",
+                "pool_batches_recycled",
+                "pool_batches_dropped",
+            ]
+        );
+        assert_eq!(
+            parsed.get("derived").unwrap().keys(),
+            vec![
+                "gen_flows_per_sec",
+                "ingest_flows_per_sec",
+                "flows_lost",
+                "accounting_holds"
+            ]
+        );
+        assert_eq!(
+            parsed.get("latency").unwrap().keys(),
+            vec![
+                "month",
+                "ingest_batch",
+                "checkpoint_write",
+                "checkpoint_load"
+            ]
+        );
+        // Counters in the JSON match the snapshot the text render used.
+        assert_eq!(
+            counters.get("flows_generated").and_then(|v| v.as_u64()),
+            Some(snap.flows_generated)
+        );
+        assert_eq!(
+            counters.get("flows_ingested").and_then(|v| v.as_u64()),
+            Some(snap.flows_ingested)
+        );
+        assert_eq!(
+            parsed
+                .get("latency")
+                .and_then(|l| l.get("ingest_batch"))
+                .and_then(|h| h.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
     }
 
     #[test]

@@ -156,8 +156,18 @@ impl PipelineConfig {
 
 /// Extract one flow and fold it into `agg`.
 ///
-/// Thin owned wrapper over [`ingest_borrowed`].
+/// Thin owned wrapper over [`ingest_borrowed`], with a flight-recorder
+/// breadcrumb per flow: if this flow panics the extractor, the
+/// supervisor's postmortem report shows exactly which flow died. (The
+/// fused borrowed fast path skips the breadcrumb by design — it never
+/// runs under a panic boundary.)
 pub fn ingest_flow(agg: &mut NotaryAggregate, flow: &TappedFlow) {
+    tlscope_obs::flight::record(
+        "flow",
+        flow.date.to_epoch_days() as u64,
+        flow.port as u64,
+        flow.client.len() as u64,
+    );
     ingest_borrowed(
         agg,
         flow.date,
@@ -296,6 +306,10 @@ pub(crate) fn supervise_batch<T, F>(
 ) where
     F: Fn(&mut NotaryAggregate, &T) + Copy,
 {
+    // Process-unique batch id, purely for flight-recorder correlation.
+    static BATCH_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let batch_id = BATCH_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    tlscope_obs::flight::record("batch", batch_id, batch.len() as u64, depth as u64);
     let started = Instant::now();
     match process_slice(batch, process) {
         Ok(partial) => {
@@ -312,6 +326,9 @@ pub(crate) fn supervise_batch<T, F>(
             metrics.record_worker_respawn();
             if batch.len() == 1 {
                 metrics.record_quarantined(1);
+                tlscope_obs::flight::report(&format!(
+                    "poison flow quarantined (batch {batch_id}, bisection depth {depth})"
+                ));
                 return;
             }
             if !cfg.retry_backoff.is_zero() {

@@ -74,6 +74,23 @@ pub struct PoolStats {
     pub batches_dropped: u64,
 }
 
+impl PoolStats {
+    /// Counter-wise difference to an earlier snapshot of the same
+    /// pool: the activity between the two readings.
+    pub fn delta_since(&self, before: &PoolStats) -> PoolStats {
+        PoolStats {
+            bufs_created: self.bufs_created.saturating_sub(before.bufs_created),
+            bufs_recycled: self.bufs_recycled.saturating_sub(before.bufs_recycled),
+            bufs_dropped: self.bufs_dropped.saturating_sub(before.bufs_dropped),
+            batches_created: self.batches_created.saturating_sub(before.batches_created),
+            batches_recycled: self
+                .batches_recycled
+                .saturating_sub(before.batches_recycled),
+            batches_dropped: self.batches_dropped.saturating_sub(before.batches_dropped),
+        }
+    }
+}
+
 /// A recycling pool for flow byte buffers and batch vectors.
 ///
 /// The pool is single-consumer: it lives with the producer, which is
@@ -267,8 +284,17 @@ impl Drop for PooledBatch {
 }
 
 /// Extract one pooled flow and fold it into `agg` — the pooled
-/// buffers are only borrowed, exactly like the fused fast path.
+/// buffers are only borrowed, exactly like the fused fast path. Leaves
+/// a flight-recorder breadcrumb per flow (this path runs under the
+/// supervisor's panic boundary, so a poison flow's meta survives into
+/// the postmortem report).
 pub fn ingest_pooled_flow(agg: &mut NotaryAggregate, flow: &PooledFlow) {
+    tlscope_obs::flight::record(
+        "flow",
+        flow.date.to_epoch_days() as u64,
+        flow.port as u64,
+        flow.client.len() as u64,
+    );
     ingest_borrowed(
         agg,
         flow.date,
@@ -346,6 +372,7 @@ where
     F: Fn(&mut NotaryAggregate, &PooledFlow) + Copy + Send + Sync,
 {
     install_quiet_panic_hook();
+    let stats_before = pool.stats();
     let (tx, rx) = mpsc::sync_channel::<PooledBatch>(CHANNEL_DEPTH);
     let rx = Arc::new(Mutex::new(rx));
     let mut result = NotaryAggregate::new();
@@ -394,6 +421,9 @@ where
             }
         }
     });
+    // Surface this run's pool activity (creates, recycles, and the
+    // previously invisible full-channel drops) in the pipeline stats.
+    metrics.record_pool(&pool.stats().delta_since(&stats_before));
     (result, fed.expect("feed ran inside the scope"))
 }
 

@@ -1,0 +1,360 @@
+//! Lock-free log2-bucketed latency histograms.
+//!
+//! A [`Histogram`] is a bag of atomic bucket counters: recording a
+//! sample is two relaxed `fetch_add`s and a `fetch_max`, so any number
+//! of workers can share one instance by reference, exactly like the
+//! pipelines' counter bags. Buckets are powers of two of nanoseconds
+//! (bucket *i* covers `[2^(i-1), 2^i)`), which keeps the readout
+//! within ~2× of the true quantile across twelve decades — plenty for
+//! "where did the time go" questions — while the whole structure stays
+//! a fixed 67 words.
+//!
+//! Merging is a per-bucket sum, so it is commutative and associative:
+//! any shard order over any worker count reproduces the same bucket
+//! totals (property-tested). Histograms are *observational only* —
+//! they never participate in snapshot equality or bit-identity
+//! properties of the pipelines they instrument.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets: one per bit of a nanosecond count, so the
+/// range covers 1 ns … ~584 years with no saturation surprises.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a sample of `nanos`: 0 holds exact zeros, bucket
+/// `i >= 1` holds `[2^(i-1), 2^i)`.
+fn bucket_index(nanos: u64) -> usize {
+    (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive `(lo, hi)` nanosecond bounds of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i == BUCKETS - 1 {
+        (1u64 << (i - 1), u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+/// A lock-free, mergeable latency histogram (see module docs).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one duration sample.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_nanos(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one sample of `nanos` nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold another histogram's samples into this one. A per-bucket
+    /// integer sum: commutative and associative, so shard partials can
+    /// merge in any order and reproduce identical bucket totals.
+    pub fn merge(&self, other: &Histogram) {
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(other.sum_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_nanos
+            .fetch_max(other.max_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A plain-value copy of a [`Histogram`], with quantile readout and a
+/// terminal rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_nanos: u64,
+    /// Largest sample, nanoseconds (exact, not bucketed).
+    pub max_nanos: u64,
+    /// Per-bucket sample counts (bucket `i` covers `[2^(i-1), 2^i)`).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample, nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum_nanos.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the midpoint
+    /// of the bucket holding the rank-`ceil(q·count)` sample, capped
+    /// at the exact observed maximum. 0 when empty.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return (lo + (hi - lo) / 2).min(self.max_nanos);
+            }
+        }
+        self.max_nanos
+    }
+
+    /// Median sample, nanoseconds.
+    pub fn p50_nanos(&self) -> u64 {
+        self.quantile_nanos(0.50)
+    }
+
+    /// 90th-percentile sample, nanoseconds.
+    pub fn p90_nanos(&self) -> u64 {
+        self.quantile_nanos(0.90)
+    }
+
+    /// 99th-percentile sample, nanoseconds.
+    pub fn p99_nanos(&self) -> u64 {
+        self.quantile_nanos(0.99)
+    }
+
+    /// One-line human rendering: count, p50/p90/p99, and max.
+    pub fn render_line(&self) -> String {
+        if self.count == 0 {
+            return "n 0".to_string();
+        }
+        format!(
+            "n {:<8} p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
+            self.count,
+            fmt_nanos(self.p50_nanos()),
+            fmt_nanos(self.p90_nanos()),
+            fmt_nanos(self.p99_nanos()),
+            fmt_nanos(self.max_nanos),
+        )
+    }
+
+    /// JSON object for the stats export: fixed key set (`count`,
+    /// `sum_ns`, `mean_ns`, `p50_ns`, `p90_ns`, `p99_ns`, `max_ns`,
+    /// `buckets`), with `buckets` a sparse `[index, count]` pair list.
+    pub fn to_json(&self) -> String {
+        let mut buckets = crate::json::JsonArr::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                buckets = buckets.raw(&format!("[{i},{n}]"));
+            }
+        }
+        crate::json::JsonObj::new()
+            .u64("count", self.count)
+            .u64("sum_ns", self.sum_nanos)
+            .u64("mean_ns", self.mean_nanos())
+            .u64("p50_ns", self.p50_nanos())
+            .u64("p90_ns", self.p90_nanos())
+            .u64("p99_ns", self.p99_nanos())
+            .u64("max_ns", self.max_nanos)
+            .raw("buckets", &buckets.finish())
+            .finish()
+    }
+}
+
+/// Human-scale rendering of a nanosecond count (`17ns`, `1.2µs`,
+/// `34ms`, `2.1s`).
+pub fn fmt_nanos(nanos: u64) -> String {
+    let n = nanos as f64;
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", n / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", n / 1e6)
+    } else {
+        format!("{:.1}s", n / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_of_nanos() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn records_and_reads_out_quantiles() {
+        let h = Histogram::new();
+        for nanos in [100u64, 200, 400, 800, 100_000] {
+            h.record_nanos(nanos);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.max_nanos, 100_000);
+        assert_eq!(s.sum_nanos, 101_500);
+        assert_eq!(s.mean_nanos(), 20_300);
+        // p50 lands in the bucket of the 3rd sample (400ns → [256,511]).
+        let p50 = s.p50_nanos();
+        assert!((256..=511).contains(&p50), "{p50}");
+        // p99 lands in the max sample's bucket, capped at the true max.
+        assert!(s.p99_nanos() <= s.max_nanos);
+        assert!(s.p99_nanos() > 65_000);
+        assert!(!s.render_line().is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.p50_nanos(), 0);
+        assert_eq!(s.p99_nanos(), 0);
+        assert_eq!(s.mean_nanos(), 0);
+        assert_eq!(s.render_line(), "n 0");
+        assert_eq!(s, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn duration_samples_and_threads() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_nanos(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 4000);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_shard_invariant() {
+        // The tentpole property: splitting one sample stream across
+        // 1..=8 worker-local histograms and merging the shards in any
+        // order reproduces the serial bucket counts exactly.
+        let samples: Vec<u64> = (0..5000u64)
+            .map(|i| i.wrapping_mul(0x9E37).rotate_left(7))
+            .collect();
+        let serial = Histogram::new();
+        for &s in &samples {
+            serial.record_nanos(s);
+        }
+        let expected = serial.snapshot();
+        for workers in 1..=8usize {
+            let shards: Vec<Histogram> = (0..workers).map(|_| Histogram::new()).collect();
+            for (i, &s) in samples.iter().enumerate() {
+                shards[i % workers].record_nanos(s);
+            }
+            // Forward merge order.
+            let fwd = Histogram::new();
+            for sh in &shards {
+                fwd.merge(sh);
+            }
+            // Reverse merge order.
+            let rev = Histogram::new();
+            for sh in shards.iter().rev() {
+                rev.merge(sh);
+            }
+            assert_eq!(fwd.snapshot(), expected, "workers = {workers}");
+            assert_eq!(rev.snapshot(), expected, "workers = {workers} reversed");
+        }
+    }
+
+    #[test]
+    fn fmt_nanos_scales() {
+        assert_eq!(fmt_nanos(17), "17ns");
+        assert_eq!(fmt_nanos(1_200), "1.2µs");
+        assert_eq!(fmt_nanos(34_000_000), "34.0ms");
+        assert_eq!(fmt_nanos(2_100_000_000), "2.1s");
+    }
+
+    #[test]
+    fn hist_json_round_trips() {
+        let h = Histogram::new();
+        for nanos in [1u64, 1000, 1_000_000] {
+            h.record_nanos(nanos);
+        }
+        let s = h.snapshot();
+        let parsed = crate::json::Json::parse(&s.to_json()).unwrap();
+        assert_eq!(parsed.get("count").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(
+            parsed.get("max_ns").and_then(|v| v.as_u64()),
+            Some(1_000_000)
+        );
+        assert_eq!(
+            parsed
+                .get("buckets")
+                .and_then(|v| v.as_array())
+                .map(|a| a.len()),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,561 @@
+//! A hand-rolled JSON writer and parser.
+//!
+//! The build is fully offline (no serde), so the `--stats-json`
+//! exports are emitted through the tiny [`JsonObj`]/[`JsonArr`]
+//! builders here, and the CLI integration / golden-schema tests read
+//! them back through [`Json::parse`]. The writer emits keys in
+//! insertion order so exports are byte-stable run to run; the parser
+//! is a plain recursive-descent over the full grammar (escapes,
+//! `\uXXXX`, nested containers) so it can also read foreign documents
+//! such as the committed bench baselines.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; integral values up to 2^53 are
+    /// exact, which covers every counter the exports emit in practice).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: byte offset and a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset in the input where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                at: pos,
+                msg: "trailing characters after document",
+            });
+        }
+        Ok(value)
+    }
+
+    /// Object member lookup (first match, like every JSON consumer).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's keys in document order; empty for non-objects.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(members) => members.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The value as a `u64`, when it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, when it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str`, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, when it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8, msg: &'static str) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError { at: *pos, msg })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError {
+            at: *pos,
+            msg: "unexpected end of input",
+        }),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &'static str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(JsonError {
+            at: *pos,
+            msg: "invalid literal",
+        })
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| JsonError {
+        at: start,
+        msg: "invalid number",
+    })?;
+    text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+        at: start,
+        msg: "invalid number",
+    })
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"', "expected string")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => {
+                return Err(JsonError {
+                    at: *pos,
+                    msg: "unterminated string",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes.get(*pos).ok_or(JsonError {
+                    at: *pos,
+                    msg: "unterminated escape",
+                })?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4).ok_or(JsonError {
+                            at: *pos,
+                            msg: "truncated \\u escape",
+                        })?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| JsonError {
+                            at: *pos,
+                            msg: "invalid \\u escape",
+                        })?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+                            at: *pos,
+                            msg: "invalid \\u escape",
+                        })?;
+                        *pos += 4;
+                        // Surrogate pairs and unpaired surrogates both
+                        // fold to the replacement character; the
+                        // exports never emit non-BMP text.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos - 1,
+                            msg: "unknown escape",
+                        })
+                    }
+                }
+            }
+            Some(_) => {
+                // Copy the longest run of plain UTF-8 in one go.
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| JsonError {
+                    at: start,
+                    msg: "invalid utf-8 in string",
+                })?;
+                out.push_str(chunk);
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{', "expected object")?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':', "expected ':' after key")?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    msg: "expected ',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[', "expected array")?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    msg: "expected ',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn escape_into(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// An insertion-ordered JSON object builder with chained, consuming
+/// setters. `finish()` yields the serialized text.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    body: String,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObj::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('"');
+        escape_into(&mut self.body, key);
+        self.body.push_str("\":");
+    }
+
+    /// Add an unsigned integer member.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.body, "{value}");
+        self
+    }
+
+    /// Add a floating-point member (non-finite values become `null`).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.body, "{value}");
+        } else {
+            self.body.push_str("null");
+        }
+        self
+    }
+
+    /// Add a string member.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.body.push('"');
+        escape_into(&mut self.body, value);
+        self.body.push('"');
+        self
+    }
+
+    /// Add a boolean member.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.body.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Add a member whose value is already-serialized JSON (for
+    /// nesting objects and arrays).
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.body.push_str(json);
+        self
+    }
+
+    /// Serialize.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// A JSON array builder, mirroring [`JsonObj`].
+#[derive(Debug, Default)]
+pub struct JsonArr {
+    body: String,
+}
+
+impl JsonArr {
+    /// An empty array.
+    pub fn new() -> Self {
+        JsonArr::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+    }
+
+    /// Append an unsigned integer element.
+    pub fn u64(mut self, value: u64) -> Self {
+        self.sep();
+        let _ = write!(self.body, "{value}");
+        self
+    }
+
+    /// Append a string element.
+    pub fn str(mut self, value: &str) -> Self {
+        self.sep();
+        self.body.push('"');
+        escape_into(&mut self.body, value);
+        self.body.push('"');
+        self
+    }
+
+    /// Append an already-serialized JSON element.
+    pub fn raw(mut self, json: &str) -> Self {
+        self.sep();
+        self.body.push_str(json);
+        self
+    }
+
+    /// Serialize.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_output_parses_back() {
+        let text = JsonObj::new()
+            .str("schema", "demo-v1")
+            .u64("count", 42)
+            .f64("rate", 1.5)
+            .bool("ok", true)
+            .raw("list", &JsonArr::new().u64(1).u64(2).str("x").finish())
+            .raw("nested", &JsonObj::new().u64("inner", 7).finish())
+            .finish();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("demo-v1")
+        );
+        assert_eq!(parsed.get("count").and_then(|v| v.as_u64()), Some(42));
+        assert_eq!(parsed.get("rate").and_then(|v| v.as_f64()), Some(1.5));
+        assert_eq!(parsed.get("ok").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(
+            parsed
+                .get("list")
+                .and_then(|v| v.as_array())
+                .map(|a| a.len()),
+            Some(3)
+        );
+        assert_eq!(
+            parsed
+                .get("nested")
+                .and_then(|v| v.get("inner"))
+                .and_then(|v| v.as_u64()),
+            Some(7)
+        );
+        assert_eq!(
+            parsed.keys(),
+            vec!["schema", "count", "rate", "ok", "list", "nested"]
+        );
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let text = JsonObj::new().str("k", "a\"b\\c\nd\te\u{1}").finish();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("k").and_then(|v| v.as_str()),
+            Some("a\"b\\c\nd\te\u{1}")
+        );
+        // Foreign \u escapes decode too.
+        let parsed = Json::parse(r#"{"k":"café"}"#).unwrap();
+        assert_eq!(parsed.get("k").and_then(|v| v.as_str()), Some("café"));
+    }
+
+    #[test]
+    fn full_grammar_round_trip() {
+        let doc = r#" { "a": [1, -2.5, 1e3, true, false, null, {"b": []}], "c": "" } "#;
+        let parsed = Json::parse(doc).unwrap();
+        let arr = parsed.get("a").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(arr.len(), 7);
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].as_f64(), Some(1000.0));
+        assert_eq!(arr[5], Json::Null);
+        assert_eq!(parsed.get("c").and_then(|v| v.as_str()), Some(""));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_read_as_u64_but_fractions_do_not() {
+        let parsed = Json::parse("[7, 7.0, 7.5, -7]").unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(7));
+        assert_eq!(arr[1].as_u64(), Some(7));
+        assert_eq!(arr[2].as_u64(), None);
+        assert_eq!(arr[3].as_u64(), None);
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let text = JsonObj::new().f64("x", f64::NAN).finish();
+        assert_eq!(text, r#"{"x":null}"#);
+        assert!(Json::parse(&text).is_ok());
+    }
+}

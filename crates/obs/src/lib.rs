@@ -1,0 +1,42 @@
+//! # tlscope-obs
+//!
+//! Observability primitives for the measurement pipelines. The paper's
+//! Notary and Censys campaigns (319.3 B connections, ~142 weekly
+//! sweeps) were only operable because per-stage health was
+//! continuously observable; the reproduction's counter bags
+//! (`PipelineMetrics`, `ScanMetrics`) ride on the four primitives in
+//! this crate:
+//!
+//! * [`hist`] — lock-free, mergeable log2-bucketed latency
+//!   [`Histogram`](hist::Histogram)s (atomic buckets, p50/p90/p99/max
+//!   readout) for per-batch, per-chunk, per-month, and checkpoint
+//!   timing distributions;
+//! * [`json`] — a hand-rolled JSON writer and parser (no serde; the
+//!   build is fully offline) behind the schema-versioned
+//!   `--stats-json` / `--scan-stats-json` exports;
+//! * [`progress`] — the opt-in live heartbeat
+//!   ([`Progress`](progress::Progress), env `TLSCOPE_PROGRESS`)
+//!   printing completed units, item rates, and ETA to stderr while a
+//!   long campaign runs;
+//! * [`flight`] — the panic flight recorder: a bounded per-worker ring
+//!   of recent structured events, dumped into a process-wide black box
+//!   by the pipelines' `catch_unwind` boundaries so poison flows and
+//!   dead chunks are diagnosable postmortem.
+//!
+//! Everything here is observational: nothing in this crate
+//! participates in aggregate equality or the bit-identity properties
+//! of the pipelines it instruments, and every primitive is dependency-
+//! free and lock-free (or thread-local) on its hot path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod hist;
+pub mod json;
+pub mod progress;
+
+pub use flight::FlightEvent;
+pub use hist::{fmt_nanos, Histogram, HistogramSnapshot, BUCKETS};
+pub use json::{Json, JsonArr, JsonError, JsonObj};
+pub use progress::Progress;

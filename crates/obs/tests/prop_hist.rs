@@ -1,0 +1,52 @@
+//! The tentpole histogram property: merging is commutative and
+//! shard-count-invariant. Splitting any sample stream across 1–8
+//! worker-local histograms and merging the shards in any order must
+//! reproduce the serial histogram's bucket counts exactly — the same
+//! guarantee the pipelines' counter bags give their ledgers.
+
+use proptest::prelude::*;
+use tlscope_obs::Histogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn merge_is_commutative_and_shard_count_invariant(
+        seed in 0u64..1_000_000,
+        n in 1usize..2000,
+        workers in 1usize..=8,
+        rotate in 0usize..8,
+    ) {
+        // A deterministic spread of samples across all bucket scales.
+        let samples: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_add(seed)).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(11))
+            .collect();
+
+        let serial = Histogram::new();
+        for &s in &samples {
+            serial.record_nanos(s);
+        }
+        let expected = serial.snapshot();
+
+        // Round-robin sharding, as the worker pools do.
+        let shards: Vec<Histogram> = (0..workers).map(|_| Histogram::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            shards[i % workers].record_nanos(s);
+        }
+
+        // Merge in a rotated order (covers forward, reversed-by-
+        // rotation, and every interleaving the rotation reaches).
+        let merged = Histogram::new();
+        for k in 0..workers {
+            merged.merge(&shards[(k + rotate) % workers]);
+        }
+        prop_assert_eq!(merged.snapshot(), expected);
+
+        // And in strictly reversed order.
+        let reversed = Histogram::new();
+        for shard in shards.iter().rev() {
+            reversed.merge(shard);
+        }
+        prop_assert_eq!(reversed.snapshot(), expected);
+    }
+}

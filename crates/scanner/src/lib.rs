@@ -30,7 +30,7 @@ pub mod sweep;
 
 pub use checkpoint::{DateCheckpoint, ScanCheckpointError, ScanDirLoad};
 pub use faults::{ScanFaultConfigError, ScanFaults, DEAD_HOST_SPAN_DAYS, MAX_PROBE_ATTEMPTS};
-pub use metrics::{ScanMetrics, ScanMetricsSnapshot};
+pub use metrics::{ScanLatency, ScanMetrics, ScanMetricsSnapshot};
 pub use probe::{PreparedProbe, ProbeSet};
 pub use schedule::{schedule, ScanCampaign, CENSYS_END, CENSYS_START};
 pub use sweep::{

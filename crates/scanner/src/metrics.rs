@@ -18,6 +18,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use tlscope_obs::{Histogram, HistogramSnapshot, JsonObj};
+
 /// Shared, lock-free active-scan counters.
 ///
 /// The accounting invariant of the sharded sweep engine is two-part:
@@ -46,6 +48,14 @@ pub struct ScanMetrics {
     checkpoints_written: AtomicU64,
     checkpoints_loaded: AtomicU64,
     checkpoints_quarantined: AtomicU64,
+
+    // Latency distributions (observational only: never persisted in a
+    // checkpoint, never absorbed on resume, never part of snapshot
+    // equality).
+    sweep_hist: Histogram,
+    chunk_hist: Histogram,
+    ckpt_write_hist: Histogram,
+    ckpt_load_hist: Histogram,
 }
 
 impl ScanMetrics {
@@ -106,6 +116,36 @@ impl ScanMetrics {
         self.sweeps_completed.fetch_add(1, Ordering::Relaxed);
         self.scan_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.sweep_hist.record(elapsed);
+    }
+
+    /// Record the wall-clock of one committed sweep chunk.
+    pub fn record_chunk(&self, elapsed: Duration) {
+        self.chunk_hist.record(elapsed);
+    }
+
+    /// Record the wall-clock of one checkpoint file write.
+    pub fn observe_checkpoint_write(&self, elapsed: Duration) {
+        self.ckpt_write_hist.record(elapsed);
+    }
+
+    /// Record the wall-clock of one checkpoint directory load pass.
+    pub fn observe_checkpoint_load(&self, elapsed: Duration) {
+        self.ckpt_load_hist.record(elapsed);
+    }
+
+    /// Fold another bag's latency histograms into this one — the
+    /// campaign runner's analog of [`absorb`] for the observational
+    /// side: per-date sweeps run against fresh bags whose *ledgers*
+    /// are absorbed via snapshots, so their timing distributions must
+    /// be carried over separately.
+    ///
+    /// [`absorb`]: ScanMetrics::absorb
+    pub fn merge_latency_from(&self, other: &ScanMetrics) {
+        self.sweep_hist.merge(&other.sweep_hist);
+        self.chunk_hist.merge(&other.chunk_hist);
+        self.ckpt_write_hist.merge(&other.ckpt_write_hist);
+        self.ckpt_load_hist.merge(&other.ckpt_load_hist);
     }
 
     /// Record one checkpoint file written to the durable store.
@@ -174,6 +214,62 @@ impl ScanMetrics {
             checkpoints_loaded: self.checkpoints_loaded.load(Ordering::Relaxed),
             checkpoints_quarantined: self.checkpoints_quarantined.load(Ordering::Relaxed),
         }
+    }
+
+    /// A point-in-time copy of the latency distributions. Kept apart
+    /// from [`snapshot`] so the per-date checkpoint ledger format and
+    /// its equality semantics are untouched.
+    ///
+    /// [`snapshot`]: ScanMetrics::snapshot
+    pub fn latency(&self) -> ScanLatency {
+        ScanLatency {
+            sweep: self.sweep_hist.snapshot(),
+            sweep_chunk: self.chunk_hist.snapshot(),
+            checkpoint_write: self.ckpt_write_hist.snapshot(),
+            checkpoint_load: self.ckpt_load_hist.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time latency distributions of the active-scan engine —
+/// observational siblings of [`ScanMetricsSnapshot`], deliberately not
+/// part of it (the snapshot is persisted per date and replayed on
+/// resume; timing never is).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanLatency {
+    /// Wall-clock per completed sweep.
+    pub sweep: HistogramSnapshot,
+    /// Wall-clock per committed sweep chunk.
+    pub sweep_chunk: HistogramSnapshot,
+    /// Wall-clock per checkpoint file write.
+    pub checkpoint_write: HistogramSnapshot,
+    /// Wall-clock per checkpoint directory load pass.
+    pub checkpoint_load: HistogramSnapshot,
+}
+
+impl ScanLatency {
+    /// Multi-line terminal rendering, mirroring
+    /// [`ScanMetricsSnapshot::render`]'s column layout.
+    pub fn render(&self) -> String {
+        let mut out = String::from("scan latency\n");
+        for (label, hist) in [
+            ("sweep", &self.sweep),
+            ("chunk", &self.sweep_chunk),
+            ("ckpt-write", &self.checkpoint_write),
+            ("ckpt-load", &self.checkpoint_load),
+        ] {
+            out.push_str(&format!("  {:<11} {}\n", label, hist.render_line()));
+        }
+        out
+    }
+
+    fn to_json(self) -> String {
+        JsonObj::new()
+            .raw("sweep", &self.sweep.to_json())
+            .raw("sweep_chunk", &self.sweep_chunk.to_json())
+            .raw("checkpoint_write", &self.checkpoint_write.to_json())
+            .raw("checkpoint_load", &self.checkpoint_load.to_json())
+            .finish()
     }
 }
 
@@ -262,18 +358,22 @@ impl ScanMetricsSnapshot {
                 == self.probes_sent
     }
 
-    /// Multi-line terminal rendering of the scan accounting.
+    /// Multi-line terminal rendering of the scan accounting, on the
+    /// same `"  " + label padded to 11 + " " + {:>11}` column grid as
+    /// the passive pipeline's `MetricsSnapshot::render`.
     pub fn render(&self) -> String {
         let mut out = String::from("scan metrics\n");
         out.push_str(&format!(
-            "  sweep      {:>12} sweeps {:>10} hosts  {:>9.3}s cpu  {:>10} hosts/s\n",
+            "  {:<11} {:>11} sweeps {:>10} hosts  {:>9.3}s cpu  {:>10} hosts/s\n",
+            "sweep",
             self.sweeps_completed,
             self.hosts_probed,
             self.scan_nanos as f64 / 1e9,
             scaled(self.hosts_per_sec()),
         ));
         out.push_str(&format!(
-            "  probes     {:>12} sent   {:>10} completed {:>6} refused {:>6} timed out  {:>7} probes/s\n",
+            "  {:<11} {:>11} sent   {:>10} completed {:>6} refused {:>6} timed out  {:>7} probes/s\n",
+            "probes",
             self.probes_sent,
             self.handshakes_completed,
             self.handshakes_refused,
@@ -281,11 +381,16 @@ impl ScanMetricsSnapshot {
             scaled(self.probes_per_sec()),
         ));
         out.push_str(&format!(
-            "  accounting {:>12} dispatched {:>6} probed {:>9} dropped {:>6} retries\n",
-            self.hosts_dispatched, self.hosts_probed, self.hosts_dropped, self.host_retries,
+            "  {:<11} {:>11} dispatched {:>6} probed {:>9} dropped {:>6} retries\n",
+            "accounting",
+            self.hosts_dispatched,
+            self.hosts_probed,
+            self.hosts_dropped,
+            self.host_retries,
         ));
         out.push_str(&format!(
-            "  faults     {:>12} workers lost   ledger {}\n",
+            "  {:<11} {:>11} workers lost   ledger {}\n",
+            "faults",
             self.workers_lost,
             if self.accounting_holds() {
                 "balanced"
@@ -294,10 +399,60 @@ impl ScanMetricsSnapshot {
             },
         ));
         out.push_str(&format!(
-            "  checkpoint {:>12} written {:>9} loaded {:>10} quarantined\n",
-            self.checkpoints_written, self.checkpoints_loaded, self.checkpoints_quarantined,
+            "  {:<11} {:>11} written {:>9} loaded {:>10} quarantined\n",
+            "checkpoint",
+            self.checkpoints_written,
+            self.checkpoints_loaded,
+            self.checkpoints_quarantined,
         ));
         out
+    }
+
+    /// Schema identifier stamped into every [`to_json`] export; bump
+    /// it whenever the key set changes.
+    ///
+    /// [`to_json`]: ScanMetricsSnapshot::to_json
+    pub const SCHEMA: &'static str = "tlscope-scan-stats-v1";
+
+    /// Machine-readable export with empty latency sections (no
+    /// histograms observed).
+    pub fn to_json(&self) -> String {
+        self.to_json_with(&ScanLatency::default())
+    }
+
+    /// Machine-readable export: `schema` version tag, every raw
+    /// counter under `counters`, the derived figures under `derived`,
+    /// and the latency distributions under `latency`. Keys are emitted
+    /// in a fixed order, so same-state exports are byte-identical.
+    pub fn to_json_with(&self, latency: &ScanLatency) -> String {
+        let counters = JsonObj::new()
+            .u64("hosts_dispatched", self.hosts_dispatched)
+            .u64("hosts_probed", self.hosts_probed)
+            .u64("hosts_dropped", self.hosts_dropped)
+            .u64("host_retries", self.host_retries)
+            .u64("probes_sent", self.probes_sent)
+            .u64("handshakes_completed", self.handshakes_completed)
+            .u64("handshakes_refused", self.handshakes_refused)
+            .u64("probes_timed_out", self.probes_timed_out)
+            .u64("workers_lost", self.workers_lost)
+            .u64("sweeps_completed", self.sweeps_completed)
+            .u64("scan_nanos", self.scan_nanos)
+            .u64("checkpoints_written", self.checkpoints_written)
+            .u64("checkpoints_loaded", self.checkpoints_loaded)
+            .u64("checkpoints_quarantined", self.checkpoints_quarantined)
+            .finish();
+        let derived = JsonObj::new()
+            .f64("hosts_per_sec", self.hosts_per_sec())
+            .f64("probes_per_sec", self.probes_per_sec())
+            .u64("hosts_lost", self.hosts_lost())
+            .bool("accounting_holds", self.accounting_holds())
+            .finish();
+        JsonObj::new()
+            .str("schema", ScanMetricsSnapshot::SCHEMA)
+            .raw("counters", &counters)
+            .raw("derived", &derived)
+            .raw("latency", &latency.to_json())
+            .finish()
     }
 }
 
@@ -424,6 +579,137 @@ mod tests {
         assert_eq!(replayed.checkpoints_loaded, 0);
         assert!(replayed.accounting_holds());
         assert!(replayed.render().contains("checkpoint"));
+    }
+
+    #[test]
+    fn render_layout_is_golden() {
+        // Same column grid as the passive render: two-space indent,
+        // label padded to 11 columns, separator space, 11-wide
+        // right-aligned first figure ending at column 24.
+        let m = ScanMetrics::new();
+        m.record_dispatched(10);
+        m.record_probed(10, 30, 24, 5, 1);
+        m.record_sweep(Duration::from_millis(2));
+        let text = m.snapshot().render();
+        for line in text.lines().skip(1) {
+            assert!(line.starts_with("  "), "indent: {line:?}");
+            assert!(
+                !line[2..13].starts_with(' '),
+                "label must start at column 2: {line:?}"
+            );
+            assert_eq!(
+                &line[13..14],
+                " ",
+                "separator space missing at column 13: {line:?}"
+            );
+            assert!(
+                line[14..25].ends_with(|c: char| c != ' '),
+                "first figure must be right-aligned to column 24: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_histograms_record_merge_and_render() {
+        let per_date = ScanMetrics::new();
+        per_date.record_sweep(Duration::from_millis(3));
+        per_date.record_chunk(Duration::from_micros(400));
+        per_date.record_chunk(Duration::from_micros(600));
+
+        let campaign = ScanMetrics::new();
+        campaign.observe_checkpoint_write(Duration::from_micros(200));
+        campaign.observe_checkpoint_load(Duration::from_micros(80));
+        campaign.merge_latency_from(&per_date);
+
+        let lat = campaign.latency();
+        assert_eq!(lat.sweep.count, 1);
+        assert_eq!(lat.sweep_chunk.count, 2);
+        assert_eq!(lat.checkpoint_write.count, 1);
+        assert_eq!(lat.checkpoint_load.count, 1);
+        let text = lat.render();
+        for needle in ["scan latency", "sweep", "chunk", "ckpt-write", "ckpt-load"] {
+            assert!(
+                text.contains(needle),
+                "latency render missing {needle}: {text}"
+            );
+        }
+
+        // Absorbing a stored ledger does not touch the histograms —
+        // the resume path replays counters only.
+        let resumed = ScanMetrics::new();
+        resumed.absorb(&per_date.snapshot());
+        assert_eq!(resumed.latency().sweep.count, 0);
+    }
+
+    #[test]
+    fn json_export_schema_is_golden() {
+        // The golden key-set test: any drift in the export schema must
+        // be deliberate (bump SCHEMA and update this list).
+        let m = ScanMetrics::new();
+        m.record_dispatched(10);
+        m.record_probed(10, 30, 24, 5, 1);
+        m.record_sweep(Duration::from_millis(2));
+        let snap = m.snapshot();
+        let parsed = tlscope_obs::Json::parse(&snap.to_json_with(&m.latency())).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some(ScanMetricsSnapshot::SCHEMA)
+        );
+        assert_eq!(
+            parsed.keys(),
+            vec!["schema", "counters", "derived", "latency"]
+        );
+        assert_eq!(
+            parsed.get("counters").unwrap().keys(),
+            vec![
+                "hosts_dispatched",
+                "hosts_probed",
+                "hosts_dropped",
+                "host_retries",
+                "probes_sent",
+                "handshakes_completed",
+                "handshakes_refused",
+                "probes_timed_out",
+                "workers_lost",
+                "sweeps_completed",
+                "scan_nanos",
+                "checkpoints_written",
+                "checkpoints_loaded",
+                "checkpoints_quarantined",
+            ]
+        );
+        assert_eq!(
+            parsed.get("derived").unwrap().keys(),
+            vec![
+                "hosts_per_sec",
+                "probes_per_sec",
+                "hosts_lost",
+                "accounting_holds"
+            ]
+        );
+        assert_eq!(
+            parsed.get("latency").unwrap().keys(),
+            vec![
+                "sweep",
+                "sweep_chunk",
+                "checkpoint_write",
+                "checkpoint_load"
+            ]
+        );
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("hosts_probed"))
+                .and_then(|v| v.as_u64()),
+            Some(snap.hosts_probed)
+        );
+        assert_eq!(
+            parsed
+                .get("derived")
+                .and_then(|d| d.get("accounting_holds"))
+                .and_then(|v| v.as_bool()),
+            Some(true)
+        );
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! are re-swept inline after the survivors drain the queue.
 
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use tlscope_chron::Date;
+use tlscope_obs::Progress;
 use tlscope_servers::ServerPopulation;
 
 use crate::checkpoint::{self, DateCheckpoint, ScanCheckpointError};
@@ -151,7 +153,9 @@ impl ScanCampaign {
         // their slots; stored ledgers replay into the campaign bag so
         // totals match an uninterrupted run exactly.
         if let Some(dir) = checkpoint_dir {
+            let load_started = Instant::now();
             let mut store = checkpoint::load_dir(dir)?;
+            metrics.observe_checkpoint_load(load_started.elapsed());
             let mut loaded = 0u64;
             for (idx, date) in self.dates.iter().enumerate() {
                 if ordered[idx].is_none() {
@@ -166,11 +170,20 @@ impl ScanCampaign {
             metrics.record_checkpoints_quarantined(store.quarantined.len() as u64);
         }
 
+        // Live-progress state: dates already adopted from checkpoints
+        // count as done, and every completed sweep ticks the counter.
+        // Purely observational — the heartbeat thread only reads it.
+        let dates_done = AtomicU64::new(ordered.iter().filter(|s| s.is_some()).count() as u64);
+        let progress =
+            Progress::from_env("scan-campaign", self.dates.len() as u64, "dates", "hosts");
+
         // One date, end to end: sweep into a fresh per-date bag,
         // persist (snapshot + ledger) if checkpointing, then fold the
         // ledger into the campaign bag. The per-date bag is what makes
         // the stored ledger lossless — and since all counters are
         // additive, campaign totals are unchanged by the indirection.
+        // Latency histograms are merged separately: the stored ledger
+        // never carries timing, so resume replays counters only.
         let sweep_date =
             |date: Date, faults: &ScanFaults| -> Result<ScanSnapshot, ScanCheckpointError> {
                 let date_metrics = ScanMetrics::new();
@@ -185,7 +198,9 @@ impl ScanCampaign {
                 );
                 let ledger = date_metrics.snapshot();
                 metrics.absorb(&ledger);
+                metrics.merge_latency_from(&date_metrics);
                 if let Some(dir) = checkpoint_dir {
+                    let write_started = Instant::now();
                     checkpoint::write_date(
                         dir,
                         &DateCheckpoint {
@@ -193,8 +208,10 @@ impl ScanCampaign {
                             ledger,
                         },
                     )?;
+                    metrics.observe_checkpoint_write(write_started.elapsed());
                     metrics.record_checkpoint_written();
                 }
+                dates_done.fetch_add(1, Ordering::Relaxed);
                 Ok(snapshot)
             };
 
@@ -205,14 +222,51 @@ impl ScanCampaign {
             .map(|(idx, _)| idx)
             .collect();
         let workers = workers.max(1).min(pending.len().max(1));
+
+        // The opt-in heartbeat ticks on its own scoped thread for the
+        // whole remaining campaign (sweeps, survivor-merge, recovery);
+        // when disabled no thread is spawned at all.
+        let stop_heartbeat = AtomicBool::new(false);
+        let result = std::thread::scope(|heartbeat_scope| {
+            if progress.is_enabled() {
+                heartbeat_scope.spawn(|| {
+                    progress.run_ticker(&stop_heartbeat, || {
+                        (
+                            dates_done.load(Ordering::Relaxed),
+                            metrics.snapshot().hosts_probed,
+                        )
+                    })
+                });
+            }
+            let result =
+                self.run_pending_dates(workers, &pending, &mut ordered, metrics, &sweep_date);
+            stop_heartbeat.store(true, Ordering::Release);
+            result
+        });
+        result?;
+        Ok(ordered
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect())
+    }
+
+    /// Sweep every index in `pending` into its `ordered` slot via
+    /// `sweep_date`: inline when `workers <= 1`, otherwise across a
+    /// worker scope with survivor-merge and an inline recovery pass
+    /// for dates lost to dead workers.
+    fn run_pending_dates(
+        &self,
+        workers: usize,
+        pending: &[usize],
+        ordered: &mut [Option<ScanSnapshot>],
+        metrics: &ScanMetrics,
+        sweep_date: &(impl Fn(Date, &ScanFaults) -> Result<ScanSnapshot, ScanCheckpointError> + Sync),
+    ) -> Result<(), ScanCheckpointError> {
         if workers <= 1 {
-            for &idx in &pending {
+            for &idx in pending {
                 ordered[idx] = Some(sweep_date(self.dates[idx], &self.faults)?);
             }
-            return Ok(ordered
-                .into_iter()
-                .map(|s| s.expect("all slots filled"))
-                .collect());
+            return Ok(());
         }
 
         let next = AtomicUsize::new(0);
@@ -286,10 +340,7 @@ impl ScanCampaign {
                 *slot = Some(sweep_date(self.dates[idx], &recovery)?);
             }
         }
-        Ok(ordered
-            .into_iter()
-            .map(|s| s.expect("all slots filled"))
-            .collect())
+        Ok(())
     }
 }
 

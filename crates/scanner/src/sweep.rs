@@ -315,6 +315,10 @@ fn probe_indexed_host(
     seed: u64,
     snap: &mut ScanSnapshot,
 ) -> (HostOutcome, u64) {
+    // Flight-recorder breadcrumb before anything can die: if this host
+    // (or the failpoint below) panics the worker, the chunk postmortem
+    // shows which host was in flight.
+    tlscope_obs::flight::record("host", index, date.to_epoch_days() as u64, seed);
     if faults.panic_on_host == Some(index) {
         panic!("scan fault failpoint: host {index}");
     }
@@ -393,7 +397,9 @@ fn commit_chunk<S>(
     merge_fn: &impl Fn(&mut S, &S),
     into: &mut S,
 ) -> bool {
-    let hosts = range.end - range.start;
+    let (start, end) = (range.start, range.end);
+    let hosts = end - start;
+    let started = Instant::now();
     quiet_thread_panics(true);
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
         let mut partial = make();
@@ -417,6 +423,7 @@ fn commit_chunk<S>(
             if ledger.retries > 0 {
                 metrics.record_retries(ledger.retries);
             }
+            metrics.record_chunk(started.elapsed());
             merge_fn(into, &partial);
             true
         }
@@ -424,6 +431,9 @@ fn commit_chunk<S>(
             metrics.record_dispatched(hosts);
             metrics.record_dropped(hosts);
             metrics.record_worker_lost();
+            tlscope_obs::flight::report(&format!(
+                "sweep chunk {start}..{end} lost to a panic ({hosts} hosts dropped)"
+            ));
             false
         }
     }
